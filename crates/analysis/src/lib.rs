@@ -1,0 +1,37 @@
+//! Security and timing analysis of HHEA and MHHEA.
+//!
+//! The paper motivates the modified algorithm with two claims:
+//!
+//! 1. scrambling the hiding locations and the message "overcome[s the]
+//!    constant chosen-plaintext attack" that breaks plain HHEA, and
+//! 2. parallel replacement removes "the dependency between the throughput
+//!    and the nature of the key", a timing side channel of the serial
+//!    implementation.
+//!
+//! This crate makes both claims measurable — and, as an extension, shows
+//! their limits:
+//!
+//! * [`cpa`] — the *constant* chosen-plaintext attack: frequency analysis
+//!   of ciphertext bits under a fixed all-zeros plaintext. Recovers the
+//!   full HHEA key; collapses against MHHEA.
+//! * [`keyrec`] — a *model-aware* chosen-plaintext attack on MHHEA
+//!   (extension X5 in `DESIGN.md`): because the hiding vector's high byte
+//!   travels in clear, an attacker who knows the scrambling structure can
+//!   test all 36 sorted key pairs per block residue and recover the key
+//!   anyway. MHHEA defeats the naive attack, not the informed one.
+//! * [`timing`] — the timing channel: inter-block gap analysis on the
+//!   gate-level cores (serial gaps reveal span widths; parallel gaps are
+//!   constant) and throughput-vs-key sweeps.
+//! * [`randomness`] — ciphertext randomness: the FIPS battery over cipher
+//!   bit streams.
+//! * [`avalanche`] — diffusion metrics: message bits do not avalanche at
+//!   all (each lands in exactly one cipher bit), key and seed bits do.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod avalanche;
+pub mod cpa;
+pub mod keyrec;
+pub mod randomness;
+pub mod timing;

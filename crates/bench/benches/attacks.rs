@@ -1,0 +1,24 @@
+//! Criterion: attack runtimes (the cost of breaking HHEA / MHHEA).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mhhea::Algorithm;
+use mhhea_analysis::{cpa, keyrec};
+
+fn bench_attacks(c: &mut Criterion) {
+    let key = mhhea_bench::report_key();
+    let mut group = c.benchmark_group("attacks");
+    group.sample_size(10);
+    group.bench_function("constant_cpa_hhea_100", |b| {
+        b.iter(|| cpa::constant_cpa(Algorithm::Hhea, &key, 100, 1).recovered_key)
+    });
+    group.bench_function("constant_cpa_mhhea_100", |b| {
+        b.iter(|| cpa::constant_cpa(Algorithm::Mhhea, &key, 100, 1).recovered_key)
+    });
+    group.bench_function("model_aware_mhhea_100", |b| {
+        b.iter(|| keyrec::model_aware_attack(&key, 100, 1).survivor_count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion: implementation-flow runtime (pack, place, time) on the
+//! MHHEA core.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpga::flow::run_flow;
+
+fn bench_flow(c: &mut Criterion) {
+    let core = mhhea_hw::core::build_mhhea_core();
+    let mut group = c.benchmark_group("flow");
+    group.sample_size(10);
+    for effort in [0usize, 16] {
+        group.bench_function(format!("mhhea_core_effort_{effort}"), |b| {
+            let opts = mhhea_bench::flow_options(effort);
+            b.iter(|| run_flow(&core.netlist, &opts).unwrap().summary.slices_used)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

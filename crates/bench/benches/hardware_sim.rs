@@ -1,0 +1,28 @@
+//! Criterion: gate-level simulation speed of both cores.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mhhea_hw::harness::{MhheaCoreSim, SerialHheaSim};
+
+fn bench_cores(c: &mut Criterion) {
+    let key = mhhea_bench::report_key();
+    let words = vec![0xABCD_1234u32];
+
+    let parallel = mhhea_hw::core::build_mhhea_core();
+    c.bench_function("parallel_core_one_word", |b| {
+        let mut sim = MhheaCoreSim::new(&parallel).unwrap();
+        b.iter(|| sim.encrypt_words(&key, &words).unwrap().blocks.len())
+    });
+
+    let serial = mhhea_hw::serial::build_serial_hhea_core();
+    c.bench_function("serial_core_one_word", |b| {
+        let mut sim = SerialHheaSim::new(&serial).unwrap();
+        b.iter(|| sim.encrypt_words(&key, &words).unwrap().blocks.len())
+    });
+
+    c.bench_function("elaborate_parallel_core", |b| {
+        b.iter(|| mhhea_hw::core::build_mhhea_core().netlist.cell_count())
+    });
+}
+
+criterion_group!(benches, bench_cores);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion: hiding-vector generation and leap-matrix construction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lfsr::Fibonacci;
+
+fn bench_vectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lfsr16");
+    group.throughput(Throughput::Bytes(2 * 1024));
+    group.bench_function("next_vector_x1024", |b| {
+        let mut l = Fibonacci::from_table(16, 0xACE1).unwrap();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1024 {
+                acc ^= l.next_vector();
+            }
+            acc
+        })
+    });
+    group.bench_function("leap_matrix_pow16", |b| {
+        let l = Fibonacci::from_table(16, 1).unwrap();
+        b.iter(|| l.leap_matrix(16))
+    });
+    group.bench_function("matrix_apply_x1024", |b| {
+        let l = Fibonacci::from_table(16, 1).unwrap();
+        let m = l.leap_matrix(16);
+        b.iter(|| {
+            let mut s = 0xACE1u64;
+            for _ in 0..1024 {
+                s = m.apply(s);
+            }
+            s
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vectors);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates the Appendix-A design and timing summaries for the MHHEA
+//! core (and the serial baseline), in Xilinx `map`-report style, with the
+//! paper's published numbers alongside.
+//!
+//! Usage: `cargo run --release -p mhhea-bench --bin design_summary [effort]`
+
+fn main() {
+    let effort: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+
+    println!("== MHHEA core (parallel replacement) ==\n");
+    let (_, mh) = mhhea_bench::flow_mhhea(effort);
+    println!("{}", mh.report_text());
+    println!("-- paper reference (Xilinx Foundation F2.1i on xc2s100-tq144-06) --");
+    println!("  Number of Slices          :   337 out of  1200  28%");
+    println!("  Slice Flip Flops          :   205");
+    println!("  4 input LUTs              :   393");
+    println!("  Number of bonded IOBs     :    57 out of    92  61%");
+    println!("  Number of TBUFs           :   206 out of  1280  16%");
+    println!("  Total equivalent gate count for design : 5051");
+    println!("  Additional JTAG gate count for IOBs    : 2784");
+    println!("  Minimum period 41.871ns / fmax 23.883MHz / max net delay 6.770ns");
+    println!();
+    println!("critical path ({} levels):", mh.timing.logic_levels);
+    for cell in mh.timing.critical_path.iter().take(12) {
+        println!("  {cell}");
+    }
+    println!();
+
+    println!("== Serial HHEA baseline ==\n");
+    let (_, se) = mhhea_bench::flow_serial(effort);
+    println!("{}", se.report_text());
+}

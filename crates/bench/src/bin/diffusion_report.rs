@@ -1,0 +1,47 @@
+//! Diffusion and randomness report: avalanche metrics plus the FIPS
+//! battery over ciphertext, for both algorithms.
+//!
+//! Usage: `cargo run --release -p mhhea-bench --bin diffusion_report`
+
+use mhhea::Algorithm;
+use mhhea_analysis::avalanche::{key_avalanche, message_avalanche, seed_avalanche};
+use mhhea_analysis::randomness::{battery_on_cipher, random_message};
+
+fn main() {
+    let key = mhhea_bench::report_key();
+    let msg = vec![0x5Au8; 128];
+
+    println!("== Diffusion (fraction of cipher bits flipped per input change) ==\n");
+    println!(
+        "{:<10} {:>16} {:>16} {:>16}",
+        "algorithm", "1 message bit", "1 key bit", "lfsr seed"
+    );
+    println!("{}", "-".repeat(62));
+    for alg in [Algorithm::Hhea, Algorithm::Mhhea] {
+        let m = message_avalanche(alg, &key, &msg, 100, 0xACE1);
+        let k = key_avalanche(alg, &key, &msg, 1, 2, 0xACE1);
+        let s = seed_avalanche(alg, &key, &msg);
+        println!("{:<10} {:>16.5} {:>16.5} {:>16.5}", alg.name(), m, k, s);
+    }
+    println!();
+    println!("reading: one plaintext bit flips exactly ONE cipher bit — MHHEA");
+    println!("has zero plaintext diffusion (it is an embedder, not a mixer).");
+    println!("Key and seed changes avalanche because span boundaries move.\n");
+
+    println!("== FIPS 140-1 battery over 20k cipher bits ==\n");
+    let random_msg = random_message(1200, 7);
+    for alg in [Algorithm::Hhea, Algorithm::Mhhea] {
+        println!("{} (random plaintext):", alg.name());
+        match battery_on_cipher(alg, &key, &random_msg, 0xACE1) {
+            Ok(report) => print!("{report}"),
+            Err(e) => println!("  {e}"),
+        }
+        println!();
+    }
+    let zeros = vec![0u8; 1200];
+    println!("MHHEA (all-zeros plaintext — the pathological case):");
+    match battery_on_cipher(Algorithm::Mhhea, &key, &zeros, 0xACE1) {
+        Ok(report) => print!("{report}"),
+        Err(e) => println!("  {e}"),
+    }
+}

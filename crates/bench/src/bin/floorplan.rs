@@ -1,0 +1,14 @@
+//! Regenerates Figure 10: the floor plan of the placed MHHEA core.
+//!
+//! Usage: `cargo run --release -p mhhea-bench --bin floorplan [effort]`
+
+fn main() {
+    let effort: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let (nl, flow) = mhhea_bench::flow_mhhea(effort);
+    println!("== Figure 10: floor plan (placement effort {effort}) ==\n");
+    println!("{}", flow.floorplan(&nl));
+    println!("placement HPWL cost: {:.1} CLB units", flow.placement.cost);
+}

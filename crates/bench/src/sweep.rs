@@ -1,0 +1,113 @@
+//! Generalised hiding-vector width sweep (experiment X3).
+//!
+//! The paper's §VI claims the design "allows the size of the hiding vector
+//! registers to be varied; accordingly, a variable level of data security
+//! can be obtained". This module generalises MHHEA's parameters to a
+//! `w`-bit vector — the low half hides, the high half scrambles, keys
+//! index `w/2` locations — and derives the security/overhead trade-off
+//! curve analytically.
+
+/// One row of the width sweep.
+#[derive(Debug, Clone)]
+pub struct WidthRow {
+    /// Hiding-vector width in bits (power of two, ≥ 8).
+    pub vector_bits: usize,
+    /// Location index width (`log2(w/2)` bits per key half).
+    pub key_half_bits: usize,
+    /// Key-space bits for a full 16-pair key.
+    pub key_space_bits: usize,
+    /// Expected span width over uniform pairs.
+    pub expected_span: f64,
+    /// Ciphertext expansion (output bits per message bit).
+    pub expansion: f64,
+    /// Embedding rate (fraction of cipher bits carrying message).
+    pub embedding_rate: f64,
+}
+
+/// Expected `|a − b| + 1` for `a, b` uniform on `0..n` — the HHEA span
+/// expectation with `n` hiding locations.
+pub fn expected_span_uniform(n: usize) -> f64 {
+    assert!(n > 0, "need at least one location");
+    // E|a-b| = (n^2 - 1) / (3n) for the discrete uniform on 0..n-1.
+    let nf = n as f64;
+    (nf * nf - 1.0) / (3.0 * nf) + 1.0
+}
+
+/// Builds the sweep for vector widths `8, 16, 32, 64, …` up to `max_bits`.
+pub fn width_sweep(max_bits: usize) -> Vec<WidthRow> {
+    let mut rows = Vec::new();
+    let mut w = 8usize;
+    while w <= max_bits {
+        let locations = w / 2;
+        let key_half_bits = locations.trailing_zeros() as usize;
+        let expected_span = expected_span_uniform(locations);
+        rows.push(WidthRow {
+            vector_bits: w,
+            key_half_bits,
+            key_space_bits: 2 * key_half_bits * 16,
+            expected_span,
+            expansion: w as f64 / expected_span,
+            embedding_rate: expected_span / w as f64,
+        });
+        w *= 2;
+    }
+    rows
+}
+
+/// Renders the sweep as a table.
+pub fn render(rows: &[WidthRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>6} {:>9} {:>10} {:>9} {:>10} {:>10}\n",
+        "V bits", "key bits", "key space", "E[span]", "expansion", "embed rate"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>6} {:>9} {:>10} {:>9.3} {:>10.2} {:>10.4}\n",
+            r.vector_bits,
+            r.key_half_bits,
+            r.key_space_bits,
+            r.expected_span,
+            r.expansion,
+            r.embedding_rate
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_span_matches_paper_case() {
+        // n = 8 locations (16-bit vector): E = 21/8 + 1 = 3.625.
+        assert!((expected_span_uniform(8) - 3.625).abs() < 1e-12);
+        assert_eq!(expected_span_uniform(1), 1.0);
+    }
+
+    #[test]
+    fn sweep_monotonicity() {
+        let rows = width_sweep(64);
+        assert_eq!(rows.len(), 4); // 8, 16, 32, 64
+        for pair in rows.windows(2) {
+            // Wider vectors: more key space, more expansion, lower
+            // embedding rate — the security/overhead trade-off.
+            assert!(pair[1].key_space_bits > pair[0].key_space_bits);
+            assert!(pair[1].expansion > pair[0].expansion);
+            assert!(pair[1].embedding_rate < pair[0].embedding_rate);
+        }
+        // The paper's configuration is the second row.
+        assert_eq!(rows[1].vector_bits, 16);
+        assert!((rows[1].expected_span - 3.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let rows = width_sweep(32);
+        let text = render(&rows);
+        for r in &rows {
+            assert!(text.contains(&r.vector_bits.to_string()));
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Table 1 and Figure 9: the functional-density comparison.
+//!
+//! Rows come from three sources, each labelled in the output:
+//!
+//! * `measured`  — our implementation flow + cycle-accurate simulation of
+//!   the corresponding core;
+//! * `paper`     — the paper's published number for the same design
+//!   (shown alongside for comparison);
+//! * `reported`  — numbers carried from the cited literature (YAEA has no
+//!   public specification to reimplement — see `DESIGN.md` §2).
+
+use fpga::report::functional_density;
+use mhhea::stats::{paper_throughput_mbps, PAPER_BITS_PER_PERIOD};
+use mhhea_hw::harness::{MhheaCoreSim, SerialHheaSim};
+
+/// Where a row's numbers come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowSource {
+    /// Produced by this reproduction's flow + simulation.
+    Measured,
+    /// The paper's Table 1 value for the same design.
+    Paper,
+    /// Carried from cited literature (no public spec to rebuild).
+    Reported,
+}
+
+impl RowSource {
+    fn label(self) -> &'static str {
+        match self {
+            RowSource::Measured => "measured",
+            RowSource::Paper => "paper",
+            RowSource::Reported => "reported",
+        }
+    }
+}
+
+/// One comparison row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Algorithm / implementation name.
+    pub name: String,
+    /// Throughput in Mbps.
+    pub throughput_mbps: f64,
+    /// Area in CLBs.
+    pub area_clbs: usize,
+    /// Provenance.
+    pub source: RowSource,
+}
+
+impl Row {
+    /// Functional density, the paper's figure of merit.
+    pub fn density(&self) -> f64 {
+        functional_density(self.throughput_mbps, self.area_clbs)
+    }
+}
+
+/// The assembled comparison.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// All rows, ours and cited.
+    pub rows: Vec<Row>,
+    /// Notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+/// The paper's own Table 1 rows, kept for side-by-side comparison.
+pub fn paper_rows() -> Vec<Row> {
+    vec![
+        Row {
+            name: "YAEA (XC4005XL)".into(),
+            throughput_mbps: 129.1,
+            area_clbs: 149,
+            source: RowSource::Reported,
+        },
+        Row {
+            name: "HHEA serial [SAEB04a]".into(),
+            throughput_mbps: 15.8,
+            area_clbs: 144,
+            source: RowSource::Paper,
+        },
+        Row {
+            name: "MHHEA (paper)".into(),
+            throughput_mbps: 95.532,
+            area_clbs: 168,
+            source: RowSource::Paper,
+        },
+    ]
+}
+
+/// Builds the full comparison: flow + cycle-accurate measurement of both
+/// cores, paper rows alongside.
+///
+/// `effort` is the placement effort (annealing moves per slice).
+pub fn build_table1(effort: usize) -> Table1 {
+    let key = crate::report_key();
+    // Long enough that the one-off key load is amortised (steady state).
+    let words: Vec<u32> = (0..16u32)
+        .map(|i| 0xABCD_1234u32.rotate_left(i) ^ (i * 0x0101_0101))
+        .collect();
+    let message_bits = words.len() * 32;
+
+    // Parallel MHHEA core.
+    let (mh_nl, mh_flow) = crate::flow_mhhea(effort);
+    let mh_core = mhhea_hw::core::build_mhhea_core();
+    let mh_run = MhheaCoreSim::new(&mh_core)
+        .expect("core simulates")
+        .encrypt_words(&key, &words)
+        .expect("run completes");
+    let mh_period = mh_flow.timing.min_period_ns;
+    let mh_measured = mhhea::stats::measured_throughput_mbps(
+        message_bits,
+        mh_run.cycles,
+        mh_period,
+    );
+    let mh_paper_formula = paper_throughput_mbps(mh_period, PAPER_BITS_PER_PERIOD);
+
+    // Serial HHEA core.
+    let (se_nl, se_flow) = crate::flow_serial(effort);
+    let se_core = mhhea_hw::serial::build_serial_hhea_core();
+    let se_run = SerialHheaSim::new(&se_core)
+        .expect("core simulates")
+        .encrypt_words(&key, &words)
+        .expect("run completes");
+    let se_period = se_flow.timing.min_period_ns;
+    let se_measured = mhhea::stats::measured_throughput_mbps(
+        message_bits,
+        se_run.cycles,
+        se_period,
+    );
+
+    // The paper compares both designs at the same clock (its HHEA row,
+    // 15.8 Mbps, is ~0.66 bits/cycle at the same ~23.9 MHz as MHHEA), so
+    // the equal-clock view is the faithful reproduction of Table 1; the
+    // own-fmax rows are additionally reported for completeness.
+    let se_common_clock = mhhea::stats::measured_throughput_mbps(
+        message_bits,
+        se_run.cycles,
+        mh_period,
+    );
+
+    let mut rows = vec![
+        Row {
+            name: "HHEA serial (ours, common clk)".into(),
+            throughput_mbps: se_common_clock,
+            area_clbs: se_flow.summary.clbs_used,
+            source: RowSource::Measured,
+        },
+        Row {
+            name: "MHHEA (ours, measured)".into(),
+            throughput_mbps: mh_measured,
+            area_clbs: mh_flow.summary.clbs_used,
+            source: RowSource::Measured,
+        },
+        Row {
+            name: "MHHEA (ours, paper formula)".into(),
+            throughput_mbps: mh_paper_formula,
+            area_clbs: mh_flow.summary.clbs_used,
+            source: RowSource::Measured,
+        },
+        Row {
+            name: "HHEA serial (ours, own fmax)".into(),
+            throughput_mbps: se_measured,
+            area_clbs: se_flow.summary.clbs_used,
+            source: RowSource::Measured,
+        },
+    ];
+    rows.extend(paper_rows());
+
+    let notes = vec![
+        format!(
+            "ours: min period MHHEA {:.3} ns ({} slices, {} LUTs, {} FFs), serial HHEA {:.3} ns ({} slices)",
+            mh_period,
+            mh_flow.summary.slices_used,
+            mh_flow.summary.luts_used,
+            mh_flow.summary.ffs_used,
+            se_period,
+            se_flow.summary.slices_used,
+        ),
+        format!(
+            "measured over {} message bits: parallel {} cycles ({:.3} bit/cyc), serial {} cycles ({:.3} bit/cyc, {:.2}x more)",
+            message_bits,
+            mh_run.cycles,
+            mh_run.bits_per_cycle(message_bits),
+            se_run.cycles,
+            se_run.bits_per_cycle(message_bits),
+            se_run.cycles as f64 / mh_run.cycles as f64
+        ),
+        "common clk = serial cycles priced at the parallel design's period, the paper's implied methodology".into(),
+        "paper formula: 4 expected information bits per minimum period".into(),
+        "YAEA row reported from [SAEB02]; no public specification exists to rebuild".into(),
+        format!("designs: {} and {}", mh_nl.name(), se_nl.name()),
+    ];
+
+    Table1 { rows, notes }
+}
+
+impl std::fmt::Display for Table1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<30} {:>12} {:>10} {:>10}  source",
+            "Algorithm", "Mbps", "CLBs", "Mbps/CLB"
+        )?;
+        writeln!(f, "{}", "-".repeat(78))?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<30} {:>12.3} {:>10} {:>10.3}  {}",
+                r.name,
+                r.throughput_mbps,
+                r.area_clbs,
+                r.density(),
+                r.source.label()
+            )?;
+        }
+        for n in &self.notes {
+            writeln!(f, "note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders Figure 9: functional density as an ASCII bar chart.
+pub fn figure9(table: &Table1) -> String {
+    let max = table
+        .rows
+        .iter()
+        .map(|r| r.density())
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let mut out = String::new();
+    out.push_str("Functional Density F = Throughput (Mbps) / Area (CLBs)\n");
+    for r in &table.rows {
+        let width = ((r.density() / max) * 50.0).round() as usize;
+        out.push_str(&format!(
+            "{:<30} |{:<50}| {:.3}\n",
+            r.name,
+            "#".repeat(width),
+            r.density()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rows_match_published_densities() {
+        let rows = paper_rows();
+        assert!((rows[0].density() - 0.866).abs() < 0.001);
+        assert!((rows[1].density() - 0.110).abs() < 0.001);
+        assert!((rows[2].density() - 0.569).abs() < 0.001);
+    }
+
+    #[test]
+    fn table_builds_and_preserves_ordering_claims() {
+        let t = build_table1(2);
+        let find = |prefix: &str| {
+            t.rows
+                .iter()
+                .find(|r| r.name.starts_with(prefix))
+                .unwrap_or_else(|| panic!("row {prefix} missing"))
+        };
+        let ours_serial_common = find("HHEA serial (ours, common clk)");
+        let ours_parallel = find("MHHEA (ours, measured)");
+        // The paper's headline claim, reproduced under its own (equal
+        // clock) methodology: parallel replacement dominates serial in
+        // throughput AND functional density.
+        assert!(ours_parallel.throughput_mbps > ours_serial_common.throughput_mbps);
+        assert!(ours_parallel.density() > ours_serial_common.density());
+        let text = t.to_string();
+        assert!(text.contains("Mbps/CLB"));
+        let chart = figure9(&t);
+        assert!(chart.contains('#'));
+    }
+}

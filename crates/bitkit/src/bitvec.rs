@@ -1,0 +1,528 @@
+//! Arbitrary-width bit vector backed by `u64` limbs.
+
+use crate::BitError;
+use core::fmt;
+use core::ops::{BitAnd, BitOr, BitXor, Not, Range};
+
+const LIMB_BITS: usize = 64;
+
+/// An arbitrary-width bit vector.
+///
+/// Bit index 0 is the least significant bit. The vector owns `ceil(len/64)`
+/// limbs and keeps unused high bits of the last limb zeroed, so equality and
+/// hashing are structural.
+///
+/// # Examples
+///
+/// ```
+/// use bitkit::BitVec;
+///
+/// let mut v = BitVec::zeros(8);
+/// v.set(3, true);
+/// assert_eq!(v.to_u64(), 0b1000);
+/// assert_eq!(v.count_ones(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BitVec {
+    len: usize,
+    limbs: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates a vector of `len` zero bits.
+    ///
+    /// ```
+    /// let v = bitkit::BitVec::zeros(100);
+    /// assert_eq!(v.len(), 100);
+    /// assert_eq!(v.count_ones(), 0);
+    /// ```
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            limbs: vec![0; len.div_ceil(LIMB_BITS)],
+        }
+    }
+
+    /// Creates a vector of `len` one bits.
+    pub fn ones(len: usize) -> Self {
+        let mut v = BitVec {
+            len,
+            limbs: vec![u64::MAX; len.div_ceil(LIMB_BITS)],
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Creates a `len`-bit vector from the low `len` bits of `value`.
+    ///
+    /// Bits of `value` above `len` are discarded.
+    ///
+    /// ```
+    /// let v = bitkit::BitVec::from_u64(0xAB, 4);
+    /// assert_eq!(v.to_u64(), 0xB);
+    /// ```
+    pub fn from_u64(value: u64, len: usize) -> Self {
+        let mut v = BitVec::zeros(len);
+        if !v.limbs.is_empty() {
+            v.limbs[0] = value;
+            v.mask_tail();
+        }
+        v
+    }
+
+    /// Creates a vector from bits in LSB-first order.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut v = BitVec::zeros(0);
+        for b in bits {
+            v.push(b);
+        }
+        v
+    }
+
+    /// Number of bits in the vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the vector holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range ({})", self.len);
+        (self.limbs[index / LIMB_BITS] >> (index % LIMB_BITS)) & 1 == 1
+    }
+
+    /// Reads bit `index`, returning `None` when out of range.
+    pub fn try_get(&self, index: usize) -> Option<bool> {
+        (index < self.len).then(|| self.get(index))
+    }
+
+    /// Writes bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.len, "bit index {index} out of range ({})", self.len);
+        let limb = &mut self.limbs[index / LIMB_BITS];
+        let mask = 1u64 << (index % LIMB_BITS);
+        if value {
+            *limb |= mask;
+        } else {
+            *limb &= !mask;
+        }
+    }
+
+    /// Appends a bit at the most significant end.
+    pub fn push(&mut self, value: bool) {
+        if self.len % LIMB_BITS == 0 {
+            self.limbs.push(0);
+        }
+        self.len += 1;
+        let idx = self.len - 1;
+        self.set(idx, value);
+    }
+
+    /// Returns the low 64 bits as a `u64`.
+    ///
+    /// For vectors wider than 64 bits the higher bits are ignored; use
+    /// [`BitVec::try_to_u64`] to detect that case.
+    pub fn to_u64(&self) -> u64 {
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    /// Returns the value as `u64` if it fits without truncation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitError::WidthTooLarge`] when any bit above position 63 is
+    /// set.
+    pub fn try_to_u64(&self) -> Result<u64, BitError> {
+        if self.limbs.iter().skip(1).any(|&l| l != 0) {
+            return Err(BitError::WidthTooLarge {
+                requested: self.len,
+                max: 64,
+            });
+        }
+        Ok(self.to_u64())
+    }
+
+    /// Extracts the bits in `range` (LSB-first) as a new vector.
+    ///
+    /// This is the hardware "slice" operation: `v.slice(8..12)` models
+    /// `V[11 downto 8]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or reversed.
+    ///
+    /// ```
+    /// let v = bitkit::BitVec::from_u64(0xCA06, 16);
+    /// // V[11 downto 8] of 0xCA06 is 0b1010.
+    /// assert_eq!(v.slice(8..12).to_u64(), 0b1010);
+    /// ```
+    pub fn slice(&self, range: Range<usize>) -> BitVec {
+        assert!(range.start <= range.end, "reversed slice range");
+        assert!(range.end <= self.len, "slice end {} out of range ({})", range.end, self.len);
+        BitVec::from_bits(range.map(|i| self.get(i)))
+    }
+
+    /// Number of one bits.
+    pub fn count_ones(&self) -> usize {
+        self.limbs.iter().map(|l| l.count_ones() as usize).sum()
+    }
+
+    /// Rotates the vector left (towards the MSB) by `n` bits.
+    ///
+    /// After the rotation, bit `i` holds the previous bit `(i - n) mod len`,
+    /// which is exactly the "circulate left" of the paper's message-alignment
+    /// module.
+    #[must_use]
+    pub fn rotate_left(&self, n: usize) -> BitVec {
+        if self.len == 0 {
+            return self.clone();
+        }
+        let n = n % self.len;
+        BitVec::from_bits((0..self.len).map(|i| self.get((i + self.len - n) % self.len)))
+    }
+
+    /// Rotates the vector right (towards the LSB) by `n` bits.
+    #[must_use]
+    pub fn rotate_right(&self, n: usize) -> BitVec {
+        if self.len == 0 {
+            return self.clone();
+        }
+        let n = n % self.len;
+        self.rotate_left(self.len - n)
+    }
+
+    /// Concatenates `high` above `self` (self keeps the low positions).
+    #[must_use]
+    pub fn concat(&self, high: &BitVec) -> BitVec {
+        BitVec::from_bits(self.iter().chain(high.iter()))
+    }
+
+    /// Iterates bits LSB-first.
+    pub fn iter(&self) -> Bits<'_> {
+        Bits { v: self, next: 0 }
+    }
+
+    /// Zeroes any bits beyond `len` in the last limb.
+    fn mask_tail(&mut self) {
+        let tail = self.len % LIMB_BITS;
+        if tail != 0 {
+            if let Some(last) = self.limbs.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        if self.len == 0 {
+            self.limbs.clear();
+        }
+    }
+
+    /// Applies a binary limb-wise operation, checking lengths.
+    fn zip_with(&self, rhs: &BitVec, f: impl Fn(u64, u64) -> u64) -> BitVec {
+        assert_eq!(
+            self.len, rhs.len,
+            "length mismatch: {} vs {}",
+            self.len, rhs.len
+        );
+        let mut out = BitVec {
+            len: self.len,
+            limbs: self
+                .limbs
+                .iter()
+                .zip(&rhs.limbs)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        };
+        out.mask_tail();
+        out
+    }
+}
+
+impl BitXor for &BitVec {
+    type Output = BitVec;
+    fn bitxor(self, rhs: Self) -> BitVec {
+        self.zip_with(rhs, |a, b| a ^ b)
+    }
+}
+
+impl BitAnd for &BitVec {
+    type Output = BitVec;
+    fn bitand(self, rhs: Self) -> BitVec {
+        self.zip_with(rhs, |a, b| a & b)
+    }
+}
+
+impl BitOr for &BitVec {
+    type Output = BitVec;
+    fn bitor(self, rhs: Self) -> BitVec {
+        self.zip_with(rhs, |a, b| a | b)
+    }
+}
+
+impl Not for &BitVec {
+    type Output = BitVec;
+    fn not(self) -> BitVec {
+        let mut out = BitVec {
+            len: self.len,
+            limbs: self.limbs.iter().map(|&l| !l).collect(),
+        };
+        out.mask_tail();
+        out
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        BitVec::from_bits(iter)
+    }
+}
+
+impl Extend<bool> for BitVec {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        for b in iter {
+            self.push(b);
+        }
+    }
+}
+
+/// LSB-first bit iterator produced by [`BitVec::iter`].
+#[derive(Debug, Clone)]
+pub struct Bits<'a> {
+    v: &'a BitVec,
+    next: usize,
+}
+
+impl Iterator for Bits<'_> {
+    type Item = bool;
+    fn next(&mut self) -> Option<bool> {
+        let b = self.v.try_get(self.next)?;
+        self.next += 1;
+        Some(b)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.v.len - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Bits<'_> {}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec<{}>({self})", self.len)
+    }
+}
+
+impl fmt::Display for BitVec {
+    /// Prints bits MSB-first, the usual register rendering.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "<empty>");
+        }
+        for i in (0..self.len).rev() {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::LowerHex for BitVec {
+    /// Prints the vector as hex nibbles, MSB-first, padded to `ceil(len/4)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let nibbles = self.len.div_ceil(4);
+        for n in (0..nibbles).rev() {
+            let mut val = 0u8;
+            for b in 0..4 {
+                if self.try_get(n * 4 + b) == Some(true) {
+                    val |= 1 << b;
+                }
+            }
+            write!(f, "{val:x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::UpperHex for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = format!("{self:x}");
+        write!(f, "{}", s.to_uppercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitVec::zeros(70);
+        assert_eq!(z.len(), 70);
+        assert_eq!(z.count_ones(), 0);
+        let o = BitVec::ones(70);
+        assert_eq!(o.count_ones(), 70);
+    }
+
+    #[test]
+    fn from_u64_truncates() {
+        let v = BitVec::from_u64(0xFFFF, 8);
+        assert_eq!(v.to_u64(), 0xFF);
+        assert_eq!(v.count_ones(), 8);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BitVec::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1) && !v.get(128));
+        assert_eq!(v.count_ones(), 3);
+        v.set(64, false);
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(4).get(4);
+    }
+
+    #[test]
+    fn try_get_in_and_out_of_range() {
+        let v = BitVec::from_u64(0b10, 2);
+        assert_eq!(v.try_get(1), Some(true));
+        assert_eq!(v.try_get(2), None);
+    }
+
+    #[test]
+    fn push_grows() {
+        let mut v = BitVec::zeros(0);
+        for i in 0..100 {
+            v.push(i % 3 == 0);
+        }
+        assert_eq!(v.len(), 100);
+        assert_eq!(v.count_ones(), 34);
+    }
+
+    #[test]
+    fn paper_rotation_example() {
+        // Figure 8: 48D0 rotl 2 = 2341; 2341 rotr 6 = 048D.
+        let m = BitVec::from_u64(0x48D0, 16);
+        let ml = m.rotate_left(2);
+        assert_eq!(ml.to_u64(), 0x2341);
+        assert_eq!(ml.rotate_right(6).to_u64(), 0x048D);
+    }
+
+    #[test]
+    fn rotate_by_len_is_identity() {
+        let v = BitVec::from_u64(0xBEEF, 16);
+        assert_eq!(v.rotate_left(16), v);
+        assert_eq!(v.rotate_right(32), v);
+        assert_eq!(v.rotate_left(0), v);
+    }
+
+    #[test]
+    fn rotate_empty_is_noop() {
+        let v = BitVec::zeros(0);
+        assert_eq!(v.rotate_left(5), v);
+    }
+
+    #[test]
+    fn slice_matches_manual_extraction() {
+        let v = BitVec::from_u64(0xCA06, 16);
+        assert_eq!(v.slice(8..12).to_u64(), 0b1010);
+        assert_eq!(v.slice(0..8).to_u64(), 0x06);
+        assert_eq!(v.slice(8..16).to_u64(), 0xCA);
+        assert_eq!(v.slice(5..5).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice end")]
+    fn slice_out_of_bounds_panics() {
+        BitVec::zeros(8).slice(4..9);
+    }
+
+    #[test]
+    fn logic_ops() {
+        let a = BitVec::from_u64(0b1100, 4);
+        let b = BitVec::from_u64(0b1010, 4);
+        assert_eq!((&a ^ &b).to_u64(), 0b0110);
+        assert_eq!((&a & &b).to_u64(), 0b1000);
+        assert_eq!((&a | &b).to_u64(), 0b1110);
+        assert_eq!((!&a).to_u64(), 0b0011);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_length_mismatch_panics() {
+        let _ = &BitVec::zeros(4) ^ &BitVec::zeros(5);
+    }
+
+    #[test]
+    fn not_masks_tail() {
+        let v = !&BitVec::zeros(3);
+        assert_eq!(v.to_u64(), 0b111);
+        assert_eq!(v.count_ones(), 3);
+    }
+
+    #[test]
+    fn concat_orders_low_then_high() {
+        let low = BitVec::from_u64(0x6, 8);
+        let high = BitVec::from_u64(0xCA, 8);
+        assert_eq!(low.concat(&high).to_u64(), 0xCA06);
+    }
+
+    #[test]
+    fn try_to_u64_detects_truncation() {
+        let mut v = BitVec::zeros(80);
+        v.set(70, true);
+        assert!(v.try_to_u64().is_err());
+        v.set(70, false);
+        assert_eq!(v.try_to_u64(), Ok(0));
+    }
+
+    #[test]
+    fn display_and_hex() {
+        let v = BitVec::from_u64(0xCA06, 16);
+        assert_eq!(v.to_string(), "1100101000000110");
+        assert_eq!(format!("{v:x}"), "ca06");
+        assert_eq!(format!("{v:X}"), "CA06");
+        assert_eq!(format!("{:x}", BitVec::from_u64(0b101, 3)), "5");
+        assert_eq!(BitVec::zeros(0).to_string(), "<empty>");
+    }
+
+    #[test]
+    fn iterator_roundtrip() {
+        let v = BitVec::from_u64(0x1234, 16);
+        let w: BitVec = v.iter().collect();
+        assert_eq!(v, w);
+        assert_eq!(v.iter().len(), 16);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut v = BitVec::from_u64(0b01, 2);
+        v.extend([true, false]);
+        assert_eq!(v.to_u64(), 0b0101);
+    }
+}

@@ -1,0 +1,239 @@
+//! LSB-first bit streams over bytes.
+//!
+//! The MHHEA engines consume plaintext as a stream of bits and produce
+//! 16-bit cipher vectors; these adapters define the byte ⇄ bit mapping used
+//! by the whole suite: bytes in order, least-significant bit first within
+//! each byte.
+
+/// Reads bits LSB-first from a byte slice.
+///
+/// # Examples
+///
+/// ```
+/// use bitkit::BitReader;
+///
+/// let mut r = BitReader::new(&[0b0000_0101]);
+/// assert_eq!(r.next(), Some(true));
+/// assert_eq!(r.next(), Some(false));
+/// assert_eq!(r.next(), Some(true));
+/// assert_eq!(r.remaining(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Absolute next bit index.
+    cursor: usize,
+    /// Total number of bits exposed (may be less than `bytes.len() * 8`).
+    len: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over all bits of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader {
+            bytes,
+            cursor: 0,
+            len: bytes.len() * 8,
+        }
+    }
+
+    /// Creates a reader over only the first `bit_len` bits of `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit_len > bytes.len() * 8`.
+    pub fn with_bit_len(bytes: &'a [u8], bit_len: usize) -> Self {
+        assert!(
+            bit_len <= bytes.len() * 8,
+            "bit_len {bit_len} exceeds available {}",
+            bytes.len() * 8
+        );
+        BitReader {
+            bytes,
+            cursor: 0,
+            len: bit_len,
+        }
+    }
+
+    /// Number of bits not yet read.
+    pub fn remaining(&self) -> usize {
+        self.len - self.cursor
+    }
+
+    /// Number of bits already read.
+    pub fn consumed(&self) -> usize {
+        self.cursor
+    }
+
+    /// Returns `true` when every bit has been read (the pseudocode's EOF).
+    pub fn is_eof(&self) -> bool {
+        self.cursor >= self.len
+    }
+
+    /// Reads the next bit without consuming it.
+    pub fn peek(&self) -> Option<bool> {
+        if self.is_eof() {
+            None
+        } else {
+            Some((self.bytes[self.cursor / 8] >> (self.cursor % 8)) & 1 == 1)
+        }
+    }
+}
+
+impl Iterator for BitReader<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        let b = self.peek()?;
+        self.cursor += 1;
+        Some(b)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining(), Some(self.remaining()))
+    }
+}
+
+impl ExactSizeIterator for BitReader<'_> {}
+
+/// Accumulates bits LSB-first into bytes.
+///
+/// # Examples
+///
+/// ```
+/// use bitkit::BitWriter;
+///
+/// let mut w = BitWriter::new();
+/// for bit in [true, false, true] {
+///     w.push(bit);
+/// }
+/// assert_eq!(w.bit_len(), 3);
+/// assert_eq!(w.into_bytes(), vec![0b0000_0101]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        if self.bit_len % 8 == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let idx = self.bit_len / 8;
+            self.bytes[idx] |= 1 << (self.bit_len % 8);
+        }
+        self.bit_len += 1;
+    }
+
+    /// Appends the low `width` bits of `value`, LSB-first.
+    pub fn push_bits(&mut self, value: u64, width: usize) {
+        assert!(width <= 64, "width {width} exceeds 64");
+        for i in 0..width {
+            self.push((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Finishes the stream, returning the bytes (final partial byte padded
+    /// with zero bits).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Borrows the bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl Extend<bool> for BitWriter {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        for b in iter {
+            self.push(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_walks_lsb_first() {
+        let mut r = BitReader::new(&[0x01, 0x80]);
+        let bits: Vec<bool> = (&mut r).collect();
+        assert_eq!(bits.len(), 16);
+        assert!(bits[0]);
+        assert!(bits[15]);
+        assert_eq!(bits.iter().filter(|&&b| b).count(), 2);
+        assert!(r.is_eof());
+    }
+
+    #[test]
+    fn reader_respects_bit_len() {
+        let mut r = BitReader::with_bit_len(&[0xFF], 3);
+        assert_eq!(r.remaining(), 3);
+        assert_eq!((&mut r).count(), 3);
+        assert_eq!(r.next(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds available")]
+    fn reader_bit_len_overflow_panics() {
+        BitReader::with_bit_len(&[0x00], 9);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut r = BitReader::new(&[0b1]);
+        assert_eq!(r.peek(), Some(true));
+        assert_eq!(r.consumed(), 0);
+        r.next();
+        assert_eq!(r.consumed(), 1);
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let data = [0xDE, 0xAD, 0xBE, 0xEF, 0x01];
+        let mut w = BitWriter::new();
+        w.extend(BitReader::new(&data));
+        assert_eq!(w.bit_len(), 40);
+        assert_eq!(w.into_bytes(), data.to_vec());
+    }
+
+    #[test]
+    fn writer_pads_partial_byte() {
+        let mut w = BitWriter::new();
+        w.push(true);
+        w.push(true);
+        assert_eq!(w.as_bytes(), &[0b11]);
+        assert_eq!(w.into_bytes(), vec![0b11]);
+    }
+
+    #[test]
+    fn push_bits_matches_manual() {
+        let mut w = BitWriter::new();
+        w.push_bits(0xCA06, 16);
+        assert_eq!(w.into_bytes(), vec![0x06, 0xCA]);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let r = BitReader::new(&[0u8; 4]);
+        assert_eq!(r.size_hint(), (32, Some(32)));
+        assert_eq!(r.len(), 32);
+    }
+}

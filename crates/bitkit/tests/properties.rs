@@ -1,0 +1,80 @@
+//! Property-based tests for the bitkit primitives.
+
+use bitkit::{word, BitReader, BitVec, BitWriter};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn rotate_roundtrip(v in any::<u64>(), len in 1usize..80, n in 0usize..200) {
+        let bv = BitVec::from_u64(v, len.min(64)).concat(&BitVec::zeros(len.saturating_sub(64)));
+        prop_assert_eq!(bv.rotate_left(n).rotate_right(n), bv.clone());
+        prop_assert_eq!(bv.rotate_right(n).rotate_left(n), bv);
+    }
+
+    #[test]
+    fn rotate_preserves_popcount(v in any::<u64>(), n in 0usize..64) {
+        let bv = BitVec::from_u64(v, 64);
+        prop_assert_eq!(bv.rotate_left(n).count_ones(), bv.count_ones());
+    }
+
+    #[test]
+    fn rotate_composes(v in any::<u16>(), a in 0usize..32, b in 0usize..32) {
+        let bv = BitVec::from_u64(v as u64, 16);
+        prop_assert_eq!(
+            bv.rotate_left(a).rotate_left(b),
+            bv.rotate_left((a + b) % 16)
+        );
+    }
+
+    #[test]
+    fn bitvec_rotl_matches_word_rotl(v in any::<u16>(), n in 0u32..48) {
+        let bv = BitVec::from_u64(v as u64, 16);
+        prop_assert_eq!(bv.rotate_left(n as usize).to_u64() as u16, word::rotl16(v, n));
+        prop_assert_eq!(bv.rotate_right(n as usize).to_u64() as u16, word::rotr16(v, n));
+    }
+
+    #[test]
+    fn slice_concat_identity(v in any::<u32>(), cut in 0usize..=32) {
+        let bv = BitVec::from_u64(v as u64, 32);
+        let low = bv.slice(0..cut);
+        let high = bv.slice(cut..32);
+        prop_assert_eq!(low.concat(&high), bv);
+    }
+
+    #[test]
+    fn field_replace_roundtrip(v in any::<u16>(), lo in 0u32..16, span in 0u32..16) {
+        let hi = (lo + span).min(15);
+        let f = word::field16(v, lo, hi);
+        prop_assert_eq!(word::replace16(v, lo, hi, f), v);
+    }
+
+    #[test]
+    fn replace_then_field_reads_back(v in any::<u16>(), bits in any::<u16>(), lo in 0u32..16, span in 0u32..16) {
+        let hi = (lo + span).min(15);
+        let width = hi - lo + 1;
+        let mask = if width == 16 { u16::MAX } else { (1u16 << width) - 1 };
+        let r = word::replace16(v, lo, hi, bits);
+        prop_assert_eq!(word::field16(r, lo, hi), bits & mask);
+    }
+
+    #[test]
+    fn stream_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut w = BitWriter::new();
+        w.extend(BitReader::new(&data));
+        prop_assert_eq!(w.into_bytes(), data);
+    }
+
+    #[test]
+    fn xor_is_involution(a in any::<u64>(), b in any::<u64>(), len in 1usize..=64) {
+        let va = BitVec::from_u64(a, len);
+        let vb = BitVec::from_u64(b, len);
+        prop_assert_eq!(&(&va ^ &vb) ^ &vb, va);
+    }
+
+    #[test]
+    fn display_hex_matches_u64(v in any::<u16>()) {
+        let bv = BitVec::from_u64(v as u64, 16);
+        prop_assert_eq!(format!("{bv:x}"), format!("{v:04x}"));
+        prop_assert_eq!(bv.to_string(), format!("{v:016b}"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Per-vector primitives: location scrambling, embedding, extraction.
+//!
+//! These functions are the pseudocode of the paper's §II, one block at a
+//! time. The worked example of Figure 8 — key pair `(0,3)`, hiding vector
+//! `0xCA06`, message nibble `0` → scrambled span `(2,5)` and ciphertext
+//! `0xCA02` — is pinned as a unit test.
+
+use crate::{Algorithm, KeyPair};
+use bitkit::word;
+
+/// Outcome of embedding one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockOutcome {
+    /// The output cipher vector (the hiding vector with the span replaced).
+    pub cipher: u16,
+    /// Number of message bits consumed (may be less than the span width at
+    /// end of message).
+    pub consumed: usize,
+    /// The replacement span `(low, high)` used, inclusive.
+    pub span: (u8, u8),
+}
+
+/// Computes the MHHEA scrambled span for a key pair and hiding vector.
+///
+/// Per the pseudocode: sort the pair to `(k₁, k₂)`; take the high-byte
+/// slice `V[k₂+8 .. k₁+8]`; `kn₁ = (slice XOR k₁) & 7` (the hardware
+/// truncates to the 3-bit register); `kn₂ = (kn₁ + (k₂−k₁)) mod 8`; sort
+/// again (the mod-8 wrap can invert the pair, which also changes the span
+/// width — both ends compute identically from transmitted bits).
+///
+/// ```
+/// use mhhea::KeyPair;
+/// use mhhea::block::scramble_locations;
+///
+/// // Figure 8: K=(0,3), V=0xCA06 -> KN=(2,5).
+/// let pair = KeyPair::new(0, 3).unwrap();
+/// assert_eq!(scramble_locations(pair, 0xCA06), (2, 5));
+/// ```
+pub fn scramble_locations(pair: KeyPair, v: u16) -> (u8, u8) {
+    let (k1, k2) = pair.sorted();
+    let slice = word::field16(v, k1 as u32 + 8, k2 as u32 + 8) as u8;
+    let kn1 = (slice ^ k1) & 0x7;
+    let kn2 = (kn1 + (k2 - k1)) % 8;
+    (kn1.min(kn2), kn1.max(kn2))
+}
+
+/// The replacement span for `algorithm`: HHEA uses the sorted key pair
+/// directly; MHHEA scrambles it with the vector's high byte.
+pub fn locations(algorithm: Algorithm, pair: KeyPair, v: u16) -> (u8, u8) {
+    match algorithm {
+        Algorithm::Hhea => pair.sorted(),
+        Algorithm::Mhhea => scramble_locations(pair, v),
+    }
+}
+
+/// The data-scrambling bit: bit `offset mod 3` of the smaller key half
+/// (the pseudocode's `Ki,1[q]`, `q := q mod 3`). HHEA never scrambles.
+pub fn pattern_bit(algorithm: Algorithm, pair: KeyPair, offset: usize) -> bool {
+    match algorithm {
+        Algorithm::Hhea => false,
+        Algorithm::Mhhea => {
+            let (k1, _) = pair.sorted();
+            (k1 >> (offset % 3)) & 1 == 1
+        }
+    }
+}
+
+/// Embeds message bits from `bits` into hiding vector `v`.
+///
+/// Consumes up to `span` bits; at end of message the remaining span
+/// positions keep their random vector bits (the pseudocode's EOF check).
+///
+/// ```
+/// use mhhea::{Algorithm, KeyPair};
+/// use mhhea::block::embed;
+///
+/// // Figure 8: four zero message bits into V=0xCA06 at span (2,5).
+/// let pair = KeyPair::new(0, 3).unwrap();
+/// let mut bits = [false, false, false, false].into_iter();
+/// let out = embed(Algorithm::Mhhea, pair, 0xCA06, &mut bits);
+/// assert_eq!(out.cipher, 0xCA02);
+/// assert_eq!(out.consumed, 4);
+/// assert_eq!(out.span, (2, 5));
+/// ```
+pub fn embed(
+    algorithm: Algorithm,
+    pair: KeyPair,
+    v: u16,
+    bits: &mut impl Iterator<Item = bool>,
+) -> BlockOutcome {
+    let (lo, hi) = locations(algorithm, pair, v);
+    let mut cipher = v;
+    let mut consumed = 0usize;
+    for j in lo..=hi {
+        let Some(m) = bits.next() else { break };
+        let b = m ^ pattern_bit(algorithm, pair, (j - lo) as usize);
+        cipher = word::replace16(cipher, j as u32, j as u32, b as u16);
+        consumed += 1;
+    }
+    BlockOutcome {
+        cipher,
+        consumed,
+        span: (lo, hi),
+    }
+}
+
+/// Extracts up to `max_bits` message bits from a received cipher vector.
+///
+/// The span is recomputed from the cipher itself: replacement only touches
+/// the low byte, so the high byte — which drives the scrambling — arrives
+/// intact.
+pub fn extract(algorithm: Algorithm, pair: KeyPair, cipher: u16, max_bits: usize) -> Vec<bool> {
+    let (lo, hi) = locations(algorithm, pair, cipher);
+    (lo..=hi)
+        .take(max_bits)
+        .map(|j| word::bit16(cipher, j as u32) ^ pattern_bit(algorithm, pair, (j - lo) as usize))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KeyPair;
+
+    fn pair(l: u8, r: u8) -> KeyPair {
+        KeyPair::new(l, r).unwrap()
+    }
+
+    #[test]
+    fn figure8_worked_example() {
+        // K=(0,3), V=0xCA06: slice = V[11:8] = 1010b; kn1 = (1010 ^ 000)&7
+        // = 2; kn2 = 2 + 3 = 5.
+        assert_eq!(scramble_locations(pair(0, 3), 0xCA06), (2, 5));
+        // Message nibble 0 replaces bits 2..=5: 0xCA06 -> 0xCA02.
+        let mut bits = std::iter::repeat(false).take(4);
+        let out = embed(Algorithm::Mhhea, pair(0, 3), 0xCA06, &mut bits);
+        assert_eq!(out.cipher, 0xCA02);
+    }
+
+    #[test]
+    fn scramble_is_insensitive_to_pair_order() {
+        for v in [0x0000u16, 0xCA06, 0xFFFF, 0x8001] {
+            assert_eq!(
+                scramble_locations(pair(0, 3), v),
+                scramble_locations(pair(3, 0), v)
+            );
+        }
+    }
+
+    #[test]
+    fn scramble_span_stays_in_low_byte() {
+        for l in 0..=7u8 {
+            for r in 0..=7u8 {
+                for v in [0x0000u16, 0xFFFF, 0xA5C3, 0x0F0F] {
+                    let (lo, hi) = scramble_locations(pair(l, r), v);
+                    assert!(lo <= hi && hi <= 7, "({l},{r}) v={v:04x} -> ({lo},{hi})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mod8_wrap_changes_span_width() {
+        // Find a case where kn1 + diff wraps: k=(0,7) diff=7, so kn2 =
+        // (kn1+7)%8 = kn1-1 for kn1>0 — span inverts to width kn1..kn1-1
+        // sorted = (kn1-1, kn1)? No: sorted(kn1, kn1-1) = width 2... For
+        // kn1=0: kn2=7, width 8.
+        let p = pair(0, 7);
+        // v high byte 0x00 -> slice = 0, kn1 = 0, kn2 = 7: full span.
+        assert_eq!(scramble_locations(p, 0x0000), (0, 7));
+        // v high byte chosen so slice^k1 = 1 -> kn1 = 1, kn2 = (1+7)%8 = 0.
+        let v = 0x0100; // bits 15..8 = 0b0000_0001 -> slice = 1
+        assert_eq!(scramble_locations(p, v), (0, 1));
+    }
+
+    #[test]
+    fn hhea_locations_ignore_vector() {
+        assert_eq!(locations(Algorithm::Hhea, pair(5, 2), 0xFFFF), (2, 5));
+        assert_eq!(locations(Algorithm::Hhea, pair(5, 2), 0x0000), (2, 5));
+    }
+
+    #[test]
+    fn pattern_cycles_mod_3() {
+        // k1 = 5 = 0b101: pattern bits 1,0,1,1,0,1...
+        let p = pair(5, 6);
+        let bits: Vec<bool> = (0..6)
+            .map(|q| pattern_bit(Algorithm::Mhhea, p, q))
+            .collect();
+        assert_eq!(bits, [true, false, true, true, false, true]);
+        assert!(!pattern_bit(Algorithm::Hhea, p, 0));
+    }
+
+    #[test]
+    fn embed_extract_roundtrip_all_pairs() {
+        for l in 0..=7u8 {
+            for r in 0..=7u8 {
+                for alg in [Algorithm::Hhea, Algorithm::Mhhea] {
+                    let p = pair(l, r);
+                    let v = 0x5AC3u16;
+                    let message = [true, false, true, true, false, true, false, false];
+                    let mut it = message.into_iter();
+                    let out = embed(alg, p, v, &mut it);
+                    let got = extract(alg, p, out.cipher, out.consumed);
+                    assert_eq!(
+                        got,
+                        message[..out.consumed].to_vec(),
+                        "alg={alg} pair=({l},{r})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn embed_preserves_high_byte() {
+        for v in [0xCA06u16, 0xFF00, 0x00FF, 0x1234] {
+            let mut bits = std::iter::repeat(true).take(8);
+            let out = embed(Algorithm::Mhhea, pair(0, 7), v, &mut bits);
+            assert_eq!(out.cipher & 0xFF00, v & 0xFF00);
+        }
+    }
+
+    #[test]
+    fn embed_at_eof_keeps_vector_bits() {
+        let p = pair(2, 5); // HHEA span (2,5), width 4
+        let v = 0xFFFFu16;
+        let mut two_bits = [false, false].into_iter();
+        let out = embed(Algorithm::Hhea, p, v, &mut two_bits);
+        assert_eq!(out.consumed, 2);
+        // Bits 2,3 cleared; bits 4,5 keep the vector's ones.
+        assert_eq!(out.cipher, 0xFFF3);
+    }
+
+    #[test]
+    fn extract_respects_max_bits() {
+        let p = pair(0, 7);
+        let got = extract(Algorithm::Hhea, p, 0x00FF, 3);
+        assert_eq!(got, vec![true, true, true]);
+        assert_eq!(extract(Algorithm::Hhea, p, 0x00FF, 0), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn single_position_span() {
+        let p = pair(4, 4);
+        let (lo, hi) = locations(Algorithm::Hhea, p, 0);
+        assert_eq!((lo, hi), (4, 4));
+        let mut one = std::iter::once(true);
+        let out = embed(Algorithm::Hhea, p, 0x0000, &mut one);
+        assert_eq!(out.cipher, 0x0010);
+        assert_eq!(out.consumed, 1);
+    }
+}

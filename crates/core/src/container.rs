@@ -1,0 +1,328 @@
+//! A self-describing ciphertext container.
+//!
+//! Raw MHHEA output is a sequence of 16-bit vectors; decryption
+//! additionally needs the message bit length, the cipher variant and the
+//! buffering profile. The container serialises all of that with a key
+//! fingerprint so wrong-key attempts fail loudly instead of returning
+//! noise.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! offset size field
+//! 0      4    magic  "MHEA"
+//! 4      1    version (1)
+//! 5      1    algorithm (0 = HHEA, 1 = MHHEA)
+//! 6      1    profile   (0 = streaming, 1 = hardware-faithful)
+//! 7      1    reserved  (0)
+//! 8      8    key fingerprint (FNV-1a; integrity hint, not authentication)
+//! 16     8    message bit length
+//! 24     4    block count
+//! 28     2n   blocks (u16 little-endian)
+//! ```
+
+use crate::source::LfsrSource;
+use crate::{Algorithm, Decryptor, Encryptor, Key, MhheaError, Profile};
+
+/// Container magic bytes.
+pub const MAGIC: [u8; 4] = *b"MHEA";
+/// Current container version.
+pub const VERSION: u8 = 1;
+/// Header size in bytes.
+pub const HEADER_LEN: usize = 28;
+
+/// Errors opening or building containers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ContainerError {
+    /// The payload does not start with [`MAGIC`].
+    BadMagic,
+    /// Unsupported container version.
+    UnsupportedVersion(u8),
+    /// Unknown algorithm tag.
+    UnknownAlgorithm(u8),
+    /// Unknown profile tag.
+    UnknownProfile(u8),
+    /// The byte stream ended inside the header or block payload.
+    Truncated {
+        /// Bytes needed.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// The supplied key does not match the container's fingerprint.
+    KeyMismatch,
+    /// An engine-level failure.
+    Engine(MhheaError),
+}
+
+impl core::fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ContainerError::BadMagic => write!(f, "not an MHHEA container"),
+            ContainerError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            ContainerError::UnknownAlgorithm(a) => write!(f, "unknown algorithm tag {a}"),
+            ContainerError::UnknownProfile(p) => write!(f, "unknown profile tag {p}"),
+            ContainerError::Truncated { need, have } => {
+                write!(f, "container truncated: need {need} bytes, have {have}")
+            }
+            ContainerError::KeyMismatch => write!(f, "key fingerprint mismatch"),
+            ContainerError::Engine(e) => write!(f, "engine failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ContainerError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MhheaError> for ContainerError {
+    fn from(e: MhheaError) -> Self {
+        ContainerError::Engine(e)
+    }
+}
+
+/// Options for [`seal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealOptions {
+    /// Cipher variant (default MHHEA).
+    pub algorithm: Algorithm,
+    /// Buffering profile (default streaming).
+    pub profile: Profile,
+    /// LFSR seed for the hiding-vector generator (nonzero; default
+    /// `0xACE1`).
+    pub lfsr_seed: u16,
+}
+
+impl Default for SealOptions {
+    fn default() -> Self {
+        SealOptions {
+            algorithm: Algorithm::Mhhea,
+            profile: Profile::Streaming,
+            lfsr_seed: 0xACE1,
+        }
+    }
+}
+
+/// Encrypts `message` under `key` into a self-describing container.
+///
+/// # Errors
+///
+/// Returns [`ContainerError::Engine`] for engine failures (e.g. a zero
+/// LFSR seed is rejected as source construction failure).
+pub fn seal(key: &Key, message: &[u8], opts: &SealOptions) -> Result<Vec<u8>, ContainerError> {
+    let source = LfsrSource::new(opts.lfsr_seed).map_err(|_| {
+        ContainerError::Engine(MhheaError::SourceExhausted { blocks_produced: 0 })
+    })?;
+    let mut enc = Encryptor::new(key.clone(), source)
+        .with_algorithm(opts.algorithm)
+        .with_profile(opts.profile);
+    let blocks = enc.encrypt(message)?;
+    let bit_len = (message.len() * 8) as u64;
+
+    let mut out = Vec::with_capacity(HEADER_LEN + blocks.len() * 2);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(match opts.algorithm {
+        Algorithm::Hhea => 0,
+        Algorithm::Mhhea => 1,
+    });
+    out.push(match opts.profile {
+        Profile::Streaming => 0,
+        Profile::HardwareFaithful => 1,
+    });
+    out.push(0); // reserved
+    out.extend_from_slice(&key.fingerprint().to_le_bytes());
+    out.extend_from_slice(&bit_len.to_le_bytes());
+    out.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+    for b in blocks {
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    Ok(out)
+}
+
+/// Parsed container header (exposed for diagnostics and tooling).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Cipher variant.
+    pub algorithm: Algorithm,
+    /// Buffering profile.
+    pub profile: Profile,
+    /// Key fingerprint.
+    pub fingerprint: u64,
+    /// Message bit length.
+    pub bit_len: u64,
+    /// Number of 16-bit blocks.
+    pub block_count: u32,
+}
+
+/// Parses and validates a container header.
+///
+/// # Errors
+///
+/// All structural [`ContainerError`] variants except `KeyMismatch`.
+pub fn parse_header(bytes: &[u8]) -> Result<Header, ContainerError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(ContainerError::Truncated {
+            need: HEADER_LEN,
+            have: bytes.len(),
+        });
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(ContainerError::BadMagic);
+    }
+    if bytes[4] != VERSION {
+        return Err(ContainerError::UnsupportedVersion(bytes[4]));
+    }
+    let algorithm = match bytes[5] {
+        0 => Algorithm::Hhea,
+        1 => Algorithm::Mhhea,
+        other => return Err(ContainerError::UnknownAlgorithm(other)),
+    };
+    let profile = match bytes[6] {
+        0 => Profile::Streaming,
+        1 => Profile::HardwareFaithful,
+        other => return Err(ContainerError::UnknownProfile(other)),
+    };
+    let fingerprint = u64::from_le_bytes(bytes[8..16].try_into().expect("sized"));
+    let bit_len = u64::from_le_bytes(bytes[16..24].try_into().expect("sized"));
+    let block_count = u32::from_le_bytes(bytes[24..28].try_into().expect("sized"));
+    Ok(Header {
+        algorithm,
+        profile,
+        fingerprint,
+        bit_len,
+        block_count,
+    })
+}
+
+/// Decrypts a container sealed with [`seal`].
+///
+/// # Errors
+///
+/// Structural errors from [`parse_header`], [`ContainerError::KeyMismatch`]
+/// for a wrong key, and [`ContainerError::Engine`] for decryption failures.
+pub fn open(key: &Key, bytes: &[u8]) -> Result<Vec<u8>, ContainerError> {
+    let header = parse_header(bytes)?;
+    if header.fingerprint != key.fingerprint() {
+        return Err(ContainerError::KeyMismatch);
+    }
+    let need = HEADER_LEN + header.block_count as usize * 2;
+    if bytes.len() < need {
+        return Err(ContainerError::Truncated {
+            need,
+            have: bytes.len(),
+        });
+    }
+    let blocks: Vec<u16> = bytes[HEADER_LEN..need]
+        .chunks_exact(2)
+        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+        .collect();
+    let dec = Decryptor::new(key.clone())
+        .with_algorithm(header.algorithm)
+        .with_profile(header.profile);
+    Ok(dec.decrypt(&blocks, header.bit_len as usize)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> Key {
+        Key::from_nibbles(&[(0, 3), (2, 5), (1, 7)]).unwrap()
+    }
+
+    #[test]
+    fn seal_open_roundtrip_all_modes() {
+        for algorithm in [Algorithm::Hhea, Algorithm::Mhhea] {
+            for profile in [Profile::Streaming, Profile::HardwareFaithful] {
+                let opts = SealOptions {
+                    algorithm,
+                    profile,
+                    lfsr_seed: 0x1234,
+                };
+                let sealed = seal(&key(), b"hello container", &opts).unwrap();
+                let opened = open(&key(), &sealed).unwrap();
+                assert_eq!(opened, b"hello container");
+            }
+        }
+    }
+
+    #[test]
+    fn header_fields_roundtrip() {
+        let sealed = seal(&key(), b"abc", &SealOptions::default()).unwrap();
+        let h = parse_header(&sealed).unwrap();
+        assert_eq!(h.algorithm, Algorithm::Mhhea);
+        assert_eq!(h.profile, Profile::Streaming);
+        assert_eq!(h.bit_len, 24);
+        assert_eq!(h.fingerprint, key().fingerprint());
+        assert_eq!(
+            sealed.len(),
+            HEADER_LEN + h.block_count as usize * 2
+        );
+    }
+
+    #[test]
+    fn wrong_key_detected() {
+        let sealed = seal(&key(), b"secret", &SealOptions::default()).unwrap();
+        let wrong = Key::from_nibbles(&[(4, 4)]).unwrap();
+        assert_eq!(open(&wrong, &sealed), Err(ContainerError::KeyMismatch));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut sealed = seal(&key(), b"x", &SealOptions::default()).unwrap();
+        sealed[0] = b'X';
+        assert_eq!(open(&key(), &sealed), Err(ContainerError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_and_tags_rejected() {
+        let good = seal(&key(), b"x", &SealOptions::default()).unwrap();
+        let mut v = good.clone();
+        v[4] = 9;
+        assert_eq!(open(&key(), &v), Err(ContainerError::UnsupportedVersion(9)));
+        let mut a = good.clone();
+        a[5] = 7;
+        assert_eq!(open(&key(), &a), Err(ContainerError::UnknownAlgorithm(7)));
+        let mut p = good;
+        p[6] = 7;
+        assert_eq!(open(&key(), &p), Err(ContainerError::UnknownProfile(7)));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let sealed = seal(&key(), b"a longer message here", &SealOptions::default()).unwrap();
+        assert!(matches!(
+            open(&key(), &sealed[..10]),
+            Err(ContainerError::Truncated { .. })
+        ));
+        assert!(matches!(
+            open(&key(), &sealed[..sealed.len() - 3]),
+            Err(ContainerError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_message_container() {
+        let sealed = seal(&key(), b"", &SealOptions::default()).unwrap();
+        assert_eq!(open(&key(), &sealed).unwrap(), b"");
+        let h = parse_header(&sealed).unwrap();
+        assert_eq!(h.block_count, 0);
+        assert_eq!(h.bit_len, 0);
+    }
+
+    #[test]
+    fn zero_seed_rejected() {
+        let opts = SealOptions {
+            lfsr_seed: 0,
+            ..Default::default()
+        };
+        assert!(seal(&key(), b"x", &opts).is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! Key material: pairs of 3-bit hiding-location indices.
+//!
+//! The paper's key is a matrix `K[L×2]`, `L ≤ 16`, of values in `0..=7`.
+//! Each pair bounds a span of bit positions in the hiding vector's low
+//! byte; the smaller half additionally provides the 3-bit XOR pattern for
+//! data scrambling. The micro-architecture's key cache always holds 16
+//! pairs, so [`Key::expand_cyclic`] provides the hardware schedule.
+
+use rand::Rng;
+
+/// Maximum number of key pairs (the key-cache depth).
+pub const MAX_PAIRS: usize = 16;
+/// Key halves are 3-bit values.
+pub const MAX_HALF: u8 = 7;
+
+/// Errors constructing key material.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KeyError {
+    /// A key half exceeded 7.
+    HalfOutOfRange {
+        /// The offending value.
+        value: u8,
+    },
+    /// No pairs were supplied.
+    Empty,
+    /// More than [`MAX_PAIRS`] pairs were supplied.
+    TooManyPairs {
+        /// Number supplied.
+        count: usize,
+    },
+    /// An odd number of nibbles was supplied to a byte/nibble constructor.
+    OddNibbleCount,
+}
+
+impl core::fmt::Display for KeyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            KeyError::HalfOutOfRange { value } => {
+                write!(f, "key half {value} exceeds 7")
+            }
+            KeyError::Empty => write!(f, "key must hold at least one pair"),
+            KeyError::TooManyPairs { count } => {
+                write!(f, "{count} pairs exceed the key-cache depth of {MAX_PAIRS}")
+            }
+            KeyError::OddNibbleCount => write!(f, "nibble list must have even length"),
+        }
+    }
+}
+
+impl std::error::Error for KeyError {}
+
+/// One key pair `(k₁, k₂)`, each half in `0..=7`.
+///
+/// The pair is stored as supplied; [`KeyPair::sorted`] returns the
+/// `(min, max)` ordering the algorithm works with (the pseudocode swaps
+/// in place before use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct KeyPair {
+    left: u8,
+    right: u8,
+}
+
+impl KeyPair {
+    /// Creates a pair, validating both halves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError::HalfOutOfRange`] when a half exceeds 7.
+    ///
+    /// ```
+    /// use mhhea::KeyPair;
+    /// let p = KeyPair::new(5, 2)?;
+    /// assert_eq!(p.sorted(), (2, 5));
+    /// # Ok::<(), mhhea::KeyError>(())
+    /// ```
+    pub fn new(left: u8, right: u8) -> Result<Self, KeyError> {
+        for value in [left, right] {
+            if value > MAX_HALF {
+                return Err(KeyError::HalfOutOfRange { value });
+            }
+        }
+        Ok(KeyPair { left, right })
+    }
+
+    /// The pair as stored `(left, right)`.
+    pub fn halves(self) -> (u8, u8) {
+        (self.left, self.right)
+    }
+
+    /// The pair ordered `(min, max)` — the algorithm's working form.
+    pub fn sorted(self) -> (u8, u8) {
+        (self.left.min(self.right), self.left.max(self.right))
+    }
+
+    /// Width of the *unscrambled* span, `max − min + 1` (1..=8).
+    pub fn span_width(self) -> u8 {
+        let (lo, hi) = self.sorted();
+        hi - lo + 1
+    }
+}
+
+impl core::fmt::Display for KeyPair {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({},{})", self.left, self.right)
+    }
+}
+
+/// A full key: 1..=16 pairs, cycled block by block.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Key {
+    pairs: Vec<KeyPair>,
+}
+
+impl Key {
+    /// Creates a key from pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError::Empty`] or [`KeyError::TooManyPairs`].
+    pub fn new(pairs: Vec<KeyPair>) -> Result<Self, KeyError> {
+        if pairs.is_empty() {
+            return Err(KeyError::Empty);
+        }
+        if pairs.len() > MAX_PAIRS {
+            return Err(KeyError::TooManyPairs { count: pairs.len() });
+        }
+        Ok(Key { pairs })
+    }
+
+    /// Creates a key from `(left, right)` tuples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pair and length validation.
+    ///
+    /// ```
+    /// let key = mhhea::Key::from_nibbles(&[(0, 3), (2, 5)])?;
+    /// assert_eq!(key.len(), 2);
+    /// # Ok::<(), mhhea::KeyError>(())
+    /// ```
+    pub fn from_nibbles(tuples: &[(u8, u8)]) -> Result<Self, KeyError> {
+        let pairs = tuples
+            .iter()
+            .map(|&(l, r)| KeyPair::new(l, r))
+            .collect::<Result<Vec<_>, _>>()?;
+        Key::new(pairs)
+    }
+
+    /// Packs key halves from bytes: each byte supplies two 3-bit halves
+    /// (low nibble then high nibble, masked to 3 bits), two halves per
+    /// pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError::Empty`]/[`KeyError::TooManyPairs`] on bad
+    /// lengths.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, KeyError> {
+        let pairs = bytes
+            .iter()
+            .map(|&b| KeyPair::new(b & 0x7, (b >> 4) & 0x7))
+            .collect::<Result<Vec<_>, _>>()?;
+        Key::new(pairs)
+    }
+
+    /// Draws a uniformly random key of `len` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError::Empty`]/[`KeyError::TooManyPairs`] for invalid
+    /// lengths.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Result<Self, KeyError> {
+        if len == 0 {
+            return Err(KeyError::Empty);
+        }
+        if len > MAX_PAIRS {
+            return Err(KeyError::TooManyPairs { count: len });
+        }
+        let pairs = (0..len)
+            .map(|_| KeyPair {
+                left: rng.gen_range(0..=MAX_HALF),
+                right: rng.gen_range(0..=MAX_HALF),
+            })
+            .collect();
+        Ok(Key { pairs })
+    }
+
+    /// Number of pairs.
+    #[allow(clippy::len_without_is_empty)] // a key is never empty
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The pairs in order.
+    pub fn pairs(&self) -> &[KeyPair] {
+        &self.pairs
+    }
+
+    /// The pair used for block index `i` (the pseudocode's `i mod L`).
+    pub fn pair(&self, block_index: usize) -> KeyPair {
+        self.pairs[block_index % self.pairs.len()]
+    }
+
+    /// The hardware key schedule: the key cycled out to `depth` pairs (the
+    /// key cache always holds 16). When `depth % len == 0` this reproduces
+    /// `i mod L` exactly.
+    pub fn expand_cyclic(&self, depth: usize) -> Key {
+        Key {
+            pairs: (0..depth.max(1)).map(|i| self.pair(i)).collect(),
+        }
+    }
+
+    /// A 64-bit FNV-1a fingerprint used by the container format to detect
+    /// wrong-key decryption attempts. Not a cryptographic hash.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for p in &self.pairs {
+            for b in [p.left, p.right] {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+impl core::fmt::Display for Key {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Key[")?;
+        for (i, p) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pair_validation() {
+        assert!(KeyPair::new(0, 7).is_ok());
+        assert_eq!(
+            KeyPair::new(8, 0),
+            Err(KeyError::HalfOutOfRange { value: 8 })
+        );
+        assert_eq!(
+            KeyPair::new(0, 9),
+            Err(KeyError::HalfOutOfRange { value: 9 })
+        );
+    }
+
+    #[test]
+    fn pair_sorting_and_span() {
+        let p = KeyPair::new(5, 2).unwrap();
+        assert_eq!(p.halves(), (5, 2));
+        assert_eq!(p.sorted(), (2, 5));
+        assert_eq!(p.span_width(), 4);
+        assert_eq!(KeyPair::new(3, 3).unwrap().span_width(), 1);
+        assert_eq!(KeyPair::new(0, 7).unwrap().span_width(), 8);
+    }
+
+    #[test]
+    fn key_length_limits() {
+        assert_eq!(Key::new(vec![]), Err(KeyError::Empty));
+        let too_many = vec![KeyPair::new(0, 1).unwrap(); 17];
+        assert_eq!(Key::new(too_many), Err(KeyError::TooManyPairs { count: 17 }));
+        let max = vec![KeyPair::new(0, 1).unwrap(); 16];
+        assert_eq!(Key::new(max).unwrap().len(), 16);
+    }
+
+    #[test]
+    fn pair_cycling() {
+        let key = Key::from_nibbles(&[(0, 1), (2, 3), (4, 5)]).unwrap();
+        assert_eq!(key.pair(0).halves(), (0, 1));
+        assert_eq!(key.pair(3).halves(), (0, 1));
+        assert_eq!(key.pair(5).halves(), (4, 5));
+    }
+
+    #[test]
+    fn cyclic_expansion() {
+        let key = Key::from_nibbles(&[(0, 1), (2, 3)]).unwrap();
+        let hw = key.expand_cyclic(16);
+        assert_eq!(hw.len(), 16);
+        for i in 0..16 {
+            assert_eq!(hw.pair(i), key.pair(i));
+        }
+        // Non-dividing lengths still produce a full schedule.
+        let key3 = Key::from_nibbles(&[(0, 1), (2, 3), (4, 5)]).unwrap();
+        assert_eq!(key3.expand_cyclic(16).len(), 16);
+    }
+
+    #[test]
+    fn from_bytes_packs_nibbles() {
+        let key = Key::from_bytes(&[0x31, 0x75]).unwrap();
+        assert_eq!(key.pair(0).halves(), (1, 3));
+        assert_eq!(key.pair(1).halves(), (5, 7));
+        // Nibbles are masked to 3 bits.
+        let masked = Key::from_bytes(&[0xFF]).unwrap();
+        assert_eq!(masked.pair(0).halves(), (7, 7));
+    }
+
+    #[test]
+    fn random_keys_are_valid_and_seeded() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Key::random(&mut rng, 16).unwrap();
+        for p in a.pairs() {
+            assert!(p.halves().0 <= 7 && p.halves().1 <= 7);
+        }
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let b = Key::random(&mut rng2, 16).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(Key::random(&mut rng, 0), Err(KeyError::Empty));
+        assert!(Key::random(&mut rng, 17).is_err());
+    }
+
+    #[test]
+    fn fingerprints_differ() {
+        let a = Key::from_nibbles(&[(0, 3)]).unwrap();
+        let b = Key::from_nibbles(&[(3, 0)]).unwrap();
+        let c = Key::from_nibbles(&[(0, 3), (0, 3)]).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    #[test]
+    fn display_forms() {
+        let key = Key::from_nibbles(&[(0, 3), (2, 5)]).unwrap();
+        assert_eq!(key.to_string(), "Key[(0,3) (2,5)]");
+        assert_eq!(KeyPair::new(1, 2).unwrap().to_string(), "(1,2)");
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the cipher's block-level invariants.
+
+use mhhea::block::{embed, extract, locations, scramble_locations};
+use mhhea::stats::expected_span_pair;
+use mhhea::{Algorithm, Key, KeyPair};
+use proptest::prelude::*;
+
+fn arb_pair() -> impl Strategy<Value = KeyPair> {
+    (0u8..=7, 0u8..=7).prop_map(|(l, r)| KeyPair::new(l, r).expect("in range"))
+}
+
+proptest! {
+    #[test]
+    fn scramble_stays_in_low_byte(pair in arb_pair(), v in any::<u16>()) {
+        let (lo, hi) = scramble_locations(pair, v);
+        prop_assert!(lo <= hi);
+        prop_assert!(hi <= 7);
+    }
+
+    #[test]
+    fn scramble_depends_only_on_high_byte(pair in arb_pair(), v in any::<u16>(), low in any::<u8>()) {
+        let a = scramble_locations(pair, v);
+        let b = scramble_locations(pair, (v & 0xFF00) | low as u16);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn embed_then_extract_roundtrips(
+        pair in arb_pair(),
+        v in any::<u16>(),
+        bits in proptest::collection::vec(any::<bool>(), 0..12),
+        alg in prop_oneof![Just(Algorithm::Hhea), Just(Algorithm::Mhhea)],
+    ) {
+        let mut it = bits.clone().into_iter();
+        let out = embed(alg, pair, v, &mut it);
+        let got = extract(alg, pair, out.cipher, out.consumed);
+        prop_assert_eq!(&got[..], &bits[..out.consumed]);
+    }
+
+    #[test]
+    fn embed_consumes_at_most_span(
+        pair in arb_pair(),
+        v in any::<u16>(),
+        n_bits in 0usize..20,
+    ) {
+        let mut it = std::iter::repeat(true).take(n_bits);
+        let out = embed(Algorithm::Mhhea, pair, v, &mut it);
+        let span_width = (out.span.1 - out.span.0 + 1) as usize;
+        prop_assert!(out.consumed <= span_width);
+        prop_assert_eq!(out.consumed, span_width.min(n_bits));
+    }
+
+    #[test]
+    fn embed_touches_only_the_span(
+        pair in arb_pair(),
+        v in any::<u16>(),
+        bits in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        let mut it = bits.into_iter();
+        let out = embed(Algorithm::Mhhea, pair, v, &mut it);
+        let (lo, hi) = out.span;
+        for j in 0..16u32 {
+            if j < lo as u32 || j > hi as u32 {
+                prop_assert_eq!(
+                    (out.cipher >> j) & 1,
+                    (v >> j) & 1,
+                    "bit {} outside span {:?} changed", j, out.span
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cipher_locations_match_vector_locations(pair in arb_pair(), v in any::<u16>()) {
+        // Embedding never changes the high byte, so the receiver's span
+        // computation from the cipher equals the sender's from the vector.
+        let mut it = std::iter::repeat(false).take(8);
+        let out = embed(Algorithm::Mhhea, pair, v, &mut it);
+        prop_assert_eq!(
+            locations(Algorithm::Mhhea, pair, out.cipher),
+            locations(Algorithm::Mhhea, pair, v)
+        );
+    }
+
+    #[test]
+    fn expected_span_within_bounds(pair in arb_pair()) {
+        for alg in [Algorithm::Hhea, Algorithm::Mhhea] {
+            let e = expected_span_pair(pair, alg);
+            prop_assert!((1.0..=8.0).contains(&e), "{alg}: {e}");
+        }
+    }
+
+    #[test]
+    fn key_fingerprint_is_order_sensitive(
+        pairs in proptest::collection::vec((0u8..=7, 0u8..=7), 2..=16),
+    ) {
+        let key = Key::from_nibbles(&pairs).unwrap();
+        let mut swapped = pairs.clone();
+        swapped.swap(0, 1);
+        let other = Key::from_nibbles(&swapped).unwrap();
+        if pairs[0] != pairs[1] {
+            prop_assert_ne!(key.fingerprint(), other.fingerprint());
+        } else {
+            prop_assert_eq!(key.fingerprint(), other.fingerprint());
+        }
+    }
+
+    #[test]
+    fn hw_key_schedule_agrees_with_mod_l(
+        pairs in proptest::collection::vec((0u8..=7, 0u8..=7), 1..=16),
+        i in 0usize..64,
+    ) {
+        let key = Key::from_nibbles(&pairs).unwrap();
+        let hw = key.expand_cyclic(16);
+        // When L divides 16 the schedules agree everywhere.
+        if 16 % key.len() == 0 {
+            prop_assert_eq!(hw.pair(i), key.pair(i));
+        }
+        // The first 16 indices always agree by construction.
+        if i < 16 {
+            prop_assert_eq!(hw.pair(i), key.pair(i));
+        }
+    }
+}

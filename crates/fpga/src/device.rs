@@ -1,0 +1,235 @@
+//! The Spartan-II device and package catalogue.
+//!
+//! Geometry follows the Xilinx DS001 datasheet: a CLB grid of `rows × cols`,
+//! two slices per CLB, two 4-input LUTs and two flip-flops per slice, and
+//! two TBUFs per CLB plus two per longline row (which reproduces the
+//! paper's "1280 TBUFs" capacity for the XC2S100).
+
+/// A Spartan-II family member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Device {
+    /// XC2S15: 8×12 CLBs.
+    XC2S15,
+    /// XC2S30: 12×18 CLBs.
+    XC2S30,
+    /// XC2S50: 16×24 CLBs.
+    XC2S50,
+    /// XC2S100: 20×30 CLBs — the paper's target.
+    XC2S100,
+    /// XC2S150: 24×36 CLBs.
+    XC2S150,
+    /// XC2S200: 28×42 CLBs.
+    XC2S200,
+}
+
+/// Slices per CLB on Spartan-II.
+pub const SLICES_PER_CLB: usize = 2;
+/// LUTs per slice.
+pub const LUTS_PER_SLICE: usize = 2;
+/// Flip-flops per slice.
+pub const FFS_PER_SLICE: usize = 2;
+
+impl Device {
+    /// All catalogued devices, smallest first.
+    pub const ALL: [Device; 6] = [
+        Device::XC2S15,
+        Device::XC2S30,
+        Device::XC2S50,
+        Device::XC2S100,
+        Device::XC2S150,
+        Device::XC2S200,
+    ];
+
+    /// Part name as printed in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Device::XC2S15 => "xc2s15",
+            Device::XC2S30 => "xc2s30",
+            Device::XC2S50 => "xc2s50",
+            Device::XC2S100 => "xc2s100",
+            Device::XC2S150 => "xc2s150",
+            Device::XC2S200 => "xc2s200",
+        }
+    }
+
+    /// CLB grid dimensions `(rows, cols)`.
+    pub fn clb_grid(self) -> (usize, usize) {
+        match self {
+            Device::XC2S15 => (8, 12),
+            Device::XC2S30 => (12, 18),
+            Device::XC2S50 => (16, 24),
+            Device::XC2S100 => (20, 30),
+            Device::XC2S150 => (24, 36),
+            Device::XC2S200 => (28, 42),
+        }
+    }
+
+    /// Total CLB count.
+    pub fn clbs(self) -> usize {
+        let (r, c) = self.clb_grid();
+        r * c
+    }
+
+    /// Total slice count (what the map report's "out of" column shows).
+    pub fn slices(self) -> usize {
+        self.clbs() * SLICES_PER_CLB
+    }
+
+    /// Total LUT capacity.
+    pub fn luts(self) -> usize {
+        self.slices() * LUTS_PER_SLICE
+    }
+
+    /// Total flip-flop capacity.
+    pub fn ffs(self) -> usize {
+        self.slices() * FFS_PER_SLICE
+    }
+
+    /// Total TBUF capacity: two per CLB plus two per row of horizontal
+    /// longlines ( `(cols + 2) × rows × 2` ), matching the paper's
+    /// "206 out of 1280" on the XC2S100.
+    pub fn tbufs(self) -> usize {
+        let (r, c) = self.clb_grid();
+        (c + 2) * r * 2
+    }
+
+    /// Looks a device up by its part name (case-insensitive).
+    pub fn by_name(name: &str) -> Option<Device> {
+        let lower = name.to_lowercase();
+        Device::ALL.into_iter().find(|d| d.name() == lower)
+    }
+
+    /// Smallest catalogued device fitting `slices` slices.
+    pub fn smallest_fitting(slices: usize) -> Option<Device> {
+        Device::ALL.into_iter().find(|d| d.slices() >= slices)
+    }
+}
+
+impl core::fmt::Display for Device {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A package option (determines bonded user I/O).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Package {
+    /// VQ100: 60 user I/O.
+    VQ100,
+    /// TQ144: 92 user I/O — the paper's package.
+    TQ144,
+    /// PQ208: 140 user I/O.
+    PQ208,
+    /// FG256: 176 user I/O.
+    FG256,
+    /// FG456: 260 user I/O.
+    FG456,
+}
+
+impl Package {
+    /// Package name as printed in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Package::VQ100 => "tq100",
+            Package::TQ144 => "tq144",
+            Package::PQ208 => "pq208",
+            Package::FG256 => "fg256",
+            Package::FG456 => "fg456",
+        }
+    }
+
+    /// Bonded user-I/O capacity.
+    pub fn user_ios(self) -> usize {
+        match self {
+            Package::VQ100 => 60,
+            Package::TQ144 => 92,
+            Package::PQ208 => 140,
+            Package::FG256 => 176,
+            Package::FG456 => 260,
+        }
+    }
+}
+
+impl core::fmt::Display for Package {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A speed grade scaling the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum SpeedGrade {
+    /// -5: slowest catalogued grade.
+    Minus5,
+    /// -6: the paper's grade.
+    #[default]
+    Minus6,
+}
+
+impl SpeedGrade {
+    /// Report suffix.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpeedGrade::Minus5 => "-05",
+            SpeedGrade::Minus6 => "-06",
+        }
+    }
+
+    /// Delay multiplier relative to -6.
+    pub fn derating(self) -> f64 {
+        match self {
+            SpeedGrade::Minus5 => 1.15,
+            SpeedGrade::Minus6 => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xc2s100_matches_paper_capacities() {
+        let d = Device::XC2S100;
+        assert_eq!(d.slices(), 1200); // "337 out of 1200"
+        assert_eq!(d.clbs(), 600);
+        assert_eq!(d.tbufs(), 1280); // "206 out of 1280"
+        assert_eq!(Package::TQ144.user_ios(), 92); // "57 out of 92"
+    }
+
+    #[test]
+    fn catalogue_is_monotone() {
+        let mut prev = 0;
+        for d in Device::ALL {
+            assert!(d.slices() > prev, "{d} not larger than predecessor");
+            prev = d.slices();
+            assert_eq!(d.luts(), d.ffs());
+            assert_eq!(d.luts(), d.slices() * 2);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(Device::by_name("XC2S100"), Some(Device::XC2S100));
+        assert_eq!(Device::by_name("xc2s200"), Some(Device::XC2S200));
+        assert_eq!(Device::by_name("xc7a35t"), None);
+    }
+
+    #[test]
+    fn smallest_fitting_device() {
+        assert_eq!(Device::smallest_fitting(100), Some(Device::XC2S15));
+        assert_eq!(Device::smallest_fitting(400), Some(Device::XC2S30));
+        assert_eq!(Device::smallest_fitting(1200), Some(Device::XC2S100));
+        assert_eq!(Device::smallest_fitting(5000), None);
+    }
+
+    #[test]
+    fn speed_grades() {
+        assert_eq!(SpeedGrade::default(), SpeedGrade::Minus6);
+        assert!(SpeedGrade::Minus5.derating() > SpeedGrade::Minus6.derating());
+        assert_eq!(SpeedGrade::Minus6.name(), "-06");
+    }
+}

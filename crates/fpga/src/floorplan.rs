@@ -1,0 +1,139 @@
+//! ASCII floor plans (the paper's Figure 10).
+//!
+//! Each CLB of the device grid is drawn as one character: `.` for empty,
+//! or a letter identifying the module (leading hierarchical name segment)
+//! that owns the majority of the CLB's logic cells. A legend lists the
+//! letter assignment and per-module slice counts.
+
+use crate::pack::{module_of, Packing};
+use crate::place::Placement;
+use std::collections::BTreeMap;
+
+/// Renders the placed design as an ASCII floor plan with a module legend.
+pub fn render(nl: &rtl::netlist::Netlist, packing: &Packing, placement: &Placement) -> String {
+    let (rows, cols) = placement.device.clb_grid();
+    // Module name per slice.
+    let slice_module: Vec<String> = packing
+        .slices
+        .iter()
+        .map(|s| {
+            s.lcs
+                .first()
+                .map(|lc| module_of(&lc.sort_key))
+                .unwrap_or_else(|| "top".into())
+        })
+        .collect();
+
+    // Count module occupancy per CLB.
+    let mut clb_owner: Vec<Vec<BTreeMap<&str, usize>>> =
+        vec![vec![BTreeMap::new(); cols]; rows];
+    for (slice, &(r, c, _)) in placement.slice_sites.iter().enumerate() {
+        *clb_owner[r][c].entry(slice_module[slice].as_str()).or_insert(0) += 1;
+    }
+
+    // Stable letter assignment: modules sorted by name.
+    let mut modules: BTreeMap<&str, usize> = BTreeMap::new();
+    for m in &slice_module {
+        *modules.entry(m.as_str()).or_insert(0) += 1;
+    }
+    let letters: BTreeMap<&str, char> = modules
+        .keys()
+        .enumerate()
+        .map(|(i, &m)| {
+            let c = if i < 26 {
+                (b'A' + i as u8) as char
+            } else {
+                (b'a' + (i - 26) as u8 % 26) as char
+            };
+            (m, c)
+        })
+        .collect();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Floor plan — {} ({} x {} CLBs)\n",
+        placement.device, rows, cols
+    ));
+    out.push_str(&format!("+{}+\n", "-".repeat(cols)));
+    for row in clb_owner.iter().take(rows) {
+        out.push('|');
+        for owners in row.iter().take(cols) {
+            let ch = owners
+                .iter()
+                .max_by_key(|&(_, n)| *n)
+                .map(|(m, _)| letters[m])
+                .unwrap_or('.');
+            out.push(ch);
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&format!("+{}+\n", "-".repeat(cols)));
+    out.push_str("Legend (module: slices):\n");
+    for (m, count) in &modules {
+        out.push_str(&format!("  {}  {m}: {count}\n", letters[m]));
+    }
+    out.push_str(&format!(
+        "IOBs on perimeter: {}; TBUF longlines follow driver CLBs; design `{}`\n",
+        packing.iobs.len(),
+        nl.name()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::pack::pack;
+    use crate::place::{place, PlaceOptions};
+    use rtl::hdl::ModuleBuilder;
+    use rtl::netlist::Netlist;
+
+    fn planned() -> String {
+        let mut nl = Netlist::new("demo");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let a = m.input("a", 8);
+        let q = {
+            let mut alu = m.scope("alu");
+            let r = alu.reg("acc", 8);
+            let q = r.q();
+            let d = alu.xor(&a, &q);
+            alu.connect_reg(r, &d);
+            q
+        };
+        let y = {
+            let mut post = m.scope("post");
+            post.not(&q)
+        };
+        m.output("y", &y);
+        drop(m);
+        let p = pack(&nl);
+        let placed = place(&nl, &p, Device::XC2S15, &PlaceOptions::default()).unwrap();
+        render(&nl, &p, &placed)
+    }
+
+    #[test]
+    fn floorplan_has_grid_and_legend() {
+        let fp = planned();
+        // 8 rows of 12 CLBs plus borders.
+        assert_eq!(fp.lines().filter(|l| l.starts_with('|')).count(), 8);
+        assert!(fp.contains("alu:"), "{fp}");
+        assert!(fp.contains("post:"), "{fp}");
+        assert!(fp.contains("Legend"), "{fp}");
+        // At least one occupied CLB letter appears.
+        assert!(fp.contains('A'), "{fp}");
+    }
+
+    #[test]
+    fn empty_design_renders_empty_grid() {
+        let mut nl = Netlist::new("wires");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let a = m.input("a", 2);
+        m.output("y", &a);
+        drop(m);
+        let p = pack(&nl);
+        let placed = place(&nl, &p, Device::XC2S15, &PlaceOptions::default()).unwrap();
+        let fp = render(&nl, &p, &placed);
+        assert!(fp.contains("............"), "{fp}");
+    }
+}

@@ -1,0 +1,183 @@
+//! One-call implementation flow: validate → pack → place → time → report.
+
+use crate::device::{Device, Package, SpeedGrade};
+use crate::floorplan;
+use crate::pack::{pack, Packing};
+use crate::place::{place, PlaceOptions, Placement};
+use crate::report::DesignSummary;
+use crate::timing::{analyze, TimingModel, TimingReport};
+use crate::FlowError;
+use rtl::netlist::Netlist;
+
+/// Options for the full flow.
+#[derive(Debug, Clone)]
+pub struct FlowOptions {
+    /// Target device (default: the paper's XC2S100).
+    pub device: Device,
+    /// Target package (default: TQ144).
+    pub package: Package,
+    /// Speed grade (default: -6).
+    pub speed: SpeedGrade,
+    /// Placement options.
+    pub place: PlaceOptions,
+    /// Timing model constants.
+    pub timing: TimingModel,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            device: Device::XC2S100,
+            package: Package::TQ144,
+            speed: SpeedGrade::Minus6,
+            place: PlaceOptions::default(),
+            timing: TimingModel::default(),
+        }
+    }
+}
+
+impl FlowOptions {
+    /// A reduced-effort variant for unit tests and debug builds.
+    pub fn fast() -> Self {
+        FlowOptions {
+            place: PlaceOptions {
+                seed: 42,
+                moves_per_slice: 4,
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// Everything the flow produces.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// The packed design.
+    pub packing: Packing,
+    /// The placement.
+    pub placement: Placement,
+    /// Static timing analysis.
+    pub timing: TimingReport,
+    /// Utilisation summary.
+    pub summary: DesignSummary,
+}
+
+impl FlowResult {
+    /// The Xilinx-style full text report (design + timing summaries).
+    pub fn report_text(&self) -> String {
+        format!("{}\n{}", self.summary, self.timing)
+    }
+
+    /// ASCII floor plan of the placed design.
+    pub fn floorplan(&self, nl: &Netlist) -> String {
+        floorplan::render(nl, &self.packing, &self.placement)
+    }
+}
+
+/// Runs the complete flow over a netlist.
+///
+/// # Errors
+///
+/// Returns [`FlowError::Invalid`] for structurally bad netlists and
+/// [`FlowError::DoesNotFit`] when the design exceeds the device or package
+/// capacity.
+pub fn run_flow(nl: &Netlist, opts: &FlowOptions) -> Result<FlowResult, FlowError> {
+    nl.validate()?;
+    let stats = nl.stats();
+    if stats.iobs() > opts.package.user_ios() {
+        return Err(FlowError::DoesNotFit {
+            resource: "iobs",
+            required: stats.iobs(),
+            available: opts.package.user_ios(),
+        });
+    }
+    let packing = pack(nl);
+    let placement = place(nl, &packing, opts.device, &opts.place)?;
+    let timing = analyze(nl, &placement, &opts.timing, opts.speed);
+    let summary = DesignSummary::new(
+        nl.name(),
+        &stats,
+        &packing,
+        opts.device,
+        opts.package,
+        opts.speed,
+    );
+    Ok(FlowResult {
+        packing,
+        placement,
+        timing,
+        summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtl::hdl::ModuleBuilder;
+
+    fn demo_netlist() -> Netlist {
+        let mut nl = Netlist::new("demo");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let a = m.input("a", 8);
+        let b = m.input("b", 8);
+        let r = m.reg("acc", 8);
+        let q = r.q();
+        let s = m.add(&a, &b).sum;
+        let x = m.xor(&s, &q);
+        m.connect_reg(r, &x);
+        m.output("y", &q);
+        drop(m);
+        nl
+    }
+
+    #[test]
+    fn full_flow_produces_consistent_result() {
+        let nl = demo_netlist();
+        let result = run_flow(&nl, &FlowOptions::fast()).unwrap();
+        assert_eq!(result.summary.ffs_used, 8);
+        assert!(result.summary.slices_used > 0);
+        assert!(result.timing.min_period_ns > 0.0);
+        assert_eq!(
+            result.packing.slice_count(),
+            result.placement.slice_sites.len()
+        );
+        let text = result.report_text();
+        assert!(text.contains("Design Summary"));
+        assert!(text.contains("Timing Summary"));
+        let fp = result.floorplan(&nl);
+        assert!(fp.contains("Floor plan"));
+    }
+
+    #[test]
+    fn iob_overflow_detected() {
+        let mut nl = Netlist::new("wide");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let a = m.input("a", 70);
+        m.output("y", &a);
+        drop(m);
+        // 140 IOBs exceed TQ144's 92.
+        let err = run_flow(&nl, &FlowOptions::fast()).unwrap_err();
+        assert!(matches!(
+            err,
+            FlowError::DoesNotFit {
+                resource: "iobs",
+                ..
+            }
+        ));
+        // PQ208 fits.
+        let mut opts = FlowOptions::fast();
+        opts.package = Package::PQ208;
+        assert!(run_flow(&nl, &opts).is_ok());
+    }
+
+    #[test]
+    fn invalid_netlist_reported() {
+        let mut nl = Netlist::new("bad");
+        let n = nl.new_net("floating");
+        nl.add_output_port("y", &[n]);
+        assert!(matches!(
+            run_flow(&nl, &FlowOptions::fast()),
+            Err(FlowError::Invalid(_))
+        ));
+    }
+}

@@ -1,0 +1,102 @@
+//! A Spartan-II-style implementation flow: pack → place → time → report.
+//!
+//! The paper's evaluation numbers (Table 1, the Appendix-A design summary,
+//! the timing summary and the floor plan) are outputs of the Xilinx
+//! Foundation toolchain. This crate reproduces that flow over the
+//! [`rtl::netlist::Netlist`] primitives:
+//!
+//! * [`device`] — the Spartan-II family catalogue (CLB grids, slice and
+//!   TBUF capacities, package I/O counts) with XC2S100-TQ144 as the
+//!   paper's target.
+//! * [`pack`] — LUT/FF pairing into logic cells, slices and CLBs.
+//! * [`place`] — simulated-annealing placement on the CLB grid with
+//!   perimeter IOBs.
+//! * [`timing`] — a fanout+distance net-delay model and static timing
+//!   analysis (minimum period, fmax, maximum net delay, critical path).
+//! * [`report`] — Xilinx `map`-style design and timing summaries,
+//!   including the equivalent-gate count.
+//! * [`floorplan`] — an ASCII floor plan (the paper's Figure 10).
+//! * [`flow`] — one-call orchestration of the above.
+//!
+//! Absolute nanoseconds come from a calibrated model, not silicon; the
+//! *structure* of every report is derived honestly from the same netlist
+//! the simulator executes. See `DESIGN.md` §2 for the substitution
+//! rationale.
+//!
+//! # Examples
+//!
+//! ```
+//! use fpga::device::{Device, Package};
+//! use fpga::flow::{run_flow, FlowOptions};
+//! use rtl::hdl::ModuleBuilder;
+//! use rtl::netlist::Netlist;
+//!
+//! let mut nl = Netlist::new("demo");
+//! let mut m = ModuleBuilder::root(&mut nl);
+//! let a = m.input("a", 4);
+//! let b = m.input("b", 4);
+//! let r = m.reg("acc", 4);
+//! let q = r.q();
+//! let sum = m.add(&a, &b).sum;
+//! let x = m.xor(&sum, &q);
+//! m.connect_reg(r, &x);
+//! m.output("y", &q);
+//! drop(m);
+//!
+//! let result = run_flow(&nl, &FlowOptions::default()).unwrap();
+//! assert!(result.summary.slices_used > 0);
+//! assert!(result.timing.min_period_ns > 0.0);
+//! # let _ = (Device::XC2S100, Package::TQ144);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod floorplan;
+pub mod flow;
+pub mod pack;
+pub mod place;
+pub mod report;
+pub mod timing;
+
+/// Errors produced by the implementation flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// The netlist failed structural validation.
+    Invalid(rtl::netlist::NetlistError),
+    /// The design does not fit the selected device.
+    DoesNotFit {
+        /// Resource that overflowed ("slices", "tbufs", "iobs").
+        resource: &'static str,
+        /// Amount required by the design.
+        required: usize,
+        /// Amount available on the device/package.
+        available: usize,
+    },
+}
+
+impl core::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FlowError::Invalid(e) => write!(f, "invalid netlist: {e}"),
+            FlowError::DoesNotFit {
+                resource,
+                required,
+                available,
+            } => write!(
+                f,
+                "design needs {required} {resource}, device offers {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<rtl::netlist::NetlistError> for FlowError {
+    fn from(e: rtl::netlist::NetlistError) -> Self {
+        FlowError::Invalid(e)
+    }
+}

@@ -1,0 +1,287 @@
+//! Technology packing: LUT/FF pairing into logic cells, slices and CLBs.
+//!
+//! Spartan-II slices hold two logic cells, each with one 4-input LUT and
+//! one flip-flop. The packer pairs every flip-flop with the LUT that feeds
+//! its `D` pin (when that LUT exists and is still free), fills the
+//! remainder with single-resource cells, and then groups logic cells into
+//! slices by hierarchical-name locality so placement starts from a
+//! reasonable clustering.
+
+use crate::device::{Device, SLICES_PER_CLB};
+use rtl::netlist::{Cell, CellId, Netlist};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// One logic cell: an optional LUT and an optional FF sharing a slice half.
+#[derive(Debug, Clone, Default)]
+pub struct LogicCell {
+    /// Packed LUT, if any.
+    pub lut: Option<CellId>,
+    /// Packed flip-flop, if any.
+    pub ff: Option<CellId>,
+    /// Hierarchical sort key (used for locality grouping).
+    pub sort_key: String,
+}
+
+/// A slice holding up to two logic cells.
+#[derive(Debug, Clone, Default)]
+pub struct Slice {
+    /// The slice's logic cells (1..=2 entries).
+    pub lcs: Vec<LogicCell>,
+}
+
+/// The packed design.
+#[derive(Debug, Clone)]
+pub struct Packing {
+    /// All occupied slices.
+    pub slices: Vec<Slice>,
+    /// TBUF cells (routed on longlines, not in slices).
+    pub tbufs: Vec<CellId>,
+    /// Top-level port cells (one per bonded IOB).
+    pub iobs: Vec<CellId>,
+    /// Maps each slice-resident cell to its slice index.
+    pub cell_slice: HashMap<CellId, usize>,
+}
+
+impl Packing {
+    /// Number of occupied slices.
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Number of occupied CLBs (2 slices per CLB).
+    pub fn clb_count(&self) -> usize {
+        self.slices.len().div_ceil(SLICES_PER_CLB)
+    }
+
+    /// `(lut_count, ff_count)` across all slices.
+    pub fn resource_counts(&self) -> (usize, usize) {
+        let mut luts = 0;
+        let mut ffs = 0;
+        for s in &self.slices {
+            for lc in &s.lcs {
+                luts += lc.lut.is_some() as usize;
+                ffs += lc.ff.is_some() as usize;
+            }
+        }
+        (luts, ffs)
+    }
+
+    /// Checks the packing against a device's slice/TBUF capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::FlowError::DoesNotFit`] naming the overflowing
+    /// resource.
+    pub fn check_fit(&self, device: Device) -> Result<(), crate::FlowError> {
+        if self.slice_count() > device.slices() {
+            return Err(crate::FlowError::DoesNotFit {
+                resource: "slices",
+                required: self.slice_count(),
+                available: device.slices(),
+            });
+        }
+        if self.tbufs.len() > device.tbufs() {
+            return Err(crate::FlowError::DoesNotFit {
+                resource: "tbufs",
+                required: self.tbufs.len(),
+                available: device.tbufs(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Packs a netlist into slices.
+///
+/// The netlist is assumed valid (callers run [`Netlist::validate`] first;
+/// the flow driver enforces this).
+pub fn pack(nl: &Netlist) -> Packing {
+    let drivers = nl.drivers();
+    let mut paired_luts: HashSet<CellId> = HashSet::new();
+    let mut lcs: Vec<LogicCell> = Vec::new();
+
+    // Pass 1: FFs, pairing each with its feeding LUT when possible.
+    for (id, cell) in nl.cells() {
+        let Cell::Dff { name, d, .. } = cell else {
+            continue;
+        };
+        let feeding_lut = drivers[d.index()]
+            .iter()
+            .copied()
+            .find(|&drv| matches!(nl.cell(drv), Cell::Lut { .. }) && !paired_luts.contains(&drv));
+        if let Some(lut) = feeding_lut {
+            paired_luts.insert(lut);
+            lcs.push(LogicCell {
+                lut: Some(lut),
+                ff: Some(id),
+                sort_key: name.clone(),
+            });
+        } else {
+            lcs.push(LogicCell {
+                lut: None,
+                ff: Some(id),
+                sort_key: name.clone(),
+            });
+        }
+    }
+
+    // Pass 2: remaining LUTs.
+    for (id, cell) in nl.cells() {
+        if let Cell::Lut { name, .. } = cell {
+            if !paired_luts.contains(&id) {
+                lcs.push(LogicCell {
+                    lut: Some(id),
+                    ff: None,
+                    sort_key: name.clone(),
+                });
+            }
+        }
+    }
+
+    // Locality: sort by hierarchical name so one module's cells end up in
+    // neighbouring slices.
+    lcs.sort_by(|a, b| a.sort_key.cmp(&b.sort_key));
+
+    let mut slices = Vec::with_capacity(lcs.len().div_ceil(2));
+    let mut cell_slice = HashMap::new();
+    for pair in lcs.chunks(2) {
+        let idx = slices.len();
+        for lc in pair {
+            if let Some(l) = lc.lut {
+                cell_slice.insert(l, idx);
+            }
+            if let Some(f) = lc.ff {
+                cell_slice.insert(f, idx);
+            }
+        }
+        slices.push(Slice { lcs: pair.to_vec() });
+    }
+
+    let tbufs = nl
+        .cells()
+        .filter(|(_, c)| matches!(c, Cell::Tbuf { .. }))
+        .map(|(id, _)| id)
+        .collect();
+    let iobs = nl
+        .cells()
+        .filter(|(_, c)| matches!(c, Cell::Input { .. } | Cell::Output { .. }))
+        .map(|(id, _)| id)
+        .collect();
+
+    Packing {
+        slices,
+        tbufs,
+        iobs,
+        cell_slice,
+    }
+}
+
+/// Groups slice indices by the first hierarchical segment of their cells'
+/// names — used by the floorplan legend.
+pub fn slice_modules(packing: &Packing) -> BTreeMap<String, Vec<usize>> {
+    let mut map: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (idx, slice) in packing.slices.iter().enumerate() {
+        let key = slice
+            .lcs
+            .first()
+            .map(|lc| module_of(&lc.sort_key))
+            .unwrap_or_else(|| "top".to_string());
+        map.entry(key).or_default().push(idx);
+    }
+    map
+}
+
+/// Extracts the leading hierarchy segment of an instance name.
+pub fn module_of(name: &str) -> String {
+    match name.split_once('.') {
+        Some((head, _)) if !head.is_empty() => head.to_string(),
+        _ => "top".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtl::hdl::ModuleBuilder;
+
+    fn registered_adder() -> Netlist {
+        let mut nl = Netlist::new("t");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let a = m.input("a", 8);
+        let b = m.input("b", 8);
+        let r = m.reg("acc", 8);
+        let q = r.q();
+        let sum = m.add(&a, &b).sum;
+        m.connect_reg(r, &sum);
+        m.output("y", &q);
+        drop(m);
+        nl
+    }
+
+    #[test]
+    fn pairs_luts_with_ffs() {
+        let nl = registered_adder();
+        nl.validate().unwrap();
+        let p = pack(&nl);
+        let (luts, ffs) = p.resource_counts();
+        assert_eq!(ffs, 8);
+        assert_eq!(luts, nl.stats().luts());
+        // Each FF is fed by the sum LUT — all 8 should be paired, so the
+        // logic-cell count is below luts + ffs.
+        let lc_count: usize = p.slices.iter().map(|s| s.lcs.len()).sum();
+        assert!(lc_count < luts + ffs, "no pairing happened");
+        assert_eq!(p.slice_count(), lc_count.div_ceil(2));
+        assert!(p.clb_count() <= p.slice_count());
+    }
+
+    #[test]
+    fn cell_slice_maps_every_packed_cell() {
+        let nl = registered_adder();
+        let p = pack(&nl);
+        let packed: usize = p
+            .slices
+            .iter()
+            .flat_map(|s| &s.lcs)
+            .map(|lc| lc.lut.is_some() as usize + lc.ff.is_some() as usize)
+            .sum();
+        assert_eq!(p.cell_slice.len(), packed);
+        for (&cell, &slice) in &p.cell_slice {
+            assert!(slice < p.slices.len());
+            let s = &p.slices[slice];
+            assert!(
+                s.lcs.iter().any(|lc| lc.lut == Some(cell) || lc.ff == Some(cell)),
+                "cell map points to wrong slice"
+            );
+        }
+    }
+
+    #[test]
+    fn iobs_and_tbufs_separated() {
+        let mut nl = Netlist::new("t");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let a = m.input("a", 4);
+        let en = m.input("en", 1);
+        let bus = m.bus("b", 4);
+        m.drive_bus(&bus, &a, &en);
+        m.output("y", &bus);
+        drop(m);
+        let p = pack(&nl);
+        assert_eq!(p.tbufs.len(), 4);
+        assert_eq!(p.iobs.len(), 4 + 1 + 4);
+        assert_eq!(p.slice_count(), 0);
+    }
+
+    #[test]
+    fn fit_check() {
+        let nl = registered_adder();
+        let p = pack(&nl);
+        assert!(p.check_fit(Device::XC2S15).is_ok());
+    }
+
+    #[test]
+    fn module_extraction() {
+        assert_eq!(module_of("keycache.lut#3"), "keycache");
+        assert_eq!(module_of("plain"), "top");
+        assert_eq!(module_of(".odd"), "top");
+    }
+}

@@ -1,0 +1,531 @@
+//! Simulated-annealing placement on the CLB grid.
+//!
+//! Slices are assigned to half-CLB sites; IOBs sit on a perimeter ring;
+//! TBUFs ride along with the slice driving their data input (they are
+//! longline resources, so this is where their delay is charged from). The
+//! annealer minimises total half-perimeter wirelength (HPWL) with the
+//! classic swap-move / geometric-cooling schedule.
+
+use crate::device::{Device, SLICES_PER_CLB};
+use crate::pack::Packing;
+use crate::FlowError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtl::netlist::{Cell, CellId, Netlist};
+use std::collections::HashMap;
+
+/// A physical position in CLB-grid units.
+pub type Pos = (f64, f64);
+
+/// Placement options.
+#[derive(Debug, Clone)]
+pub struct PlaceOptions {
+    /// RNG seed (placement is deterministic for a given seed).
+    pub seed: u64,
+    /// Annealing moves per slice (effort knob; 0 keeps the initial
+    /// locality-ordered placement).
+    pub moves_per_slice: usize,
+}
+
+impl Default for PlaceOptions {
+    fn default() -> Self {
+        PlaceOptions {
+            seed: 42,
+            moves_per_slice: 64,
+        }
+    }
+}
+
+/// A placed design.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Target device.
+    pub device: Device,
+    /// Per-slice site assignment: `(row, col, half)` on the CLB grid.
+    pub slice_sites: Vec<(usize, usize, usize)>,
+    /// Per-cell physical position (slices, IOBs and TBUFs).
+    pub cell_pos: HashMap<CellId, Pos>,
+    /// Final total HPWL cost.
+    pub cost: f64,
+    /// Nets as endpoint cell lists (kept for timing's distance model),
+    /// indexed by net id.
+    pub net_endpoints: Vec<Vec<CellId>>,
+}
+
+impl Placement {
+    /// Half-perimeter wirelength of a net given final cell positions.
+    pub fn net_hpwl(&self, net_index: usize) -> f64 {
+        hpwl(
+            self.net_endpoints[net_index]
+                .iter()
+                .filter_map(|c| self.cell_pos.get(c).copied()),
+        )
+    }
+
+    /// Position of a cell, if placed.
+    pub fn position(&self, cell: CellId) -> Option<Pos> {
+        self.cell_pos.get(&cell).copied()
+    }
+}
+
+fn hpwl(points: impl Iterator<Item = Pos>) -> f64 {
+    let mut min_x = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    let mut n = 0;
+    for (x, y) in points {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+        n += 1;
+    }
+    if n < 2 {
+        0.0
+    } else {
+        (max_x - min_x) + (max_y - min_y)
+    }
+}
+
+/// Mutable annealing state.
+struct Placer<'a> {
+    packing: &'a Packing,
+    cols: usize,
+    rows: usize,
+    /// site index per slice.
+    site_of: Vec<usize>,
+    /// slice per site.
+    slice_at: Vec<Option<usize>>,
+    cell_pos: HashMap<CellId, Pos>,
+    /// TBUFs anchored to each slice (moved together).
+    tbufs_of_slice: Vec<Vec<CellId>>,
+    net_endpoints: Vec<Vec<CellId>>,
+    nets_of_slice: Vec<Vec<usize>>,
+}
+
+impl Placer<'_> {
+    fn site_pos(&self, site: usize) -> Pos {
+        let clb = site / SLICES_PER_CLB;
+        let row = clb / self.cols;
+        let col = clb % self.cols;
+        (col as f64, row as f64)
+    }
+
+    /// Refreshes the physical position of one slice's cells and anchored
+    /// TBUFs.
+    fn update_slice_pos(&mut self, slice: usize) {
+        let pos = self.site_pos(self.site_of[slice]);
+        for lc in &self.packing.slices[slice].lcs {
+            if let Some(l) = lc.lut {
+                self.cell_pos.insert(l, pos);
+            }
+            if let Some(f) = lc.ff {
+                self.cell_pos.insert(f, pos);
+            }
+        }
+        for &t in &self.tbufs_of_slice[slice] {
+            self.cell_pos.insert(t, pos);
+        }
+    }
+
+    fn net_cost(&self, net: usize) -> f64 {
+        hpwl(
+            self.net_endpoints[net]
+                .iter()
+                .filter_map(|c| self.cell_pos.get(c).copied()),
+        )
+    }
+
+    fn total_cost(&self) -> f64 {
+        (0..self.net_endpoints.len())
+            .map(|i| self.net_cost(i))
+            .sum()
+    }
+
+    /// Moves slice `a` to `target_site`, swapping with any occupant.
+    /// Returns the displaced slice, if any.
+    fn apply_move(&mut self, a: usize, target_site: usize) -> Option<usize> {
+        let a_site = self.site_of[a];
+        let b = self.slice_at[target_site];
+        self.site_of[a] = target_site;
+        self.slice_at[target_site] = Some(a);
+        self.slice_at[a_site] = b;
+        if let Some(b) = b {
+            self.site_of[b] = a_site;
+        }
+        self.update_slice_pos(a);
+        if let Some(b) = b {
+            self.update_slice_pos(b);
+        }
+        b
+    }
+
+    /// Nets affected by moving slices `a` and optional `b`.
+    fn affected_nets(&self, a: usize, b: Option<usize>) -> Vec<usize> {
+        let mut nets = self.nets_of_slice[a].clone();
+        if let Some(b) = b {
+            nets.extend(self.nets_of_slice[b].iter().copied());
+            nets.sort_unstable();
+            nets.dedup();
+        }
+        nets
+    }
+}
+
+/// Places a packed design on `device`.
+///
+/// # Errors
+///
+/// Returns [`FlowError::DoesNotFit`] when the design exceeds the device's
+/// slice or TBUF capacity.
+pub fn place(
+    nl: &Netlist,
+    packing: &Packing,
+    device: Device,
+    opts: &PlaceOptions,
+) -> Result<Placement, FlowError> {
+    packing.check_fit(device)?;
+    let (rows, cols) = device.clb_grid();
+    let n_slices = packing.slices.len();
+    let n_sites = rows * cols * SLICES_PER_CLB;
+
+    let drivers = nl.drivers();
+    let readers = nl.readers();
+    let mut net_endpoints: Vec<Vec<CellId>> = Vec::with_capacity(nl.net_count());
+    for (net, _) in nl.nets() {
+        let mut cells: Vec<CellId> = drivers[net.index()].clone();
+        cells.extend(readers[net.index()].iter().copied());
+        cells.sort();
+        cells.dedup();
+        net_endpoints.push(cells);
+    }
+
+    let mut nets_of_slice: Vec<Vec<usize>> = vec![Vec::new(); n_slices.max(1)];
+    for (i, cells) in net_endpoints.iter().enumerate() {
+        for c in cells {
+            if let Some(&s) = packing.cell_slice.get(c) {
+                nets_of_slice[s].push(i);
+            }
+        }
+    }
+    for nets in &mut nets_of_slice {
+        nets.sort_unstable();
+        nets.dedup();
+    }
+
+    // Anchor each TBUF to the slice driving its data input.
+    let mut tbufs_of_slice: Vec<Vec<CellId>> = vec![Vec::new(); n_slices.max(1)];
+    let mut floating_tbufs: Vec<CellId> = Vec::new();
+    for &t in &packing.tbufs {
+        let anchor = match nl.cell(t) {
+            Cell::Tbuf { input, .. } => drivers[input.index()]
+                .first()
+                .and_then(|d| packing.cell_slice.get(d))
+                .copied(),
+            _ => None,
+        };
+        match anchor {
+            Some(s) => tbufs_of_slice[s].push(t),
+            None => floating_tbufs.push(t),
+        }
+    }
+
+    let mut placer = Placer {
+        packing,
+        cols,
+        rows,
+        site_of: (0..n_slices).collect(),
+        slice_at: {
+            let mut v = vec![None; n_sites];
+            for (slice, site) in v.iter_mut().enumerate().take(n_slices) {
+                *site = Some(slice);
+            }
+            v
+        },
+        cell_pos: HashMap::new(),
+        tbufs_of_slice,
+        net_endpoints,
+        nets_of_slice,
+    };
+
+    // Fixed positions: IOB ring, floating TBUFs at grid centre.
+    let ring = perimeter_ring(rows, cols);
+    for (i, &iob) in packing.iobs.iter().enumerate() {
+        placer.cell_pos.insert(iob, ring[i % ring.len()]);
+    }
+    let centre = (cols as f64 / 2.0, placer.rows as f64 / 2.0);
+    for t in floating_tbufs {
+        placer.cell_pos.insert(t, centre);
+    }
+    for s in 0..n_slices {
+        placer.update_slice_pos(s);
+    }
+
+    let mut cost = placer.total_cost();
+    if n_slices > 1 && opts.moves_per_slice > 0 {
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let budget = opts.moves_per_slice * n_slices;
+
+        // Initial temperature from sampled move deltas.
+        let mut deltas = Vec::new();
+        for _ in 0..32 {
+            let a = rng.gen_range(0..n_slices);
+            let s = rng.gen_range(0..n_sites);
+            if placer.slice_at[s] == Some(a) {
+                continue;
+            }
+            let b_peek = placer.slice_at[s];
+            let nets = placer.affected_nets(a, b_peek);
+            let before: f64 = nets.iter().map(|&i| placer.net_cost(i)).sum();
+            let a_site = placer.site_of[a];
+            placer.apply_move(a, s);
+            let after: f64 = nets.iter().map(|&i| placer.net_cost(i)).sum();
+            placer.apply_move(a, a_site); // undo
+            deltas.push((after - before).abs());
+        }
+        let mut t = (deltas.iter().sum::<f64>() / deltas.len().max(1) as f64) * 10.0;
+        t = t.max(1.0);
+
+        let batch = (n_slices * 4).max(16);
+        let mut moves = 0usize;
+        let mut best_cost = cost;
+        let mut best_sites = placer.site_of.clone();
+        while moves < budget && t > 1e-3 {
+            for _ in 0..batch {
+                moves += 1;
+                let a = rng.gen_range(0..n_slices);
+                let target = rng.gen_range(0..n_sites);
+                if placer.slice_at[target] == Some(a) {
+                    continue;
+                }
+                let b_peek = placer.slice_at[target];
+                let nets = placer.affected_nets(a, b_peek);
+                let before: f64 = nets.iter().map(|&i| placer.net_cost(i)).sum();
+                let a_site = placer.site_of[a];
+                placer.apply_move(a, target);
+                let after: f64 = nets.iter().map(|&i| placer.net_cost(i)).sum();
+                let delta = after - before;
+                if delta <= 0.0 || rng.gen::<f64>() < (-delta / t).exp() {
+                    cost += delta;
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best_sites = placer.site_of.clone();
+                    }
+                } else {
+                    placer.apply_move(a, a_site);
+                }
+            }
+            t *= 0.92;
+        }
+        // Restore the best configuration observed (the schedule may end on
+        // an uphill excursion).
+        placer.slice_at.fill(None);
+        for (slice, &site) in best_sites.iter().enumerate() {
+            placer.slice_at[site] = Some(slice);
+        }
+        placer.site_of = best_sites;
+        for s in 0..n_slices {
+            placer.update_slice_pos(s);
+        }
+        cost = placer.total_cost();
+    }
+
+    let slice_sites = placer
+        .site_of
+        .iter()
+        .map(|&site| {
+            let clb = site / SLICES_PER_CLB;
+            (clb / cols, clb % cols, site % SLICES_PER_CLB)
+        })
+        .collect();
+
+    Ok(Placement {
+        device,
+        slice_sites,
+        cell_pos: placer.cell_pos,
+        cost,
+        net_endpoints: placer.net_endpoints,
+    })
+}
+
+/// Positions around the device perimeter for IOB assignment.
+fn perimeter_ring(rows: usize, cols: usize) -> Vec<Pos> {
+    let mut ring = Vec::new();
+    for c in 0..cols {
+        ring.push((c as f64, -1.0));
+    }
+    for r in 0..rows {
+        ring.push((cols as f64, r as f64));
+    }
+    for c in (0..cols).rev() {
+        ring.push((c as f64, rows as f64));
+    }
+    for r in (0..rows).rev() {
+        ring.push((-1.0, r as f64));
+    }
+    ring
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::pack;
+    use rtl::hdl::ModuleBuilder;
+
+    fn sample_design() -> Netlist {
+        let mut nl = Netlist::new("t");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let a = m.input("a", 8);
+        let b = m.input("b", 8);
+        let r = m.reg("acc", 8);
+        let q = r.q();
+        let s = m.add(&a, &b).sum;
+        let x = m.xor(&s, &q);
+        m.connect_reg(r, &x);
+        m.output("y", &q);
+        drop(m);
+        nl
+    }
+
+    #[test]
+    fn placement_is_legal() {
+        let nl = sample_design();
+        let p = pack(&nl);
+        let placed = place(&nl, &p, Device::XC2S15, &PlaceOptions::default()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for &site in &placed.slice_sites {
+            assert!(seen.insert(site), "site {site:?} double-booked");
+            let (r, c, h) = site;
+            assert!(r < 8 && c < 12 && h < 2);
+        }
+        for cell in p.cell_slice.keys() {
+            assert!(placed.position(*cell).is_some());
+        }
+        assert!(placed.cost.is_finite());
+    }
+
+    #[test]
+    fn annealing_does_not_worsen_cost() {
+        let nl = sample_design();
+        let p = pack(&nl);
+        let unopt = place(
+            &nl,
+            &p,
+            Device::XC2S15,
+            &PlaceOptions {
+                seed: 1,
+                moves_per_slice: 0,
+            },
+        )
+        .unwrap();
+        let opt = place(
+            &nl,
+            &p,
+            Device::XC2S15,
+            &PlaceOptions {
+                seed: 1,
+                moves_per_slice: 64,
+            },
+        )
+        .unwrap();
+        assert!(
+            opt.cost <= unopt.cost * 1.05,
+            "annealed {} vs initial {}",
+            opt.cost,
+            unopt.cost
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let nl = sample_design();
+        let p = pack(&nl);
+        let o = PlaceOptions {
+            seed: 7,
+            moves_per_slice: 16,
+        };
+        let a = place(&nl, &p, Device::XC2S15, &o).unwrap();
+        let b = place(&nl, &p, Device::XC2S15, &o).unwrap();
+        assert_eq!(a.slice_sites, b.slice_sites);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn hpwl_of_points() {
+        assert_eq!(hpwl([(0.0, 0.0), (3.0, 4.0)].into_iter()), 7.0);
+        assert_eq!(hpwl([(1.0, 1.0)].into_iter()), 0.0);
+        assert_eq!(hpwl(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn perimeter_ring_wraps_grid() {
+        let ring = perimeter_ring(4, 6);
+        assert_eq!(ring.len(), 2 * (4 + 6));
+        assert!(ring.contains(&(0.0, -1.0)));
+        assert!(ring.contains(&(6.0, 3.0)));
+        assert!(ring.contains(&(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn tbufs_track_their_driver_slice() {
+        let mut nl = Netlist::new("t");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let a = m.input("a", 2);
+        let en = m.input("en", 1);
+        let r = m.reg("r", 2);
+        let q = r.q();
+        let d = m.xor(&a, &q);
+        m.connect_reg(r, &d);
+        let bus = m.bus("bus", 2);
+        m.drive_bus(&bus, &q, &en);
+        m.output("y", &bus);
+        drop(m);
+        let p = pack(&nl);
+        let placed = place(&nl, &p, Device::XC2S15, &PlaceOptions::default()).unwrap();
+        // Each TBUF should sit exactly on its driving FF's slice position.
+        for &t in &p.tbufs {
+            let rtl::netlist::Cell::Tbuf { input, .. } = nl.cell(t) else {
+                unreachable!()
+            };
+            let driver = nl.drivers()[input.index()][0];
+            assert_eq!(placed.position(t), placed.position(driver));
+        }
+    }
+
+    #[test]
+    fn too_big_design_rejected() {
+        // 500 independent registered inverters exceed XC2S15's 192 slices.
+        let mut nl = Netlist::new("big");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let mut qs = Vec::new();
+        for i in 0..500 {
+            let r = m.reg(&format!("r{i}"), 1);
+            let q = r.q();
+            let d = m.not(&q);
+            m.connect_reg(r, &d);
+            qs.push(q);
+        }
+        let all = qs
+            .iter()
+            .fold(None::<rtl::hdl::Signal>, |acc, q| {
+                Some(match acc {
+                    None => q.clone(),
+                    Some(a) => a.concat(q),
+                })
+            })
+            .unwrap();
+        let y = m.reduce_xor(&all);
+        m.output("y", &y);
+        drop(m);
+        let p = pack(&nl);
+        let err = place(&nl, &p, Device::XC2S15, &PlaceOptions::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            FlowError::DoesNotFit {
+                resource: "slices",
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,261 @@
+//! Xilinx-`map`-style utilisation reports and equivalent-gate counting.
+
+use crate::device::{Device, Package, SpeedGrade};
+use crate::pack::Packing;
+use rtl::netlist::NetlistStats;
+
+/// Equivalent-gate weight of a flip-flop (Xilinx-style gate counting).
+pub const GATES_PER_FF: usize = 8;
+/// Equivalent-gate weight of a TBUF.
+pub const GATES_PER_TBUF: usize = 1;
+/// Extra JTAG gate weight reported per bonded IOB (the paper reports
+/// 2784 gates for 57 IOBs ≈ 49 each).
+pub const JTAG_GATES_PER_IOB: usize = 49;
+
+/// Equivalent-gate weight of a LUT by input arity (1..=4).
+pub fn gates_per_lut(arity: usize) -> usize {
+    match arity {
+        1 => 2,
+        2 => 3,
+        3 => 5,
+        _ => 9,
+    }
+}
+
+/// Total equivalent gate count for a netlist (excluding JTAG/IOB overhead,
+/// which is reported separately as in the paper).
+pub fn equivalent_gates(stats: &NetlistStats) -> usize {
+    let luts: usize = (1..=4)
+        .map(|a| stats.luts_by_arity[a] * gates_per_lut(a))
+        .sum();
+    luts + stats.dffs * GATES_PER_FF + stats.tbufs * GATES_PER_TBUF
+}
+
+/// The design-summary block of the map report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSummary {
+    /// Design name.
+    pub design: String,
+    /// Target device.
+    pub device: Device,
+    /// Target package.
+    pub package: Package,
+    /// Speed grade.
+    pub speed: SpeedGrade,
+    /// Occupied slices.
+    pub slices_used: usize,
+    /// Occupied CLBs (`ceil(slices / 2)`).
+    pub clbs_used: usize,
+    /// Slice flip-flops used.
+    pub ffs_used: usize,
+    /// 4-input (and smaller) LUTs used.
+    pub luts_used: usize,
+    /// Bonded IOBs used.
+    pub iobs_used: usize,
+    /// TBUFs used.
+    pub tbufs_used: usize,
+    /// Equivalent gate count for the design.
+    pub gates: usize,
+    /// Additional JTAG gate count for the bonded IOBs.
+    pub jtag_gates: usize,
+}
+
+impl DesignSummary {
+    /// Builds the summary from netlist statistics and a packing.
+    pub fn new(
+        design: impl Into<String>,
+        stats: &NetlistStats,
+        packing: &Packing,
+        device: Device,
+        package: Package,
+        speed: SpeedGrade,
+    ) -> Self {
+        DesignSummary {
+            design: design.into(),
+            device,
+            package,
+            speed,
+            slices_used: packing.slice_count(),
+            clbs_used: packing.clb_count(),
+            ffs_used: stats.dffs,
+            luts_used: stats.luts(),
+            iobs_used: stats.iobs(),
+            tbufs_used: stats.tbufs,
+            gates: equivalent_gates(stats),
+            jtag_gates: stats.iobs() * JTAG_GATES_PER_IOB,
+        }
+    }
+
+    /// Slice utilisation as a percentage of the device.
+    pub fn slice_utilisation(&self) -> f64 {
+        100.0 * self.slices_used as f64 / self.device.slices() as f64
+    }
+
+    /// IOB utilisation as a percentage of the package.
+    pub fn iob_utilisation(&self) -> f64 {
+        100.0 * self.iobs_used as f64 / self.package.user_ios() as f64
+    }
+
+    /// TBUF utilisation as a percentage of the device.
+    pub fn tbuf_utilisation(&self) -> f64 {
+        100.0 * self.tbufs_used as f64 / self.device.tbufs() as f64
+    }
+}
+
+impl core::fmt::Display for DesignSummary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "Design Information")?;
+        writeln!(f, "  Design name    : {}", self.design)?;
+        writeln!(f, "  Target Device  : {}", self.device)?;
+        writeln!(f, "  Target Package : {}", self.package)?;
+        writeln!(f, "  Target Speed   : {}", self.speed.name())?;
+        writeln!(f, "  Mapper Version : mhhea-suite fpga flow")?;
+        writeln!(f)?;
+        writeln!(f, "Design Summary")?;
+        writeln!(
+            f,
+            "  Number of Slices          : {:>5} out of {:>5}  {:>3.0}%",
+            self.slices_used,
+            self.device.slices(),
+            self.slice_utilisation()
+        )?;
+        writeln!(
+            f,
+            "  Number of CLBs            : {:>5} out of {:>5}  {:>3.0}%",
+            self.clbs_used,
+            self.device.clbs(),
+            100.0 * self.clbs_used as f64 / self.device.clbs() as f64
+        )?;
+        writeln!(f, "  Slice Flip Flops          : {:>5}", self.ffs_used)?;
+        writeln!(f, "  4 input LUTs              : {:>5}", self.luts_used)?;
+        writeln!(
+            f,
+            "  Number of bonded IOBs     : {:>5} out of {:>5}  {:>3.0}%",
+            self.iobs_used,
+            self.package.user_ios(),
+            self.iob_utilisation()
+        )?;
+        writeln!(
+            f,
+            "  Number of TBUFs           : {:>5} out of {:>5}  {:>3.0}%",
+            self.tbufs_used,
+            self.device.tbufs(),
+            self.tbuf_utilisation()
+        )?;
+        writeln!(
+            f,
+            "  Total equivalent gate count for design : {}",
+            self.gates
+        )?;
+        writeln!(
+            f,
+            "  Additional JTAG gate count for IOBs    : {}",
+            self.jtag_gates
+        )
+    }
+}
+
+/// Functional density: the paper's figure of merit,
+/// `throughput (Mbps) / area (CLBs)`.
+///
+/// # Panics
+///
+/// Panics when `area_clbs` is zero.
+pub fn functional_density(throughput_mbps: f64, area_clbs: usize) -> f64 {
+    assert!(area_clbs > 0, "area must be positive");
+    throughput_mbps / area_clbs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::pack;
+    use rtl::hdl::ModuleBuilder;
+    use rtl::netlist::Netlist;
+
+    fn summary_of(width: usize) -> DesignSummary {
+        let mut nl = Netlist::new("demo");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let a = m.input("a", width);
+        let r = m.reg("r", width);
+        let q = r.q();
+        let d = m.xor(&a, &q);
+        m.connect_reg(r, &d);
+        m.output("y", &q);
+        drop(m);
+        let p = pack(&nl);
+        DesignSummary::new(
+            "demo",
+            &nl.stats(),
+            &p,
+            Device::XC2S100,
+            Package::TQ144,
+            SpeedGrade::Minus6,
+        )
+    }
+
+    #[test]
+    fn summary_counts_match() {
+        let s = summary_of(8);
+        assert_eq!(s.ffs_used, 8);
+        assert_eq!(s.luts_used, 8);
+        assert_eq!(s.iobs_used, 16);
+        // 8 paired LCs → 4 slices → 2 CLBs.
+        assert_eq!(s.slices_used, 4);
+        assert_eq!(s.clbs_used, 2);
+        assert_eq!(s.gates, 8 * GATES_PER_FF + 8 * gates_per_lut(2));
+        assert_eq!(s.jtag_gates, 16 * JTAG_GATES_PER_IOB);
+    }
+
+    #[test]
+    fn utilisation_percentages() {
+        let s = summary_of(8);
+        assert!((s.slice_utilisation() - 4.0 / 12.0).abs() < 0.01);
+        assert!(s.iob_utilisation() > 17.0 && s.iob_utilisation() < 18.0);
+    }
+
+    #[test]
+    fn display_mirrors_paper_report_shape() {
+        let s = summary_of(4);
+        let text = s.to_string();
+        for needle in [
+            "Target Device  : xc2s100",
+            "Target Package : tq144",
+            "Number of Slices",
+            "Slice Flip Flops",
+            "4 input LUTs",
+            "Number of bonded IOBs",
+            "Number of TBUFs",
+            "Total equivalent gate count",
+            "Additional JTAG gate count",
+        ] {
+            assert!(text.contains(needle), "missing {needle}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn lut_gate_weights_are_monotone() {
+        assert!(gates_per_lut(1) < gates_per_lut(2));
+        assert!(gates_per_lut(2) < gates_per_lut(3));
+        assert!(gates_per_lut(3) < gates_per_lut(4));
+    }
+
+    #[test]
+    fn functional_density_matches_paper_rows() {
+        // Table 1 check: YAEA 129.1/149 = 0.866, MHHEA 95.532/168 = 0.569.
+        assert!((functional_density(129.1, 149) - 0.866).abs() < 0.001);
+        assert!((functional_density(95.532, 168) - 0.569).abs() < 0.001);
+        assert!((functional_density(15.8, 144) - 0.110).abs() < 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "area must be positive")]
+    fn zero_area_panics() {
+        functional_density(1.0, 0);
+    }
+
+    #[test]
+    fn clb_is_two_slices() {
+        assert_eq!(crate::device::SLICES_PER_CLB, 2);
+    }
+}

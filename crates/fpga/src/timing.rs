@@ -1,0 +1,333 @@
+//! Net-delay modelling and static timing analysis.
+//!
+//! Cell delays use Spartan-II-class constants; net delays follow a
+//! fanout-plus-distance model over the placement's half-perimeter
+//! wirelengths. The analysis propagates arrival times through the
+//! levelized combinational netlist and reports the register-limited
+//! minimum period, maximum frequency, the worst net delay and the critical
+//! path — the same quantities as the paper's Appendix-A timing summary.
+
+use crate::device::SpeedGrade;
+use crate::place::Placement;
+use rtl::netlist::{Cell, CellId, Netlist, NetId};
+
+/// Delay-model constants, in nanoseconds (for speed grade -6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingModel {
+    /// LUT propagation delay.
+    pub lut_ns: f64,
+    /// TBUF enable/data to longline delay.
+    pub tbuf_ns: f64,
+    /// Flip-flop clock-to-Q.
+    pub clk_to_q_ns: f64,
+    /// Flip-flop setup time.
+    pub setup_ns: f64,
+    /// Pad-to-fabric input delay.
+    pub iob_in_ns: f64,
+    /// Fabric-to-pad output delay.
+    pub iob_out_ns: f64,
+    /// Base routed-net delay.
+    pub net_base_ns: f64,
+    /// Additional net delay per fanout.
+    pub net_per_fanout_ns: f64,
+    /// Additional net delay per CLB of half-perimeter wirelength.
+    pub net_per_clb_ns: f64,
+}
+
+impl Default for TimingModel {
+    /// Constants in the Spartan-II -6 datasheet regime (`T_ILO ≈ 0.7 ns`,
+    /// routed nets ≈ 1–2 ns), calibrated so the MHHEA core's report lands
+    /// near the paper's Foundation-F2.1i numbers (41.9 ns minimum period);
+    /// see `EXPERIMENTS.md` for the calibration note.
+    fn default() -> Self {
+        TimingModel {
+            lut_ns: 0.7,
+            tbuf_ns: 0.9,
+            clk_to_q_ns: 1.0,
+            setup_ns: 0.7,
+            iob_in_ns: 1.0,
+            iob_out_ns: 2.1,
+            net_base_ns: 0.55,
+            net_per_fanout_ns: 0.16,
+            net_per_clb_ns: 0.05,
+        }
+    }
+}
+
+/// Output of static timing analysis.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Register-limited minimum clock period.
+    pub min_period_ns: f64,
+    /// `1000 / min_period_ns`.
+    pub fmax_mhz: f64,
+    /// Worst single routed-net delay.
+    pub max_net_delay_ns: f64,
+    /// Worst pad-to-pad / register-to-pad combinational path.
+    pub max_io_path_ns: f64,
+    /// Logic depth (LUT/TBUF levels) on the critical register path.
+    pub logic_levels: usize,
+    /// Instance names along the critical path, source to sink.
+    pub critical_path: Vec<String>,
+}
+
+impl core::fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "Timing Summary")?;
+        writeln!(f, "  Minimum period      : {:.3}ns", self.min_period_ns)?;
+        writeln!(f, "  Maximum frequency   : {:.3}MHz", self.fmax_mhz)?;
+        writeln!(f, "  Maximum net delay   : {:.3}ns", self.max_net_delay_ns)?;
+        writeln!(f, "  Worst pad path      : {:.3}ns", self.max_io_path_ns)?;
+        writeln!(f, "  Logic levels        : {}", self.logic_levels)
+    }
+}
+
+/// Runs static timing analysis over a placed netlist.
+///
+/// The netlist must be valid (the flow driver guarantees this).
+pub fn analyze(
+    nl: &Netlist,
+    placement: &Placement,
+    model: &TimingModel,
+    grade: SpeedGrade,
+) -> TimingReport {
+    let k = grade.derating();
+    let readers = nl.readers();
+
+    // Per-net routed delay.
+    let mut net_delay = vec![0.0f64; nl.net_count()];
+    let mut max_net_delay = 0.0f64;
+    for (id, _) in nl.nets() {
+        let fanout = readers[id.index()].len();
+        let d = (model.net_base_ns
+            + model.net_per_fanout_ns * fanout.saturating_sub(1) as f64
+            + model.net_per_clb_ns * placement.net_hpwl(id.index()))
+            * k;
+        net_delay[id.index()] = d;
+        max_net_delay = max_net_delay.max(d);
+    }
+
+    // Arrival times at net sinks. Sources: FF Q (clk-to-q), input pads,
+    // constants (0). Each net's arrival includes its own routed delay.
+    let mut arrival = vec![0.0f64; nl.net_count()];
+    let mut level_of_net = vec![0usize; nl.net_count()];
+    // `from`: (driving cell, worst input net) for critical-path backtrace.
+    let mut from: Vec<Option<(CellId, Option<NetId>)>> = vec![None; nl.net_count()];
+    for (id, cell) in nl.cells() {
+        let (out, t0) = match cell {
+            Cell::Dff { q, .. } => (*q, model.clk_to_q_ns * k),
+            Cell::Input { output, .. } => (*output, model.iob_in_ns * k),
+            Cell::Const { output, .. } => (*output, 0.0),
+            _ => continue,
+        };
+        let a = t0 + net_delay[out.index()];
+        if a > arrival[out.index()] {
+            arrival[out.index()] = a;
+            from[out.index()] = Some((id, None));
+        }
+    }
+
+    let order = nl.levelize().expect("validated netlist");
+    for (cell_id, _) in order {
+        let cell = nl.cell(cell_id);
+        let (inputs, out, cell_delay) = match cell {
+            Cell::Lut { inputs, output, .. } => (inputs.clone(), *output, model.lut_ns * k),
+            Cell::Tbuf {
+                input, en, output, ..
+            } => (vec![*input, *en], *output, model.tbuf_ns * k),
+            _ => unreachable!("levelize yields comb cells only"),
+        };
+        let (worst_in, worst_arr) = inputs
+            .iter()
+            .map(|&n| (n, arrival[n.index()]))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("LUT/TBUF has inputs");
+        let a = worst_arr + cell_delay + net_delay[out.index()];
+        // Bus nets take the max over all TBUF drivers.
+        if a > arrival[out.index()] {
+            arrival[out.index()] = a;
+            from[out.index()] = Some((cell_id, Some(worst_in)));
+            level_of_net[out.index()] =
+                level_of_net[worst_in.index()] + 1;
+        }
+    }
+
+    // Endpoints.
+    let mut min_period = 0.0f64;
+    let mut worst_end: Option<NetId> = None;
+    let mut max_io_path = 0.0f64;
+    for (_, cell) in nl.cells() {
+        match cell {
+            Cell::Dff { d, ce, sr, .. } => {
+                for n in [Some(*d), *ce, *sr].into_iter().flatten() {
+                    let req = arrival[n.index()] + model.setup_ns * k;
+                    if req > min_period {
+                        min_period = req;
+                        worst_end = Some(n);
+                    }
+                }
+            }
+            Cell::Output { input, .. } => {
+                let t = arrival[input.index()] + model.iob_out_ns * k;
+                max_io_path = max_io_path.max(t);
+            }
+            _ => {}
+        }
+    }
+    // Pure combinational designs: constrain on the IO path instead.
+    if min_period == 0.0 {
+        min_period = max_io_path;
+    }
+
+    // Backtrace the critical path.
+    let mut critical_path = Vec::new();
+    let mut logic_levels = 0;
+    if let Some(end) = worst_end {
+        logic_levels = level_of_net[end.index()];
+        let mut cursor = Some(end);
+        while let Some(net) = cursor {
+            match from[net.index()] {
+                Some((cell, prev)) => {
+                    critical_path.push(nl.cell(cell).name());
+                    cursor = prev;
+                }
+                None => break,
+            }
+        }
+        critical_path.reverse();
+    }
+
+    TimingReport {
+        min_period_ns: min_period,
+        fmax_mhz: if min_period > 0.0 {
+            1000.0 / min_period
+        } else {
+            f64::INFINITY
+        },
+        max_net_delay_ns: max_net_delay,
+        max_io_path_ns: max_io_path,
+        logic_levels,
+        critical_path,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::pack::pack;
+    use crate::place::{place, PlaceOptions};
+    use rtl::hdl::ModuleBuilder;
+
+    fn analyze_design(build: impl FnOnce(&mut ModuleBuilder<'_>)) -> TimingReport {
+        let mut nl = Netlist::new("t");
+        let mut m = ModuleBuilder::root(&mut nl);
+        build(&mut m);
+        drop(m);
+        nl.validate().unwrap();
+        let p = pack(&nl);
+        let placed = place(
+            &nl,
+            &p,
+            Device::XC2S15,
+            &PlaceOptions {
+                seed: 3,
+                moves_per_slice: 8,
+            },
+        )
+        .unwrap();
+        analyze(&nl, &placed, &TimingModel::default(), SpeedGrade::Minus6)
+    }
+
+    #[test]
+    fn deeper_logic_is_slower() {
+        let shallow = analyze_design(|m| {
+            let a = m.input("a", 4);
+            let r = m.reg("r", 4);
+            let q = r.q();
+            let d = m.xor(&a, &q);
+            m.connect_reg(r, &d);
+            m.output("y", &q);
+        });
+        let deep = analyze_design(|m| {
+            let a = m.input("a", 8);
+            let r = m.reg("r", 8);
+            let q = r.q();
+            // Three chained adders before the register.
+            let s1 = m.add(&a, &q).sum;
+            let s2 = m.add(&s1, &q).sum;
+            let s3 = m.add(&s2, &q).sum;
+            m.connect_reg(r, &s3);
+            m.output("y", &q);
+        });
+        assert!(
+            deep.min_period_ns > shallow.min_period_ns,
+            "deep {} vs shallow {}",
+            deep.min_period_ns,
+            shallow.min_period_ns
+        );
+        assert!(deep.logic_levels > shallow.logic_levels);
+        assert!(deep.fmax_mhz < shallow.fmax_mhz);
+    }
+
+    #[test]
+    fn critical_path_is_nonempty_and_ends_at_ff_input() {
+        let r = analyze_design(|m| {
+            let a = m.input("a", 8);
+            let reg = m.reg("r", 8);
+            let q = reg.q();
+            let s = m.add(&a, &q).sum;
+            m.connect_reg(reg, &s);
+            m.output("y", &q);
+        });
+        assert!(!r.critical_path.is_empty());
+        assert!(r.min_period_ns > 0.0);
+        assert!((r.fmax_mhz - 1000.0 / r.min_period_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combinational_design_constrained_by_io() {
+        let r = analyze_design(|m| {
+            let a = m.input("a", 4);
+            let b = m.input("b", 4);
+            let s = m.add(&a, &b).sum;
+            m.output("y", &s);
+        });
+        assert_eq!(r.min_period_ns, r.max_io_path_ns);
+        assert!(r.max_net_delay_ns > 0.0);
+    }
+
+    #[test]
+    fn slower_grade_increases_delay() {
+        let mut nl = Netlist::new("t");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let a = m.input("a", 4);
+        let reg = m.reg("r", 4);
+        let q = reg.q();
+        let d = m.xor(&a, &q);
+        m.connect_reg(reg, &d);
+        m.output("y", &q);
+        drop(m);
+        let p = pack(&nl);
+        let placed = place(&nl, &p, Device::XC2S15, &PlaceOptions::default()).unwrap();
+        let m6 = analyze(&nl, &placed, &TimingModel::default(), SpeedGrade::Minus6);
+        let m5 = analyze(&nl, &placed, &TimingModel::default(), SpeedGrade::Minus5);
+        assert!(m5.min_period_ns > m6.min_period_ns);
+    }
+
+    #[test]
+    fn report_displays_all_fields() {
+        let r = analyze_design(|m| {
+            let a = m.input("a", 2);
+            let reg = m.reg("r", 2);
+            let q = reg.q();
+            let d = m.xor(&a, &q);
+            m.connect_reg(reg, &d);
+            m.output("y", &q);
+        });
+        let text = r.to_string();
+        for needle in ["Minimum period", "Maximum frequency", "Maximum net delay"] {
+            assert!(text.contains(needle), "missing {needle}:\n{text}");
+        }
+    }
+}

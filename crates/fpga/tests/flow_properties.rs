@@ -1,0 +1,110 @@
+//! Property tests over the implementation flow: resource conservation,
+//! placement legality and timing sanity on randomly generated designs.
+
+use fpga::device::Device;
+use fpga::flow::{run_flow, FlowOptions};
+use fpga::pack::pack;
+use fpga::place::PlaceOptions;
+use proptest::prelude::*;
+use rtl::hdl::ModuleBuilder;
+use rtl::netlist::Netlist;
+
+/// Builds a random-but-legal registered datapath of `stages` stages over
+/// `width`-bit values.
+fn random_design(width: usize, stages: usize, taps: &[u8]) -> Netlist {
+    let mut nl = Netlist::new("rand");
+    let mut m = ModuleBuilder::root(&mut nl);
+    let a = m.input("a", width);
+    let r = m.reg("acc", width);
+    let q = r.q();
+    let mut v = m.xor(&a, &q);
+    for (i, &t) in taps.iter().take(stages).enumerate() {
+        let mut s = m.scope(&format!("stage{i}"));
+        v = match t % 4 {
+            0 => s.add(&v, &q).sum,
+            1 => s.sub(&v, &a).diff,
+            2 => {
+                let sel = v.bit(0);
+                s.mux2(&sel, &a, &q)
+            }
+            _ => {
+                let amt = v.slice(0..2);
+                s.barrel_rotl(&v, &amt)
+            }
+        };
+    }
+    m.connect_reg(r, &v);
+    m.output("y", &q);
+    drop(m);
+    nl
+}
+
+fn opts() -> FlowOptions {
+    FlowOptions {
+        place: PlaceOptions {
+            seed: 11,
+            moves_per_slice: 4,
+        },
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn flow_invariants_on_random_designs(
+        width in 2usize..12,
+        taps in proptest::collection::vec(any::<u8>(), 1..6),
+    ) {
+        let nl = random_design(width, taps.len(), &taps);
+        nl.validate().unwrap();
+        let stats = nl.stats();
+        let flow = run_flow(&nl, &opts()).unwrap();
+
+        // Conservation: every LUT/FF packed exactly once.
+        let (luts, ffs) = flow.packing.resource_counts();
+        prop_assert_eq!(luts, stats.luts());
+        prop_assert_eq!(ffs, stats.dffs);
+
+        // Placement legality: one slice per site, sites on the grid.
+        let (rows, cols) = flow.placement.device.clb_grid();
+        let mut seen = std::collections::HashSet::new();
+        for &site in &flow.placement.slice_sites {
+            prop_assert!(seen.insert(site));
+            prop_assert!(site.0 < rows && site.1 < cols && site.2 < 2);
+        }
+
+        // Timing sanity: period covers clk->q + setup and at least one
+        // logic level; fmax consistent.
+        prop_assert!(flow.timing.min_period_ns > 2.0);
+        prop_assert!(flow.timing.max_net_delay_ns > 0.0);
+        prop_assert!(
+            (flow.timing.fmax_mhz - 1000.0 / flow.timing.min_period_ns).abs() < 1e-6
+        );
+
+        // Report consistency.
+        prop_assert_eq!(flow.summary.slices_used, flow.packing.slice_count());
+        prop_assert!(flow.summary.gates > 0);
+    }
+
+    #[test]
+    fn more_placement_effort_never_hurts_much(
+        width in 4usize..10,
+        taps in proptest::collection::vec(any::<u8>(), 2..5),
+    ) {
+        let nl = random_design(width, taps.len(), &taps);
+        let p = pack(&nl);
+        let lazy = fpga::place::place(
+            &nl, &p, Device::XC2S100,
+            &PlaceOptions { seed: 3, moves_per_slice: 0 },
+        ).unwrap();
+        let tried = fpga::place::place(
+            &nl, &p, Device::XC2S100,
+            &PlaceOptions { seed: 3, moves_per_slice: 32 },
+        ).unwrap();
+        // Annealing keeps the best seen configuration, so it can only be
+        // equal or better than the initial placement.
+        prop_assert!(tried.cost <= lazy.cost + 1e-9);
+    }
+}

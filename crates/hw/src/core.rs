@@ -1,0 +1,407 @@
+//! The improved (parallel-replacement) MHHEA processor.
+//!
+//! Elaborates the six modules of the paper's Figure 4 plus the Figure 1
+//! control FSM into a LUT/DFF/TBUF netlist:
+//!
+//! * **Message cache** — a 32-bit register; each 16-bit half is read onto a
+//!   TBUF bus selected by the half pointer.
+//! * **Key cache** — sixteen 6-bit pair registers, write-decoded by the
+//!   load address, read onto two 3-bit TBUF buses by the pair pointer.
+//! * **Comparator(s)** — sort the raw pair and the scrambled pair.
+//! * **Scramble unit** — `kn₁ = (V[k₂+8..k₁+8] XOR k₁) & 7`,
+//!   `kn₂ = (kn₁ + (k₂−k₁)) mod 8`, then sort.
+//! * **Message alignment** — one shared 16-bit barrel rotator: circulate
+//!   left by `kn₁` in `Circ`, circulate right by `kn₂+1` (as a left
+//!   rotation by `15−kn₂ ≡ 16−(kn₂+1)`) in `Encrypt`.
+//! * **Encryption module** — eight mux lanes replacing the span bits with
+//!   pattern-XORed message bits; the high byte passes through.
+//! * **RNG** — the 16-bit LFSR with a combinational 16-step leap-forward
+//!   network derived from the GF(2) transition matrix.
+//!
+//! The port list is exactly the paper's 57 bonded IOBs.
+
+use crate::modules::{
+    build_key_cache, build_scramble, connect_leap_lfsr, in_span, pattern_bit,
+};
+use crate::State;
+use rtl::hdl::{ModuleBuilder, Signal};
+use rtl::netlist::{NetId, Netlist};
+
+/// Internal signals exposed for waveform capture (Figures 5–8) and
+/// white-box tests.
+#[derive(Debug, Clone)]
+pub struct DebugNets {
+    /// FSM state register (3 bits).
+    pub state: Vec<NetId>,
+    /// 32-bit message cache.
+    pub msg_cache: Vec<NetId>,
+    /// 16-bit alignment buffer.
+    pub align_buf: Vec<NetId>,
+    /// 16-bit hiding vector (LFSR state).
+    pub vector: Vec<NetId>,
+    /// Raw key pair read from the cache (left half).
+    pub key_left: Vec<NetId>,
+    /// Raw key pair read from the cache (right half).
+    pub key_right: Vec<NetId>,
+    /// Smaller scrambled key `kn₁` (after sorting).
+    pub kn_low: Vec<NetId>,
+    /// Larger scrambled key `kn₂` (after sorting).
+    pub kn_high: Vec<NetId>,
+    /// Smaller original key half `k₁` (pattern source).
+    pub k_small: Vec<NetId>,
+    /// Consumed-bits counter (4 bits).
+    pub consumed: Vec<NetId>,
+    /// Key pair pointer (4 bits).
+    pub key_ptr: Vec<NetId>,
+    /// Registered cipher output (16 bits).
+    pub cipher: Vec<NetId>,
+}
+
+/// The elaborated core: netlist plus debug taps.
+#[derive(Debug, Clone)]
+pub struct MhheaCore {
+    /// The gate-level netlist (validated).
+    pub netlist: Netlist,
+    /// Debug taps for tracing.
+    pub debug: DebugNets,
+}
+
+/// Zero-extends a signal to `width` bits with constant zeros.
+fn zext(m: &mut ModuleBuilder<'_>, s: &Signal, width: usize) -> Signal {
+    assert!(width >= s.width());
+    let pad = m.constant(0, width - s.width());
+    s.concat(&pad)
+}
+
+/// Elaboration options (ablation knobs — see `DESIGN.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoreOptions {
+    /// Use two dedicated barrel rotators (a left one for `Circ`, a right
+    /// one for `Encrypt`) instead of the shared single rotator. This is
+    /// the naive reading of the paper's alignment module; the shared
+    /// rotator exploits `rotr(k+1) ≡ rotl(15−k)` to halve the mux count.
+    pub dual_rotators: bool,
+}
+
+/// Builds the full MHHEA processor with the default (shared-rotator)
+/// alignment.
+///
+/// # Panics
+///
+/// Panics if elaboration produces an invalid netlist (a bug, covered by
+/// tests).
+pub fn build_mhhea_core() -> MhheaCore {
+    build_mhhea_core_with(CoreOptions::default())
+}
+
+/// Builds the MHHEA processor with explicit ablation options.
+///
+/// # Panics
+///
+/// Panics if elaboration produces an invalid netlist (a bug, covered by
+/// tests).
+pub fn build_mhhea_core_with(options: CoreOptions) -> MhheaCore {
+    let mut nl = Netlist::new(if options.dual_rotators {
+        "mhhea_dualrot"
+    } else {
+        "mhhea"
+    });
+    let mut m = ModuleBuilder::root(&mut nl);
+
+    // ---- Ports (57 IOBs: 40 in, 17 out, matching the paper) ----
+    let go = m.input("go", 1);
+    let plain_in = m.input("plain_in", 32);
+    let last_word = m.input("last_word", 1);
+    let key_in = m.input("key_in", 6);
+
+    // ---- Register declarations (q available before connection) ----
+    let state_reg = m.reg("ctrl.state", 3);
+    let st = state_reg.q();
+    let key_addr_reg = m.reg("ctrl.key_addr", 4);
+    let key_addr = key_addr_reg.q();
+    let key_ptr_reg = m.reg("ctrl.key_ptr", 4);
+    let key_ptr = key_ptr_reg.q();
+    let consumed_reg = m.reg("ctrl.consumed", 4);
+    let consumed = consumed_reg.q();
+    let half_sel_reg = m.reg("ctrl.half_sel", 1);
+    let half_sel = half_sel_reg.q();
+    let key_full_reg = m.reg("ctrl.key_full", 1);
+    let key_full = key_full_reg.q();
+    let ready_reg = m.reg("ctrl.ready", 1);
+    let ready = ready_reg.q();
+    let cipher_reg = m.reg("encmod.cipher", 16);
+    let cipher_q = cipher_reg.q();
+    let msg_cache_reg = m.reg("msgcache.word", 32);
+    let msg_cache = msg_cache_reg.q();
+    let align_reg = m.reg("align.buf", 16);
+    let align_q = align_reg.q();
+    let lfsr_reg = m.reg("rng.lfsr", 16);
+    let lfsr_q = lfsr_reg.q();
+
+    // ---- State decodes ----
+    let (is_init, is_lmsg, is_lkey, is_lmsgcache, is_circ, is_encrypt) = {
+        let mut c = m.scope("ctrl");
+        (
+            c.eq_const(&st, State::Init.encoding()),
+            c.eq_const(&st, State::LMsg.encoding()),
+            c.eq_const(&st, State::LKey.encoding()),
+            c.eq_const(&st, State::LMsgCache.encoding()),
+            c.eq_const(&st, State::Circ.encoding()),
+            c.eq_const(&st, State::Encrypt.encoding()),
+        )
+    };
+
+    // ---- Message cache: 32-bit word, halves multiplexed over a TBUF bus.
+    let bus_half = {
+        let mut mc = m.scope("msgcache");
+        let bus = mc.bus("half", 16);
+        let low = msg_cache.slice(0..16);
+        let high = msg_cache.slice(16..32);
+        let sel_low = mc.not(&half_sel);
+        mc.drive_bus(&bus, &low, &sel_low);
+        mc.drive_bus(&bus, &high, &half_sel);
+        bus
+    };
+
+    // ---- Key cache: 16 pair registers, TBUF read buses.
+    let kc = build_key_cache(&mut m, &is_lkey, &key_full, &key_addr, &key_ptr, &key_in);
+    let (key_left, key_right, key_we) = (kc.left, kc.right, kc.we);
+
+    // ---- Scramble unit: sort pair, slice the high byte, XOR, add, sort.
+    let sc = build_scramble(&mut m, &key_left, &key_right, &lfsr_q.slice(8..16));
+    let (k1, kn_low, kn_high, diff_kn) = (sc.k1, sc.kn_low, sc.kn_high, sc.diff_kn);
+
+    // ---- Span arithmetic: all_enc = (consumed + span) >= 16.
+    let (all_enc, consumed_next) = {
+        let mut sp = m.scope("span");
+        let consumed5 = zext(&mut sp, &consumed, 5);
+        let diff5 = zext(&mut sp, &diff_kn, 5);
+        let sum5 = sp.add(&consumed5, &diff5).sum;
+        let next5 = sp.inc(&sum5); // consumed + (diff + 1) = consumed + span
+        (next5.bit(4), next5.slice(0..4))
+    };
+
+    // ---- RNG: leap-forward LFSR (16 steps per enable).
+    {
+        let mut rng = m.scope("rngce");
+        let cont = {
+            let ne = rng.not(&all_enc);
+            rng.and(&is_encrypt, &ne)
+        };
+        let leap_en = {
+            
+            rng.or(&is_lmsgcache, &cont)
+        };
+        drop(rng);
+        connect_leap_lfsr(&mut m, lfsr_reg, &lfsr_q, &is_init, &leap_en);
+    }
+
+    // ---- Message alignment.
+    {
+        let mut al = m.scope("align");
+        let knl4 = zext(&mut al, &kn_low, 4);
+        let rotated = if options.dual_rotators {
+            // Naive variant: dedicated left and right rotators, muxed by
+            // state. Costs one extra rotator (64 LUT3s) plus the output
+            // mux; kept as an ablation of the paper's area-saving trick.
+            let left = al.barrel_rotl(&align_q, &knl4);
+            let knr4 = zext(&mut al, &kn_high, 4);
+            let amt_r = al.inc(&knr4); // kn₂ + 1
+            let right = al.barrel_rotr(&align_q, &amt_r);
+            al.mux2(&is_circ, &right, &left)
+        } else {
+            // Shared rotator: rotr by (kn₂+1) == rotl by 15−kn₂ == rotl by
+            // NOT(kn₂) in 4 bits.
+            let knr4 = zext(&mut al, &kn_high, 4);
+            let enc_amt = al.not(&knr4);
+            let amount = al.mux2(&is_circ, &enc_amt, &knl4);
+            al.barrel_rotl(&align_q, &amount)
+        };
+        let d = al.mux2(&is_lmsgcache, &rotated, &bus_half);
+        let ce = {
+            let a = al.or(&is_lmsgcache, &is_circ);
+            al.or(&a, &is_encrypt)
+        };
+        al.connect_reg_en(align_reg, &d, &ce);
+    }
+
+    // ---- Message cache load ----
+    m.connect_reg_en(msg_cache_reg, &plain_in, &is_lmsg);
+
+    // ---- Encryption module: eight replacement lanes + pass-through high
+    // byte.
+    let cipher_comb = {
+        let mut en = m.scope("encmod");
+        let mut low_nets = Vec::with_capacity(8);
+        for j in 0..8usize {
+            let lane_in_span = in_span(&mut en, j, &kn_low, &kn_high);
+            let pattern = pattern_bit(&mut en, j, &kn_low, &k1);
+            let enc_bit = en.xor(&align_q.bit(j), &pattern);
+            let out = en.mux2(&lane_in_span, &lfsr_q.bit(j), &enc_bit);
+            low_nets.push(out.net(0));
+        }
+        Signal::from_nets(low_nets).concat(&lfsr_q.slice(8..16))
+    };
+    m.connect_reg_en(cipher_reg, &cipher_comb, &is_encrypt);
+
+    // ---- Control: counters and next-state logic ----
+    {
+        let mut c = m.scope("ctrl");
+        // Key-load address counter.
+        let ka_next = c.inc(&key_addr);
+        c.connect_reg_en(key_addr_reg, &ka_next, &key_we);
+        // Key-full latch.
+        let at_last = c.eq_const(&key_addr, 15);
+        let filling_last = c.and(&is_lkey, &at_last);
+        let kf_next = c.or(&key_full, &filling_last);
+        c.connect_reg(key_full_reg, &kf_next);
+        // Pair pointer advances once per block.
+        let kp_next = c.inc(&key_ptr);
+        c.connect_reg_en(key_ptr_reg, &kp_next, &is_encrypt);
+        // Consumed counter: zero on buffer load, accumulate per block.
+        let zero4 = c.constant(0, 4);
+        let cons_d = c.mux2(&is_lmsgcache, &consumed_next, &zero4);
+        let cons_ce = c.or(&is_lmsgcache, &is_encrypt);
+        c.connect_reg_en(consumed_reg, &cons_d, &cons_ce);
+        // Half pointer: low half after LMsg, high half after the first
+        // half completes.
+        let not_half = c.not(&half_sel);
+        let finish_low = {
+            let a = c.and(&is_encrypt, &all_enc);
+            c.and(&a, &not_half)
+        };
+        let hs_ce = c.or(&is_lmsg, &finish_low);
+        let hs_d = c.not(&is_lmsg);
+        c.connect_reg_en(half_sel_reg, &hs_d, &hs_ce);
+        // Ready: one pulse per Encrypt state.
+        c.connect_reg(ready_reg, &is_encrypt);
+
+        // Next-state logic (Figure 1).
+        let s_init = c.constant(State::Init.encoding(), 3);
+        let s_lmsg = c.constant(State::LMsg.encoding(), 3);
+        let s_lkey = c.constant(State::LKey.encoding(), 3);
+        let s_lmsgc = c.constant(State::LMsgCache.encoding(), 3);
+        let s_circ = c.constant(State::Circ.encoding(), 3);
+        let s_enc = c.constant(State::Encrypt.encoding(), 3);
+        let from_init = c.mux2(&go, &s_init, &s_lmsg);
+        let key_done = c.or(&key_full, &at_last);
+        let from_lkey = c.mux2(&key_done, &s_lkey, &s_lmsgc);
+        let eof_target = c.mux2(&last_word, &s_lmsg, &s_init);
+        let half_target = c.mux2(&half_sel, &s_lmsgc, &eof_target);
+        let from_enc = c.mux2(&all_enc, &s_circ, &half_target);
+        let low2 = st.slice(0..2);
+        let low_states = c.mux4(&low2, &[&from_init, &s_lkey, &from_lkey, &s_circ]);
+        let high_states = c.mux4(&low2, &[&s_enc, &from_enc, &s_enc, &from_enc]);
+        let next_state = c.mux2(&st.bit(2), &low_states, &high_states);
+        c.connect_reg(state_reg, &next_state);
+    }
+
+    // ---- Outputs ----
+    m.output("cipher_out", &cipher_q);
+    m.output("ready", &ready);
+
+    let debug = DebugNets {
+        state: st.nets().to_vec(),
+        msg_cache: msg_cache.nets().to_vec(),
+        align_buf: align_q.nets().to_vec(),
+        vector: lfsr_q.nets().to_vec(),
+        key_left: key_left.nets().to_vec(),
+        key_right: key_right.nets().to_vec(),
+        kn_low: kn_low.nets().to_vec(),
+        kn_high: kn_high.nets().to_vec(),
+        k_small: k1.nets().to_vec(),
+        consumed: consumed.nets().to_vec(),
+        key_ptr: key_ptr.nets().to_vec(),
+        cipher: cipher_q.nets().to_vec(),
+    };
+    drop(m);
+    nl.validate().expect("elaborated core must validate");
+    MhheaCore {
+        netlist: nl,
+        debug,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_elaborates_and_validates() {
+        let core = build_mhhea_core();
+        let stats = core.netlist.stats();
+        // Port list is the paper's 57 IOBs.
+        assert_eq!(stats.input_bits, 40);
+        assert_eq!(stats.output_bits, 17);
+        assert_eq!(stats.iobs(), 57);
+        // Register budget: 3+4+4+4+1+1+1+16+32+16+16 + 96 (key cache).
+        assert_eq!(stats.dffs, 194);
+        // TBUF buses: 16 (msg half) + 2×16 (msg halves are 16 wide × 2
+        // drivers = 32) ... count: 32 message + 96 key cache.
+        assert_eq!(stats.tbufs, 32 + 96);
+        assert!(stats.luts() > 200, "suspiciously small: {}", stats.luts());
+    }
+
+    #[test]
+    fn core_logic_depth_is_bounded() {
+        let core = build_mhhea_core();
+        let depth = core.netlist.logic_depth().unwrap();
+        // Scramble → span add → state mux is the deep path; the barrel
+        // rotators add ~6 levels. Anything above 40 means elaboration
+        // produced a pathological chain.
+        assert!((8..=40).contains(&depth), "depth {depth}");
+    }
+
+    #[test]
+    fn debug_taps_have_expected_widths() {
+        let core = build_mhhea_core();
+        let d = &core.debug;
+        assert_eq!(d.state.len(), 3);
+        assert_eq!(d.msg_cache.len(), 32);
+        assert_eq!(d.align_buf.len(), 16);
+        assert_eq!(d.vector.len(), 16);
+        assert_eq!(d.kn_low.len(), 3);
+        assert_eq!(d.kn_high.len(), 3);
+        assert_eq!(d.k_small.len(), 3);
+        assert_eq!(d.cipher.len(), 16);
+    }
+}
+
+#[cfg(test)]
+mod ablation_tests {
+    use super::*;
+    use crate::harness::MhheaCoreSim;
+
+    #[test]
+    fn dual_rotator_variant_is_functionally_identical() {
+        let key = mhhea::Key::from_nibbles(&[(0, 3), (2, 5), (7, 1)]).unwrap();
+        let words = vec![0xABCD_1234u32, 0x5A5A_A5A5];
+        let shared = build_mhhea_core();
+        let dual = build_mhhea_core_with(CoreOptions { dual_rotators: true });
+        let run_s = MhheaCoreSim::new(&shared)
+            .unwrap()
+            .encrypt_words(&key, &words)
+            .unwrap();
+        let run_d = MhheaCoreSim::new(&dual)
+            .unwrap()
+            .encrypt_words(&key, &words)
+            .unwrap();
+        assert_eq!(run_s.blocks, run_d.blocks);
+        assert_eq!(run_s.cycles, run_d.cycles);
+    }
+
+    #[test]
+    fn dual_rotator_variant_costs_more_luts() {
+        let shared = build_mhhea_core().netlist.stats().luts();
+        let dual = build_mhhea_core_with(CoreOptions { dual_rotators: true })
+            .netlist
+            .stats()
+            .luts();
+        // One extra 16-bit 4-stage rotator ≈ 64 LUTs, minus the shared
+        // version's amount mux and NOT, plus the output mux.
+        assert!(
+            dual > shared + 40,
+            "dual {dual} vs shared {shared}: ablation should cost LUTs"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! A decryption micro-architecture (extension — the paper builds only the
+//! encryptor).
+//!
+//! The receiver gets the 16-bit cipher blocks; the hiding vector's high
+//! byte arrives intact, so the same scramble unit recomputes `kn₁/kn₂`
+//! from the received block and the key cache. The extraction datapath
+//! un-rotates the span bits into a plaintext accumulation buffer:
+//!
+//! ```text
+//! ext[j]    = block[j] XOR pattern(j)          (8 lanes)
+//! rotated   = ext rotl (consumed − kn₁) mod 16 (barrel rotator)
+//! buffer[b] = rotated[b]  when consumed ≤ b < consumed + span
+//! ```
+//!
+//! Only the first `min(span, 16 − consumed)` span bits are fresh — exactly
+//! mirroring the encryptor's blind full-span embedding — and the write
+//! mask enforces that. A full 16-bit half is emitted per `Emit` state.
+//!
+//! The FSM is a receive-side sibling of Figure 1:
+//! `Init → LKey(×16) → (LBlk → Extract)* → Emit → …`.
+
+use crate::modules::{build_key_cache, build_scramble, pattern_bit};
+use rtl::hdl::{ModuleBuilder, Signal};
+use rtl::netlist::{NetId, Netlist};
+
+/// Decrypt-core FSM states (LKey keeps the shared encoding 2 so key
+/// loading is uniform across cores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum DecryptState {
+    /// Waiting for `go`.
+    Init = 0,
+    /// Latch one cipher block.
+    LBlk = 1,
+    /// Fill the key cache.
+    LKey = 2,
+    /// Recompute the span, extract fresh bits into the buffer.
+    Extract = 3,
+    /// Emit a completed 16-bit plaintext half.
+    Emit = 4,
+}
+
+impl DecryptState {
+    /// Binary encoding.
+    pub fn encoding(self) -> u64 {
+        self as u64
+    }
+}
+
+/// Debug taps of the decrypt core.
+#[derive(Debug, Clone)]
+pub struct DecryptDebugNets {
+    /// FSM state (3 bits).
+    pub state: Vec<NetId>,
+    /// Latched cipher block (16 bits).
+    pub block: Vec<NetId>,
+    /// Plaintext accumulation buffer (16 bits).
+    pub plain_buf: Vec<NetId>,
+    /// Consumed-bit counter (4 bits).
+    pub consumed: Vec<NetId>,
+    /// Scrambled span low end (3 bits).
+    pub kn_low: Vec<NetId>,
+    /// Scrambled span high end (3 bits).
+    pub kn_high: Vec<NetId>,
+}
+
+/// The elaborated decrypt core.
+#[derive(Debug, Clone)]
+pub struct MhheaDecryptCore {
+    /// Validated netlist.
+    pub netlist: Netlist,
+    /// Debug taps.
+    pub debug: DecryptDebugNets,
+}
+
+fn zext(m: &mut ModuleBuilder<'_>, s: &Signal, width: usize) -> Signal {
+    let pad = m.constant(0, width - s.width());
+    s.concat(&pad)
+}
+
+/// Builds the MHHEA decryption processor.
+///
+/// Ports: `go`, `cipher_in[16]`, `last_block`, `key_in[6]` in;
+/// `plain_out[16]`, `ready` out (41 IOBs).
+///
+/// # Panics
+///
+/// Panics if elaboration produces an invalid netlist (covered by tests).
+pub fn build_mhhea_decrypt_core() -> MhheaDecryptCore {
+    let mut nl = Netlist::new("mhhea_decrypt");
+    let mut m = ModuleBuilder::root(&mut nl);
+
+    let go = m.input("go", 1);
+    let cipher_in = m.input("cipher_in", 16);
+    let last_block = m.input("last_block", 1);
+    let key_in = m.input("key_in", 6);
+
+    // Registers.
+    let state_reg = m.reg("ctrl.state", 3);
+    let st = state_reg.q();
+    let key_addr_reg = m.reg("ctrl.key_addr", 4);
+    let key_addr = key_addr_reg.q();
+    let key_ptr_reg = m.reg("ctrl.key_ptr", 4);
+    let key_ptr = key_ptr_reg.q();
+    let key_full_reg = m.reg("ctrl.key_full", 1);
+    let key_full = key_full_reg.q();
+    let consumed_reg = m.reg("ctrl.consumed", 4);
+    let consumed = consumed_reg.q();
+    let ready_reg = m.reg("ctrl.ready", 1);
+    let ready = ready_reg.q();
+    let block_reg = m.reg("rx.block", 16);
+    let block_q = block_reg.q();
+    let buf_reg = m.reg("acc.buf", 16);
+    let buf_q = buf_reg.q();
+    let out_reg = m.reg("acc.out", 16);
+    let out_q = out_reg.q();
+
+    // State decodes.
+    let (_is_init, is_lblk, is_lkey, is_extract, is_emit) = {
+        let mut c = m.scope("ctrl");
+        (
+            c.eq_const(&st, DecryptState::Init.encoding()),
+            c.eq_const(&st, DecryptState::LBlk.encoding()),
+            c.eq_const(&st, DecryptState::LKey.encoding()),
+            c.eq_const(&st, DecryptState::Extract.encoding()),
+            c.eq_const(&st, DecryptState::Emit.encoding()),
+        )
+    };
+
+    // Key cache + scrambler over the *received* high byte.
+    let kc = build_key_cache(&mut m, &is_lkey, &key_full, &key_addr, &key_ptr, &key_in);
+    let sc = build_scramble(&mut m, &kc.left, &kc.right, &block_q.slice(8..16));
+
+    // Latch the incoming block.
+    m.connect_reg_en(block_reg, &cipher_in, &is_lblk);
+
+    // Span arithmetic: consumed + span (5 bits). Bit 4 is `all_done`; the
+    // low bits are the next consumed count; the full value bounds the
+    // extraction write mask.
+    let cons_plus_span = {
+        let mut sp = m.scope("span");
+        let consumed5 = zext(&mut sp, &consumed, 5);
+        let diff5 = zext(&mut sp, &sc.diff_kn, 5);
+        let sum5 = sp.add(&consumed5, &diff5).sum;
+        sp.inc(&sum5)
+    };
+    let all_done = cons_plus_span.bit(4);
+    let consumed_next = cons_plus_span.slice(0..4);
+
+    // Extraction datapath.
+    {
+        let mut ex = m.scope("extract");
+        // Un-scramble the low byte.
+        let mut ext_nets = Vec::with_capacity(16);
+        for j in 0..8usize {
+            let pattern = pattern_bit(&mut ex, j, &sc.kn_low, &sc.k1);
+            let bit = ex.xor(&block_q.bit(j), &pattern);
+            ext_nets.push(bit.net(0));
+        }
+        let zeros = ex.constant(0, 8);
+        let ext16 = Signal::from_nets(ext_nets).concat(&zeros);
+        // Rotate span bits to land at `consumed..`.
+        let knl4 = zext(&mut ex, &sc.kn_low, 4);
+        let rot_amt = ex.sub(&consumed, &knl4).diff; // mod-16 via 4-bit wrap
+        let rotated = ex.barrel_rotl(&ext16, &rot_amt);
+        // Per-bit write mask: consumed <= b < consumed + span.
+        let mut merged_nets = Vec::with_capacity(16);
+        for b in 0..16usize {
+            let ge = Signal::from_nets(vec![ex.lut_fn(
+                &format!("ge{b}"),
+                consumed.nets(),
+                move |c| c <= b,
+            )]);
+            let t = b + 1;
+            let lt = if t == 16 {
+                cons_plus_span.bit(4)
+            } else {
+                let low4 = cons_plus_span.slice(0..4);
+                let ge_low = Signal::from_nets(vec![ex.lut_fn(
+                    &format!("lt{b}"),
+                    low4.nets(),
+                    move |v| v >= t,
+                )]);
+                ex.or(&cons_plus_span.bit(4), &ge_low)
+            };
+            let mask = ex.and(&ge, &lt);
+            let bit = ex.mux2(&mask, &buf_q.bit(b), &rotated.bit(b));
+            merged_nets.push(bit.net(0));
+        }
+        let merged = Signal::from_nets(merged_nets);
+        ex.connect_reg_en(buf_reg, &merged, &is_extract);
+    }
+
+    // Output register + ready pulse.
+    m.connect_reg_en(out_reg, &buf_q, &is_emit);
+
+    // Control.
+    {
+        let mut c = m.scope("ctrl");
+        let ka_next = c.inc(&key_addr);
+        c.connect_reg_en(key_addr_reg, &ka_next, &kc.we);
+        let at_last = c.eq_const(&key_addr, 15);
+        let filling_last = c.and(&is_lkey, &at_last);
+        let kf_next = c.or(&key_full, &filling_last);
+        c.connect_reg(key_full_reg, &kf_next);
+        let kp_next = c.inc(&key_ptr);
+        c.connect_reg_en(key_ptr_reg, &kp_next, &is_extract);
+        // Consumed: accumulate per block, clear at Emit.
+        let zero4 = c.constant(0, 4);
+        let cons_d = c.mux2(&is_emit, &consumed_next, &zero4);
+        let cons_ce = c.or(&is_extract, &is_emit);
+        c.connect_reg_en(consumed_reg, &cons_d, &cons_ce);
+        c.connect_reg(ready_reg, &is_emit);
+
+        // Next-state logic.
+        let s = |c: &mut ModuleBuilder<'_>, v: DecryptState| c.constant(v.encoding(), 3);
+        let s_init = s(&mut c, DecryptState::Init);
+        let s_lblk = s(&mut c, DecryptState::LBlk);
+        let s_lkey = s(&mut c, DecryptState::LKey);
+        let s_extract = s(&mut c, DecryptState::Extract);
+        let s_emit = s(&mut c, DecryptState::Emit);
+        let from_init = c.mux2(&go, &s_init, &s_lkey);
+        let key_done = c.or(&key_full, &at_last);
+        let from_lkey = c.mux2(&key_done, &s_lkey, &s_lblk);
+        let next_or_eof = c.mux2(&last_block, &s_lblk, &s_init);
+        let from_extract = c.mux2(&all_done, &next_or_eof, &s_emit);
+        let from_emit = next_or_eof.clone();
+        let low2 = st.slice(0..2);
+        let low_states = c.mux4(&low2, &[&from_init, &s_extract, &from_lkey, &from_extract]);
+        let high_states = from_emit;
+        let next_state = c.mux2(&st.bit(2), &low_states, &high_states);
+        c.connect_reg(state_reg, &next_state);
+    }
+
+    m.output("plain_out", &out_q);
+    m.output("ready", &ready);
+
+    let debug = DecryptDebugNets {
+        state: st.nets().to_vec(),
+        block: block_q.nets().to_vec(),
+        plain_buf: buf_q.nets().to_vec(),
+        consumed: consumed.nets().to_vec(),
+        kn_low: sc.kn_low.nets().to_vec(),
+        kn_high: sc.kn_high.nets().to_vec(),
+    };
+    drop(m);
+    nl.validate().expect("elaborated decrypt core must validate");
+    MhheaDecryptCore { netlist: nl, debug }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decrypt_core_elaborates() {
+        let core = build_mhhea_decrypt_core();
+        let stats = core.netlist.stats();
+        assert_eq!(stats.input_bits, 24);
+        assert_eq!(stats.output_bits, 17);
+        assert!(stats.dffs > 140, "dffs {}", stats.dffs);
+        assert_eq!(stats.tbufs, 96); // key cache only
+    }
+
+    #[test]
+    fn decrypt_core_depth_is_bounded() {
+        let core = build_mhhea_decrypt_core();
+        let depth = core.netlist.logic_depth().unwrap();
+        assert!((8..=45).contains(&depth), "depth {depth}");
+    }
+}

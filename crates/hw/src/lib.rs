@@ -1,0 +1,138 @@
+//! The MHHEA micro-architecture, gate by gate.
+//!
+//! This crate elaborates the paper's processor (§III) onto the
+//! [`rtl`] substrate:
+//!
+//! * [`core`] — the improved parallel-replacement design: message cache,
+//!   message alignment (one shared 16-bit barrel rotator used for both
+//!   circulate-left and circulate-right), key cache (16 pairs of 3-bit
+//!   registers read over TBUF buses), comparators, the location/data
+//!   scrambler, the mux-based encryption module, the leap-forward LFSR and
+//!   the six-state control FSM of Figure 1.
+//! * [`serial`] — the prior serial HHEA design the paper improves on
+//!   (\[SAEB04a\]): one bit replaced per clock, so cycle count — and
+//!   therefore throughput — depends on the key. This is the baseline for
+//!   Table 1's HHEA row and for the timing-channel experiment.
+//! * [`decrypt`] — a receive-side micro-architecture (extension; the
+//!   paper builds only the encryptor): recomputes the scrambled spans
+//!   from the received blocks and reassembles 16-bit plaintext halves.
+//! * [`modules`] — the shared building blocks (key cache, scrambler,
+//!   leap-forward LFSR, span/pattern lanes), each verified exhaustively
+//!   against the software reference.
+//! * [`harness`] — cycle-accurate drivers that run any core inside the
+//!   [`rtl::sim::Simulator`], collect blocks/halves and cycle counts,
+//!   and cross-check against the software reference
+//!   ([`mhhea::Profile::HardwareFaithful`]).
+//!
+//! The top-level port list is exactly 57 bonded IOBs — `go`, `plain_in[32]`,
+//! `last_word`, `key_in[6]` in; `cipher_out[16]`, `ready` out — matching the
+//! paper's design summary.
+//!
+//! # Examples
+//!
+//! ```
+//! use mhhea::Key;
+//! use mhhea_hw::harness::MhheaCoreSim;
+//!
+//! let key = Key::from_nibbles(&[(0, 3), (2, 5)])?;
+//! let core = mhhea_hw::core::build_mhhea_core();
+//! let mut sim = MhheaCoreSim::new(&core)?;
+//! let run = sim.encrypt_words(&key, &[0xABCD_1234])?;
+//! assert!(!run.blocks.is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod core;
+pub mod decrypt;
+pub mod harness;
+pub mod modules;
+pub mod serial;
+
+/// The LFSR seed hard-wired into both cores (matches
+/// [`mhhea::LfsrSource::new`]`(0xACE1)` on the software side).
+pub const HW_LFSR_SEED: u16 = 0xACE1;
+
+/// FSM state encodings shared by the builders, the harness and the
+/// waveform tooling (Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum State {
+    /// Waiting for `go`; everything reset.
+    Init = 0,
+    /// Latch the 32-bit plaintext word.
+    LMsg = 1,
+    /// Fill the key cache (16 pairs, one per cycle).
+    LKey = 2,
+    /// Move one 16-bit half into the alignment buffer.
+    LMsgCache = 3,
+    /// Circulate the message left by the smaller scrambled key.
+    Circ = 4,
+    /// Replace the span, emit a cipher block, rotate right.
+    Encrypt = 5,
+}
+
+impl State {
+    /// All states in encoding order.
+    pub const ALL: [State; 6] = [
+        State::Init,
+        State::LMsg,
+        State::LKey,
+        State::LMsgCache,
+        State::Circ,
+        State::Encrypt,
+    ];
+
+    /// The binary encoding used by the state register.
+    pub fn encoding(self) -> u64 {
+        self as u64
+    }
+
+    /// Decodes a state register value.
+    pub fn from_encoding(v: u64) -> Option<State> {
+        State::ALL.into_iter().find(|s| s.encoding() == v)
+    }
+
+    /// Display name matching the paper's Figure 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            State::Init => "Init",
+            State::LMsg => "LMsg",
+            State::LKey => "LKey",
+            State::LMsgCache => "LMsgCache",
+            State::Circ => "Circ",
+            State::Encrypt => "Encrypt",
+        }
+    }
+}
+
+impl std::fmt::Display for State {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_encoding_roundtrip() {
+        for s in State::ALL {
+            assert_eq!(State::from_encoding(s.encoding()), Some(s));
+        }
+        assert_eq!(State::from_encoding(6), None);
+        assert_eq!(State::from_encoding(7), None);
+    }
+
+    #[test]
+    fn state_names_match_figure1() {
+        let names: Vec<&str> = State::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            ["Init", "LMsg", "LKey", "LMsgCache", "Circ", "Encrypt"]
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! Shared structural building blocks used by the encrypt, serial and
+//! decrypt cores: the key cache, the location scrambler and the
+//! leap-forward LFSR.
+
+use crate::HW_LFSR_SEED;
+use lfsr::Fibonacci;
+use rtl::hdl::{ModuleBuilder, Reg, Signal};
+use rtl::netlist::NetId;
+
+/// Key-cache outputs.
+pub struct KeyCacheOut {
+    /// Left half of the pair addressed by the read pointer (3 bits).
+    pub left: Signal,
+    /// Right half (3 bits).
+    pub right: Signal,
+    /// Write-enable actually applied (`is_lkey & !key_full`).
+    pub we: Signal,
+}
+
+/// Builds the 16-pair key cache: 6-bit registers, write decode on
+/// `key_addr`, read onto two 3-bit TBUF buses by `key_ptr`.
+pub fn build_key_cache(
+    m: &mut ModuleBuilder<'_>,
+    is_lkey: &Signal,
+    key_full: &Signal,
+    key_addr: &Signal,
+    key_ptr: &Signal,
+    key_in: &Signal,
+) -> KeyCacheOut {
+    let mut kc = m.scope("keycache");
+    let we = {
+        let nf = kc.not(key_full);
+        kc.and(is_lkey, &nf)
+    };
+    let bus_l = kc.bus("kl", 3);
+    let bus_r = kc.bus("kr", 3);
+    for i in 0..16u64 {
+        let pair_reg = kc.reg(&format!("pair{i}"), 6);
+        let pair_q = pair_reg.q();
+        let sel_w = kc.eq_const(key_addr, i);
+        let ce = kc.and(&we, &sel_w);
+        kc.connect_reg_en(pair_reg, key_in, &ce);
+        let sel_r = kc.eq_const(key_ptr, i);
+        kc.drive_bus(&bus_l, &pair_q.slice(0..3), &sel_r);
+        kc.drive_bus(&bus_r, &pair_q.slice(3..6), &sel_r);
+    }
+    KeyCacheOut {
+        left: bus_l,
+        right: bus_r,
+        we,
+    }
+}
+
+/// Scrambler outputs.
+pub struct ScrambleOut {
+    /// Smaller original key half `k₁` (pattern source, 3 bits).
+    pub k1: Signal,
+    /// Smaller scrambled key `kn₁` (3 bits).
+    pub kn_low: Signal,
+    /// Larger scrambled key `kn₂` (3 bits).
+    pub kn_high: Signal,
+    /// `kn₂ − kn₁` (3 bits; span = diff + 1).
+    pub diff_kn: Signal,
+}
+
+/// Builds the MHHEA location scrambler: sort the raw pair, slice the
+/// vector's high byte, XOR, add modulo 8, sort again.
+pub fn build_scramble(
+    m: &mut ModuleBuilder<'_>,
+    key_left: &Signal,
+    key_right: &Signal,
+    v_high: &Signal,
+) -> ScrambleOut {
+    assert_eq!(v_high.width(), 8, "scrambler expects the high byte");
+    let mut sc = m.scope("scramble");
+    let sorted = sc.sort_pair(key_left, key_right);
+    let (k1, k2) = (sorted.min, sorted.max);
+    let diff = sc.sub(&k2, &k1).diff;
+    // slice = (V_high >> k1) masked to min(width, 3) bits.
+    let shifted = sc.barrel_rotr(v_high, &k1);
+    let s3 = shifted.slice(0..3);
+    let one = sc.constant(1, 1);
+    let ge1 = Signal::from_nets(vec![sc.lut_fn("wmask_ge1", diff.nets(), |d| d >= 1)]);
+    let ge2 = Signal::from_nets(vec![sc.lut_fn("wmask_ge2", diff.nets(), |d| d >= 2)]);
+    let wmask = one.concat(&ge1).concat(&ge2);
+    let masked = sc.and(&s3, &wmask);
+    let kn1 = sc.xor(&masked, &k1);
+    let kn2 = sc.add(&kn1, &diff).sum; // 3-bit add is the mod-8
+    let sorted_kn = sc.sort_pair(&kn1, &kn2);
+    let diff_kn = sc.sub(&sorted_kn.max, &sorted_kn.min).diff;
+    ScrambleOut {
+        k1,
+        kn_low: sorted_kn.min,
+        kn_high: sorted_kn.max,
+        diff_kn,
+    }
+}
+
+/// Builds the 16-step leap network over the LFSR register's current value
+/// and connects the register: load the hard-wired seed at `load_seed`,
+/// leap when `leap_en`.
+pub fn connect_leap_lfsr(
+    m: &mut ModuleBuilder<'_>,
+    lfsr_reg: Reg,
+    lfsr_q: &Signal,
+    load_seed: &Signal,
+    leap_en: &Signal,
+) {
+    let mut rng = m.scope("rng");
+    let matrix = Fibonacci::from_table(16, 1)
+        .expect("16-bit table entry exists")
+        .leap_matrix(16);
+    let leap_nets: Vec<NetId> = (0..16)
+        .map(|i| {
+            let row = matrix.row(i);
+            let taps: Vec<NetId> = (0..16)
+                .filter(|j| (row >> j) & 1 == 1)
+                .map(|j| lfsr_q.net(j))
+                .collect();
+            rng.xor_many(&taps).net(0)
+        })
+        .collect();
+    let leap = Signal::from_nets(leap_nets);
+    let seed = rng.constant(HW_LFSR_SEED as u64, 16);
+    let d = rng.mux2(load_seed, &leap, &seed);
+    let ce = rng.or(load_seed, leap_en);
+    rng.connect_reg_en(lfsr_reg, &d, &ce);
+}
+
+/// The per-lane encryption pattern bit: `k₁[(lane − kn₁) mod 3]`,
+/// computed as two index LUTs plus a 3:1 bit mux.
+pub fn pattern_bit(
+    m: &mut ModuleBuilder<'_>,
+    lane: usize,
+    kn_low: &Signal,
+    k1: &Signal,
+) -> Signal {
+    let p0 = m.lut_fn(&format!("p0_{lane}"), kn_low.nets(), move |knl| {
+        (((lane + 8 - knl) % 8) % 3) & 1 == 1
+    });
+    let p1 = m.lut_fn(&format!("p1_{lane}"), kn_low.nets(), move |knl| {
+        (((lane + 8 - knl) % 8) % 3) >> 1 == 1
+    });
+    let m0 = m.mux2(&Signal::from_nets(vec![p0]), &k1.bit(0), &k1.bit(1));
+    m.mux2(&Signal::from_nets(vec![p1]), &m0, &k1.bit(2))
+}
+
+/// The per-lane span membership: `kn₁ ≤ lane ≤ kn₂`.
+pub fn in_span(
+    m: &mut ModuleBuilder<'_>,
+    lane: usize,
+    kn_low: &Signal,
+    kn_high: &Signal,
+) -> Signal {
+    let ge = Signal::from_nets(vec![m.lut_fn(
+        &format!("ge{lane}"),
+        kn_low.nets(),
+        move |knl| knl <= lane,
+    )]);
+    let le = Signal::from_nets(vec![m.lut_fn(
+        &format!("le{lane}"),
+        kn_high.nets(),
+        move |knr| lane <= knr,
+    )]);
+    m.and(&ge, &le)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhhea::block::scramble_locations;
+    use mhhea::KeyPair;
+    use rtl::netlist::Netlist;
+    use rtl::sim::Simulator;
+
+    /// Exhaustive check of the scrambler against the software reference,
+    /// all 64 pairs × a sample of vectors.
+    #[test]
+    fn scramble_unit_matches_software() {
+        let mut nl = Netlist::new("scr");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let kl = m.input("kl", 3);
+        let kr = m.input("kr", 3);
+        let vh = m.input("vh", 8);
+        let out = build_scramble(&mut m, &kl, &kr, &vh);
+        m.output("kn_low", &out.kn_low);
+        m.output("kn_high", &out.kn_high);
+        m.output("k1", &out.k1);
+        m.output("diff", &out.diff_kn);
+        drop(m);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for l in 0..8u64 {
+            for r in 0..8u64 {
+                for vh_val in [0x00u64, 0xFF, 0xA5, 0x3C, 0x81, 0x42] {
+                    sim.set_input("kl", l).unwrap();
+                    sim.set_input("kr", r).unwrap();
+                    sim.set_input("vh", vh_val).unwrap();
+                    let pair = KeyPair::new(l as u8, r as u8).unwrap();
+                    let v = (vh_val as u16) << 8;
+                    let (lo, hi) = scramble_locations(pair, v);
+                    assert_eq!(
+                        sim.output("kn_low").unwrap(),
+                        lo as u64,
+                        "kn1 for ({l},{r}) vh={vh_val:02x}"
+                    );
+                    assert_eq!(
+                        sim.output("kn_high").unwrap(),
+                        hi as u64,
+                        "kn2 for ({l},{r}) vh={vh_val:02x}"
+                    );
+                    assert_eq!(sim.output("k1").unwrap(), l.min(r));
+                    assert_eq!(sim.output("diff").unwrap(), (hi - lo) as u64);
+                }
+            }
+        }
+    }
+
+    /// The in-span and pattern lanes match the software block primitives.
+    #[test]
+    fn lane_helpers_match_software() {
+        let mut nl = Netlist::new("lanes");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let knl = m.input("knl", 3);
+        let knh = m.input("knh", 3);
+        let k1 = m.input("k1", 3);
+        let mut span_bits = Vec::new();
+        let mut pat_bits = Vec::new();
+        for lane in 0..8 {
+            span_bits.push(in_span(&mut m, lane, &knl, &knh).net(0));
+            pat_bits.push(pattern_bit(&mut m, lane, &knl, &k1).net(0));
+        }
+        m.output("span", &Signal::from_nets(span_bits));
+        m.output("pat", &Signal::from_nets(pat_bits));
+        drop(m);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for lo in 0..8u64 {
+            for hi in lo..8u64 {
+                for k1v in 0..8u64 {
+                    sim.set_input("knl", lo).unwrap();
+                    sim.set_input("knh", hi).unwrap();
+                    sim.set_input("k1", k1v).unwrap();
+                    let span = sim.output("span").unwrap();
+                    let pat = sim.output("pat").unwrap();
+                    for lane in 0..8u64 {
+                        let expect_in = lo <= lane && lane <= hi;
+                        assert_eq!((span >> lane) & 1 == 1, expect_in);
+                        if expect_in {
+                            let q = ((lane - lo) % 3) as u32;
+                            let expect_pat = (k1v >> q) & 1 == 1;
+                            assert_eq!(
+                                (pat >> lane) & 1 == 1,
+                                expect_pat,
+                                "lane {lane} lo {lo} k1 {k1v}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The LFSR leap register sequence matches the software source.
+    #[test]
+    fn leap_lfsr_matches_software_source() {
+        let mut nl = Netlist::new("rng");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let load = m.input("load", 1);
+        let en = m.input("en", 1);
+        let reg = m.reg("lfsr", 16);
+        let q = reg.q();
+        connect_leap_lfsr(&mut m, reg, &q, &load, &en);
+        m.output("v", &q);
+        drop(m);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("load", 1).unwrap();
+        sim.set_input("en", 0).unwrap();
+        sim.clock();
+        assert_eq!(sim.output("v").unwrap(), HW_LFSR_SEED as u64);
+        sim.set_input("load", 0).unwrap();
+        sim.set_input("en", 1).unwrap();
+        let mut sw = mhhea::LfsrSource::new(HW_LFSR_SEED).unwrap();
+        use mhhea::VectorSource;
+        for step in 0..32 {
+            sim.clock();
+            assert_eq!(
+                sim.output("v").unwrap(),
+                sw.next_vector().unwrap() as u64,
+                "leap step {step}"
+            );
+        }
+    }
+}

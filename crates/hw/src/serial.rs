@@ -1,0 +1,320 @@
+//! The prior bit-serial HHEA core (\[SAEB04a\]) — the design the paper
+//! improves on.
+//!
+//! One message bit is replaced per clock cycle: a block costs
+//! `span + 2` cycles (`Setup`, `span × Shift`, `Out`) instead of the
+//! parallel core's constant two. Throughput therefore depends on the key —
+//! the timing side channel the paper's §I calls a security vulnerability.
+//! No location or data scrambling is performed (original HHEA).
+
+use crate::modules::{build_key_cache, connect_leap_lfsr};
+use rtl::hdl::{ModuleBuilder, Signal};
+use rtl::netlist::{NetId, Netlist};
+
+/// Serial-core FSM states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SerialState {
+    /// Waiting for `go`.
+    Init = 0,
+    /// Latch the 32-bit plaintext word.
+    LMsg = 1,
+    /// Fill the key cache.
+    LKey = 2,
+    /// Load one 16-bit half into the shift buffer.
+    LMsgCache = 3,
+    /// Latch a fresh hiding vector, point `j` at the span start.
+    Setup = 4,
+    /// Replace one bit per cycle.
+    Shift = 5,
+    /// Emit the block, advance the key pointer.
+    Out = 6,
+}
+
+impl SerialState {
+    /// All states in encoding order.
+    pub const ALL: [SerialState; 7] = [
+        SerialState::Init,
+        SerialState::LMsg,
+        SerialState::LKey,
+        SerialState::LMsgCache,
+        SerialState::Setup,
+        SerialState::Shift,
+        SerialState::Out,
+    ];
+
+    /// Binary encoding.
+    pub fn encoding(self) -> u64 {
+        self as u64
+    }
+
+    /// Decodes a state register value.
+    pub fn from_encoding(v: u64) -> Option<SerialState> {
+        SerialState::ALL.into_iter().find(|s| s.encoding() == v)
+    }
+}
+
+/// Debug taps of the serial core.
+#[derive(Debug, Clone)]
+pub struct SerialDebugNets {
+    /// FSM state (3 bits).
+    pub state: Vec<NetId>,
+    /// Bit position counter `j` (3 bits).
+    pub j: Vec<NetId>,
+    /// Message shift buffer (16 bits).
+    pub msg_buf: Vec<NetId>,
+    /// Working hiding vector (16 bits).
+    pub vector: Vec<NetId>,
+    /// Consumed-bit counter (5 bits).
+    pub consumed: Vec<NetId>,
+}
+
+/// The elaborated serial HHEA core.
+#[derive(Debug, Clone)]
+pub struct SerialHheaCore {
+    /// Validated netlist.
+    pub netlist: Netlist,
+    /// Debug taps.
+    pub debug: SerialDebugNets,
+}
+
+/// Builds the bit-serial HHEA processor.
+///
+/// The port list matches the parallel core (57 IOBs) so the area
+/// comparison is apples-to-apples.
+///
+/// # Panics
+///
+/// Panics if elaboration produces an invalid netlist (covered by tests).
+pub fn build_serial_hhea_core() -> SerialHheaCore {
+    let mut nl = Netlist::new("hhea_serial");
+    let mut m = ModuleBuilder::root(&mut nl);
+
+    let go = m.input("go", 1);
+    let plain_in = m.input("plain_in", 32);
+    let last_word = m.input("last_word", 1);
+    let key_in = m.input("key_in", 6);
+
+    // Registers.
+    let state_reg = m.reg("ctrl.state", 3);
+    let st = state_reg.q();
+    let key_addr_reg = m.reg("ctrl.key_addr", 4);
+    let key_addr = key_addr_reg.q();
+    let key_ptr_reg = m.reg("ctrl.key_ptr", 4);
+    let key_ptr = key_ptr_reg.q();
+    let key_full_reg = m.reg("ctrl.key_full", 1);
+    let key_full = key_full_reg.q();
+    let consumed_reg = m.reg("ctrl.consumed", 5);
+    let consumed = consumed_reg.q();
+    let half_sel_reg = m.reg("ctrl.half_sel", 1);
+    let half_sel = half_sel_reg.q();
+    let ready_reg = m.reg("ctrl.ready", 1);
+    let ready = ready_reg.q();
+    let j_reg = m.reg("ctrl.j", 3);
+    let j = j_reg.q();
+    let msg_cache_reg = m.reg("msgcache.word", 32);
+    let msg_cache = msg_cache_reg.q();
+    let msg_buf_reg = m.reg("shift.buf", 16);
+    let msg_buf = msg_buf_reg.q();
+    let lfsr_reg = m.reg("rng.lfsr", 16);
+    let lfsr_q = lfsr_reg.q();
+    let v_reg = m.reg("vmod.v", 16);
+    let v_q = v_reg.q();
+    let cipher_reg = m.reg("vmod.cipher", 16);
+    let cipher_q = cipher_reg.q();
+
+    // State decodes.
+    let (is_init, is_lmsg, is_lkey, is_lmsgcache, is_setup, is_shift, is_out) = {
+        let mut c = m.scope("ctrl");
+        (
+            c.eq_const(&st, SerialState::Init.encoding()),
+            c.eq_const(&st, SerialState::LMsg.encoding()),
+            c.eq_const(&st, SerialState::LKey.encoding()),
+            c.eq_const(&st, SerialState::LMsgCache.encoding()),
+            c.eq_const(&st, SerialState::Setup.encoding()),
+            c.eq_const(&st, SerialState::Shift.encoding()),
+            c.eq_const(&st, SerialState::Out.encoding()),
+        )
+    };
+
+    // Message cache + half bus.
+    let bus_half = {
+        let mut mc = m.scope("msgcache");
+        let bus = mc.bus("half", 16);
+        let sel_low = mc.not(&half_sel);
+        mc.drive_bus(&bus, &msg_cache.slice(0..16), &sel_low);
+        mc.drive_bus(&bus, &msg_cache.slice(16..32), &half_sel);
+        bus
+    };
+    m.connect_reg_en(msg_cache_reg, &plain_in, &is_lmsg);
+
+    // Key cache (identical structure to the parallel core).
+    let kc = build_key_cache(&mut m, &is_lkey, &key_full, &key_addr, &key_ptr, &key_in);
+    let (key_left, key_right, key_we) = (kc.left, kc.right, kc.we);
+
+    // Comparator: HHEA uses the sorted raw pair directly.
+    let (k1, k2) = {
+        let mut cp = m.scope("cmp");
+        let s = cp.sort_pair(&key_left, &key_right);
+        (s.min, s.max)
+    };
+
+    // RNG: leap-forward LFSR, one leap per block. Leaping on the state
+    // *before* Setup (buffer load, or Out when more blocks follow) means
+    // the register already holds the block's fresh vector when Setup
+    // copies it into the working register.
+    let all_done = consumed.bit(4);
+    {
+        let mut rng = m.scope("rngce");
+        let cont = {
+            let nd = rng.not(&all_done);
+            rng.and(&is_out, &nd)
+        };
+        let leap_en = rng.or(&is_lmsgcache, &cont);
+        drop(rng);
+        connect_leap_lfsr(&mut m, lfsr_reg, &lfsr_q, &is_init, &leap_en);
+    }
+
+    // Working vector: copies the fresh vector at Setup; during Shift the
+    // bit addressed by `j` takes the message buffer's LSB.
+    {
+        let mut vm = m.scope("vmod");
+        let mut shift_bits = Vec::with_capacity(16);
+        for b in 0..16usize {
+            if b < 8 {
+                let j_eq = Signal::from_nets(vec![vm.lut_fn(
+                    &format!("jeq{b}"),
+                    j.nets(),
+                    |idx| idx == b,
+                )]);
+                let bit = vm.mux2(&j_eq, &v_q.bit(b), &msg_buf.bit(0));
+                shift_bits.push(bit.net(0));
+            } else {
+                shift_bits.push(v_q.net(b));
+            }
+        }
+        let shift_d = Signal::from_nets(shift_bits);
+        let d = vm.mux2(&is_setup, &shift_d, &lfsr_q);
+        let ce = vm.or(&is_setup, &is_shift);
+        vm.connect_reg_en(v_reg, &d, &ce);
+        vm.connect_reg_en(cipher_reg, &v_q, &is_out);
+    }
+
+    // Message shift buffer: load at LMsgCache, rotate right during Shift.
+    {
+        let mut sh = m.scope("shift");
+        let rotated = msg_buf.rotr_const(1);
+        let d = sh.mux2(&is_lmsgcache, &rotated, &bus_half);
+        let ce = sh.or(&is_lmsgcache, &is_shift);
+        sh.connect_reg_en(msg_buf_reg, &d, &ce);
+    }
+
+    // Control.
+    {
+        let mut c = m.scope("ctrl");
+        // Counters.
+        let ka_next = c.inc(&key_addr);
+        c.connect_reg_en(key_addr_reg, &ka_next, &key_we);
+        let at_last = c.eq_const(&key_addr, 15);
+        let filling_last = c.and(&is_lkey, &at_last);
+        let kf_next = c.or(&key_full, &filling_last);
+        c.connect_reg(key_full_reg, &kf_next);
+        let kp_next = c.inc(&key_ptr);
+        c.connect_reg_en(key_ptr_reg, &kp_next, &is_out);
+        // `j` runs from k₁ to k₂.
+        let j_next = c.inc(&j);
+        let j_d = c.mux2(&is_setup, &j_next, &k1);
+        let j_ce = c.or(&is_setup, &is_shift);
+        c.connect_reg_en(j_reg, &j_d, &j_ce);
+        // Consumed bits: reset on buffer load, +1 per shift.
+        let zero5 = c.constant(0, 5);
+        let cons_next = c.inc(&consumed);
+        let cons_d = c.mux2(&is_lmsgcache, &cons_next, &zero5);
+        let cons_ce = c.or(&is_lmsgcache, &is_shift);
+        c.connect_reg_en(consumed_reg, &cons_d, &cons_ce);
+        // Half pointer.
+        let not_half = c.not(&half_sel);
+        let finish_low = {
+            let a = c.and(&is_out, &all_done);
+            c.and(&a, &not_half)
+        };
+        let hs_ce = c.or(&is_lmsg, &finish_low);
+        let hs_d = c.not(&is_lmsg);
+        c.connect_reg_en(half_sel_reg, &hs_d, &hs_ce);
+        // Ready pulses the cycle after Out.
+        c.connect_reg(ready_reg, &is_out);
+
+        // Next-state logic.
+        let s = |c: &mut ModuleBuilder<'_>, v: SerialState| c.constant(v.encoding(), 3);
+        let s_init = s(&mut c, SerialState::Init);
+        let s_lmsg = s(&mut c, SerialState::LMsg);
+        let s_lkey = s(&mut c, SerialState::LKey);
+        let s_lmsgc = s(&mut c, SerialState::LMsgCache);
+        let s_setup = s(&mut c, SerialState::Setup);
+        let s_shift = s(&mut c, SerialState::Shift);
+        let s_out = s(&mut c, SerialState::Out);
+        let from_init = c.mux2(&go, &s_init, &s_lmsg);
+        let key_done = c.or(&key_full, &at_last);
+        let from_lkey = c.mux2(&key_done, &s_lkey, &s_lmsgc);
+        let span_done = c.eq(&j, &k2);
+        let from_shift = c.mux2(&span_done, &s_shift, &s_out);
+        let eof_target = c.mux2(&last_word, &s_lmsg, &s_init);
+        let half_target = c.mux2(&half_sel, &s_lmsgc, &eof_target);
+        let from_out = c.mux2(&all_done, &s_setup, &half_target);
+        let low2 = st.slice(0..2);
+        let low_states = c.mux4(&low2, &[&from_init, &s_lkey, &from_lkey, &s_setup]);
+        let high_states = c.mux4(&low2, &[&s_shift, &from_shift, &from_out, &s_init]);
+        let next_state = c.mux2(&st.bit(2), &low_states, &high_states);
+        c.connect_reg(state_reg, &next_state);
+    }
+
+    m.output("cipher_out", &cipher_q);
+    m.output("ready", &ready);
+
+    let debug = SerialDebugNets {
+        state: st.nets().to_vec(),
+        j: j.nets().to_vec(),
+        msg_buf: msg_buf.nets().to_vec(),
+        vector: v_q.nets().to_vec(),
+        consumed: consumed.nets().to_vec(),
+    };
+    drop(m);
+    nl.validate().expect("elaborated serial core must validate");
+    SerialHheaCore { netlist: nl, debug }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_core_elaborates() {
+        let core = build_serial_hhea_core();
+        let stats = core.netlist.stats();
+        assert_eq!(stats.iobs(), 57);
+        assert!(stats.dffs > 150, "dffs {}", stats.dffs);
+        assert_eq!(stats.tbufs, 128);
+    }
+
+    #[test]
+    fn serial_core_is_smaller_than_parallel() {
+        // The whole point of the serial design is lower logic cost (no
+        // barrel rotators, no scrambler) at the price of throughput.
+        let serial = build_serial_hhea_core();
+        let parallel = crate::core::build_mhhea_core();
+        assert!(
+            serial.netlist.stats().luts() < parallel.netlist.stats().luts(),
+            "serial {} vs parallel {}",
+            serial.netlist.stats().luts(),
+            parallel.netlist.stats().luts()
+        );
+    }
+
+    #[test]
+    fn state_encoding_roundtrip() {
+        for s in SerialState::ALL {
+            assert_eq!(SerialState::from_encoding(s.encoding()), Some(s));
+        }
+        assert_eq!(SerialState::from_encoding(7), None);
+    }
+}

@@ -1,0 +1,215 @@
+//! Fibonacci (external-XOR) LFSR.
+
+use crate::matrix::Gf2Matrix;
+use crate::taps::{primitive_taps, taps_to_mask, validate_taps};
+use crate::{mask, LfsrError};
+
+/// A Fibonacci LFSR: the feedback bit is the XOR of the tap bits and is
+/// shifted into the least significant position.
+///
+/// State bits are numbered `0..width`, LSB first; taps use the 1-indexed
+/// XAPP052 convention (see [`crate::taps`]).
+///
+/// This is the exact structure elaborated in hardware by the `mhhea-hw`
+/// crate; [`Fibonacci::leap`] performs the multi-step advance that the
+/// hardware realises as a combinational leap-forward network (see
+/// [`Fibonacci::leap_matrix`]).
+///
+/// # Examples
+///
+/// ```
+/// use lfsr::Fibonacci;
+///
+/// let mut l = Fibonacci::from_table(16, 1).unwrap();
+/// let first = l.state();
+/// let steps: Vec<u64> = (0..5).map(|_| { l.step(); l.state() }).collect();
+/// assert!(steps.iter().all(|&s| s != first));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fibonacci {
+    width: usize,
+    tap_mask: u64,
+    state: u64,
+}
+
+impl Fibonacci {
+    /// Creates an LFSR with explicit 1-indexed taps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LfsrError::ZeroSeed`] for a zero seed (after masking to
+    /// `width` bits), or a tap/width validation error.
+    pub fn new(width: usize, taps: &[usize], seed: u64) -> Result<Self, LfsrError> {
+        validate_taps(width, taps)?;
+        let state = seed & mask(width);
+        if state == 0 {
+            return Err(LfsrError::ZeroSeed);
+        }
+        Ok(Fibonacci {
+            width,
+            tap_mask: taps_to_mask(taps),
+            state,
+        })
+    }
+
+    /// Creates an LFSR using the XAPP052 primitive taps for `width`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LfsrError::UnsupportedWidth`] if `width` is not tabulated,
+    /// or [`LfsrError::ZeroSeed`] for a zero seed.
+    pub fn from_table(width: usize, seed: u64) -> Result<Self, LfsrError> {
+        Self::new(width, primitive_taps(width)?, seed)
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Current register contents (the hiding vector when `width == 16`).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// The feedback tap positions as a bit mask over state bits.
+    pub fn tap_mask(&self) -> u64 {
+        self.tap_mask
+    }
+
+    /// Advances one step; returns the bit shifted out of the MSB.
+    pub fn step(&mut self) -> bool {
+        let out = (self.state >> (self.width - 1)) & 1 == 1;
+        let fb = ((self.state & self.tap_mask).count_ones() & 1) as u64;
+        self.state = ((self.state << 1) | fb) & mask(self.width);
+        out
+    }
+
+    /// Advances `n` steps.
+    pub fn leap(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Returns the GF(2) matrix of a single step.
+    ///
+    /// Row `i` is the mask of current-state bits whose XOR forms next-state
+    /// bit `i`.
+    pub fn step_matrix(&self) -> Gf2Matrix {
+        let mut rows = vec![0u64; self.width];
+        rows[0] = self.tap_mask;
+        for (i, row) in rows.iter_mut().enumerate().skip(1) {
+            *row = 1u64 << (i - 1);
+        }
+        Gf2Matrix::from_rows(self.width, rows)
+    }
+
+    /// Returns the GF(2) matrix advancing the register `n` steps at once.
+    ///
+    /// The `mhhea-hw` crate turns each row of this matrix into an XOR tree,
+    /// producing the combinational network that advances the hiding-vector
+    /// LFSR a full 16 steps per clock.
+    pub fn leap_matrix(&self, n: usize) -> Gf2Matrix {
+        self.step_matrix().pow(n)
+    }
+
+    /// Produces the next `width`-bit hiding vector by leaping `width` steps.
+    ///
+    /// This matches the hardware contract: one clock ⇒ one fresh vector.
+    pub fn next_vector(&mut self) -> u64 {
+        self.leap(self.width);
+        self.state
+    }
+
+    /// Iterates output bits (MSB-out per step).
+    pub fn bits(&mut self) -> impl Iterator<Item = bool> + '_ {
+        core::iter::repeat_with(move || self.step())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_seed() {
+        assert_eq!(Fibonacci::from_table(8, 0), Err(LfsrError::ZeroSeed));
+        // Seed masked to width: 0x100 & 0xFF == 0.
+        assert_eq!(Fibonacci::from_table(8, 0x100), Err(LfsrError::ZeroSeed));
+    }
+
+    #[test]
+    fn never_reaches_zero_state() {
+        let mut l = Fibonacci::from_table(8, 1).unwrap();
+        for _ in 0..300 {
+            l.step();
+            assert_ne!(l.state(), 0);
+        }
+    }
+
+    #[test]
+    fn step_shifts_left_and_inserts_feedback() {
+        // width 3, taps [3, 2]: fb = bit2 ^ bit1.
+        let mut l = Fibonacci::new(3, &[3, 2], 0b100).unwrap();
+        let out = l.step();
+        assert!(out); // MSB was 1
+        assert_eq!(l.state(), 0b001); // fb = 1 ^ 0 = 1
+    }
+
+    #[test]
+    fn width3_sequence_is_maximal() {
+        let mut l = Fibonacci::from_table(3, 1).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..7 {
+            seen.insert(l.state());
+            l.step();
+        }
+        assert_eq!(seen.len(), 7);
+        assert_eq!(l.state(), 1); // back to seed after 2^3-1 steps
+    }
+
+    #[test]
+    fn leap_equals_repeated_steps() {
+        let mut a = Fibonacci::from_table(16, 0xBEEF).unwrap();
+        let mut b = a.clone();
+        a.leap(37);
+        for _ in 0..37 {
+            b.step();
+        }
+        assert_eq!(a.state(), b.state());
+    }
+
+    #[test]
+    fn leap_matrix_matches_leap() {
+        let l = Fibonacci::from_table(16, 0xACE1).unwrap();
+        let m = l.leap_matrix(16);
+        let mut stepped = l.clone();
+        stepped.leap(16);
+        assert_eq!(m.apply(l.state()), stepped.state());
+    }
+
+    #[test]
+    fn next_vector_changes_state() {
+        let mut l = Fibonacci::from_table(16, 0xACE1).unwrap();
+        let a = l.next_vector();
+        let b = l.next_vector();
+        assert_ne!(a, b);
+        assert_ne!(a, 0);
+    }
+
+    #[test]
+    fn width64_runs() {
+        let mut l = Fibonacci::from_table(64, 0xDEAD_BEEF_CAFE_F00D).unwrap();
+        let before = l.state();
+        l.leap(64);
+        assert_ne!(l.state(), before);
+    }
+
+    #[test]
+    fn bits_iterator_streams() {
+        let mut l = Fibonacci::from_table(8, 0x5A).unwrap();
+        let n: usize = l.bits().take(100).filter(|&b| b).count();
+        assert!(n > 20 && n < 80, "ones count {n} wildly unbalanced");
+    }
+}

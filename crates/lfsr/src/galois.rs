@@ -1,0 +1,144 @@
+//! Galois (internal-XOR) LFSR.
+
+use crate::taps::{primitive_taps, taps_to_mask, validate_taps};
+use crate::{mask, LfsrError};
+
+/// A Galois LFSR: when the output bit is 1, the tap mask is XORed into the
+/// shifted state.
+///
+/// Produces the same maximal-length cycle structure as the Fibonacci form
+/// with the same primitive polynomial (the state sequences are different but
+/// both have period `2^w − 1`). The Galois form needs only one XOR level per
+/// step, which is why serial hardware often prefers it; the suite uses it as
+/// an independent cross-check on the [`crate::Fibonacci`] implementation.
+///
+/// # Examples
+///
+/// ```
+/// use lfsr::Galois;
+///
+/// let mut g = Galois::from_table(16, 0xACE1).unwrap();
+/// g.step();
+/// assert_ne!(g.state(), 0xACE1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Galois {
+    width: usize,
+    tap_mask: u64,
+    state: u64,
+}
+
+impl Galois {
+    /// Creates a Galois LFSR with explicit 1-indexed taps.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::Fibonacci::new`].
+    pub fn new(width: usize, taps: &[usize], seed: u64) -> Result<Self, LfsrError> {
+        validate_taps(width, taps)?;
+        let state = seed & mask(width);
+        if state == 0 {
+            return Err(LfsrError::ZeroSeed);
+        }
+        Ok(Galois {
+            width,
+            tap_mask: taps_to_mask(taps),
+            state,
+        })
+    }
+
+    /// Creates a Galois LFSR from the XAPP052 table.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::Fibonacci::from_table`].
+    pub fn from_table(width: usize, seed: u64) -> Result<Self, LfsrError> {
+        Self::new(width, primitive_taps(width)?, seed)
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Current register contents.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Advances one step; returns the bit shifted out (LSB).
+    pub fn step(&mut self) -> bool {
+        let out = self.state & 1 == 1;
+        self.state >>= 1;
+        if out {
+            // In the right-shift LSB-out Galois form, polynomial exponent t
+            // toggles state bit t-1, which is exactly `taps_to_mask`.
+            self.state ^= self.tap_mask;
+        }
+        out
+    }
+
+    /// Advances `n` steps.
+    pub fn leap(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_seed() {
+        assert_eq!(Galois::from_table(8, 0), Err(LfsrError::ZeroSeed));
+    }
+
+    #[test]
+    fn never_zero_state() {
+        let mut g = Galois::from_table(8, 0xA5).unwrap();
+        for _ in 0..1000 {
+            g.step();
+            assert_ne!(g.state(), 0);
+        }
+    }
+
+    #[test]
+    fn maximal_period_small_width() {
+        // width 4 => period 15.
+        let mut g = Galois::from_table(4, 0b1000).unwrap();
+        let seed = g.state();
+        let mut period = 0usize;
+        loop {
+            g.step();
+            period += 1;
+            if g.state() == seed || period > 16 {
+                break;
+            }
+        }
+        assert_eq!(period, 15);
+    }
+
+    #[test]
+    fn galois_and_fibonacci_have_same_period_w8() {
+        let count_period = |mut f: Box<dyn FnMut() -> u64>, seed: u64| -> usize {
+            let mut n = 0;
+            loop {
+                let s = f();
+                n += 1;
+                if s == seed || n > 300 {
+                    return n;
+                }
+            }
+        };
+        let mut g = Galois::from_table(8, 1).unwrap();
+        let gseed = g.state();
+        let gp = count_period(Box::new(move || { g.step(); g.state() }), gseed);
+        let mut f = crate::Fibonacci::from_table(8, 1).unwrap();
+        let fseed = f.state();
+        let fp = count_period(Box::new(move || { f.step(); f.state() }), fseed);
+        assert_eq!(gp, 255);
+        assert_eq!(fp, 255);
+    }
+}

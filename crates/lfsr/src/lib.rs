@@ -1,0 +1,80 @@
+//! Linear feedback shift registers for the MHHEA hiding-vector generator.
+//!
+//! The paper's random-number-generator module is "designed using Linear
+//! Feedback Shift Register (LFSR) with primitive feedback polynomial to
+//! ensure a maximal-length sequence". This crate provides:
+//!
+//! * [`Fibonacci`] and [`Galois`] LFSRs of width 2–64 bits,
+//! * the classic XAPP052 primitive-tap table ([`taps::primitive_taps`]),
+//! * GF(2) transition matrices ([`matrix::Gf2Matrix`]) used both for
+//!   leap-forward software stepping and for elaborating the combinational
+//!   leap network in the hardware model,
+//! * period measurement and maximal-length verification ([`period`]),
+//! * a FIPS-140-1-style randomness battery ([`randomness`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use lfsr::Fibonacci;
+//!
+//! // The 16-bit hiding-vector generator of the MHHEA core.
+//! let mut rng = Fibonacci::from_table(16, 0xACE1).unwrap();
+//! let v0 = rng.state();
+//! rng.leap(16); // one hardware clock advances the LFSR 16 steps
+//! assert_ne!(rng.state(), v0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fibonacci;
+mod galois;
+pub mod matrix;
+pub mod period;
+pub mod randomness;
+pub mod taps;
+
+pub use fibonacci::Fibonacci;
+pub use galois::Galois;
+
+/// Errors produced when constructing or running an LFSR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LfsrError {
+    /// Requested register width is outside the supported 2..=64 range, or
+    /// has no entry in the primitive-tap table.
+    UnsupportedWidth(usize),
+    /// The all-zero state is a fixed point of an XOR-feedback LFSR and is
+    /// rejected as a seed.
+    ZeroSeed,
+    /// A tap position was zero or larger than the register width.
+    InvalidTap {
+        /// Offending tap position (1-indexed).
+        tap: usize,
+        /// Register width.
+        width: usize,
+    },
+}
+
+impl core::fmt::Display for LfsrError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LfsrError::UnsupportedWidth(w) => write!(f, "unsupported LFSR width {w}"),
+            LfsrError::ZeroSeed => write!(f, "all-zero seed is a fixed point of an XOR LFSR"),
+            LfsrError::InvalidTap { tap, width } => {
+                write!(f, "tap {tap} invalid for width {width}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LfsrError {}
+
+/// Masks a value to `width` low bits.
+pub(crate) fn mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}

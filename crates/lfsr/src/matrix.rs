@@ -1,0 +1,183 @@
+//! Square GF(2) matrices up to 64×64, used for leap-forward LFSR stepping.
+//!
+//! Each row is stored as a `u64` bit mask: row `i` lists the input bits
+//! whose XOR produces output bit `i`. Matrix multiplication is boolean
+//! (AND/XOR), so powers of the one-step LFSR transition give multi-step
+//! "leap" networks — exactly the structure synthesised into XOR trees by the
+//! hardware model.
+
+use crate::mask;
+
+/// A dense GF(2) matrix of dimension `width ≤ 64`.
+///
+/// # Examples
+///
+/// ```
+/// use lfsr::matrix::Gf2Matrix;
+///
+/// let id = Gf2Matrix::identity(4);
+/// assert_eq!(id.apply(0b1011), 0b1011);
+/// assert_eq!(id.pow(10), id);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gf2Matrix {
+    width: usize,
+    rows: Vec<u64>,
+}
+
+impl Gf2Matrix {
+    /// Builds a matrix from per-output-bit input masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != width`, `width` is 0 or exceeds 64, or a row
+    /// uses bits outside `0..width`.
+    pub fn from_rows(width: usize, rows: Vec<u64>) -> Self {
+        assert!((1..=64).contains(&width), "width {width} out of range");
+        assert_eq!(rows.len(), width, "row count must equal width");
+        for (i, &r) in rows.iter().enumerate() {
+            assert_eq!(r & !mask(width), 0, "row {i} uses bits beyond width");
+        }
+        Gf2Matrix { width, rows }
+    }
+
+    /// The identity transformation.
+    pub fn identity(width: usize) -> Self {
+        Gf2Matrix::from_rows(width, (0..width).map(|i| 1u64 << i).collect())
+    }
+
+    /// Matrix dimension.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Row `i`: the mask of input bits feeding output bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn row(&self, i: usize) -> u64 {
+        self.rows[i]
+    }
+
+    /// Applies the transformation to a state vector.
+    pub fn apply(&self, state: u64) -> u64 {
+        let state = state & mask(self.width);
+        let mut out = 0u64;
+        for (i, &row) in self.rows.iter().enumerate() {
+            let bit = ((state & row).count_ones() & 1) as u64;
+            out |= bit << i;
+        }
+        out
+    }
+
+    /// Returns `self ∘ other`: apply `other` first, then `self`.
+    #[must_use]
+    pub fn compose(&self, other: &Gf2Matrix) -> Gf2Matrix {
+        assert_eq!(self.width, other.width, "dimension mismatch");
+        let rows = self
+            .rows
+            .iter()
+            .map(|&arow| {
+                let mut r = 0u64;
+                for j in 0..self.width {
+                    if (arow >> j) & 1 == 1 {
+                        r ^= other.rows[j];
+                    }
+                }
+                r
+            })
+            .collect();
+        Gf2Matrix::from_rows(self.width, rows)
+    }
+
+    /// Computes `self^n` by square-and-multiply; `pow(0)` is the identity.
+    #[must_use]
+    pub fn pow(&self, mut n: usize) -> Gf2Matrix {
+        let mut result = Gf2Matrix::identity(self.width);
+        let mut base = self.clone();
+        while n > 0 {
+            if n & 1 == 1 {
+                result = base.compose(&result);
+            }
+            base = base.compose(&base.clone());
+            n >>= 1;
+        }
+        result
+    }
+
+    /// Total number of ones (XOR-network input count — a hardware cost
+    /// proxy used by area estimation).
+    pub fn popcount(&self) -> usize {
+        self.rows.iter().map(|r| r.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_applies_and_composes() {
+        let id = Gf2Matrix::identity(8);
+        assert_eq!(id.apply(0xA5), 0xA5);
+        assert_eq!(id.compose(&id), id);
+    }
+
+    #[test]
+    fn apply_masks_input() {
+        let id = Gf2Matrix::identity(4);
+        assert_eq!(id.apply(0xFF), 0x0F);
+    }
+
+    #[test]
+    fn compose_order_matters() {
+        // A: swap bits 0 and 1. B: bit0 ^= bit2 (bit0 = bit0 xor bit2).
+        let a = Gf2Matrix::from_rows(3, vec![0b010, 0b001, 0b100]);
+        let b = Gf2Matrix::from_rows(3, vec![0b101, 0b010, 0b100]);
+        let ab = a.compose(&b); // b first, then a
+        let ba = b.compose(&a); // a first, then b
+        assert_ne!(ab, ba);
+        // apply manually: state 0b100. b: bit0 = 1^0... state->0b101. a: swap -> 0b110.
+        assert_eq!(ab.apply(0b100), 0b110);
+        // a first: 0b100 -> swap -> 0b100 ; b: bit0 ^= bit2 -> 0b101.
+        assert_eq!(ba.apply(0b100), 0b101);
+    }
+
+    #[test]
+    fn pow_matches_repeated_compose() {
+        let m = Gf2Matrix::from_rows(3, vec![0b110, 0b001, 0b010]);
+        let m3 = m.compose(&m.compose(&m));
+        assert_eq!(m.pow(3), m3);
+        assert_eq!(m.pow(0), Gf2Matrix::identity(3));
+        assert_eq!(m.pow(1), m);
+    }
+
+    #[test]
+    fn pow_apply_matches_iterated_apply() {
+        let m = Gf2Matrix::from_rows(4, vec![0b1001, 0b0001, 0b0010, 0b0100]);
+        let mut s = 0b0110u64;
+        for _ in 0..11 {
+            s = m.apply(s);
+        }
+        assert_eq!(m.pow(11).apply(0b0110), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count")]
+    fn wrong_row_count_panics() {
+        Gf2Matrix::from_rows(3, vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond width")]
+    fn row_beyond_width_panics() {
+        Gf2Matrix::from_rows(3, vec![0b1000, 0, 0]);
+    }
+
+    #[test]
+    fn popcount_counts_all_ones() {
+        let m = Gf2Matrix::from_rows(3, vec![0b111, 0b010, 0b000]);
+        assert_eq!(m.popcount(), 4);
+    }
+}

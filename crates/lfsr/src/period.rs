@@ -1,0 +1,89 @@
+//! Period measurement and maximal-length verification.
+//!
+//! A primitive feedback polynomial guarantees the LFSR walks all `2^w − 1`
+//! nonzero states before repeating. These helpers verify that claim — the
+//! paper relies on it for the quality of the hiding vector.
+
+use crate::{Fibonacci, LfsrError};
+
+/// Measures the period of `lfsr` from its current state, giving up after
+/// `limit` steps.
+///
+/// Returns `None` if the state does not recur within `limit` steps.
+pub fn period_of(lfsr: &mut Fibonacci, limit: u64) -> Option<u64> {
+    let seed = lfsr.state();
+    for n in 1..=limit {
+        lfsr.step();
+        if lfsr.state() == seed {
+            return Some(n);
+        }
+    }
+    None
+}
+
+/// Verifies that the tabulated taps for `width` generate a maximal-length
+/// sequence (`period == 2^width − 1`).
+///
+/// Cost is `O(2^width)`; keep `width ≤ 24` in tests.
+///
+/// # Errors
+///
+/// Propagates construction errors for untabulated widths.
+///
+/// ```
+/// assert!(lfsr::period::is_maximal_length(10).unwrap());
+/// ```
+pub fn is_maximal_length(width: usize) -> Result<bool, LfsrError> {
+    let mut l = Fibonacci::from_table(width, 1)?;
+    let expected = (1u64 << width) - 1;
+    Ok(period_of(&mut l, expected + 1) == Some(expected))
+}
+
+/// Counts distinct states visited in `steps` steps (diagnostic).
+pub fn distinct_states(lfsr: &mut Fibonacci, steps: usize) -> usize {
+    let mut seen = std::collections::HashSet::with_capacity(steps);
+    seen.insert(lfsr.state());
+    for _ in 0..steps {
+        lfsr.step();
+        seen.insert(lfsr.state());
+    }
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_widths_are_maximal() {
+        for w in [2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12] {
+            assert!(is_maximal_length(w).unwrap(), "width {w} not maximal");
+        }
+    }
+
+    #[test]
+    fn width16_is_maximal() {
+        // The exact generator used for the MHHEA hiding vector.
+        assert!(is_maximal_length(16).unwrap());
+    }
+
+    #[test]
+    fn period_respects_limit() {
+        let mut l = Fibonacci::from_table(16, 0xACE1).unwrap();
+        assert_eq!(period_of(&mut l, 10), None);
+    }
+
+    #[test]
+    fn period_independent_of_seed() {
+        for seed in [1u64, 0x7F, 0xFF] {
+            let mut l = Fibonacci::from_table(8, seed).unwrap();
+            assert_eq!(period_of(&mut l, 300), Some(255), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn distinct_states_saturates_at_period() {
+        let mut l = Fibonacci::from_table(4, 1).unwrap();
+        assert_eq!(distinct_states(&mut l, 100), 15);
+    }
+}

@@ -1,0 +1,256 @@
+//! FIPS-140-1-style statistical battery for bit streams.
+//!
+//! The paper claims the LFSR-driven hiding vector makes the ciphertext "as
+//! scrambled as possible"; these tests quantify that claim for the
+//! randomness experiments in the analysis crate. The bounds are the classic
+//! FIPS 140-1 single-stream limits over exactly 20 000 bits, plus a simple
+//! autocorrelation check.
+
+/// Number of bits consumed by the battery.
+pub const BATTERY_BITS: usize = 20_000;
+
+/// Outcome of a single statistical test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestOutcome {
+    /// Test name.
+    pub name: &'static str,
+    /// Measured statistic (interpretation depends on the test).
+    pub statistic: f64,
+    /// Whether the statistic fell inside the acceptance region.
+    pub pass: bool,
+}
+
+/// Results of the full battery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatteryReport {
+    /// Individual test outcomes.
+    pub outcomes: Vec<TestOutcome>,
+}
+
+impl BatteryReport {
+    /// `true` when every test passed.
+    pub fn all_pass(&self) -> bool {
+        self.outcomes.iter().all(|o| o.pass)
+    }
+
+    /// Looks up one outcome by test name.
+    pub fn outcome(&self, name: &str) -> Option<&TestOutcome> {
+        self.outcomes.iter().find(|o| o.name == name)
+    }
+}
+
+impl core::fmt::Display for BatteryReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        for o in &self.outcomes {
+            writeln!(
+                f,
+                "{:<16} {:>12.3}  {}",
+                o.name,
+                o.statistic,
+                if o.pass { "PASS" } else { "FAIL" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when fewer than [`BATTERY_BITS`] bits are supplied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotEnoughBits {
+    /// Number of bits actually supplied.
+    pub got: usize,
+}
+
+impl core::fmt::Display for NotEnoughBits {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "battery needs {BATTERY_BITS} bits, got {}", self.got)
+    }
+}
+
+impl std::error::Error for NotEnoughBits {}
+
+/// Runs the battery over the first [`BATTERY_BITS`] bits of `bits`.
+///
+/// # Errors
+///
+/// Returns [`NotEnoughBits`] when the stream is too short.
+///
+/// ```
+/// use lfsr::{randomness, Fibonacci};
+///
+/// let mut l = Fibonacci::from_table(16, 0xACE1).unwrap();
+/// let bits: Vec<bool> = (0..randomness::BATTERY_BITS).map(|_| l.step()).collect();
+/// let report = randomness::fips_battery(&bits).unwrap();
+/// assert!(report.all_pass());
+/// ```
+pub fn fips_battery(bits: &[bool]) -> Result<BatteryReport, NotEnoughBits> {
+    if bits.len() < BATTERY_BITS {
+        return Err(NotEnoughBits { got: bits.len() });
+    }
+    let bits = &bits[..BATTERY_BITS];
+    let outcomes = vec![
+        monobit(bits),
+        poker(bits),
+        runs(bits),
+        long_run(bits),
+        autocorrelation(bits, 8),
+    ];
+    Ok(BatteryReport { outcomes })
+}
+
+/// Monobit test: number of ones must lie in (9725, 10275).
+fn monobit(bits: &[bool]) -> TestOutcome {
+    let ones = bits.iter().filter(|&&b| b).count();
+    TestOutcome {
+        name: "monobit",
+        statistic: ones as f64,
+        pass: (9725..=10275).contains(&ones),
+    }
+}
+
+/// Poker test over 5000 4-bit segments: 2.16 < X < 46.17.
+fn poker(bits: &[bool]) -> TestOutcome {
+    let mut freq = [0u32; 16];
+    for chunk in bits.chunks_exact(4) {
+        let idx = chunk
+            .iter()
+            .enumerate()
+            .fold(0usize, |acc, (i, &b)| acc | ((b as usize) << i));
+        freq[idx] += 1;
+    }
+    let sum_sq: f64 = freq.iter().map(|&f| (f as f64) * (f as f64)).sum();
+    let x = (16.0 / 5000.0) * sum_sq - 5000.0;
+    TestOutcome {
+        name: "poker",
+        statistic: x,
+        pass: x > 2.16 && x < 46.17,
+    }
+}
+
+/// Runs test: counts of runs of each length 1..=6+ must be within the FIPS
+/// intervals for both zeros and ones.
+fn runs(bits: &[bool]) -> TestOutcome {
+    const BOUNDS: [(usize, usize); 6] = [
+        (2315, 2685),
+        (1114, 1386),
+        (527, 723),
+        (240, 384),
+        (103, 209),
+        (103, 209),
+    ];
+    let mut counts = [[0usize; 6]; 2]; // [value][len-1 capped at 6]
+    let mut i = 0;
+    while i < bits.len() {
+        let v = bits[i];
+        let mut len = 1;
+        while i + len < bits.len() && bits[i + len] == v {
+            len += 1;
+        }
+        counts[v as usize][len.min(6) - 1] += 1;
+        i += len;
+    }
+    let mut pass = true;
+    let mut worst: f64 = 0.0;
+    for value_counts in &counts {
+        for (len, &(lo, hi)) in BOUNDS.iter().enumerate() {
+            let c = value_counts[len];
+            if !(lo..=hi).contains(&c) {
+                pass = false;
+            }
+            let mid = (lo + hi) as f64 / 2.0;
+            let dev = ((c as f64) - mid).abs() / ((hi - lo) as f64 / 2.0);
+            worst = worst.max(dev);
+        }
+    }
+    TestOutcome {
+        name: "runs",
+        statistic: worst,
+        pass,
+    }
+}
+
+/// Long-run test: no run of 34 or more identical bits.
+fn long_run(bits: &[bool]) -> TestOutcome {
+    let mut longest = 0usize;
+    let mut current = 0usize;
+    let mut prev: Option<bool> = None;
+    for &b in bits {
+        if Some(b) == prev {
+            current += 1;
+        } else {
+            current = 1;
+            prev = Some(b);
+        }
+        longest = longest.max(current);
+    }
+    TestOutcome {
+        name: "long_run",
+        statistic: longest as f64,
+        pass: longest < 34,
+    }
+}
+
+/// Autocorrelation at shift `d`: |z| < 4 where z is the normal approximation
+/// of matches between the stream and its shift.
+fn autocorrelation(bits: &[bool], d: usize) -> TestOutcome {
+    let n = bits.len() - d;
+    let matches = (0..n).filter(|&i| bits[i] == bits[i + d]).count();
+    let z = (matches as f64 - n as f64 / 2.0) / ((n as f64) / 4.0).sqrt();
+    TestOutcome {
+        name: "autocorrelation",
+        statistic: z,
+        pass: z.abs() < 4.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fibonacci;
+
+    fn lfsr_bits(n: usize) -> Vec<bool> {
+        let mut l = Fibonacci::from_table(16, 0xACE1).unwrap();
+        (0..n).map(|_| l.step()).collect()
+    }
+
+    #[test]
+    fn lfsr16_passes_battery() {
+        let report = fips_battery(&lfsr_bits(BATTERY_BITS)).unwrap();
+        assert!(report.all_pass(), "\n{report}");
+    }
+
+    #[test]
+    fn constant_stream_fails_everything_it_should() {
+        let bits = vec![true; BATTERY_BITS];
+        let report = fips_battery(&bits).unwrap();
+        assert!(!report.all_pass());
+        assert!(!report.outcome("monobit").unwrap().pass);
+        assert!(!report.outcome("long_run").unwrap().pass);
+    }
+
+    #[test]
+    fn alternating_stream_fails_runs() {
+        let bits: Vec<bool> = (0..BATTERY_BITS).map(|i| i % 2 == 0).collect();
+        let report = fips_battery(&bits).unwrap();
+        // Monobit is perfectly balanced but the runs histogram is degenerate.
+        assert!(report.outcome("monobit").unwrap().pass);
+        assert!(!report.outcome("runs").unwrap().pass);
+    }
+
+    #[test]
+    fn short_stream_is_rejected() {
+        assert_eq!(
+            fips_battery(&[false; 100]),
+            Err(NotEnoughBits { got: 100 })
+        );
+    }
+
+    #[test]
+    fn report_display_lists_every_test() {
+        let report = fips_battery(&lfsr_bits(BATTERY_BITS)).unwrap();
+        let text = report.to_string();
+        for name in ["monobit", "poker", "runs", "long_run", "autocorrelation"] {
+            assert!(text.contains(name), "missing {name} in\n{text}");
+        }
+    }
+}

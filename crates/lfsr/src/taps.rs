@@ -1,0 +1,144 @@
+//! Primitive feedback-tap table (Xilinx application note XAPP052).
+//!
+//! Tap positions are 1-indexed from the least significant bit, so an entry
+//! `[16, 15, 13, 4]` denotes the primitive polynomial
+//! `x^16 + x^15 + x^13 + x^4 + 1`. Every entry yields a maximal-length
+//! sequence of `2^w − 1` states; [`crate::period::is_maximal_length`]
+//! verifies this exhaustively for small widths in the test suite.
+
+use crate::LfsrError;
+
+/// XAPP052 primitive taps for widths 2..=32 plus selected wider registers.
+const TABLE: &[(usize, &[usize])] = &[
+    (2, &[2, 1]),
+    (3, &[3, 2]),
+    (4, &[4, 3]),
+    (5, &[5, 3]),
+    (6, &[6, 5]),
+    (7, &[7, 6]),
+    (8, &[8, 6, 5, 4]),
+    (9, &[9, 5]),
+    (10, &[10, 7]),
+    (11, &[11, 9]),
+    (12, &[12, 6, 4, 1]),
+    (13, &[13, 4, 3, 1]),
+    (14, &[14, 5, 3, 1]),
+    (15, &[15, 14]),
+    (16, &[16, 15, 13, 4]),
+    (17, &[17, 14]),
+    (18, &[18, 11]),
+    (19, &[19, 6, 2, 1]),
+    (20, &[20, 17]),
+    (21, &[21, 19]),
+    (22, &[22, 21]),
+    (23, &[23, 18]),
+    (24, &[24, 23, 22, 17]),
+    (25, &[25, 22]),
+    (26, &[26, 6, 2, 1]),
+    (27, &[27, 5, 2, 1]),
+    (28, &[28, 25]),
+    (29, &[29, 27]),
+    (30, &[30, 6, 4, 1]),
+    (31, &[31, 28]),
+    (32, &[32, 22, 2, 1]),
+    (40, &[40, 38, 21, 19]),
+    (48, &[48, 47, 21, 20]),
+    (64, &[64, 63, 61, 60]),
+];
+
+/// Returns the primitive taps for `width`, if tabulated.
+///
+/// # Errors
+///
+/// Returns [`LfsrError::UnsupportedWidth`] when `width` has no table entry.
+///
+/// ```
+/// assert_eq!(lfsr::taps::primitive_taps(16).unwrap(), &[16, 15, 13, 4]);
+/// assert!(lfsr::taps::primitive_taps(33).is_err());
+/// ```
+pub fn primitive_taps(width: usize) -> Result<&'static [usize], LfsrError> {
+    TABLE
+        .iter()
+        .find(|(w, _)| *w == width)
+        .map(|(_, t)| *t)
+        .ok_or(LfsrError::UnsupportedWidth(width))
+}
+
+/// All tabulated widths, ascending.
+pub fn tabulated_widths() -> impl Iterator<Item = usize> {
+    TABLE.iter().map(|(w, _)| *w)
+}
+
+/// Validates a custom tap set against a register width.
+///
+/// # Errors
+///
+/// Returns [`LfsrError::InvalidTap`] for taps of zero or above `width`, and
+/// [`LfsrError::UnsupportedWidth`] for empty tap sets or widths outside
+/// 2..=64.
+pub fn validate_taps(width: usize, taps: &[usize]) -> Result<(), LfsrError> {
+    if !(2..=64).contains(&width) || taps.is_empty() {
+        return Err(LfsrError::UnsupportedWidth(width));
+    }
+    for &tap in taps {
+        if tap == 0 || tap > width {
+            return Err(LfsrError::InvalidTap { tap, width });
+        }
+    }
+    Ok(())
+}
+
+/// Converts 1-indexed taps into a bit mask over register bits `0..width`.
+pub fn taps_to_mask(taps: &[usize]) -> u64 {
+    taps.iter().fold(0u64, |m, &t| m | (1u64 << (t - 1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lookup_known_entries() {
+        assert_eq!(primitive_taps(3).unwrap(), &[3, 2]);
+        assert_eq!(primitive_taps(16).unwrap(), &[16, 15, 13, 4]);
+        assert_eq!(primitive_taps(32).unwrap(), &[32, 22, 2, 1]);
+    }
+
+    #[test]
+    fn missing_width_is_error() {
+        assert_eq!(primitive_taps(33), Err(LfsrError::UnsupportedWidth(33)));
+        assert_eq!(primitive_taps(1), Err(LfsrError::UnsupportedWidth(1)));
+        assert_eq!(primitive_taps(0), Err(LfsrError::UnsupportedWidth(0)));
+    }
+
+    #[test]
+    fn every_entry_validates() {
+        for w in tabulated_widths() {
+            let taps = primitive_taps(w).unwrap();
+            validate_taps(w, taps).unwrap();
+            // The highest tap must equal the width for a degree-w polynomial.
+            assert_eq!(*taps.iter().max().unwrap(), w, "width {w}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_taps() {
+        assert_eq!(
+            validate_taps(8, &[9]),
+            Err(LfsrError::InvalidTap { tap: 9, width: 8 })
+        );
+        assert_eq!(
+            validate_taps(8, &[0]),
+            Err(LfsrError::InvalidTap { tap: 0, width: 8 })
+        );
+        assert_eq!(validate_taps(8, &[]), Err(LfsrError::UnsupportedWidth(8)));
+        assert_eq!(validate_taps(65, &[1]), Err(LfsrError::UnsupportedWidth(65)));
+    }
+
+    #[test]
+    fn mask_conversion() {
+        assert_eq!(taps_to_mask(&[16, 15, 13, 4]), 0b1101_0000_0000_1000);
+        assert_eq!(taps_to_mask(&[1]), 1);
+        assert_eq!(taps_to_mask(&[64]), 1 << 63);
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests for LFSR invariants.
+
+use lfsr::matrix::Gf2Matrix;
+use lfsr::{taps, Fibonacci};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn state_never_zero(width in 2usize..=16, seed in 1u64..u64::MAX, steps in 1usize..500) {
+        if taps::primitive_taps(width).is_ok() {
+            let masked = seed & ((1u64 << width) - 1);
+            prop_assume!(masked != 0);
+            let mut l = Fibonacci::from_table(width, masked).unwrap();
+            for _ in 0..steps {
+                l.step();
+                prop_assert_ne!(l.state(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn leap_matrix_equals_stepping(seed in 1u64..=0xFFFF, n in 0usize..60) {
+        let l = Fibonacci::from_table(16, seed).unwrap();
+        let m = l.leap_matrix(n);
+        let mut stepped = l.clone();
+        stepped.leap(n);
+        prop_assert_eq!(m.apply(l.state()), stepped.state());
+    }
+
+    #[test]
+    fn matrix_pow_additive(a in 0usize..20, b in 0usize..20) {
+        let l = Fibonacci::from_table(12, 1).unwrap();
+        let m = l.step_matrix();
+        prop_assert_eq!(m.pow(a).compose(&m.pow(b)), m.pow(a + b));
+    }
+
+    #[test]
+    fn step_is_linear(s1 in 1u64..=0xFFFF, s2 in 1u64..=0xFFFF) {
+        // LFSR transition is linear over GF(2): T(a ^ b) = T(a) ^ T(b).
+        let l = Fibonacci::from_table(16, 1).unwrap();
+        let m = l.step_matrix();
+        prop_assert_eq!(m.apply(s1 ^ s2), m.apply(s1) ^ m.apply(s2));
+    }
+
+    #[test]
+    fn identity_is_pow_zero(width in 2usize..=16) {
+        if taps::primitive_taps(width).is_ok() {
+            let l = Fibonacci::from_table(width, 1).unwrap();
+            prop_assert_eq!(l.step_matrix().pow(0), Gf2Matrix::identity(width));
+        }
+    }
+
+    #[test]
+    fn next_vector_deterministic(seed in 1u64..=0xFFFF) {
+        let mut a = Fibonacci::from_table(16, seed).unwrap();
+        let mut b = Fibonacci::from_table(16, seed).unwrap();
+        for _ in 0..8 {
+            prop_assert_eq!(a.next_vector(), b.next_vector());
+        }
+    }
+}

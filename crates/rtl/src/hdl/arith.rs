@@ -1,0 +1,254 @@
+//! Ripple-carry arithmetic and comparators.
+
+use super::{ModuleBuilder, Signal};
+
+/// Result of an addition: sum and carry-out.
+#[derive(Debug, Clone)]
+pub struct AddOut {
+    /// Sum, same width as the operands.
+    pub sum: Signal,
+    /// Carry out of the most significant bit.
+    pub carry: Signal,
+}
+
+/// Result of a subtraction: difference and borrow-out.
+#[derive(Debug, Clone)]
+pub struct SubOut {
+    /// Difference (`a − b` modulo `2^width`).
+    pub diff: Signal,
+    /// Borrow out (`1` when `a < b` unsigned).
+    pub borrow: Signal,
+}
+
+/// Result of the sorting comparator: min, max and the swap flag.
+///
+/// This is the paper's "Comparator" module: it orders a key pair so the
+/// smaller half feeds the left-rotation path.
+#[derive(Debug, Clone)]
+pub struct CompareOut {
+    /// The smaller operand.
+    pub min: Signal,
+    /// The larger operand.
+    pub max: Signal,
+    /// `1` when the operands were swapped (`a > b`).
+    pub swapped: Signal,
+}
+
+impl ModuleBuilder<'_> {
+    /// Ripple-carry adder over equal-width operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn add(&mut self, a: &Signal, b: &Signal) -> AddOut {
+        assert_eq!(a.width(), b.width(), "add: width mismatch");
+        let mut carry = self.constant(0, 1);
+        let mut sum_nets = Vec::with_capacity(a.width());
+        for i in 0..a.width() {
+            let ins = [a.net(i), b.net(i), carry.net(0)];
+            let s = self.lut_fn("fa_s", &ins, |idx| (idx.count_ones() & 1) == 1);
+            let c = self.lut_fn("fa_c", &ins, |idx| idx.count_ones() >= 2);
+            sum_nets.push(s);
+            carry = Signal::from_nets(vec![c]);
+        }
+        AddOut {
+            sum: Signal::from_nets(sum_nets),
+            carry,
+        }
+    }
+
+    /// `a + 1` (modulo `2^width`), used for address increment counters.
+    pub fn inc(&mut self, a: &Signal) -> Signal {
+        let one = self.constant(1, a.width());
+        self.add(a, &one).sum
+    }
+
+    /// Ripple-borrow subtractor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn sub(&mut self, a: &Signal, b: &Signal) -> SubOut {
+        assert_eq!(a.width(), b.width(), "sub: width mismatch");
+        let mut borrow = self.constant(0, 1);
+        let mut diff_nets = Vec::with_capacity(a.width());
+        for i in 0..a.width() {
+            let ins = [a.net(i), b.net(i), borrow.net(0)];
+            let d = self.lut_fn("fs_d", &ins, |idx| (idx.count_ones() & 1) == 1);
+            let bo = self.lut_fn("fs_b", &ins, |idx| {
+                let a_i = idx & 1 == 1;
+                let b_i = (idx >> 1) & 1 == 1;
+                let bin = (idx >> 2) & 1 == 1;
+                (!a_i & b_i) | (bin & (a_i == b_i))
+            });
+            diff_nets.push(d);
+            borrow = Signal::from_nets(vec![bo]);
+        }
+        SubOut {
+            diff: Signal::from_nets(diff_nets),
+            borrow,
+        }
+    }
+
+    /// Equality comparison to one bit.
+    pub fn eq(&mut self, a: &Signal, b: &Signal) -> Signal {
+        let x = self.xor(a, b);
+        let any = self.reduce_or(&x);
+        self.not(&any)
+    }
+
+    /// Equality against a constant. For signals of up to four bits this is
+    /// a single LUT (the FPGA mapper would do the same); wider signals fall
+    /// back to the generic comparator.
+    pub fn eq_const(&mut self, a: &Signal, value: u64) -> Signal {
+        if a.width() <= 4 {
+            let out = self.lut_fn("eqc", a.nets(), |idx| idx as u64 == value);
+            return Signal::from_nets(vec![out]);
+        }
+        let c = self.constant(value, a.width());
+        self.eq(a, &c)
+    }
+
+    /// Unsigned `a < b` (the subtractor's borrow-out).
+    pub fn lt(&mut self, a: &Signal, b: &Signal) -> Signal {
+        self.sub(a, b).borrow
+    }
+
+    /// Unsigned `a >= b`.
+    pub fn ge(&mut self, a: &Signal, b: &Signal) -> Signal {
+        let l = self.lt(a, b);
+        self.not(&l)
+    }
+
+    /// Sorts a pair: the paper's comparator module.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn sort_pair(&mut self, a: &Signal, b: &Signal) -> CompareOut {
+        let swapped = self.lt(b, a); // a > b  ⇔  b < a
+        let min = self.mux2(&swapped, a, b);
+        let max = self.mux2(&swapped, b, a);
+        CompareOut { min, max, swapped }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+    use crate::sim::Simulator;
+
+    /// Builds a two-operand arithmetic harness of `width` bits whose output
+    /// port `y` carries `f(a, b)` and optional flag port `flag`.
+    fn run2(
+        width: usize,
+        build: impl FnOnce(&mut ModuleBuilder<'_>, &Signal, &Signal) -> (Signal, Option<Signal>),
+        cases: &[(u64, u64, u64, Option<u64>)],
+    ) {
+        let mut nl = Netlist::new("t");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let a = m.input("a", width);
+        let b = m.input("b", width);
+        let (y, flag) = build(&mut m, &a, &b);
+        m.output("y", &y);
+        if let Some(f) = &flag {
+            m.output("flag", f);
+        }
+        drop(m);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for &(av, bv, exp, exp_flag) in cases {
+            sim.set_input("a", av).unwrap();
+            sim.set_input("b", bv).unwrap();
+            assert_eq!(sim.output("y").unwrap(), exp, "a={av} b={bv}");
+            if let Some(ef) = exp_flag {
+                assert_eq!(sim.output("flag").unwrap(), ef, "flag a={av} b={bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn adder_exhaustive_4bit() {
+        let mut cases = Vec::new();
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                cases.push((a, b, (a + b) & 0xF, Some((a + b) >> 4)));
+            }
+        }
+        run2(4, |m, a, b| {
+            let out = m.add(a, b);
+            (out.sum, Some(out.carry))
+        }, &cases);
+    }
+
+    #[test]
+    fn subtractor_exhaustive_4bit() {
+        let mut cases = Vec::new();
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                cases.push((a, b, a.wrapping_sub(b) & 0xF, Some((a < b) as u64)));
+            }
+        }
+        run2(4, |m, a, b| {
+            let out = m.sub(a, b);
+            (out.diff, Some(out.borrow))
+        }, &cases);
+    }
+
+    #[test]
+    fn comparisons_exhaustive_3bit() {
+        let mut cases = Vec::new();
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                cases.push((a, b, (a < b) as u64, Some((a == b) as u64)));
+            }
+        }
+        run2(3, |m, a, b| {
+            let l = m.lt(a, b);
+            let e = m.eq(a, b);
+            (l, Some(e))
+        }, &cases);
+    }
+
+    #[test]
+    fn sort_pair_orders_3bit_pairs() {
+        // Output y = min | (max << 3), flag = swapped.
+        let mut cases = Vec::new();
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                let (mn, mx) = (a.min(b), a.max(b));
+                cases.push((a, b, mn | (mx << 3), Some((a > b) as u64)));
+            }
+        }
+        run2(3, |m, a, b| {
+            let c = m.sort_pair(a, b);
+            (c.min.concat(&c.max), Some(c.swapped))
+        }, &cases);
+    }
+
+    #[test]
+    fn inc_wraps() {
+        run2(3, |m, a, _| (m.inc(a), None), &[
+            (0, 0, 1, None),
+            (6, 0, 7, None),
+            (7, 0, 0, None),
+        ]);
+    }
+
+    #[test]
+    fn eq_const_works() {
+        run2(4, |m, a, _| (m.eq_const(a, 0xB), None), &[
+            (0xB, 0, 1, None),
+            (0xA, 0, 0, None),
+        ]);
+    }
+
+    #[test]
+    fn ge_is_not_lt() {
+        run2(3, |m, a, b| (m.ge(a, b), None), &[
+            (3, 3, 1, None),
+            (4, 3, 1, None),
+            (2, 3, 0, None),
+        ]);
+    }
+}

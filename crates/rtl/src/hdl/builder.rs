@@ -1,0 +1,348 @@
+//! The core elaboration context: names, ports, constants, LUTs, registers
+//! and tristate buses.
+
+use super::Signal;
+use crate::netlist::{NetId, Netlist};
+
+/// Elaboration context writing into a [`Netlist`], with hierarchical
+/// instance naming.
+///
+/// Builders form a scope tree via [`ModuleBuilder::scope`]; each scope
+/// prefixes the names of the cells and nets it creates, which keeps
+/// waveforms and reports legible and lets the floorplanner group cells by
+/// the paper's module boundaries (message cache, key cache, …).
+#[derive(Debug)]
+pub struct ModuleBuilder<'a> {
+    nl: &'a mut Netlist,
+    prefix: String,
+    seq: usize,
+}
+
+/// A declared register: `q` nets exist, the flip-flops are created when the
+/// register is connected.
+///
+/// Declare-then-connect lets feedback paths (`q` feeding the logic that
+/// computes `d`) be described without special cases.
+#[derive(Debug)]
+pub struct Reg {
+    name: String,
+    q: Signal,
+    connected: bool,
+}
+
+impl Reg {
+    /// The register's output signal.
+    pub fn q(&self) -> Signal {
+        self.q.clone()
+    }
+
+    /// Register width.
+    pub fn width(&self) -> usize {
+        self.q.width()
+    }
+}
+
+impl Drop for Reg {
+    fn drop(&mut self) {
+        // A declared-but-never-connected register would surface later as an
+        // undriven-net validation error; panicking here (outside of an
+        // unwind) pinpoints the culprit immediately.
+        if !self.connected && !std::thread::panicking() {
+            panic!("register `{}` declared but never connected", self.name);
+        }
+    }
+}
+
+impl<'a> ModuleBuilder<'a> {
+    /// Creates the root scope of a netlist.
+    pub fn root(nl: &'a mut Netlist) -> Self {
+        ModuleBuilder {
+            nl,
+            prefix: String::new(),
+            seq: 0,
+        }
+    }
+
+    /// Opens a child scope named `name`.
+    pub fn scope(&mut self, name: &str) -> ModuleBuilder<'_> {
+        ModuleBuilder {
+            prefix: format!("{}{name}.", self.prefix),
+            nl: self.nl,
+            seq: 0,
+        }
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&mut self) -> &mut Netlist {
+        self.nl
+    }
+
+    /// Produces a fresh hierarchical name.
+    pub fn fresh(&mut self, kind: &str) -> String {
+        let n = self.seq;
+        self.seq += 1;
+        format!("{}{kind}#{n}", self.prefix)
+    }
+
+    /// Declares a top-level input port.
+    pub fn input(&mut self, port: &str, width: usize) -> Signal {
+        Signal::from_nets(self.nl.add_input_port(port, width))
+    }
+
+    /// Declares a top-level output port driven by `sig`.
+    pub fn output(&mut self, port: &str, sig: &Signal) {
+        self.nl.add_output_port(port, sig.nets());
+    }
+
+    /// A constant signal holding the low `width` bits of `value`.
+    pub fn constant(&mut self, value: u64, width: usize) -> Signal {
+        let nets = (0..width)
+            .map(|i| {
+                let name = self.fresh("const");
+                let n = self.nl.new_net(format!("{name}.net"));
+                self.nl.add_const(name, (value >> i) & 1 == 1, n);
+                n
+            })
+            .collect();
+        Signal::from_nets(nets)
+    }
+
+    /// Instantiates a LUT computing `f` over `inputs` (1..=4 nets); the
+    /// truth table is built by evaluating `f` on every input index (bit `i`
+    /// of the index is input `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs` is empty or longer than 4.
+    pub fn lut_fn(
+        &mut self,
+        kind: &str,
+        inputs: &[NetId],
+        f: impl Fn(usize) -> bool,
+    ) -> NetId {
+        assert!(
+            (1..=4).contains(&inputs.len()),
+            "LUT arity {} out of range",
+            inputs.len()
+        );
+        let mut table = 0u16;
+        for idx in 0..(1usize << inputs.len()) {
+            if f(idx) {
+                table |= 1 << idx;
+            }
+        }
+        let name = self.fresh(kind);
+        let out = self.nl.new_net(format!("{name}.o"));
+        self.nl.add_lut(name, inputs.to_vec(), table, out);
+        out
+    }
+
+    /// Declares a `width`-bit register named `name`.
+    pub fn reg(&mut self, name: &str, width: usize) -> Reg {
+        let full = format!("{}{name}", self.prefix);
+        let nets = (0..width)
+            .map(|i| self.nl.new_net(format!("{full}[{i}]")))
+            .collect();
+        Reg {
+            name: full,
+            q: Signal::from_nets(nets),
+            connected: false,
+        }
+    }
+
+    /// Connects a register's data input (always enabled, init 0).
+    pub fn connect_reg(&mut self, reg: Reg, d: &Signal) {
+        self.connect_reg_full(reg, d, None, None, 0);
+    }
+
+    /// Connects a register with a clock enable.
+    pub fn connect_reg_en(&mut self, reg: Reg, d: &Signal, en: &Signal) {
+        self.connect_reg_full(reg, d, Some(en), None, 0);
+    }
+
+    /// Connects a register with optional clock-enable and synchronous
+    /// reset; on reset the register loads the matching bit of `init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or non-1-bit control signals.
+    pub fn connect_reg_full(
+        &mut self,
+        mut reg: Reg,
+        d: &Signal,
+        en: Option<&Signal>,
+        sr: Option<&Signal>,
+        init: u64,
+    ) {
+        assert_eq!(
+            reg.q.width(),
+            d.width(),
+            "register `{}` width mismatch",
+            reg.name
+        );
+        let ce = en.map(|e| {
+            assert_eq!(e.width(), 1, "clock enable must be 1 bit");
+            e.net(0)
+        });
+        let rst = sr.map(|r| {
+            assert_eq!(r.width(), 1, "sync reset must be 1 bit");
+            r.net(0)
+        });
+        for i in 0..d.width() {
+            self.nl.add_dff(
+                format!("{}[{i}].ff", reg.name),
+                d.net(i),
+                reg.q.net(i),
+                ce,
+                rst,
+                (init >> i) & 1 == 1,
+            );
+        }
+        reg.connected = true;
+    }
+
+    /// Creates a `width`-bit tristate bus.
+    pub fn bus(&mut self, name: &str, width: usize) -> Signal {
+        let full = format!("{}{name}", self.prefix);
+        let nets = (0..width)
+            .map(|i| self.nl.new_bus_net(format!("{full}[{i}]")))
+            .collect();
+        Signal::from_nets(nets)
+    }
+
+    /// Drives `bus` with `data` through TBUFs enabled by the 1-bit `en`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or a non-1-bit enable.
+    pub fn drive_bus(&mut self, bus: &Signal, data: &Signal, en: &Signal) {
+        assert_eq!(bus.width(), data.width(), "bus/data width mismatch");
+        assert_eq!(en.width(), 1, "bus enable must be 1 bit");
+        for i in 0..bus.width() {
+            let name = self.fresh("tbuf");
+            self.nl.add_tbuf(name, data.net(i), en.net(0), bus.net(i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn constants_and_ports() {
+        let mut nl = Netlist::new("t");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let c = m.constant(0xA, 4);
+        m.output("y", &c);
+        drop(m);
+        let mut sim = Simulator::new(&nl).unwrap();
+        assert_eq!(sim.output("y").unwrap(), 0xA);
+    }
+
+    #[test]
+    fn lut_fn_builds_truth_table() {
+        let mut nl = Netlist::new("t");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let a = m.input("a", 2);
+        let y = m.lut_fn("xor", a.nets(), |idx| {
+            ((idx & 1) ^ ((idx >> 1) & 1)) == 1
+        });
+        m.output("y", &Signal::from_nets(vec![y]));
+        drop(m);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for (av, exp) in [(0b00, 0), (0b01, 1), (0b10, 1), (0b11, 0)] {
+            sim.set_input("a", av).unwrap();
+            assert_eq!(sim.output("y").unwrap(), exp);
+        }
+    }
+
+    #[test]
+    fn register_feedback_loop() {
+        let mut nl = Netlist::new("t");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let r = m.reg("bit", 1);
+        let q = r.q();
+        let d = m.lut_fn("inv", q.nets(), |idx| idx == 0);
+        m.connect_reg(r, &Signal::from_nets(vec![d]));
+        m.output("q", &q);
+        drop(m);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.reset();
+        assert_eq!(sim.output("q").unwrap(), 0);
+        sim.clock();
+        assert_eq!(sim.output("q").unwrap(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never connected")]
+    fn unconnected_register_panics_on_drop() {
+        let mut nl = Netlist::new("t");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let _r = m.reg("orphan", 2);
+    }
+
+    #[test]
+    fn scoped_names_have_prefixes() {
+        let mut nl = Netlist::new("t");
+        let mut m = ModuleBuilder::root(&mut nl);
+        {
+            let mut inner = m.scope("keycache");
+            let name = inner.fresh("lut");
+            assert!(name.starts_with("keycache.lut#"));
+        }
+        let outer = m.fresh("lut");
+        assert_eq!(outer, "lut#0");
+    }
+
+    #[test]
+    fn bus_with_two_drivers() {
+        let mut nl = Netlist::new("t");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let a = m.input("a", 4);
+        let b = m.input("b", 4);
+        let sel_a = m.input("sel_a", 1);
+        let sel_b = m.input("sel_b", 1);
+        let bus = m.bus("shared", 4);
+        m.drive_bus(&bus, &a, &sel_a);
+        m.drive_bus(&bus, &b, &sel_b);
+        m.output("y", &bus);
+        drop(m);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("a", 3).unwrap();
+        sim.set_input("b", 9).unwrap();
+        sim.set_input("sel_a", 1).unwrap();
+        sim.set_input("sel_b", 0).unwrap();
+        assert_eq!(sim.output("y").unwrap(), 3);
+        sim.set_input("sel_a", 0).unwrap();
+        sim.set_input("sel_b", 1).unwrap();
+        assert_eq!(sim.output("y").unwrap(), 9);
+    }
+
+    #[test]
+    fn reg_with_enable_and_reset() {
+        let mut nl = Netlist::new("t");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let d = m.input("d", 4);
+        let en = m.input("en", 1);
+        let rst = m.input("rst", 1);
+        let r = m.reg("r", 4);
+        let q = r.q();
+        m.connect_reg_full(r, &d, Some(&en), Some(&rst), 0x5);
+        m.output("q", &q);
+        drop(m);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("d", 0xF).unwrap();
+        sim.set_input("en", 0).unwrap();
+        sim.set_input("rst", 1).unwrap();
+        sim.clock();
+        assert_eq!(sim.output("q").unwrap(), 0x5); // sync reset loads init
+        sim.set_input("rst", 0).unwrap();
+        sim.clock();
+        assert_eq!(sim.output("q").unwrap(), 0x5); // ce low: hold
+        sim.set_input("en", 1).unwrap();
+        sim.clock();
+        assert_eq!(sim.output("q").unwrap(), 0xF);
+    }
+}

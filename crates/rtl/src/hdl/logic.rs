@@ -1,0 +1,286 @@
+//! Bitwise logic, muxes and reductions.
+
+use super::{ModuleBuilder, Signal};
+use crate::netlist::NetId;
+
+impl ModuleBuilder<'_> {
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: &Signal) -> Signal {
+        let nets = a
+            .nets()
+            .iter()
+            .map(|&n| self.lut_fn("not", &[n], |idx| idx == 0))
+            .collect();
+        Signal::from_nets(nets)
+    }
+
+    /// Bitwise AND of two equal-width signals.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch (as do all binary bitwise ops).
+    pub fn and(&mut self, a: &Signal, b: &Signal) -> Signal {
+        self.bitwise("and", a, b, |x, y| x & y)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&mut self, a: &Signal, b: &Signal) -> Signal {
+        self.bitwise("or", a, b, |x, y| x | y)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&mut self, a: &Signal, b: &Signal) -> Signal {
+        self.bitwise("xor", a, b, |x, y| x ^ y)
+    }
+
+    fn bitwise(
+        &mut self,
+        kind: &str,
+        a: &Signal,
+        b: &Signal,
+        f: impl Fn(bool, bool) -> bool,
+    ) -> Signal {
+        assert_eq!(a.width(), b.width(), "{kind}: width mismatch");
+        let nets = a
+            .nets()
+            .iter()
+            .zip(b.nets())
+            .map(|(&x, &y)| {
+                self.lut_fn(kind, &[x, y], |idx| f(idx & 1 == 1, (idx >> 1) & 1 == 1))
+            })
+            .collect();
+        Signal::from_nets(nets)
+    }
+
+    /// Gates every bit of `a` with the 1-bit `en` (AND).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `en` is not 1 bit wide.
+    pub fn mask(&mut self, a: &Signal, en: &Signal) -> Signal {
+        assert_eq!(en.width(), 1, "mask enable must be 1 bit");
+        let e = en.net(0);
+        let nets = a
+            .nets()
+            .iter()
+            .map(|&n| self.lut_fn("mask", &[n, e], |idx| idx == 0b11))
+            .collect();
+        Signal::from_nets(nets)
+    }
+
+    /// Two-way mux: `sel == 0` selects `a0`, `sel == 1` selects `a1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or a non-1-bit select.
+    pub fn mux2(&mut self, sel: &Signal, a0: &Signal, a1: &Signal) -> Signal {
+        assert_eq!(sel.width(), 1, "mux select must be 1 bit");
+        assert_eq!(a0.width(), a1.width(), "mux2: width mismatch");
+        let s = sel.net(0);
+        let nets = a0
+            .nets()
+            .iter()
+            .zip(a1.nets())
+            .map(|(&x, &y)| {
+                self.lut_fn("mux2", &[x, y, s], |idx| {
+                    if (idx >> 2) & 1 == 1 {
+                        (idx >> 1) & 1 == 1
+                    } else {
+                        idx & 1 == 1
+                    }
+                })
+            })
+            .collect();
+        Signal::from_nets(nets)
+    }
+
+    /// Selects among up to four equal-width choices with a 2-bit select
+    /// (out-of-range selects mirror choice count modulo padding with the
+    /// last entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `choices` is empty or `sel` is not 2 bits.
+    pub fn mux4(&mut self, sel: &Signal, choices: &[&Signal]) -> Signal {
+        assert!(!choices.is_empty() && choices.len() <= 4, "mux4 choices");
+        assert_eq!(sel.width(), 2, "mux4 select must be 2 bits");
+        let last = choices[choices.len() - 1];
+        let pick = |i: usize| choices.get(i).copied().unwrap_or(last);
+        let lo = self.mux2(&sel.bit(0), pick(0), pick(1));
+        let hi = self.mux2(&sel.bit(0), pick(2), pick(3));
+        self.mux2(&sel.bit(1), &lo, &hi)
+    }
+
+    /// OR-reduction to one bit.
+    pub fn reduce_or(&mut self, a: &Signal) -> Signal {
+        self.reduce("red_or", a, |bits| bits.iter().any(|&b| b))
+    }
+
+    /// AND-reduction to one bit.
+    pub fn reduce_and(&mut self, a: &Signal) -> Signal {
+        self.reduce("red_and", a, |bits| bits.iter().all(|&b| b))
+    }
+
+    /// XOR-reduction (parity) to one bit.
+    pub fn reduce_xor(&mut self, a: &Signal) -> Signal {
+        self.reduce("red_xor", a, |bits| {
+            bits.iter().filter(|&&b| b).count() % 2 == 1
+        })
+    }
+
+    /// Generic tree reduction in LUT4 chunks. The reducer must be
+    /// associative-decomposable (it is evaluated chunk-wise).
+    fn reduce(&mut self, kind: &str, a: &Signal, f: impl Fn(&[bool]) -> bool + Copy) -> Signal {
+        assert!(a.width() > 0, "cannot reduce empty signal");
+        let mut level: Vec<NetId> = a.nets().to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(4));
+            for chunk in level.chunks(4) {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                } else {
+                    let out = self.lut_fn(kind, chunk, |idx| {
+                        let bits: Vec<bool> =
+                            (0..chunk.len()).map(|i| (idx >> i) & 1 == 1).collect();
+                        f(&bits)
+                    });
+                    next.push(out);
+                }
+            }
+            level = next;
+        }
+        Signal::from_nets(level)
+    }
+
+    /// XOR of all nets in `mask_nets` (used for LFSR leap-forward rows).
+    ///
+    /// Returns a constant 0 signal when the set is empty.
+    pub fn xor_many(&mut self, nets: &[NetId]) -> Signal {
+        if nets.is_empty() {
+            return self.constant(0, 1);
+        }
+        self.reduce_xor(&Signal::from_nets(nets.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+    use crate::sim::Simulator;
+
+    fn harness2(
+        build: impl FnOnce(&mut ModuleBuilder<'_>, &Signal, &Signal) -> Signal,
+    ) -> impl FnMut(u64, u64) -> u64 {
+        let mut nl = Netlist::new("t");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let a = m.input("a", 8);
+        let b = m.input("b", 8);
+        let y = build(&mut m, &a, &b);
+        m.output("y", &y);
+        drop(m);
+        let nl = Box::leak(Box::new(nl));
+        let mut sim = Simulator::new(nl).unwrap();
+        move |av, bv| {
+            sim.set_input("a", av).unwrap();
+            sim.set_input("b", bv).unwrap();
+            sim.output("y").unwrap()
+        }
+    }
+
+    #[test]
+    fn bitwise_gates() {
+        let mut and = harness2(|m, a, b| m.and(a, b));
+        assert_eq!(and(0xF0, 0xAA), 0xA0);
+        let mut or = harness2(|m, a, b| m.or(a, b));
+        assert_eq!(or(0xF0, 0x0A), 0xFA);
+        let mut xor = harness2(|m, a, b| m.xor(a, b));
+        assert_eq!(xor(0xFF, 0xA5), 0x5A);
+        let mut not = harness2(|m, a, _| m.not(a));
+        assert_eq!(not(0x0F, 0), 0xF0);
+    }
+
+    #[test]
+    fn mask_gates_bits() {
+        let mut nl = Netlist::new("t");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let a = m.input("a", 4);
+        let en = m.input("en", 1);
+        let y = m.mask(&a, &en);
+        m.output("y", &y);
+        drop(m);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("a", 0xF).unwrap();
+        sim.set_input("en", 0).unwrap();
+        assert_eq!(sim.output("y").unwrap(), 0);
+        sim.set_input("en", 1).unwrap();
+        assert_eq!(sim.output("y").unwrap(), 0xF);
+    }
+
+    #[test]
+    fn mux2_selects() {
+        let mut nl = Netlist::new("t");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let a = m.input("a", 8);
+        let b = m.input("b", 8);
+        let s = m.input("s", 1);
+        let y = m.mux2(&s, &a, &b);
+        m.output("y", &y);
+        drop(m);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("a", 0x11).unwrap();
+        sim.set_input("b", 0x99).unwrap();
+        sim.set_input("s", 0).unwrap();
+        assert_eq!(sim.output("y").unwrap(), 0x11);
+        sim.set_input("s", 1).unwrap();
+        assert_eq!(sim.output("y").unwrap(), 0x99);
+    }
+
+    #[test]
+    fn mux4_selects_each() {
+        let mut nl = Netlist::new("t");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let c0 = m.constant(0x1, 4);
+        let c1 = m.constant(0x2, 4);
+        let c2 = m.constant(0x4, 4);
+        let c3 = m.constant(0x8, 4);
+        let s = m.input("s", 2);
+        let y = m.mux4(&s, &[&c0, &c1, &c2, &c3]);
+        m.output("y", &y);
+        drop(m);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for (sv, exp) in [(0, 1), (1, 2), (2, 4), (3, 8)] {
+            sim.set_input("s", sv).unwrap();
+            assert_eq!(sim.output("y").unwrap(), exp);
+        }
+    }
+
+    #[test]
+    fn reductions() {
+        for width in [1usize, 3, 4, 5, 9, 16] {
+            let mut nl = Netlist::new("t");
+            let mut m = ModuleBuilder::root(&mut nl);
+            let a = m.input("a", width);
+            let o = m.reduce_or(&a);
+            let n = m.reduce_and(&a);
+            let x = m.reduce_xor(&a);
+            let y = o.concat(&n).concat(&x);
+            m.output("y", &y);
+            drop(m);
+            let mut sim = Simulator::new(&nl).unwrap();
+            let mask = (1u64 << width) - 1;
+            for v in [0u64, 1, mask, 0b1011 & mask] {
+                sim.set_input("a", v).unwrap();
+                let got = sim.output("y").unwrap();
+                let exp_or = (v != 0) as u64;
+                let exp_and = (v == mask) as u64;
+                let exp_xor = (v.count_ones() as u64) & 1;
+                assert_eq!(
+                    got,
+                    exp_or | (exp_and << 1) | (exp_xor << 2),
+                    "width {width} value {v:#x}"
+                );
+            }
+        }
+    }
+}

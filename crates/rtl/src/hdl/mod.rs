@@ -1,0 +1,164 @@
+//! A structural HDL embedded in Rust.
+//!
+//! [`ModuleBuilder`] elaborates multi-bit [`Signal`] operations straight
+//! into the LUT/DFF/TBUF netlist of [`crate::netlist`]. The operator set is
+//! exactly what the MHHEA micro-architecture needs: bitwise logic, muxes,
+//! ripple add/sub, comparators, constant and barrel rotations, registers
+//! with clock-enable/synchronous-reset, and tristate buses.
+//!
+//! Everything is combinational-by-construction except registers, so the
+//! resulting netlists always pass the validator's loop check as long as
+//! register outputs are the only feedback path — the same discipline a
+//! synchronous FPGA design obeys.
+
+mod arith;
+mod builder;
+mod logic;
+mod shift;
+
+pub use arith::{AddOut, CompareOut, SubOut};
+pub use builder::{ModuleBuilder, Reg};
+
+use crate::netlist::NetId;
+
+/// A multi-bit wire bundle, LSB-first.
+///
+/// `Signal` is a value-level handle: cloning or slicing it never creates
+/// hardware; only [`ModuleBuilder`] operations do.
+///
+/// # Examples
+///
+/// ```
+/// use rtl::hdl::ModuleBuilder;
+/// use rtl::netlist::Netlist;
+///
+/// let mut nl = Netlist::new("demo");
+/// let mut m = ModuleBuilder::root(&mut nl);
+/// let a = m.input("a", 8);
+/// let hi = a.slice(4..8);
+/// assert_eq!(hi.width(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signal {
+    nets: Vec<NetId>,
+}
+
+impl Signal {
+    /// Wraps existing nets (LSB-first) as a signal.
+    pub fn from_nets(nets: Vec<NetId>) -> Self {
+        Signal { nets }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// The net carrying bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn net(&self, i: usize) -> NetId {
+        self.nets[i]
+    }
+
+    /// All nets, LSB-first.
+    pub fn nets(&self) -> &[NetId] {
+        &self.nets
+    }
+
+    /// A 1-bit signal holding bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn bit(&self, i: usize) -> Signal {
+        Signal {
+            nets: vec![self.nets[i]],
+        }
+    }
+
+    /// Bits `range` as a narrower signal (free re-wiring).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or reversed ranges.
+    pub fn slice(&self, range: core::ops::Range<usize>) -> Signal {
+        assert!(range.end <= self.nets.len(), "slice out of range");
+        Signal {
+            nets: self.nets[range].to_vec(),
+        }
+    }
+
+    /// Concatenates `high` above `self` (self keeps the low bits).
+    #[must_use]
+    pub fn concat(&self, high: &Signal) -> Signal {
+        let mut nets = self.nets.clone();
+        nets.extend_from_slice(&high.nets);
+        Signal { nets }
+    }
+
+    /// Constant left rotation by `k` (free re-wiring): output bit `i` is
+    /// input bit `(i − k) mod width`.
+    #[must_use]
+    pub fn rotl_const(&self, k: usize) -> Signal {
+        let w = self.nets.len();
+        if w == 0 {
+            return self.clone();
+        }
+        let k = k % w;
+        Signal {
+            nets: (0..w).map(|i| self.nets[(i + w - k) % w]).collect(),
+        }
+    }
+
+    /// Constant right rotation by `k` (free re-wiring).
+    #[must_use]
+    pub fn rotr_const(&self, k: usize) -> Signal {
+        let w = self.nets.len();
+        if w == 0 {
+            return self.clone();
+        }
+        self.rotl_const(w - (k % w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(n: usize) -> Signal {
+        Signal::from_nets((0..n as u32).map(NetId).collect())
+    }
+
+    use crate::netlist::NetId;
+
+    #[test]
+    fn slicing_and_concat() {
+        let s = sig(8);
+        assert_eq!(s.width(), 8);
+        let low = s.slice(0..4);
+        let high = s.slice(4..8);
+        assert_eq!(low.concat(&high), s);
+        assert_eq!(s.bit(3).net(0), s.net(3));
+    }
+
+    #[test]
+    fn const_rotation_rewires() {
+        let s = sig(4);
+        let r = s.rotl_const(1);
+        // out[1] = in[0], out[0] = in[3]
+        assert_eq!(r.net(1), s.net(0));
+        assert_eq!(r.net(0), s.net(3));
+        assert_eq!(s.rotl_const(4), s);
+        assert_eq!(s.rotr_const(1).rotl_const(1), s);
+        assert_eq!(s.rotl_const(7), s.rotl_const(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of range")]
+    fn bad_slice_panics() {
+        sig(4).slice(2..5);
+    }
+}

@@ -1,0 +1,139 @@
+//! Barrel rotators: the paper's message-alignment primitive.
+//!
+//! The alignment module "uses multiplexers for n-bit rotations; hence the
+//! circulate operation takes only one clock cycle". A barrel rotator is a
+//! `log2(width)` cascade of 2:1 mux stages, each conditionally rotating by
+//! a power of two — one LUT3 per bit per stage.
+
+use super::{ModuleBuilder, Signal};
+
+impl ModuleBuilder<'_> {
+    /// Variable left rotation: `out = data rotl amount`.
+    ///
+    /// `amount` may be any width; stage `s` rotates by `2^s mod width`, so
+    /// select bits at or above `log2(width)` simply fold over.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data` or `amount` is empty.
+    pub fn barrel_rotl(&mut self, data: &Signal, amount: &Signal) -> Signal {
+        assert!(data.width() > 0, "cannot rotate empty signal");
+        assert!(amount.width() > 0, "empty rotation amount");
+        let mut current = data.clone();
+        for s in 0..amount.width() {
+            let k = (1usize << s) % data.width();
+            let rotated = current.rotl_const(k);
+            current = self.mux2(&amount.bit(s), &current, &rotated);
+        }
+        current
+    }
+
+    /// Variable right rotation: `out = data rotr amount`.
+    pub fn barrel_rotr(&mut self, data: &Signal, amount: &Signal) -> Signal {
+        assert!(data.width() > 0, "cannot rotate empty signal");
+        assert!(amount.width() > 0, "empty rotation amount");
+        let mut current = data.clone();
+        for s in 0..amount.width() {
+            let k = (1usize << s) % data.width();
+            let rotated = current.rotr_const(k);
+            current = self.mux2(&amount.bit(s), &current, &rotated);
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+    use crate::sim::Simulator;
+
+    fn rot_harness(right: bool) -> impl FnMut(u64, u64) -> u64 {
+        let mut nl = Netlist::new("rot");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let d = m.input("d", 16);
+        let amt = m.input("amt", 4);
+        let y = if right {
+            m.barrel_rotr(&d, &amt)
+        } else {
+            m.barrel_rotl(&d, &amt)
+        };
+        m.output("y", &y);
+        drop(m);
+        let nl = Box::leak(Box::new(nl));
+        let mut sim = Simulator::new(nl).unwrap();
+        move |dv, av| {
+            sim.set_input("d", dv).unwrap();
+            sim.set_input("amt", av).unwrap();
+            sim.output("y").unwrap()
+        }
+    }
+
+    #[test]
+    fn rotl_matches_paper_example() {
+        let mut rotl = rot_harness(false);
+        assert_eq!(rotl(0x48D0, 2), 0x2341);
+        assert_eq!(rotl(0x1234, 2), 0x48D0);
+    }
+
+    #[test]
+    fn rotr_matches_paper_example() {
+        let mut rotr = rot_harness(true);
+        assert_eq!(rotr(0x2341, 6), 0x048D);
+    }
+
+    #[test]
+    fn rotl_exhaustive_amounts() {
+        let mut rotl = rot_harness(false);
+        let v: u16 = 0xBEEF;
+        for amt in 0..16u32 {
+            assert_eq!(rotl(v as u64, amt as u64), v.rotate_left(amt) as u64);
+        }
+    }
+
+    #[test]
+    fn rotr_exhaustive_amounts() {
+        let mut rotr = rot_harness(true);
+        let v: u16 = 0x8001;
+        for amt in 0..16u32 {
+            assert_eq!(rotr(v as u64, amt as u64), v.rotate_right(amt) as u64);
+        }
+    }
+
+    #[test]
+    fn rotator_lut_cost_is_width_times_stages() {
+        let mut nl = Netlist::new("rot");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let d = m.input("d", 16);
+        let amt = m.input("amt", 4);
+        let y = m.barrel_rotl(&d, &amt);
+        m.output("y", &y);
+        drop(m);
+        // 4 mux stages of 16 LUT3s each.
+        assert_eq!(nl.stats().luts(), 64);
+    }
+
+    #[test]
+    fn narrow_width_rotation() {
+        let mut nl = Netlist::new("rot3");
+        let mut m = ModuleBuilder::root(&mut nl);
+        let d = m.input("d", 3);
+        let amt = m.input("amt", 2);
+        let y = m.barrel_rotl(&d, &amt);
+        m.output("y", &y);
+        drop(m);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for amt in 0..4u64 {
+            sim.set_input("d", 0b011).unwrap();
+            sim.set_input("amt", amt).unwrap();
+            let expect = match amt % 3 {
+                0 => 0b011,
+                1 => 0b110,
+                _ => 0b101,
+            };
+            // amount 3 rotates by 2 then 1 = 3 ≡ 0 (mod 3).
+            let expect = if amt == 3 { 0b011 } else { expect };
+            assert_eq!(sim.output("y").unwrap(), expect, "amt={amt}");
+        }
+    }
+}

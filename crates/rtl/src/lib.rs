@@ -1,0 +1,55 @@
+//! Gate-level hardware modelling for the MHHEA micro-architecture.
+//!
+//! The paper implements MHHEA as a Spartan-II FPGA design; this crate is the
+//! substrate that replaces the Xilinx toolchain's front end:
+//!
+//! * [`netlist`] — a structural netlist of exactly the primitives a
+//!   Spartan-II slice offers: 1–4 input LUTs, D flip-flops (with clock
+//!   enable and synchronous reset), tristate buffers (TBUFs) driving shared
+//!   bus nets, constants and top-level ports.
+//! * [`sim`] — a four-state (`0/1/X/Z`) levelized simulator with proper
+//!   X-propagation and TBUF bus resolution, plus VCD dumping and ASCII
+//!   waveform rendering for regenerating the paper's timing diagrams
+//!   (Figures 5–8).
+//! * [`hdl`] — a small structural HDL embedded in Rust: multi-bit
+//!   [`hdl::Signal`]s, logic/arithmetic operators, barrel rotators,
+//!   comparators, registers and tristate buses, all elaborated down to the
+//!   netlist primitives above.
+//!
+//! The `fpga` crate consumes the same netlist for packing, placement and
+//! timing; the `mhhea-hw` crate builds the paper's processor on top of
+//! [`hdl`].
+//!
+//! # Examples
+//!
+//! Build and simulate a 2-bit counter:
+//!
+//! ```
+//! use rtl::hdl::ModuleBuilder;
+//! use rtl::netlist::Netlist;
+//! use rtl::sim::Simulator;
+//!
+//! let mut nl = Netlist::new("counter");
+//! let mut m = ModuleBuilder::root(&mut nl);
+//! let count = m.reg("count", 2);
+//! let q = count.q();
+//! let next = m.inc(&q);
+//! m.connect_reg(count, &next);
+//! m.output("value", &q);
+//! drop(m);
+//!
+//! nl.validate().unwrap();
+//! let mut sim = Simulator::new(&nl).unwrap();
+//! sim.reset();
+//! for expect in [1, 2, 3, 0, 1] {
+//!     sim.clock();
+//!     assert_eq!(sim.output("value").unwrap(), expect);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hdl;
+pub mod netlist;
+pub mod sim;

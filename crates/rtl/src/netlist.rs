@@ -1,0 +1,830 @@
+//! Structural netlists of Spartan-II-class primitives.
+//!
+//! A [`Netlist`] is a flat graph of [`Cell`]s connected by single-bit nets.
+//! The cell inventory is deliberately restricted to what the paper's target
+//! device offers per slice: 1–4-input LUTs, D flip-flops with optional
+//! clock-enable and synchronous reset, tristate buffers (TBUFs) driving
+//! shared bus nets, constants and top-level ports. Everything the `hdl`
+//! builder produces — and everything the `fpga` crate maps — is expressed in
+//! these primitives.
+
+use std::collections::BTreeMap;
+
+/// Identifier of a net (a single-bit wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// Index into the netlist's net arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub(crate) u32);
+
+impl CellId {
+    /// Index into the netlist's cell arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single-bit wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Hierarchical name, unique within the netlist.
+    pub name: String,
+    /// `true` when the net is a tristate bus allowed multiple TBUF drivers.
+    pub is_bus: bool,
+}
+
+/// A hardware primitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cell {
+    /// Look-up table of 1..=4 inputs. Bit `i` of `table` gives the output
+    /// for the input combination whose bits (LSB = first input) equal `i`.
+    Lut {
+        /// Instance name.
+        name: String,
+        /// Input nets, LSB-indexed into the truth table.
+        inputs: Vec<NetId>,
+        /// Truth table over `2^inputs.len()` entries.
+        table: u16,
+        /// Output net.
+        output: NetId,
+    },
+    /// D flip-flop clocked by the implicit global clock.
+    Dff {
+        /// Instance name.
+        name: String,
+        /// Data input.
+        d: NetId,
+        /// Output net.
+        q: NetId,
+        /// Optional clock enable (active high; absent = always enabled).
+        ce: Option<NetId>,
+        /// Optional synchronous reset to `init` (active high, dominates CE).
+        sr: Option<NetId>,
+        /// Power-on / reset value.
+        init: bool,
+    },
+    /// Tristate buffer: drives `output` with `input` when `en` is high,
+    /// otherwise leaves it high-impedance.
+    Tbuf {
+        /// Instance name.
+        name: String,
+        /// Data input.
+        input: NetId,
+        /// Active-high output enable.
+        en: NetId,
+        /// Driven bus net.
+        output: NetId,
+    },
+    /// Constant driver (GND / VCC).
+    Const {
+        /// Instance name.
+        name: String,
+        /// Driven value.
+        value: bool,
+        /// Output net.
+        output: NetId,
+    },
+    /// Top-level input pad (one bit of a named port).
+    Input {
+        /// Port name.
+        port: String,
+        /// Bit index within the port.
+        bit: usize,
+        /// Net driven by the pad.
+        output: NetId,
+    },
+    /// Top-level output pad (one bit of a named port).
+    Output {
+        /// Port name.
+        port: String,
+        /// Bit index within the port.
+        bit: usize,
+        /// Net sampled by the pad.
+        input: NetId,
+    },
+}
+
+impl Cell {
+    /// Instance or port name for diagnostics.
+    pub fn name(&self) -> String {
+        match self {
+            Cell::Lut { name, .. } | Cell::Dff { name, .. } | Cell::Tbuf { name, .. } | Cell::Const { name, .. } => name.clone(),
+            Cell::Input { port, bit, .. } => format!("{port}[{bit}]"),
+            Cell::Output { port, bit, .. } => format!("{port}[{bit}]"),
+        }
+    }
+
+    /// Nets this cell reads.
+    pub fn input_nets(&self) -> Vec<NetId> {
+        match self {
+            Cell::Lut { inputs, .. } => inputs.clone(),
+            Cell::Dff { d, ce, sr, .. } => {
+                let mut v = vec![*d];
+                v.extend(ce.iter().copied());
+                v.extend(sr.iter().copied());
+                v
+            }
+            Cell::Tbuf { input, en, .. } => vec![*input, *en],
+            Cell::Const { .. } | Cell::Input { .. } => vec![],
+            Cell::Output { input, .. } => vec![*input],
+        }
+    }
+
+    /// Net this cell drives, if any.
+    pub fn output_net(&self) -> Option<NetId> {
+        match self {
+            Cell::Lut { output, .. }
+            | Cell::Tbuf { output, .. }
+            | Cell::Const { output, .. }
+            | Cell::Input { output, .. } => Some(*output),
+            Cell::Dff { q, .. } => Some(*q),
+            Cell::Output { .. } => None,
+        }
+    }
+
+    /// `true` for cells whose output follows inputs within one cycle
+    /// (everything but flip-flops, ports and constants).
+    pub fn is_combinational(&self) -> bool {
+        matches!(self, Cell::Lut { .. } | Cell::Tbuf { .. })
+    }
+}
+
+/// Utilisation counters for a netlist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// LUT count by input arity (index 1..=4 used).
+    pub luts_by_arity: [usize; 5],
+    /// Flip-flop count.
+    pub dffs: usize,
+    /// Tristate buffer count.
+    pub tbufs: usize,
+    /// Constant cells.
+    pub consts: usize,
+    /// Input port bits.
+    pub input_bits: usize,
+    /// Output port bits.
+    pub output_bits: usize,
+    /// Total nets.
+    pub nets: usize,
+}
+
+impl NetlistStats {
+    /// Total LUT count across arities.
+    pub fn luts(&self) -> usize {
+        self.luts_by_arity.iter().sum()
+    }
+
+    /// Total bonded IOB count (input + output bits).
+    pub fn iobs(&self) -> usize {
+        self.input_bits + self.output_bits
+    }
+}
+
+/// Structural validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net has no driving cell.
+    UndrivenNet {
+        /// Net name.
+        net: String,
+    },
+    /// A non-bus net has more than one driver.
+    MultipleDrivers {
+        /// Net name.
+        net: String,
+        /// Names of the conflicting drivers.
+        drivers: Vec<String>,
+    },
+    /// A bus net has a non-TBUF driver.
+    NonTbufBusDriver {
+        /// Net name.
+        net: String,
+        /// Offending cell name.
+        cell: String,
+    },
+    /// The combinational cells contain a cycle.
+    CombinationalLoop {
+        /// A cell on the cycle.
+        via: String,
+    },
+    /// A LUT has an invalid input arity.
+    BadLutArity {
+        /// Cell name.
+        cell: String,
+        /// Number of inputs found.
+        arity: usize,
+    },
+    /// Two port bits reuse the same (port, bit) coordinate.
+    DuplicatePortBit {
+        /// Port name.
+        port: String,
+        /// Bit index.
+        bit: usize,
+    },
+}
+
+impl core::fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NetlistError::UndrivenNet { net } => write!(f, "net `{net}` has no driver"),
+            NetlistError::MultipleDrivers { net, drivers } => {
+                write!(f, "net `{net}` has multiple drivers: {drivers:?}")
+            }
+            NetlistError::NonTbufBusDriver { net, cell } => {
+                write!(f, "bus net `{net}` driven by non-TBUF cell `{cell}`")
+            }
+            NetlistError::CombinationalLoop { via } => {
+                write!(f, "combinational loop through `{via}`")
+            }
+            NetlistError::BadLutArity { cell, arity } => {
+                write!(f, "LUT `{cell}` has invalid arity {arity}")
+            }
+            NetlistError::DuplicatePortBit { port, bit } => {
+                write!(f, "duplicate port bit {port}[{bit}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// A flat structural netlist.
+///
+/// # Examples
+///
+/// ```
+/// use rtl::netlist::Netlist;
+///
+/// let mut nl = Netlist::new("inverter");
+/// let a = nl.add_input_port("a", 1)[0];
+/// let y = nl.new_net("y");
+/// nl.add_lut("inv", vec![a], 0b01, y);
+/// nl.add_output_port("y", &[y]);
+/// assert!(nl.validate().is_ok());
+/// assert_eq!(nl.stats().luts(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    nets: Vec<Net>,
+    cells: Vec<Cell>,
+    inputs: BTreeMap<String, Vec<NetId>>,
+    outputs: BTreeMap<String, Vec<NetId>>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            nets: Vec::new(),
+            cells: Vec::new(),
+            inputs: BTreeMap::new(),
+            outputs: BTreeMap::new(),
+        }
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Creates a new ordinary (single-driver) net.
+    pub fn new_net(&mut self, name: impl Into<String>) -> NetId {
+        self.push_net(name.into(), false)
+    }
+
+    /// Creates a new tristate bus net (TBUF drivers only).
+    pub fn new_bus_net(&mut self, name: impl Into<String>) -> NetId {
+        self.push_net(name.into(), true)
+    }
+
+    fn push_net(&mut self, name: String, is_bus: bool) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net { name, is_bus });
+        id
+    }
+
+    /// Adds a LUT cell; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or has more than 4 entries.
+    pub fn add_lut(
+        &mut self,
+        name: impl Into<String>,
+        inputs: Vec<NetId>,
+        table: u16,
+        output: NetId,
+    ) -> CellId {
+        assert!(
+            (1..=4).contains(&inputs.len()),
+            "LUT arity {} out of range",
+            inputs.len()
+        );
+        self.push_cell(Cell::Lut {
+            name: name.into(),
+            inputs,
+            table,
+            output,
+        })
+    }
+
+    /// Adds a flip-flop driving the pre-created net `q`.
+    pub fn add_dff(
+        &mut self,
+        name: impl Into<String>,
+        d: NetId,
+        q: NetId,
+        ce: Option<NetId>,
+        sr: Option<NetId>,
+        init: bool,
+    ) -> CellId {
+        self.push_cell(Cell::Dff {
+            name: name.into(),
+            d,
+            q,
+            ce,
+            sr,
+            init,
+        })
+    }
+
+    /// Adds a tristate buffer onto a bus net.
+    pub fn add_tbuf(
+        &mut self,
+        name: impl Into<String>,
+        input: NetId,
+        en: NetId,
+        output: NetId,
+    ) -> CellId {
+        self.push_cell(Cell::Tbuf {
+            name: name.into(),
+            input,
+            en,
+            output,
+        })
+    }
+
+    /// Adds a constant driver.
+    pub fn add_const(&mut self, name: impl Into<String>, value: bool, output: NetId) -> CellId {
+        self.push_cell(Cell::Const {
+            name: name.into(),
+            value,
+            output,
+        })
+    }
+
+    /// Declares a `width`-bit input port, returning its nets LSB-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port name is already taken.
+    pub fn add_input_port(&mut self, port: &str, width: usize) -> Vec<NetId> {
+        assert!(
+            !self.inputs.contains_key(port) && !self.outputs.contains_key(port),
+            "port `{port}` already declared"
+        );
+        let nets: Vec<NetId> = (0..width)
+            .map(|bit| {
+                let n = self.new_net(format!("{port}[{bit}]"));
+                self.push_cell(Cell::Input {
+                    port: port.to_string(),
+                    bit,
+                    output: n,
+                });
+                n
+            })
+            .collect();
+        self.inputs.insert(port.to_string(), nets.clone());
+        nets
+    }
+
+    /// Declares an output port sampling `nets` (LSB-first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port name is already taken.
+    pub fn add_output_port(&mut self, port: &str, nets: &[NetId]) {
+        assert!(
+            !self.inputs.contains_key(port) && !self.outputs.contains_key(port),
+            "port `{port}` already declared"
+        );
+        for (bit, &n) in nets.iter().enumerate() {
+            self.push_cell(Cell::Output {
+                port: port.to_string(),
+                bit,
+                input: n,
+            });
+        }
+        self.outputs.insert(port.to_string(), nets.to_vec());
+    }
+
+    fn push_cell(&mut self, cell: Cell) -> CellId {
+        let id = CellId(self.cells.len() as u32);
+        self.cells.push(cell);
+        id
+    }
+
+    /// Net arena accessor.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Cell arena accessor.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// All cells, in insertion order.
+    pub fn cells(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId(i as u32), c))
+    }
+
+    /// All nets, in insertion order.
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId(i as u32), n))
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Declared input ports (name → nets).
+    pub fn input_ports(&self) -> &BTreeMap<String, Vec<NetId>> {
+        &self.inputs
+    }
+
+    /// Declared output ports (name → nets).
+    pub fn output_ports(&self) -> &BTreeMap<String, Vec<NetId>> {
+        &self.outputs
+    }
+
+    /// Cells driving each net (indexed by net).
+    pub fn drivers(&self) -> Vec<Vec<CellId>> {
+        let mut d = vec![Vec::new(); self.nets.len()];
+        for (id, cell) in self.cells() {
+            if let Some(out) = cell.output_net() {
+                d[out.index()].push(id);
+            }
+        }
+        d
+    }
+
+    /// Cells reading each net (indexed by net).
+    pub fn readers(&self) -> Vec<Vec<CellId>> {
+        let mut r = vec![Vec::new(); self.nets.len()];
+        for (id, cell) in self.cells() {
+            for n in cell.input_nets() {
+                r[n.index()].push(id);
+            }
+        }
+        r
+    }
+
+    /// Computes utilisation statistics.
+    pub fn stats(&self) -> NetlistStats {
+        let mut s = NetlistStats {
+            nets: self.nets.len(),
+            ..Default::default()
+        };
+        for cell in &self.cells {
+            match cell {
+                Cell::Lut { inputs, .. } => s.luts_by_arity[inputs.len()] += 1,
+                Cell::Dff { .. } => s.dffs += 1,
+                Cell::Tbuf { .. } => s.tbufs += 1,
+                Cell::Const { .. } => s.consts += 1,
+                Cell::Input { .. } => s.input_bits += 1,
+                Cell::Output { .. } => s.output_bits += 1,
+            }
+        }
+        s
+    }
+
+    /// Checks structural sanity: every net driven, single-driver discipline,
+    /// bus discipline, LUT arity, no combinational loops, port-bit
+    /// uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        // Port-bit uniqueness.
+        let mut seen = std::collections::HashSet::new();
+        for cell in &self.cells {
+            if let Cell::Input { port, bit, .. } | Cell::Output { port, bit, .. } = cell {
+                let is_output = matches!(cell, Cell::Output { .. });
+                if !seen.insert((is_output, port.clone(), *bit)) {
+                    return Err(NetlistError::DuplicatePortBit {
+                        port: port.clone(),
+                        bit: *bit,
+                    });
+                }
+            }
+            if let Cell::Lut { name, inputs, .. } = cell {
+                if inputs.is_empty() || inputs.len() > 4 {
+                    return Err(NetlistError::BadLutArity {
+                        cell: name.clone(),
+                        arity: inputs.len(),
+                    });
+                }
+            }
+        }
+
+        // Driver discipline.
+        let drivers = self.drivers();
+        for (net_id, net) in self.nets() {
+            let ds = &drivers[net_id.index()];
+            if ds.is_empty() {
+                return Err(NetlistError::UndrivenNet {
+                    net: net.name.clone(),
+                });
+            }
+            if net.is_bus {
+                for &d in ds {
+                    if !matches!(self.cell(d), Cell::Tbuf { .. }) {
+                        return Err(NetlistError::NonTbufBusDriver {
+                            net: net.name.clone(),
+                            cell: self.cell(d).name(),
+                        });
+                    }
+                }
+            } else if ds.len() > 1 {
+                return Err(NetlistError::MultipleDrivers {
+                    net: net.name.clone(),
+                    drivers: ds.iter().map(|&d| self.cell(d).name()).collect(),
+                });
+            }
+        }
+
+        // Combinational loop check via Kahn's algorithm over comb cells.
+        self.levelize().map(|_| ())
+    }
+
+    /// Assigns a topological level to every combinational cell (LUT/TBUF):
+    /// level 0 reads only sequential/port/constant nets; level `k` reads
+    /// nets whose combinational drivers all have level `< k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalLoop`] if no such ordering
+    /// exists.
+    pub fn levelize(&self) -> Result<Vec<(CellId, usize)>, NetlistError> {
+        let drivers = self.drivers();
+        // in-degree per comb cell = number of comb cells feeding it.
+        let mut indegree: BTreeMap<CellId, usize> = BTreeMap::new();
+        let mut dependents: BTreeMap<CellId, Vec<CellId>> = BTreeMap::new();
+        for (id, cell) in self.cells() {
+            if !cell.is_combinational() {
+                continue;
+            }
+            let mut deg = 0;
+            for input in cell.input_nets() {
+                for &drv in &drivers[input.index()] {
+                    if self.cell(drv).is_combinational() {
+                        deg += 1;
+                        dependents.entry(drv).or_default().push(id);
+                    }
+                }
+            }
+            indegree.insert(id, deg);
+        }
+        let total = indegree.len();
+        let mut level: BTreeMap<CellId, usize> = BTreeMap::new();
+        let mut queue: Vec<CellId> = indegree
+            .iter()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(&c, _)| c)
+            .collect();
+        for &c in &queue {
+            level.insert(c, 0);
+        }
+        let mut order = Vec::with_capacity(total);
+        while let Some(c) = queue.pop() {
+            order.push((c, level[&c]));
+            if let Some(deps) = dependents.get(&c) {
+                let lc = level[&c];
+                for &d in deps.clone().iter() {
+                    let e = indegree.get_mut(&d).expect("dependent tracked");
+                    *e -= 1;
+                    let ld = level.entry(d).or_insert(0);
+                    *ld = (*ld).max(lc + 1);
+                    if *e == 0 {
+                        queue.push(d);
+                    }
+                }
+            }
+        }
+        if order.len() != total {
+            let via = indegree
+                .iter()
+                .find(|&(_, &d)| d > 0)
+                .map(|(&c, _)| self.cell(c).name())
+                .unwrap_or_default();
+            return Err(NetlistError::CombinationalLoop { via });
+        }
+        order.sort_by_key(|&(_, l)| l);
+        Ok(order)
+    }
+
+    /// Longest combinational path length in LUT/TBUF levels (logic depth).
+    pub fn logic_depth(&self) -> Result<usize, NetlistError> {
+        Ok(self
+            .levelize()?
+            .iter()
+            .map(|&(_, l)| l + 1)
+            .max()
+            .unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inverter() -> Netlist {
+        let mut nl = Netlist::new("inv");
+        let a = nl.add_input_port("a", 1)[0];
+        let y = nl.new_net("y");
+        nl.add_lut("inv", vec![a], 0b01, y);
+        nl.add_output_port("y", &[y]);
+        nl
+    }
+
+    #[test]
+    fn valid_inverter() {
+        let nl = inverter();
+        nl.validate().unwrap();
+        let s = nl.stats();
+        assert_eq!(s.luts(), 1);
+        assert_eq!(s.luts_by_arity[1], 1);
+        assert_eq!(s.input_bits, 1);
+        assert_eq!(s.output_bits, 1);
+        assert_eq!(s.iobs(), 2);
+    }
+
+    #[test]
+    fn undriven_net_detected() {
+        let mut nl = Netlist::new("bad");
+        let n = nl.new_net("floating");
+        nl.add_output_port("y", &[n]);
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::UndrivenNet { .. })
+        ));
+    }
+
+    #[test]
+    fn double_driver_detected() {
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input_port("a", 1)[0];
+        let y = nl.new_net("y");
+        nl.add_lut("l1", vec![a], 0b01, y);
+        nl.add_lut("l2", vec![a], 0b10, y);
+        nl.add_output_port("y", &[y]);
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn bus_requires_tbuf_drivers() {
+        let mut nl = Netlist::new("bus");
+        let a = nl.add_input_port("a", 1)[0];
+        let en = nl.add_input_port("en", 1)[0];
+        let bus = nl.new_bus_net("bus");
+        nl.add_tbuf("t0", a, en, bus);
+        nl.add_tbuf("t1", en, a, bus);
+        nl.add_output_port("y", &[bus]);
+        nl.validate().unwrap();
+
+        // A LUT driving the bus is rejected.
+        let mut bad = Netlist::new("bad");
+        let a2 = bad.add_input_port("a", 1)[0];
+        let bus2 = bad.new_bus_net("bus");
+        bad.add_lut("l", vec![a2], 0b10, bus2);
+        bad.add_output_port("y", &[bus2]);
+        assert!(matches!(
+            bad.validate(),
+            Err(NetlistError::NonTbufBusDriver { .. })
+        ));
+    }
+
+    #[test]
+    fn comb_loop_detected() {
+        let mut nl = Netlist::new("loop");
+        let a = nl.new_net("a");
+        let b = nl.new_net("b");
+        nl.add_lut("l1", vec![b], 0b01, a);
+        nl.add_lut("l2", vec![a], 0b01, b);
+        nl.add_output_port("y", &[a]);
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::CombinationalLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn dff_breaks_loops() {
+        let mut nl = Netlist::new("counter_bit");
+        let q = nl.new_net("q");
+        let d = nl.new_net("d");
+        nl.add_lut("inv", vec![q], 0b01, d);
+        nl.add_dff("ff", d, q, None, None, false);
+        nl.add_output_port("y", &[q]);
+        nl.validate().unwrap();
+        assert_eq!(nl.logic_depth().unwrap(), 1);
+    }
+
+    #[test]
+    fn levelize_orders_by_depth() {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input_port("a", 1)[0];
+        let n1 = nl.new_net("n1");
+        let n2 = nl.new_net("n2");
+        let n3 = nl.new_net("n3");
+        nl.add_lut("l1", vec![a], 0b01, n1);
+        nl.add_lut("l2", vec![n1], 0b01, n2);
+        nl.add_lut("l3", vec![n2], 0b01, n3);
+        nl.add_output_port("y", &[n3]);
+        let levels = nl.levelize().unwrap();
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0].1, 0);
+        assert_eq!(levels[2].1, 2);
+        assert_eq!(nl.logic_depth().unwrap(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already declared")]
+    fn duplicate_port_panics() {
+        let mut nl = Netlist::new("dup");
+        nl.add_input_port("a", 1);
+        nl.add_input_port("a", 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn lut_arity_checked_on_add() {
+        let mut nl = Netlist::new("bad");
+        let y = nl.new_net("y");
+        nl.add_lut("l", vec![], 0, y);
+    }
+
+    #[test]
+    fn stats_count_everything() {
+        let mut nl = Netlist::new("mix");
+        let a = nl.add_input_port("a", 2);
+        let y = nl.new_net("y");
+        nl.add_lut("l", vec![a[0], a[1]], 0b0110, y);
+        let q = nl.new_net("q");
+        nl.add_dff("ff", y, q, None, None, false);
+        let c = nl.new_net("c");
+        nl.add_const("gnd", false, c);
+        let bus = nl.new_bus_net("bus");
+        nl.add_tbuf("t", q, c, bus);
+        nl.add_output_port("y", &[q]);
+        // `bus` is undriven when c=0 but structurally it has a driver.
+        nl.validate().unwrap();
+        let s = nl.stats();
+        assert_eq!(s.luts(), 1);
+        assert_eq!(s.dffs, 1);
+        assert_eq!(s.tbufs, 1);
+        assert_eq!(s.consts, 1);
+        assert_eq!(s.input_bits, 2);
+        assert_eq!(s.output_bits, 1);
+    }
+
+    #[test]
+    fn readers_and_drivers_consistent() {
+        let nl = inverter();
+        let drivers = nl.drivers();
+        let readers = nl.readers();
+        // Every driven net that is read appears in both maps.
+        for (id, _) in nl.nets() {
+            assert!(!drivers[id.index()].is_empty());
+        }
+        assert_eq!(readers.iter().map(Vec::len).sum::<usize>(), 2); // lut reads a, outport reads y
+    }
+}

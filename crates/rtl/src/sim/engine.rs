@@ -1,0 +1,546 @@
+//! The levelized four-state simulator.
+
+use super::value::Logic;
+use crate::netlist::{Cell, CellId, Netlist, NetlistError, NetId};
+use std::collections::BTreeMap;
+
+/// Simulation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The netlist failed structural validation.
+    Invalid(NetlistError),
+    /// A named port does not exist.
+    UnknownPort {
+        /// Requested port name.
+        port: String,
+    },
+    /// An output bit was `X` or `Z` when a binary value was requested.
+    NotBinary {
+        /// Port name.
+        port: String,
+        /// Offending bit index.
+        bit: usize,
+        /// The non-binary value observed.
+        value: Logic,
+    },
+    /// A port value wider than 64 bits was requested as `u64`.
+    TooWide {
+        /// Port name.
+        port: String,
+        /// Port width.
+        width: usize,
+    },
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::Invalid(e) => write!(f, "invalid netlist: {e}"),
+            SimError::UnknownPort { port } => write!(f, "unknown port `{port}`"),
+            SimError::NotBinary { port, bit, value } => {
+                write!(f, "output `{port}` bit {bit} is `{value}`, not binary")
+            }
+            SimError::TooWide { port, width } => {
+                write!(f, "port `{port}` is {width} bits, too wide for u64")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SimError {
+    fn from(e: NetlistError) -> Self {
+        SimError::Invalid(e)
+    }
+}
+
+/// Cycle-based simulator over a borrowed netlist.
+///
+/// Inputs are set with [`Simulator::set_input`], combinational logic settles
+/// lazily, and [`Simulator::clock`] advances all flip-flops by one edge.
+/// Flip-flops power up as `X` until [`Simulator::reset`] (or a wired
+/// synchronous reset) initialises them — exactly the discipline the paper's
+/// `Init` state enforces.
+///
+/// # Examples
+///
+/// ```
+/// use rtl::netlist::Netlist;
+/// use rtl::sim::Simulator;
+///
+/// let mut nl = Netlist::new("and2");
+/// let a = nl.add_input_port("a", 1)[0];
+/// let b = nl.add_input_port("b", 1)[0];
+/// let y = nl.new_net("y");
+/// nl.add_lut("and", vec![a, b], 0b1000, y);
+/// nl.add_output_port("y", &[y]);
+///
+/// let mut sim = Simulator::new(&nl).unwrap();
+/// sim.set_input("a", 1).unwrap();
+/// sim.set_input("b", 1).unwrap();
+/// assert_eq!(sim.output("y").unwrap(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    nl: &'a Netlist,
+    /// Combinational cells in evaluation order.
+    order: Vec<CellId>,
+    /// Current value per net.
+    values: Vec<Logic>,
+    /// TBUF contribution per cell (indexed by cell id; non-TBUFs unused).
+    contributions: Vec<Logic>,
+    /// Drivers per net (cached).
+    drivers: Vec<Vec<CellId>>,
+    /// DFF cells and their current state.
+    dffs: Vec<CellId>,
+    ff_state: Vec<Logic>,
+    /// Current input values per port.
+    inputs: BTreeMap<String, Vec<Logic>>,
+    settled: bool,
+    cycle: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator; validates and levelizes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Invalid`] when the netlist fails validation.
+    pub fn new(nl: &'a Netlist) -> Result<Self, SimError> {
+        nl.validate()?;
+        let order = nl.levelize()?.into_iter().map(|(c, _)| c).collect();
+        let dffs: Vec<CellId> = nl
+            .cells()
+            .filter(|(_, c)| matches!(c, Cell::Dff { .. }))
+            .map(|(id, _)| id)
+            .collect();
+        let inputs = nl
+            .input_ports()
+            .iter()
+            .map(|(name, nets)| (name.clone(), vec![Logic::X; nets.len()]))
+            .collect();
+        let ff_count = dffs.len();
+        Ok(Simulator {
+            nl,
+            order,
+            values: vec![Logic::X; nl.net_count()],
+            contributions: vec![Logic::Z; nl.cell_count()],
+            drivers: nl.drivers(),
+            dffs,
+            ff_state: vec![Logic::X; ff_count],
+            inputs,
+            settled: false,
+            cycle: 0,
+        })
+    }
+
+    /// Number of clock edges applied so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Forces every flip-flop to its `init` value (models the global reset
+    /// the paper's `Init` state asserts).
+    pub fn reset(&mut self) {
+        for (i, &id) in self.dffs.iter().enumerate() {
+            if let Cell::Dff { init, .. } = self.nl.cell(id) {
+                self.ff_state[i] = Logic::from_bool(*init);
+            }
+        }
+        self.settled = false;
+    }
+
+    /// Drives input port `port` with the low bits of `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownPort`] for undeclared ports.
+    pub fn set_input(&mut self, port: &str, value: u64) -> Result<(), SimError> {
+        let bits = self
+            .inputs
+            .get_mut(port)
+            .ok_or_else(|| SimError::UnknownPort { port: port.into() })?;
+        for (i, b) in bits.iter_mut().enumerate() {
+            *b = Logic::from_bool((value >> i.min(63)) & 1 == 1 && i < 64);
+        }
+        self.settled = false;
+        Ok(())
+    }
+
+    /// Drives a single bit of an input port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownPort`] for undeclared ports or
+    /// out-of-range bits.
+    pub fn set_input_bit(&mut self, port: &str, bit: usize, value: Logic) -> Result<(), SimError> {
+        let bits = self
+            .inputs
+            .get_mut(port)
+            .ok_or_else(|| SimError::UnknownPort { port: port.into() })?;
+        let slot = bits.get_mut(bit).ok_or_else(|| SimError::UnknownPort {
+            port: format!("{port}[{bit}]"),
+        })?;
+        *slot = value;
+        self.settled = false;
+        Ok(())
+    }
+
+    /// Reads output port `port` as `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownPort`] for undeclared ports, [`SimError::TooWide`]
+    /// beyond 64 bits, [`SimError::NotBinary`] when a bit is `X`/`Z`.
+    pub fn output(&mut self, port: &str) -> Result<u64, SimError> {
+        let bits = self.output_bits(port)?;
+        if bits.len() > 64 {
+            return Err(SimError::TooWide {
+                port: port.into(),
+                width: bits.len(),
+            });
+        }
+        let mut v = 0u64;
+        for (i, b) in bits.iter().enumerate() {
+            match b.to_bool() {
+                Some(true) => v |= 1 << i,
+                Some(false) => {}
+                None => {
+                    return Err(SimError::NotBinary {
+                        port: port.into(),
+                        bit: i,
+                        value: *b,
+                    })
+                }
+            }
+        }
+        Ok(v)
+    }
+
+    /// Reads the four-state bits of an output port (LSB-first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownPort`] for undeclared ports.
+    pub fn output_bits(&mut self, port: &str) -> Result<Vec<Logic>, SimError> {
+        let nets = self
+            .nl
+            .output_ports()
+            .get(port)
+            .cloned()
+            .ok_or_else(|| SimError::UnknownPort { port: port.into() })?;
+        self.settle();
+        Ok(nets.iter().map(|&n| self.values[n.index()]).collect())
+    }
+
+    /// Current value of an arbitrary net (after settling).
+    pub fn peek_net(&mut self, net: NetId) -> Logic {
+        self.settle();
+        self.values[net.index()]
+    }
+
+    /// Applies one clock edge: sample every DFF's inputs, then update.
+    pub fn clock(&mut self) {
+        self.settle();
+        let mut next = self.ff_state.clone();
+        for (i, &id) in self.dffs.iter().enumerate() {
+            if let Cell::Dff { d, ce, sr, init, .. } = self.nl.cell(id) {
+                let dv = self.values[d.index()];
+                let current = self.ff_state[i];
+                let enabled = match ce {
+                    None => Logic::One,
+                    Some(ce) => self.values[ce.index()],
+                };
+                let resetting = match sr {
+                    None => Logic::Zero,
+                    Some(sr) => self.values[sr.index()],
+                };
+                next[i] = match resetting.to_bool() {
+                    Some(true) => Logic::from_bool(*init),
+                    Some(false) => match enabled.to_bool() {
+                        Some(true) => dv,
+                        Some(false) => current,
+                        None => {
+                            // Unknown CE: value holds only if D == Q.
+                            if dv == current {
+                                current
+                            } else {
+                                Logic::X
+                            }
+                        }
+                    },
+                    None => Logic::X,
+                };
+            }
+        }
+        self.ff_state = next;
+        self.cycle += 1;
+        self.settled = false;
+    }
+
+    /// Runs `n` clock cycles.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.clock();
+        }
+    }
+
+    /// Evaluates combinational logic until stable (one levelized pass).
+    pub fn settle(&mut self) {
+        if self.settled {
+            return;
+        }
+        // Seed sequential / port / constant values.
+        for (id, cell) in self.nl.cells() {
+            match cell {
+                Cell::Const { value, output, .. } => {
+                    self.values[output.index()] = Logic::from_bool(*value);
+                }
+                Cell::Input { port, bit, output } => {
+                    self.values[output.index()] = self.inputs[port][*bit];
+                }
+                Cell::Dff { q, .. } => {
+                    let idx = self.dffs.binary_search(&id).expect("dff indexed");
+                    self.values[q.index()] = self.ff_state[idx];
+                }
+                _ => {}
+            }
+        }
+        // Clear bus contributions.
+        for c in &mut self.contributions {
+            *c = Logic::Z;
+        }
+        // Levelized combinational pass.
+        for idx in 0..self.order.len() {
+            let id = self.order[idx];
+            match self.nl.cell(id) {
+                Cell::Lut {
+                    inputs,
+                    table,
+                    output,
+                    ..
+                } => {
+                    let vals: Vec<Logic> =
+                        inputs.iter().map(|&n| self.values[n.index()]).collect();
+                    self.values[output.index()] = eval_lut(*table, &vals);
+                }
+                Cell::Tbuf {
+                    input, en, output, ..
+                } => {
+                    let en_v = self.values[en.index()];
+                    let in_v = self.values[input.index()];
+                    self.contributions[id.index()] = match en_v.to_bool() {
+                        Some(true) => in_v,
+                        Some(false) => Logic::Z,
+                        // Unknown enable: could drive or not — X unless the
+                        // input itself is Z.
+                        None => Logic::X,
+                    };
+                    // Resolve the bus from all driver contributions seen so
+                    // far; drivers later in the order will re-resolve.
+                    let resolved = self.drivers[output.index()]
+                        .iter()
+                        .map(|&d| self.contributions[d.index()])
+                        .fold(Logic::Z, Logic::resolve);
+                    self.values[output.index()] = resolved;
+                }
+                _ => unreachable!("only comb cells are levelized"),
+            }
+        }
+        self.settled = true;
+    }
+}
+
+/// Evaluates a LUT with X-aware input enumeration: unknown inputs are tried
+/// both ways; if the table output is insensitive to them the result stays
+/// binary.
+fn eval_lut(table: u16, inputs: &[Logic]) -> Logic {
+    let mut base = 0usize;
+    let mut x_positions: Vec<usize> = Vec::new();
+    for (i, v) in inputs.iter().enumerate() {
+        match v.to_bool() {
+            Some(true) => base |= 1 << i,
+            Some(false) => {}
+            None => x_positions.push(i),
+        }
+    }
+    let mut first: Option<bool> = None;
+    for combo in 0..(1usize << x_positions.len()) {
+        let mut idx = base;
+        for (k, &pos) in x_positions.iter().enumerate() {
+            if (combo >> k) & 1 == 1 {
+                idx |= 1 << pos;
+            }
+        }
+        let out = (table >> idx) & 1 == 1;
+        match first {
+            None => first = Some(out),
+            Some(f) if f != out => return Logic::X,
+            Some(_) => {}
+        }
+    }
+    Logic::from_bool(first.expect("at least one combination"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut_eval_basic() {
+        use Logic::*;
+        // AND2 table 0b1000.
+        assert_eq!(eval_lut(0b1000, &[One, One]), One);
+        assert_eq!(eval_lut(0b1000, &[One, Zero]), Zero);
+        // X on one input of an AND with the other 0 -> known 0.
+        assert_eq!(eval_lut(0b1000, &[Zero, X]), Zero);
+        assert_eq!(eval_lut(0b1000, &[One, X]), X);
+        // Z treated as unknown.
+        assert_eq!(eval_lut(0b1000, &[One, Z]), X);
+    }
+
+    #[test]
+    fn mux_with_known_select_ignores_unknown_branch() {
+        use Logic::*;
+        // mux: inputs [a, b, sel], out = sel ? b : a. Table 0xCA.
+        assert_eq!(eval_lut(0xCA, &[One, X, Zero]), One);
+        assert_eq!(eval_lut(0xCA, &[X, Zero, One]), Zero);
+        assert_eq!(eval_lut(0xCA, &[One, Zero, X]), X);
+        // If both branches agree, even an unknown select is harmless.
+        assert_eq!(eval_lut(0xCA, &[One, One, X]), One);
+    }
+
+    fn counter_netlist() -> Netlist {
+        // 1-bit toggle with enable.
+        let mut nl = Netlist::new("toggle");
+        let en = nl.add_input_port("en", 1)[0];
+        let q = nl.new_net("q");
+        let d = nl.new_net("d");
+        nl.add_lut("inv", vec![q], 0b01, d);
+        nl.add_dff("ff", d, q, Some(en), None, false);
+        nl.add_output_port("q", &[q]);
+        nl
+    }
+
+    #[test]
+    fn powerup_is_x_until_reset() {
+        let nl = counter_netlist();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("en", 1).unwrap();
+        assert!(matches!(
+            sim.output("q"),
+            Err(SimError::NotBinary { .. })
+        ));
+        sim.reset();
+        assert_eq!(sim.output("q").unwrap(), 0);
+    }
+
+    #[test]
+    fn toggle_respects_enable() {
+        let nl = counter_netlist();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.reset();
+        sim.set_input("en", 1).unwrap();
+        sim.clock();
+        assert_eq!(sim.output("q").unwrap(), 1);
+        sim.clock();
+        assert_eq!(sim.output("q").unwrap(), 0);
+        sim.set_input("en", 0).unwrap();
+        sim.run(5);
+        assert_eq!(sim.output("q").unwrap(), 0);
+        assert_eq!(sim.cycle(), 7);
+    }
+
+    #[test]
+    fn sync_reset_dominates() {
+        let mut nl = Netlist::new("sr");
+        let d_in = nl.add_input_port("d", 1)[0];
+        let sr = nl.add_input_port("sr", 1)[0];
+        let q = nl.new_net("q");
+        nl.add_dff("ff", d_in, q, None, Some(sr), true);
+        nl.add_output_port("q", &[q]);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("d", 0).unwrap();
+        sim.set_input("sr", 1).unwrap();
+        sim.clock();
+        assert_eq!(sim.output("q").unwrap(), 1); // reset value is `init`=1
+        sim.set_input("sr", 0).unwrap();
+        sim.clock();
+        assert_eq!(sim.output("q").unwrap(), 0);
+    }
+
+    #[test]
+    fn tbuf_bus_resolution() {
+        let mut nl = Netlist::new("bus");
+        let a = nl.add_input_port("a", 1)[0];
+        let b = nl.add_input_port("b", 1)[0];
+        let sela = nl.add_input_port("sela", 1)[0];
+        let selb = nl.add_input_port("selb", 1)[0];
+        let bus = nl.new_bus_net("bus");
+        nl.add_tbuf("ta", a, sela, bus);
+        nl.add_tbuf("tb", b, selb, bus);
+        nl.add_output_port("y", &[bus]);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("a", 1).unwrap();
+        sim.set_input("b", 0).unwrap();
+        sim.set_input("sela", 1).unwrap();
+        sim.set_input("selb", 0).unwrap();
+        assert_eq!(sim.output("y").unwrap(), 1);
+        sim.set_input("sela", 0).unwrap();
+        sim.set_input("selb", 1).unwrap();
+        assert_eq!(sim.output("y").unwrap(), 0);
+        // Nobody driving: Z.
+        sim.set_input("selb", 0).unwrap();
+        assert_eq!(sim.output_bits("y").unwrap(), vec![Logic::Z]);
+        // Contention: X.
+        sim.set_input("sela", 1).unwrap();
+        sim.set_input("selb", 1).unwrap();
+        assert_eq!(sim.output_bits("y").unwrap(), vec![Logic::X]);
+    }
+
+    #[test]
+    fn unknown_port_errors() {
+        let nl = counter_netlist();
+        let mut sim = Simulator::new(&nl).unwrap();
+        assert!(matches!(
+            sim.set_input("nope", 0),
+            Err(SimError::UnknownPort { .. })
+        ));
+        assert!(matches!(
+            sim.output("nope"),
+            Err(SimError::UnknownPort { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_netlist_rejected() {
+        let mut nl = Netlist::new("bad");
+        let n = nl.new_net("floating");
+        nl.add_output_port("y", &[n]);
+        assert!(matches!(
+            Simulator::new(&nl),
+            Err(SimError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn multibit_ports() {
+        let mut nl = Netlist::new("pass");
+        let a = nl.add_input_port("a", 8);
+        nl.add_output_port("y", &a);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_input("a", 0xA5).unwrap();
+        assert_eq!(sim.output("y").unwrap(), 0xA5);
+        sim.set_input_bit("a", 0, Logic::Zero).unwrap();
+        assert_eq!(sim.output("y").unwrap(), 0xA4);
+    }
+}

@@ -1,0 +1,20 @@
+//! Four-state cycle simulation of [`crate::netlist::Netlist`]s.
+//!
+//! The simulator is levelized: combinational cells are topologically
+//! ordered once, then each [`Simulator::settle`] evaluates every LUT and
+//! TBUF exactly once per cycle, with X-propagation (unknown inputs are
+//! enumerated, so a mux with a known select never poisons its output) and
+//! TBUF bus resolution (multiple drivers resolve like a real tristate
+//! rail: all-Z gives Z, agreement gives the value, contention gives X).
+//!
+//! [`trace::Trace`] records named buses every cycle and renders them as a
+//! VCD file or an ASCII timing diagram — this is how the paper's Figures
+//! 5–8 are regenerated.
+
+mod engine;
+pub mod tb;
+pub mod trace;
+mod value;
+
+pub use engine::{SimError, Simulator};
+pub use value::Logic;

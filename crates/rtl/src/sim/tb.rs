@@ -1,0 +1,192 @@
+//! Testbench conveniences: drive, clock, expect, trace.
+
+use super::trace::Trace;
+use super::{SimError, Simulator};
+use crate::netlist::{Netlist, NetId};
+
+/// A simulator bundled with a waveform trace and expectation helpers.
+///
+/// # Examples
+///
+/// ```
+/// use rtl::netlist::Netlist;
+/// use rtl::sim::tb::Testbench;
+///
+/// let mut nl = Netlist::new("wire");
+/// let a = nl.add_input_port("a", 4);
+/// nl.add_output_port("y", &a);
+/// let mut tb = Testbench::new(&nl).unwrap();
+/// tb.drive("a", 7).unwrap();
+/// tb.expect("y", 7).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct Testbench<'a> {
+    sim: Simulator<'a>,
+    trace: Trace,
+    traced: bool,
+}
+
+impl<'a> Testbench<'a> {
+    /// Builds a testbench over a validated netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist validation failures.
+    pub fn new(nl: &'a Netlist) -> Result<Self, SimError> {
+        Ok(Testbench {
+            sim: Simulator::new(nl)?,
+            trace: Trace::new(nl.name()),
+            traced: false,
+        })
+    }
+
+    /// Watches a named bus in the trace. Must precede the first cycle.
+    pub fn watch(&mut self, name: &str, nets: &[NetId]) {
+        self.trace.watch(name, nets);
+        self.traced = true;
+    }
+
+    /// Asserts the global reset (initialises all flip-flops).
+    pub fn reset(&mut self) {
+        self.sim.reset();
+    }
+
+    /// Drives an input port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownPort`] for undeclared ports.
+    pub fn drive(&mut self, port: &str, value: u64) -> Result<(), SimError> {
+        self.sim.set_input(port, value)
+    }
+
+    /// Applies one clock edge, sampling the trace afterwards.
+    pub fn step(&mut self) {
+        self.sim.clock();
+        if self.traced {
+            self.trace.sample(&mut self.sim);
+        }
+    }
+
+    /// Applies `n` clock edges.
+    pub fn step_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Reads an output port.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::output`].
+    pub fn output(&mut self, port: &str) -> Result<u64, SimError> {
+        self.sim.output(port)
+    }
+
+    /// Asserts an output equals `expected`, with a waveform-rich error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rendered mismatch description including the current cycle.
+    pub fn expect(&mut self, port: &str, expected: u64) -> Result<(), String> {
+        let got = self
+            .output(port)
+            .map_err(|e| format!("cycle {}: reading `{port}`: {e}", self.sim.cycle()))?;
+        if got != expected {
+            return Err(format!(
+                "cycle {}: `{port}` = {got:#x}, expected {expected:#x}\n{}",
+                self.sim.cycle(),
+                self.trace.render_ascii()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Clocks until `port` equals `expected`, up to `max_cycles`.
+    ///
+    /// Returns the number of cycles consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string on timeout or read failure.
+    pub fn step_until(
+        &mut self,
+        port: &str,
+        expected: u64,
+        max_cycles: usize,
+    ) -> Result<usize, String> {
+        for n in 0..max_cycles {
+            if let Ok(v) = self.output(port) {
+                if v == expected {
+                    return Ok(n);
+                }
+            }
+            self.step();
+        }
+        Err(format!(
+            "`{port}` never reached {expected:#x} within {max_cycles} cycles\n{}",
+            self.trace.render_ascii()
+        ))
+    }
+
+    /// Access to the inner simulator.
+    pub fn sim(&mut self) -> &mut Simulator<'a> {
+        &mut self.sim
+    }
+
+    /// Access to the recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggler() -> Netlist {
+        let mut nl = Netlist::new("toggle");
+        let q = nl.new_net("q");
+        let d = nl.new_net("d");
+        nl.add_lut("inv", vec![q], 0b01, d);
+        nl.add_dff("ff", d, q, None, None, false);
+        nl.add_output_port("q", &[q]);
+        nl
+    }
+
+    #[test]
+    fn expect_pass_and_fail() {
+        let nl = toggler();
+        let mut tb = Testbench::new(&nl).unwrap();
+        tb.reset();
+        tb.expect("q", 0).unwrap();
+        tb.step();
+        tb.expect("q", 1).unwrap();
+        let err = tb.expect("q", 0).unwrap_err();
+        assert!(err.contains("expected 0x0"), "{err}");
+    }
+
+    #[test]
+    fn step_until_counts_cycles() {
+        let nl = toggler();
+        let mut tb = Testbench::new(&nl).unwrap();
+        tb.reset();
+        let n = tb.step_until("q", 1, 10).unwrap();
+        assert_eq!(n, 1);
+        assert!(tb.step_until("q", 7, 4).is_err());
+    }
+
+    #[test]
+    fn trace_samples_on_step() {
+        let nl = toggler();
+        let mut tb = Testbench::new(&nl).unwrap();
+        let q = nl.output_ports()["q"].clone();
+        tb.watch("q", &q);
+        tb.reset();
+        tb.step_n(4);
+        assert_eq!(tb.trace().cycles(), 4);
+        assert_eq!(tb.trace().value_at("q", 0).unwrap(), "1");
+        assert_eq!(tb.trace().value_at("q", 1).unwrap(), "0");
+    }
+}

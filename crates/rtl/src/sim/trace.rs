@@ -1,0 +1,267 @@
+//! Waveform capture: VCD files and ASCII timing diagrams.
+//!
+//! The paper's Figures 5–8 are screenshots of the Xilinx Logic Simulator;
+//! [`Trace`] reproduces them by sampling named buses every cycle and
+//! rendering either a standard VCD file (for GTKWave et al.) or a compact
+//! ASCII table.
+
+use super::value::{bits_to_hex, Logic};
+use super::Simulator;
+use crate::netlist::NetId;
+
+/// One watched bus.
+#[derive(Debug, Clone)]
+struct Watch {
+    name: String,
+    nets: Vec<NetId>,
+    /// Samples per cycle; each sample is LSB-first bits.
+    samples: Vec<Vec<Logic>>,
+}
+
+/// Records named signals over time and renders waveforms.
+///
+/// # Examples
+///
+/// ```
+/// use rtl::netlist::Netlist;
+/// use rtl::sim::{trace::Trace, Simulator};
+///
+/// let mut nl = Netlist::new("wire");
+/// let a = nl.add_input_port("a", 4);
+/// nl.add_output_port("y", &a);
+/// let mut sim = Simulator::new(&nl).unwrap();
+/// let mut trace = Trace::new("wire");
+/// trace.watch("y", &a);
+/// sim.set_input("a", 0x5).unwrap();
+/// trace.sample(&mut sim);
+/// assert!(trace.to_vcd().contains("$var wire 4"));
+/// assert!(trace.render_ascii().contains('5'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trace {
+    design: String,
+    watches: Vec<Watch>,
+    cycles: usize,
+}
+
+impl Trace {
+    /// Creates an empty trace for a design called `design`.
+    pub fn new(design: impl Into<String>) -> Self {
+        Trace {
+            design: design.into(),
+            watches: Vec::new(),
+            cycles: 0,
+        }
+    }
+
+    /// Watches a bus (nets LSB-first) under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after sampling started.
+    pub fn watch(&mut self, name: impl Into<String>, nets: &[NetId]) {
+        assert_eq!(self.cycles, 0, "watch() must precede sampling");
+        self.watches.push(Watch {
+            name: name.into(),
+            nets: nets.to_vec(),
+            samples: Vec::new(),
+        });
+    }
+
+    /// Samples every watched bus at the simulator's current state.
+    pub fn sample(&mut self, sim: &mut Simulator<'_>) {
+        for w in &mut self.watches {
+            let bits: Vec<Logic> = w.nets.iter().map(|&n| sim.peek_net(n)).collect();
+            w.samples.push(bits);
+        }
+        self.cycles += 1;
+    }
+
+    /// Number of samples taken.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Hex value of a watched signal at a cycle, if recorded.
+    pub fn value_at(&self, name: &str, cycle: usize) -> Option<String> {
+        self.watches
+            .iter()
+            .find(|w| w.name == name)
+            .and_then(|w| w.samples.get(cycle))
+            .map(|bits| bits_to_hex(bits))
+    }
+
+    /// Serialises the trace as a Value Change Dump.
+    pub fn to_vcd(&self) -> String {
+        let mut out = String::new();
+        out.push_str("$date reproduction run $end\n");
+        out.push_str("$version mhhea-suite rtl simulator $end\n");
+        out.push_str("$timescale 1ns $end\n");
+        out.push_str(&format!("$scope module {} $end\n", self.design));
+        for (i, w) in self.watches.iter().enumerate() {
+            let id = vcd_id(i);
+            let width = w.nets.len();
+            if width == 1 {
+                out.push_str(&format!("$var wire 1 {id} {} $end\n", w.name));
+            } else {
+                out.push_str(&format!(
+                    "$var wire {width} {id} {} [{}:0] $end\n",
+                    w.name,
+                    width - 1
+                ));
+            }
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+        let mut last: Vec<Option<&Vec<Logic>>> = vec![None; self.watches.len()];
+        for cycle in 0..self.cycles {
+            let mut changes = String::new();
+            for (i, w) in self.watches.iter().enumerate() {
+                let bits = &w.samples[cycle];
+                if last[i] != Some(bits) {
+                    let id = vcd_id(i);
+                    if bits.len() == 1 {
+                        changes.push_str(&format!("{}{id}\n", bits[0].vcd_char()));
+                    } else {
+                        let s: String =
+                            bits.iter().rev().map(|b| b.vcd_char()).collect();
+                        changes.push_str(&format!("b{s} {id}\n"));
+                    }
+                    last[i] = Some(bits);
+                }
+            }
+            if !changes.is_empty() || cycle == 0 {
+                out.push_str(&format!("#{}\n", cycle * 10));
+                out.push_str(&changes);
+            }
+        }
+        out.push_str(&format!("#{}\n", self.cycles * 10));
+        out
+    }
+
+    /// Renders an ASCII timing diagram: one row per signal, one column per
+    /// cycle, hex values, `.` when unchanged from the previous cycle.
+    pub fn render_ascii(&self) -> String {
+        let name_w = self
+            .watches
+            .iter()
+            .map(|w| w.name.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        let col_w = self
+            .watches
+            .iter()
+            .map(|w| w.nets.len().div_ceil(4).max(1))
+            .max()
+            .unwrap_or(1)
+            .max(3)
+            + 1;
+        let mut out = String::new();
+        out.push_str(&format!("{:<name_w$} |", "cycle"));
+        for c in 0..self.cycles {
+            out.push_str(&format!(" {c:<w$}", w = col_w - 1));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(name_w + 2 + self.cycles * col_w));
+        out.push('\n');
+        for w in &self.watches {
+            out.push_str(&format!("{:<name_w$} |", w.name));
+            let mut prev: Option<String> = None;
+            for bits in &w.samples {
+                let hex = bits_to_hex(bits);
+                let cell = if prev.as_deref() == Some(&hex) {
+                    ".".to_string()
+                } else {
+                    hex.clone()
+                };
+                out.push_str(&format!(" {cell:<w$}", w = col_w - 1));
+                prev = Some(hex);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// VCD identifier characters for watch index `i`.
+fn vcd_id(i: usize) -> String {
+    let mut s = String::new();
+    let mut n = i;
+    loop {
+        s.push((33 + (n % 94)) as u8 as char);
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    fn passthrough() -> Netlist {
+        let mut nl = Netlist::new("pass");
+        let a = nl.add_input_port("a", 8);
+        nl.add_output_port("y", &a);
+        nl
+    }
+
+    #[test]
+    fn records_and_renders() {
+        let nl = passthrough();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let nets: Vec<NetId> = nl.input_ports()["a"].clone();
+        let mut trace = Trace::new("pass");
+        trace.watch("a", &nets);
+        for v in [0x11u64, 0x11, 0x22] {
+            sim.set_input("a", v).unwrap();
+            trace.sample(&mut sim);
+        }
+        assert_eq!(trace.cycles(), 3);
+        assert_eq!(trace.value_at("a", 0).unwrap(), "11");
+        assert_eq!(trace.value_at("a", 2).unwrap(), "22");
+        let ascii = trace.render_ascii();
+        assert!(ascii.contains("11"), "{ascii}");
+        assert!(ascii.contains('.'), "unchanged marker missing: {ascii}");
+        assert!(ascii.contains("22"), "{ascii}");
+    }
+
+    #[test]
+    fn vcd_structure() {
+        let nl = passthrough();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let nets: Vec<NetId> = nl.input_ports()["a"].clone();
+        let mut trace = Trace::new("pass");
+        trace.watch("a", &nets);
+        sim.set_input("a", 0xA5).unwrap();
+        trace.sample(&mut sim);
+        sim.set_input("a", 0xA5).unwrap();
+        trace.sample(&mut sim);
+        let vcd = trace.to_vcd();
+        assert!(vcd.contains("$timescale 1ns $end"));
+        assert!(vcd.contains("$var wire 8 ! a [7:0] $end"));
+        assert!(vcd.contains("b10100101 !"));
+        // Unchanged second cycle emits no new change record.
+        assert_eq!(vcd.matches("b10100101").count(), 1);
+    }
+
+    #[test]
+    fn vcd_id_uniqueness() {
+        let ids: std::collections::HashSet<String> = (0..500).map(vcd_id).collect();
+        assert_eq!(ids.len(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "precede sampling")]
+    fn watch_after_sample_panics() {
+        let nl = passthrough();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let mut trace = Trace::new("pass");
+        sim.set_input("a", 0).unwrap();
+        trace.sample(&mut sim);
+        trace.watch("late", &nl.input_ports()["a"]);
+    }
+}

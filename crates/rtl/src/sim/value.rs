@@ -1,0 +1,147 @@
+//! Four-state logic values.
+
+/// A four-state simulation value.
+///
+/// `X` models an unknown binary value (uninitialised register, contention);
+/// `Z` models an undriven tristate rail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown.
+    #[default]
+    X,
+    /// High impedance.
+    Z,
+}
+
+impl Logic {
+    /// Converts a boolean.
+    pub fn from_bool(b: bool) -> Logic {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Returns the binary value, or `None` for `X`/`Z`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X | Logic::Z => None,
+        }
+    }
+
+    /// `true` for `Zero` or `One`.
+    pub fn is_binary(self) -> bool {
+        self.to_bool().is_some()
+    }
+
+    /// Tristate bus resolution of two contributions.
+    ///
+    /// `Z` yields to anything; agreeing binaries keep their value;
+    /// disagreement or `X` gives `X` (contention).
+    pub fn resolve(self, other: Logic) -> Logic {
+        match (self, other) {
+            (Logic::Z, v) | (v, Logic::Z) => v,
+            (a, b) if a == b => a,
+            _ => Logic::X,
+        }
+    }
+
+    /// VCD character for this value.
+    pub fn vcd_char(self) -> char {
+        match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'x',
+            Logic::Z => 'z',
+        }
+    }
+}
+
+impl core::fmt::Display for Logic {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.vcd_char())
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Logic {
+        Logic::from_bool(b)
+    }
+}
+
+/// Renders a bit slice (LSB-first) as a hex string, using `X`/`Z` nibble
+/// markers when any bit of the nibble is non-binary.
+pub fn bits_to_hex(bits: &[Logic]) -> String {
+    let nibbles = bits.len().div_ceil(4).max(1);
+    let mut s = String::with_capacity(nibbles);
+    for n in (0..nibbles).rev() {
+        let mut val = 0u8;
+        let mut bad: Option<char> = None;
+        for b in 0..4 {
+            match bits.get(n * 4 + b).copied() {
+                Some(Logic::One) => val |= 1 << b,
+                Some(Logic::Zero) | None => {}
+                Some(Logic::X) => bad = Some('X'),
+                Some(Logic::Z) => bad = bad.or(Some('Z')),
+            }
+        }
+        match bad {
+            Some(c) => s.push(c),
+            None => s.push(char::from_digit(val as u32, 16).expect("nibble")),
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_truth_table() {
+        use Logic::*;
+        assert_eq!(Z.resolve(Z), Z);
+        assert_eq!(Z.resolve(One), One);
+        assert_eq!(Zero.resolve(Z), Zero);
+        assert_eq!(One.resolve(One), One);
+        assert_eq!(Zero.resolve(One), X);
+        assert_eq!(X.resolve(Zero), X);
+        assert_eq!(X.resolve(Z), X);
+    }
+
+    #[test]
+    fn bool_roundtrip() {
+        assert_eq!(Logic::from_bool(true).to_bool(), Some(true));
+        assert_eq!(Logic::from_bool(false).to_bool(), Some(false));
+        assert_eq!(Logic::X.to_bool(), None);
+        assert_eq!(Logic::Z.to_bool(), None);
+        assert!(Logic::One.is_binary());
+        assert!(!Logic::Z.is_binary());
+        assert_eq!(Logic::from(true), Logic::One);
+    }
+
+    #[test]
+    fn hex_rendering() {
+        use Logic::*;
+        let bits = [Zero, One, One, Zero, Zero, One, Zero, One]; // 0xA6
+        assert_eq!(bits_to_hex(&bits), "a6");
+        let with_x = [Zero, X, Zero, Zero, One, Zero, Zero, Zero];
+        assert_eq!(bits_to_hex(&with_x), "1X");
+        let with_z = [Z, Z, Z, Z];
+        assert_eq!(bits_to_hex(&with_z), "Z");
+        assert_eq!(bits_to_hex(&[]), "0");
+    }
+
+    #[test]
+    fn display_matches_vcd() {
+        assert_eq!(Logic::X.to_string(), "x");
+        assert_eq!(Logic::One.to_string(), "1");
+    }
+}

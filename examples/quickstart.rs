@@ -1,0 +1,48 @@
+//! Quickstart: seal a message under an MHHEA key, inspect the container,
+//! open it again, and show what a wrong key does.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mhhea::container::{open, parse_header, seal, ContainerError, SealOptions};
+use mhhea::{Key, Profile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A key is up to sixteen pairs of 3-bit hiding locations.
+    let key = Key::from_nibbles(&[(0, 3), (2, 5), (1, 7), (4, 6)])?;
+    println!("key: {key} (fingerprint {:016x})", key.fingerprint());
+
+    let message = b"MHHEA hides plaintext bits inside LFSR noise.";
+    let sealed = seal(&key, message, &SealOptions::default())?;
+    let header = parse_header(&sealed)?;
+    println!(
+        "sealed {} message bytes into {} container bytes ({} blocks of 16 bits; {:.1}x expansion)",
+        message.len(),
+        sealed.len(),
+        header.block_count,
+        (header.block_count as f64 * 2.0) / message.len() as f64,
+    );
+
+    let recovered = open(&key, &sealed)?;
+    assert_eq!(recovered, message);
+    println!("opened: {:?}", String::from_utf8_lossy(&recovered));
+
+    // The container detects a wrong key by fingerprint.
+    let wrong = Key::from_nibbles(&[(7, 7)])?;
+    match open(&wrong, &sealed) {
+        Err(ContainerError::KeyMismatch) => println!("wrong key rejected (fingerprint)"),
+        other => panic!("expected KeyMismatch, got {other:?}"),
+    }
+
+    // The hardware-faithful profile models the FPGA datapath bit-exactly.
+    let opts = SealOptions {
+        profile: Profile::HardwareFaithful,
+        ..Default::default()
+    };
+    let sealed_hw = seal(&key, message, &opts)?;
+    assert_eq!(open(&key, &sealed_hw)?, message);
+    println!(
+        "hardware-faithful profile: {} blocks (blind full-span embedding)",
+        parse_header(&sealed_hw)?.block_count
+    );
+    Ok(())
+}

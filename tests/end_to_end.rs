@@ -1,0 +1,116 @@
+//! Cross-crate end-to-end tests: container round trips over every
+//! algorithm/profile combination, plus property-based round trips.
+
+use mhhea::container::{open, seal, SealOptions};
+use mhhea::{Algorithm, Key, Profile};
+use proptest::prelude::*;
+
+fn all_modes() -> Vec<SealOptions> {
+    let mut v = Vec::new();
+    for algorithm in [Algorithm::Hhea, Algorithm::Mhhea] {
+        for profile in [Profile::Streaming, Profile::HardwareFaithful] {
+            v.push(SealOptions {
+                algorithm,
+                profile,
+                lfsr_seed: 0xACE1,
+            });
+        }
+    }
+    v
+}
+
+#[test]
+fn seal_open_across_modes_and_sizes() {
+    let key = Key::from_nibbles(&[(0, 3), (2, 5), (7, 1), (4, 4)]).unwrap();
+    let messages: Vec<Vec<u8>> = vec![
+        vec![],
+        vec![0x00],
+        vec![0xFF; 3],
+        b"The quick brown fox jumps over the lazy dog".to_vec(),
+        (0..=255u8).collect(),
+        vec![0xA5; 1000],
+    ];
+    for opts in all_modes() {
+        for msg in &messages {
+            let sealed = seal(&key, msg, &opts).unwrap();
+            let got = open(&key, &sealed).unwrap();
+            assert_eq!(
+                &got, msg,
+                "round trip failed: {} / {}",
+                opts.algorithm, opts.profile
+            );
+        }
+    }
+}
+
+#[test]
+fn containers_from_different_modes_are_distinct() {
+    let key = Key::from_nibbles(&[(0, 5), (3, 6)]).unwrap();
+    let msg = b"same message, four modes";
+    let sealed: Vec<Vec<u8>> = all_modes()
+        .iter()
+        .map(|o| seal(&key, msg, o).unwrap())
+        .collect();
+    for i in 0..sealed.len() {
+        for j in (i + 1)..sealed.len() {
+            assert_ne!(sealed[i], sealed[j], "modes {i} and {j} collide");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_roundtrip_streaming(
+        msg in proptest::collection::vec(any::<u8>(), 0..300),
+        pairs in proptest::collection::vec((0u8..=7, 0u8..=7), 1..=16),
+        seed in 1u16..,
+    ) {
+        let key = Key::from_nibbles(&pairs).unwrap();
+        let opts = SealOptions { lfsr_seed: seed, ..Default::default() };
+        let sealed = seal(&key, &msg, &opts).unwrap();
+        prop_assert_eq!(open(&key, &sealed).unwrap(), msg);
+    }
+
+    #[test]
+    fn prop_roundtrip_hardware_profile(
+        msg in proptest::collection::vec(any::<u8>(), 0..200),
+        pairs in proptest::collection::vec((0u8..=7, 0u8..=7), 1..=16),
+        seed in 1u16..,
+    ) {
+        let key = Key::from_nibbles(&pairs).unwrap();
+        let opts = SealOptions {
+            profile: Profile::HardwareFaithful,
+            lfsr_seed: seed,
+            ..Default::default()
+        };
+        let sealed = seal(&key, &msg, &opts).unwrap();
+        prop_assert_eq!(open(&key, &sealed).unwrap(), msg);
+    }
+
+    #[test]
+    fn prop_roundtrip_hhea(
+        msg in proptest::collection::vec(any::<u8>(), 0..200),
+        pairs in proptest::collection::vec((0u8..=7, 0u8..=7), 1..=8),
+    ) {
+        let key = Key::from_nibbles(&pairs).unwrap();
+        let opts = SealOptions { algorithm: Algorithm::Hhea, ..Default::default() };
+        let sealed = seal(&key, &msg, &opts).unwrap();
+        prop_assert_eq!(open(&key, &sealed).unwrap(), msg);
+    }
+
+    #[test]
+    fn prop_corrupting_payload_never_panics(
+        msg in proptest::collection::vec(any::<u8>(), 1..100),
+        flip in any::<usize>(),
+    ) {
+        let key = Key::from_nibbles(&[(0, 3), (2, 5)]).unwrap();
+        let mut sealed = seal(&key, &msg, &SealOptions::default()).unwrap();
+        let idx = flip % sealed.len();
+        sealed[idx] ^= 0x40;
+        // Any outcome is acceptable except a panic; a corrupted header
+        // errors, corrupted payload bits garble the message.
+        let _ = open(&key, &sealed);
+    }
+}

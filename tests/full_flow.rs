@@ -1,0 +1,90 @@
+//! The complete EDA flow over both cores: elaborate → validate → pack →
+//! place → time → report → floorplan, with consistency checks across the
+//! artefacts.
+
+use fpga::flow::{run_flow, FlowOptions};
+use fpga::place::PlaceOptions;
+
+fn fast_opts() -> FlowOptions {
+    FlowOptions {
+        place: PlaceOptions {
+            seed: 42,
+            moves_per_slice: 4,
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn mhhea_core_full_flow() {
+    let core = mhhea_hw::core::build_mhhea_core();
+    let stats = core.netlist.stats();
+    let flow = run_flow(&core.netlist, &fast_opts()).unwrap();
+
+    // Report internally consistent with the netlist.
+    assert_eq!(flow.summary.ffs_used, stats.dffs);
+    assert_eq!(flow.summary.luts_used, stats.luts());
+    assert_eq!(flow.summary.tbufs_used, stats.tbufs);
+    assert_eq!(flow.summary.iobs_used, 57);
+    // Packing conservation: every LUT and FF placed exactly once.
+    let (packed_luts, packed_ffs) = flow.packing.resource_counts();
+    assert_eq!(packed_luts, stats.luts());
+    assert_eq!(packed_ffs, stats.dffs);
+    // Utilisation in the same regime as the paper (337/1200 = 28%).
+    let util = flow.summary.slice_utilisation();
+    assert!(
+        (5.0..60.0).contains(&util),
+        "slice utilisation {util}% out of the plausible band"
+    );
+    // Timing present and self-consistent.
+    assert!(flow.timing.min_period_ns > 5.0);
+    assert!((flow.timing.fmax_mhz - 1000.0 / flow.timing.min_period_ns).abs() < 1e-6);
+    assert!(flow.timing.max_net_delay_ns < flow.timing.min_period_ns);
+    assert!(!flow.timing.critical_path.is_empty());
+
+    // Floorplan renders the full grid with a legend of real module names.
+    let fp = flow.floorplan(&core.netlist);
+    assert_eq!(fp.lines().filter(|l| l.starts_with('|')).count(), 20);
+    for module in ["keycache", "align", "rng", "encmod", "msgcache", "ctrl"] {
+        assert!(fp.contains(module), "floorplan missing {module}:\n{fp}");
+    }
+}
+
+#[test]
+fn serial_core_full_flow() {
+    let core = mhhea_hw::serial::build_serial_hhea_core();
+    let flow = run_flow(&core.netlist, &fast_opts()).unwrap();
+    assert!(flow.summary.slices_used > 0);
+    assert!(flow.timing.min_period_ns > 0.0);
+    // The serial design is smaller and faster-clocked (shallower logic)
+    // than the parallel one — the trade its era made.
+    let parallel = run_flow(
+        &mhhea_hw::core::build_mhhea_core().netlist,
+        &fast_opts(),
+    )
+    .unwrap();
+    assert!(flow.summary.luts_used < parallel.summary.luts_used);
+    assert!(flow.timing.min_period_ns < parallel.timing.min_period_ns);
+}
+
+#[test]
+fn flow_is_deterministic() {
+    let core = mhhea_hw::core::build_mhhea_core();
+    let a = run_flow(&core.netlist, &fast_opts()).unwrap();
+    let b = run_flow(&core.netlist, &fast_opts()).unwrap();
+    assert_eq!(a.summary, b.summary);
+    assert_eq!(a.timing.min_period_ns, b.timing.min_period_ns);
+    assert_eq!(a.placement.slice_sites, b.placement.slice_sites);
+}
+
+#[test]
+fn smaller_devices_reject_the_core() {
+    let core = mhhea_hw::core::build_mhhea_core();
+    let mut opts = fast_opts();
+    opts.device = fpga::device::Device::XC2S15;
+    // 292 slices (debug-effort packing) exceed the XC2S15's 192.
+    assert!(matches!(
+        run_flow(&core.netlist, &opts),
+        Err(fpga::FlowError::DoesNotFit { .. })
+    ));
+}
