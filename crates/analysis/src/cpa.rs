@@ -68,11 +68,8 @@ pub fn constant_cpa(algorithm: Algorithm, key: &Key, samples: usize, seed: u64) 
     let len = key.len();
     let mut zero_counts = vec![[0usize; 8]; len];
     let mut block_counts = vec![0usize; len];
-    let mut enc = Encryptor::new(
-        key.clone(),
-        RngSource::new(StdRng::seed_from_u64(seed)),
-    )
-    .with_algorithm(algorithm);
+    let mut enc = Encryptor::new(key.clone(), RngSource::new(StdRng::seed_from_u64(seed)))
+        .with_algorithm(algorithm);
 
     // One message long enough to produce at least `len` blocks; the
     // encryptor's running block counter keeps residues aligned across
@@ -109,9 +106,7 @@ pub fn constant_cpa(algorithm: Algorithm, key: &Key, samples: usize, seed: u64) 
                 .filter(|&j| zero_freq[j as usize] >= DETECT_THRESHOLD)
                 .collect();
             let recovered_span = match (in_span.first(), in_span.last()) {
-                (Some(&lo), Some(&hi)) if in_span.len() == (hi - lo + 1) as usize => {
-                    Some((lo, hi))
-                }
+                (Some(&lo), Some(&hi)) if in_span.len() == (hi - lo + 1) as usize => Some((lo, hi)),
                 _ => None,
             };
             ResidueStats {
@@ -192,11 +187,8 @@ mod tests {
         let report = constant_cpa(Algorithm::Hhea, &key(), 300, 7);
         let spans = report.recovered_key.expect("attack succeeds");
         // Victim encrypts a real message with the same key.
-        let mut victim = Encryptor::new(
-            key(),
-            mhhea::LfsrSource::new(0xBEEF).unwrap(),
-        )
-        .with_algorithm(Algorithm::Hhea);
+        let mut victim = Encryptor::new(key(), mhhea::LfsrSource::new(0xBEEF).unwrap())
+            .with_algorithm(Algorithm::Hhea);
         let msg = b"no key needed";
         let blocks = victim.encrypt(msg).unwrap();
         let recovered = hhea_decrypt_with_spans(&spans, &blocks, msg.len() * 8);

@@ -49,9 +49,7 @@ impl KeyRecReport {
     pub fn consistent_with(&self, key: &Key) -> bool {
         key.pairs().iter().enumerate().all(|(r, p)| {
             let (l, h) = p.sorted();
-            self.survivors[r]
-                .iter()
-                .any(|c| c.sorted() == (l, h))
+            self.survivors[r].iter().any(|c| c.sorted() == (l, h))
         })
     }
 
@@ -78,11 +76,8 @@ pub fn model_aware_attack(key: &Key, samples: usize, seed: u64) -> KeyRecReport 
     let len = key.len();
     let mut survivors: Vec<Vec<KeyPair>> = vec![candidate_pairs(); len];
     let mut counts = vec![0usize; len];
-    let mut enc = Encryptor::new(
-        key.clone(),
-        RngSource::new(StdRng::seed_from_u64(seed)),
-    )
-    .with_algorithm(Algorithm::Mhhea);
+    let mut enc = Encryptor::new(key.clone(), RngSource::new(StdRng::seed_from_u64(seed)))
+        .with_algorithm(Algorithm::Mhhea);
     let zeros = vec![0u8; len * 2];
     let mut produced = 0usize;
     for _ in 0..samples {

@@ -94,10 +94,7 @@ mod tests {
         let ones = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
         // ~78% of bits are LFSR output, ~22% carry pattern bits; the
         // stream stays near balanced but not perfectly so.
-        assert!(
-            (0.35..0.65).contains(&ones),
-            "ones fraction {ones}"
-        );
+        assert!((0.35..0.65).contains(&ones), "ones fraction {ones}");
         assert!(plaintext_cipher_balance(&msg, &blocks) > 0.3);
     }
 

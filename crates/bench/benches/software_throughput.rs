@@ -16,10 +16,9 @@ fn bench_encrypt(c: &mut Criterion) {
                 &message,
                 |b, msg| {
                     b.iter(|| {
-                        let mut enc =
-                            Encryptor::new(key.clone(), LfsrSource::new(0xACE1).unwrap())
-                                .with_algorithm(alg)
-                                .with_profile(profile);
+                        let mut enc = Encryptor::new(key.clone(), LfsrSource::new(0xACE1).unwrap())
+                            .with_algorithm(alg)
+                            .with_profile(profile);
                         enc.encrypt(msg).unwrap()
                     })
                 },

@@ -32,8 +32,8 @@ fn main() {
     ] {
         let core = build_mhhea_core_with(opts);
         let stats = core.netlist.stats();
-        let flow = run_flow(&core.netlist, &mhhea_bench::flow_options(effort))
-            .expect("fits XC2S100");
+        let flow =
+            run_flow(&core.netlist, &mhhea_bench::flow_options(effort)).expect("fits XC2S100");
         println!(
             "{:<28} {:>8} {:>8} {:>8} {:>12.3} {:>10}",
             name,

@@ -23,8 +23,14 @@ fn main() {
     println!("    -> consumed bits rotated away; the next message bit is back at LSB\n");
 
     println!("worked example of Figure 8 on the same datapath:");
-    println!("  message 0x48D0 rotl 2  = 0x{:04x} (paper: 2341)", 0x48D0u16.rotate_left(2));
-    println!("  0x2341 rotr 6          = 0x{:04x} (paper: 048D)", 0x2341u16.rotate_right(6));
+    println!(
+        "  message 0x48D0 rotl 2  = 0x{:04x} (paper: 2341)",
+        0x48D0u16.rotate_left(2)
+    );
+    println!(
+        "  0x2341 rotr 6          = 0x{:04x} (paper: 048D)",
+        0x2341u16.rotate_right(6)
+    );
 
     println!("\nall 64 (KeyL, KeyR) alignments for 0x8001:");
     for l in 0..8u32 {

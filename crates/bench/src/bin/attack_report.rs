@@ -26,11 +26,7 @@ fn main() {
         let report = cpa::constant_cpa(alg, &key, samples, 1);
         println!("{alg}:");
         for (r, stats) in report.residues.iter().enumerate() {
-            let freqs: Vec<String> = stats
-                .zero_freq
-                .iter()
-                .map(|f| format!("{f:.2}"))
-                .collect();
+            let freqs: Vec<String> = stats.zero_freq.iter().map(|f| format!("{f:.2}")).collect();
             println!(
                 "  residue {r}: P(bit=0) = [{}] -> span {:?}",
                 freqs.join(" "),

@@ -15,7 +15,10 @@ fn main() {
         .expect("run completes");
     let trace = run.trace.expect("traced run");
 
-    println!("== Figure 1: FSM walk (one 32-bit word, {} cycles) ==\n", run.cycles);
+    println!(
+        "== Figure 1: FSM walk (one 32-bit word, {} cycles) ==\n",
+        run.cycles
+    );
     println!("transitions observed:");
     let mut prev: Option<State> = None;
     let mut compressed: Vec<(State, usize)> = Vec::new();

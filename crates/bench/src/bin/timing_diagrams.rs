@@ -29,7 +29,10 @@ fn main() {
 
     println!("== Figure 8: rotation and encryption rounds ==\n");
     let start = 18.min(trace.cycles().saturating_sub(1));
-    println!("{}", render_window(&trace, start, trace.cycles().min(start + 20)));
+    println!(
+        "{}",
+        render_window(&trace, start, trace.cycles().min(start + 20))
+    );
 
     println!(
         "run: {} cycles, {} cipher blocks: {:04x?}",

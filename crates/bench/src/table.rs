@@ -107,11 +107,8 @@ pub fn build_table1(effort: usize) -> Table1 {
         .encrypt_words(&key, &words)
         .expect("run completes");
     let mh_period = mh_flow.timing.min_period_ns;
-    let mh_measured = mhhea::stats::measured_throughput_mbps(
-        message_bits,
-        mh_run.cycles,
-        mh_period,
-    );
+    let mh_measured =
+        mhhea::stats::measured_throughput_mbps(message_bits, mh_run.cycles, mh_period);
     let mh_paper_formula = paper_throughput_mbps(mh_period, PAPER_BITS_PER_PERIOD);
 
     // Serial HHEA core.
@@ -122,21 +119,15 @@ pub fn build_table1(effort: usize) -> Table1 {
         .encrypt_words(&key, &words)
         .expect("run completes");
     let se_period = se_flow.timing.min_period_ns;
-    let se_measured = mhhea::stats::measured_throughput_mbps(
-        message_bits,
-        se_run.cycles,
-        se_period,
-    );
+    let se_measured =
+        mhhea::stats::measured_throughput_mbps(message_bits, se_run.cycles, se_period);
 
     // The paper compares both designs at the same clock (its HHEA row,
     // 15.8 Mbps, is ~0.66 bits/cycle at the same ~23.9 MHz as MHHEA), so
     // the equal-clock view is the faithful reproduction of Table 1; the
     // own-fmax rows are additionally reported for completeness.
-    let se_common_clock = mhhea::stats::measured_throughput_mbps(
-        message_bits,
-        se_run.cycles,
-        mh_period,
-    );
+    let se_common_clock =
+        mhhea::stats::measured_throughput_mbps(message_bits, se_run.cycles, mh_period);
 
     let mut rows = vec![
         Row {

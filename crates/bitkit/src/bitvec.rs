@@ -96,7 +96,11 @@ impl BitVec {
     ///
     /// Panics if `index >= self.len()`.
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range ({})", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range ({})",
+            self.len
+        );
         (self.limbs[index / LIMB_BITS] >> (index % LIMB_BITS)) & 1 == 1
     }
 
@@ -111,7 +115,11 @@ impl BitVec {
     ///
     /// Panics if `index >= self.len()`.
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range ({})", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range ({})",
+            self.len
+        );
         let limb = &mut self.limbs[index / LIMB_BITS];
         let mask = 1u64 << (index % LIMB_BITS);
         if value {
@@ -123,7 +131,7 @@ impl BitVec {
 
     /// Appends a bit at the most significant end.
     pub fn push(&mut self, value: bool) {
-        if self.len % LIMB_BITS == 0 {
+        if self.len.is_multiple_of(LIMB_BITS) {
             self.limbs.push(0);
         }
         self.len += 1;
@@ -171,7 +179,12 @@ impl BitVec {
     /// ```
     pub fn slice(&self, range: Range<usize>) -> BitVec {
         assert!(range.start <= range.end, "reversed slice range");
-        assert!(range.end <= self.len, "slice end {} out of range ({})", range.end, self.len);
+        assert!(
+            range.end <= self.len,
+            "slice end {} out of range ({})",
+            range.end,
+            self.len
+        );
         BitVec::from_bits(range.map(|i| self.get(i)))
     }
 

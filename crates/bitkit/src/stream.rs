@@ -124,7 +124,7 @@ impl BitWriter {
 
     /// Appends one bit.
     pub fn push(&mut self, bit: bool) {
-        if self.bit_len % 8 == 0 {
+        if self.bit_len.is_multiple_of(8) {
             self.bytes.push(0);
         }
         if bit {

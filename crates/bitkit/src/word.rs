@@ -40,7 +40,11 @@ pub fn rotr16(v: u16, n: u32) -> u16 {
 pub fn field16(v: u16, lo: u32, hi: u32) -> u16 {
     assert!(lo <= hi && hi <= 15, "invalid field {lo}..={hi}");
     let width = hi - lo + 1;
-    let mask = if width == 16 { u16::MAX } else { (1u16 << width) - 1 };
+    let mask = if width == 16 {
+        u16::MAX
+    } else {
+        (1u16 << width) - 1
+    };
     (v >> lo) & mask
 }
 
@@ -57,7 +61,11 @@ pub fn field16(v: u16, lo: u32, hi: u32) -> u16 {
 pub fn replace16(v: u16, lo: u32, hi: u32, bits: u16) -> u16 {
     assert!(lo <= hi && hi <= 15, "invalid field {lo}..={hi}");
     let width = hi - lo + 1;
-    let mask = if width == 16 { u16::MAX } else { ((1u16 << width) - 1) << lo };
+    let mask = if width == 16 {
+        u16::MAX
+    } else {
+        ((1u16 << width) - 1) << lo
+    };
     (v & !mask) | ((bits << lo) & mask)
 }
 

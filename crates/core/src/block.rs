@@ -132,7 +132,7 @@ mod tests {
         // = 2; kn2 = 2 + 3 = 5.
         assert_eq!(scramble_locations(pair(0, 3), 0xCA06), (2, 5));
         // Message nibble 0 replaces bits 2..=5: 0xCA06 -> 0xCA02.
-        let mut bits = std::iter::repeat(false).take(4);
+        let mut bits = std::iter::repeat_n(false, 4);
         let out = embed(Algorithm::Mhhea, pair(0, 3), 0xCA06, &mut bits);
         assert_eq!(out.cipher, 0xCA02);
     }
@@ -214,7 +214,7 @@ mod tests {
     #[test]
     fn embed_preserves_high_byte() {
         for v in [0xCA06u16, 0xFF00, 0x00FF, 0x1234] {
-            let mut bits = std::iter::repeat(true).take(8);
+            let mut bits = std::iter::repeat_n(true, 8);
             let out = embed(Algorithm::Mhhea, pair(0, 7), v, &mut bits);
             assert_eq!(out.cipher & 0xFF00, v & 0xFF00);
         }

@@ -116,9 +116,8 @@ impl Default for SealOptions {
 /// Returns [`ContainerError::Engine`] for engine failures (e.g. a zero
 /// LFSR seed is rejected as source construction failure).
 pub fn seal(key: &Key, message: &[u8], opts: &SealOptions) -> Result<Vec<u8>, ContainerError> {
-    let source = LfsrSource::new(opts.lfsr_seed).map_err(|_| {
-        ContainerError::Engine(MhheaError::SourceExhausted { blocks_produced: 0 })
-    })?;
+    let source = LfsrSource::new(opts.lfsr_seed)
+        .map_err(|_| ContainerError::Engine(MhheaError::SourceExhausted { blocks_produced: 0 }))?;
     let mut enc = Encryptor::new(key.clone(), source)
         .with_algorithm(opts.algorithm)
         .with_profile(opts.profile);
@@ -261,10 +260,7 @@ mod tests {
         assert_eq!(h.profile, Profile::Streaming);
         assert_eq!(h.bit_len, 24);
         assert_eq!(h.fingerprint, key().fingerprint());
-        assert_eq!(
-            sealed.len(),
-            HEADER_LEN + h.block_count as usize * 2
-        );
+        assert_eq!(sealed.len(), HEADER_LEN + h.block_count as usize * 2);
     }
 
     #[test]

@@ -149,8 +149,7 @@ impl<S: VectorSource> Encryptor<S> {
         while !reader.is_eof() {
             let v = self.next_vector()?;
             let pair = self.key.pair(i);
-            let BlockOutcome { cipher, .. } =
-                block::embed(self.algorithm, pair, v, &mut reader);
+            let BlockOutcome { cipher, .. } = block::embed(self.algorithm, pair, v, &mut reader);
             blocks.push(cipher);
             i += 1;
             self.blocks_produced = i;
@@ -185,8 +184,7 @@ impl<S: VectorSource> Encryptor<S> {
                 let mut cipher = v;
                 for j in lo..=hi {
                     let m = word::bit16(ml, j as u32);
-                    let b =
-                        m ^ block::pattern_bit(self.algorithm, pair, (j - lo) as usize);
+                    let b = m ^ block::pattern_bit(self.algorithm, pair, (j - lo) as usize);
                     cipher = word::replace16(cipher, j as u32, j as u32, b as u16);
                 }
                 blocks.push(cipher);
@@ -321,13 +319,7 @@ mod tests {
 
     #[test]
     fn roundtrip_all_modes() {
-        let messages: [&[u8]; 5] = [
-            b"",
-            b"a",
-            b"attack at dawn",
-            &[0u8; 64],
-            &[0xFF; 33],
-        ];
+        let messages: [&[u8]; 5] = [b"", b"a", b"attack at dawn", &[0u8; 64], &[0xFF; 33]];
         for alg in [Algorithm::Hhea, Algorithm::Mhhea] {
             for profile in [Profile::Streaming, Profile::HardwareFaithful] {
                 for msg in messages {
@@ -415,10 +407,13 @@ mod tests {
         let mut enc = Encryptor::new(key(), LfsrSource::new(0xACE1).unwrap())
             .with_profile(Profile::HardwareFaithful);
         let blocks = enc.encrypt(&msg).unwrap();
-        assert!(blocks.len() >= 16 * 16 / 8, "too few blocks: {}", blocks.len());
+        assert!(
+            blocks.len() >= 16 * 16 / 8,
+            "too few blocks: {}",
+            blocks.len()
+        );
         // And the two profiles genuinely differ on the same input.
-        let mut enc_s =
-            Encryptor::new(key(), LfsrSource::new(0xACE1).unwrap());
+        let mut enc_s = Encryptor::new(key(), LfsrSource::new(0xACE1).unwrap());
         let blocks_s = enc_s.encrypt(&msg).unwrap();
         assert_ne!(blocks, blocks_s);
     }

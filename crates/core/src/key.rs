@@ -272,7 +272,10 @@ mod tests {
     fn key_length_limits() {
         assert_eq!(Key::new(vec![]), Err(KeyError::Empty));
         let too_many = vec![KeyPair::new(0, 1).unwrap(); 17];
-        assert_eq!(Key::new(too_many), Err(KeyError::TooManyPairs { count: 17 }));
+        assert_eq!(
+            Key::new(too_many),
+            Err(KeyError::TooManyPairs { count: 17 })
+        );
         let max = vec![KeyPair::new(0, 1).unwrap(); 16];
         assert_eq!(Key::new(max).unwrap().len(), 16);
     }

@@ -121,7 +121,10 @@ impl core::fmt::Display for MhheaError {
                 f,
                 "hiding-vector source exhausted after {blocks_produced} blocks"
             ),
-            MhheaError::CiphertextTruncated { got_bits, want_bits } => write!(
+            MhheaError::CiphertextTruncated {
+                got_bits,
+                want_bits,
+            } => write!(
                 f,
                 "ciphertext truncated: recovered {got_bits} of {want_bits} bits"
             ),

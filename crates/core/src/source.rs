@@ -143,7 +143,11 @@ mod tests {
         let seq_b: Vec<u16> = (0..64).map(|_| b.next_vector().unwrap()).collect();
         assert_eq!(seq_a, seq_b);
         let distinct: std::collections::HashSet<u16> = seq_a.iter().copied().collect();
-        assert!(distinct.len() > 60, "only {} distinct vectors", distinct.len());
+        assert!(
+            distinct.len() > 60,
+            "only {} distinct vectors",
+            distinct.len()
+        );
     }
 
     #[test]

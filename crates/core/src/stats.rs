@@ -7,8 +7,8 @@
 //! provides both accountings plus the per-key exact values used by the
 //! expansion-factor experiments.
 
-use crate::{Algorithm, Key, KeyPair};
 use crate::block::scramble_locations;
+use crate::{Algorithm, Key, KeyPair};
 
 /// The "expected output number of information bits" the paper plugs into
 /// its throughput formula (E\[span\] = 3.625 rounded up).

@@ -43,7 +43,7 @@ proptest! {
         v in any::<u16>(),
         n_bits in 0usize..20,
     ) {
-        let mut it = std::iter::repeat(true).take(n_bits);
+        let mut it = std::iter::repeat_n(true, n_bits);
         let out = embed(Algorithm::Mhhea, pair, v, &mut it);
         let span_width = (out.span.1 - out.span.0 + 1) as usize;
         prop_assert!(out.consumed <= span_width);
@@ -74,7 +74,7 @@ proptest! {
     fn cipher_locations_match_vector_locations(pair in arb_pair(), v in any::<u16>()) {
         // Embedding never changes the high byte, so the receiver's span
         // computation from the cipher equals the sender's from the vector.
-        let mut it = std::iter::repeat(false).take(8);
+        let mut it = std::iter::repeat_n(false, 8);
         let out = embed(Algorithm::Mhhea, pair, v, &mut it);
         prop_assert_eq!(
             locations(Algorithm::Mhhea, pair, out.cipher),

@@ -25,10 +25,11 @@ pub fn render(nl: &rtl::netlist::Netlist, packing: &Packing, placement: &Placeme
         .collect();
 
     // Count module occupancy per CLB.
-    let mut clb_owner: Vec<Vec<BTreeMap<&str, usize>>> =
-        vec![vec![BTreeMap::new(); cols]; rows];
+    let mut clb_owner: Vec<Vec<BTreeMap<&str, usize>>> = vec![vec![BTreeMap::new(); cols]; rows];
     for (slice, &(r, c, _)) in placement.slice_sites.iter().enumerate() {
-        *clb_owner[r][c].entry(slice_module[slice].as_str()).or_insert(0) += 1;
+        *clb_owner[r][c]
+            .entry(slice_module[slice].as_str())
+            .or_insert(0) += 1;
     }
 
     // Stable letter assignment: modules sorted by name.

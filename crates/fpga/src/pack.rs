@@ -249,7 +249,9 @@ mod tests {
             assert!(slice < p.slices.len());
             let s = &p.slices[slice];
             assert!(
-                s.lcs.iter().any(|lc| lc.lut == Some(cell) || lc.ff == Some(cell)),
+                s.lcs
+                    .iter()
+                    .any(|lc| lc.lut == Some(cell) || lc.ff == Some(cell)),
                 "cell map points to wrong slice"
             );
         }

@@ -9,7 +9,7 @@
 
 use crate::device::SpeedGrade;
 use crate::place::Placement;
-use rtl::netlist::{Cell, CellId, Netlist, NetId};
+use rtl::netlist::{Cell, CellId, NetId, Netlist};
 
 /// Delay-model constants, in nanoseconds (for speed grade -6).
 #[derive(Debug, Clone, PartialEq)]
@@ -147,8 +147,7 @@ pub fn analyze(
         if a > arrival[out.index()] {
             arrival[out.index()] = a;
             from[out.index()] = Some((cell_id, Some(worst_in)));
-            level_of_net[out.index()] =
-                level_of_net[worst_in.index()] + 1;
+            level_of_net[out.index()] = level_of_net[worst_in.index()] + 1;
         }
     }
 

@@ -20,9 +20,7 @@
 //!
 //! The port list is exactly the paper's 57 bonded IOBs.
 
-use crate::modules::{
-    build_key_cache, build_scramble, connect_leap_lfsr, in_span, pattern_bit,
-};
+use crate::modules::{build_key_cache, build_scramble, connect_leap_lfsr, in_span, pattern_bit};
 use crate::State;
 use rtl::hdl::{ModuleBuilder, Signal};
 use rtl::netlist::{NetId, Netlist};
@@ -188,10 +186,7 @@ pub fn build_mhhea_core_with(options: CoreOptions) -> MhheaCore {
             let ne = rng.not(&all_enc);
             rng.and(&is_encrypt, &ne)
         };
-        let leap_en = {
-            
-            rng.or(&is_lmsgcache, &cont)
-        };
+        let leap_en = rng.or(&is_lmsgcache, &cont);
         drop(rng);
         connect_leap_lfsr(&mut m, lfsr_reg, &lfsr_q, &is_init, &leap_en);
     }
@@ -316,10 +311,7 @@ pub fn build_mhhea_core_with(options: CoreOptions) -> MhheaCore {
     };
     drop(m);
     nl.validate().expect("elaborated core must validate");
-    MhheaCore {
-        netlist: nl,
-        debug,
-    }
+    MhheaCore { netlist: nl, debug }
 }
 
 #[cfg(test)]
@@ -377,7 +369,9 @@ mod ablation_tests {
         let key = mhhea::Key::from_nibbles(&[(0, 3), (2, 5), (7, 1)]).unwrap();
         let words = vec![0xABCD_1234u32, 0x5A5A_A5A5];
         let shared = build_mhhea_core();
-        let dual = build_mhhea_core_with(CoreOptions { dual_rotators: true });
+        let dual = build_mhhea_core_with(CoreOptions {
+            dual_rotators: true,
+        });
         let run_s = MhheaCoreSim::new(&shared)
             .unwrap()
             .encrypt_words(&key, &words)
@@ -393,10 +387,12 @@ mod ablation_tests {
     #[test]
     fn dual_rotator_variant_costs_more_luts() {
         let shared = build_mhhea_core().netlist.stats().luts();
-        let dual = build_mhhea_core_with(CoreOptions { dual_rotators: true })
-            .netlist
-            .stats()
-            .luts();
+        let dual = build_mhhea_core_with(CoreOptions {
+            dual_rotators: true,
+        })
+        .netlist
+        .stats()
+        .luts();
         // One extra 16-bit 4-stage rotator ≈ 64 LUTs, minus the shared
         // version's amount mux and NOT, plus the output mux.
         assert!(

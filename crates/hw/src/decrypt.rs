@@ -176,11 +176,10 @@ pub fn build_mhhea_decrypt_core() -> MhheaDecryptCore {
                 cons_plus_span.bit(4)
             } else {
                 let low4 = cons_plus_span.slice(0..4);
-                let ge_low = Signal::from_nets(vec![ex.lut_fn(
-                    &format!("lt{b}"),
-                    low4.nets(),
-                    move |v| v >= t,
-                )]);
+                let ge_low =
+                    Signal::from_nets(vec![
+                        ex.lut_fn(&format!("lt{b}"), low4.nets(), move |v| v >= t)
+                    ]);
                 ex.or(&cons_plus_span.bit(4), &ge_low)
             };
             let mask = ex.and(&ge, &lt);
@@ -244,7 +243,8 @@ pub fn build_mhhea_decrypt_core() -> MhheaDecryptCore {
         kn_high: sc.kn_high.nets().to_vec(),
     };
     drop(m);
-    nl.validate().expect("elaborated decrypt core must validate");
+    nl.validate()
+        .expect("elaborated decrypt core must validate");
     MhheaDecryptCore { netlist: nl, debug }
 }
 

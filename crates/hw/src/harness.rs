@@ -11,7 +11,7 @@ use crate::core::MhheaCore;
 use crate::serial::SerialHheaCore;
 use mhhea::key::MAX_PAIRS;
 use mhhea::Key;
-use rtl::netlist::{Netlist, NetId};
+use rtl::netlist::{NetId, Netlist};
 use rtl::sim::trace::Trace;
 use rtl::sim::{SimError, Simulator};
 
@@ -38,10 +38,7 @@ impl EncryptRun {
     /// Gaps between consecutive `ready` pulses — the externally observable
     /// timing an eavesdropper sees.
     pub fn interblock_gaps(&self) -> Vec<u64> {
-        self.ready_cycles
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .collect()
+        self.ready_cycles.windows(2).map(|w| w[1] - w[0]).collect()
     }
 }
 
@@ -298,8 +295,17 @@ mod tests {
     use mhhea::{Algorithm, Decryptor, Encryptor, LfsrSource, Profile};
 
     fn key() -> Key {
-        Key::from_nibbles(&[(0, 3), (2, 5), (7, 1), (4, 4), (6, 0), (3, 3), (5, 2), (1, 6)])
-            .unwrap()
+        Key::from_nibbles(&[
+            (0, 3),
+            (2, 5),
+            (7, 1),
+            (4, 4),
+            (6, 0),
+            (3, 3),
+            (5, 2),
+            (1, 6),
+        ])
+        .unwrap()
     }
 
     fn sw_blocks(algorithm: Algorithm, k: &Key, words: &[u32]) -> Vec<u16> {
@@ -313,7 +319,10 @@ mod tests {
     fn parallel_core_matches_software_reference() {
         let core = build_mhhea_core();
         let mut sim = MhheaCoreSim::new(&core).unwrap();
-        for words in [vec![0xABCD_1234u32], vec![0x0000_0000, 0xFFFF_FFFF, 0x1357_9BDF]] {
+        for words in [
+            vec![0xABCD_1234u32],
+            vec![0x0000_0000, 0xFFFF_FFFF, 0x1357_9BDF],
+        ] {
             let run = sim.encrypt_words(&key(), &words).unwrap();
             let expected = sw_blocks(Algorithm::Mhhea, &key(), &words);
             assert_eq!(run.blocks, expected, "words {words:x?}");

@@ -129,12 +129,7 @@ pub fn connect_leap_lfsr(
 
 /// The per-lane encryption pattern bit: `k₁[(lane − kn₁) mod 3]`,
 /// computed as two index LUTs plus a 3:1 bit mux.
-pub fn pattern_bit(
-    m: &mut ModuleBuilder<'_>,
-    lane: usize,
-    kn_low: &Signal,
-    k1: &Signal,
-) -> Signal {
+pub fn pattern_bit(m: &mut ModuleBuilder<'_>, lane: usize, kn_low: &Signal, k1: &Signal) -> Signal {
     let p0 = m.lut_fn(&format!("p0_{lane}"), kn_low.nets(), move |knl| {
         (((lane + 8 - knl) % 8) % 3) & 1 == 1
     });

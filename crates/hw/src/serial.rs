@@ -182,11 +182,10 @@ pub fn build_serial_hhea_core() -> SerialHheaCore {
         let mut shift_bits = Vec::with_capacity(16);
         for b in 0..16usize {
             if b < 8 {
-                let j_eq = Signal::from_nets(vec![vm.lut_fn(
-                    &format!("jeq{b}"),
-                    j.nets(),
-                    |idx| idx == b,
-                )]);
+                let j_eq =
+                    Signal::from_nets(
+                        vec![vm.lut_fn(&format!("jeq{b}"), j.nets(), |idx| idx == b)],
+                    );
                 let bit = vm.mux2(&j_eq, &v_q.bit(b), &msg_buf.bit(0));
                 shift_bits.push(bit.net(0));
             } else {

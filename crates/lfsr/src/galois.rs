@@ -134,10 +134,22 @@ mod tests {
         };
         let mut g = Galois::from_table(8, 1).unwrap();
         let gseed = g.state();
-        let gp = count_period(Box::new(move || { g.step(); g.state() }), gseed);
+        let gp = count_period(
+            Box::new(move || {
+                g.step();
+                g.state()
+            }),
+            gseed,
+        );
         let mut f = crate::Fibonacci::from_table(8, 1).unwrap();
         let fseed = f.state();
-        let fp = count_period(Box::new(move || { f.step(); f.state() }), fseed);
+        let fp = count_period(
+            Box::new(move || {
+                f.step();
+                f.state()
+            }),
+            fseed,
+        );
         assert_eq!(gp, 255);
         assert_eq!(fp, 255);
     }

@@ -239,10 +239,7 @@ mod tests {
 
     #[test]
     fn short_stream_is_rejected() {
-        assert_eq!(
-            fips_battery(&[false; 100]),
-            Err(NotEnoughBits { got: 100 })
-        );
+        assert_eq!(fips_battery(&[false; 100]), Err(NotEnoughBits { got: 100 }));
     }
 
     #[test]

@@ -132,7 +132,10 @@ mod tests {
             Err(LfsrError::InvalidTap { tap: 0, width: 8 })
         );
         assert_eq!(validate_taps(8, &[]), Err(LfsrError::UnsupportedWidth(8)));
-        assert_eq!(validate_taps(65, &[1]), Err(LfsrError::UnsupportedWidth(65)));
+        assert_eq!(
+            validate_taps(65, &[1]),
+            Err(LfsrError::UnsupportedWidth(65))
+        );
     }
 
     #[test]

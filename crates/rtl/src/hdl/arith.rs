@@ -175,10 +175,14 @@ mod tests {
                 cases.push((a, b, (a + b) & 0xF, Some((a + b) >> 4)));
             }
         }
-        run2(4, |m, a, b| {
-            let out = m.add(a, b);
-            (out.sum, Some(out.carry))
-        }, &cases);
+        run2(
+            4,
+            |m, a, b| {
+                let out = m.add(a, b);
+                (out.sum, Some(out.carry))
+            },
+            &cases,
+        );
     }
 
     #[test]
@@ -189,10 +193,14 @@ mod tests {
                 cases.push((a, b, a.wrapping_sub(b) & 0xF, Some((a < b) as u64)));
             }
         }
-        run2(4, |m, a, b| {
-            let out = m.sub(a, b);
-            (out.diff, Some(out.borrow))
-        }, &cases);
+        run2(
+            4,
+            |m, a, b| {
+                let out = m.sub(a, b);
+                (out.diff, Some(out.borrow))
+            },
+            &cases,
+        );
     }
 
     #[test]
@@ -203,11 +211,15 @@ mod tests {
                 cases.push((a, b, (a < b) as u64, Some((a == b) as u64)));
             }
         }
-        run2(3, |m, a, b| {
-            let l = m.lt(a, b);
-            let e = m.eq(a, b);
-            (l, Some(e))
-        }, &cases);
+        run2(
+            3,
+            |m, a, b| {
+                let l = m.lt(a, b);
+                let e = m.eq(a, b);
+                (l, Some(e))
+            },
+            &cases,
+        );
     }
 
     #[test]
@@ -220,35 +232,40 @@ mod tests {
                 cases.push((a, b, mn | (mx << 3), Some((a > b) as u64)));
             }
         }
-        run2(3, |m, a, b| {
-            let c = m.sort_pair(a, b);
-            (c.min.concat(&c.max), Some(c.swapped))
-        }, &cases);
+        run2(
+            3,
+            |m, a, b| {
+                let c = m.sort_pair(a, b);
+                (c.min.concat(&c.max), Some(c.swapped))
+            },
+            &cases,
+        );
     }
 
     #[test]
     fn inc_wraps() {
-        run2(3, |m, a, _| (m.inc(a), None), &[
-            (0, 0, 1, None),
-            (6, 0, 7, None),
-            (7, 0, 0, None),
-        ]);
+        run2(
+            3,
+            |m, a, _| (m.inc(a), None),
+            &[(0, 0, 1, None), (6, 0, 7, None), (7, 0, 0, None)],
+        );
     }
 
     #[test]
     fn eq_const_works() {
-        run2(4, |m, a, _| (m.eq_const(a, 0xB), None), &[
-            (0xB, 0, 1, None),
-            (0xA, 0, 0, None),
-        ]);
+        run2(
+            4,
+            |m, a, _| (m.eq_const(a, 0xB), None),
+            &[(0xB, 0, 1, None), (0xA, 0, 0, None)],
+        );
     }
 
     #[test]
     fn ge_is_not_lt() {
-        run2(3, |m, a, b| (m.ge(a, b), None), &[
-            (3, 3, 1, None),
-            (4, 3, 1, None),
-            (2, 3, 0, None),
-        ]);
+        run2(
+            3,
+            |m, a, b| (m.ge(a, b), None),
+            &[(3, 3, 1, None), (4, 3, 1, None), (2, 3, 0, None)],
+        );
     }
 }

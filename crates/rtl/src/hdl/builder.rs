@@ -114,12 +114,7 @@ impl<'a> ModuleBuilder<'a> {
     /// # Panics
     ///
     /// Panics when `inputs` is empty or longer than 4.
-    pub fn lut_fn(
-        &mut self,
-        kind: &str,
-        inputs: &[NetId],
-        f: impl Fn(usize) -> bool,
-    ) -> NetId {
+    pub fn lut_fn(&mut self, kind: &str, inputs: &[NetId], f: impl Fn(usize) -> bool) -> NetId {
         assert!(
             (1..=4).contains(&inputs.len()),
             "LUT arity {} out of range",
@@ -246,9 +241,7 @@ mod tests {
         let mut nl = Netlist::new("t");
         let mut m = ModuleBuilder::root(&mut nl);
         let a = m.input("a", 2);
-        let y = m.lut_fn("xor", a.nets(), |idx| {
-            ((idx & 1) ^ ((idx >> 1) & 1)) == 1
-        });
+        let y = m.lut_fn("xor", a.nets(), |idx| ((idx & 1) ^ ((idx >> 1) & 1)) == 1);
         m.output("y", &Signal::from_nets(vec![y]));
         drop(m);
         let mut sim = Simulator::new(&nl).unwrap();

@@ -45,9 +45,7 @@ impl ModuleBuilder<'_> {
             .nets()
             .iter()
             .zip(b.nets())
-            .map(|(&x, &y)| {
-                self.lut_fn(kind, &[x, y], |idx| f(idx & 1 == 1, (idx >> 1) & 1 == 1))
-            })
+            .map(|(&x, &y)| self.lut_fn(kind, &[x, y], |idx| f(idx & 1 == 1, (idx >> 1) & 1 == 1)))
             .collect();
         Signal::from_nets(nets)
     }

@@ -116,7 +116,10 @@ impl Cell {
     /// Instance or port name for diagnostics.
     pub fn name(&self) -> String {
         match self {
-            Cell::Lut { name, .. } | Cell::Dff { name, .. } | Cell::Tbuf { name, .. } | Cell::Const { name, .. } => name.clone(),
+            Cell::Lut { name, .. }
+            | Cell::Dff { name, .. }
+            | Cell::Tbuf { name, .. }
+            | Cell::Const { name, .. } => name.clone(),
             Cell::Input { port, bit, .. } => format!("{port}[{bit}]"),
             Cell::Output { port, bit, .. } => format!("{port}[{bit}]"),
         }

@@ -1,7 +1,7 @@
 //! The levelized four-state simulator.
 
 use super::value::Logic;
-use crate::netlist::{Cell, CellId, Netlist, NetlistError, NetId};
+use crate::netlist::{Cell, CellId, NetId, Netlist, NetlistError};
 use std::collections::BTreeMap;
 
 /// Simulation errors.
@@ -253,7 +253,10 @@ impl<'a> Simulator<'a> {
         self.settle();
         let mut next = self.ff_state.clone();
         for (i, &id) in self.dffs.iter().enumerate() {
-            if let Cell::Dff { d, ce, sr, init, .. } = self.nl.cell(id) {
+            if let Cell::Dff {
+                d, ce, sr, init, ..
+            } = self.nl.cell(id)
+            {
                 let dv = self.values[d.index()];
                 let current = self.ff_state[i];
                 let enabled = match ce {
@@ -329,8 +332,7 @@ impl<'a> Simulator<'a> {
                     output,
                     ..
                 } => {
-                    let vals: Vec<Logic> =
-                        inputs.iter().map(|&n| self.values[n.index()]).collect();
+                    let vals: Vec<Logic> = inputs.iter().map(|&n| self.values[n.index()]).collect();
                     self.values[output.index()] = eval_lut(*table, &vals);
                 }
                 Cell::Tbuf {
@@ -436,10 +438,7 @@ mod tests {
         let nl = counter_netlist();
         let mut sim = Simulator::new(&nl).unwrap();
         sim.set_input("en", 1).unwrap();
-        assert!(matches!(
-            sim.output("q"),
-            Err(SimError::NotBinary { .. })
-        ));
+        assert!(matches!(sim.output("q"), Err(SimError::NotBinary { .. })));
         sim.reset();
         assert_eq!(sim.output("q").unwrap(), 0);
     }
@@ -526,10 +525,7 @@ mod tests {
         let mut nl = Netlist::new("bad");
         let n = nl.new_net("floating");
         nl.add_output_port("y", &[n]);
-        assert!(matches!(
-            Simulator::new(&nl),
-            Err(SimError::Invalid(_))
-        ));
+        assert!(matches!(Simulator::new(&nl), Err(SimError::Invalid(_))));
     }
 
     #[test]

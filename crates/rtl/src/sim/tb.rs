@@ -2,7 +2,7 @@
 
 use super::trace::Trace;
 use super::{SimError, Simulator};
-use crate::netlist::{Netlist, NetId};
+use crate::netlist::{NetId, Netlist};
 
 /// A simulator bundled with a waveform trace and expectation helpers.
 ///

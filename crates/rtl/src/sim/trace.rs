@@ -122,8 +122,7 @@ impl Trace {
                     if bits.len() == 1 {
                         changes.push_str(&format!("{}{id}\n", bits[0].vcd_char()));
                     } else {
-                        let s: String =
-                            bits.iter().rev().map(|b| b.vcd_char()).collect();
+                        let s: String = bits.iter().rev().map(|b| b.vcd_char()).collect();
                         changes.push_str(&format!("b{s} {id}\n"));
                     }
                     last[i] = Some(bits);

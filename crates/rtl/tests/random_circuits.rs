@@ -40,12 +40,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 /// Applies an op in hardware (building cells) and in software (on u64s),
 /// pushing the result onto both stacks.
-fn apply(
-    m: &mut ModuleBuilder<'_>,
-    hw: &mut Vec<Signal>,
-    sw: &mut Vec<u64>,
-    op: Op,
-) {
+fn apply(m: &mut ModuleBuilder<'_>, hw: &mut Vec<Signal>, sw: &mut Vec<u64>, op: Op) {
     let n = hw.len();
     let (a_h, b_h) = (hw[n - 1].clone(), hw[n - 2].clone());
     let (a_s, b_s) = (sw[n - 1], sw[n - 2]);
@@ -59,10 +54,7 @@ fn apply(
         Op::Mux => {
             let sel = a_h.bit(0);
             let sel_v = a_s & 1 == 1;
-            (
-                m.mux2(&sel, &a_h, &b_h),
-                if sel_v { b_s } else { a_s },
-            )
+            (m.mux2(&sel, &a_h, &b_h), if sel_v { b_s } else { a_s })
         }
         Op::RotlConst(k) => (
             a_h.rotl_const(k),

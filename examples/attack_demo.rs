@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mhhea_report = cpa::constant_cpa(Algorithm::Mhhea, &key, samples, 42);
     match &mhhea_report.recovered_key {
         None => println!("   no constant hiding locations found: the attack fails"),
-        Some(p) => println!("   spurious recovery {p:?} (does not match: {})", mhhea_report.breaks(&key)),
+        Some(p) => println!(
+            "   spurious recovery {p:?} (does not match: {})",
+            mhhea_report.breaks(&key)
+        ),
     }
 
     println!("\n-- model-aware attack on MHHEA (extension) --");

@@ -48,6 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let trace = run.trace.expect("traced run");
     std::fs::write("hardware_sim.vcd", trace.to_vcd())?;
-    println!("waveform written to hardware_sim.vcd ({} cycles)", trace.cycles());
+    println!(
+        "waveform written to hardware_sim.vcd ({} cycles)",
+        trace.cycles()
+    );
     Ok(())
 }

@@ -58,11 +58,7 @@ fn serial_core_full_flow() {
     assert!(flow.timing.min_period_ns > 0.0);
     // The serial design is smaller and faster-clocked (shallower logic)
     // than the parallel one — the trade its era made.
-    let parallel = run_flow(
-        &mhhea_hw::core::build_mhhea_core().netlist,
-        &fast_opts(),
-    )
-    .unwrap();
+    let parallel = run_flow(&mhhea_hw::core::build_mhhea_core().netlist, &fast_opts()).unwrap();
     assert!(flow.summary.luts_used < parallel.summary.luts_used);
     assert!(flow.timing.min_period_ns < parallel.timing.min_period_ns);
 }

@@ -33,9 +33,7 @@ fn figure8_hardware_trace() {
     let key = mhhea::Key::from_nibbles(&[(0, 3)]).unwrap();
     let core = mhhea_hw::core::build_mhhea_core();
     let mut sim = MhheaCoreSim::new(&core).unwrap();
-    let run = sim
-        .encrypt_words_traced(&key, &[0x0000_48D0])
-        .unwrap();
+    let run = sim.encrypt_words_traced(&key, &[0x0000_48D0]).unwrap();
     let trace = run.trace.unwrap();
     // Find the first Encrypt cycle and check the invariants the paper
     // narrates: kn pair sorted, span within the low byte, cipher's high
@@ -52,8 +50,7 @@ fn figure8_hardware_trace() {
             // high byte.
             if c + 1 < trace.cycles() {
                 let cipher =
-                    u16::from_str_radix(&trace.value_at("cipher_out", c + 1).unwrap(), 16)
-                        .unwrap();
+                    u16::from_str_radix(&trace.value_at("cipher_out", c + 1).unwrap(), 16).unwrap();
                 assert_eq!(cipher & 0xFF00, v & 0xFF00);
                 checked = true;
             }
@@ -103,7 +100,10 @@ fn figure1_fsm_walk() {
         }
         if w[0] == State::Encrypt {
             assert!(
-                matches!(w[1], State::Circ | State::LMsgCache | State::LMsg | State::Init),
+                matches!(
+                    w[1],
+                    State::Circ | State::LMsgCache | State::LMsg | State::Init
+                ),
                 "illegal Encrypt successor {:?}",
                 w[1]
             );

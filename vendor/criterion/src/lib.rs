@@ -1,0 +1,241 @@
+//! A self-contained, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the external crates the sources depend on are vendored as minimal
+//! re-implementations of exactly the API subset the workspace uses. The
+//! benches in `crates/bench/benches/` compile against this crate unchanged
+//! and, when run, produce simple wall-clock measurements per benchmark
+//! (median of `sample_size` samples, one sample being enough iterations to
+//! take ≳1 ms) instead of criterion's full statistical analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter rendering alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Median seconds per iteration, filled in by [`Bencher::iter`].
+    per_iter: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f`: median over `sample_size` samples, each sample sized
+    /// to run for at least about a millisecond.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and size one sample.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        let mut samples: Vec<Duration> = (0..self.sample_size.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters_per_sample {
+                    black_box(f());
+                }
+                start.elapsed() / iters_per_sample as u32
+            })
+            .collect();
+        samples.sort();
+        self.per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn report(group: Option<&str>, id: &BenchmarkId, throughput: Option<Throughput>, b: &Bencher) {
+    let name = match group {
+        Some(g) => format!("{g}/{}", id.label),
+        None => id.label.clone(),
+    };
+    let Some(per_iter) = b.per_iter else {
+        println!("{name:<48} (no measurement: closure never called iter)");
+        return;
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if per_iter.as_nanos() > 0 => {
+            let bps = n as f64 / per_iter.as_secs_f64();
+            format!("  {:>10.2} MiB/s", bps / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) if per_iter.as_nanos() > 0 => {
+            let eps = n as f64 / per_iter.as_secs_f64();
+            format!("  {eps:>10.0} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!("{name:<48} {per_iter:>12.2?}/iter{rate}");
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares the per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            per_iter: None,
+        };
+        f(&mut b);
+        report(Some(&self.name), &id, self.throughput, &b);
+        self
+    }
+
+    /// Measures one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            per_iter: None,
+        };
+        f(&mut b, input);
+        report(Some(&self.name), &id, self.throughput, &b);
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Measures one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: 10,
+            per_iter: None,
+        };
+        f(&mut b);
+        report(None, &id, None, &b);
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = "Runs every benchmark registered in this group."]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
