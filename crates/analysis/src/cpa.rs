@@ -72,10 +72,10 @@ pub fn constant_cpa(algorithm: Algorithm, key: &Key, samples: usize, seed: u64) 
         .with_algorithm(algorithm);
 
     // One message long enough to produce at least `len` blocks; the
-    // encryptor's running block counter keeps residues aligned across
-    // calls, so reset per sample by tracking the produced count.
+    // single-shot encryptor restarts its key schedule at block zero for
+    // every message, so a block's residue is simply its offset mod the
+    // key length.
     let zeros = vec![0u8; len * 2];
-    let mut produced = 0usize;
     for _ in 0..samples {
         let blocks = enc.encrypt(&zeros).expect("rng source never exhausts");
         // The final block of each message is EOF-truncated (a partial span
@@ -84,7 +84,7 @@ pub fn constant_cpa(algorithm: Algorithm, key: &Key, samples: usize, seed: u64) 
         // and discards it.
         let usable = blocks.len().saturating_sub(1);
         for (off, &b) in blocks[..usable].iter().enumerate() {
-            let residue = (produced + off) % len;
+            let residue = off % len;
             block_counts[residue] += 1;
             for (j, count) in zero_counts[residue].iter_mut().enumerate() {
                 if (b >> j) & 1 == 0 {
@@ -92,7 +92,6 @@ pub fn constant_cpa(algorithm: Algorithm, key: &Key, samples: usize, seed: u64) 
                 }
             }
         }
-        produced += blocks.len();
     }
 
     let residues: Vec<ResidueStats> = (0..len)

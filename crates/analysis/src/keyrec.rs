@@ -79,18 +79,18 @@ pub fn model_aware_attack(key: &Key, samples: usize, seed: u64) -> KeyRecReport 
     let mut enc = Encryptor::new(key.clone(), RngSource::new(StdRng::seed_from_u64(seed)))
         .with_algorithm(Algorithm::Mhhea);
     let zeros = vec![0u8; len * 2];
-    let mut produced = 0usize;
     for _ in 0..samples {
         let blocks = enc.encrypt(&zeros).expect("rng never exhausts");
-        // The final block of a message may be truncated at EOF (partial
-        // span), which would wrongly eliminate the true pair — skip it.
+        // The single-shot encryptor restarts its key schedule per message,
+        // so residue = offset mod key length. The final block of a message
+        // may be truncated at EOF (partial span), which would wrongly
+        // eliminate the true pair — skip it.
         let usable = blocks.len().saturating_sub(1);
         for (off, &b) in blocks[..usable].iter().enumerate() {
-            let residue = (produced + off) % len;
+            let residue = off % len;
             counts[residue] += 1;
             survivors[residue].retain(|&c| consistent(c, b));
         }
-        produced += blocks.len();
     }
     KeyRecReport {
         survivors,

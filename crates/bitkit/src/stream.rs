@@ -78,6 +78,40 @@ impl<'a> BitReader<'a> {
             Some((self.bytes[self.cursor / 8] >> (self.cursor % 8)) & 1 == 1)
         }
     }
+
+    /// Reads up to `width` bits (`width ≤ 16`) into a word, LSB-first.
+    ///
+    /// Returns `(word, got)` where `got ≤ width` is the number of bits
+    /// actually available; unread high bits are zero. This is the
+    /// word-level fast path the MHHEA engines use to fill a whole span in
+    /// one masked operation instead of one [`Iterator::next`] call per bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 16`.
+    ///
+    /// ```
+    /// use bitkit::BitReader;
+    ///
+    /// let mut r = BitReader::new(&[0x06, 0xCA]);
+    /// assert_eq!(r.read_bits16(12), (0xA06, 12));
+    /// assert_eq!(r.read_bits16(16), (0xC, 4)); // only 4 bits left
+    /// ```
+    pub fn read_bits16(&mut self, width: usize) -> (u16, usize) {
+        assert!(width <= 16, "width {width} exceeds 16");
+        let got = width.min(self.remaining());
+        let mut out: u32 = 0;
+        let mut filled = 0usize;
+        while filled < got {
+            let pos = self.cursor + filled;
+            let take = (8 - pos % 8).min(got - filled);
+            let chunk = ((self.bytes[pos / 8] >> (pos % 8)) as u32) & ((1u32 << take) - 1);
+            out |= chunk << filled;
+            filled += take;
+        }
+        self.cursor += got;
+        (out as u16, got)
+    }
 }
 
 impl Iterator for BitReader<'_> {
@@ -203,6 +237,50 @@ mod tests {
         assert_eq!(r.consumed(), 0);
         r.next();
         assert_eq!(r.consumed(), 1);
+    }
+
+    #[test]
+    fn read_bits16_zero_width_reads_nothing() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits16(0), (0, 0));
+        assert_eq!(r.consumed(), 0);
+    }
+
+    #[test]
+    fn read_bits16_matches_per_bit() {
+        let data = [0xDE, 0xAD, 0xBE, 0xEF, 0x3C];
+        for width in 1..=16usize {
+            let mut word_reader = BitReader::new(&data);
+            let mut bit_reader = BitReader::new(&data);
+            loop {
+                let (w, got) = word_reader.read_bits16(width);
+                let mut want = 0u16;
+                let mut want_got = 0usize;
+                for i in 0..width {
+                    let Some(b) = bit_reader.next() else { break };
+                    want |= (b as u16) << i;
+                    want_got += 1;
+                }
+                assert_eq!((w, got), (want, want_got), "width {width}");
+                if got < width {
+                    break;
+                }
+            }
+            assert!(word_reader.is_eof());
+        }
+    }
+
+    #[test]
+    fn read_bits16_respects_bit_len() {
+        let mut r = BitReader::with_bit_len(&[0xFF, 0xFF], 5);
+        assert_eq!(r.read_bits16(16), (0b1_1111, 5));
+        assert_eq!(r.read_bits16(8), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 16")]
+    fn read_bits16_overwide_panics() {
+        BitReader::new(&[0; 4]).read_bits16(17);
     }
 
     #[test]

@@ -79,6 +79,45 @@ pub fn bit16(v: u16, i: u32) -> bool {
     (v >> i) & 1 == 1
 }
 
+/// A mask with the low `n` bits set (`n ≤ 16`).
+///
+/// # Panics
+///
+/// Panics if `n > 16`.
+///
+/// ```
+/// assert_eq!(bitkit::word::low_mask16(0), 0x0000);
+/// assert_eq!(bitkit::word::low_mask16(4), 0x000F);
+/// assert_eq!(bitkit::word::low_mask16(16), 0xFFFF);
+/// ```
+pub fn low_mask16(n: usize) -> u16 {
+    assert!(n <= 16, "mask width {n} exceeds 16");
+    if n == 16 {
+        u16::MAX
+    } else {
+        (1u16 << n) - 1
+    }
+}
+
+/// A mask with bits `lo..=hi` set (inclusive, LSB-numbered).
+///
+/// This is the word-level form of the span a key pair selects: the engines
+/// replace/extract whole spans with one masked operation instead of a
+/// per-bit loop.
+///
+/// # Panics
+///
+/// Panics if `hi < lo` or `hi > 15`.
+///
+/// ```
+/// assert_eq!(bitkit::word::mask16(2, 5), 0b0011_1100);
+/// assert_eq!(bitkit::word::mask16(0, 15), 0xFFFF);
+/// ```
+pub fn mask16(lo: u32, hi: u32) -> u16 {
+    assert!(lo <= hi && hi <= 15, "invalid field {lo}..={hi}");
+    low_mask16((hi - lo + 1) as usize) << lo
+}
+
 /// Splits a 32-bit word into `(low16, high16)`.
 ///
 /// The paper's message cache stores the 32-bit input as two 16-bit halves and
@@ -132,6 +171,26 @@ mod tests {
         assert_eq!(replace16(0xFFFF, 7, 7, 0), 0xFF7F);
         // Excess bits of the replacement value are masked off.
         assert_eq!(replace16(0x0000, 0, 1, 0xFF), 0x0003);
+    }
+
+    #[test]
+    fn masks_match_fields() {
+        assert_eq!(low_mask16(0), 0);
+        assert_eq!(low_mask16(7), 0x7F);
+        assert_eq!(low_mask16(16), 0xFFFF);
+        for lo in 0..16u32 {
+            for hi in lo..16 {
+                let m = mask16(lo, hi);
+                // The mask extracts exactly what field16 reads.
+                assert_eq!((0xA5C3 & m) >> lo, field16(0xA5C3, lo, hi));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid field")]
+    fn mask_reversed_panics() {
+        mask16(5, 2);
     }
 
     #[test]

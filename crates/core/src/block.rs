@@ -4,8 +4,18 @@
 //! time. The worked example of Figure 8 — key pair `(0,3)`, hiding vector
 //! `0xCA06`, message nibble `0` → scrambled span `(2,5)` and ciphertext
 //! `0xCA02` — is pinned as a unit test.
+//!
+//! Two formulations coexist:
+//!
+//! * the **per-bit** reference ([`embed`]/[`extract`]), a literal
+//!   transcription of the pseudocode used by tests and cross-checks;
+//! * the **word-level** fast path ([`SpanTable`]/[`SpanEntry`]): the span
+//!   location and XOR pattern depend only on the key pair and the vector's
+//!   high byte, so both are precomputed into a 256-entry table per pair
+//!   and each block becomes a handful of shift/mask operations on `u16`s.
 
-use crate::{Algorithm, KeyPair};
+use crate::key::MAX_PAIRS;
+use crate::{Algorithm, Key, KeyPair};
 use bitkit::word;
 
 /// Outcome of embedding one block.
@@ -115,6 +125,104 @@ pub fn extract(algorithm: Algorithm, pair: KeyPair, cipher: u16, max_bits: usize
         .take(max_bits)
         .map(|j| word::bit16(cipher, j as u32) ^ pattern_bit(algorithm, pair, (j - lo) as usize))
         .collect()
+}
+
+/// One precomputed span: everything the word-level path needs to process a
+/// block whose hiding vector carries a given high byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEntry {
+    /// Low end of the replacement span (bit position in the low byte).
+    pub lo: u8,
+    /// Span width in bits (1..=8).
+    pub width: u8,
+    /// The XOR scrambling pattern, pre-shifted to positions
+    /// `lo..lo+width` (zero for HHEA).
+    pub pattern: u16,
+    /// Mask with bits `lo..lo+width` set.
+    pub mask: u16,
+}
+
+impl SpanEntry {
+    fn new(algorithm: Algorithm, pair: KeyPair, high_byte: u8) -> Self {
+        let (lo, hi) = locations(algorithm, pair, (high_byte as u16) << 8);
+        let width = hi - lo + 1;
+        let mut pattern = 0u16;
+        for j in 0..width {
+            pattern |= (pattern_bit(algorithm, pair, j as usize) as u16) << (lo + j);
+        }
+        SpanEntry {
+            lo,
+            width,
+            pattern,
+            mask: word::mask16(lo as u32, hi as u32),
+        }
+    }
+
+    /// Embeds `consumed ≤ width` message bits (LSB-aligned in `bits`) into
+    /// hiding vector `v`; span positions beyond `consumed` keep their
+    /// vector bits (the pseudocode's EOF rule).
+    #[inline]
+    pub fn embed(self, v: u16, bits: u16, consumed: usize) -> u16 {
+        let mask = word::low_mask16(consumed) << self.lo;
+        (v & !mask) | (((bits << self.lo) ^ self.pattern) & mask)
+    }
+
+    /// Embeds the full span from an already-aligned register (the
+    /// hardware profile's blind full-span replacement): span bit `j` of
+    /// the output is `aligned[j] ^ pattern[j]`.
+    #[inline]
+    pub fn embed_aligned(self, v: u16, aligned: u16) -> u16 {
+        (v & !self.mask) | ((aligned ^ self.pattern) & self.mask)
+    }
+
+    /// Extracts the first `take ≤ width` message bits from a cipher block,
+    /// LSB-aligned.
+    #[inline]
+    pub fn extract(self, cipher: u16, take: usize) -> u16 {
+        ((cipher ^ self.pattern) >> self.lo) & word::low_mask16(take)
+    }
+}
+
+/// Per-pair span tables for a whole key schedule.
+///
+/// `table.entry(i, hb)` is the span for block index `i` (cycling through
+/// the schedule) and hiding-vector high byte `hb`. Building a table costs
+/// `256 × schedule length` [`scramble_locations`] evaluations once per
+/// session; after that the engines never recompute a span.
+#[derive(Debug, Clone)]
+pub struct SpanTable {
+    /// One 256-entry table per schedule position.
+    per_pair: Vec<[SpanEntry; 256]>,
+}
+
+impl SpanTable {
+    /// Builds the table for `key`'s pair cycle under `algorithm`.
+    pub fn new(key: &Key, algorithm: Algorithm) -> Self {
+        let per_pair = key
+            .pairs()
+            .iter()
+            .map(|&pair| core::array::from_fn(|hb| SpanEntry::new(algorithm, pair, hb as u8)))
+            .collect();
+        SpanTable { per_pair }
+    }
+
+    /// The table for the hardware key schedule ([`Key::expand_cyclic`] to
+    /// the 16-deep key cache).
+    pub fn new_hw(key: &Key, algorithm: Algorithm) -> Self {
+        SpanTable::new(&key.expand_cyclic(MAX_PAIRS), algorithm)
+    }
+
+    /// Number of schedule positions.
+    pub fn schedule_len(&self) -> usize {
+        self.per_pair.len()
+    }
+
+    /// The span for block index `block_index` and vector high byte
+    /// `high_byte`.
+    #[inline]
+    pub fn entry(&self, block_index: usize, high_byte: u8) -> SpanEntry {
+        self.per_pair[block_index % self.per_pair.len()][high_byte as usize]
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +345,52 @@ mod tests {
         let got = extract(Algorithm::Hhea, p, 0x00FF, 3);
         assert_eq!(got, vec![true, true, true]);
         assert_eq!(extract(Algorithm::Hhea, p, 0x00FF, 0), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn span_entries_match_per_bit_primitives() {
+        let key = crate::Key::from_nibbles(&[(0, 3), (7, 2), (4, 4), (0, 7)]).unwrap();
+        for alg in [Algorithm::Hhea, Algorithm::Mhhea] {
+            let table = SpanTable::new(&key, alg);
+            assert_eq!(table.schedule_len(), key.len());
+            for i in 0..key.len() {
+                for hb in [0x00u8, 0x5A, 0xCA, 0xFF] {
+                    let v = ((hb as u16) << 8) | 0x36;
+                    let e = table.entry(i, hb);
+                    let (lo, hi) = locations(alg, key.pair(i), v);
+                    assert_eq!((e.lo, e.lo + e.width - 1), (lo, hi));
+                    // Full-width embed agrees with the per-bit reference.
+                    let message = [true, false, true, true, false, false, true, true];
+                    let mut it = message.into_iter();
+                    let per_bit = embed(alg, key.pair(i), v, &mut it);
+                    let mut word_bits = 0u16;
+                    for (j, &m) in message.iter().take(per_bit.consumed).enumerate() {
+                        word_bits |= (m as u16) << j;
+                    }
+                    let word_cipher = e.embed(v, word_bits, per_bit.consumed);
+                    assert_eq!(word_cipher, per_bit.cipher, "alg={alg} i={i} hb={hb:02x}");
+                    // And extraction inverts it.
+                    let got = e.extract(word_cipher, per_bit.consumed);
+                    assert_eq!(got, word_bits);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hw_table_uses_expanded_schedule() {
+        // A 3-pair key does not divide the 16-deep cache: position 3 of the
+        // expanded schedule wraps to pair 0, and the table must follow the
+        // expanded (hardware) indexing, not `i mod 3` beyond the cache.
+        let key = crate::Key::from_nibbles(&[(0, 3), (2, 5), (7, 1)]).unwrap();
+        let hw = SpanTable::new_hw(&key, Algorithm::Mhhea);
+        assert_eq!(hw.schedule_len(), crate::key::MAX_PAIRS);
+        let expanded = key.expand_cyclic(crate::key::MAX_PAIRS);
+        for i in 0..32 {
+            let e = hw.entry(i, 0xCA);
+            let (lo, hi) = locations(Algorithm::Mhhea, expanded.pair(i), 0xCA00);
+            assert_eq!((e.lo, e.lo + e.width - 1), (lo, hi), "i={i}");
+        }
     }
 
     #[test]

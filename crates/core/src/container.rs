@@ -1,12 +1,19 @@
-//! A self-describing ciphertext container.
+//! Self-describing ciphertext containers (v1 single-stream, v2 chunked).
 //!
 //! Raw MHHEA output is a sequence of 16-bit vectors; decryption
 //! additionally needs the message bit length, the cipher variant and the
-//! buffering profile. The container serialises all of that with a key
+//! buffering profile. The containers serialise all of that with a key
 //! fingerprint so wrong-key attempts fail loudly instead of returning
 //! noise.
 //!
-//! Layout (little-endian):
+//! **v1** ([`seal`]) is one stream sealed by one session from the stream
+//! origin. **v2** ([`seal_v2`]) frames the payload into fixed-size chunks,
+//! each encrypted by an independent session whose LFSR seed derives from
+//! the master seed and the chunk number ([`crate::pipeline::chunk_seed`]),
+//! so a large payload seals *and* opens chunk-parallel across threads.
+//! [`open`] reads both versions.
+//!
+//! v1 layout (little-endian):
 //!
 //! ```text
 //! offset size field
@@ -20,16 +27,48 @@
 //! 24     4    block count
 //! 28     2n   blocks (u16 little-endian)
 //! ```
+//!
+//! v2 layout (little-endian):
+//!
+//! ```text
+//! offset size field
+//! 0      4    magic  "MHEA"
+//! 4      1    version (2)
+//! 5      1    algorithm (0 = HHEA, 1 = MHHEA)
+//! 6      1    profile   (0 = streaming, 1 = hardware-faithful)
+//! 7      1    reserved  (0)
+//! 8      8    key fingerprint
+//! 16     8    total message bit length
+//! 24     2    master LFSR seed (per-chunk seeds derive from it)
+//! 26     2    reserved (0)
+//! 28     4    chunk count
+//! 32     —    chunk frames, in index order:
+//!               +0   4    chunk index (consistency check)
+//!               +4   4    chunk bit length
+//!               +8   4    block count n
+//!               +12  2n   blocks (u16 little-endian)
+//! ```
+//!
+//! Every chunk but the last carries a whole number of bytes, so opened
+//! chunks concatenate without bit shifting.
 
+use crate::pipeline::{chunk_ranges, chunk_seed, parallel_map, DEFAULT_CHUNK_BYTES};
+use crate::session::{DecryptSession, EncryptSession};
 use crate::source::LfsrSource;
 use crate::{Algorithm, Decryptor, Encryptor, Key, MhheaError, Profile};
 
 /// Container magic bytes.
 pub const MAGIC: [u8; 4] = *b"MHEA";
-/// Current container version.
+/// Single-stream container version.
 pub const VERSION: u8 = 1;
-/// Header size in bytes.
+/// Chunked container version.
+pub const VERSION_V2: u8 = 2;
+/// v1 header size in bytes.
 pub const HEADER_LEN: usize = 28;
+/// v2 header size in bytes.
+pub const HEADER_V2_LEN: usize = 32;
+/// Per-chunk frame header size in bytes (index, bit length, block count).
+pub const CHUNK_HEADER_LEN: usize = 12;
 
 /// Errors opening or building containers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +91,20 @@ pub enum ContainerError {
     },
     /// The supplied key does not match the container's fingerprint.
     KeyMismatch,
+    /// A v2 chunk frame is inconsistent (out-of-order index, a mid-stream
+    /// chunk with a fractional byte count, or bit lengths that do not sum
+    /// to the header total).
+    ChunkFraming {
+        /// Index of the offending chunk frame.
+        index: u32,
+    },
+    /// [`SealV2Options::chunk_bytes`] is unusable: zero, not a multiple of
+    /// 4 (the hardware profile consumes whole 32-bit words), or too large
+    /// to frame.
+    InvalidChunkSize {
+        /// The rejected size.
+        chunk_bytes: usize,
+    },
     /// An engine-level failure.
     Engine(MhheaError),
 }
@@ -67,6 +120,15 @@ impl core::fmt::Display for ContainerError {
                 write!(f, "container truncated: need {need} bytes, have {have}")
             }
             ContainerError::KeyMismatch => write!(f, "key fingerprint mismatch"),
+            ContainerError::ChunkFraming { index } => {
+                write!(f, "inconsistent chunk frame at index {index}")
+            }
+            ContainerError::InvalidChunkSize { chunk_bytes } => {
+                write!(
+                    f,
+                    "chunk size {chunk_bytes} is invalid (must be a nonzero multiple of 4)"
+                )
+            }
             ContainerError::Engine(e) => write!(f, "engine failure: {e}"),
         }
     }
@@ -84,6 +146,20 @@ impl std::error::Error for ContainerError {
 impl From<MhheaError> for ContainerError {
     fn from(e: MhheaError) -> Self {
         ContainerError::Engine(e)
+    }
+}
+
+fn algorithm_tag(algorithm: Algorithm) -> u8 {
+    match algorithm {
+        Algorithm::Hhea => 0,
+        Algorithm::Mhhea => 1,
+    }
+}
+
+fn profile_tag(profile: Profile) -> u8 {
+    match profile {
+        Profile::Streaming => 0,
+        Profile::HardwareFaithful => 1,
     }
 }
 
@@ -109,15 +185,15 @@ impl Default for SealOptions {
     }
 }
 
-/// Encrypts `message` under `key` into a self-describing container.
+/// Encrypts `message` under `key` into a self-describing v1 container.
 ///
 /// # Errors
 ///
-/// Returns [`ContainerError::Engine`] for engine failures (e.g. a zero
-/// LFSR seed is rejected as source construction failure).
+/// Returns [`ContainerError::Engine`] for engine failures; a zero LFSR
+/// seed is rejected as [`MhheaError::InvalidSeed`].
 pub fn seal(key: &Key, message: &[u8], opts: &SealOptions) -> Result<Vec<u8>, ContainerError> {
     let source = LfsrSource::new(opts.lfsr_seed)
-        .map_err(|_| ContainerError::Engine(MhheaError::SourceExhausted { blocks_produced: 0 }))?;
+        .map_err(|_| ContainerError::Engine(MhheaError::InvalidSeed))?;
     let mut enc = Encryptor::new(key.clone(), source)
         .with_algorithm(opts.algorithm)
         .with_profile(opts.profile);
@@ -127,14 +203,8 @@ pub fn seal(key: &Key, message: &[u8], opts: &SealOptions) -> Result<Vec<u8>, Co
     let mut out = Vec::with_capacity(HEADER_LEN + blocks.len() * 2);
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
-    out.push(match opts.algorithm {
-        Algorithm::Hhea => 0,
-        Algorithm::Mhhea => 1,
-    });
-    out.push(match opts.profile {
-        Profile::Streaming => 0,
-        Profile::HardwareFaithful => 1,
-    });
+    out.push(algorithm_tag(opts.algorithm));
+    out.push(profile_tag(opts.profile));
     out.push(0); // reserved
     out.extend_from_slice(&key.fingerprint().to_le_bytes());
     out.extend_from_slice(&bit_len.to_le_bytes());
@@ -145,7 +215,100 @@ pub fn seal(key: &Key, message: &[u8], opts: &SealOptions) -> Result<Vec<u8>, Co
     Ok(out)
 }
 
-/// Parsed container header (exposed for diagnostics and tooling).
+/// Options for [`seal_v2`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealV2Options {
+    /// Cipher variant (default MHHEA).
+    pub algorithm: Algorithm,
+    /// Buffering profile (default streaming).
+    pub profile: Profile,
+    /// Master LFSR seed; each chunk runs on
+    /// [`chunk_seed`]`(master_seed, index)` (nonzero; default `0xACE1`).
+    pub master_seed: u16,
+    /// Payload bytes per chunk (nonzero multiple of 4; default 64 KiB).
+    pub chunk_bytes: usize,
+    /// Worker threads for sealing; `0` (default) asks the OS.
+    pub workers: usize,
+}
+
+impl Default for SealV2Options {
+    fn default() -> Self {
+        SealV2Options {
+            algorithm: Algorithm::Mhhea,
+            profile: Profile::Streaming,
+            master_seed: 0xACE1,
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+            workers: 0,
+        }
+    }
+}
+
+fn validate_chunk_bytes(chunk_bytes: usize) -> Result<(), ContainerError> {
+    // The 4-byte floor keeps every non-final chunk a whole number of the
+    // hardware profile's 32-bit message words; the ceiling keeps the
+    // per-chunk bit length inside its u32 frame field.
+    if chunk_bytes == 0 || !chunk_bytes.is_multiple_of(4) || chunk_bytes > (u32::MAX / 8) as usize {
+        return Err(ContainerError::InvalidChunkSize { chunk_bytes });
+    }
+    Ok(())
+}
+
+/// Encrypts `message` under `key` into a chunked v2 container,
+/// parallelising across chunks.
+///
+/// # Errors
+///
+/// [`ContainerError::InvalidChunkSize`] for an unusable chunk size,
+/// [`MhheaError::InvalidSeed`] (wrapped in [`ContainerError::Engine`]) for
+/// a zero master seed, and [`ContainerError::Engine`] for engine failures.
+pub fn seal_v2(key: &Key, message: &[u8], opts: &SealV2Options) -> Result<Vec<u8>, ContainerError> {
+    validate_chunk_bytes(opts.chunk_bytes)?;
+    if opts.master_seed == 0 {
+        return Err(ContainerError::Engine(MhheaError::InvalidSeed));
+    }
+    let ranges = chunk_ranges(message.len(), opts.chunk_bytes);
+    let chunk_count = ranges.len() as u32;
+    let chunk_lens: Vec<usize> = ranges.iter().map(std::ops::Range::len).collect();
+
+    let jobs: Vec<(u32, &[u8])> = ranges
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| (i as u32, &message[r]))
+        .collect();
+    let sealed: Vec<Result<Vec<u16>, MhheaError>> =
+        parallel_map(jobs, opts.workers, |_, (index, chunk)| {
+            let seed = chunk_seed(opts.master_seed, index);
+            let source = LfsrSource::new(seed).expect("derived seeds are nonzero");
+            let mut session =
+                EncryptSession::with_options(key.clone(), source, opts.algorithm, opts.profile);
+            session.encrypt(chunk)
+        });
+
+    let mut out = Vec::with_capacity(HEADER_V2_LEN + message.len() * 5);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION_V2);
+    out.push(algorithm_tag(opts.algorithm));
+    out.push(profile_tag(opts.profile));
+    out.push(0); // reserved
+    out.extend_from_slice(&key.fingerprint().to_le_bytes());
+    out.extend_from_slice(&((message.len() * 8) as u64).to_le_bytes());
+    out.extend_from_slice(&opts.master_seed.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+    out.extend_from_slice(&chunk_count.to_le_bytes());
+    for (i, blocks) in sealed.into_iter().enumerate() {
+        let blocks = blocks?;
+        let bit_len = (chunk_lens[i] * 8) as u32;
+        out.extend_from_slice(&(i as u32).to_le_bytes());
+        out.extend_from_slice(&bit_len.to_le_bytes());
+        out.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+        for b in blocks {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+    }
+    Ok(out)
+}
+
+/// Parsed v1 container header (exposed for diagnostics and tooling).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Header {
     /// Cipher variant.
@@ -160,24 +323,40 @@ pub struct Header {
     pub block_count: u32,
 }
 
-/// Parses and validates a container header.
-///
-/// # Errors
-///
-/// All structural [`ContainerError`] variants except `KeyMismatch`.
-pub fn parse_header(bytes: &[u8]) -> Result<Header, ContainerError> {
-    if bytes.len() < HEADER_LEN {
+/// Parsed v2 container header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeaderV2 {
+    /// Cipher variant.
+    pub algorithm: Algorithm,
+    /// Buffering profile.
+    pub profile: Profile,
+    /// Key fingerprint.
+    pub fingerprint: u64,
+    /// Total message bit length across all chunks.
+    pub bit_len: u64,
+    /// Master LFSR seed the per-chunk seeds derive from.
+    pub master_seed: u16,
+    /// Number of chunk frames.
+    pub chunk_count: u32,
+}
+
+fn parse_common(bytes: &[u8], want_version: u8, header_len: usize) -> Result<(), ContainerError> {
+    if bytes.len() < header_len {
         return Err(ContainerError::Truncated {
-            need: HEADER_LEN,
+            need: header_len,
             have: bytes.len(),
         });
     }
     if bytes[0..4] != MAGIC {
         return Err(ContainerError::BadMagic);
     }
-    if bytes[4] != VERSION {
+    if bytes[4] != want_version {
         return Err(ContainerError::UnsupportedVersion(bytes[4]));
     }
+    Ok(())
+}
+
+fn parse_tags(bytes: &[u8]) -> Result<(Algorithm, Profile), ContainerError> {
     let algorithm = match bytes[5] {
         0 => Algorithm::Hhea,
         1 => Algorithm::Mhhea,
@@ -188,6 +367,19 @@ pub fn parse_header(bytes: &[u8]) -> Result<Header, ContainerError> {
         1 => Profile::HardwareFaithful,
         other => return Err(ContainerError::UnknownProfile(other)),
     };
+    Ok((algorithm, profile))
+}
+
+/// Parses and validates a v1 container header.
+///
+/// # Errors
+///
+/// All structural [`ContainerError`] variants except `KeyMismatch`; a v2
+/// container reports [`ContainerError::UnsupportedVersion`]`(2)` — use
+/// [`parse_header_v2`] for those.
+pub fn parse_header(bytes: &[u8]) -> Result<Header, ContainerError> {
+    parse_common(bytes, VERSION, HEADER_LEN)?;
+    let (algorithm, profile) = parse_tags(bytes)?;
     let fingerprint = u64::from_le_bytes(bytes[8..16].try_into().expect("sized"));
     let bit_len = u64::from_le_bytes(bytes[16..24].try_into().expect("sized"));
     let block_count = u32::from_le_bytes(bytes[24..28].try_into().expect("sized"));
@@ -200,13 +392,44 @@ pub fn parse_header(bytes: &[u8]) -> Result<Header, ContainerError> {
     })
 }
 
-/// Decrypts a container sealed with [`seal`].
+/// Parses and validates a v2 container header.
 ///
 /// # Errors
 ///
-/// Structural errors from [`parse_header`], [`ContainerError::KeyMismatch`]
-/// for a wrong key, and [`ContainerError::Engine`] for decryption failures.
+/// All structural [`ContainerError`] variants except `KeyMismatch`.
+pub fn parse_header_v2(bytes: &[u8]) -> Result<HeaderV2, ContainerError> {
+    parse_common(bytes, VERSION_V2, HEADER_V2_LEN)?;
+    let (algorithm, profile) = parse_tags(bytes)?;
+    let fingerprint = u64::from_le_bytes(bytes[8..16].try_into().expect("sized"));
+    let bit_len = u64::from_le_bytes(bytes[16..24].try_into().expect("sized"));
+    let master_seed = u16::from_le_bytes(bytes[24..26].try_into().expect("sized"));
+    let chunk_count = u32::from_le_bytes(bytes[28..32].try_into().expect("sized"));
+    Ok(HeaderV2 {
+        algorithm,
+        profile,
+        fingerprint,
+        bit_len,
+        master_seed,
+        chunk_count,
+    })
+}
+
+/// Decrypts a container sealed with [`seal`] **or** [`seal_v2`] (the
+/// version byte selects the path; v2 opens with automatic worker count).
+///
+/// # Errors
+///
+/// Structural errors from header parsing, [`ContainerError::KeyMismatch`]
+/// for a wrong key, and [`ContainerError::Engine`] for decryption
+/// failures.
 pub fn open(key: &Key, bytes: &[u8]) -> Result<Vec<u8>, ContainerError> {
+    match bytes.get(4) {
+        Some(&VERSION_V2) => open_v2_with(key, bytes, 0),
+        _ => open_v1(key, bytes),
+    }
+}
+
+fn open_v1(key: &Key, bytes: &[u8]) -> Result<Vec<u8>, ContainerError> {
     let header = parse_header(bytes)?;
     if header.fingerprint != key.fingerprint() {
         return Err(ContainerError::KeyMismatch);
@@ -226,6 +449,102 @@ pub fn open(key: &Key, bytes: &[u8]) -> Result<Vec<u8>, ContainerError> {
         .with_algorithm(header.algorithm)
         .with_profile(header.profile);
     Ok(dec.decrypt(&blocks, header.bit_len as usize)?)
+}
+
+/// Decrypts a v2 container with automatic worker count.
+///
+/// # Errors
+///
+/// See [`open`].
+pub fn open_v2(key: &Key, bytes: &[u8]) -> Result<Vec<u8>, ContainerError> {
+    open_v2_with(key, bytes, 0)
+}
+
+/// Decrypts a v2 container across `workers` threads (`0` asks the OS).
+///
+/// # Errors
+///
+/// See [`open`].
+pub fn open_v2_with(key: &Key, bytes: &[u8], workers: usize) -> Result<Vec<u8>, ContainerError> {
+    let header = parse_header_v2(bytes)?;
+    if header.fingerprint != key.fingerprint() {
+        return Err(ContainerError::KeyMismatch);
+    }
+
+    // Walk the frames sequentially (cheap: header reads plus one slice per
+    // chunk), validating indices and lengths before any decryption work.
+    // Capacity hints come from what the byte stream can physically hold,
+    // never from header fields alone — a corrupted chunk count or bit
+    // length must fail with Truncated/ChunkFraming, not abort on a huge
+    // allocation.
+    let plausible_chunks = (header.chunk_count as usize).min(bytes.len() / CHUNK_HEADER_LEN);
+    let mut frames: Vec<(u32, usize, &[u8])> = Vec::with_capacity(plausible_chunks);
+    let mut offset = HEADER_V2_LEN;
+    let mut total_bits: u64 = 0;
+    for i in 0..header.chunk_count {
+        if bytes.len() < offset + CHUNK_HEADER_LEN {
+            return Err(ContainerError::Truncated {
+                need: offset + CHUNK_HEADER_LEN,
+                have: bytes.len(),
+            });
+        }
+        let frame = &bytes[offset..];
+        let index = u32::from_le_bytes(frame[0..4].try_into().expect("sized"));
+        let bit_len = u32::from_le_bytes(frame[4..8].try_into().expect("sized"));
+        let block_count = u32::from_le_bytes(frame[8..12].try_into().expect("sized"));
+        if index != i {
+            return Err(ContainerError::ChunkFraming { index });
+        }
+        // Mid-stream chunks must hold whole bytes or the concatenation
+        // below would need bit shifting (seal_v2 never produces that).
+        if i + 1 != header.chunk_count && bit_len % 8 != 0 {
+            return Err(ContainerError::ChunkFraming { index });
+        }
+        let body = offset + CHUNK_HEADER_LEN;
+        let need = body + block_count as usize * 2;
+        if bytes.len() < need {
+            return Err(ContainerError::Truncated {
+                need,
+                have: bytes.len(),
+            });
+        }
+        frames.push((index, bit_len as usize, &bytes[body..need]));
+        total_bits += bit_len as u64;
+        offset = need;
+    }
+    if total_bits != header.bit_len {
+        return Err(ContainerError::ChunkFraming {
+            index: header.chunk_count,
+        });
+    }
+
+    // Each chunk was sealed by an independent session from the stream
+    // origin, so chunks decrypt in any order on any thread (each worker
+    // clones a fresh-cursor template, so the span table is built once).
+    // The hiding vectors travel inside the blocks themselves — the decrypt
+    // side never re-derives the per-chunk seeds (the master seed in the
+    // header exists so a holder of the key can reproduce the seal
+    // bit-for-bit).
+    let template = DecryptSession::with_options(key.clone(), header.algorithm, header.profile);
+    let opened: Vec<Result<Vec<u8>, MhheaError>> =
+        parallel_map(frames, workers, |_, (_index, bit_len, body)| {
+            let blocks: Vec<u16> = body
+                .chunks_exact(2)
+                .map(|c| u16::from_le_bytes([c[0], c[1]]))
+                .collect();
+            template.clone().decrypt(&blocks, bit_len)
+        });
+
+    // A chunk yields at most one plaintext byte per two sealed bytes, so
+    // the input length bounds the output regardless of the header total.
+    let out_cap = ((header.bit_len as usize) / 8).min(bytes.len());
+    let mut out = Vec::with_capacity(out_cap);
+    for chunk in opened {
+        // Non-final chunks are whole bytes (validated above), so plain
+        // byte concatenation reassembles the payload.
+        out.extend_from_slice(&chunk?);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -319,6 +638,111 @@ mod tests {
             lfsr_seed: 0,
             ..Default::default()
         };
-        assert!(seal(&key(), b"x", &opts).is_err());
+        assert_eq!(
+            seal(&key(), b"x", &opts),
+            Err(ContainerError::Engine(MhheaError::InvalidSeed))
+        );
+    }
+
+    fn v2_opts(profile: Profile, chunk_bytes: usize, workers: usize) -> SealV2Options {
+        SealV2Options {
+            profile,
+            chunk_bytes,
+            workers,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn v2_roundtrip_all_modes_multichunk() {
+        let message: Vec<u8> = (0..1000u32).map(|i| (i * 7 + 3) as u8).collect();
+        for algorithm in [Algorithm::Hhea, Algorithm::Mhhea] {
+            for profile in [Profile::Streaming, Profile::HardwareFaithful] {
+                let opts = SealV2Options {
+                    algorithm,
+                    ..v2_opts(profile, 256, 3)
+                };
+                let sealed = seal_v2(&key(), &message, &opts).unwrap();
+                let h = parse_header_v2(&sealed).unwrap();
+                assert_eq!(h.chunk_count, 4); // 1000 bytes / 256
+                assert_eq!(h.bit_len, 8000);
+                // `open` dispatches on the version byte.
+                assert_eq!(open(&key(), &sealed).unwrap(), message);
+                // Explicit worker counts agree.
+                assert_eq!(open_v2_with(&key(), &sealed, 4).unwrap(), message);
+            }
+        }
+    }
+
+    #[test]
+    fn v2_empty_and_single_chunk() {
+        let opts = v2_opts(Profile::Streaming, 256, 2);
+        let sealed = seal_v2(&key(), b"", &opts).unwrap();
+        assert_eq!(parse_header_v2(&sealed).unwrap().chunk_count, 0);
+        assert_eq!(open(&key(), &sealed).unwrap(), b"");
+        let sealed = seal_v2(&key(), b"small", &opts).unwrap();
+        assert_eq!(parse_header_v2(&sealed).unwrap().chunk_count, 1);
+        assert_eq!(open(&key(), &sealed).unwrap(), b"small");
+    }
+
+    #[test]
+    fn v2_wrong_key_and_corruption_detected() {
+        let message = vec![0x5Au8; 600];
+        let sealed = seal_v2(&key(), &message, &v2_opts(Profile::Streaming, 256, 2)).unwrap();
+        let wrong = Key::from_nibbles(&[(4, 4)]).unwrap();
+        assert_eq!(open(&wrong, &sealed), Err(ContainerError::KeyMismatch));
+        // Truncation inside a chunk body.
+        assert!(matches!(
+            open(&key(), &sealed[..sealed.len() - 3]),
+            Err(ContainerError::Truncated { .. })
+        ));
+        // Corrupt the first chunk's index field.
+        let mut bad = sealed.clone();
+        bad[HEADER_V2_LEN] ^= 0x01;
+        assert!(matches!(
+            open(&key(), &bad),
+            Err(ContainerError::ChunkFraming { .. })
+        ));
+    }
+
+    #[test]
+    fn v2_invalid_options_rejected() {
+        for chunk_bytes in [0usize, 6, (u32::MAX / 8) as usize + 4] {
+            assert_eq!(
+                seal_v2(&key(), b"x", &v2_opts(Profile::Streaming, chunk_bytes, 1)),
+                Err(ContainerError::InvalidChunkSize { chunk_bytes })
+            );
+        }
+        let opts = SealV2Options {
+            master_seed: 0,
+            ..Default::default()
+        };
+        assert_eq!(
+            seal_v2(&key(), b"x", &opts),
+            Err(ContainerError::Engine(MhheaError::InvalidSeed))
+        );
+    }
+
+    #[test]
+    fn v2_chunks_use_distinct_seeds() {
+        // Identical chunk plaintexts must not produce identical chunk
+        // frames (each chunk reseeds from the master + index).
+        let message = vec![0xA5u8; 512];
+        let sealed = seal_v2(&key(), &message, &v2_opts(Profile::Streaming, 256, 1)).unwrap();
+        let h = parse_header_v2(&sealed).unwrap();
+        assert_eq!(h.chunk_count, 2);
+        // Locate both frames and compare their block payloads.
+        let c0_blocks = u32::from_le_bytes(
+            sealed[HEADER_V2_LEN + 8..HEADER_V2_LEN + 12]
+                .try_into()
+                .unwrap(),
+        );
+        let c0_start = HEADER_V2_LEN + CHUNK_HEADER_LEN;
+        let c0_end = c0_start + c0_blocks as usize * 2;
+        let c1_start = c0_end + CHUNK_HEADER_LEN;
+        assert_ne!(
+            &sealed[c0_start..c0_start + 32.min(sealed.len() - c1_start)],
+            &sealed[c1_start..c1_start + 32.min(sealed.len() - c1_start)]
+        );
     }
 }

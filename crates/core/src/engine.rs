@@ -1,4 +1,4 @@
-//! Streaming encryption and decryption engines.
+//! Single-shot encryption and decryption engines.
 //!
 //! Two profiles are provided:
 //!
@@ -13,15 +13,27 @@
 //!   — mirroring the same consumed counter — discards. The key schedule is
 //!   the 16-deep key cache ([`crate::Key::expand_cyclic`]).
 //!
+//! # Cursor semantics
+//!
+//! The key-pair schedule cycles with the block index, so both endpoints
+//! must agree on the stream position. [`Encryptor`] and [`Decryptor`] are
+//! **single-shot**: every `encrypt`/`decrypt` call restarts the schedule
+//! at block zero (the cursor is rewound), which is what makes a stateless
+//! receiver correct — any message a fresh or reused `Encryptor` produces
+//! opens with any `Decryptor` holding the key. For continuous multi-
+//! message traffic where the position should carry across messages, use
+//! the stateful [`crate::session::EncryptSession`] /
+//! [`crate::session::DecryptSession`] pair these wrappers are built on.
+//!
 //! Both profiles are invertible with only the key, the ciphertext and the
 //! message bit length; the hiding vector's high byte travels in clear and
-//! reseeds the location scrambler on the receive side.
+//! reseeds the location scrambler on the receive side. Internally both
+//! run the word-level span-table fast path (see [`crate::block`]).
 
-use crate::block::{self, BlockOutcome};
-use crate::key::MAX_PAIRS;
+use crate::block::SpanTable;
+use crate::session::{decrypt_at, EncryptSession, StreamCursor};
 use crate::source::VectorSource;
 use crate::{Algorithm, Key, MhheaError};
-use bitkit::{word, BitReader, BitWriter};
 
 /// Message-buffering discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -49,7 +61,8 @@ impl core::fmt::Display for Profile {
     }
 }
 
-/// The encryption engine.
+/// The single-shot encryption engine: a thin wrapper that rewinds an
+/// [`EncryptSession`] before every message.
 ///
 /// # Examples
 ///
@@ -66,10 +79,7 @@ impl core::fmt::Display for Profile {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Encryptor<S> {
-    key: Key,
-    source: S,
-    algorithm: Algorithm,
-    profile: Profile,
+    session: EncryptSession<S>,
     blocks_produced: usize,
 }
 
@@ -77,10 +87,7 @@ impl<S: VectorSource> Encryptor<S> {
     /// Creates an MHHEA encryptor in the streaming profile.
     pub fn new(key: Key, source: S) -> Self {
         Encryptor {
-            key,
-            source,
-            algorithm: Algorithm::Mhhea,
-            profile: Profile::Streaming,
+            session: EncryptSession::new(key, source),
             blocks_produced: 0,
         }
     }
@@ -88,23 +95,29 @@ impl<S: VectorSource> Encryptor<S> {
     /// Selects the cipher variant.
     #[must_use]
     pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
-        self.algorithm = algorithm;
+        self.session = self.session.with_algorithm(algorithm);
         self
     }
 
     /// Selects the buffering profile.
     #[must_use]
     pub fn with_profile(mut self, profile: Profile) -> Self {
-        self.profile = profile;
+        self.session = self.session.with_profile(profile);
         self
     }
 
-    /// Total blocks produced over the encryptor's lifetime.
+    /// Total blocks produced over the encryptor's lifetime (the vector
+    /// source advances monotonically even though each message restarts the
+    /// key schedule).
     pub fn blocks_produced(&self) -> usize {
         self.blocks_produced
     }
 
     /// Encrypts a byte message (`bit_len = 8 × message.len()`).
+    ///
+    /// The key schedule restarts at block zero — the message is decryptable
+    /// by any [`Decryptor`] with the key, independent of what this
+    /// encryptor produced before.
     ///
     /// # Errors
     ///
@@ -124,84 +137,31 @@ impl<S: VectorSource> Encryptor<S> {
     ///
     /// Panics if `bit_len` exceeds `message.len() * 8`.
     pub fn encrypt_bits(&mut self, message: &[u8], bit_len: usize) -> Result<Vec<u16>, MhheaError> {
-        match self.profile {
-            Profile::Streaming => self.encrypt_streaming(message, bit_len),
-            Profile::HardwareFaithful => self.encrypt_hw(message, bit_len),
-        }
-    }
-
-    fn next_vector(&mut self) -> Result<u16, MhheaError> {
-        self.source
-            .next_vector()
-            .ok_or(MhheaError::SourceExhausted {
-                blocks_produced: self.blocks_produced,
-            })
-    }
-
-    fn encrypt_streaming(
-        &mut self,
-        message: &[u8],
-        bit_len: usize,
-    ) -> Result<Vec<u16>, MhheaError> {
-        let mut reader = BitReader::with_bit_len(message, bit_len);
-        let mut blocks = Vec::new();
-        let mut i = self.blocks_produced;
-        while !reader.is_eof() {
-            let v = self.next_vector()?;
-            let pair = self.key.pair(i);
-            let BlockOutcome { cipher, .. } = block::embed(self.algorithm, pair, v, &mut reader);
-            blocks.push(cipher);
-            i += 1;
-            self.blocks_produced = i;
-        }
-        Ok(blocks)
-    }
-
-    fn encrypt_hw(&mut self, message: &[u8], bit_len: usize) -> Result<Vec<u16>, MhheaError> {
-        let hw_key = self.key.expand_cyclic(MAX_PAIRS);
-        let mut reader = BitReader::with_bit_len(message, bit_len);
-        let mut blocks = Vec::new();
-        // The message cache loads 32-bit words; each supplies two 16-bit
-        // halves to the alignment buffer, least significant first.
-        let half_count = bit_len.div_ceil(32) * 2;
-        for _ in 0..half_count {
-            // Load the alignment buffer (zero-padded at end of message).
-            let mut reg: u16 = 0;
-            for t in 0..16 {
-                if let Some(true) = reader.next() {
-                    reg |= 1 << t;
-                }
+        self.session.rewind();
+        match self.session.encrypt_bits(message, bit_len) {
+            Ok(blocks) => {
+                self.blocks_produced += blocks.len();
+                Ok(blocks)
             }
-            let mut consumed = 0usize;
-            while consumed < 16 {
-                let v = self.next_vector()?;
-                let pair = hw_key.pair(self.blocks_produced);
-                let (lo, hi) = block::locations(self.algorithm, pair, v);
-                let span = (hi - lo + 1) as usize;
-                // Circ state: align the next message bits with the span.
-                let ml = word::rotl16(reg, lo as u32);
-                // Encrypt state: blind full-span replacement.
-                let mut cipher = v;
-                for j in lo..=hi {
-                    let m = word::bit16(ml, j as u32);
-                    let b = m ^ block::pattern_bit(self.algorithm, pair, (j - lo) as usize);
-                    cipher = word::replace16(cipher, j as u32, j as u32, b as u16);
-                }
-                blocks.push(cipher);
-                // Rotate consumed bits away: next bits return to the LSBs.
-                reg = word::rotr16(ml, hi as u32 + 1);
-                consumed += span;
-                self.blocks_produced += 1;
+            Err(MhheaError::SourceExhausted { blocks_produced }) => {
+                // The session counts from its rewound origin; surface the
+                // lifetime total the way the source sees it.
+                self.blocks_produced += blocks_produced;
+                Err(MhheaError::SourceExhausted {
+                    blocks_produced: self.blocks_produced,
+                })
             }
+            Err(e) => Err(e),
         }
-        Ok(blocks)
     }
 }
 
-/// The decryption engine.
+/// The single-shot decryption engine: replays the word-level decrypt path
+/// from a fresh stream origin on every call.
 #[derive(Debug, Clone)]
 pub struct Decryptor {
     key: Key,
+    table: SpanTable,
     algorithm: Algorithm,
     profile: Profile,
 }
@@ -209,8 +169,10 @@ pub struct Decryptor {
 impl Decryptor {
     /// Creates an MHHEA decryptor in the streaming profile.
     pub fn new(key: Key) -> Self {
+        let table = SpanTable::new(&key, Algorithm::Mhhea);
         Decryptor {
             key,
+            table,
             algorithm: Algorithm::Mhhea,
             profile: Profile::Streaming,
         }
@@ -220,6 +182,7 @@ impl Decryptor {
     #[must_use]
     pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;
+        self.rebuild_table();
         self
     }
 
@@ -227,69 +190,29 @@ impl Decryptor {
     #[must_use]
     pub fn with_profile(mut self, profile: Profile) -> Self {
         self.profile = profile;
+        self.rebuild_table();
         self
     }
 
+    fn rebuild_table(&mut self) {
+        self.table = match self.profile {
+            Profile::Streaming => SpanTable::new(&self.key, self.algorithm),
+            Profile::HardwareFaithful => SpanTable::new_hw(&self.key, self.algorithm),
+        };
+    }
+
     /// Recovers `bit_len` message bits from cipher blocks, returned as
-    /// `ceil(bit_len / 8)` bytes (trailing bits zero).
+    /// `ceil(bit_len / 8)` bytes (trailing bits zero). Extraction and
+    /// output allocation are both capped by `bit_len` in every profile, so
+    /// a corrupted length never inflates the result.
     ///
     /// # Errors
     ///
     /// Returns [`MhheaError::CiphertextTruncated`] when the blocks carry
     /// fewer than `bit_len` bits.
     pub fn decrypt(&self, blocks: &[u16], bit_len: usize) -> Result<Vec<u8>, MhheaError> {
-        let bits = match self.profile {
-            Profile::Streaming => self.decrypt_streaming(blocks, bit_len),
-            Profile::HardwareFaithful => self.decrypt_hw(blocks),
-        };
-        if bits.len() < bit_len {
-            return Err(MhheaError::CiphertextTruncated {
-                got_bits: bits.len(),
-                want_bits: bit_len,
-            });
-        }
-        let mut w = BitWriter::new();
-        w.extend(bits.into_iter().take(bit_len));
-        Ok(w.into_bytes())
-    }
-
-    fn decrypt_streaming(&self, blocks: &[u16], bit_len: usize) -> Vec<bool> {
-        // The blocks bound the recoverable bits; never trust `bit_len` for
-        // allocation (it may come from a corrupted container header).
-        let mut bits = Vec::with_capacity(bit_len.min(blocks.len() * 16));
-        for (i, &cipher) in blocks.iter().enumerate() {
-            if bits.len() >= bit_len {
-                break;
-            }
-            let pair = self.key.pair(i);
-            bits.extend(block::extract(
-                self.algorithm,
-                pair,
-                cipher,
-                bit_len - bits.len(),
-            ));
-        }
-        bits
-    }
-
-    fn decrypt_hw(&self, blocks: &[u16]) -> Vec<bool> {
-        let hw_key = self.key.expand_cyclic(MAX_PAIRS);
-        let mut bits = Vec::new();
-        let mut consumed = 0usize;
-        for (i, &cipher) in blocks.iter().enumerate() {
-            let pair = hw_key.pair(i);
-            let (lo, hi) = block::locations(self.algorithm, pair, cipher);
-            let span = (hi - lo + 1) as usize;
-            // Only the first `fresh` positions carry new message bits; the
-            // rest are the encryptor's stale buffer wrap-around.
-            let fresh = span.min(16 - consumed);
-            bits.extend(block::extract(self.algorithm, pair, cipher, fresh));
-            consumed += span;
-            if consumed >= 16 {
-                consumed = 0;
-            }
-        }
-        bits
+        let mut cursor = StreamCursor::start();
+        decrypt_at(&self.table, self.profile, &mut cursor, blocks, bit_len)
     }
 }
 
@@ -325,6 +248,26 @@ mod tests {
                 for msg in messages {
                     roundtrip(alg, profile, msg);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn second_message_from_one_encryptor_decrypts_statelessly() {
+        // The seed bug: the encryptor's pair index kept counting across
+        // messages while the stateless decryptor restarted at zero, so any
+        // multi-pair key garbled every message after the first.
+        for profile in [Profile::Streaming, Profile::HardwareFaithful] {
+            let mut enc =
+                Encryptor::new(key(), LfsrSource::new(0xACE1).unwrap()).with_profile(profile);
+            let dec = Decryptor::new(key()).with_profile(profile);
+            for msg in [b"first message".as_slice(), b"second".as_slice(), b"third!"] {
+                let blocks = enc.encrypt(msg).unwrap();
+                assert_eq!(
+                    dec.decrypt(&blocks, msg.len() * 8).unwrap(),
+                    msg,
+                    "profile={profile}"
+                );
             }
         }
     }
@@ -376,6 +319,24 @@ mod tests {
     }
 
     #[test]
+    fn exhaustion_counts_lifetime_blocks() {
+        // 10 cover words: the first message takes some, the second runs out;
+        // the error reports the lifetime total the source actually supplied.
+        let src = CoverSource::new(vec![0xFFFF; 10]);
+        let mut enc = Encryptor::new(key(), src);
+        let first = enc.encrypt(&[0xA5; 2]).unwrap();
+        let err = enc.encrypt(&[0xA5; 100]).unwrap_err();
+        assert_eq!(
+            err,
+            MhheaError::SourceExhausted {
+                blocks_produced: 10
+            }
+        );
+        assert_eq!(enc.blocks_produced(), 10);
+        assert!(first.len() < 10);
+    }
+
+    #[test]
     fn truncated_ciphertext_is_reported() {
         let mut enc = Encryptor::new(key(), LfsrSource::new(0xACE1).unwrap());
         let blocks = enc.encrypt(b"0123456789").unwrap();
@@ -419,6 +380,30 @@ mod tests {
     }
 
     #[test]
+    fn hw_decrypt_honors_bit_len() {
+        // The seed decryptor ignored `bit_len` and extracted bits for every
+        // block before truncating; a corrupted (huge) header length must
+        // error, not inflate the output, and a short length must cap it.
+        let msg = b"0123456789abcdef";
+        let mut enc = Encryptor::new(key(), LfsrSource::new(0xACE1).unwrap())
+            .with_profile(Profile::HardwareFaithful);
+        let blocks = enc.encrypt(msg).unwrap();
+        let dec = Decryptor::new(key()).with_profile(Profile::HardwareFaithful);
+        // Corrupted-long: errors with the true recovered count.
+        let err = dec.decrypt(&blocks, usize::MAX).unwrap_err();
+        match err {
+            MhheaError::CiphertextTruncated { got_bits, .. } => {
+                assert_eq!(got_bits, msg.len() * 8)
+            }
+            e => panic!("unexpected error {e}"),
+        }
+        // Corrupted-short: output capped at ceil(bit_len / 8) bytes.
+        let short = dec.decrypt(&blocks, 20).unwrap();
+        assert_eq!(short.len(), 3);
+        assert_eq!(&short[..2], &msg[..2]);
+    }
+
+    #[test]
     fn bit_level_message_roundtrip() {
         // 13 bits of a 2-byte buffer.
         let src = LfsrSource::new(0x1357).unwrap();
@@ -429,6 +414,30 @@ mod tests {
         assert_eq!(got.len(), 2);
         assert_eq!(got[0], 0b1010_1010);
         assert_eq!(got[1] & 0x1F, 0b0001_1111 & 0x1F);
+    }
+
+    #[test]
+    fn hw_bit_level_roundtrip_unaligned() {
+        // Non-byte-aligned lengths through the 16-bit alignment buffer:
+        // 13 bits (mid-half) and 40 bits (mid-word).
+        for (bytes, bit_len) in [
+            (vec![0b1010_1010u8, 0b0001_1111], 13usize),
+            (vec![0xDE, 0xAD, 0xBE, 0xEF, 0x35], 40),
+        ] {
+            let mut enc = Encryptor::new(key(), LfsrSource::new(0x1357).unwrap())
+                .with_profile(Profile::HardwareFaithful);
+            let blocks = enc.encrypt_bits(&bytes, bit_len).unwrap();
+            let dec = Decryptor::new(key()).with_profile(Profile::HardwareFaithful);
+            let got = dec.decrypt(&blocks, bit_len).unwrap();
+            assert_eq!(got.len(), bit_len.div_ceil(8));
+            for i in 0..bit_len {
+                assert_eq!(
+                    (got[i / 8] >> (i % 8)) & 1,
+                    (bytes[i / 8] >> (i % 8)) & 1,
+                    "bit {i} of {bit_len}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -24,11 +24,17 @@
 //!   any [`rand::Rng`], or cover data for steganography mode.
 //! * [`block`] — the per-vector primitives: location scrambling, embedding
 //!   and extraction, for both MHHEA and HHEA.
-//! * [`engine`] — streaming [`Encryptor`]/[`Decryptor`] in two profiles:
+//! * [`engine`] — single-shot [`Encryptor`]/[`Decryptor`] in two profiles:
 //!   the paper's pseudocode ([`Profile::Streaming`]) and the bit-exact
 //!   model of the FPGA datapath ([`Profile::HardwareFaithful`]).
+//! * [`session`] — stateful [`EncryptSession`]/[`DecryptSession`] carrying
+//!   an explicit [`StreamCursor`], so multi-message traffic keeps both
+//!   endpoints' key schedules in lockstep.
+//! * [`pipeline`] — chunk planning, per-chunk seed derivation and the
+//!   scoped-thread parallel map behind the chunked container.
 //! * [`container`] — a self-describing byte format so decryption knows the
-//!   message length, profile and key fingerprint.
+//!   message length, profile and key fingerprint; v2 frames the payload
+//!   into independently-seeded chunks that seal and open in parallel.
 //! * [`stats`] — expected span width, expansion factor and throughput
 //!   accounting used by the paper's evaluation.
 //!
@@ -53,11 +59,14 @@ pub mod block;
 pub mod container;
 pub mod engine;
 pub mod key;
+pub mod pipeline;
+pub mod session;
 pub mod source;
 pub mod stats;
 
 pub use engine::{Decryptor, Encryptor, Profile};
 pub use key::{Key, KeyError, KeyPair};
+pub use session::{DecryptSession, EncryptSession, StreamCursor};
 pub use source::{CoverSource, LfsrSource, RngSource, VectorSource};
 
 /// Which cipher variant to run.
@@ -103,6 +112,9 @@ pub enum MhheaError {
         /// Blocks produced before exhaustion.
         blocks_produced: usize,
     },
+    /// An LFSR seed of zero was supplied (the all-zero state is the
+    /// lattice's fixed point and never produces a vector).
+    InvalidSeed,
     /// The ciphertext ended before the promised number of message bits was
     /// recovered.
     CiphertextTruncated {
@@ -121,6 +133,9 @@ impl core::fmt::Display for MhheaError {
                 f,
                 "hiding-vector source exhausted after {blocks_produced} blocks"
             ),
+            MhheaError::InvalidSeed => {
+                write!(f, "LFSR seed must be nonzero")
+            }
             MhheaError::CiphertextTruncated {
                 got_bits,
                 want_bits,

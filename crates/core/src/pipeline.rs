@@ -1,0 +1,210 @@
+//! Chunk-parallel plumbing for batched, multi-threaded traffic.
+//!
+//! Large payloads are split into fixed-size chunks, each encrypted by an
+//! independent [`crate::session::EncryptSession`] whose LFSR seed is
+//! derived from a master seed and the chunk number. Chunks share no state,
+//! so they seal and open in parallel across OS threads — the same
+//! batching-for-bandwidth move FPGA cipher pipelines make, mapped onto
+//! `std::thread::scope`. The container v2 format
+//! ([`crate::container::seal_v2`]) is the on-wire form of this plan.
+
+use std::num::NonZeroUsize;
+
+/// Default chunk size for [`crate::container::SealV2Options`]: 64 KiB.
+pub const DEFAULT_CHUNK_BYTES: usize = 64 * 1024;
+
+/// Derives the per-chunk LFSR seed from a master seed and chunk index.
+///
+/// A SplitMix-style avalanche over `master ∥ index`, folded to 16 bits and
+/// forced nonzero (an all-zero LFSR state never leaves zero). Both ends
+/// compute it locally; only the master seed travels in the container
+/// header.
+///
+/// ```
+/// use mhhea::pipeline::chunk_seed;
+///
+/// assert_ne!(chunk_seed(0xACE1, 0), chunk_seed(0xACE1, 1));
+/// assert_ne!(chunk_seed(0xACE1, 0), 0);
+/// ```
+pub fn chunk_seed(master: u16, index: u32) -> u16 {
+    let mut z = ((master as u64) << 32) ^ (index as u64) ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let folded = (z as u16) ^ ((z >> 16) as u16) ^ ((z >> 32) as u16) ^ ((z >> 48) as u16);
+    if folded == 0 {
+        0xACE1
+    } else {
+        folded
+    }
+}
+
+/// Splits `total` bytes into chunk byte-ranges of `chunk_bytes` each (the
+/// final chunk may be short). An empty payload yields no chunks.
+///
+/// ```
+/// use mhhea::pipeline::chunk_ranges;
+///
+/// assert_eq!(chunk_ranges(10, 4), vec![0..4, 4..8, 8..10]);
+/// assert!(chunk_ranges(0, 4).is_empty());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `chunk_bytes` is zero.
+pub fn chunk_ranges(total: usize, chunk_bytes: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(chunk_bytes > 0, "chunk size must be nonzero");
+    (0..total.div_ceil(chunk_bytes))
+        .map(|i| {
+            let start = i * chunk_bytes;
+            start..(start + chunk_bytes).min(total)
+        })
+        .collect()
+}
+
+/// Resolves a requested worker count: `0` means "ask the OS"
+/// ([`std::thread::available_parallelism`]), anything else is taken
+/// literally, and the count never exceeds the number of jobs.
+pub fn resolve_workers(requested: usize, jobs: usize) -> usize {
+    let hw = || {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    let want = if requested == 0 { hw() } else { requested };
+    want.clamp(1, jobs.max(1))
+}
+
+/// Maps `f` over `items` on `workers` scoped threads, preserving order.
+///
+/// Items are dealt to workers in contiguous shards; each worker returns
+/// its shard's results and the shards are re-concatenated, so the output
+/// index matches the input index. `f` receives `(index, item)`.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn parallel_map<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let jobs = items.len();
+    let workers = resolve_workers(workers, jobs);
+    if workers <= 1 || jobs <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let shard_len = jobs.div_ceil(workers);
+    // Hand each worker a contiguous (start index, shard) pair.
+    let mut shards: Vec<(usize, Vec<T>)> = Vec::with_capacity(workers);
+    let mut items = items.into_iter();
+    let mut start = 0;
+    loop {
+        let shard: Vec<T> = items.by_ref().take(shard_len).collect();
+        if shard.is_empty() {
+            break;
+        }
+        let len = shard.len();
+        shards.push((start, shard));
+        start += len;
+    }
+    let f = &f;
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(shards.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|(base, shard)| {
+                scope.spawn(move || {
+                    shard
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, t)| f(base + i, t))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("pipeline worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_seeds_are_nonzero_and_spread() {
+        let mut seen = std::collections::HashSet::new();
+        for master in [1u16, 0xACE1, 0xFFFF] {
+            for i in 0..64u32 {
+                let s = chunk_seed(master, i);
+                assert_ne!(s, 0);
+                seen.insert((master, s));
+            }
+        }
+        // The fold should not collapse many (master, index) pairs.
+        assert!(seen.len() > 180, "only {} distinct seeds", seen.len());
+    }
+
+    #[test]
+    fn chunk_seed_is_deterministic() {
+        assert_eq!(chunk_seed(0x1234, 7), chunk_seed(0x1234, 7));
+    }
+
+    #[test]
+    fn ranges_cover_exactly() {
+        for (total, size) in [(0usize, 3usize), (1, 3), (3, 3), (10, 3), (12, 4)] {
+            let ranges = chunk_ranges(total, size);
+            let mut cursor = 0;
+            for r in &ranges {
+                assert_eq!(r.start, cursor);
+                assert!(r.end - r.start <= size);
+                cursor = r.end;
+            }
+            assert_eq!(cursor, total);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_chunk_size_panics() {
+        chunk_ranges(8, 0);
+    }
+
+    #[test]
+    fn workers_resolve_sanely() {
+        assert_eq!(resolve_workers(4, 100), 4);
+        assert_eq!(resolve_workers(8, 3), 3);
+        assert_eq!(resolve_workers(3, 0), 1);
+        assert!(resolve_workers(0, 64) >= 1);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u32> = (0..97).collect();
+        for workers in [1usize, 2, 4, 7] {
+            let got = parallel_map(items.clone(), workers, |i, x| {
+                assert_eq!(i as u32, x);
+                x * 3
+            });
+            let want: Vec<u32> = items.iter().map(|x| x * 3).collect();
+            assert_eq!(got, want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        assert_eq!(
+            parallel_map(Vec::<u8>::new(), 4, |_, x| x),
+            Vec::<u8>::new()
+        );
+        assert_eq!(parallel_map(vec![9u8], 4, |_, x| x + 1), vec![10]);
+    }
+}

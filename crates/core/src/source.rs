@@ -19,6 +19,13 @@ pub trait VectorSource {
 /// The paper's random-number-generator module: a 16-bit maximal-length
 /// Fibonacci LFSR advanced 16 steps per block (the hardware leap network).
 ///
+/// The 16-step leap is a linear map over GF(2), so — exactly like the
+/// hardware's one-clock leap network — it is precomputed at construction:
+/// the transition matrix ([`lfsr::Fibonacci::leap_matrix`]) is folded into
+/// two 256-entry byte tables and each vector costs two loads and an XOR
+/// instead of sixteen serial shift-and-feedback steps. This is what keeps
+/// the vector supply off the encrypt hot path's critical time.
+///
 /// # Examples
 ///
 /// ```
@@ -31,7 +38,10 @@ pub trait VectorSource {
 /// ```
 #[derive(Debug, Clone)]
 pub struct LfsrSource {
-    lfsr: Fibonacci,
+    state: u16,
+    /// `leap(state) = leap_lo[state & 0xFF] ^ leap_hi[state >> 8]`.
+    leap_lo: [u16; 256],
+    leap_hi: [u16; 256],
 }
 
 impl LfsrSource {
@@ -41,20 +51,32 @@ impl LfsrSource {
     ///
     /// Returns the underlying [`lfsr::LfsrError`] for a zero seed.
     pub fn new(seed: u16) -> Result<Self, lfsr::LfsrError> {
+        let reference = Fibonacci::from_table(16, seed as u64)?;
+        let leap = reference.leap_matrix(16);
+        let mut leap_lo = [0u16; 256];
+        let mut leap_hi = [0u16; 256];
+        for b in 0..256usize {
+            leap_lo[b] = leap.apply(b as u64) as u16;
+            leap_hi[b] = leap.apply((b as u64) << 8) as u16;
+        }
         Ok(LfsrSource {
-            lfsr: Fibonacci::from_table(16, seed as u64)?,
+            state: seed,
+            leap_lo,
+            leap_hi,
         })
     }
 
     /// Current LFSR state (the next vector before leaping).
     pub fn state(&self) -> u16 {
-        self.lfsr.state() as u16
+        self.state
     }
 }
 
 impl VectorSource for LfsrSource {
     fn next_vector(&mut self) -> Option<u16> {
-        Some(self.lfsr.next_vector() as u16)
+        self.state =
+            self.leap_lo[(self.state & 0xFF) as usize] ^ self.leap_hi[(self.state >> 8) as usize];
+        Some(self.state)
     }
 }
 
@@ -162,6 +184,25 @@ mod tests {
         let mut reference = lfsr::Fibonacci::from_table(16, 1).unwrap();
         reference.leap(16);
         assert_eq!(src.next_vector().unwrap() as u64, reference.state());
+    }
+
+    #[test]
+    fn lfsr_byte_tables_match_serial_reference_long_run() {
+        // The table-folded leap network must track the bit-serial register
+        // for many blocks (and across the sequence, not just one step).
+        for seed in [1u16, 0xACE1, 0xFFFF, 0x8000] {
+            let mut src = LfsrSource::new(seed).unwrap();
+            let mut reference = lfsr::Fibonacci::from_table(16, seed as u64).unwrap();
+            assert_eq!(src.state(), seed);
+            for i in 0..1000 {
+                reference.leap(16);
+                assert_eq!(
+                    src.next_vector().unwrap() as u64,
+                    reference.state(),
+                    "seed {seed:#06x} block {i}"
+                );
+            }
+        }
     }
 
     #[test]

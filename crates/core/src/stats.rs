@@ -78,6 +78,17 @@ pub fn expansion_factor(key: &Key, algorithm: Algorithm) -> f64 {
     16.0 / expected_span_key(key, algorithm)
 }
 
+/// Estimated cipher-block count for a `bit_len`-bit message — `bit_len /
+/// E[span]` plus one cycle of slack. The sessions use it to pre-size block
+/// buffers (it is an estimate, not a bound: a pathological vector sequence
+/// can exceed it, and `Vec` absorbs the difference).
+pub fn estimated_blocks(key: &Key, algorithm: Algorithm, bit_len: usize) -> usize {
+    if bit_len == 0 {
+        return 0;
+    }
+    (bit_len as f64 / expected_span_key(key, algorithm)).ceil() as usize + key.len()
+}
+
 /// The paper's throughput formula: `bits_per_period / min_period`.
 ///
 /// `95.532 Mbps = 4 bits / 41.871 ns` reproduces Table 1's MHHEA row.
@@ -161,6 +172,21 @@ mod tests {
         let key = Key::from_nibbles(&[(0, 7), (3, 3)]).unwrap();
         let e = expected_span_key(&key, Algorithm::Hhea);
         assert_eq!(e, (8.0 + 1.0) / 2.0);
+    }
+
+    #[test]
+    fn estimated_blocks_tracks_expansion() {
+        let key = Key::from_nibbles(&[(0, 7), (3, 3)]).unwrap();
+        assert_eq!(estimated_blocks(&key, Algorithm::Hhea, 0), 0);
+        // E[span] = 4.5; 900 bits -> 200 blocks + 2 slack.
+        assert_eq!(estimated_blocks(&key, Algorithm::Hhea, 900), 202);
+        // The estimate is within a few percent of an actual run.
+        let msg = vec![0x5Au8; 512];
+        let mut enc = crate::Encryptor::new(key.clone(), crate::LfsrSource::new(0xACE1).unwrap());
+        let blocks = enc.encrypt(&msg).unwrap();
+        let est = estimated_blocks(&key, Algorithm::Mhhea, msg.len() * 8);
+        let ratio = blocks.len() as f64 / est as f64;
+        assert!((0.9..=1.1).contains(&ratio), "ratio {ratio}");
     }
 
     #[test]

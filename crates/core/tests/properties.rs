@@ -1,12 +1,82 @@
 //! Property tests for the cipher's block-level invariants.
 
-use mhhea::block::{embed, extract, locations, scramble_locations};
+use mhhea::block::{self, embed, extract, locations, scramble_locations};
+use mhhea::session::EncryptSession;
+use mhhea::source::{CoverSource, VectorSource};
 use mhhea::stats::expected_span_pair;
 use mhhea::{Algorithm, Key, KeyPair};
 use proptest::prelude::*;
 
 fn arb_pair() -> impl Strategy<Value = KeyPair> {
     (0u8..=7, 0u8..=7).prop_map(|(l, r)| KeyPair::new(l, r).expect("in range"))
+}
+
+fn arb_key() -> impl Strategy<Value = Key> {
+    proptest::collection::vec((0u8..=7, 0u8..=7), 1..=16)
+        .prop_map(|pairs| Key::from_nibbles(&pairs).expect("in range"))
+}
+
+/// The per-bit streaming engine, transcribed from the paper's pseudocode
+/// (the seed implementation) — the reference the word-level span-table
+/// path must reproduce block for block.
+fn per_bit_streaming(
+    key: &Key,
+    algorithm: Algorithm,
+    vectors: &mut impl VectorSource,
+    message: &[u8],
+) -> Vec<u16> {
+    let mut bits = bitkit::BitReader::new(message);
+    let mut blocks = Vec::new();
+    let mut i = 0usize;
+    while !bits.is_eof() {
+        let v = vectors.next_vector().expect("enough cover words");
+        let out = embed(algorithm, key.pair(i), v, &mut bits);
+        blocks.push(out.cipher);
+        i += 1;
+    }
+    blocks
+}
+
+/// The per-bit hardware-faithful engine (16-bit alignment buffer, blind
+/// full-span replacement), transcribed from the seed implementation.
+fn per_bit_hw(
+    key: &Key,
+    algorithm: Algorithm,
+    vectors: &mut impl VectorSource,
+    message: &[u8],
+) -> Vec<u16> {
+    use bitkit::word;
+    let hw_key = key.expand_cyclic(16);
+    let mut reader = bitkit::BitReader::new(message);
+    let mut blocks = Vec::new();
+    let mut produced = 0usize;
+    let half_count = (message.len() * 8).div_ceil(32) * 2;
+    for _ in 0..half_count {
+        let mut reg: u16 = 0;
+        for t in 0..16 {
+            if let Some(true) = reader.next() {
+                reg |= 1 << t;
+            }
+        }
+        let mut consumed = 0usize;
+        while consumed < 16 {
+            let v = vectors.next_vector().expect("enough cover words");
+            let pair = hw_key.pair(produced);
+            let (lo, hi) = locations(algorithm, pair, v);
+            let ml = word::rotl16(reg, lo as u32);
+            let mut cipher = v;
+            for j in lo..=hi {
+                let m = word::bit16(ml, j as u32);
+                let b = m ^ block::pattern_bit(algorithm, pair, (j - lo) as usize);
+                cipher = word::replace16(cipher, j as u32, j as u32, b as u16);
+            }
+            blocks.push(cipher);
+            reg = word::rotr16(ml, hi as u32 + 1);
+            consumed += (hi - lo + 1) as usize;
+            produced += 1;
+        }
+    }
+    blocks
 }
 
 proptest! {
@@ -103,6 +173,40 @@ proptest! {
         } else {
             prop_assert_eq!(key.fingerprint(), other.fingerprint());
         }
+    }
+
+    #[test]
+    fn word_level_path_matches_per_bit_streaming(
+        key in arb_key(),
+        message in proptest::collection::vec(any::<u8>(), 0..96),
+        // Worst case one bit per block: 96 bytes can need 768 vectors.
+        cover in proptest::collection::vec(any::<u16>(), 1024),
+        alg in prop_oneof![Just(Algorithm::Hhea), Just(Algorithm::Mhhea)],
+    ) {
+        let reference = per_bit_streaming(
+            &key, alg, &mut CoverSource::new(cover.clone()), &message,
+        );
+        let mut session = EncryptSession::new(key, CoverSource::new(cover))
+            .with_algorithm(alg);
+        let word_level = session.encrypt(&message).unwrap();
+        prop_assert_eq!(word_level, reference);
+    }
+
+    #[test]
+    fn word_level_path_matches_per_bit_hw(
+        key in arb_key(),
+        message in proptest::collection::vec(any::<u8>(), 0..48),
+        cover in proptest::collection::vec(any::<u16>(), 1024),
+        alg in prop_oneof![Just(Algorithm::Hhea), Just(Algorithm::Mhhea)],
+    ) {
+        let reference = per_bit_hw(
+            &key, alg, &mut CoverSource::new(cover.clone()), &message,
+        );
+        let mut session = EncryptSession::new(key, CoverSource::new(cover))
+            .with_algorithm(alg)
+            .with_profile(mhhea::Profile::HardwareFaithful);
+        let word_level = session.encrypt(&message).unwrap();
+        prop_assert_eq!(word_level, reference);
     }
 
     #[test]

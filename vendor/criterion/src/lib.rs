@@ -19,6 +19,16 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// True when the bench binary should smoke-run (one iteration per
+/// benchmark) instead of measuring: either cargo passed `--test` (as
+/// `cargo test --benches` does for harness-less targets on real
+/// criterion), or `CRITERION_SMOKE` is set in the environment. CI uses
+/// this to keep throughput code compiling *and running* without paying
+/// for real measurements.
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test") || std::env::var_os("CRITERION_SMOKE").is_some()
+}
+
 /// Throughput annotation attached to a benchmark group.
 #[derive(Debug, Clone, Copy)]
 pub enum Throughput {
@@ -74,8 +84,16 @@ pub struct Bencher {
 
 impl Bencher {
     /// Measures `f`: median over `sample_size` samples, each sample sized
-    /// to run for at least about a millisecond.
+    /// to run for at least about a millisecond. In smoke mode (`--test`
+    /// or `CRITERION_SMOKE=1`) the closure runs exactly once and the
+    /// single wall-clock reading is reported.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if smoke_mode() {
+            let start = Instant::now();
+            black_box(f());
+            self.per_iter = Some(start.elapsed());
+            return;
+        }
         // Warm up and size one sample.
         let mut iters_per_sample = 1u64;
         loop {
