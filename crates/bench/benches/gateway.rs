@@ -1,0 +1,113 @@
+//! Criterion: the multi-stream gateway — batched throughput across a
+//! streams × message-size sweep, against the per-call `seal_v2` baseline.
+//!
+//! The baseline treats every message as an independent one-shot container
+//! (fresh session, fresh span table, fresh header per call) — what a
+//! server without a stream table has to do. The gateway keeps one session
+//! per stream alive in the sharded mux and coalesces the whole batch into
+//! one submission to the shared worker pool, so the per-message cost
+//! collapses to the cipher itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mhhea::container::{seal_v2, SealV2Options};
+use mhhea::gateway::{StreamConfig, StreamId, StreamMux};
+use mhhea::Key;
+
+fn message_for(id: u64, size: usize) -> Vec<u8> {
+    (0..size)
+        .map(|i| {
+            ((id as usize)
+                .wrapping_mul(31)
+                .wrapping_add(i.wrapping_mul(7))
+                & 0xFF) as u8
+        })
+        .collect()
+}
+
+fn open_streams(mux: &StreamMux, key: &Key, streams: u64) {
+    for id in 0..streams {
+        mux.open(
+            StreamId(id),
+            StreamConfig::new(key.clone()).with_seed(0x1000u16.wrapping_add(id as u16) | 1),
+        )
+        .unwrap();
+    }
+}
+
+/// Streams × message-size sweep; the 1024-stream rows are the acceptance
+/// configuration (≥ 1,000 concurrent streams in flight).
+fn bench_gateway_sweep(c: &mut Criterion) {
+    let key = mhhea_bench::report_key();
+    for msg_size in [64usize, 1024] {
+        let mut group = c.benchmark_group(format!("gateway_batch_{msg_size}B"));
+        group.sample_size(10);
+        for streams in [64u64, 1024] {
+            let mux = StreamMux::with_shards(64);
+            open_streams(&mux, &key, streams);
+            let batch: Vec<(StreamId, Vec<u8>)> = (0..streams)
+                .map(|id| (StreamId(id), message_for(id, msg_size)))
+                .collect();
+            group.throughput(Throughput::Bytes(streams * msg_size as u64));
+            group.bench_with_input(
+                BenchmarkId::new("mux_seal_batch", streams),
+                &batch,
+                |b, batch| b.iter(|| mux.seal_batch(batch.clone())),
+            );
+            // Baseline: the same messages as independent one-shot v2
+            // containers, one seal_v2 call each.
+            group.bench_with_input(
+                BenchmarkId::new("per_call_seal_v2", streams),
+                &batch,
+                |b, batch| {
+                    b.iter(|| {
+                        batch
+                            .iter()
+                            .map(|(id, msg)| {
+                                let opts = SealV2Options {
+                                    master_seed: 0x1000u16.wrapping_add(id.0 as u16) | 1,
+                                    workers: 1,
+                                    ..Default::default()
+                                };
+                                seal_v2(&key, msg, &opts).unwrap()
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+/// Full duplex at acceptance scale: 1,024 streams sealed on one mux and
+/// opened on its peer, measuring the round trip.
+fn bench_gateway_duplex(c: &mut Criterion) {
+    let key = mhhea_bench::report_key();
+    const STREAMS: u64 = 1024;
+    const MSG: usize = 256;
+    let tx = StreamMux::with_shards(64);
+    let rx = StreamMux::with_shards(64);
+    open_streams(&tx, &key, STREAMS);
+    open_streams(&rx, &key, STREAMS);
+    let batch: Vec<(StreamId, Vec<u8>)> = (0..STREAMS)
+        .map(|id| (StreamId(id), message_for(id, MSG)))
+        .collect();
+    let mut group = c.benchmark_group("gateway_duplex_1024x256B");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(STREAMS * MSG as u64));
+    group.bench_function("seal_then_open_batch", |b| {
+        b.iter(|| {
+            let frames: Vec<Vec<u8>> = tx
+                .seal_batch(batch.clone())
+                .into_iter()
+                .map(Result::unwrap)
+                .collect();
+            let opened = rx.open_batch(frames);
+            assert!(opened.iter().all(Result::is_ok));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gateway_sweep, bench_gateway_duplex);
+criterion_main!(benches);

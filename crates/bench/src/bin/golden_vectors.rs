@@ -1,0 +1,80 @@
+//! Regenerates the golden known-answer vectors under `tests/vectors/`.
+//!
+//! The committed vectors pin the cipher: any refactor that changes a
+//! single ciphertext byte trips `tests/paper_artifacts.rs`. Run this tool
+//! only when a format change is *intended*, and say so in the PR:
+//!
+//! ```text
+//! cargo run --release -p mhhea_bench --bin golden_vectors
+//! ```
+//!
+//! Output: one `===FILE <name>===` section per vector, hex-encoded 64
+//! chars per line, ready to split into `tests/vectors/<name>`.
+
+use mhhea::container::{seal, seal_v2, SealOptions, SealV2Options};
+use mhhea::{Key, Profile};
+
+/// The fixed inputs every vector derives from (mirrored in the checker).
+pub const GOLDEN_KEY: [(u8, u8); 4] = [(0, 3), (2, 5), (7, 1), (4, 4)];
+/// Golden LFSR seed (v1) / master seed (v2).
+pub const GOLDEN_SEED: u16 = 0xACE1;
+/// Golden plaintext: 32 bytes, a whole number of 32-bit words so the
+/// hardware profile needs no padding asymmetry.
+pub const GOLDEN_PLAINTEXT: &[u8] = b"MHHEA golden known-answer vector";
+/// Golden v2 chunk size: 8 bytes, so the 32-byte plaintext makes 4 chunks.
+pub const GOLDEN_CHUNK_BYTES: usize = 8;
+
+fn hex_lines(bytes: &[u8]) -> String {
+    let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+    hex.as_bytes()
+        .chunks(64)
+        .map(|line| std::str::from_utf8(line).expect("hex is ascii"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn profile_slug(profile: Profile) -> &'static str {
+    match profile {
+        Profile::Streaming => "streaming",
+        Profile::HardwareFaithful => "hw",
+    }
+}
+
+fn main() {
+    let key = Key::from_nibbles(&GOLDEN_KEY).expect("golden key is valid");
+    for profile in [Profile::Streaming, Profile::HardwareFaithful] {
+        let v1 = seal(
+            &key,
+            GOLDEN_PLAINTEXT,
+            &SealOptions {
+                profile,
+                lfsr_seed: GOLDEN_SEED,
+                ..Default::default()
+            },
+        )
+        .expect("golden v1 seal");
+        println!("===FILE v1_mhhea_{}.hex===", profile_slug(profile));
+        println!("# MHHEA container v1, profile {profile}, key {GOLDEN_KEY:?},");
+        println!("# seed {GOLDEN_SEED:#06x}, plaintext {GOLDEN_PLAINTEXT:?}.");
+        println!("{}", hex_lines(&v1));
+
+        let v2 = seal_v2(
+            &key,
+            GOLDEN_PLAINTEXT,
+            &SealV2Options {
+                profile,
+                master_seed: GOLDEN_SEED,
+                chunk_bytes: GOLDEN_CHUNK_BYTES,
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .expect("golden v2 seal");
+        println!("===FILE v2_mhhea_{}.hex===", profile_slug(profile));
+        println!("# MHHEA container v2, profile {profile}, key {GOLDEN_KEY:?},");
+        println!(
+            "# master seed {GOLDEN_SEED:#06x}, chunk {GOLDEN_CHUNK_BYTES} B, plaintext {GOLDEN_PLAINTEXT:?}."
+        );
+        println!("{}", hex_lines(&v2));
+    }
+}

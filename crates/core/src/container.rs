@@ -270,18 +270,22 @@ pub fn seal_v2(key: &Key, message: &[u8], opts: &SealV2Options) -> Result<Vec<u8
     let chunk_count = ranges.len() as u32;
     let chunk_lens: Vec<usize> = ranges.iter().map(std::ops::Range::len).collect();
 
-    let jobs: Vec<(u32, &[u8])> = ranges
+    // Pool jobs outlive this stack frame, so each chunk owns its bytes
+    // (one payload-sized copy total) and the key travels behind an Arc.
+    let jobs: Vec<(u32, Vec<u8>)> = ranges
         .into_iter()
         .enumerate()
-        .map(|(i, r)| (i as u32, &message[r]))
+        .map(|(i, r)| (i as u32, message[r].to_vec()))
         .collect();
+    let shared_key = std::sync::Arc::new(key.clone());
+    let (algorithm, profile, master_seed) = (opts.algorithm, opts.profile, opts.master_seed);
     let sealed: Vec<Result<Vec<u16>, MhheaError>> =
-        parallel_map(jobs, opts.workers, |_, (index, chunk)| {
-            let seed = chunk_seed(opts.master_seed, index);
+        parallel_map(jobs, opts.workers, move |_, (index, chunk)| {
+            let seed = chunk_seed(master_seed, index);
             let source = LfsrSource::new(seed).expect("derived seeds are nonzero");
             let mut session =
-                EncryptSession::with_options(key.clone(), source, opts.algorithm, opts.profile);
-            session.encrypt(chunk)
+                EncryptSession::with_options((*shared_key).clone(), source, algorithm, profile);
+            session.encrypt(&chunk)
         });
 
     let mut out = Vec::with_capacity(HEADER_V2_LEN + message.len() * 5);
@@ -478,7 +482,7 @@ pub fn open_v2_with(key: &Key, bytes: &[u8], workers: usize) -> Result<Vec<u8>, 
     // length must fail with Truncated/ChunkFraming, not abort on a huge
     // allocation.
     let plausible_chunks = (header.chunk_count as usize).min(bytes.len() / CHUNK_HEADER_LEN);
-    let mut frames: Vec<(u32, usize, &[u8])> = Vec::with_capacity(plausible_chunks);
+    let mut frames: Vec<(u32, usize, Vec<u8>)> = Vec::with_capacity(plausible_chunks);
     let mut offset = HEADER_V2_LEN;
     let mut total_bits: u64 = 0;
     for i in 0..header.chunk_count {
@@ -508,7 +512,9 @@ pub fn open_v2_with(key: &Key, bytes: &[u8], workers: usize) -> Result<Vec<u8>, 
                 have: bytes.len(),
             });
         }
-        frames.push((index, bit_len as usize, &bytes[body..need]));
+        // Owned body: pool jobs must not borrow the caller's buffer (a
+        // memcpy per chunk, overlapped with decryption across workers).
+        frames.push((index, bit_len as usize, bytes[body..need].to_vec()));
         total_bits += bit_len as u64;
         offset = need;
     }
@@ -525,14 +531,18 @@ pub fn open_v2_with(key: &Key, bytes: &[u8], workers: usize) -> Result<Vec<u8>, 
     // side never re-derives the per-chunk seeds (the master seed in the
     // header exists so a holder of the key can reproduce the seal
     // bit-for-bit).
-    let template = DecryptSession::with_options(key.clone(), header.algorithm, header.profile);
+    let template = std::sync::Arc::new(DecryptSession::with_options(
+        key.clone(),
+        header.algorithm,
+        header.profile,
+    ));
     let opened: Vec<Result<Vec<u8>, MhheaError>> =
-        parallel_map(frames, workers, |_, (_index, bit_len, body)| {
+        parallel_map(frames, workers, move |_, (_index, bit_len, body)| {
             let blocks: Vec<u16> = body
                 .chunks_exact(2)
                 .map(|c| u16::from_le_bytes([c[0], c[1]]))
                 .collect();
-            template.clone().decrypt(&blocks, bit_len)
+            (*template).clone().decrypt(&blocks, bit_len)
         });
 
     // A chunk yields at most one plaintext byte per two sealed bytes, so

@@ -1,0 +1,1033 @@
+//! A sharded multi-stream gateway: thousands of concurrent cipher streams
+//! over one shared worker pool.
+//!
+//! The paper's MHHEA core sits on a live data-communication link; a
+//! deployment serves *many* such links at once. [`StreamMux`] is that
+//! layer in software: it owns one [`EncryptSession`]/[`DecryptSession`]
+//! pair per [`StreamId`], keeps them in a sharded session table (one lock
+//! per shard, so independent streams never contend), and coalesces batches
+//! of small messages from many streams into single submissions to the
+//! shared [`WorkerPool`].
+//!
+//! Three layers of API, from raw to wire-ready:
+//!
+//! * [`StreamMux::encrypt`]/[`StreamMux::decrypt`] — one message on one
+//!   stream, raw 16-bit blocks.
+//! * [`StreamMux::encrypt_batch`]/[`StreamMux::decrypt_batch`] — many
+//!   messages across many streams, one pool submission per busy shard.
+//! * [`StreamMux::seal_batch`]/[`StreamMux::open_batch`] — the same, but
+//!   each message travels as a self-describing *gateway frame* carrying
+//!   its stream id and bit length.
+//!
+//! Streams are evictable: [`StreamMux::evict`] serialises a stream's
+//! entire resume state (key, cursors, LFSR state) into a snapshot byte
+//! string and [`StreamMux::restore`] resumes it bit-exactly — the software
+//! analogue of context-switching the FPGA core between channels.
+//!
+//! # Wire formats
+//!
+//! Gateway frame (little-endian):
+//!
+//! ```text
+//! offset size field
+//! 0      4    magic  "MHGF"
+//! 4      1    version (1)
+//! 5      3    reserved (0)
+//! 8      8    stream id
+//! 16     4    message bit length
+//! 20     4    block count n
+//! 24     2n   blocks (u16 little-endian)
+//! ```
+//!
+//! Stream snapshot (little-endian; **contains key material** — protect it
+//! like the key itself):
+//!
+//! ```text
+//! offset size field
+//! 0      4    magic  "MHSS"
+//! 4      1    version (1)
+//! 5      1    algorithm (0 = HHEA, 1 = MHHEA)
+//! 6      1    profile   (0 = streaming, 1 = hardware-faithful)
+//! 7      1    key pair count P (1..=16)
+//! 8      8    stream id
+//! 16     2    LFSR state (nonzero)
+//! 18     9    encrypt cursor (StreamCursor::to_bytes)
+//! 27     9    decrypt cursor (StreamCursor::to_bytes)
+//! 36     P    key pairs, one byte each: left | right << 3
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use mhhea::gateway::{StreamConfig, StreamId, StreamMux};
+//! use mhhea::Key;
+//!
+//! let key = Key::from_nibbles(&[(0, 3), (2, 5)])?;
+//! let tx = StreamMux::new();
+//! let rx = StreamMux::new();
+//! for id in 0..4 {
+//!     tx.open(StreamId(id), StreamConfig::new(key.clone()))?;
+//!     rx.open(StreamId(id), StreamConfig::new(key.clone()))?;
+//! }
+//!
+//! let batch: Vec<(StreamId, Vec<u8>)> = (0..4)
+//!     .map(|id| (StreamId(id), format!("message on {id}").into_bytes()))
+//!     .collect();
+//! let frames = tx.seal_batch(batch);
+//! for frame in frames {
+//!     let (id, plain) = rx.open_frame(&frame?)?;
+//!     assert_eq!(plain, format!("message on {}", id.0).into_bytes());
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::key::{KeyError, MAX_PAIRS};
+use crate::pipeline::WorkerPool;
+use crate::session::{CursorDecodeError, DecryptSession, EncryptSession, StreamCursor};
+use crate::source::LfsrSource;
+use crate::{Algorithm, Key, MhheaError, Profile};
+
+/// Gateway frame magic bytes.
+pub const FRAME_MAGIC: [u8; 4] = *b"MHGF";
+/// Gateway frame format version.
+pub const FRAME_VERSION: u8 = 1;
+/// Gateway frame header size in bytes.
+pub const FRAME_HEADER_LEN: usize = 24;
+
+/// Stream snapshot magic bytes.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"MHSS";
+/// Stream snapshot format version.
+pub const SNAPSHOT_VERSION: u8 = 1;
+/// Stream snapshot size before the trailing key pairs.
+pub const SNAPSHOT_HEADER_LEN: usize = 36;
+
+/// Default shard count for [`StreamMux::new`].
+pub const DEFAULT_SHARDS: usize = 64;
+
+/// Largest message [`StreamMux::seal_batch`] will frame: the frame's bit
+/// length travels as a `u32`, so the byte count must stay under
+/// `u32::MAX / 8` (a larger message would silently wrap the field).
+pub const MAX_FRAME_MESSAGE_BYTES: usize = (u32::MAX / 8) as usize;
+
+/// Identifies one cipher stream within a [`StreamMux`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u64);
+
+impl core::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "stream#{}", self.0)
+    }
+}
+
+/// Per-stream cipher parameters handed to [`StreamMux::open`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// The stream's key (both directions share it).
+    pub key: Key,
+    /// Cipher variant (default MHHEA).
+    pub algorithm: Algorithm,
+    /// Buffering profile (default streaming).
+    pub profile: Profile,
+    /// LFSR seed for the encrypt side's hiding vectors (nonzero; default
+    /// `0xACE1`).
+    pub seed: u16,
+}
+
+impl StreamConfig {
+    /// A config with the defaults (MHHEA, streaming profile, seed
+    /// `0xACE1`).
+    pub fn new(key: Key) -> Self {
+        StreamConfig {
+            key,
+            algorithm: Algorithm::Mhhea,
+            profile: Profile::Streaming,
+            seed: 0xACE1,
+        }
+    }
+
+    /// Selects the cipher variant.
+    #[must_use]
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the buffering profile.
+    #[must_use]
+    pub fn with_profile(mut self, profile: Profile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Selects the encrypt-side LFSR seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u16) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Errors decoding a gateway frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameDecodeError {
+    /// The frame does not start with [`FRAME_MAGIC`].
+    BadMagic,
+    /// Unsupported frame version.
+    UnsupportedVersion(u8),
+    /// The byte stream ended inside the header or block payload.
+    Truncated {
+        /// Bytes needed.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+}
+
+impl core::fmt::Display for FrameDecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameDecodeError::BadMagic => write!(f, "not a gateway frame"),
+            FrameDecodeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported frame version {v}")
+            }
+            FrameDecodeError::Truncated { need, have } => {
+                write!(f, "frame truncated: need {need} bytes, have {have}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameDecodeError {}
+
+/// Errors decoding a stream snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapshotDecodeError {
+    /// The snapshot does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// Unsupported snapshot version.
+    UnsupportedVersion(u8),
+    /// The byte stream ended early.
+    Truncated {
+        /// Bytes needed.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// Unknown algorithm tag.
+    UnknownAlgorithm(u8),
+    /// Unknown profile tag.
+    UnknownProfile(u8),
+    /// Key pair count outside `1..=16`.
+    BadPairCount(u8),
+    /// The snapshotted LFSR state is zero (the lattice fixed point — a
+    /// live stream can never reach it).
+    ZeroLfsrState,
+    /// A cursor field failed to decode.
+    Cursor(CursorDecodeError),
+    /// A key pair byte failed validation.
+    Key(KeyError),
+}
+
+impl core::fmt::Display for SnapshotDecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SnapshotDecodeError::BadMagic => write!(f, "not a stream snapshot"),
+            SnapshotDecodeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            SnapshotDecodeError::Truncated { need, have } => {
+                write!(f, "snapshot truncated: need {need} bytes, have {have}")
+            }
+            SnapshotDecodeError::UnknownAlgorithm(a) => write!(f, "unknown algorithm tag {a}"),
+            SnapshotDecodeError::UnknownProfile(p) => write!(f, "unknown profile tag {p}"),
+            SnapshotDecodeError::BadPairCount(n) => {
+                write!(f, "key pair count {n} out of range (1..=16)")
+            }
+            SnapshotDecodeError::ZeroLfsrState => write!(f, "snapshotted LFSR state is zero"),
+            SnapshotDecodeError::Cursor(e) => write!(f, "cursor field: {e}"),
+            SnapshotDecodeError::Key(e) => write!(f, "key field: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotDecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotDecodeError::Cursor(e) => Some(e),
+            SnapshotDecodeError::Key(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Errors from gateway operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GatewayError {
+    /// [`StreamMux::open`]/[`StreamMux::restore`] hit an id already in the
+    /// table.
+    StreamExists(StreamId),
+    /// The id is not in the table (never opened, closed, or evicted).
+    UnknownStream(StreamId),
+    /// The message is too large for a gateway frame's 32-bit bit-length
+    /// field (limit: [`MAX_FRAME_MESSAGE_BYTES`]). Chunk it — or use
+    /// [`crate::container::seal_v2`], which is built for large payloads.
+    MessageTooLarge {
+        /// The rejected message size.
+        bytes: usize,
+    },
+    /// An engine-level failure on the stream's session.
+    Engine(MhheaError),
+    /// A gateway frame failed to decode.
+    Frame(FrameDecodeError),
+    /// A stream snapshot failed to decode.
+    Snapshot(SnapshotDecodeError),
+}
+
+impl core::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GatewayError::StreamExists(id) => write!(f, "stream {} already open", id.0),
+            GatewayError::UnknownStream(id) => write!(f, "unknown stream {}", id.0),
+            GatewayError::MessageTooLarge { bytes } => write!(
+                f,
+                "message of {bytes} bytes exceeds the frame limit of {MAX_FRAME_MESSAGE_BYTES}"
+            ),
+            GatewayError::Engine(e) => write!(f, "engine failure: {e}"),
+            GatewayError::Frame(e) => write!(f, "frame decode: {e}"),
+            GatewayError::Snapshot(e) => write!(f, "snapshot decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GatewayError::Engine(e) => Some(e),
+            GatewayError::Frame(e) => Some(e),
+            GatewayError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MhheaError> for GatewayError {
+    fn from(e: MhheaError) -> Self {
+        GatewayError::Engine(e)
+    }
+}
+
+impl From<FrameDecodeError> for GatewayError {
+    fn from(e: FrameDecodeError) -> Self {
+        GatewayError::Frame(e)
+    }
+}
+
+impl From<SnapshotDecodeError> for GatewayError {
+    fn from(e: SnapshotDecodeError) -> Self {
+        GatewayError::Snapshot(e)
+    }
+}
+
+/// One duplex stream: an encrypt endpoint, a decrypt endpoint tracking the
+/// peer's encrypt side, and the parameters needed to snapshot both.
+#[derive(Debug)]
+struct StreamState {
+    enc: EncryptSession<LfsrSource>,
+    dec: DecryptSession,
+    key: Key,
+    algorithm: Algorithm,
+    profile: Profile,
+}
+
+type Shard = Mutex<HashMap<u64, StreamState>>;
+
+/// One shard's share of a batch: original position, stream, payload.
+type ShardItems<M> = Vec<(usize, StreamId, M)>;
+
+/// An opened frame: the stream it belongs to and its plaintext.
+type OpenedFrame = (StreamId, Vec<u8>);
+
+#[derive(Debug)]
+struct MuxInner {
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; the count is a power of two.
+    mask: u64,
+    /// Max in-flight pool jobs for batch calls (`0` asks the OS).
+    /// Atomic so [`StreamMux::set_workers`] is a plain store shared by
+    /// every clone — never a table rebuild.
+    workers: AtomicUsize,
+}
+
+impl MuxInner {
+    /// SplitMix64 avalanche so sequential ids spread across shards.
+    fn shard_of(&self, id: StreamId) -> usize {
+        let mut z = id.0 ^ 0x9E37_79B9_7F4A_7C15;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) & self.mask) as usize
+    }
+
+    fn with_stream<R>(
+        &self,
+        id: StreamId,
+        f: impl FnOnce(&mut StreamState) -> Result<R, GatewayError>,
+    ) -> Result<R, GatewayError> {
+        let mut shard = self.shards[self.shard_of(id)]
+            .lock()
+            .expect("shard poisoned");
+        let state = shard
+            .get_mut(&id.0)
+            .ok_or(GatewayError::UnknownStream(id))?;
+        f(state)
+    }
+}
+
+/// A sharded table of concurrent cipher streams sharing one worker pool.
+///
+/// See the [module docs](crate::gateway) for the API tour and wire
+/// formats. Cloning a `StreamMux` is cheap and shares the table, so one
+/// gateway can be driven from many threads.
+#[derive(Debug, Clone)]
+pub struct StreamMux {
+    inner: Arc<MuxInner>,
+}
+
+impl Default for StreamMux {
+    fn default() -> Self {
+        StreamMux::new()
+    }
+}
+
+impl StreamMux {
+    /// A mux with [`DEFAULT_SHARDS`] shards and OS-sized batch
+    /// parallelism.
+    pub fn new() -> Self {
+        StreamMux::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A mux with at least `shards` shards (rounded up to a power of two,
+    /// minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        let shards: Box<[Shard]> = (0..count).map(|_| Mutex::new(HashMap::new())).collect();
+        StreamMux {
+            inner: Arc::new(MuxInner {
+                shards,
+                mask: (count - 1) as u64,
+                workers: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Builder form of [`StreamMux::set_workers`].
+    #[must_use]
+    pub fn with_workers(self, workers: usize) -> Self {
+        self.set_workers(workers);
+        self
+    }
+
+    /// Caps in-flight pool jobs for batch calls (`0`, the default, asks
+    /// the OS). Takes effect for every clone of this mux from the next
+    /// batch call on — the setting lives in the shared table, so no
+    /// handle is invalidated.
+    pub fn set_workers(&self, workers: usize) {
+        self.inner.workers.store(workers, Ordering::Relaxed);
+    }
+
+    /// Number of shards in the session table.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Number of open streams (locks each shard briefly).
+    pub fn len(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no streams are open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when `id` is an open stream.
+    pub fn contains(&self, id: StreamId) -> bool {
+        self.inner.shards[self.inner.shard_of(id)]
+            .lock()
+            .expect("shard poisoned")
+            .contains_key(&id.0)
+    }
+
+    /// Opens a fresh stream at the cipher-stream origin.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::StreamExists`] if `id` is already open;
+    /// [`GatewayError::Engine`] ([`MhheaError::InvalidSeed`]) for a zero
+    /// seed.
+    pub fn open(&self, id: StreamId, config: StreamConfig) -> Result<(), GatewayError> {
+        let source = LfsrSource::new(config.seed)
+            .map_err(|_| GatewayError::Engine(MhheaError::InvalidSeed))?;
+        let state = StreamState {
+            enc: EncryptSession::with_options(
+                config.key.clone(),
+                source,
+                config.algorithm,
+                config.profile,
+            ),
+            dec: DecryptSession::with_options(config.key.clone(), config.algorithm, config.profile),
+            key: config.key,
+            algorithm: config.algorithm,
+            profile: config.profile,
+        };
+        self.insert(id, state)
+    }
+
+    fn insert(&self, id: StreamId, state: StreamState) -> Result<(), GatewayError> {
+        let mut shard = self.inner.shards[self.inner.shard_of(id)]
+            .lock()
+            .expect("shard poisoned");
+        if shard.contains_key(&id.0) {
+            return Err(GatewayError::StreamExists(id));
+        }
+        shard.insert(id.0, state);
+        Ok(())
+    }
+
+    /// Closes a stream, discarding its state.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownStream`] if `id` is not open.
+    pub fn close(&self, id: StreamId) -> Result<(), GatewayError> {
+        self.inner.shards[self.inner.shard_of(id)]
+            .lock()
+            .expect("shard poisoned")
+            .remove(&id.0)
+            .map(|_| ())
+            .ok_or(GatewayError::UnknownStream(id))
+    }
+
+    /// Encrypts one message on one stream, advancing its cursor.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownStream`]; engine failures as
+    /// [`GatewayError::Engine`].
+    pub fn encrypt(&self, id: StreamId, message: &[u8]) -> Result<Vec<u16>, GatewayError> {
+        self.inner.with_stream(id, |s| Ok(s.enc.encrypt(message)?))
+    }
+
+    /// Decrypts one message's blocks on one stream, advancing its cursor.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamMux::encrypt`]; additionally
+    /// [`MhheaError::CiphertextTruncated`] (wrapped) when `blocks` carry
+    /// fewer than `bit_len` bits.
+    pub fn decrypt(
+        &self,
+        id: StreamId,
+        blocks: &[u16],
+        bit_len: usize,
+    ) -> Result<Vec<u8>, GatewayError> {
+        self.inner
+            .with_stream(id, |s| Ok(s.dec.decrypt(blocks, bit_len)?))
+    }
+
+    /// The stream's current encrypt-side cursor (for monitoring).
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownStream`].
+    pub fn cursor(&self, id: StreamId) -> Result<StreamCursor, GatewayError> {
+        self.inner.with_stream(id, |s| Ok(s.enc.cursor()))
+    }
+
+    /// Runs `op` over a whole batch with one pool submission per busy
+    /// shard. Messages on the same stream keep their batch order (same
+    /// stream → same shard → same sequential job).
+    fn batch<M, R>(
+        &self,
+        batch: Vec<(StreamId, M)>,
+        op: impl Fn(&mut StreamState, StreamId, M) -> Result<R, GatewayError> + Send + Sync + 'static,
+    ) -> Vec<Result<R, GatewayError>>
+    where
+        M: Send + 'static,
+        R: Send + 'static,
+    {
+        let inner = Arc::clone(&self.inner);
+        let mut groups: HashMap<usize, ShardItems<M>> = HashMap::new();
+        for (pos, (id, msg)) in batch.into_iter().enumerate() {
+            groups
+                .entry(inner.shard_of(id))
+                .or_default()
+                .push((pos, id, msg));
+        }
+        let total: usize = groups.values().map(Vec::len).sum();
+        let groups: Vec<(usize, ShardItems<M>)> = groups.into_iter().collect();
+        let workers = inner.workers.load(Ordering::Relaxed);
+        let scattered: Vec<Vec<(usize, Result<R, GatewayError>)>> =
+            WorkerPool::global().map(groups, workers, move |_, (shard_idx, items)| {
+                // One lock acquisition covers the shard's whole share of
+                // the batch — the coalescing this API exists for.
+                let mut shard = inner.shards[shard_idx].lock().expect("shard poisoned");
+                items
+                    .into_iter()
+                    .map(|(pos, id, msg)| {
+                        let r = match shard.get_mut(&id.0) {
+                            Some(state) => op(state, id, msg),
+                            None => Err(GatewayError::UnknownStream(id)),
+                        };
+                        (pos, r)
+                    })
+                    .collect()
+            });
+        let mut out: Vec<Option<Result<R, GatewayError>>> = (0..total).map(|_| None).collect();
+        for (pos, r) in scattered.into_iter().flatten() {
+            out[pos] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every batch position reported"))
+            .collect()
+    }
+
+    /// Encrypts many messages across many streams in one coalesced pool
+    /// submission. `results[i]` corresponds to `batch[i]`; messages on the
+    /// same stream are processed in batch order.
+    pub fn encrypt_batch(
+        &self,
+        batch: Vec<(StreamId, Vec<u8>)>,
+    ) -> Vec<Result<Vec<u16>, GatewayError>> {
+        self.batch(batch, |s, _, msg| Ok(s.enc.encrypt(&msg)?))
+    }
+
+    /// Decrypts many `(blocks, bit_len)` messages across many streams in
+    /// one coalesced pool submission (ordering as
+    /// [`StreamMux::encrypt_batch`]).
+    pub fn decrypt_batch(
+        &self,
+        batch: Vec<(StreamId, (Vec<u16>, usize))>,
+    ) -> Vec<Result<Vec<u8>, GatewayError>> {
+        self.batch(batch, |s, _, (blocks, bit_len)| {
+            Ok(s.dec.decrypt(&blocks, bit_len)?)
+        })
+    }
+
+    /// Encrypts many messages and wraps each in a self-describing gateway
+    /// frame (see the [module docs](crate::gateway) for the layout).
+    ///
+    /// Use [`crate::container::seal_v2`] instead when you have **one large
+    /// payload** to chunk across threads; use `seal_batch` when you have
+    /// **many small messages on live streams** — sessions persist across
+    /// calls, so per-message span-table rebuilds and thread spawns are
+    /// both avoided.
+    pub fn seal_batch(
+        &self,
+        batch: Vec<(StreamId, Vec<u8>)>,
+    ) -> Vec<Result<Vec<u8>, GatewayError>> {
+        self.batch(batch, |s, id, msg| {
+            // Reject before encrypting: an oversized message must not
+            // advance the stream cursor and then emit a wrapped header.
+            if msg.len() > MAX_FRAME_MESSAGE_BYTES {
+                return Err(GatewayError::MessageTooLarge { bytes: msg.len() });
+            }
+            let blocks = s.enc.encrypt(&msg)?;
+            Ok(encode_frame(id, msg.len() * 8, &blocks))
+        })
+    }
+
+    /// Decodes and decrypts many gateway frames, returning each frame's
+    /// stream id and plaintext. `results[i]` corresponds to `frames[i]`.
+    pub fn open_batch(
+        &self,
+        frames: Vec<Vec<u8>>,
+    ) -> Vec<Result<(StreamId, Vec<u8>), GatewayError>> {
+        // Decode headers up front (cheap) so frames shard by stream; the
+        // decryption itself runs pooled. Undecodable frames never reach
+        // the batch — their slots are filled with the decode error.
+        let mut out: Vec<Option<Result<OpenedFrame, GatewayError>>> =
+            frames.iter().map(|_| None).collect();
+        let mut goods: Vec<(StreamId, (Vec<u16>, usize))> = Vec::with_capacity(frames.len());
+        let mut positions: Vec<usize> = Vec::with_capacity(frames.len());
+        for (pos, frame) in frames.iter().enumerate() {
+            match decode_frame(frame) {
+                Ok((id, bit_len, blocks)) => {
+                    goods.push((id, (blocks, bit_len)));
+                    positions.push(pos);
+                }
+                Err(e) => out[pos] = Some(Err(GatewayError::Frame(e))),
+            }
+        }
+        let results = self.batch(goods, |s, id, (blocks, bit_len)| {
+            Ok((id, s.dec.decrypt(&blocks, bit_len)?))
+        });
+        for (pos, r) in positions.into_iter().zip(results) {
+            out[pos] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every frame position reported"))
+            .collect()
+    }
+
+    /// Single-frame convenience over [`StreamMux::open_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Frame decode errors as [`GatewayError::Frame`]; unknown ids and
+    /// engine failures as for [`StreamMux::decrypt`].
+    pub fn open_frame(&self, frame: &[u8]) -> Result<(StreamId, Vec<u8>), GatewayError> {
+        let (id, bit_len, blocks) = decode_frame(frame)?;
+        let plain = self.decrypt(id, &blocks, bit_len)?;
+        Ok((id, plain))
+    }
+
+    /// Removes a stream and serialises its full resume state (format in
+    /// the [module docs](crate::gateway); **contains the key**).
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownStream`].
+    pub fn evict(&self, id: StreamId) -> Result<Vec<u8>, GatewayError> {
+        let state = self.inner.shards[self.inner.shard_of(id)]
+            .lock()
+            .expect("shard poisoned")
+            .remove(&id.0)
+            .ok_or(GatewayError::UnknownStream(id))?;
+        Ok(encode_snapshot(id, &state))
+    }
+
+    /// Resumes a stream from an [`StreamMux::evict`] snapshot, bit-exact:
+    /// the next message encrypts and decrypts exactly as it would have on
+    /// the uninterrupted stream.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::Snapshot`] for malformed bytes;
+    /// [`GatewayError::StreamExists`] if the id is already open again.
+    pub fn restore(&self, snapshot: &[u8]) -> Result<StreamId, GatewayError> {
+        let (id, state) = decode_snapshot(snapshot)?;
+        self.insert(id, state)?;
+        Ok(id)
+    }
+}
+
+/// Builds the on-wire frame for one sealed message.
+fn encode_frame(id: StreamId, bit_len: usize, blocks: &[u16]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + blocks.len() * 2);
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(FRAME_VERSION);
+    out.extend_from_slice(&[0, 0, 0]); // reserved
+    out.extend_from_slice(&id.0.to_le_bytes());
+    out.extend_from_slice(&(bit_len as u32).to_le_bytes());
+    out.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+    for b in blocks {
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    out
+}
+
+/// Parses a gateway frame into `(stream id, bit length, blocks)`.
+fn decode_frame(frame: &[u8]) -> Result<(StreamId, usize, Vec<u16>), FrameDecodeError> {
+    if frame.len() < FRAME_HEADER_LEN {
+        return Err(FrameDecodeError::Truncated {
+            need: FRAME_HEADER_LEN,
+            have: frame.len(),
+        });
+    }
+    if frame[0..4] != FRAME_MAGIC {
+        return Err(FrameDecodeError::BadMagic);
+    }
+    if frame[4] != FRAME_VERSION {
+        return Err(FrameDecodeError::UnsupportedVersion(frame[4]));
+    }
+    let id = u64::from_le_bytes(frame[8..16].try_into().expect("sized"));
+    let bit_len = u32::from_le_bytes(frame[16..20].try_into().expect("sized")) as usize;
+    let block_count = u32::from_le_bytes(frame[20..24].try_into().expect("sized")) as usize;
+    let need = FRAME_HEADER_LEN + block_count * 2;
+    if frame.len() < need {
+        return Err(FrameDecodeError::Truncated {
+            need,
+            have: frame.len(),
+        });
+    }
+    let blocks = frame[FRAME_HEADER_LEN..need]
+        .chunks_exact(2)
+        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+        .collect();
+    Ok((StreamId(id), bit_len, blocks))
+}
+
+fn algorithm_tag(algorithm: Algorithm) -> u8 {
+    match algorithm {
+        Algorithm::Hhea => 0,
+        Algorithm::Mhhea => 1,
+    }
+}
+
+fn profile_tag(profile: Profile) -> u8 {
+    match profile {
+        Profile::Streaming => 0,
+        Profile::HardwareFaithful => 1,
+    }
+}
+
+fn encode_snapshot(id: StreamId, state: &StreamState) -> Vec<u8> {
+    let pairs = state.key.pairs();
+    let mut out = Vec::with_capacity(SNAPSHOT_HEADER_LEN + pairs.len());
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.push(SNAPSHOT_VERSION);
+    out.push(algorithm_tag(state.algorithm));
+    out.push(profile_tag(state.profile));
+    out.push(pairs.len() as u8);
+    out.extend_from_slice(&id.0.to_le_bytes());
+    out.extend_from_slice(&state.enc.source().state().to_le_bytes());
+    out.extend_from_slice(&state.enc.cursor().to_bytes());
+    out.extend_from_slice(&state.dec.cursor().to_bytes());
+    for p in pairs {
+        let (l, r) = p.halves();
+        out.push(l | (r << 3));
+    }
+    out
+}
+
+fn decode_snapshot(bytes: &[u8]) -> Result<(StreamId, StreamState), SnapshotDecodeError> {
+    if bytes.len() < SNAPSHOT_HEADER_LEN {
+        return Err(SnapshotDecodeError::Truncated {
+            need: SNAPSHOT_HEADER_LEN,
+            have: bytes.len(),
+        });
+    }
+    if bytes[0..4] != SNAPSHOT_MAGIC {
+        return Err(SnapshotDecodeError::BadMagic);
+    }
+    if bytes[4] != SNAPSHOT_VERSION {
+        return Err(SnapshotDecodeError::UnsupportedVersion(bytes[4]));
+    }
+    let algorithm = match bytes[5] {
+        0 => Algorithm::Hhea,
+        1 => Algorithm::Mhhea,
+        other => return Err(SnapshotDecodeError::UnknownAlgorithm(other)),
+    };
+    let profile = match bytes[6] {
+        0 => Profile::Streaming,
+        1 => Profile::HardwareFaithful,
+        other => return Err(SnapshotDecodeError::UnknownProfile(other)),
+    };
+    let pair_count = bytes[7] as usize;
+    if pair_count == 0 || pair_count > MAX_PAIRS {
+        return Err(SnapshotDecodeError::BadPairCount(bytes[7]));
+    }
+    let need = SNAPSHOT_HEADER_LEN + pair_count;
+    if bytes.len() < need {
+        return Err(SnapshotDecodeError::Truncated {
+            need,
+            have: bytes.len(),
+        });
+    }
+    let id = StreamId(u64::from_le_bytes(bytes[8..16].try_into().expect("sized")));
+    let lfsr_state = u16::from_le_bytes(bytes[16..18].try_into().expect("sized"));
+    if lfsr_state == 0 {
+        return Err(SnapshotDecodeError::ZeroLfsrState);
+    }
+    let enc_cursor =
+        StreamCursor::from_bytes(&bytes[18..27]).map_err(SnapshotDecodeError::Cursor)?;
+    let dec_cursor =
+        StreamCursor::from_bytes(&bytes[27..36]).map_err(SnapshotDecodeError::Cursor)?;
+    let nibbles: Vec<(u8, u8)> = bytes[SNAPSHOT_HEADER_LEN..need]
+        .iter()
+        .map(|&b| (b & 0x07, (b >> 3) & 0x07))
+        .collect();
+    let key = Key::from_nibbles(&nibbles).map_err(SnapshotDecodeError::Key)?;
+    // A fresh LfsrSource at the snapshotted state continues the exact
+    // vector sequence: state() is the register before the next leap.
+    let source = LfsrSource::new(lfsr_state).expect("validated nonzero");
+    let mut enc = EncryptSession::with_options(key.clone(), source, algorithm, profile);
+    enc.set_cursor(enc_cursor);
+    let mut dec = DecryptSession::with_options(key.clone(), algorithm, profile);
+    dec.set_cursor(dec_cursor);
+    Ok((
+        id,
+        StreamState {
+            enc,
+            dec,
+            key,
+            algorithm,
+            profile,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> Key {
+        Key::from_nibbles(&[(0, 3), (2, 5), (1, 7)]).unwrap()
+    }
+
+    #[test]
+    fn open_close_contains() {
+        let mux = StreamMux::with_shards(4);
+        assert!(mux.is_empty());
+        mux.open(StreamId(1), StreamConfig::new(key())).unwrap();
+        assert!(mux.contains(StreamId(1)));
+        assert_eq!(mux.len(), 1);
+        assert_eq!(
+            mux.open(StreamId(1), StreamConfig::new(key())),
+            Err(GatewayError::StreamExists(StreamId(1)))
+        );
+        mux.close(StreamId(1)).unwrap();
+        assert_eq!(
+            mux.close(StreamId(1)),
+            Err(GatewayError::UnknownStream(StreamId(1)))
+        );
+    }
+
+    #[test]
+    fn per_stream_traffic_roundtrips() {
+        let tx = StreamMux::with_shards(8);
+        let rx = StreamMux::with_shards(2); // shard counts need not match
+        for id in 0..6u64 {
+            let cfg = StreamConfig::new(key()).with_seed(0x1000 + id as u16);
+            tx.open(StreamId(id), cfg.clone()).unwrap();
+            rx.open(StreamId(id), cfg).unwrap();
+        }
+        // Interleave messages across streams: cursors stay per-stream.
+        for round in 0..3 {
+            for id in 0..6u64 {
+                let msg = format!("round {round} stream {id}");
+                let blocks = tx.encrypt(StreamId(id), msg.as_bytes()).unwrap();
+                let got = rx.decrypt(StreamId(id), &blocks, msg.len() * 8).unwrap();
+                assert_eq!(got, msg.as_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_message_rejected_before_advancing_cursor() {
+        let mux = StreamMux::with_shards(2);
+        mux.open(StreamId(1), StreamConfig::new(key())).unwrap();
+        // One byte past the frame's u32 bit-length ceiling. The Vec is
+        // zeroed and never read: the size check fires before encryption.
+        let oversized = vec![0u8; MAX_FRAME_MESSAGE_BYTES + 1];
+        let results = mux.seal_batch(vec![(StreamId(1), oversized)]);
+        assert_eq!(
+            results,
+            vec![Err(GatewayError::MessageTooLarge {
+                bytes: MAX_FRAME_MESSAGE_BYTES + 1
+            })]
+        );
+        // The stream is untouched and still usable.
+        assert_eq!(mux.cursor(StreamId(1)).unwrap().block_index, 0);
+        assert!(mux.encrypt(StreamId(1), b"still fine").is_ok());
+    }
+
+    #[test]
+    fn worker_setting_is_shared_by_clones_without_divorcing_them() {
+        let mux = StreamMux::with_shards(2);
+        mux.open(StreamId(5), StreamConfig::new(key())).unwrap();
+        let peer = mux.clone();
+        let mux = mux.with_workers(3); // builder form must not rebuild the table
+        assert_eq!(peer.len(), 1, "clone lost the shared table");
+        peer.set_workers(1); // either handle can reconfigure
+        let blocks = mux.encrypt(StreamId(5), b"shared").unwrap();
+        // The clone sees the cursor advance the original produced.
+        assert_eq!(
+            peer.cursor(StreamId(5)).unwrap().block_index,
+            blocks.len() as u64
+        );
+    }
+
+    #[test]
+    fn zero_seed_rejected() {
+        let mux = StreamMux::new();
+        assert_eq!(
+            mux.open(StreamId(9), StreamConfig::new(key()).with_seed(0)),
+            Err(GatewayError::Engine(MhheaError::InvalidSeed))
+        );
+    }
+
+    #[test]
+    fn frame_decode_rejects_garbage() {
+        assert_eq!(
+            decode_frame(b"nope"),
+            Err(FrameDecodeError::Truncated { need: 24, have: 4 })
+        );
+        let mut f = encode_frame(StreamId(7), 8, &[0xABCD]);
+        f[0] = b'X';
+        assert_eq!(decode_frame(&f), Err(FrameDecodeError::BadMagic));
+        let mut f = encode_frame(StreamId(7), 8, &[0xABCD]);
+        f[4] = 9;
+        assert_eq!(
+            decode_frame(&f),
+            Err(FrameDecodeError::UnsupportedVersion(9))
+        );
+        let f = encode_frame(StreamId(7), 8, &[0xABCD, 0x1234]);
+        assert!(matches!(
+            decode_frame(&f[..f.len() - 1]),
+            Err(FrameDecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_garbage() {
+        let mux = StreamMux::new();
+        mux.open(StreamId(3), StreamConfig::new(key())).unwrap();
+        let snap = mux.evict(StreamId(3)).unwrap();
+        assert!(matches!(
+            decode_snapshot(&snap[..10]),
+            Err(SnapshotDecodeError::Truncated { .. })
+        ));
+        let mut bad = snap.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            decode_snapshot(&bad).unwrap_err(),
+            SnapshotDecodeError::BadMagic
+        );
+        let mut bad = snap.clone();
+        bad[4] = 9;
+        assert_eq!(
+            decode_snapshot(&bad).unwrap_err(),
+            SnapshotDecodeError::UnsupportedVersion(9)
+        );
+        let mut bad = snap.clone();
+        bad[5] = 5;
+        assert_eq!(
+            decode_snapshot(&bad).unwrap_err(),
+            SnapshotDecodeError::UnknownAlgorithm(5)
+        );
+        let mut bad = snap.clone();
+        bad[7] = 0;
+        assert_eq!(
+            decode_snapshot(&bad).unwrap_err(),
+            SnapshotDecodeError::BadPairCount(0)
+        );
+        let mut bad = snap.clone();
+        bad[16] = 0;
+        bad[17] = 0;
+        assert_eq!(
+            decode_snapshot(&bad).unwrap_err(),
+            SnapshotDecodeError::ZeroLfsrState
+        );
+        // Buffered byte of the encrypt cursor out of range.
+        let mut bad = snap;
+        bad[26] = 16;
+        assert!(matches!(
+            decode_snapshot(&bad),
+            Err(SnapshotDecodeError::Cursor(
+                CursorDecodeError::InvalidBuffered(16)
+            ))
+        ));
+    }
+}

@@ -31,10 +31,13 @@
 //!   an explicit [`StreamCursor`], so multi-message traffic keeps both
 //!   endpoints' key schedules in lockstep.
 //! * [`pipeline`] — chunk planning, per-chunk seed derivation and the
-//!   scoped-thread parallel map behind the chunked container.
+//!   persistent [`pipeline::WorkerPool`] every parallel path submits to.
 //! * [`container`] — a self-describing byte format so decryption knows the
 //!   message length, profile and key fingerprint; v2 frames the payload
 //!   into independently-seeded chunks that seal and open in parallel.
+//! * [`gateway`] — a sharded [`StreamMux`] owning thousands of concurrent
+//!   sessions keyed by [`StreamId`], with batched encrypt/seal APIs and
+//!   evictable, bit-exact-resumable stream snapshots.
 //! * [`stats`] — expected span width, expansion factor and throughput
 //!   accounting used by the paper's evaluation.
 //!
@@ -58,6 +61,7 @@
 pub mod block;
 pub mod container;
 pub mod engine;
+pub mod gateway;
 pub mod key;
 pub mod pipeline;
 pub mod session;
@@ -65,8 +69,9 @@ pub mod source;
 pub mod stats;
 
 pub use engine::{Decryptor, Encryptor, Profile};
+pub use gateway::{StreamConfig, StreamId, StreamMux};
 pub use key::{Key, KeyError, KeyPair};
-pub use session::{DecryptSession, EncryptSession, StreamCursor};
+pub use session::{CursorDecodeError, DecryptSession, EncryptSession, StreamCursor};
 pub use source::{CoverSource, LfsrSource, RngSource, VectorSource};
 
 /// Which cipher variant to run.

@@ -1,14 +1,25 @@
-//! Chunk-parallel plumbing for batched, multi-threaded traffic.
+//! Chunk planning and the persistent worker pool behind all parallel paths.
 //!
 //! Large payloads are split into fixed-size chunks, each encrypted by an
 //! independent [`crate::session::EncryptSession`] whose LFSR seed is
 //! derived from a master seed and the chunk number. Chunks share no state,
-//! so they seal and open in parallel across OS threads — the same
-//! batching-for-bandwidth move FPGA cipher pipelines make, mapped onto
-//! `std::thread::scope`. The container v2 format
-//! ([`crate::container::seal_v2`]) is the on-wire form of this plan.
+//! so they seal and open in parallel — the same batching-for-bandwidth
+//! move FPGA cipher pipelines make. The container v2 format
+//! ([`crate::container::seal_v2`]) is the on-wire form of this plan, and
+//! the multi-stream gateway ([`crate::gateway`]) runs its batches over the
+//! same substrate.
+//!
+//! Threads are **not** spawned per call. A [`WorkerPool`] spawns its
+//! workers once, accepts jobs over a channel, and shuts down gracefully on
+//! drop; [`WorkerPool::global`] is the process-wide instance the container
+//! layer and the gateway share. [`parallel_map`] is the order-preserving
+//! fan-out primitive built on top of it.
 
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
 /// Default chunk size for [`crate::container::SealV2Options`]: 64 KiB.
 pub const DEFAULT_CHUNK_BYTES: usize = 64 * 1024;
@@ -62,9 +73,17 @@ pub fn chunk_ranges(total: usize, chunk_bytes: usize) -> Vec<std::ops::Range<usi
         .collect()
 }
 
-/// Resolves a requested worker count: `0` means "ask the OS"
-/// ([`std::thread::available_parallelism`]), anything else is taken
-/// literally, and the count never exceeds the number of jobs.
+/// Resolves a requested worker count against a known job count.
+///
+/// * `requested == 0` means "ask the OS"
+///   ([`std::thread::available_parallelism`]).
+/// * The result never exceeds the number of jobs — extra workers would
+///   only idle — and is always at least `1`, including the degenerate
+///   `jobs == 0` and `requested == 0, jobs == 0` corners (a map over zero
+///   items still needs a well-defined width for its inline path).
+///
+/// For sizing a pool whose job count is unknown at construction, pass
+/// `usize::MAX` as `jobs` (what [`WorkerPool::new`] does).
 pub fn resolve_workers(requested: usize, jobs: usize) -> usize {
     let hw = || {
         std::thread::available_parallelism()
@@ -75,64 +94,244 @@ pub fn resolve_workers(requested: usize, jobs: usize) -> usize {
     want.clamp(1, jobs.max(1))
 }
 
-/// Maps `f` over `items` on `workers` scoped threads, preserving order.
+/// A unit of pool work: boxed, owned, run-once.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+std::thread_local! {
+    /// Set inside pool worker threads so nested fan-outs degrade to the
+    /// inline path instead of submitting to (and then blocking on) the
+    /// pool they are already running inside — the classic fixed-size-pool
+    /// self-deadlock.
+    static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// A persistent pool of worker threads fed over a channel.
 ///
-/// Items are dealt to workers in contiguous shards; each worker returns
-/// its shard's results and the shards are re-concatenated, so the output
-/// index matches the input index. `f` receives `(index, item)`.
+/// Workers are spawned exactly once, at construction, and live until the
+/// pool is dropped (or [`WorkerPool::shutdown`] is called): submitting a
+/// batch costs channel sends, not thread spawns. The container layer
+/// ([`crate::container::seal_v2`]/[`crate::container::open_v2`]) and the
+/// stream gateway ([`crate::gateway::StreamMux`]) both run on the shared
+/// [`WorkerPool::global`] instance.
 ///
-/// # Panics
+/// A job that panics does not kill its worker: the panic is caught, the
+/// worker keeps draining the queue, and map-style entry points re-raise
+/// the payload on the submitting thread.
 ///
-/// Propagates a panic from any worker.
-pub fn parallel_map<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
-where
-    T: Send,
-    U: Send,
-    F: Fn(usize, T) -> U + Sync,
-{
-    let jobs = items.len();
-    let workers = resolve_workers(workers, jobs);
-    if workers <= 1 || jobs <= 1 {
-        return items
-            .into_iter()
-            .enumerate()
-            .map(|(i, t)| f(i, t))
+/// # Examples
+///
+/// ```
+/// use mhhea::pipeline::WorkerPool;
+///
+/// let pool = WorkerPool::new(2);
+/// let squares = pool.map((0u64..64).collect(), 2, |_, x| x * x);
+/// assert_eq!(squares[7], 49);
+/// pool.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct WorkerPool {
+    /// `None` only during shutdown (dropping the sender is what releases
+    /// the workers from `recv`).
+    injector: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `resolve_workers(requested, usize::MAX)` threads
+    /// (`0` asks the OS).
+    pub fn new(requested: usize) -> Self {
+        let workers = resolve_workers(requested, usize::MAX);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("mhhea-pool-{i}"))
+                    .spawn(move || Self::worker_loop(&rx))
+                    .expect("spawn pool worker")
+            })
             .collect();
-    }
-    let shard_len = jobs.div_ceil(workers);
-    // Hand each worker a contiguous (start index, shard) pair.
-    let mut shards: Vec<(usize, Vec<T>)> = Vec::with_capacity(workers);
-    let mut items = items.into_iter();
-    let mut start = 0;
-    loop {
-        let shard: Vec<T> = items.by_ref().take(shard_len).collect();
-        if shard.is_empty() {
-            break;
+        WorkerPool {
+            injector: Some(tx),
+            handles,
+            workers,
         }
-        let len = shard.len();
-        shards.push((start, shard));
-        start += len;
     }
-    let f = &f;
-    let mut out: Vec<Vec<U>> = Vec::with_capacity(shards.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .into_iter()
-            .map(|(base, shard)| {
-                scope.spawn(move || {
+
+    fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+        IN_POOL_WORKER.with(|f| f.set(true));
+        loop {
+            // Hold the lock only for the dequeue, never while running.
+            let job = match rx.lock() {
+                Ok(guard) => guard.recv(),
+                Err(_) => break, // a peer panicked holding the lock
+            };
+            match job {
+                // The job's own panic is contained here; map() re-raises
+                // it on the submitting thread via the result channel.
+                Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
+                Err(_) => break, // injector dropped: graceful shutdown
+            }
+        }
+    }
+
+    /// The process-wide shared pool (sized by the OS; created on first
+    /// use, never torn down — process exit reaps the threads).
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| WorkerPool::new(0))
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Submits one fire-and-forget job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a pool mid-shutdown (impossible through the
+    /// public API: `shutdown` consumes the pool).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.injector
+            .as_ref()
+            .expect("pool is shut down")
+            .send(Box::new(job))
+            .expect("pool workers exited early");
+    }
+
+    /// Maps `f` over `items` with at most `max_parallel` jobs in flight,
+    /// preserving order (`0` asks the OS). The submitting thread processes
+    /// the first shard itself, so a single-shard map never touches the
+    /// queue, and calls from *inside* a pool worker run entirely inline
+    /// rather than deadlocking the pool.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from `f` on the calling thread.
+    pub fn map<T, U, F>(&self, items: Vec<T>, max_parallel: usize, f: F) -> Vec<U>
+    where
+        T: Send + 'static,
+        U: Send + 'static,
+        F: Fn(usize, T) -> U + Send + Sync + 'static,
+    {
+        let jobs = items.len();
+        let workers = resolve_workers(max_parallel, jobs).min(self.workers + 1);
+        let inline = workers <= 1 || jobs <= 1 || IN_POOL_WORKER.with(std::cell::Cell::get);
+        if inline {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect();
+        }
+
+        // Deal contiguous shards; shard 0 stays on this thread.
+        let shard_len = jobs.div_ceil(workers);
+        let mut shards: Vec<(usize, Vec<T>)> = Vec::with_capacity(workers);
+        let mut items = items.into_iter();
+        let mut start = 0;
+        loop {
+            let shard: Vec<T> = items.by_ref().take(shard_len).collect();
+            if shard.is_empty() {
+                break;
+            }
+            let len = shard.len();
+            shards.push((start, shard));
+            start += len;
+        }
+
+        let f = Arc::new(f);
+        type ShardResult<U> = (usize, std::thread::Result<Vec<U>>);
+        let (tx, rx) = channel::<ShardResult<U>>();
+        let mut shards = shards.into_iter();
+        let (base0, shard0) = shards.next().expect("jobs > 1 implies a shard");
+        let submitted = shards.len();
+        for (slot, (base, shard)) in shards.enumerate() {
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            self.execute(move || {
+                let out = catch_unwind(AssertUnwindSafe(|| {
                     shard
                         .into_iter()
                         .enumerate()
                         .map(|(i, t)| f(base + i, t))
                         .collect::<Vec<U>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            out.push(h.join().expect("pipeline worker panicked"));
+                }));
+                // A dead receiver means the submitter already panicked;
+                // nothing useful to do with the result either way.
+                let _ = tx.send((slot, out));
+            });
         }
-    });
-    out.into_iter().flatten().collect()
+        drop(tx);
+
+        let first: Vec<U> = shard0
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(base0 + i, t))
+            .collect();
+
+        let mut collected: Vec<Option<Vec<U>>> = (0..submitted).map(|_| None).collect();
+        let mut panic_payload = None;
+        for _ in 0..submitted {
+            let (slot, out) = rx.recv().expect("pool worker vanished mid-batch");
+            match out {
+                Ok(v) => collected[slot] = Some(v),
+                Err(p) => panic_payload = Some(p),
+            }
+        }
+        if let Some(p) = panic_payload {
+            resume_unwind(p);
+        }
+        let mut out = first;
+        for shard in collected {
+            out.extend(shard.expect("all non-panicked shards reported"));
+        }
+        out
+    }
+
+    /// Joins every worker after draining queued jobs (dropping the pool
+    /// does the same; this form surfaces the join explicitly).
+    pub fn shutdown(mut self) {
+        self.join_workers();
+    }
+
+    fn join_workers(&mut self) {
+        self.injector = None; // release recv() in every worker
+        for h in self.handles.drain(..) {
+            // A worker that somehow died still lets the rest join.
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.join_workers();
+    }
+}
+
+/// Maps `f` over `items` on the shared [`WorkerPool::global`] pool with at
+/// most `workers` jobs in flight (`0` asks the OS), preserving order.
+///
+/// `f` receives `(index, item)`. Order is preserved: output index matches
+/// input index. Both closures and items must be `'static` — the pool's
+/// workers outlive any one call, so jobs own their data (clone or `Arc`
+/// what you need inside).
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` on the calling thread.
+pub fn parallel_map<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
+where
+    T: Send + 'static,
+    U: Send + 'static,
+    F: Fn(usize, T) -> U + Send + Sync + 'static,
+{
+    WorkerPool::global().map(items, workers, f)
 }
 
 #[cfg(test)]
@@ -180,10 +379,20 @@ mod tests {
 
     #[test]
     fn workers_resolve_sanely() {
+        // Explicit request, plenty of jobs: taken literally.
         assert_eq!(resolve_workers(4, 100), 4);
+        // More workers than jobs: capped at the job count.
         assert_eq!(resolve_workers(8, 3), 3);
+        assert_eq!(resolve_workers(2, 1), 1);
+        // Zero jobs never yields zero workers.
         assert_eq!(resolve_workers(3, 0), 1);
+        assert_eq!(resolve_workers(0, 0), 1);
+        // "Ask the OS" is at least one and still job-capped.
         assert!(resolve_workers(0, 64) >= 1);
+        assert_eq!(resolve_workers(0, 1), 1);
+        // Pool sizing with unknown job count passes usize::MAX through.
+        assert_eq!(resolve_workers(5, usize::MAX), 5);
+        assert!(resolve_workers(0, usize::MAX) >= 1);
     }
 
     #[test]
@@ -206,5 +415,72 @@ mod tests {
             Vec::<u8>::new()
         );
         assert_eq!(parallel_map(vec![9u8], 4, |_, x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn pool_survives_many_batches() {
+        // The point of the pool: repeated batches reuse the same threads.
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        for round in 0..50u64 {
+            let got = pool.map((0..32u64).collect(), 3, move |_, x| x + round);
+            assert_eq!(got, (0..32u64).map(|x| x + round).collect::<Vec<_>>());
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pool_map_panic_propagates_and_pool_stays_usable() {
+        let pool = Arc::new(WorkerPool::new(2));
+        let p2 = Arc::clone(&pool);
+        let boom = std::thread::spawn(move || {
+            p2.map((0..16u32).collect(), 2, |_, x| {
+                assert!(x != 13, "unlucky");
+                x
+            })
+        })
+        .join();
+        assert!(boom.is_err(), "panic must propagate to the submitter");
+        // The worker that caught the panic is still alive and serving.
+        let ok = pool.map((0..16u32).collect(), 2, |_, x| x * 2);
+        assert_eq!(ok[13], 26);
+    }
+
+    #[test]
+    fn nested_map_runs_inline_instead_of_deadlocking() {
+        // A job that itself fans out must not block on its own pool.
+        let pool = Arc::new(WorkerPool::new(2));
+        let outer = pool.map((0..4u32).collect(), 2, |_, x| {
+            let inner: Vec<u32> = parallel_map((0..8u32).collect(), 4, move |_, y| y + x);
+            inner.iter().sum::<u32>()
+        });
+        assert_eq!(outer, vec![28, 36, 44, 52]);
+    }
+
+    #[test]
+    fn execute_runs_detached_jobs() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = channel();
+        for i in 0..8u32 {
+            let tx = tx.clone();
+            pool.execute(move || tx.send(i * i).unwrap());
+        }
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let pool = WorkerPool::new(1);
+        let (tx, rx) = channel();
+        for i in 0..16u32 {
+            let tx = tx.clone();
+            pool.execute(move || tx.send(i).unwrap());
+        }
+        drop(tx);
+        pool.shutdown(); // joins only after the queue is drained
+        assert_eq!(rx.iter().count(), 16);
     }
 }

@@ -45,10 +45,77 @@ pub struct StreamCursor {
     pub buffered: u8,
 }
 
+/// Why a [`StreamCursor::from_bytes`] round-trip was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CursorDecodeError {
+    /// The byte slice is not exactly [`StreamCursor::ENCODED_LEN`] long.
+    WrongLength {
+        /// Bytes supplied.
+        have: usize,
+    },
+    /// The buffered-bit count is outside `0..16`.
+    InvalidBuffered(u8),
+}
+
+impl core::fmt::Display for CursorDecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CursorDecodeError::WrongLength { have } => write!(
+                f,
+                "cursor snapshot must be {} bytes, got {have}",
+                StreamCursor::ENCODED_LEN
+            ),
+            CursorDecodeError::InvalidBuffered(b) => {
+                write!(f, "buffered bit count {b} out of range (0..16)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CursorDecodeError {}
+
 impl StreamCursor {
+    /// Size of the serialized form: `block_index` (8 bytes, little-endian)
+    /// followed by `buffered` (1 byte).
+    pub const ENCODED_LEN: usize = 9;
+
     /// The origin of a fresh stream.
     pub fn start() -> Self {
         StreamCursor::default()
+    }
+
+    /// Serializes the cursor (the byte format documented on
+    /// [`StreamCursor::ENCODED_LEN`]); [`StreamCursor::from_bytes`]
+    /// inverts it. This is what lets a gateway evict an idle stream and
+    /// resume it later bit-exactly — the software analogue of context
+    /// switching the hardware core.
+    pub fn to_bytes(self) -> [u8; StreamCursor::ENCODED_LEN] {
+        let mut out = [0u8; StreamCursor::ENCODED_LEN];
+        out[0..8].copy_from_slice(&self.block_index.to_le_bytes());
+        out[8] = self.buffered;
+        out
+    }
+
+    /// Deserializes a cursor written by [`StreamCursor::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects a slice of the wrong length or a buffered-bit count outside
+    /// `0..16` (no 16-bit alignment buffer can hold 16 leftover bits).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CursorDecodeError> {
+        if bytes.len() != StreamCursor::ENCODED_LEN {
+            return Err(CursorDecodeError::WrongLength { have: bytes.len() });
+        }
+        let block_index = u64::from_le_bytes(bytes[0..8].try_into().expect("sized"));
+        let buffered = bytes[8];
+        if buffered >= 16 {
+            return Err(CursorDecodeError::InvalidBuffered(buffered));
+        }
+        Ok(StreamCursor {
+            block_index,
+            buffered,
+        })
     }
 }
 
@@ -136,6 +203,21 @@ impl<S: VectorSource> EncryptSession<S> {
     /// vector source (used by the single-shot [`crate::Encryptor`]).
     pub fn rewind(&mut self) {
         self.cursor = StreamCursor::start();
+    }
+
+    /// Moves the session to an explicit stream position (restoring an
+    /// evicted stream from a [`StreamCursor::to_bytes`] snapshot). The
+    /// caller is responsible for the vector source being at the matching
+    /// position — for an LFSR source, reconstruct it from the snapshotted
+    /// state.
+    pub fn set_cursor(&mut self, cursor: StreamCursor) {
+        self.cursor = cursor;
+    }
+
+    /// The hiding-vector source (read access: e.g. snapshotting
+    /// [`crate::LfsrSource::state`] before evicting the stream).
+    pub fn source(&self) -> &S {
+        &self.source
     }
 
     fn next_vector(&mut self) -> Result<u16, MhheaError> {
@@ -283,6 +365,12 @@ impl DecryptSession {
     /// [`crate::Decryptor`]).
     pub fn rewind(&mut self) {
         self.cursor = StreamCursor::start();
+    }
+
+    /// Moves the session to an explicit stream position (restoring an
+    /// evicted stream from a [`StreamCursor::to_bytes`] snapshot).
+    pub fn set_cursor(&mut self, cursor: StreamCursor) {
+        self.cursor = cursor;
     }
 
     /// Recovers `bit_len` message bits from one message's cipher blocks,

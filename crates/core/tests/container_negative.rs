@@ -1,0 +1,259 @@
+//! Negative-path container tests: every malformed byte stream must come
+//! back as a typed [`ContainerError`] — never a panic, never a huge
+//! allocation, never garbage plaintext.
+//!
+//! The table covers the attacker-reachable corruptions: truncation at
+//! every structurally interesting boundary, unknown tags, header fields
+//! inflated past what the byte stream can hold, and cross-version
+//! confusion (v1 bytes fed to the v2-only entry point).
+
+use mhhea::container::{
+    open, open_v2, parse_header_v2, seal, seal_v2, ContainerError, SealOptions, SealV2Options,
+    HEADER_V2_LEN,
+};
+use mhhea::{Key, MhheaError, Profile};
+
+fn key() -> Key {
+    Key::from_nibbles(&[(0, 3), (2, 5), (1, 7)]).unwrap()
+}
+
+fn sealed_v1() -> Vec<u8> {
+    seal(
+        &key(),
+        b"negative-path corpus message",
+        &SealOptions::default(),
+    )
+    .unwrap()
+}
+
+fn sealed_v2() -> Vec<u8> {
+    let opts = SealV2Options {
+        chunk_bytes: 8,
+        workers: 1,
+        ..Default::default()
+    };
+    seal_v2(&key(), b"negative-path corpus message", &opts).unwrap()
+}
+
+/// One corruption case: a name, a mutation of valid container bytes, and
+/// the predicate the typed error must satisfy.
+struct Case {
+    name: &'static str,
+    bytes: Vec<u8>,
+    expect: fn(&ContainerError) -> bool,
+}
+
+#[test]
+fn corrupted_containers_fail_typed_not_panicking() {
+    let v1 = sealed_v1();
+    let v2 = sealed_v2();
+    assert_eq!(parse_header_v2(&v2).unwrap().chunk_count, 4); // 28 bytes / 8
+
+    let cases = vec![
+        Case {
+            name: "empty input",
+            bytes: Vec::new(),
+            expect: |e| matches!(e, ContainerError::Truncated { .. }),
+        },
+        Case {
+            name: "v1 header cut short",
+            bytes: v1[..10].to_vec(),
+            expect: |e| matches!(e, ContainerError::Truncated { .. }),
+        },
+        Case {
+            name: "v1 body cut short",
+            bytes: v1[..v1.len() - 1].to_vec(),
+            expect: |e| matches!(e, ContainerError::Truncated { .. }),
+        },
+        Case {
+            name: "v2 header cut short",
+            bytes: v2[..HEADER_V2_LEN - 1].to_vec(),
+            expect: |e| matches!(e, ContainerError::Truncated { .. }),
+        },
+        Case {
+            name: "v2 cut inside a chunk frame header",
+            bytes: v2[..HEADER_V2_LEN + 5].to_vec(),
+            expect: |e| matches!(e, ContainerError::Truncated { .. }),
+        },
+        Case {
+            name: "v2 cut inside a chunk body",
+            bytes: v2[..v2.len() - 3].to_vec(),
+            expect: |e| matches!(e, ContainerError::Truncated { .. }),
+        },
+        Case {
+            name: "unknown version byte",
+            bytes: {
+                let mut b = v1.clone();
+                b[4] = 9;
+                b
+            },
+            expect: |e| matches!(e, ContainerError::UnsupportedVersion(9)),
+        },
+        Case {
+            name: "version byte zero",
+            bytes: {
+                let mut b = v1.clone();
+                b[4] = 0;
+                b
+            },
+            expect: |e| matches!(e, ContainerError::UnsupportedVersion(0)),
+        },
+        Case {
+            name: "wrong magic",
+            bytes: {
+                let mut b = v2.clone();
+                b[0] = b'Z';
+                b
+            },
+            expect: |e| matches!(e, ContainerError::BadMagic),
+        },
+        Case {
+            name: "unknown algorithm tag",
+            bytes: {
+                let mut b = v2.clone();
+                b[5] = 0xFE;
+                b
+            },
+            expect: |e| matches!(e, ContainerError::UnknownAlgorithm(0xFE)),
+        },
+        Case {
+            name: "unknown profile tag",
+            bytes: {
+                let mut b = v2.clone();
+                b[6] = 0xFE;
+                b
+            },
+            expect: |e| matches!(e, ContainerError::UnknownProfile(0xFE)),
+        },
+        Case {
+            name: "chunk count inflated to u32::MAX (must not allocate)",
+            bytes: {
+                let mut b = v2.clone();
+                b[28..32].copy_from_slice(&u32::MAX.to_le_bytes());
+                b
+            },
+            expect: |e| matches!(e, ContainerError::Truncated { .. }),
+        },
+        Case {
+            name: "chunk block count inflated to u32::MAX (must not allocate)",
+            bytes: {
+                let mut b = v2.clone();
+                b[HEADER_V2_LEN + 8..HEADER_V2_LEN + 12].copy_from_slice(&u32::MAX.to_le_bytes());
+                b
+            },
+            expect: |e| matches!(e, ContainerError::Truncated { .. }),
+        },
+        Case {
+            name: "chunk bit length inflated (sum exceeds header total)",
+            bytes: {
+                let mut b = v2.clone();
+                b[HEADER_V2_LEN + 4..HEADER_V2_LEN + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+                b
+            },
+            expect: |e| matches!(e, ContainerError::ChunkFraming { .. }),
+        },
+        Case {
+            name: "chunk index out of order",
+            bytes: {
+                let mut b = v2.clone();
+                b[HEADER_V2_LEN] ^= 0x01;
+                b
+            },
+            expect: |e| matches!(e, ContainerError::ChunkFraming { .. }),
+        },
+        Case {
+            name: "total bit length in header does not match chunk sum",
+            bytes: {
+                let mut b = v2.clone();
+                b[16] ^= 0x01;
+                b
+            },
+            expect: |e| matches!(e, ContainerError::ChunkFraming { .. }),
+        },
+    ];
+
+    for case in cases {
+        let err = open(&key(), &case.bytes).expect_err(&format!("case `{}` must fail", case.name));
+        assert!(
+            (case.expect)(&err),
+            "case `{}`: unexpected error {err:?}",
+            case.name
+        );
+    }
+}
+
+/// `open_v2` is the v2-only entry point: v1 bytes must be rejected by
+/// version, not misparsed.
+#[test]
+fn v1_bytes_fed_to_open_v2_rejected() {
+    let v1 = sealed_v1();
+    assert_eq!(
+        open_v2(&key(), &v1),
+        Err(ContainerError::UnsupportedVersion(1))
+    );
+    // And the reverse stays covered: v2 bytes through the dispatching
+    // `open` succeed, so the rejection above is about version, not shape.
+    assert!(open(&key(), &sealed_v2()).is_ok());
+}
+
+/// Zero seeds are the LFSR's fixed point: both sealers refuse them with a
+/// typed engine error.
+#[test]
+fn zero_seeds_rejected_by_both_versions() {
+    let v1_opts = SealOptions {
+        lfsr_seed: 0,
+        ..Default::default()
+    };
+    assert_eq!(
+        seal(&key(), b"x", &v1_opts),
+        Err(ContainerError::Engine(MhheaError::InvalidSeed))
+    );
+    let v2_opts = SealV2Options {
+        master_seed: 0,
+        ..Default::default()
+    };
+    assert_eq!(
+        seal_v2(&key(), b"x", &v2_opts),
+        Err(ContainerError::Engine(MhheaError::InvalidSeed))
+    );
+}
+
+/// The unusable chunk sizes: zero, non-multiple-of-4 (the hardware
+/// profile consumes whole 32-bit words), and too large to frame.
+#[test]
+fn invalid_chunk_sizes_rejected() {
+    for chunk_bytes in [0usize, 2, 6, 10, (u32::MAX / 8) as usize + 4] {
+        let opts = SealV2Options {
+            chunk_bytes,
+            ..Default::default()
+        };
+        assert_eq!(
+            seal_v2(&key(), b"x", &opts),
+            Err(ContainerError::InvalidChunkSize { chunk_bytes }),
+            "chunk_bytes={chunk_bytes}"
+        );
+    }
+}
+
+/// Corruption in every single byte position of a small v2 container must
+/// produce either a typed error or a *wrong-looking* but sized output —
+/// never a panic. (A catch-all sweep on top of the targeted table.)
+#[test]
+fn byte_flip_sweep_never_panics() {
+    let sealed = {
+        let opts = SealV2Options {
+            chunk_bytes: 8,
+            workers: 1,
+            profile: Profile::HardwareFaithful,
+            ..Default::default()
+        };
+        seal_v2(&key(), b"sweep target", &opts).unwrap()
+    };
+    for pos in 0..sealed.len() {
+        let mut bad = sealed.clone();
+        bad[pos] ^= 0xA5;
+        // Any outcome but a panic is acceptable; opened-but-different is
+        // possible when the flip lands in block payload bits.
+        let _ = open(&key(), &bad);
+    }
+}

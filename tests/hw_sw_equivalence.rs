@@ -2,8 +2,9 @@
 //! and the software hardware-faithful engine produce identical ciphertext
 //! for identical inputs — across random keys and messages.
 
+use mhhea::session::{DecryptSession, EncryptSession};
 use mhhea::{Algorithm, Encryptor, Key, LfsrSource, Profile};
-use mhhea_hw::harness::{words_to_bytes, MhheaCoreSim, SerialHheaSim};
+use mhhea_hw::harness::{words_to_bytes, DecryptCoreSim, MhheaCoreSim, SerialHheaSim};
 use mhhea_hw::HW_LFSR_SEED;
 use proptest::prelude::*;
 
@@ -42,6 +43,100 @@ proptest! {
         let run = sim.encrypt_words(&key, &words).unwrap();
         prop_assert_eq!(run.blocks, sw_blocks(Algorithm::Hhea, &key, &words));
     }
+}
+
+proptest! {
+    // One gate-level run per case covers several messages, so a small
+    // case count still sweeps keys, message counts and message sizes.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Beyond single-shot messages: a random multi-message stream pushed
+    /// through one `EncryptSession` must match ONE uninterrupted run of
+    /// the gate-level core over the concatenated words, word for word —
+    /// the cursor is exactly the hardware's implicit stream position. The
+    /// matching `DecryptSession` opens every message at its cursor, and
+    /// the gate-level decrypt core inverts the whole stream.
+    #[test]
+    fn multi_message_session_stream_equals_hardware(
+        pairs in proptest::collection::vec((0u8..=7, 0u8..=7), 1..=16),
+        msgs in proptest::collection::vec(
+            proptest::collection::vec(any::<u32>(), 1..=2),
+            2..=3,
+        ),
+    ) {
+        let key = Key::from_nibbles(&pairs).unwrap();
+
+        // Session side: one stream, one encrypt call per message.
+        let mut enc = EncryptSession::new(
+            key.clone(),
+            LfsrSource::new(HW_LFSR_SEED).unwrap(),
+        )
+        .with_profile(Profile::HardwareFaithful);
+        let per_msg: Vec<Vec<u16>> = msgs
+            .iter()
+            .map(|words| enc.encrypt(&words_to_bytes(words)).unwrap())
+            .collect();
+        let stream_blocks: Vec<u16> = per_msg.concat();
+
+        // Hardware side: the same words as one continuous run.
+        let all_words: Vec<u32> = msgs.concat();
+        let core = mhhea_hw::core::build_mhhea_core();
+        let run = MhheaCoreSim::new(&core)
+            .unwrap()
+            .encrypt_words(&key, &all_words)
+            .unwrap();
+        prop_assert_eq!(&run.blocks, &stream_blocks);
+
+        // The decrypt session tracks the same cursor message by message.
+        let mut dec = DecryptSession::new(key.clone())
+            .with_profile(Profile::HardwareFaithful);
+        for (words, blocks) in msgs.iter().zip(&per_msg) {
+            prop_assert_eq!(
+                dec.decrypt(blocks, words.len() * 32).unwrap(),
+                words_to_bytes(words)
+            );
+        }
+        prop_assert_eq!(enc.cursor(), dec.cursor());
+
+        // And the gate-level decrypt core inverts the whole stream.
+        let halves: Vec<u16> = all_words
+            .iter()
+            .flat_map(|w| [*w as u16, (*w >> 16) as u16])
+            .collect();
+        let dec_core = mhhea_hw::decrypt::build_mhhea_decrypt_core();
+        let drun = DecryptCoreSim::new(&dec_core)
+            .unwrap()
+            .decrypt_blocks(&key, &stream_blocks)
+            .unwrap();
+        prop_assert_eq!(drun.halves, halves);
+    }
+}
+
+/// The serial HHEA core sees the same stream-vs-session identity on a
+/// fixed multi-message exchange (kept non-random: the bit-serial core is
+/// an order of magnitude slower to simulate).
+#[test]
+fn serial_core_matches_multi_message_session() {
+    let key = Key::from_nibbles(&[(0, 3), (2, 5), (7, 1), (4, 4), (6, 0)]).unwrap();
+    let msgs: [Vec<u32>; 3] = [
+        vec![0xABCD_1234],
+        vec![0x0000_FFFF, 0x8001_7FFE],
+        vec![0x5A5A_A5A5],
+    ];
+    let mut enc = EncryptSession::new(key.clone(), LfsrSource::new(HW_LFSR_SEED).unwrap())
+        .with_algorithm(Algorithm::Hhea)
+        .with_profile(Profile::HardwareFaithful);
+    let stream_blocks: Vec<u16> = msgs
+        .iter()
+        .flat_map(|words| enc.encrypt(&words_to_bytes(words)).unwrap())
+        .collect();
+    let all_words: Vec<u32> = msgs.concat();
+    let core = mhhea_hw::serial::build_serial_hhea_core();
+    let run = SerialHheaSim::new(&core)
+        .unwrap()
+        .encrypt_words(&key, &all_words)
+        .unwrap();
+    assert_eq!(run.blocks, stream_blocks);
 }
 
 #[test]

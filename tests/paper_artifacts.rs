@@ -141,6 +141,91 @@ fn table1_arithmetic() {
     }
 }
 
+mod golden {
+    //! Golden known-answer vectors: fixed key/seed/plaintext → committed
+    //! ciphertext, for both profiles and both container versions. A
+    //! refactor that changes one ciphertext byte fails here. Regenerate
+    //! (only for an *intended* format change) with
+    //! `cargo run --release -p mhhea_bench --bin golden_vectors`.
+
+    use mhhea::container::{open, seal, seal_v2, SealOptions, SealV2Options};
+    use mhhea::{Key, Profile};
+
+    // Mirrors the constants in the `golden_vectors` regeneration bin.
+    const GOLDEN_KEY: [(u8, u8); 4] = [(0, 3), (2, 5), (7, 1), (4, 4)];
+    const GOLDEN_SEED: u16 = 0xACE1;
+    const GOLDEN_PLAINTEXT: &[u8] = b"MHHEA golden known-answer vector";
+    const GOLDEN_CHUNK_BYTES: usize = 8;
+
+    fn decode_vector(text: &str) -> Vec<u8> {
+        let hex: String = text
+            .lines()
+            .filter(|l| !l.trim_start().starts_with('#'))
+            .collect::<Vec<_>>()
+            .concat();
+        assert!(hex.len().is_multiple_of(2), "odd hex digit count");
+        (0..hex.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).expect("hex digit"))
+            .collect()
+    }
+
+    fn golden_key() -> Key {
+        Key::from_nibbles(&GOLDEN_KEY).unwrap()
+    }
+
+    fn check(profile: Profile, v1_text: &str, v2_text: &str) {
+        let key = golden_key();
+        let want_v1 = decode_vector(v1_text);
+        let got_v1 = seal(
+            &key,
+            GOLDEN_PLAINTEXT,
+            &SealOptions {
+                profile,
+                lfsr_seed: GOLDEN_SEED,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(got_v1, want_v1, "v1 ciphertext drifted ({profile})");
+        assert_eq!(open(&key, &want_v1).unwrap(), GOLDEN_PLAINTEXT);
+
+        let want_v2 = decode_vector(v2_text);
+        let got_v2 = seal_v2(
+            &key,
+            GOLDEN_PLAINTEXT,
+            &SealV2Options {
+                profile,
+                master_seed: GOLDEN_SEED,
+                chunk_bytes: GOLDEN_CHUNK_BYTES,
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(got_v2, want_v2, "v2 ciphertext drifted ({profile})");
+        assert_eq!(open(&key, &want_v2).unwrap(), GOLDEN_PLAINTEXT);
+    }
+
+    #[test]
+    fn streaming_profile_vectors() {
+        check(
+            Profile::Streaming,
+            include_str!("vectors/v1_mhhea_streaming.hex"),
+            include_str!("vectors/v2_mhhea_streaming.hex"),
+        );
+    }
+
+    #[test]
+    fn hardware_profile_vectors() {
+        check(
+            Profile::HardwareFaithful,
+            include_str!("vectors/v1_mhhea_hw.hex"),
+            include_str!("vectors/v2_mhhea_hw.hex"),
+        );
+    }
+}
+
 /// The paper's design summary lists 57 bonded IOBs; our port list matches
 /// exactly, and the capacity columns match the XC2S100/TQ144 target.
 #[test]
