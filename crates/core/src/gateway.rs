@@ -288,6 +288,13 @@ pub enum GatewayError {
     Frame(FrameDecodeError),
     /// A stream snapshot failed to decode.
     Snapshot(SnapshotDecodeError),
+    /// [`StreamMux::evict_into`] could not write the snapshot to the
+    /// caller's sink. The stream was **not** removed: it is still open and
+    /// fully usable.
+    SnapshotSink {
+        /// The failed write's [`std::io::ErrorKind`].
+        kind: std::io::ErrorKind,
+    },
 }
 
 impl core::fmt::Display for GatewayError {
@@ -302,6 +309,9 @@ impl core::fmt::Display for GatewayError {
             GatewayError::Engine(e) => write!(f, "engine failure: {e}"),
             GatewayError::Frame(e) => write!(f, "frame decode: {e}"),
             GatewayError::Snapshot(e) => write!(f, "snapshot decode: {e}"),
+            GatewayError::SnapshotSink { kind } => {
+                write!(f, "snapshot sink write failed ({kind}); stream kept open")
+            }
         }
     }
 }
@@ -333,6 +343,36 @@ impl From<SnapshotDecodeError> for GatewayError {
     fn from(e: SnapshotDecodeError) -> Self {
         GatewayError::Snapshot(e)
     }
+}
+
+/// One unit of work in a [`StreamMux::submit_batch`] call: which half of
+/// the duplex stream to drive, and with what.
+///
+/// A transport serving live connections sees encrypts and decrypts
+/// interleaved in one tick; `submit_batch` lets it coalesce the whole
+/// mixed tick into a single pool submission instead of one
+/// [`StreamMux::encrypt_batch`] plus one [`StreamMux::decrypt_batch`]
+/// (which would also reorder operations on streams doing both).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamOp {
+    /// Encrypt the plaintext bytes on the stream's encrypt session.
+    Encrypt(Vec<u8>),
+    /// Decrypt cipher blocks on the stream's decrypt session.
+    Decrypt {
+        /// The message's cipher blocks.
+        blocks: Vec<u16>,
+        /// The message's plaintext bit length.
+        bit_len: usize,
+    },
+}
+
+/// The output of one [`StreamOp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamOutput {
+    /// Cipher blocks produced by [`StreamOp::Encrypt`].
+    Blocks(Vec<u16>),
+    /// Plaintext bytes recovered by [`StreamOp::Decrypt`].
+    Plain(Vec<u8>),
 }
 
 /// One duplex stream: an encrypt endpoint, a decrypt endpoint tracking the
@@ -680,6 +720,23 @@ impl StreamMux {
             .collect()
     }
 
+    /// Runs a mixed batch of encrypts and decrypts in one coalesced pool
+    /// submission. `results[i]` corresponds to `batch[i]`; a failing
+    /// stream fails only its own slots — shard-mates in the same batch are
+    /// untouched. Operations on the same stream (in either direction) keep
+    /// their batch order.
+    pub fn submit_batch(
+        &self,
+        batch: Vec<(StreamId, StreamOp)>,
+    ) -> Vec<Result<StreamOutput, GatewayError>> {
+        self.batch(batch, |s, _, op| match op {
+            StreamOp::Encrypt(msg) => Ok(StreamOutput::Blocks(s.enc.encrypt(&msg)?)),
+            StreamOp::Decrypt { blocks, bit_len } => {
+                Ok(StreamOutput::Plain(s.dec.decrypt(&blocks, bit_len)?))
+            }
+        })
+    }
+
     /// Single-frame convenience over [`StreamMux::open_batch`].
     ///
     /// # Errors
@@ -692,19 +749,70 @@ impl StreamMux {
         Ok((id, plain))
     }
 
+    /// Serialises a stream's full resume state **without** removing it
+    /// (format in the [module docs](crate::gateway); **contains the
+    /// key**). The stream keeps running; the snapshot is a point-in-time
+    /// checkpoint that [`StreamMux::restore`] accepts on any mux where the
+    /// id is free.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownStream`].
+    pub fn snapshot(&self, id: StreamId) -> Result<Vec<u8>, GatewayError> {
+        self.inner
+            .with_stream(id, |state| Ok(encode_snapshot(id, state)))
+    }
+
     /// Removes a stream and serialises its full resume state (format in
     /// the [module docs](crate::gateway); **contains the key**).
+    ///
+    /// Eviction is atomic: the snapshot is fully encoded *before* the
+    /// stream leaves the table, so no failure mode (including a panic in
+    /// the encoder) can discard live stream state without handing the
+    /// caller the bytes that resume it.
     ///
     /// # Errors
     ///
     /// [`GatewayError::UnknownStream`].
     pub fn evict(&self, id: StreamId) -> Result<Vec<u8>, GatewayError> {
-        let state = self.inner.shards[self.inner.shard_of(id)]
+        let mut shard = self.inner.shards[self.inner.shard_of(id)]
             .lock()
-            .expect("shard poisoned")
-            .remove(&id.0)
-            .ok_or(GatewayError::UnknownStream(id))?;
-        Ok(encode_snapshot(id, &state))
+            .expect("shard poisoned");
+        let state = shard.get(&id.0).ok_or(GatewayError::UnknownStream(id))?;
+        let snapshot = encode_snapshot(id, state);
+        shard.remove(&id.0);
+        Ok(snapshot)
+    }
+
+    /// Like [`StreamMux::evict`], but writes the snapshot straight into a
+    /// caller-supplied sink (a file, a socket, an append-only journal).
+    ///
+    /// The write happens under the stream's shard lock — nothing can
+    /// advance the stream between the state being serialised and the
+    /// stream being removed — and the stream is removed only after the
+    /// sink accepted every byte. If the sink fails midway the stream
+    /// **stays open and usable**; prefer a buffered or in-memory sink when
+    /// latency on the shard matters.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownStream`]; [`GatewayError::SnapshotSink`]
+    /// when the sink rejects the bytes (stream kept).
+    pub fn evict_into(
+        &self,
+        id: StreamId,
+        sink: &mut impl std::io::Write,
+    ) -> Result<(), GatewayError> {
+        let mut shard = self.inner.shards[self.inner.shard_of(id)]
+            .lock()
+            .expect("shard poisoned");
+        let state = shard.get(&id.0).ok_or(GatewayError::UnknownStream(id))?;
+        let snapshot = encode_snapshot(id, state);
+        sink.write_all(&snapshot)
+            .and_then(|()| sink.flush())
+            .map_err(|e| GatewayError::SnapshotSink { kind: e.kind() })?;
+        shard.remove(&id.0);
+        Ok(())
     }
 
     /// Resumes a stream from an [`StreamMux::evict`] snapshot, bit-exact:
@@ -946,6 +1054,153 @@ mod tests {
         assert_eq!(
             peer.cursor(StreamId(5)).unwrap().block_index,
             blocks.len() as u64
+        );
+    }
+
+    /// An `io::Write` sink that accepts `limit` bytes and then fails —
+    /// simulates a snapshot serialisation dying midway (disk full, broken
+    /// pipe) so the evict-atomicity regression test below can prove the
+    /// stream survives.
+    struct FailingWriter {
+        written: Vec<u8>,
+        limit: usize,
+    }
+
+    impl std::io::Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let room = self.limit.saturating_sub(self.written.len());
+            if room == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "sink full",
+                ));
+            }
+            let take = room.min(buf.len());
+            self.written.extend_from_slice(&buf[..take]);
+            Ok(take)
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Regression: a snapshot serialisation that fails midway must not
+    /// consume the stream — evict is atomic, the stream stays usable, and
+    /// a later evict still hands back the full state.
+    #[test]
+    fn failed_evict_keeps_stream_usable() {
+        let mux = StreamMux::with_shards(2);
+        mux.open(StreamId(11), StreamConfig::new(key())).unwrap();
+        mux.encrypt(StreamId(11), b"advance the cursor").unwrap();
+        let reference = mux.snapshot(StreamId(11)).unwrap();
+
+        // The sink dies after 10 bytes — mid-header.
+        let mut sink = FailingWriter {
+            written: Vec::new(),
+            limit: 10,
+        };
+        assert!(matches!(
+            mux.evict_into(StreamId(11), &mut sink),
+            Err(GatewayError::SnapshotSink { .. })
+        ));
+        // The stream is still open, at the same position, and usable.
+        assert!(mux.contains(StreamId(11)));
+        assert_eq!(mux.snapshot(StreamId(11)).unwrap(), reference);
+        mux.encrypt(StreamId(11), b"still alive").unwrap();
+
+        // A working sink evicts; the bytes match a plain evict's.
+        let mut ok_sink = FailingWriter {
+            written: Vec::new(),
+            limit: usize::MAX,
+        };
+        mux.evict_into(StreamId(11), &mut ok_sink).unwrap();
+        assert!(!mux.contains(StreamId(11)));
+        let restored = StreamMux::with_shards(4);
+        assert_eq!(restored.restore(&ok_sink.written).unwrap(), StreamId(11));
+    }
+
+    /// `snapshot` is a checkpoint, not an eviction: the stream keeps
+    /// running, and restoring the checkpoint elsewhere replays from that
+    /// exact point.
+    #[test]
+    fn snapshot_is_non_consuming_and_replayable() {
+        let mux = StreamMux::with_shards(2);
+        mux.open(StreamId(4), StreamConfig::new(key())).unwrap();
+        mux.encrypt(StreamId(4), b"before checkpoint").unwrap();
+        let checkpoint = mux.snapshot(StreamId(4)).unwrap();
+        assert!(mux.contains(StreamId(4)), "snapshot must not evict");
+
+        // Both the live stream and a replica restored from the checkpoint
+        // encrypt the next message identically.
+        let replica = StreamMux::with_shards(8);
+        replica.restore(&checkpoint).unwrap();
+        let live = mux.encrypt(StreamId(4), b"after checkpoint").unwrap();
+        let replayed = replica.encrypt(StreamId(4), b"after checkpoint").unwrap();
+        assert_eq!(live, replayed);
+    }
+
+    /// A mixed submit_batch drives both directions of the same stream in
+    /// batch order, and failures stay confined to their own slot.
+    #[test]
+    fn submit_batch_mixes_directions_and_confines_errors() {
+        let tx = StreamMux::with_shards(1); // one shard: all streams collide
+        let rx = StreamMux::with_shards(1);
+        for id in 0..3u64 {
+            let cfg = StreamConfig::new(key()).with_seed(0x0B0B + id as u16);
+            tx.open(StreamId(id), cfg.clone()).unwrap();
+            rx.open(StreamId(id), cfg).unwrap();
+        }
+        let msgs: Vec<Vec<u8>> = (0..3u64)
+            .map(|id| format!("duplex message {id}").into_bytes())
+            .collect();
+        let sealed = tx.encrypt_batch(
+            (0..3u64)
+                .map(|id| (StreamId(id), msgs[id as usize].clone()))
+                .collect(),
+        );
+        let blocks: Vec<Vec<u16>> = sealed.into_iter().map(Result::unwrap).collect();
+
+        // One batch: decrypt stream 0, fail stream 1 (truncated), decrypt
+        // stream 2, and encrypt a follow-up on stream 0 — all interleaved.
+        let batch = vec![
+            (
+                StreamId(0),
+                StreamOp::Decrypt {
+                    blocks: blocks[0].clone(),
+                    bit_len: msgs[0].len() * 8,
+                },
+            ),
+            (
+                StreamId(1),
+                StreamOp::Decrypt {
+                    blocks: blocks[1][..1].to_vec(),
+                    bit_len: msgs[1].len() * 8,
+                },
+            ),
+            (
+                StreamId(2),
+                StreamOp::Decrypt {
+                    blocks: blocks[2].clone(),
+                    bit_len: msgs[2].len() * 8,
+                },
+            ),
+            (StreamId(0), StreamOp::Encrypt(b"follow-up".to_vec())),
+        ];
+        let results = rx.submit_batch(batch);
+        assert_eq!(results[0], Ok(StreamOutput::Plain(msgs[0].clone())));
+        assert!(matches!(
+            results[1],
+            Err(GatewayError::Engine(MhheaError::CiphertextTruncated { .. }))
+        ));
+        assert_eq!(results[2], Ok(StreamOutput::Plain(msgs[2].clone())));
+        assert!(matches!(results[3], Ok(StreamOutput::Blocks(_))));
+        // The failed decrypt did not advance stream 1: the full blocks
+        // still open, bit-exactly.
+        assert_eq!(
+            rx.decrypt(StreamId(1), &blocks[1], msgs[1].len() * 8)
+                .unwrap(),
+            msgs[1]
         );
     }
 

@@ -123,6 +123,134 @@ fn seal_open_batch_with_errors_interleaved() {
     }
 }
 
+/// A poisoned slot inside `seal_batch` — an oversized message that is
+/// rejected before encryption — must fail only its own stream: shard-mates
+/// in the same batch stay bit-exact with a control mux that never saw the
+/// poison, and the poisoned stream itself is left untouched and usable.
+#[test]
+fn seal_batch_poison_leaves_shardmates_bit_exact() {
+    use mhhea::gateway::MAX_FRAME_MESSAGE_BYTES;
+    // One shard forces every stream into the same lock and the same
+    // sequential pool job as the poisoned one.
+    let victim = StreamMux::with_shards(1);
+    let control = StreamMux::with_shards(1);
+    for id in 0..6u64 {
+        let cfg = StreamConfig::new(key()).with_seed(0x3000 + id as u16);
+        victim.open(StreamId(id), cfg.clone()).unwrap();
+        control.open(StreamId(id), cfg).unwrap();
+    }
+
+    let clean: Vec<(StreamId, Vec<u8>)> = (0..6u64)
+        .filter(|id| *id != 3)
+        .map(|id| (StreamId(id), format!("healthy message {id}").into_bytes()))
+        .collect();
+    let mut poisoned = clean.clone();
+    // The rejection fires on the declared length; the buffer is never read.
+    poisoned.insert(3, (StreamId(3), vec![0u8; MAX_FRAME_MESSAGE_BYTES + 1]));
+
+    let control_frames = control.seal_batch(clean.clone());
+    let victim_frames = victim.seal_batch(poisoned);
+
+    assert!(matches!(
+        victim_frames[3],
+        Err(GatewayError::MessageTooLarge { .. })
+    ));
+    // Every healthy stream's wire frame is byte-identical to the control's.
+    let healthy = victim_frames
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 3)
+        .map(|(_, f)| f.unwrap());
+    for (got, want) in healthy.zip(control_frames.into_iter().map(Result::unwrap)) {
+        assert_eq!(got, want, "shard-mate diverged from control");
+    }
+    // The poisoned stream never advanced: it still encrypts from block 0.
+    assert_eq!(victim.cursor(StreamId(3)).unwrap().block_index, 0);
+    let after = victim.encrypt(StreamId(3), b"recovered").unwrap();
+    assert_eq!(after, control.encrypt(StreamId(3), b"recovered").unwrap());
+}
+
+/// The decrypt-side counterpart: a stream fed truncated ciphertext inside
+/// `decrypt_batch` fails alone — shard-mates' plaintexts are bit-exact and
+/// the poisoned stream's cursor is untouched (the full blocks still open).
+#[test]
+fn decrypt_batch_poison_leaves_shardmates_bit_exact() {
+    let (tx, rx) = duplex_pair(0..5, Profile::Streaming);
+    let (_, rx_control) = duplex_pair(0..5, Profile::Streaming);
+
+    let msgs: Vec<Vec<u8>> = (0..5u64)
+        .map(|id| format!("batch message for stream {id}").into_bytes())
+        .collect();
+    let sealed: Vec<Vec<u16>> = tx
+        .encrypt_batch(
+            (0..5u64)
+                .map(|id| (StreamId(id), msgs[id as usize].clone()))
+                .collect(),
+        )
+        .into_iter()
+        .map(Result::unwrap)
+        .collect();
+
+    let make_batch = |truncate: bool| -> Vec<(StreamId, (Vec<u16>, usize))> {
+        (0..5u64)
+            .map(|id| {
+                let mut blocks = sealed[id as usize].clone();
+                if truncate && id == 2 {
+                    blocks.truncate(1);
+                }
+                (StreamId(id), (blocks, msgs[id as usize].len() * 8))
+            })
+            .collect()
+    };
+
+    let control_out = rx_control.decrypt_batch(make_batch(false));
+    let victim_out = rx.decrypt_batch(make_batch(true));
+
+    assert!(matches!(
+        victim_out[2],
+        Err(GatewayError::Engine(
+            mhhea::MhheaError::CiphertextTruncated { .. }
+        ))
+    ));
+    for (i, (got, want)) in victim_out.iter().zip(&control_out).enumerate() {
+        if i != 2 {
+            assert_eq!(got, want, "stream {i} diverged");
+            assert_eq!(got.as_ref().unwrap(), &msgs[i]);
+        }
+    }
+    // The failed decrypt rolled back: the untruncated blocks still open
+    // on the same mux, bit-exactly.
+    assert_eq!(
+        rx.decrypt(StreamId(2), &sealed[2], msgs[2].len() * 8)
+            .unwrap(),
+        msgs[2]
+    );
+}
+
+/// Unknown stream ids inside a mixed `submit_batch` fail their own slots
+/// only, in both directions.
+#[test]
+fn submit_batch_unknown_streams_fail_alone() {
+    use mhhea::gateway::{StreamOp, StreamOutput};
+    let (tx, _) = duplex_pair(0..2, Profile::Streaming);
+    let results = tx.submit_batch(vec![
+        (StreamId(0), StreamOp::Encrypt(b"fine".to_vec())),
+        (StreamId(99), StreamOp::Encrypt(b"ghost".to_vec())),
+        (
+            StreamId(98),
+            StreamOp::Decrypt {
+                blocks: vec![0xABCD],
+                bit_len: 8,
+            },
+        ),
+        (StreamId(1), StreamOp::Encrypt(b"also fine".to_vec())),
+    ]);
+    assert!(matches!(results[0], Ok(StreamOutput::Blocks(_))));
+    assert_eq!(results[1], Err(GatewayError::UnknownStream(StreamId(99))));
+    assert_eq!(results[2], Err(GatewayError::UnknownStream(StreamId(98))));
+    assert!(matches!(results[3], Ok(StreamOutput::Blocks(_))));
+}
+
 /// The acceptance bar: the gateway sustains well over 1,000 concurrent
 /// streams, and every one of them round-trips through a batched
 /// seal/open cycle.

@@ -1,0 +1,437 @@
+//! A blocking MHNP client: open streams, seal/open messages, survive
+//! reconnects.
+//!
+//! The client is deliberately simple — one blocking socket, synchronous
+//! request/reply per call — with one concession to throughput:
+//! [`NetClient::seal_pipelined`] writes a whole batch of `Data` frames
+//! before reading any replies, letting the server coalesce them into a
+//! single gateway submission.
+//!
+//! Sequence numbers are managed internally: each stream counts its `Data`
+//! frames from 0 per session, mirroring the server's expectation. After a
+//! reconnect, [`NetClient::resume`] starts a fresh session (sequence 0
+//! again) on the restored cipher state.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::frame::{
+    self, decode_blocks, decode_error, encode_blocks, flags, ErrorCode, Frame, FrameError,
+    FrameKind, Hello,
+};
+
+/// A sealed message as it travels in a `Reply`: the plaintext bit length
+/// plus the cipher blocks (exactly what [`mhhea::DecryptSession::decrypt`]
+/// wants back).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sealed {
+    /// The plaintext's bit length.
+    pub bit_len: u32,
+    /// The cipher blocks.
+    pub blocks: Vec<u16>,
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// A socket-level failure (includes read timeouts).
+    Io(io::Error),
+    /// The server's bytes failed to decode as MHNP.
+    Frame(FrameError),
+    /// The server answered with an `Error` frame.
+    Server {
+        /// The machine-readable code (`None` for codes this client does
+        /// not know).
+        code: Option<ErrorCode>,
+        /// The human-readable detail string.
+        detail: String,
+    },
+    /// The server answered with a frame that does not match the pending
+    /// request.
+    UnexpectedFrame(String),
+    /// A local call referenced a stream this client has not opened.
+    StreamNotOpen(u64),
+    /// The server closed the connection.
+    Disconnected,
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket failure: {e}"),
+            ClientError::Frame(e) => write!(f, "undecodable server bytes: {e}"),
+            ClientError::Server { code, detail } => match code {
+                Some(code) => write!(f, "server rejected the request: {code}: {detail}"),
+                None => write!(f, "server rejected the request (unknown code): {detail}"),
+            },
+            ClientError::UnexpectedFrame(what) => write!(f, "unexpected server frame: {what}"),
+            ClientError::StreamNotOpen(id) => write!(f, "stream {id} is not open on this client"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl ClientError {
+    /// True when the server answered with the given error code — the
+    /// shape reconnect logic matches on (`NoSnapshot` while the server
+    /// has not yet noticed the old connection died, for example).
+    pub fn is_code(&self, want: ErrorCode) -> bool {
+        matches!(self, ClientError::Server { code: Some(c), .. } if *c == want)
+    }
+}
+
+/// A blocking MHNP connection.
+#[derive(Debug)]
+pub struct NetClient {
+    sock: TcpStream,
+    rbuf: Vec<u8>,
+    /// stream id → next `Data` sequence number for this session.
+    seqs: HashMap<u64, u64>,
+}
+
+impl NetClient {
+    /// Connects with a 10-second read timeout (a server bug surfaces as a
+    /// timeout error instead of a hang).
+    ///
+    /// # Errors
+    ///
+    /// Socket-level connect/configure failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<NetClient, ClientError> {
+        NetClient::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connects with an explicit read timeout (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// Socket-level connect/configure failures.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: impl Into<Option<Duration>>,
+    ) -> Result<NetClient, ClientError> {
+        let sock = TcpStream::connect(addr)?;
+        sock.set_nodelay(true)?;
+        sock.set_read_timeout(timeout.into())?;
+        Ok(NetClient {
+            sock,
+            rbuf: Vec::new(),
+            seqs: HashMap::new(),
+        })
+    }
+
+    /// Opens a fresh stream: sends [`Hello`], waits for the ack, and
+    /// returns the stream's **resume token**. Hold on to it (across
+    /// connections — it outlives this client): [`NetClient::resume`]
+    /// must present it to reclaim the stream after a disconnect.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::UnknownKeyId`],
+    /// [`ErrorCode::StreamExists`] or [`ErrorCode::BadHandshake`]; any
+    /// transport failure.
+    pub fn open_stream(&mut self, stream: u64, hello: Hello) -> Result<u64, ClientError> {
+        self.send_frame(&Frame::new(FrameKind::Hello, stream, 0).with_payload(hello.encode()))?;
+        let ack = self.expect(FrameKind::HelloAck, stream, 0)?;
+        let token = Self::ack_token(&ack)?;
+        self.seqs.insert(stream, 0);
+        Ok(token)
+    }
+
+    /// Resumes a previously evicted stream from the server's parked
+    /// snapshot, presenting the resume token its [`NetClient::open_stream`]
+    /// returned; cipher state continues bit-exactly, sequence numbers
+    /// restart at 0 for the new session.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NoSnapshot`] when the server holds no snapshot under
+    /// this (stream, token) pair — most often it has not yet noticed the
+    /// old connection died (retry), or the token is wrong;
+    /// [`ErrorCode::StreamExists`] when the stream is still open.
+    pub fn resume(&mut self, stream: u64, token: u64) -> Result<(), ClientError> {
+        self.send_frame(
+            &Frame::new(FrameKind::Resume, stream, 0).with_payload(token.to_le_bytes().to_vec()),
+        )?;
+        let ack = self.expect(FrameKind::HelloAck, stream, 0)?;
+        if ack.flags & flags::RESUMED == 0 {
+            return Err(ClientError::UnexpectedFrame(
+                "hello-ack without the resumed flag".into(),
+            ));
+        }
+        self.seqs.insert(stream, 0);
+        Ok(())
+    }
+
+    /// Like [`NetClient::resume`], but retries while the server answers
+    /// `NoSnapshot`/`StreamExists` — the window in which it has not yet
+    /// reaped the previous connection.
+    ///
+    /// # Errors
+    ///
+    /// The last server answer once `deadline` elapses; any transport
+    /// failure immediately.
+    pub fn resume_within(
+        &mut self,
+        stream: u64,
+        token: u64,
+        deadline: Duration,
+    ) -> Result<(), ClientError> {
+        let start = std::time::Instant::now();
+        loop {
+            match self.resume(stream, token) {
+                Err(e)
+                    if (e.is_code(ErrorCode::NoSnapshot) || e.is_code(ErrorCode::StreamExists))
+                        && start.elapsed() < deadline =>
+                {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Extracts the resume token from a `HelloAck` payload.
+    fn ack_token(ack: &Frame) -> Result<u64, ClientError> {
+        let bytes: [u8; 8] = ack.payload.as_slice().try_into().map_err(|_| {
+            ClientError::UnexpectedFrame("hello-ack without an 8-byte resume token".into())
+        })?;
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    /// Closes a stream on the server (its state is discarded, not
+    /// parked).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::UnknownStream`] when the stream is not open here.
+    pub fn bye(&mut self, stream: u64) -> Result<(), ClientError> {
+        if !self.seqs.contains_key(&stream) {
+            return Err(ClientError::StreamNotOpen(stream));
+        }
+        self.send_frame(&Frame::new(FrameKind::Bye, stream, 0))?;
+        self.expect(FrameKind::Bye, stream, 0)?;
+        self.seqs.remove(&stream);
+        Ok(())
+    }
+
+    /// Encrypts `message` on the server's encrypt session for `stream`.
+    ///
+    /// # Errors
+    ///
+    /// Stream/sequence/server failures as [`ClientError::Server`]; any
+    /// transport failure.
+    pub fn seal(&mut self, stream: u64, message: &[u8]) -> Result<Sealed, ClientError> {
+        let seq = self.next_seq(stream)?;
+        let mut bytes = Vec::with_capacity(frame::HEADER_LEN + message.len());
+        frame::encode_raw(&mut bytes, FrameKind::Data, 0, stream, seq, message);
+        self.sock.write_all(&bytes)?;
+        let reply = self.read_data_reply(stream, seq)?;
+        let (bit_len, blocks) = decode_blocks(&reply.payload)?;
+        Ok(Sealed { bit_len, blocks })
+    }
+
+    /// Decrypts cipher blocks on the server's decrypt session for
+    /// `stream`.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::seal`]; additionally [`ErrorCode::Engine`] for
+    /// truncated ciphertext (the sequence number is consumed, the stream
+    /// stays usable).
+    pub fn open(
+        &mut self,
+        stream: u64,
+        blocks: &[u16],
+        bit_len: u32,
+    ) -> Result<Vec<u8>, ClientError> {
+        let seq = self.next_seq(stream)?;
+        self.send_frame(
+            &Frame::new(FrameKind::Data, stream, seq)
+                .with_flags(flags::DIR_OPEN)
+                .with_payload(encode_blocks(bit_len, blocks)),
+        )?;
+        let reply = self.read_data_reply(stream, seq)?;
+        Ok(reply.payload)
+    }
+
+    /// Seals a whole batch with pipelining: every request frame is written
+    /// before any reply is read, so the server can coalesce the batch into
+    /// one gateway submission. Results come back in request order.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::StreamNotOpen`] before anything is sent if any batch
+    /// entry names an unopened stream. After the batch is sent, the first
+    /// per-item failure is returned — but the remaining replies are still
+    /// drained (the server answers every submitted frame in order), so the
+    /// connection and its other streams stay usable. Transport-level
+    /// failures (socket errors, undecodable frames, disconnect) abort the
+    /// drain: framing is already lost.
+    pub fn seal_pipelined(&mut self, batch: &[(u64, Vec<u8>)]) -> Result<Vec<Sealed>, ClientError> {
+        // Validate up front: a mid-encode failure would leave earlier
+        // streams' counters bumped for frames that were never sent.
+        for (stream, _) in batch {
+            if !self.seqs.contains_key(stream) {
+                return Err(ClientError::StreamNotOpen(*stream));
+            }
+        }
+        let mut bytes = Vec::new();
+        let mut expected: Vec<(u64, u64)> = Vec::with_capacity(batch.len());
+        for (stream, message) in batch {
+            let seq = self.next_seq(*stream)?;
+            frame::encode_raw(&mut bytes, FrameKind::Data, 0, *stream, seq, message);
+            expected.push((*stream, seq));
+        }
+        self.sock.write_all(&bytes)?;
+        let mut out = Vec::with_capacity(batch.len());
+        let mut first_err: Option<ClientError> = None;
+        for (stream, seq) in expected {
+            match self.read_data_reply(stream, seq) {
+                Ok(reply) if first_err.is_none() => match decode_blocks(&reply.payload) {
+                    Ok((bit_len, blocks)) => out.push(Sealed { bit_len, blocks }),
+                    Err(e) => first_err = Some(e.into()),
+                },
+                // Draining after a failure: the reply is discarded.
+                Ok(_) => {}
+                Err(e) => {
+                    let fatal = matches!(
+                        e,
+                        ClientError::Io(_)
+                            | ClientError::Frame(_)
+                            | ClientError::Disconnected
+                            | ClientError::UnexpectedFrame(_)
+                    );
+                    if fatal {
+                        // The transport failure supersedes any earlier
+                        // per-item error: the connection is NOT usable,
+                        // and a per-item error would claim it is.
+                        return Err(e);
+                    }
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// Sends one frame (public for protocol tests and custom tooling).
+    ///
+    /// # Errors
+    ///
+    /// Socket-level write failures.
+    pub fn send_frame(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        self.sock.write_all(&frame.encode())?;
+        Ok(())
+    }
+
+    /// Blocks until one complete frame arrives (public for protocol tests
+    /// and custom tooling).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Disconnected`] on EOF; decode failures as
+    /// [`ClientError::Frame`]; timeouts as [`ClientError::Io`].
+    pub fn recv_frame(&mut self) -> Result<Frame, ClientError> {
+        let mut scratch = [0u8; 16 << 10];
+        loop {
+            if let Some((frame, used)) = frame::decode(&self.rbuf)? {
+                self.rbuf.drain(..used);
+                return Ok(frame);
+            }
+            match self.sock.read(&mut scratch) {
+                Ok(0) => return Err(ClientError::Disconnected),
+                Ok(n) => self.rbuf.extend_from_slice(&scratch[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+
+    fn next_seq(&mut self, stream: u64) -> Result<u64, ClientError> {
+        let seq = self
+            .seqs
+            .get_mut(&stream)
+            .ok_or(ClientError::StreamNotOpen(stream))?;
+        let current = *seq;
+        // The server consumes the sequence number the moment it accepts
+        // the frame, before running the op — mirror that optimistically
+        // and roll back in read_data_reply for not-accepted rejections.
+        *seq = current + 1;
+        Ok(current)
+    }
+
+    /// Reads the reply for a `Data` request. On `BadSequence`/
+    /// `UnknownStream` (the server did not consume the sequence number)
+    /// the local counter is rolled back so the stream can continue. The
+    /// rollback only ever moves the counter *down* — when several
+    /// pipelined frames on one stream are all rejected, the counter lands
+    /// on the first (lowest) unconsumed sequence number, not the last.
+    fn read_data_reply(&mut self, stream: u64, seq: u64) -> Result<Frame, ClientError> {
+        match self.expect(FrameKind::Reply, stream, seq) {
+            Ok(frame) => Ok(frame),
+            Err(e) => {
+                if e.is_code(ErrorCode::BadSequence)
+                    || e.is_code(ErrorCode::UnknownStream)
+                    || e.is_code(ErrorCode::MessageTooLarge)
+                {
+                    if let Some(s) = self.seqs.get_mut(&stream) {
+                        *s = (*s).min(seq);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn expect(&mut self, kind: FrameKind, stream: u64, seq: u64) -> Result<Frame, ClientError> {
+        let frame = self.recv_frame()?;
+        if frame.kind == FrameKind::Error {
+            let (code, detail) = decode_error(&frame.payload);
+            return Err(ClientError::Server { code, detail });
+        }
+        if frame.kind != kind || frame.stream != stream || frame.seq != seq {
+            return Err(ClientError::UnexpectedFrame(format!(
+                "wanted {kind:?} for stream {stream} seq {seq}, got {:?} for stream {} seq {}",
+                frame.kind, frame.stream, frame.seq
+            )));
+        }
+        Ok(frame)
+    }
+
+    /// Stream ids currently open on this client.
+    pub fn open_streams(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.seqs.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}

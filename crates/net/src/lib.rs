@@ -1,0 +1,69 @@
+//! # mhhea-net — MHNP, a framed TCP transport for the MHHEA gateway
+//!
+//! The paper pitches MHHEA as an FPGA cipher *for data communication
+//! security*; this crate is the layer that actually communicates. It puts
+//! a length-prefixed, CRC-protected session protocol (**MHNP**) in front
+//! of the multi-stream gateway ([`mhhea::gateway::StreamMux`]), in the
+//! same front-end-before-the-accelerated-core shape
+//! hardware-acceleration-as-a-service systems use.
+//!
+//! * [`frame`] — the wire format: 32-byte header (version, kind, flags,
+//!   stream id, sequence number, payload length, CRC-32 over header +
+//!   payload) and the handshake/data/error payload codecs.
+//! * [`server`] — a non-blocking `std::net` TCP server: a readiness loop
+//!   multiplexes every connection, coalesces each tick's `Data` frames
+//!   (both directions, all connections) into one
+//!   [`mhhea::gateway::StreamMux::submit_batch`] call on the shared
+//!   worker pool, applies write-side backpressure, and on disconnect
+//!   parks each stream's `MHSS` snapshot so a reconnecting client resumes
+//!   bit-exactly.
+//! * [`client`] — a blocking client with per-stream sequence tracking and
+//!   a pipelined batch path.
+//! * [`crc`] — CRC-32 (IEEE), the per-frame integrity check.
+//!
+//! # A conversation in frames
+//!
+//! ```text
+//! client                                server
+//!   │ Hello(stream=7, key_id, seed) ──────▶ opens sessions for stream 7
+//!   │ ◀──────────── HelloAck(7, token)
+//!   │ Data(7, seq=0, plaintext) ──────────▶ encrypt on stream 7
+//!   │ ◀──────── Reply(7, seq=0, bit_len ∥ blocks)
+//!   │ Data(7, seq=1, OPEN, blocks) ───────▶ decrypt on stream 7
+//!   │ ◀──────── Reply(7, seq=1, plaintext)
+//!   ✕ (disconnect)                          evicts stream 7 → snapshot
+//!   │ (reconnect)
+//!   │ Resume(7, token) ───────────────────▶ restores from snapshot
+//!   │ ◀────── HelloAck(7, RESUMED, token)   cipher state continues
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use mhhea_net::client::NetClient;
+//! use mhhea_net::frame::Hello;
+//! use mhhea_net::server::{NetServer, ServerConfig};
+//! use mhhea::Key;
+//!
+//! let key = Key::from_nibbles(&[(0, 3), (2, 5)])?;
+//! let server = NetServer::spawn("127.0.0.1:0", ServerConfig::new([(1, key.clone())]))?;
+//!
+//! let mut client = NetClient::connect(server.addr())?;
+//! client.open_stream(7, Hello::new(1, 0xACE1))?;
+//! let sealed = client.seal(7, b"over the wire")?;
+//! let plain = client.open(7, &sealed.blocks, sealed.bit_len)?;
+//! assert_eq!(plain, b"over the wire");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod crc;
+pub mod frame;
+pub mod server;
+
+pub use client::{ClientError, NetClient, Sealed};
+pub use frame::{ErrorCode, Frame, FrameError, FrameKind, Hello};
+pub use server::{NetServer, ServerConfig, ServerHandle, ServerStats};

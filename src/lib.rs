@@ -15,6 +15,8 @@
 //!   time, report, floorplan).
 //! * [`mhhea`] — the cipher itself: keys, engines, container format,
 //!   statistics.
+//! * [`mhhea_net`] — MHNP, the framed TCP transport serving the stream
+//!   gateway to remote clients.
 //! * [`mhhea_hw`] — the gate-level micro-architectures (parallel MHHEA
 //!   and the serial HHEA baseline) with cycle-accurate harnesses.
 //! * [`mhhea_analysis`] — chosen-plaintext attacks, timing channels,
@@ -41,4 +43,5 @@ pub use lfsr;
 pub use mhhea;
 pub use mhhea_analysis;
 pub use mhhea_hw;
+pub use mhhea_net;
 pub use rtl;

@@ -74,9 +74,16 @@ impl ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
+        // Like real proptest, the PROPTEST_CASES environment variable
+        // overrides the default case count (CI's soak steps rely on it).
         // Real proptest defaults to 256; 64 keeps the full workspace test
         // suite fast while still exercising each property broadly.
-        ProptestConfig { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 
