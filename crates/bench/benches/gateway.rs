@@ -109,5 +109,59 @@ fn bench_gateway_duplex(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gateway_sweep, bench_gateway_duplex);
+/// Key-rotation churn: every batch rekeys all 1024 streams (one
+/// `StreamOp::Rekey` per stream riding the same per-shard jobs as the
+/// traffic) and then seals a message per stream — against the no-rotation
+/// batch as the baseline. The delta prices what an aggressive
+/// rotate-every-tick policy costs: span-table rebuild + LFSR reseed per
+/// stream.
+fn bench_gateway_rekey_churn(c: &mut Criterion) {
+    use mhhea::gateway::{StreamOp, StreamOutput};
+    use mhhea::KeyRing;
+    let key = mhhea_bench::report_key();
+    const STREAMS: u64 = 1024;
+    const MSG: usize = 256;
+    let mux = StreamMux::with_shards(64);
+    for id in 0..STREAMS {
+        let ring = KeyRing::single(key.clone(), 0x1000u16.wrapping_add(id as u16) | 1).unwrap();
+        mux.open(StreamId(id), StreamConfig::new(key.clone()).with_ring(ring))
+            .unwrap();
+    }
+    let traffic: Vec<(StreamId, StreamOp)> = (0..STREAMS)
+        .map(|id| (StreamId(id), StreamOp::Encrypt(message_for(id, MSG))))
+        .collect();
+    let mut group = c.benchmark_group("gateway_rekey_churn_1024x256B");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(STREAMS * MSG as u64));
+    let epoch = std::cell::Cell::new(0u32);
+    group.bench_function("rekey_all_then_seal", |b| {
+        b.iter(|| {
+            let e = epoch.get() + 1;
+            epoch.set(e);
+            let mut batch: Vec<(StreamId, StreamOp)> = (0..STREAMS)
+                .map(|id| (StreamId(id), StreamOp::Rekey { epoch: e }))
+                .collect();
+            batch.extend(traffic.iter().cloned());
+            let results = mux.submit_batch(batch);
+            assert!(results
+                .iter()
+                .take(STREAMS as usize)
+                .all(|r| matches!(r, Ok(StreamOutput::Rekeyed { .. }))));
+        })
+    });
+    group.bench_function("seal_only_baseline", |b| {
+        b.iter(|| {
+            let results = mux.submit_batch(traffic.clone());
+            assert!(results.iter().all(Result::is_ok));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gateway_sweep,
+    bench_gateway_duplex,
+    bench_gateway_rekey_churn
+);
 criterion_main!(benches);

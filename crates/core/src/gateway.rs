@@ -40,21 +40,32 @@
 //! ```
 //!
 //! Stream snapshot (little-endian; **contains key material** — protect it
-//! like the key itself):
+//! like the key itself). Version 2 is emitted; version 1 — the same
+//! layout truncated after the decrypt cursor plus the key pairs — is
+//! still restored (as epoch 0 with no keyring):
 //!
 //! ```text
 //! offset size field
 //! 0      4    magic  "MHSS"
-//! 4      1    version (1)
+//! 4      1    version (2; v1 accepted on restore)
 //! 5      1    algorithm (0 = HHEA, 1 = MHHEA)
 //! 6      1    profile   (0 = streaming, 1 = hardware-faithful)
-//! 7      1    key pair count P (1..=16)
+//! 7      1    current-key pair count P (1..=16)
 //! 8      8    stream id
 //! 16     2    LFSR state (nonzero)
 //! 18     9    encrypt cursor (StreamCursor::to_bytes)
 //! 27     9    decrypt cursor (StreamCursor::to_bytes)
-//! 36     P    key pairs, one byte each: left | right << 3
+//! ---- v1 continues: P key-pair bytes and ends ----
+//! 36     4    key epoch (u32)
+//! 40     2    keyring master seed (0 iff no keyring)
+//! 42     1    keyring key count R (0 = no keyring)
+//! 43     1    reserved (0)
+//! 44     P    current key pairs, one byte each: left | right << 3
+//! 44+P   —    R ring keys, each: 1-byte pair count Pᵢ ∥ Pᵢ pair bytes
 //! ```
+//!
+//! Carrying the epoch and the ring is what lets an evicted stream resume
+//! bit-exactly *across a key rotation* and keep rotating afterwards.
 //!
 //! # Examples
 //!
@@ -85,7 +96,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::key::{KeyError, MAX_PAIRS};
+use crate::key::{KeyError, KeyRing, MAX_PAIRS};
 use crate::pipeline::WorkerPool;
 use crate::session::{CursorDecodeError, DecryptSession, EncryptSession, StreamCursor};
 use crate::source::LfsrSource;
@@ -100,10 +111,17 @@ pub const FRAME_HEADER_LEN: usize = 24;
 
 /// Stream snapshot magic bytes.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"MHSS";
-/// Stream snapshot format version.
-pub const SNAPSHOT_VERSION: u8 = 1;
-/// Stream snapshot size before the trailing key pairs.
+/// Stream snapshot format version emitted by [`StreamMux::evict`] /
+/// [`StreamMux::snapshot`] (v2: carries the key epoch and the keyring).
+pub const SNAPSHOT_VERSION: u8 = 2;
+/// The legacy snapshot version (no epoch, no keyring);
+/// [`StreamMux::restore`] still accepts it.
+pub const SNAPSHOT_VERSION_V1: u8 = 1;
+/// Snapshot v1 header size (also the v1/v2 shared prefix: everything
+/// through the decrypt cursor).
 pub const SNAPSHOT_HEADER_LEN: usize = 36;
+/// Snapshot v2 header size (v1 prefix + epoch, master seed, ring count).
+pub const SNAPSHOT_V2_HEADER_LEN: usize = 44;
 
 /// Default shard count for [`StreamMux::new`].
 pub const DEFAULT_SHARDS: usize = 64;
@@ -135,17 +153,23 @@ pub struct StreamConfig {
     /// LFSR seed for the encrypt side's hiding vectors (nonzero; default
     /// `0xACE1`).
     pub seed: u16,
+    /// Epoch-numbered key material enabling [`StreamMux::rekey`] /
+    /// [`StreamOp::Rekey`] on this stream (default: none — the stream is
+    /// pinned to `key` for its whole life and any rekey fails with
+    /// [`GatewayError::NoKeyRing`]).
+    pub ring: Option<KeyRing>,
 }
 
 impl StreamConfig {
     /// A config with the defaults (MHHEA, streaming profile, seed
-    /// `0xACE1`).
+    /// `0xACE1`, no keyring).
     pub fn new(key: Key) -> Self {
         StreamConfig {
             key,
             algorithm: Algorithm::Mhhea,
             profile: Profile::Streaming,
             seed: 0xACE1,
+            ring: None,
         }
     }
 
@@ -167,6 +191,20 @@ impl StreamConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u16) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Attaches a [`KeyRing`] so the stream can rekey, **and** aligns the
+    /// opening materials with the ring's epoch 0: `key` becomes
+    /// [`KeyRing::key`]`(0)` and `seed` becomes [`KeyRing::seed`]`(0)`
+    /// (the master seed), so the stream's pre-rotation behaviour is
+    /// byte-identical to a plain `StreamConfig::new(ring.key(0))` with
+    /// that seed.
+    #[must_use]
+    pub fn with_ring(mut self, ring: KeyRing) -> Self {
+        self.key = ring.key(0).clone();
+        self.seed = ring.seed(0);
+        self.ring = Some(ring);
         self
     }
 }
@@ -228,6 +266,8 @@ pub enum SnapshotDecodeError {
     /// The snapshotted LFSR state is zero (the lattice fixed point — a
     /// live stream can never reach it).
     ZeroLfsrState,
+    /// A v2 snapshot carries a keyring whose master seed is zero.
+    ZeroRingSeed,
     /// A cursor field failed to decode.
     Cursor(CursorDecodeError),
     /// A key pair byte failed validation.
@@ -250,6 +290,9 @@ impl core::fmt::Display for SnapshotDecodeError {
                 write!(f, "key pair count {n} out of range (1..=16)")
             }
             SnapshotDecodeError::ZeroLfsrState => write!(f, "snapshotted LFSR state is zero"),
+            SnapshotDecodeError::ZeroRingSeed => {
+                write!(f, "snapshotted keyring master seed is zero")
+            }
             SnapshotDecodeError::Cursor(e) => write!(f, "cursor field: {e}"),
             SnapshotDecodeError::Key(e) => write!(f, "key field: {e}"),
         }
@@ -295,6 +338,18 @@ pub enum GatewayError {
         /// The failed write's [`std::io::ErrorKind`].
         kind: std::io::ErrorKind,
     },
+    /// A rekey was requested on a stream opened without a [`KeyRing`]
+    /// (see [`StreamConfig::with_ring`]). The stream is untouched.
+    NoKeyRing(StreamId),
+    /// A rekey named an epoch that is not strictly newer than the
+    /// stream's current one (a replayed or out-of-order rotation). The
+    /// stream is untouched.
+    StaleEpoch {
+        /// The stream's current epoch.
+        current: u32,
+        /// The rejected epoch.
+        requested: u32,
+    },
 }
 
 impl core::fmt::Display for GatewayError {
@@ -312,6 +367,13 @@ impl core::fmt::Display for GatewayError {
             GatewayError::SnapshotSink { kind } => {
                 write!(f, "snapshot sink write failed ({kind}); stream kept open")
             }
+            GatewayError::NoKeyRing(id) => {
+                write!(f, "stream {} was opened without a keyring", id.0)
+            }
+            GatewayError::StaleEpoch { current, requested } => write!(
+                f,
+                "rekey to epoch {requested} rejected: stream is already at epoch {current}"
+            ),
         }
     }
 }
@@ -364,6 +426,16 @@ pub enum StreamOp {
         /// The message's plaintext bit length.
         bit_len: usize,
     },
+    /// Rotate the stream (both directions, atomically) to a new
+    /// [`KeyRing`] epoch. Because rekeys ride the same per-shard
+    /// sequential jobs as encrypts and decrypts, a batch mixing all three
+    /// applies them to each stream *in batch order* — operations before
+    /// the rekey run under the old epoch, operations after it under the
+    /// new one — and a failed rekey is confined to its own slot.
+    Rekey {
+        /// The epoch to rotate to (must be strictly newer).
+        epoch: u32,
+    },
 }
 
 /// The output of one [`StreamOp`].
@@ -373,6 +445,11 @@ pub enum StreamOutput {
     Blocks(Vec<u16>),
     /// Plaintext bytes recovered by [`StreamOp::Decrypt`].
     Plain(Vec<u8>),
+    /// Acknowledges a [`StreamOp::Rekey`]: the stream now runs `epoch`.
+    Rekeyed {
+        /// The epoch the stream rotated to.
+        epoch: u32,
+    },
 }
 
 /// One duplex stream: an encrypt endpoint, a decrypt endpoint tracking the
@@ -384,6 +461,36 @@ struct StreamState {
     key: Key,
     algorithm: Algorithm,
     profile: Profile,
+    /// Present iff the stream can rekey.
+    ring: Option<KeyRing>,
+    /// Current key epoch (0 until the first rekey).
+    epoch: u32,
+}
+
+impl StreamState {
+    /// Rotates both sessions to `epoch` atomically: the epoch's key from
+    /// the ring, a fresh LFSR reseed on the encrypt side, both cursors
+    /// back at the stream origin.
+    fn rekey(&mut self, id: StreamId, epoch: u32) -> Result<u32, GatewayError> {
+        let ring = self.ring.as_ref().ok_or(GatewayError::NoKeyRing(id))?;
+        if epoch <= self.epoch {
+            return Err(GatewayError::StaleEpoch {
+                current: self.epoch,
+                requested: epoch,
+            });
+        }
+        let key = ring.key(epoch).clone();
+        let source = LfsrSource::new(ring.seed(epoch))
+            .map_err(|_| GatewayError::Engine(MhheaError::InvalidSeed))?;
+        // The epoch check above already passed, so neither session-level
+        // rekey can report a stale epoch; the two sessions always move
+        // together.
+        self.enc.rekey_with(key.clone(), source, epoch)?;
+        self.dec.rekey_with(key.clone(), epoch)?;
+        self.key = key;
+        self.epoch = epoch;
+        Ok(epoch)
+    }
 }
 
 type Shard = Mutex<HashMap<u64, StreamState>>;
@@ -529,6 +636,8 @@ impl StreamMux {
             key: config.key,
             algorithm: config.algorithm,
             profile: config.profile,
+            ring: config.ring,
+            epoch: 0,
         };
         self.insert(id, state)
     }
@@ -592,6 +701,31 @@ impl StreamMux {
     /// [`GatewayError::UnknownStream`].
     pub fn cursor(&self, id: StreamId) -> Result<StreamCursor, GatewayError> {
         self.inner.with_stream(id, |s| Ok(s.enc.cursor()))
+    }
+
+    /// The stream's current key epoch (0 until the first rekey).
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownStream`].
+    pub fn epoch(&self, id: StreamId) -> Result<u32, GatewayError> {
+        self.inner.with_stream(id, |s| Ok(s.epoch))
+    }
+
+    /// Rotates one stream (both directions, atomically) to a new
+    /// [`KeyRing`] epoch: the epoch's key, a fresh LFSR reseed derived
+    /// via [`KeyRing::seed`], both cursors back at the stream origin.
+    /// Returns the epoch now in force. Batched form:
+    /// [`StreamOp::Rekey`] through [`StreamMux::submit_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownStream`]; [`GatewayError::NoKeyRing`] when
+    /// the stream was opened without a ring; [`GatewayError::StaleEpoch`]
+    /// unless `epoch` is strictly newer than the stream's current epoch.
+    /// On every error the stream is untouched and fully usable.
+    pub fn rekey(&self, id: StreamId, epoch: u32) -> Result<u32, GatewayError> {
+        self.inner.with_stream(id, |s| s.rekey(id, epoch))
     }
 
     /// Runs `op` over a whole batch with one pool submission per busy
@@ -720,20 +854,45 @@ impl StreamMux {
             .collect()
     }
 
-    /// Runs a mixed batch of encrypts and decrypts in one coalesced pool
-    /// submission. `results[i]` corresponds to `batch[i]`; a failing
-    /// stream fails only its own slots — shard-mates in the same batch are
-    /// untouched. Operations on the same stream (in either direction) keep
-    /// their batch order.
+    /// Runs a mixed batch of encrypts, decrypts and key rotations in one
+    /// coalesced pool submission. `results[i]` corresponds to `batch[i]`;
+    /// a failing stream fails only its own slots — shard-mates in the
+    /// same batch are untouched. Operations on the same stream (in any
+    /// direction, including [`StreamOp::Rekey`]) keep their batch order,
+    /// so work before a rekey runs under the old epoch and work after it
+    /// under the new one.
+    ///
+    /// ```
+    /// use mhhea::gateway::{StreamConfig, StreamId, StreamMux, StreamOp, StreamOutput};
+    /// use mhhea::{Key, KeyRing};
+    ///
+    /// let ring = KeyRing::single(Key::from_nibbles(&[(0, 3), (2, 5)])?, 0xACE1)?;
+    /// let mux = StreamMux::new();
+    /// mux.open(StreamId(1), StreamConfig::new(ring.key(0).clone()).with_ring(ring))?;
+    ///
+    /// let results = mux.submit_batch(vec![
+    ///     (StreamId(1), StreamOp::Encrypt(b"old epoch".to_vec())),
+    ///     (StreamId(1), StreamOp::Rekey { epoch: 1 }),
+    ///     (StreamId(1), StreamOp::Encrypt(b"new epoch".to_vec())),
+    /// ]);
+    /// assert!(matches!(results[0], Ok(StreamOutput::Blocks(_))));
+    /// assert_eq!(results[1], Ok(StreamOutput::Rekeyed { epoch: 1 }));
+    /// assert!(matches!(results[2], Ok(StreamOutput::Blocks(_))));
+    /// assert_eq!(mux.epoch(StreamId(1))?, 1);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn submit_batch(
         &self,
         batch: Vec<(StreamId, StreamOp)>,
     ) -> Vec<Result<StreamOutput, GatewayError>> {
-        self.batch(batch, |s, _, op| match op {
+        self.batch(batch, |s, id, op| match op {
             StreamOp::Encrypt(msg) => Ok(StreamOutput::Blocks(s.enc.encrypt(&msg)?)),
             StreamOp::Decrypt { blocks, bit_len } => {
                 Ok(StreamOutput::Plain(s.dec.decrypt(&blocks, bit_len)?))
             }
+            StreamOp::Rekey { epoch } => Ok(StreamOutput::Rekeyed {
+                epoch: s.rekey(id, epoch)?,
+            }),
         })
     }
 
@@ -890,9 +1049,16 @@ fn profile_tag(profile: Profile) -> u8 {
     }
 }
 
+fn push_pairs(out: &mut Vec<u8>, key: &Key) {
+    for p in key.pairs() {
+        let (l, r) = p.halves();
+        out.push(l | (r << 3));
+    }
+}
+
 fn encode_snapshot(id: StreamId, state: &StreamState) -> Vec<u8> {
     let pairs = state.key.pairs();
-    let mut out = Vec::with_capacity(SNAPSHOT_HEADER_LEN + pairs.len());
+    let mut out = Vec::with_capacity(SNAPSHOT_V2_HEADER_LEN + pairs.len());
     out.extend_from_slice(&SNAPSHOT_MAGIC);
     out.push(SNAPSHOT_VERSION);
     out.push(algorithm_tag(state.algorithm));
@@ -902,11 +1068,53 @@ fn encode_snapshot(id: StreamId, state: &StreamState) -> Vec<u8> {
     out.extend_from_slice(&state.enc.source().state().to_le_bytes());
     out.extend_from_slice(&state.enc.cursor().to_bytes());
     out.extend_from_slice(&state.dec.cursor().to_bytes());
-    for p in pairs {
-        let (l, r) = p.halves();
-        out.push(l | (r << 3));
+    out.extend_from_slice(&state.epoch.to_le_bytes());
+    match &state.ring {
+        Some(ring) => {
+            out.extend_from_slice(&ring.master_seed().to_le_bytes());
+            out.push(ring.len() as u8);
+            out.push(0); // reserved
+            push_pairs(&mut out, &state.key);
+            for key in ring.keys() {
+                out.push(key.len() as u8);
+                push_pairs(&mut out, key);
+            }
+        }
+        None => {
+            out.extend_from_slice(&0u16.to_le_bytes());
+            out.push(0);
+            out.push(0); // reserved
+            push_pairs(&mut out, &state.key);
+        }
     }
     out
+}
+
+/// Reads one `pair count ∥ pairs` key out of a snapshot's trailing bytes.
+fn take_key(bytes: &[u8], at: &mut usize) -> Result<Key, SnapshotDecodeError> {
+    let count = *bytes.get(*at).ok_or(SnapshotDecodeError::Truncated {
+        need: *at + 1,
+        have: bytes.len(),
+    })? as usize;
+    if count == 0 || count > MAX_PAIRS {
+        return Err(SnapshotDecodeError::BadPairCount(count as u8));
+    }
+    let need = *at + 1 + count;
+    if bytes.len() < need {
+        return Err(SnapshotDecodeError::Truncated {
+            need,
+            have: bytes.len(),
+        });
+    }
+    let key = key_from_pair_bytes(&bytes[*at + 1..need])?;
+    *at = need;
+    Ok(key)
+}
+
+/// Rebuilds a key from packed `left | right << 3` pair bytes.
+fn key_from_pair_bytes(bytes: &[u8]) -> Result<Key, SnapshotDecodeError> {
+    let nibbles: Vec<(u8, u8)> = bytes.iter().map(|&b| (b & 0x07, (b >> 3) & 0x07)).collect();
+    Key::from_nibbles(&nibbles).map_err(SnapshotDecodeError::Key)
 }
 
 fn decode_snapshot(bytes: &[u8]) -> Result<(StreamId, StreamState), SnapshotDecodeError> {
@@ -919,8 +1127,9 @@ fn decode_snapshot(bytes: &[u8]) -> Result<(StreamId, StreamState), SnapshotDeco
     if bytes[0..4] != SNAPSHOT_MAGIC {
         return Err(SnapshotDecodeError::BadMagic);
     }
-    if bytes[4] != SNAPSHOT_VERSION {
-        return Err(SnapshotDecodeError::UnsupportedVersion(bytes[4]));
+    let version = bytes[4];
+    if version != SNAPSHOT_VERSION && version != SNAPSHOT_VERSION_V1 {
+        return Err(SnapshotDecodeError::UnsupportedVersion(version));
     }
     let algorithm = match bytes[5] {
         0 => Algorithm::Hhea,
@@ -936,13 +1145,6 @@ fn decode_snapshot(bytes: &[u8]) -> Result<(StreamId, StreamState), SnapshotDeco
     if pair_count == 0 || pair_count > MAX_PAIRS {
         return Err(SnapshotDecodeError::BadPairCount(bytes[7]));
     }
-    let need = SNAPSHOT_HEADER_LEN + pair_count;
-    if bytes.len() < need {
-        return Err(SnapshotDecodeError::Truncated {
-            need,
-            have: bytes.len(),
-        });
-    }
     let id = StreamId(u64::from_le_bytes(bytes[8..16].try_into().expect("sized")));
     let lfsr_state = u16::from_le_bytes(bytes[16..18].try_into().expect("sized"));
     if lfsr_state == 0 {
@@ -952,18 +1154,62 @@ fn decode_snapshot(bytes: &[u8]) -> Result<(StreamId, StreamState), SnapshotDeco
         StreamCursor::from_bytes(&bytes[18..27]).map_err(SnapshotDecodeError::Cursor)?;
     let dec_cursor =
         StreamCursor::from_bytes(&bytes[27..36]).map_err(SnapshotDecodeError::Cursor)?;
-    let nibbles: Vec<(u8, u8)> = bytes[SNAPSHOT_HEADER_LEN..need]
-        .iter()
-        .map(|&b| (b & 0x07, (b >> 3) & 0x07))
-        .collect();
-    let key = Key::from_nibbles(&nibbles).map_err(SnapshotDecodeError::Key)?;
+    let (epoch, ring, key) = if version == SNAPSHOT_VERSION_V1 {
+        // Legacy: key pairs follow the cursors directly; no rotation
+        // state, so the stream restores at epoch 0 without a ring.
+        let need = SNAPSHOT_HEADER_LEN + pair_count;
+        if bytes.len() < need {
+            return Err(SnapshotDecodeError::Truncated {
+                need,
+                have: bytes.len(),
+            });
+        }
+        let key = key_from_pair_bytes(&bytes[SNAPSHOT_HEADER_LEN..need])?;
+        (0u32, None, key)
+    } else {
+        if bytes.len() < SNAPSHOT_V2_HEADER_LEN {
+            return Err(SnapshotDecodeError::Truncated {
+                need: SNAPSHOT_V2_HEADER_LEN,
+                have: bytes.len(),
+            });
+        }
+        let epoch = u32::from_le_bytes(bytes[36..40].try_into().expect("sized"));
+        let master_seed = u16::from_le_bytes(bytes[40..42].try_into().expect("sized"));
+        let ring_count = bytes[42] as usize;
+        let need = SNAPSHOT_V2_HEADER_LEN + pair_count;
+        if bytes.len() < need {
+            return Err(SnapshotDecodeError::Truncated {
+                need,
+                have: bytes.len(),
+            });
+        }
+        let key = key_from_pair_bytes(&bytes[SNAPSHOT_V2_HEADER_LEN..need])?;
+        let ring = if ring_count > 0 {
+            if master_seed == 0 {
+                return Err(SnapshotDecodeError::ZeroRingSeed);
+            }
+            let mut at = need;
+            let mut keys = Vec::with_capacity(ring_count);
+            for _ in 0..ring_count {
+                keys.push(take_key(bytes, &mut at)?);
+            }
+            // Count and seed were just validated; ring_count is a u8, so
+            // the length caps cannot trip.
+            Some(KeyRing::new(keys, master_seed).map_err(SnapshotDecodeError::Key)?)
+        } else {
+            None
+        };
+        (epoch, ring, key)
+    };
     // A fresh LfsrSource at the snapshotted state continues the exact
     // vector sequence: state() is the register before the next leap.
     let source = LfsrSource::new(lfsr_state).expect("validated nonzero");
     let mut enc = EncryptSession::with_options(key.clone(), source, algorithm, profile);
     enc.set_cursor(enc_cursor);
+    enc.set_epoch(epoch);
     let mut dec = DecryptSession::with_options(key.clone(), algorithm, profile);
     dec.set_cursor(dec_cursor);
+    dec.set_epoch(epoch);
     Ok((
         id,
         StreamState {
@@ -972,6 +1218,8 @@ fn decode_snapshot(bytes: &[u8]) -> Result<(StreamId, StreamState), SnapshotDeco
             key,
             algorithm,
             profile,
+            ring,
+            epoch,
         },
     ))
 }
@@ -1201,6 +1449,170 @@ mod tests {
             rx.decrypt(StreamId(1), &blocks[1], msgs[1].len() * 8)
                 .unwrap(),
             msgs[1]
+        );
+    }
+
+    fn ring() -> KeyRing {
+        KeyRing::new(
+            vec![key(), Key::from_nibbles(&[(1, 6), (0, 7)]).unwrap()],
+            0xACE1,
+        )
+        .unwrap()
+    }
+
+    /// Rekeying both muxes at the same point keeps traffic round-tripping,
+    /// each epoch under its own key/seed; errors leave streams untouched.
+    #[test]
+    fn rekey_rotates_both_directions_atomically() {
+        let tx = StreamMux::with_shards(2);
+        let rx = StreamMux::with_shards(8);
+        let cfg = StreamConfig::new(key()).with_ring(ring());
+        tx.open(StreamId(1), cfg.clone()).unwrap();
+        rx.open(StreamId(1), cfg).unwrap();
+
+        let before = tx.encrypt(StreamId(1), b"epoch zero").unwrap();
+        assert_eq!(rx.decrypt(StreamId(1), &before, 80).unwrap(), b"epoch zero");
+
+        assert_eq!(tx.rekey(StreamId(1), 1).unwrap(), 1);
+        assert_eq!(rx.rekey(StreamId(1), 1).unwrap(), 1);
+        assert_eq!(tx.epoch(StreamId(1)).unwrap(), 1);
+        // The new epoch restarts the schedule from the stream origin.
+        assert_eq!(tx.cursor(StreamId(1)).unwrap().block_index, 0);
+
+        let after = tx.encrypt(StreamId(1), b"epoch one!").unwrap();
+        assert_ne!(before, after, "rotation must change the keystream");
+        assert_eq!(rx.decrypt(StreamId(1), &after, 80).unwrap(), b"epoch one!");
+
+        // Stale and replayed epochs are rejected without touching state.
+        assert_eq!(
+            tx.rekey(StreamId(1), 1),
+            Err(GatewayError::StaleEpoch {
+                current: 1,
+                requested: 1
+            })
+        );
+        assert_eq!(
+            tx.rekey(StreamId(1), 0),
+            Err(GatewayError::StaleEpoch {
+                current: 1,
+                requested: 0
+            })
+        );
+        let more = tx.encrypt(StreamId(1), b"still epoch 1").unwrap();
+        assert_eq!(
+            rx.decrypt(StreamId(1), &more, 13 * 8).unwrap(),
+            b"still epoch 1"
+        );
+        // Epochs may skip forward (e.g. catching up after downtime).
+        assert_eq!(tx.rekey(StreamId(1), 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn rekey_without_ring_is_rejected_and_confined() {
+        let mux = StreamMux::with_shards(1); // one shard: ops share a job
+        mux.open(StreamId(1), StreamConfig::new(key())).unwrap();
+        mux.open(StreamId(2), StreamConfig::new(key()).with_ring(ring()))
+            .unwrap();
+        let results = mux.submit_batch(vec![
+            (StreamId(1), StreamOp::Rekey { epoch: 1 }),
+            (StreamId(2), StreamOp::Rekey { epoch: 1 }),
+            (StreamId(1), StreamOp::Encrypt(b"unrotated".to_vec())),
+        ]);
+        assert_eq!(results[0], Err(GatewayError::NoKeyRing(StreamId(1))));
+        assert_eq!(results[1], Ok(StreamOutput::Rekeyed { epoch: 1 }));
+        // The failed rekey left its stream fully usable at epoch 0.
+        assert!(matches!(results[2], Ok(StreamOutput::Blocks(_))));
+        assert_eq!(mux.epoch(StreamId(1)).unwrap(), 0);
+        assert_eq!(mux.epoch(StreamId(2)).unwrap(), 1);
+    }
+
+    /// An evict/restore cycle across a rotation keeps everything: epoch,
+    /// ring (so the stream can keep rotating), and bit-exact state.
+    #[test]
+    fn snapshot_v2_roundtrips_epoch_and_ring() {
+        let mux = StreamMux::with_shards(2);
+        mux.open(StreamId(3), StreamConfig::new(key()).with_ring(ring()))
+            .unwrap();
+        mux.encrypt(StreamId(3), b"pre-rotation").unwrap();
+        mux.rekey(StreamId(3), 2).unwrap();
+        mux.encrypt(StreamId(3), b"post-rotation").unwrap();
+
+        let control = mux.clone();
+        let snap = mux.evict(StreamId(3)).unwrap();
+        assert_eq!(snap[4], SNAPSHOT_VERSION);
+        let restored = StreamMux::with_shards(16);
+        restored.restore(&snap).unwrap();
+        assert_eq!(restored.epoch(StreamId(3)).unwrap(), 2);
+        // restore → evict reproduces the exact bytes.
+        assert_eq!(restored.snapshot(StreamId(3)).unwrap(), snap);
+        // ...and the ring survived: the stream still rotates.
+        restored.rekey(StreamId(3), 3).unwrap();
+        control.restore(&snap).unwrap();
+        control.rekey(StreamId(3), 3).unwrap();
+        let a = restored.encrypt(StreamId(3), b"epoch three").unwrap();
+        let b = control.encrypt(StreamId(3), b"epoch three").unwrap();
+        assert_eq!(a, b, "post-restore rotation diverged");
+    }
+
+    /// A legacy v1 snapshot (hand-built to the documented layout) still
+    /// restores: epoch 0, no ring — so a later rekey reports NoKeyRing.
+    #[test]
+    fn snapshot_v1_still_restores() {
+        let k = key();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&SNAPSHOT_MAGIC);
+        v1.push(SNAPSHOT_VERSION_V1);
+        v1.push(1); // MHHEA
+        v1.push(0); // streaming
+        v1.push(k.pairs().len() as u8);
+        v1.extend_from_slice(&8u64.to_le_bytes());
+        v1.extend_from_slice(&0xACE1u16.to_le_bytes());
+        v1.extend_from_slice(&StreamCursor::start().to_bytes());
+        v1.extend_from_slice(&StreamCursor::start().to_bytes());
+        push_pairs(&mut v1, &k);
+
+        let mux = StreamMux::with_shards(2);
+        assert_eq!(mux.restore(&v1).unwrap(), StreamId(8));
+        assert_eq!(mux.epoch(StreamId(8)).unwrap(), 0);
+        assert_eq!(
+            mux.rekey(StreamId(8), 1),
+            Err(GatewayError::NoKeyRing(StreamId(8)))
+        );
+        // The restored stream matches a freshly opened one bit for bit.
+        let fresh = StreamMux::with_shards(2);
+        fresh.open(StreamId(8), StreamConfig::new(k)).unwrap();
+        assert_eq!(
+            mux.encrypt(StreamId(8), b"legacy").unwrap(),
+            fresh.encrypt(StreamId(8), b"legacy").unwrap()
+        );
+    }
+
+    #[test]
+    fn snapshot_v2_ring_garbage_rejected() {
+        let mux = StreamMux::with_shards(2);
+        mux.open(StreamId(5), StreamConfig::new(key()).with_ring(ring()))
+            .unwrap();
+        let snap = mux.evict(StreamId(5)).unwrap();
+        // Zero the ring master seed while keeping the ring count.
+        let mut bad = snap.clone();
+        bad[40] = 0;
+        bad[41] = 0;
+        assert_eq!(
+            decode_snapshot(&bad).unwrap_err(),
+            SnapshotDecodeError::ZeroRingSeed
+        );
+        // Truncate inside the trailing ring keys.
+        assert!(matches!(
+            decode_snapshot(&snap[..snap.len() - 1]),
+            Err(SnapshotDecodeError::Truncated { .. })
+        ));
+        // Inflate a ring key's pair count past the cache depth.
+        let mut bad = snap;
+        let first_ring_key_count = SNAPSHOT_V2_HEADER_LEN + key().pairs().len();
+        bad[first_ring_key_count] = 17;
+        assert_eq!(
+            decode_snapshot(&bad).unwrap_err(),
+            SnapshotDecodeError::BadPairCount(17)
         );
     }
 

@@ -8,10 +8,15 @@
 
 use rand::Rng;
 
+use crate::pipeline::chunk_seed;
+
 /// Maximum number of key pairs (the key-cache depth).
 pub const MAX_PAIRS: usize = 16;
 /// Key halves are 3-bit values.
 pub const MAX_HALF: u8 = 7;
+/// Most keys a [`KeyRing`] can hold (the ring index travels as one byte
+/// in the `MHSS` v2 snapshot format).
+pub const MAX_RING_KEYS: usize = 255;
 
 /// Errors constructing key material.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +36,14 @@ pub enum KeyError {
     },
     /// An odd number of nibbles was supplied to a byte/nibble constructor.
     OddNibbleCount,
+    /// A [`KeyRing`] was given a zero master seed (the all-zero LFSR state
+    /// is the lattice fixed point and never produces a vector).
+    ZeroMasterSeed,
+    /// A [`KeyRing`] was given more than [`MAX_RING_KEYS`] keys.
+    TooManyKeys {
+        /// Number supplied.
+        count: usize,
+    },
 }
 
 impl core::fmt::Display for KeyError {
@@ -44,6 +57,10 @@ impl core::fmt::Display for KeyError {
                 write!(f, "{count} pairs exceed the key-cache depth of {MAX_PAIRS}")
             }
             KeyError::OddNibbleCount => write!(f, "nibble list must have even length"),
+            KeyError::ZeroMasterSeed => write!(f, "keyring master seed must be nonzero"),
+            KeyError::TooManyKeys { count } => {
+                write!(f, "{count} keys exceed the ring limit of {MAX_RING_KEYS}")
+            }
         }
     }
 }
@@ -239,6 +256,115 @@ impl core::fmt::Display for Key {
     }
 }
 
+/// Epoch-numbered key material for online key rotation.
+///
+/// A long-lived stream must not be pinned to one key for its entire life;
+/// the ring gives every **epoch** (a monotonically increasing `u32`) its
+/// own key and its own LFSR reseed, both derivable locally on each
+/// endpoint so a rotation never puts key material on a wire:
+///
+/// * [`KeyRing::key`]`(epoch)` cycles through the supplied keys
+///   (`keys[epoch mod len]` — the same schedule shape as
+///   [`Key::pair`]'s block cycling). A single-key ring still rotates
+///   usefully: the LFSR reseed changes every epoch.
+/// * [`KeyRing::seed`]`(epoch)` derives the epoch's LFSR seed from the
+///   master seed via the container pipeline's existing
+///   [`crate::pipeline::chunk_seed`] avalanche. Epoch 0 runs the master
+///   seed itself, so a stream that never rekeys behaves exactly like a
+///   plain [`Key`]-configured stream; epochs ≥ 1 are always nonzero by
+///   construction.
+///
+/// The ring is what [`crate::session::EncryptSession::rekey`] /
+/// [`crate::session::DecryptSession::rekey`] and the gateway's
+/// [`crate::gateway::StreamOp::Rekey`] consume.
+///
+/// # Examples
+///
+/// ```
+/// use mhhea::{Key, KeyRing};
+///
+/// let ring = KeyRing::new(
+///     vec![
+///         Key::from_nibbles(&[(0, 3), (2, 5)])?,
+///         Key::from_nibbles(&[(1, 6), (4, 7)])?,
+///     ],
+///     0xACE1,
+/// )?;
+/// assert_eq!(ring.key(0), ring.key(2)); // keys cycle
+/// assert_eq!(ring.seed(0), 0xACE1); // epoch 0 is the master seed
+/// assert_ne!(ring.seed(1), ring.seed(2)); // later epochs reseed
+/// # Ok::<(), mhhea::KeyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyRing {
+    keys: Vec<Key>,
+    master_seed: u16,
+}
+
+impl KeyRing {
+    /// Creates a ring from epoch-ordered keys and a nonzero master seed.
+    ///
+    /// # Errors
+    ///
+    /// [`KeyError::Empty`] for no keys, [`KeyError::TooManyKeys`] past
+    /// [`MAX_RING_KEYS`], [`KeyError::ZeroMasterSeed`] for a zero seed.
+    pub fn new(keys: Vec<Key>, master_seed: u16) -> Result<Self, KeyError> {
+        if keys.is_empty() {
+            return Err(KeyError::Empty);
+        }
+        if keys.len() > MAX_RING_KEYS {
+            return Err(KeyError::TooManyKeys { count: keys.len() });
+        }
+        if master_seed == 0 {
+            return Err(KeyError::ZeroMasterSeed);
+        }
+        Ok(KeyRing { keys, master_seed })
+    }
+
+    /// A ring holding one key: every epoch reuses the key, but each epoch
+    /// still reseeds the LFSR — the cheapest useful rotation.
+    ///
+    /// # Errors
+    ///
+    /// [`KeyError::ZeroMasterSeed`] for a zero seed.
+    pub fn single(key: Key, master_seed: u16) -> Result<Self, KeyError> {
+        KeyRing::new(vec![key], master_seed)
+    }
+
+    /// The key for `epoch` (`keys[epoch mod len]`).
+    pub fn key(&self, epoch: u32) -> &Key {
+        &self.keys[epoch as usize % self.keys.len()]
+    }
+
+    /// The LFSR seed for `epoch`: the master seed at epoch 0 (so an
+    /// un-rotated stream matches a plain keyed stream bit for bit), a
+    /// [`crate::pipeline::chunk_seed`] derivation — nonzero by
+    /// construction — for every later epoch.
+    pub fn seed(&self, epoch: u32) -> u16 {
+        if epoch == 0 {
+            self.master_seed
+        } else {
+            chunk_seed(self.master_seed, epoch)
+        }
+    }
+
+    /// The master seed the per-epoch reseeds derive from.
+    pub fn master_seed(&self) -> u16 {
+        self.master_seed
+    }
+
+    /// The epoch-ordered keys.
+    pub fn keys(&self) -> &[Key] {
+        &self.keys
+    }
+
+    /// Number of keys in the ring.
+    #[allow(clippy::len_without_is_empty)] // a ring is never empty
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,5 +466,48 @@ mod tests {
         let key = Key::from_nibbles(&[(0, 3), (2, 5)]).unwrap();
         assert_eq!(key.to_string(), "Key[(0,3) (2,5)]");
         assert_eq!(KeyPair::new(1, 2).unwrap().to_string(), "(1,2)");
+    }
+
+    #[test]
+    fn ring_validation() {
+        let key = Key::from_nibbles(&[(0, 3)]).unwrap();
+        assert_eq!(KeyRing::new(vec![], 0xACE1), Err(KeyError::Empty));
+        assert_eq!(
+            KeyRing::single(key.clone(), 0),
+            Err(KeyError::ZeroMasterSeed)
+        );
+        assert_eq!(
+            KeyRing::new(vec![key.clone(); 256], 0xACE1),
+            Err(KeyError::TooManyKeys { count: 256 })
+        );
+        assert_eq!(KeyRing::new(vec![key; 255], 0xACE1).unwrap().len(), 255);
+    }
+
+    #[test]
+    fn ring_keys_cycle_like_the_pair_schedule() {
+        let a = Key::from_nibbles(&[(0, 1)]).unwrap();
+        let b = Key::from_nibbles(&[(2, 3)]).unwrap();
+        let ring = KeyRing::new(vec![a.clone(), b.clone()], 0x1234).unwrap();
+        assert_eq!(ring.key(0), &a);
+        assert_eq!(ring.key(1), &b);
+        assert_eq!(ring.key(2), &a);
+        assert_eq!(ring.key(u32::MAX), &b);
+        assert_eq!(ring.keys(), &[a, b]);
+        assert_eq!(ring.master_seed(), 0x1234);
+    }
+
+    #[test]
+    fn ring_seeds_are_epoch_distinct_and_nonzero() {
+        let ring = KeyRing::single(Key::from_nibbles(&[(0, 7)]).unwrap(), 0xACE1).unwrap();
+        assert_eq!(ring.seed(0), 0xACE1, "epoch 0 must run the master seed");
+        let mut seen = std::collections::HashSet::new();
+        for epoch in 0..64 {
+            let s = ring.seed(epoch);
+            assert_ne!(s, 0, "epoch {epoch} derived a zero seed");
+            seen.insert(s);
+        }
+        assert!(seen.len() > 60, "epoch seeds barely spread: {}", seen.len());
+        // Derivation matches the container pipeline's machinery exactly.
+        assert_eq!(ring.seed(9), crate::pipeline::chunk_seed(0xACE1, 9));
     }
 }

@@ -18,8 +18,9 @@
 //!
 //! # Modules
 //!
-//! * [`key`] — key material ([`Key`], [`KeyPair`]) and the hardware key
-//!   schedule.
+//! * [`key`] — key material ([`Key`], [`KeyPair`]), the hardware key
+//!   schedule, and the epoch-numbered [`KeyRing`] behind online key
+//!   rotation.
 //! * [`source`] — hiding-vector sources: LFSR (the paper's RNG module),
 //!   any [`rand::Rng`], or cover data for steganography mode.
 //! * [`block`] — the per-vector primitives: location scrambling, embedding
@@ -29,7 +30,8 @@
 //!   model of the FPGA datapath ([`Profile::HardwareFaithful`]).
 //! * [`session`] — stateful [`EncryptSession`]/[`DecryptSession`] carrying
 //!   an explicit [`StreamCursor`], so multi-message traffic keeps both
-//!   endpoints' key schedules in lockstep.
+//!   endpoints' key schedules in lockstep; both sessions rekey in place
+//!   to a new [`KeyRing`] epoch with a bit-exact cursor handoff.
 //! * [`pipeline`] — chunk planning, per-chunk seed derivation and the
 //!   persistent [`pipeline::WorkerPool`] every parallel path submits to.
 //! * [`container`] — a self-describing byte format so decryption knows the
@@ -56,7 +58,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod block;
 pub mod container;
@@ -70,7 +72,7 @@ pub mod stats;
 
 pub use engine::{Decryptor, Encryptor, Profile};
 pub use gateway::{StreamConfig, StreamId, StreamMux};
-pub use key::{Key, KeyError, KeyPair};
+pub use key::{Key, KeyError, KeyPair, KeyRing};
 pub use session::{CursorDecodeError, DecryptSession, EncryptSession, StreamCursor};
 pub use source::{CoverSource, LfsrSource, RngSource, VectorSource};
 
@@ -128,6 +130,15 @@ pub enum MhheaError {
         /// Bits promised.
         want_bits: usize,
     },
+    /// A rekey named an epoch that is not strictly newer than the
+    /// session's current one — epochs only move forward (accepting a
+    /// stale epoch would replay a retired key schedule).
+    StaleEpoch {
+        /// The session's current epoch.
+        current: u32,
+        /// The rejected epoch.
+        requested: u32,
+    },
 }
 
 impl core::fmt::Display for MhheaError {
@@ -147,6 +158,10 @@ impl core::fmt::Display for MhheaError {
             } => write!(
                 f,
                 "ciphertext truncated: recovered {got_bits} of {want_bits} bits"
+            ),
+            MhheaError::StaleEpoch { current, requested } => write!(
+                f,
+                "rekey to epoch {requested} rejected: stream is already at epoch {current}"
             ),
         }
     }

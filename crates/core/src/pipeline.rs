@@ -29,7 +29,9 @@ pub const DEFAULT_CHUNK_BYTES: usize = 64 * 1024;
 /// A SplitMix-style avalanche over `master ∥ index`, folded to 16 bits and
 /// forced nonzero (an all-zero LFSR state never leaves zero). Both ends
 /// compute it locally; only the master seed travels in the container
-/// header.
+/// header. The key-rotation layer rides the same derivation:
+/// [`crate::KeyRing::seed`] feeds the *epoch* number through this
+/// function to reseed a stream's LFSR at every rekey.
 ///
 /// ```
 /// use mhhea::pipeline::chunk_seed;

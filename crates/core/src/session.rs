@@ -18,12 +18,18 @@
 //!   [`SpanTable`] turns each block into a few shift/mask operations on
 //!   `u16`s instead of a per-bit `Iterator<Item = bool>` loop (see
 //!   [`crate::block`]).
+//! * Both sessions rotate keys online: [`EncryptSession::rekey`] /
+//!   [`DecryptSession::rekey`] move a live stream to a new
+//!   [`crate::KeyRing`] epoch (new key, fresh LFSR reseed, cursor back at
+//!   the stream origin) with a bit-exact handoff — rekey both endpoints
+//!   at the same message boundary and the next message round-trips.
 //!
 //! The single-shot [`crate::Encryptor`]/[`crate::Decryptor`] wrappers are
 //! thin shims that rewind a session before every call.
 
 use crate::block::SpanTable;
-use crate::source::VectorSource;
+use crate::key::KeyRing;
+use crate::source::{LfsrSource, VectorSource};
 use crate::stats::estimated_blocks;
 use crate::{Algorithm, Key, MhheaError, Profile};
 use bitkit::{word, BitReader, BitWriter};
@@ -146,6 +152,7 @@ pub struct EncryptSession<S> {
     algorithm: Algorithm,
     profile: Profile,
     cursor: StreamCursor,
+    epoch: u32,
 }
 
 fn build_table(key: &Key, algorithm: Algorithm, profile: Profile) -> SpanTable {
@@ -174,6 +181,7 @@ impl<S: VectorSource> EncryptSession<S> {
             algorithm,
             profile,
             cursor: StreamCursor::start(),
+            epoch: 0,
         }
     }
 
@@ -212,6 +220,46 @@ impl<S: VectorSource> EncryptSession<S> {
     /// state.
     pub fn set_cursor(&mut self, cursor: StreamCursor) {
         self.cursor = cursor;
+    }
+
+    /// The session's current key epoch (0 until the first rekey).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Forces the epoch counter **without** touching key, source or
+    /// cursor — for restoring a snapshotted stream, the epoch analogue of
+    /// [`EncryptSession::set_cursor`]. To *rotate*, use
+    /// [`EncryptSession::rekey_with`] or [`EncryptSession::rekey`].
+    pub fn set_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+
+    /// Rotates the session to a new epoch with explicit materials: the
+    /// new key (span table rebuilt), a fresh vector source, and the
+    /// cursor reset to the stream origin — the new epoch's schedule
+    /// starts from block zero on both endpoints, which is what makes the
+    /// handoff bit-exact. Call it only at a message boundary (every point
+    /// between [`EncryptSession::encrypt`] calls is one), and mirror it
+    /// with [`DecryptSession::rekey_with`] on the peer.
+    ///
+    /// # Errors
+    ///
+    /// [`MhheaError::StaleEpoch`] unless `epoch` is strictly newer than
+    /// the current epoch — epochs only move forward.
+    pub fn rekey_with(&mut self, key: Key, source: S, epoch: u32) -> Result<(), MhheaError> {
+        if epoch <= self.epoch {
+            return Err(MhheaError::StaleEpoch {
+                current: self.epoch,
+                requested: epoch,
+            });
+        }
+        self.table = build_table(&key, self.algorithm, self.profile);
+        self.key = key;
+        self.source = source;
+        self.cursor = StreamCursor::start();
+        self.epoch = epoch;
+        Ok(())
     }
 
     /// The hiding-vector source (read access: e.g. snapshotting
@@ -306,6 +354,40 @@ impl<S: VectorSource> EncryptSession<S> {
     }
 }
 
+impl EncryptSession<LfsrSource> {
+    /// Rotates to `epoch` using a [`KeyRing`]: the epoch's key and a
+    /// fresh LFSR reseeded with [`KeyRing::seed`]`(epoch)`, cursor back
+    /// at the stream origin. See [`EncryptSession::rekey_with`] for the
+    /// handoff contract.
+    ///
+    /// # Errors
+    ///
+    /// [`MhheaError::StaleEpoch`] unless `epoch` is strictly newer.
+    ///
+    /// ```
+    /// use mhhea::session::{DecryptSession, EncryptSession};
+    /// use mhhea::{Key, KeyRing, LfsrSource};
+    ///
+    /// let ring = KeyRing::single(Key::from_nibbles(&[(0, 3), (2, 5)])?, 0xACE1)?;
+    /// let mut enc = EncryptSession::new(ring.key(0).clone(), LfsrSource::new(ring.seed(0))?);
+    /// let mut dec = DecryptSession::new(ring.key(0).clone());
+    ///
+    /// let before = enc.encrypt(b"epoch zero")?;
+    /// assert_eq!(dec.decrypt(&before, 80)?, b"epoch zero");
+    ///
+    /// enc.rekey(&ring, 1)?;
+    /// dec.rekey(&ring, 1)?;
+    /// let after = enc.encrypt(b"epoch one!")?;
+    /// assert_eq!(dec.decrypt(&after, 80)?, b"epoch one!");
+    /// assert_eq!(enc.epoch(), 1);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn rekey(&mut self, ring: &KeyRing, epoch: u32) -> Result<(), MhheaError> {
+        let source = LfsrSource::new(ring.seed(epoch)).map_err(|_| MhheaError::InvalidSeed)?;
+        self.rekey_with(ring.key(epoch).clone(), source, epoch)
+    }
+}
+
 /// A stateful decryption endpoint mirroring an [`EncryptSession`].
 ///
 /// Feed it the same message boundaries the encrypt side used and the
@@ -318,6 +400,7 @@ pub struct DecryptSession {
     profile: Profile,
     cursor: StreamCursor,
     key: Key,
+    epoch: u32,
 }
 
 impl DecryptSession {
@@ -337,6 +420,7 @@ impl DecryptSession {
             profile,
             cursor: StreamCursor::start(),
             key,
+            epoch: 0,
         }
     }
 
@@ -371,6 +455,53 @@ impl DecryptSession {
     /// evicted stream from a [`StreamCursor::to_bytes`] snapshot).
     pub fn set_cursor(&mut self, cursor: StreamCursor) {
         self.cursor = cursor;
+    }
+
+    /// The session's current key epoch (0 until the first rekey).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Forces the epoch counter **without** touching key or cursor — for
+    /// restoring a snapshotted stream, the epoch analogue of
+    /// [`DecryptSession::set_cursor`]. To *rotate*, use
+    /// [`DecryptSession::rekey_with`] or [`DecryptSession::rekey`].
+    pub fn set_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+
+    /// Rotates the session to a new epoch with an explicit key, resetting
+    /// the cursor to the stream origin — the decrypt half of the
+    /// bit-exact handoff [`EncryptSession::rekey_with`] describes. Call
+    /// it at the same message boundary the encrypt side rotated at.
+    ///
+    /// # Errors
+    ///
+    /// [`MhheaError::StaleEpoch`] unless `epoch` is strictly newer than
+    /// the current epoch.
+    pub fn rekey_with(&mut self, key: Key, epoch: u32) -> Result<(), MhheaError> {
+        if epoch <= self.epoch {
+            return Err(MhheaError::StaleEpoch {
+                current: self.epoch,
+                requested: epoch,
+            });
+        }
+        self.table = build_table(&key, self.algorithm, self.profile);
+        self.key = key;
+        self.cursor = StreamCursor::start();
+        self.epoch = epoch;
+        Ok(())
+    }
+
+    /// Rotates to `epoch` using a [`KeyRing`] (the epoch's key; the seed
+    /// only matters on the encrypt side). See the doctest on
+    /// [`EncryptSession::rekey`] for the paired usage.
+    ///
+    /// # Errors
+    ///
+    /// [`MhheaError::StaleEpoch`] unless `epoch` is strictly newer.
+    pub fn rekey(&mut self, ring: &KeyRing, epoch: u32) -> Result<(), MhheaError> {
+        self.rekey_with(ring.key(epoch).clone(), epoch)
     }
 
     /// Recovers `bit_len` message bits from one message's cipher blocks,

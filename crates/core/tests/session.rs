@@ -100,6 +100,112 @@ fn v2_container_is_worker_count_invariant() {
     assert_eq!(serial, parallel);
 }
 
+/// Rekeying both sessions at the same message boundary hands the cursor
+/// off bit-exactly in every mode: traffic before and after the rotation
+/// round-trips, the new epoch restarts the schedule at block 0, and a
+/// session rotated to epoch `e` is indistinguishable from a fresh session
+/// built from the ring's epoch-`e` materials.
+#[test]
+fn rekey_hands_off_bit_exactly_in_all_modes() {
+    use mhhea::{KeyRing, MhheaError};
+    let ring = KeyRing::new(
+        vec![
+            multi_pair_key(),
+            Key::from_nibbles(&[(3, 6), (1, 1)]).unwrap(),
+        ],
+        0xACE1,
+    )
+    .unwrap();
+    for algorithm in [Algorithm::Hhea, Algorithm::Mhhea] {
+        for profile in [Profile::Streaming, Profile::HardwareFaithful] {
+            let mut enc = EncryptSession::with_options(
+                ring.key(0).clone(),
+                LfsrSource::new(ring.seed(0)).unwrap(),
+                algorithm,
+                profile,
+            );
+            let mut dec = DecryptSession::with_options(ring.key(0).clone(), algorithm, profile);
+            for (epoch, msg) in [
+                (0u32, b"epoch zero traffic".as_slice()),
+                (1, b"rotated once"),
+                (2, b"rotated twice; longer message this time"),
+            ] {
+                if epoch > 0 {
+                    enc.rekey(&ring, epoch).unwrap();
+                    dec.rekey(&ring, epoch).unwrap();
+                    assert_eq!(enc.cursor().block_index, 0, "schedule must restart");
+                }
+                assert_eq!((enc.epoch(), dec.epoch()), (epoch, epoch));
+                let blocks = enc.encrypt(msg).unwrap();
+                assert_eq!(
+                    dec.decrypt(&blocks, msg.len() * 8).unwrap(),
+                    msg,
+                    "alg={algorithm} profile={profile} epoch={epoch}"
+                );
+                assert_eq!(enc.cursor(), dec.cursor());
+            }
+
+            // A rotated session equals a fresh one built at that epoch.
+            let mut fresh = EncryptSession::with_options(
+                ring.key(3).clone(),
+                LfsrSource::new(ring.seed(3)).unwrap(),
+                algorithm,
+                profile,
+            );
+            fresh.set_epoch(3);
+            enc.rekey(&ring, 3).unwrap();
+            assert_eq!(
+                enc.encrypt(b"equivalence probe").unwrap(),
+                fresh.encrypt(b"equivalence probe").unwrap(),
+                "alg={algorithm} profile={profile}"
+            );
+
+            // Epochs only move forward.
+            assert_eq!(
+                enc.rekey(&ring, 3),
+                Err(MhheaError::StaleEpoch {
+                    current: 3,
+                    requested: 3
+                })
+            );
+            assert_eq!(
+                dec.rekey(&ring, 0),
+                Err(MhheaError::StaleEpoch {
+                    current: 2,
+                    requested: 0
+                })
+            );
+        }
+    }
+}
+
+/// Opening pre-rotation ciphertext after the receiver rekeyed to a new
+/// key garbles (or errors) — the epoch boundary is a hard cut in both
+/// directions, which is why the transport must reject stale-epoch frames
+/// instead of decrypting them. (A *single*-key ring changes only the
+/// encrypt-side reseed, which decryption never consults — the key switch
+/// is what retires old ciphertext.)
+#[test]
+fn stale_epoch_ciphertext_does_not_open_after_rekey() {
+    use mhhea::KeyRing;
+    let ring = KeyRing::new(
+        vec![
+            multi_pair_key(),
+            Key::from_nibbles(&[(7, 7), (0, 0)]).unwrap(),
+        ],
+        0x7A31,
+    )
+    .unwrap();
+    let mut enc = EncryptSession::new(ring.key(0).clone(), LfsrSource::new(ring.seed(0)).unwrap());
+    let stale = enc.encrypt(b"sealed before the rotation").unwrap();
+
+    let mut dec = DecryptSession::new(ring.key(0).clone());
+    dec.rekey(&ring, 1).unwrap();
+    if let Ok(got) = dec.decrypt(&stale, 26 * 8) {
+        assert_ne!(got, b"sealed before the rotation");
+    }
+}
+
 /// v1 containers remain readable through the same `open` entry point.
 #[test]
 fn v1_containers_still_open() {

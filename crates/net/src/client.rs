@@ -8,9 +8,12 @@
 //! single gateway submission.
 //!
 //! Sequence numbers are managed internally: each stream counts its `Data`
-//! frames from 0 per session, mirroring the server's expectation. After a
-//! reconnect, [`NetClient::resume`] starts a fresh session (sequence 0
-//! again) on the restored cipher state.
+//! frames from 0 per session, stamped with the stream's key epoch in the
+//! sequence field's high bits (see [`crate::frame::split_seq`]), mirroring
+//! the server's expectation. After a reconnect, [`NetClient::resume`]
+//! starts a fresh session (counter 0 again, in whatever epoch the resumed
+//! snapshot carries) on the restored cipher state; [`NetClient::rekey`]
+//! rotates the stream to a new epoch and restarts the counter under it.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -18,8 +21,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::frame::{
-    self, decode_blocks, decode_error, encode_blocks, flags, ErrorCode, Frame, FrameError,
-    FrameKind, Hello,
+    self, decode_blocks, decode_error, decode_rekey_ack, decode_resumed_ack, encode_blocks,
+    encode_rekey, flags, join_seq, ErrorCode, Frame, FrameError, FrameKind, Hello,
 };
 
 /// A sealed message as it travels in a `Reply`: the plaintext bit length
@@ -183,7 +186,11 @@ impl NetClient {
                 "hello-ack without the resumed flag".into(),
             ));
         }
-        self.seqs.insert(stream, 0);
+        // The resumed ack names the stream's key epoch (it may have been
+        // rotated before the disconnect); sequence numbers restart at
+        // counter 0 *in that epoch*.
+        let (_token, epoch) = decode_resumed_ack(&ack.payload)?;
+        self.seqs.insert(stream, join_seq(epoch, 0));
         Ok(())
     }
 
@@ -195,6 +202,28 @@ impl NetClient {
     ///
     /// The last server answer once `deadline` elapses; any transport
     /// failure immediately.
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use mhhea_net::client::NetClient;
+    /// use mhhea_net::frame::Hello;
+    /// use mhhea_net::server::{NetServer, ServerConfig};
+    /// use mhhea::Key;
+    ///
+    /// let key = Key::from_nibbles(&[(0, 3), (2, 5)])?;
+    /// let server = NetServer::spawn("127.0.0.1:0", ServerConfig::new([(1, key)]))?;
+    /// let mut client = NetClient::connect(server.addr())?;
+    /// let token = client.open_stream(7, Hello::new(1, 0xACE1))?;
+    /// let before = client.seal(7, b"before the drop")?;
+    ///
+    /// drop(client); // the server evicts stream 7 into a parked snapshot
+    /// let mut client = NetClient::connect(server.addr())?;
+    /// client.resume_within(7, token, Duration::from_secs(5))?;
+    /// // Cipher state continued bit-exactly across the reconnect.
+    /// let after = client.seal(7, b"after the drop!")?;
+    /// assert_ne!(before.blocks, after.blocks);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn resume_within(
         &mut self,
         stream: u64,
@@ -223,6 +252,74 @@ impl NetClient {
         Ok(u64::from_le_bytes(bytes))
     }
 
+    /// Rotates the stream to a new key epoch and returns the **fresh
+    /// resume token** the server minted for it (the pre-rotation token is
+    /// retired — replace whatever you stored from
+    /// [`NetClient::open_stream`]).
+    ///
+    /// The rotation is a synchronisation point: the `Rekey` frame
+    /// consumes the next sequence number of the old epoch, the server
+    /// applies it in order relative to in-flight traffic, and after the
+    /// ack both sides count from `(epoch, 0)`. Both cipher directions
+    /// rotate atomically on the server: the LFSR reseeds, the schedule
+    /// restarts, and frames stamped with the retired epoch are rejected
+    /// ([`ErrorCode::StaleEpoch`]). Whether the *key* changes too —
+    /// which is what retires pre-rotation ciphertext on the decrypt
+    /// side — depends on the server's key list for the stream's key id
+    /// (`ServerConfig::with_epoch_keys` vs a single key; see the
+    /// protocol spec).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::StaleEpoch`] when
+    /// `epoch` is not strictly newer than the stream's current epoch (the
+    /// sequence number is not consumed); stream/transport failures as for
+    /// [`NetClient::seal`].
+    ///
+    /// ```no_run
+    /// use mhhea_net::client::NetClient;
+    /// use mhhea_net::frame::Hello;
+    ///
+    /// let mut client = NetClient::connect("127.0.0.1:4040")?;
+    /// let mut token = client.open_stream(7, Hello::new(1, 0xACE1))?;
+    /// client.seal(7, b"epoch zero")?;
+    /// token = client.rekey(7, 1)?; // the old token is now useless
+    /// client.seal(7, b"epoch one")?;
+    /// # let _ = token;
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn rekey(&mut self, stream: u64, epoch: u32) -> Result<u64, ClientError> {
+        let seq = self.next_seq(stream)?;
+        self.send_frame(
+            &Frame::new(FrameKind::Rekey, stream, seq).with_payload(encode_rekey(epoch)),
+        )?;
+        match self.expect(FrameKind::RekeyAck, stream, seq) {
+            Ok(ack) => {
+                let (acked_epoch, token) = decode_rekey_ack(&ack.payload)?;
+                if acked_epoch != epoch {
+                    return Err(ClientError::UnexpectedFrame(format!(
+                        "rekey-ack for epoch {acked_epoch}, wanted {epoch}"
+                    )));
+                }
+                self.seqs.insert(stream, join_seq(epoch, 0));
+                Ok(token)
+            }
+            Err(e) => {
+                // Rejections that did not consume the sequence number
+                // roll the local counter back, exactly like Data frames.
+                if e.is_code(ErrorCode::StaleEpoch)
+                    || e.is_code(ErrorCode::BadSequence)
+                    || e.is_code(ErrorCode::UnknownStream)
+                {
+                    if let Some(s) = self.seqs.get_mut(&stream) {
+                        *s = (*s).min(seq);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
     /// Closes a stream on the server (its state is discarded, not
     /// parked).
     ///
@@ -245,6 +342,23 @@ impl NetClient {
     ///
     /// Stream/sequence/server failures as [`ClientError::Server`]; any
     /// transport failure.
+    ///
+    /// ```
+    /// use mhhea_net::client::NetClient;
+    /// use mhhea_net::frame::Hello;
+    /// use mhhea_net::server::{NetServer, ServerConfig};
+    /// use mhhea::Key;
+    ///
+    /// let key = Key::from_nibbles(&[(0, 3), (2, 5)])?;
+    /// let server = NetServer::spawn("127.0.0.1:0", ServerConfig::new([(1, key)]))?;
+    /// let mut client = NetClient::connect(server.addr())?;
+    /// client.open_stream(7, Hello::new(1, 0xACE1))?;
+    ///
+    /// let sealed = client.seal(7, b"fourteen bytes")?;
+    /// assert_eq!(sealed.bit_len, 14 * 8);
+    /// assert_eq!(client.open(7, &sealed.blocks, sealed.bit_len)?, b"fourteen bytes");
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn seal(&mut self, stream: u64, message: &[u8]) -> Result<Sealed, ClientError> {
         let seq = self.next_seq(stream)?;
         let mut bytes = Vec::with_capacity(frame::HEADER_LEN + message.len());
@@ -391,11 +505,12 @@ impl NetClient {
     }
 
     /// Reads the reply for a `Data` request. On `BadSequence`/
-    /// `UnknownStream` (the server did not consume the sequence number)
-    /// the local counter is rolled back so the stream can continue. The
-    /// rollback only ever moves the counter *down* — when several
-    /// pipelined frames on one stream are all rejected, the counter lands
-    /// on the first (lowest) unconsumed sequence number, not the last.
+    /// `UnknownStream`/`StaleEpoch` (the server did not consume the
+    /// sequence number) the local counter is rolled back so the stream
+    /// can continue. The rollback only ever moves the counter *down* —
+    /// when several pipelined frames on one stream are all rejected, the
+    /// counter lands on the first (lowest) unconsumed sequence number,
+    /// not the last.
     fn read_data_reply(&mut self, stream: u64, seq: u64) -> Result<Frame, ClientError> {
         match self.expect(FrameKind::Reply, stream, seq) {
             Ok(frame) => Ok(frame),
@@ -403,6 +518,7 @@ impl NetClient {
                 if e.is_code(ErrorCode::BadSequence)
                     || e.is_code(ErrorCode::UnknownStream)
                     || e.is_code(ErrorCode::MessageTooLarge)
+                    || e.is_code(ErrorCode::StaleEpoch)
                 {
                     if let Some(s) = self.seqs.get_mut(&stream) {
                         *s = (*s).min(seq);

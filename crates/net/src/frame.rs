@@ -24,11 +24,17 @@
 //! The declared payload length is validated *before* waiting for the
 //! body, so a frame claiming 4 GiB is rejected from its header alone.
 //!
-//! Sequence numbers are per-stream and per-session: the first `Data`
-//! frame after a `Hello` or `Resume` carries sequence 0, and every
-//! accepted `Data` frame increments the expectation by one. Replays and
-//! gaps are rejected without touching the cipher state, so a rejected
-//! frame never desynchronises the stream.
+//! Sequence numbers are per-stream and per-session, and the 64-bit `seq`
+//! field is split: the **high 32 bits carry the stream's key epoch**, the
+//! low 32 bits the per-epoch counter (see [`split_seq`]/[`join_seq`]).
+//! A stream that never rekeys therefore puts plain `0, 1, 2, …` in the
+//! field, exactly as before epochs existed. The first `Data`
+//! frame after a `Hello`, `Resume` or `RekeyAck` carries counter 0, and
+//! every accepted `Data`/`Rekey` frame increments the expectation by
+//! one. Replays and gaps are rejected without touching the cipher state
+//! — a frame stamped with a *retired* epoch with the dedicated
+//! [`ErrorCode::StaleEpoch`] — so a rejected frame never desynchronises
+//! the stream.
 
 use mhhea::{Algorithm, Profile};
 
@@ -53,7 +59,9 @@ pub enum FrameKind {
     /// Server → client: stream opened (flag [`flags::RESUMED`] when it was
     /// restored from an eviction snapshot). Payload: the stream's 8-byte
     /// resume token (u64 LE), which a later [`FrameKind::Resume`] must
-    /// present.
+    /// present; on a resumed ack the token is followed by the stream's
+    /// current key epoch (u32 LE, see [`encode_resumed_ack`]) so the
+    /// client can restamp its sequence numbers.
     HelloAck = 2,
     /// Client → server: work for the stream's cipher sessions. Without
     /// [`flags::DIR_OPEN`] the payload is plaintext to encrypt; with it,
@@ -74,6 +82,17 @@ pub enum FrameKind {
     /// (u64 LE) the stream's `HelloAck` handed out — without it, any
     /// connection could hijack a parked stream by guessing its id.
     Resume = 7,
+    /// Client → server: rotate the stream to a new key epoch (payload:
+    /// [`encode_rekey`] — the epoch, u32 LE). Sequenced like `Data` — the
+    /// frame consumes the next counter of the *current* epoch, so it is
+    /// applied in order relative to in-flight traffic — and answered with
+    /// [`FrameKind::RekeyAck`].
+    Rekey = 8,
+    /// Server → client: the stream now runs the requested epoch. Payload:
+    /// [`encode_rekey_ack`] — the epoch plus a **freshly minted resume
+    /// token** (the pre-rotation token is retired with the old epoch).
+    /// The next `Data` frame must carry `seq = join_seq(epoch, 0)`.
+    RekeyAck = 9,
 }
 
 impl FrameKind {
@@ -86,9 +105,32 @@ impl FrameKind {
             5 => FrameKind::Bye,
             6 => FrameKind::Error,
             7 => FrameKind::Resume,
+            8 => FrameKind::Rekey,
+            9 => FrameKind::RekeyAck,
             _ => return None,
         })
     }
+}
+
+/// Splits a `Data`/`Rekey` sequence field into `(epoch, counter)`: the
+/// epoch rides the high 32 bits, the per-epoch counter the low 32. At
+/// epoch 0 the field is numerically identical to a plain counter, which
+/// is what keeps never-rekeyed streams byte-compatible with the
+/// pre-epoch wire format.
+///
+/// ```
+/// use mhhea_net::frame::{join_seq, split_seq};
+///
+/// assert_eq!(split_seq(5), (0, 5));
+/// assert_eq!(split_seq(join_seq(3, 7)), (3, 7));
+/// ```
+pub fn split_seq(seq: u64) -> (u32, u32) {
+    ((seq >> 32) as u32, seq as u32)
+}
+
+/// Inverse of [`split_seq`].
+pub fn join_seq(epoch: u32, counter: u32) -> u64 {
+    (u64::from(epoch) << 32) | u64::from(counter)
 }
 
 /// Bit assignments for the header's `flags` byte.
@@ -464,6 +506,12 @@ pub enum ErrorCode {
     /// capacity) and cannot honour the request right now; retry later or
     /// elsewhere.
     ServerBusy = 10,
+    /// The frame is stamped with a **retired key epoch**: a `Data` frame
+    /// whose sequence field names an epoch older than the stream's
+    /// current one (a replay from before a rotation), or a `Rekey`
+    /// naming an epoch that is not strictly newer. The stream state is
+    /// untouched and the sequence number was *not* consumed.
+    StaleEpoch = 11,
 }
 
 impl ErrorCode {
@@ -480,6 +528,7 @@ impl ErrorCode {
             8 => ErrorCode::Engine,
             9 => ErrorCode::MessageTooLarge,
             10 => ErrorCode::ServerBusy,
+            11 => ErrorCode::StaleEpoch,
             _ => return None,
         })
     }
@@ -498,9 +547,80 @@ impl core::fmt::Display for ErrorCode {
             ErrorCode::Engine => "engine failure",
             ErrorCode::MessageTooLarge => "message too large",
             ErrorCode::ServerBusy => "server at capacity",
+            ErrorCode::StaleEpoch => "stale key epoch",
         };
         write!(f, "{name}")
     }
+}
+
+/// Encodes a [`FrameKind::Rekey`] payload: the requested epoch (u32 LE).
+pub fn encode_rekey(epoch: u32) -> Vec<u8> {
+    epoch.to_le_bytes().to_vec()
+}
+
+/// Inverts [`encode_rekey`].
+///
+/// # Errors
+///
+/// [`FrameError::BadPayload`] unless the payload is exactly 4 bytes.
+pub fn decode_rekey(payload: &[u8]) -> Result<u32, FrameError> {
+    let bytes: [u8; 4] = payload
+        .try_into()
+        .map_err(|_| FrameError::BadPayload("rekey payload must be the 4-byte epoch"))?;
+    Ok(u32::from_le_bytes(bytes))
+}
+
+/// Encodes a [`FrameKind::RekeyAck`] payload: `epoch (u32 LE) ∥ fresh
+/// resume token (u64 LE)`.
+pub fn encode_rekey_ack(epoch: u32, token: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&token.to_le_bytes());
+    out
+}
+
+/// Inverts [`encode_rekey_ack`].
+///
+/// # Errors
+///
+/// [`FrameError::BadPayload`] unless the payload is exactly 12 bytes.
+pub fn decode_rekey_ack(payload: &[u8]) -> Result<(u32, u64), FrameError> {
+    if payload.len() != 12 {
+        return Err(FrameError::BadPayload(
+            "rekey-ack payload must be epoch (4) + token (8)",
+        ));
+    }
+    Ok((
+        u32::from_le_bytes(payload[0..4].try_into().expect("sized")),
+        u64::from_le_bytes(payload[4..12].try_into().expect("sized")),
+    ))
+}
+
+/// Encodes a *resumed* [`FrameKind::HelloAck`] payload: `resume token
+/// (u64 LE) ∥ current epoch (u32 LE)`. A fresh (non-resumed) ack carries
+/// the bare 8-byte token — the stream is necessarily at epoch 0.
+pub fn encode_resumed_ack(token: u64, epoch: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(&token.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out
+}
+
+/// Inverts [`encode_resumed_ack`].
+///
+/// # Errors
+///
+/// [`FrameError::BadPayload`] unless the payload is exactly 12 bytes.
+pub fn decode_resumed_ack(payload: &[u8]) -> Result<(u64, u32), FrameError> {
+    if payload.len() != 12 {
+        return Err(FrameError::BadPayload(
+            "resumed hello-ack payload must be token (8) + epoch (4)",
+        ));
+    }
+    Ok((
+        u64::from_le_bytes(payload[0..8].try_into().expect("sized")),
+        u32::from_le_bytes(payload[8..12].try_into().expect("sized")),
+    ))
 }
 
 /// Encodes an error payload: `code (1) ∥ utf-8 detail`.
@@ -622,5 +742,51 @@ mod tests {
         assert_eq!(code, Some(ErrorCode::BadSequence));
         assert_eq!(detail, "expected 4, got 2");
         assert_eq!(decode_error(&[]), (None, String::new()));
+        assert_eq!(
+            decode_error(&encode_error(ErrorCode::StaleEpoch, "")).0,
+            Some(ErrorCode::StaleEpoch)
+        );
+    }
+
+    #[test]
+    fn seq_split_is_epoch_zero_compatible() {
+        // At epoch 0 the field is a plain counter — old-wire compatible.
+        assert_eq!(join_seq(0, 42), 42);
+        assert_eq!(split_seq(42), (0, 42));
+        assert_eq!(
+            split_seq(join_seq(u32::MAX, u32::MAX)),
+            (u32::MAX, u32::MAX)
+        );
+        assert_eq!(join_seq(1, 0), 1 << 32);
+    }
+
+    #[test]
+    fn rekey_payloads_roundtrip_and_reject_bad_shapes() {
+        assert_eq!(decode_rekey(&encode_rekey(7)).unwrap(), 7);
+        assert!(decode_rekey(&[1, 2, 3]).is_err());
+        assert!(decode_rekey(&[1, 2, 3, 4, 5]).is_err());
+
+        let ack = encode_rekey_ack(3, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(decode_rekey_ack(&ack).unwrap(), (3, 0xDEAD_BEEF_CAFE_F00D));
+        assert!(decode_rekey_ack(&ack[..11]).is_err());
+
+        let resumed = encode_resumed_ack(0x1234_5678_9ABC_DEF0, 9);
+        assert_eq!(
+            decode_resumed_ack(&resumed).unwrap(),
+            (0x1234_5678_9ABC_DEF0, 9)
+        );
+        assert!(decode_resumed_ack(&resumed[..8]).is_err());
+    }
+
+    #[test]
+    fn rekey_frame_kinds_roundtrip_on_the_wire() {
+        let rekey = Frame::new(FrameKind::Rekey, 7, join_seq(0, 3)).with_payload(encode_rekey(1));
+        let (got, _) = decode(&rekey.encode()).unwrap().expect("complete");
+        assert_eq!(got, rekey);
+        let ack = Frame::new(FrameKind::RekeyAck, 7, join_seq(0, 3))
+            .with_payload(encode_rekey_ack(1, 99));
+        let (got, _) = decode(&ack.encode()).unwrap().expect("complete");
+        assert_eq!(got.kind, FrameKind::RekeyAck);
+        assert_eq!(decode_rekey_ack(&got.payload).unwrap(), (1, 99));
     }
 }

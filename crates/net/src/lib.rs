@@ -31,11 +31,21 @@
 //!   │ ◀──────── Reply(7, seq=0, bit_len ∥ blocks)
 //!   │ Data(7, seq=1, OPEN, blocks) ───────▶ decrypt on stream 7
 //!   │ ◀──────── Reply(7, seq=1, plaintext)
+//!   │ Rekey(7, seq=2, epoch=1) ───────────▶ rotates key epoch, both
+//!   │ ◀─── RekeyAck(7, epoch=1, token′)     directions, atomically
+//!   │ Data(7, seq=(1,0), plaintext) ──────▶ sealed under epoch 1
+//!   │ ◀──────── Reply(7, seq=(1,0), …)      (old-epoch replays: StaleEpoch)
 //!   ✕ (disconnect)                          evicts stream 7 → snapshot
 //!   │ (reconnect)
-//!   │ Resume(7, token) ───────────────────▶ restores from snapshot
-//!   │ ◀────── HelloAck(7, RESUMED, token)   cipher state continues
+//!   │ Resume(7, token′) ──────────────────▶ restores from snapshot
+//!   │ ◀── HelloAck(7, RESUMED, token′, 1)   cipher state + epoch continue
 //! ```
+//!
+//! The sequence field carries the key epoch in its high 32 bits
+//! ([`frame::split_seq`]); at epoch 0 it is numerically a plain counter,
+//! so a stream that never rekeys puts identical `Data`/`Reply` bytes on
+//! the wire as before epochs existed. (The `HelloAck` answering a
+//! `Resume` did grow: it now appends the epoch to the token.)
 //!
 //! # Example
 //!
@@ -57,7 +67,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod client;
 pub mod crc;

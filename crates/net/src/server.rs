@@ -23,6 +23,17 @@
 //! `MHSS` snapshot parked in an in-memory store. A later connection can
 //! [`FrameKind::Resume`] the stream id and continue bit-exactly — TCP
 //! session death does not cost cipher stream state.
+//!
+//! Key rotation is first-class: a [`FrameKind::Rekey`] frame is sequenced
+//! like `Data` (it consumes the next counter of the current epoch and
+//! rides the same batched gateway submission, so it lands in order
+//! relative to in-flight traffic), rotates both directions of the stream
+//! atomically, re-mints the resume token, and restarts the sequence space
+//! at `(new epoch, counter 0)`. Frames stamped with a retired epoch —
+//! replays captured before the rotation — are rejected with the dedicated
+//! [`ErrorCode::StaleEpoch`] without touching cipher state. Because the
+//! epoch lives in the `MHSS` snapshot (v2), rotation state survives
+//! evict/resume cycles too.
 
 use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
@@ -35,19 +46,27 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use mhhea::gateway::{GatewayError, StreamConfig, StreamId, StreamMux, StreamOp, StreamOutput};
-use mhhea::Key;
+use mhhea::{Key, KeyRing};
 
 use crate::frame::{
-    self, decode_blocks, encode_blocks, encode_error, flags, ErrorCode, Frame, FrameKind, Hello,
-    HEADER_LEN, MAX_PAYLOAD,
+    self, decode_blocks, decode_rekey, encode_blocks, encode_error, encode_rekey_ack,
+    encode_resumed_ack, flags, join_seq, split_seq, ErrorCode, Frame, FrameKind, Hello, HEADER_LEN,
+    MAX_PAYLOAD,
 };
 
 /// Tuning knobs and the keyring for [`NetServer`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// key id → key. A [`Hello`] naming an id outside this map is
-    /// rejected; key material itself never crosses the wire.
-    pub keyring: HashMap<u32, Key>,
+    /// key id → **epoch-ordered keys**. A [`Hello`] naming an id outside
+    /// this map is rejected; key material itself never crosses the wire.
+    /// A stream opened under id `k` gets a [`KeyRing`] of these keys with
+    /// the handshake seed as master: epoch `e` runs `keys[e mod len]`.
+    /// [`ServerConfig::new`] installs single-key entries (every rotation
+    /// reuses the key but reseeds the LFSR); use
+    /// [`ServerConfig::with_epoch_keys`] for rotations that actually
+    /// change the key — only those retire old ciphertext on the decrypt
+    /// side.
+    pub keyring: HashMap<u32, Vec<Key>>,
     /// Shard count for the underlying [`StreamMux`].
     pub shards: usize,
     /// Per-connection write buffer size above which the server stops
@@ -77,10 +96,11 @@ pub struct ServerConfig {
 }
 
 impl ServerConfig {
-    /// A config with the given keyring and default tuning.
+    /// A config with the given keyring (one key per id) and default
+    /// tuning.
     pub fn new(keyring: impl IntoIterator<Item = (u32, Key)>) -> ServerConfig {
         ServerConfig {
-            keyring: keyring.into_iter().collect(),
+            keyring: keyring.into_iter().map(|(id, k)| (id, vec![k])).collect(),
             shards: 64,
             write_buf_limit: 4 << 20,
             read_budget: 256 << 10,
@@ -90,6 +110,27 @@ impl ServerConfig {
             close_grace: Duration::from_secs(5),
             idle_sleep: Duration::from_micros(200),
         }
+    }
+
+    /// Installs an epoch-ordered key list for `id` (replacing any single
+    /// key [`ServerConfig::new`] put there): streams opened under `id`
+    /// cycle through `keys` as they rekey, so a rotation genuinely
+    /// changes the cipher key — pre-rotation ciphertext no longer opens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is empty or longer than
+    /// [`mhhea::key::MAX_RING_KEYS`] — a keyring no stream could be
+    /// opened with is a deployment bug, not a runtime condition.
+    #[must_use]
+    pub fn with_epoch_keys(mut self, id: u32, keys: Vec<Key>) -> ServerConfig {
+        assert!(
+            !keys.is_empty() && keys.len() <= mhhea::key::MAX_RING_KEYS,
+            "epoch key list must hold 1..={} keys",
+            mhhea::key::MAX_RING_KEYS
+        );
+        self.keyring.insert(id, keys);
+        self
     }
 }
 
@@ -116,6 +157,8 @@ pub struct ServerStats {
     pub streams_evicted: AtomicU64,
     /// Streams restored from the snapshot store by `Resume`.
     pub streams_resumed: AtomicU64,
+    /// Successful key rotations (`Rekey` → `RekeyAck`).
+    pub streams_rekeyed: AtomicU64,
 }
 
 impl ServerStats {
@@ -178,9 +221,9 @@ impl Conn {
     }
 }
 
-/// What a parsed `Data` frame turned into: either a slot in this tick's
-/// gateway batch, or an immediate failure that still must be answered *in
-/// request order*.
+/// What a parsed `Data`/`Rekey` frame turned into: either a slot in this
+/// tick's gateway batch, or an immediate failure that still must be
+/// answered *in request order*.
 struct DataTicket {
     conn: usize,
     stream: u64,
@@ -189,14 +232,25 @@ struct DataTicket {
 }
 
 enum TicketOutcome {
-    /// `batch[index]`; `Some(bit_len)` when the reply must be re-framed as
-    /// `bit_len ∥ blocks` (the seal direction).
-    Submitted {
-        index: usize,
-        seal_bit_len: Option<u32>,
-    },
+    /// `batch[index]`, with how the result must be framed back.
+    Submitted { index: usize, shape: ReplyShape },
     /// Rejected before touching any cipher state.
     Rejected { code: ErrorCode, detail: String },
+}
+
+/// How a submitted op's output travels back to the client.
+enum ReplyShape {
+    /// A seal: `Reply` carrying `bit_len ∥ blocks`.
+    Seal {
+        /// The plaintext bit length to prefix the blocks with.
+        bit_len: u32,
+    },
+    /// An open: `Reply` carrying plaintext, flagged [`flags::DIR_OPEN`].
+    Open,
+    /// A rotation: `RekeyAck` carrying the epoch and a fresh resume
+    /// token; accepting it also restamps the stream's expected sequence
+    /// to `join_seq(epoch, 0)`.
+    Rekey,
 }
 
 /// The framed TCP front-end over a [`StreamMux`].
@@ -305,12 +359,24 @@ impl NetServer {
         // shared batch. Tickets remember per-conn request order; goodbye
         // frames for framing violations are deferred so they land *after*
         // the replies to valid frames parsed earlier in the same tick.
+        // `rekey_pending` holds streams whose Rekey is queued but not yet
+        // acked: until the reply phase restamps their sequence space, any
+        // further frame on them is ambiguous (it would be validated
+        // against the old epoch but executed after the rotation) and is
+        // rejected without consuming anything.
         let mut batch: Vec<(StreamId, StreamOp)> = Vec::new();
         let mut tickets: Vec<DataTicket> = Vec::new();
         let mut goodbyes: Vec<(usize, Frame)> = Vec::new();
+        let mut rekey_pending: std::collections::HashSet<u64> = std::collections::HashSet::new();
         for idx in 0..self.conns.len() {
             progress |= self.read_conn(idx);
-            progress |= self.parse_conn(idx, &mut batch, &mut tickets, &mut goodbyes);
+            progress |= self.parse_conn(
+                idx,
+                &mut batch,
+                &mut tickets,
+                &mut goodbyes,
+                &mut rekey_pending,
+            );
         }
 
         // The tick's entire crypto workload: one submission, one pool job
@@ -328,25 +394,44 @@ impl NetServer {
             };
             for ticket in tickets {
                 let reply = match ticket.outcome {
-                    TicketOutcome::Submitted {
-                        index,
-                        seal_bit_len,
-                    } => match (
+                    TicketOutcome::Submitted { index, shape } => match (
                         results[index].take().expect("each slot consumed once"),
-                        seal_bit_len,
+                        shape,
                     ) {
-                        (Ok(StreamOutput::Blocks(blocks)), Some(bit_len)) => {
+                        (Ok(StreamOutput::Blocks(blocks)), ReplyShape::Seal { bit_len }) => {
                             Frame::new(FrameKind::Reply, ticket.stream, ticket.seq)
                                 .with_payload(encode_blocks(bit_len, &blocks))
                         }
-                        (Ok(StreamOutput::Plain(plain)), None) => {
+                        (Ok(StreamOutput::Plain(plain)), ReplyShape::Open) => {
                             Frame::new(FrameKind::Reply, ticket.stream, ticket.seq)
                                 .with_flags(flags::DIR_OPEN)
                                 .with_payload(plain)
                         }
+                        (Ok(StreamOutput::Rekeyed { epoch }), ReplyShape::Rekey) => {
+                            // The rotation took: retire the old resume
+                            // token (a snapshot thief must not outlive a
+                            // rekey), restart the sequence space in the
+                            // new epoch, and hand both back in the ack.
+                            let token = self.fresh_token();
+                            self.tokens.insert(ticket.stream, token);
+                            self.conns[ticket.conn]
+                                .streams
+                                .insert(ticket.stream, join_seq(epoch, 0));
+                            ServerStats::bump(&self.stats.streams_rekeyed);
+                            Frame::new(FrameKind::RekeyAck, ticket.stream, ticket.seq)
+                                .with_payload(encode_rekey_ack(epoch, token))
+                        }
                         (Ok(_), _) => unreachable!("op direction matches output variant"),
-                        (Err(e), _) => Frame::new(FrameKind::Error, ticket.stream, ticket.seq)
-                            .with_payload(encode_error(ErrorCode::Engine, &e.to_string())),
+                        (Err(e), _) => {
+                            // The one machine-distinguishable failure: a
+                            // rotation racing another rotation.
+                            let code = match e {
+                                GatewayError::StaleEpoch { .. } => ErrorCode::StaleEpoch,
+                                _ => ErrorCode::Engine,
+                            };
+                            Frame::new(FrameKind::Error, ticket.stream, ticket.seq)
+                                .with_payload(encode_error(code, &e.to_string()))
+                        }
                     },
                     TicketOutcome::Rejected { code, detail } => {
                         Frame::new(FrameKind::Error, ticket.stream, ticket.seq)
@@ -475,6 +560,7 @@ impl NetServer {
         batch: &mut Vec<(StreamId, StreamOp)>,
         tickets: &mut Vec<DataTicket>,
         goodbyes: &mut Vec<(usize, Frame)>,
+        rekey_pending: &mut std::collections::HashSet<u64>,
     ) -> bool {
         if self.conns[idx].closing || self.conns[idx].dead {
             return false;
@@ -504,10 +590,10 @@ impl NetServer {
                     return true;
                 }
             };
-            if frame.kind == FrameKind::Data {
+            if frame.kind == FrameKind::Data || frame.kind == FrameKind::Rekey {
                 ServerStats::bump(&self.stats.frames_received);
                 handled = true;
-                self.queue_data(idx, frame, batch, tickets);
+                self.queue_data(idx, frame, batch, tickets, rekey_pending);
                 data_queued = true;
             } else {
                 if data_queued {
@@ -531,15 +617,17 @@ impl NetServer {
         handled
     }
 
-    /// Validates a `Data` frame (ownership, sequence, payload shape) and
-    /// either enqueues its work or records the rejection. Rejections never
-    /// touch cipher state, so the stream survives them.
+    /// Validates a `Data`/`Rekey` frame (ownership, epoch, sequence,
+    /// payload shape) and either enqueues its work or records the
+    /// rejection. Rejections never touch cipher state, so the stream
+    /// survives them.
     fn queue_data(
         &mut self,
         idx: usize,
         frame: Frame,
         batch: &mut Vec<(StreamId, StreamOp)>,
         tickets: &mut Vec<DataTicket>,
+        rekey_pending: &mut std::collections::HashSet<u64>,
     ) {
         let stream = frame.stream;
         let seq = frame.seq;
@@ -556,21 +644,81 @@ impl NetServer {
             ));
             return;
         };
-        if seq != expected {
+        if rekey_pending.contains(&stream) {
+            // A rotation for this stream is queued but not yet acked: the
+            // sequence space this frame would be validated against is
+            // about to be restamped, and the gateway would execute the
+            // frame *after* the rotation whatever its stamp claims. Rekey
+            // is a synchronisation point — reject without consuming
+            // anything; the client resends after the ack.
             tickets.push(reject(
                 ErrorCode::BadSequence,
-                format!("expected sequence {expected}, got {seq}"),
+                "a rekey is in flight on this stream; wait for the ack".to_string(),
             ));
             return;
         }
-        let (op, seal_bit_len) = if frame.flags & flags::DIR_OPEN != 0 {
+        let (cur_epoch, cur_counter) = split_seq(expected);
+        let (frame_epoch, frame_counter) = split_seq(seq);
+        if frame_epoch < cur_epoch {
+            // A replay from before a rotation. The dedicated code lets
+            // clients and monitors tell "stale capture" from an ordinary
+            // sequencing bug; either way no cipher state is touched and
+            // the sequence number is not consumed.
+            tickets.push(reject(
+                ErrorCode::StaleEpoch,
+                format!(
+                    "frame stamped with retired epoch {frame_epoch}; stream is at epoch {cur_epoch}"
+                ),
+            ));
+            return;
+        }
+        if seq != expected {
+            tickets.push(reject(
+                ErrorCode::BadSequence,
+                format!(
+                    "expected epoch {cur_epoch} counter {cur_counter}, \
+                     got epoch {frame_epoch} counter {frame_counter}"
+                ),
+            ));
+            return;
+        }
+        if cur_counter == u32::MAX && frame.kind != FrameKind::Rekey {
+            // Accepting a Data frame here would roll the counter into the
+            // epoch bits. Practically unreachable (2³² messages in one
+            // epoch), but never silently — and `Rekey` is deliberately
+            // exempt: rotating to a fresh epoch is the escape hatch this
+            // error advises, so it must still be accepted.
+            tickets.push(reject(
+                ErrorCode::Protocol,
+                "per-epoch sequence space exhausted; rekey the stream".to_string(),
+            ));
+            return;
+        }
+        let (op, shape) = if frame.kind == FrameKind::Rekey {
+            match decode_rekey(&frame.payload) {
+                Ok(epoch) if epoch > cur_epoch => (StreamOp::Rekey { epoch }, ReplyShape::Rekey),
+                Ok(epoch) => {
+                    tickets.push(reject(
+                        ErrorCode::StaleEpoch,
+                        format!(
+                            "rekey to epoch {epoch} is not newer than current epoch {cur_epoch}"
+                        ),
+                    ));
+                    return;
+                }
+                Err(e) => {
+                    tickets.push(reject(ErrorCode::Protocol, e.to_string()));
+                    return;
+                }
+            }
+        } else if frame.flags & flags::DIR_OPEN != 0 {
             match decode_blocks(&frame.payload) {
                 Ok((bit_len, blocks)) => (
                     StreamOp::Decrypt {
                         blocks,
                         bit_len: bit_len as usize,
                     },
-                    None,
+                    ReplyShape::Open,
                 ),
                 Err(e) => {
                     tickets.push(reject(ErrorCode::Protocol, e.to_string()));
@@ -593,16 +741,32 @@ impl NetServer {
             }
             // MAX_PAYLOAD bounds the message, so the bit length fits u32.
             let bit_len = (frame.payload.len() * 8) as u32;
-            (StreamOp::Encrypt(frame.payload), Some(bit_len))
+            (
+                StreamOp::Encrypt(frame.payload),
+                ReplyShape::Seal { bit_len },
+            )
         };
-        *self.conns[idx].streams.get_mut(&stream).expect("checked") = expected + 1;
+        // Consume the sequence number in the *current* epoch; a
+        // successful rekey additionally restamps it to the new epoch's
+        // counter 0 when the ack is built. An accepted Rekey also blocks
+        // every further frame on the stream until that restamp
+        // (`rekey_pending`), so nothing can be validated against the old
+        // epoch but executed after the rotation. At counter u32::MAX only
+        // a Rekey can get here — skip the bump (it would roll into the
+        // epoch bits); the pending guard covers the gap until the ack.
+        if matches!(shape, ReplyShape::Rekey) {
+            rekey_pending.insert(stream);
+        }
+        if cur_counter != u32::MAX {
+            *self.conns[idx].streams.get_mut(&stream).expect("checked") = expected + 1;
+        }
         tickets.push(DataTicket {
             conn: idx,
             stream,
             seq,
             outcome: TicketOutcome::Submitted {
                 index: batch.len(),
-                seal_bit_len,
+                shape,
             },
         });
         batch.push((StreamId(stream), op));
@@ -635,7 +799,7 @@ impl NetServer {
             }
             // Server-emitted kinds arriving at the server are protocol
             // violations a conforming client never produces.
-            FrameKind::HelloAck | FrameKind::Reply | FrameKind::Error => {
+            FrameKind::HelloAck | FrameKind::Reply | FrameKind::Error | FrameKind::RekeyAck => {
                 ServerStats::bump(&self.stats.protocol_errors);
                 let goodbye = Frame::new(FrameKind::Error, 0, 0).with_payload(encode_error(
                     ErrorCode::Protocol,
@@ -644,7 +808,9 @@ impl NetServer {
                 self.push_frame(idx, &goodbye);
                 self.conns[idx].start_closing();
             }
-            FrameKind::Data => unreachable!("data frames go through queue_data"),
+            FrameKind::Data | FrameKind::Rekey => {
+                unreachable!("data and rekey frames go through queue_data")
+            }
         }
     }
 
@@ -657,7 +823,7 @@ impl NetServer {
             Ok(h) => h,
             Err(e) => return fail(ErrorCode::BadHandshake, &e.to_string()),
         };
-        let Some(key) = self.cfg.keyring.get(&hello.key_id) else {
+        let Some(epoch_keys) = self.cfg.keyring.get(&hello.key_id) else {
             return fail(
                 ErrorCode::UnknownKeyId,
                 &format!("key id {} not in keyring", hello.key_id),
@@ -678,10 +844,21 @@ impl NetServer {
         if self.mux.len() >= self.cfg.max_streams {
             return fail(ErrorCode::ServerBusy, "server at stream capacity");
         }
-        let config = StreamConfig::new(key.clone())
+        // Every served stream gets a ring of the id's epoch keys with the
+        // handshake seed as master, so `Rekey` works out of the box. Each
+        // epoch reseeds the LFSR via the chunk_seed derivation; whether a
+        // rotation also *changes the key* depends on how the id was
+        // configured (ServerConfig::with_epoch_keys vs a single key).
+        // Epoch 0 runs the handshake seed itself, so a stream that never
+        // rekeys seals exactly as it did before epochs existed.
+        let ring = match KeyRing::new(epoch_keys.clone(), hello.seed) {
+            Ok(ring) => ring,
+            Err(e) => return fail(ErrorCode::BadHandshake, &e.to_string()),
+        };
+        let config = StreamConfig::new(ring.key(0).clone())
             .with_algorithm(hello.algorithm)
             .with_profile(hello.profile)
-            .with_seed(hello.seed);
+            .with_ring(ring);
         match self.mux.open(StreamId(stream), config) {
             Ok(()) => {
                 let token = self.fresh_token();
@@ -721,11 +898,15 @@ impl NetServer {
         match self.mux.restore(&snapshot) {
             Ok(id) => {
                 debug_assert_eq!(id.0, stream, "snapshot carries its own id");
-                self.conns[idx].streams.insert(stream, 0);
+                // The snapshot carries the key epoch; the new session's
+                // sequence space starts at counter 0 *in that epoch*, and
+                // the ack tells the client which epoch that is.
+                let epoch = self.mux.epoch(id).unwrap_or(0);
+                self.conns[idx].streams.insert(stream, join_seq(epoch, 0));
                 ServerStats::bump(&self.stats.streams_resumed);
                 Frame::new(FrameKind::HelloAck, stream, 0)
                     .with_flags(flags::RESUMED)
-                    .with_payload(token.to_le_bytes().to_vec())
+                    .with_payload(encode_resumed_ack(token, epoch))
             }
             Err(e) => {
                 // Park it again: the snapshot is still the only copy of

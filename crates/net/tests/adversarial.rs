@@ -763,3 +763,233 @@ fn goodbye_does_not_overtake_replies_owed_in_the_same_tick() {
     );
     assert!(reader.next().is_none(), "then EOF");
 }
+
+/// A Data frame stamped with a retired epoch — a replay captured before a
+/// rotation — is rejected with the dedicated `StaleEpoch` code, the
+/// sequence number is not consumed, and neither the attacked stream nor a
+/// shard-mate pumping oracle-checked traffic desynchronises.
+#[test]
+fn replayed_old_epoch_frames_rejected_without_desync() {
+    use mhhea::KeyRing;
+    let server = spawn_server();
+    let mut witness = Witness::open(server.addr(), 81);
+
+    let mut client = NetClient::connect(server.addr()).unwrap();
+    client.open_stream(80, Hello::new(1, 0x8080)).unwrap();
+    let ring = KeyRing::single(key(), 0x8080).unwrap();
+    let mut oracle = EncryptSession::new(key(), LfsrSource::new(0x8080).unwrap());
+
+    // Epoch 0 traffic, then rotate. Capture what a replayed frame looks
+    // like: same stream, old epoch 0 in the sequence field's high bits.
+    let sealed = client.seal(80, b"captured in epoch zero").unwrap();
+    assert_eq!(
+        sealed.blocks,
+        oracle.encrypt(b"captured in epoch zero").unwrap()
+    );
+    client.rekey(80, 1).unwrap();
+    oracle.rekey(&ring, 1).unwrap();
+
+    // Replay: a well-formed Data frame whose seq names retired epoch 0.
+    client
+        .send_frame(
+            &Frame::new(FrameKind::Data, 80, frame::join_seq(0, 0))
+                .with_payload(b"captured in epoch zero".to_vec()),
+        )
+        .unwrap();
+    let err = client.recv_frame().unwrap();
+    assert_eq!(err.kind, FrameKind::Error);
+    assert_eq!(
+        frame::decode_error(&err.payload).0,
+        Some(ErrorCode::StaleEpoch),
+        "replays across a rotation must get the dedicated code"
+    );
+
+    // The stream is untouched: the next legitimate seal is bit-exact.
+    let after = client.seal(80, b"epoch one continues").unwrap();
+    assert_eq!(
+        after.blocks,
+        oracle.encrypt(b"epoch one continues").unwrap()
+    );
+    witness.pump();
+    client.bye(80).unwrap();
+}
+
+/// Rekey requests that do not move the epoch strictly forward bounce with
+/// `StaleEpoch` and do not consume a sequence number; rekeying a stream
+/// the connection never opened is `UnknownStream`.
+#[test]
+fn stale_or_misaddressed_rekeys_rejected_cleanly() {
+    let server = spawn_server();
+    let mut client = NetClient::connect(server.addr()).unwrap();
+    client.open_stream(85, Hello::new(1, 0x8585)).unwrap();
+    client.rekey(85, 3).unwrap(); // skipping epochs forward is fine
+
+    for stale in [3, 2, 0] {
+        let err = client
+            .rekey(85, stale)
+            .expect_err("stale epoch must bounce");
+        assert!(
+            err.is_code(ErrorCode::StaleEpoch),
+            "epoch {stale}: wrong code: {err}"
+        );
+    }
+    // None of the rejections consumed a sequence number: plain traffic
+    // continues at (epoch 3, counter 0).
+    client.seal(85, b"still healthy").unwrap();
+
+    // The client refuses locally for a stream it never opened…
+    let err = client.rekey(9999, 1).expect_err("unopened stream");
+    assert!(matches!(err, ClientError::StreamNotOpen(9999)));
+    // …and the server refuses a raw frame that bypasses that check.
+    client
+        .send_frame(&Frame::new(FrameKind::Rekey, 9999, 0).with_payload(frame::encode_rekey(1)))
+        .unwrap();
+    let err = client.recv_frame().unwrap();
+    assert_eq!(err.kind, FrameKind::Error);
+    assert_eq!(
+        frame::decode_error(&err.payload).0,
+        Some(ErrorCode::UnknownStream)
+    );
+
+    // A malformed rekey payload (wrong size) is a Protocol rejection that
+    // also leaves the sequence space untouched.
+    client
+        .send_frame(
+            &Frame::new(FrameKind::Rekey, 85, frame::join_seq(3, 1)).with_payload(vec![1, 2, 3]),
+        )
+        .unwrap();
+    let err = client.recv_frame().unwrap();
+    assert_eq!(err.kind, FrameKind::Error);
+    assert_eq!(
+        frame::decode_error(&err.payload).0,
+        Some(ErrorCode::Protocol)
+    );
+    client.seal(85, b"and still healthy").unwrap();
+    client.bye(85).unwrap();
+}
+
+/// Rotation re-mints the resume token: the pre-rotation token must not
+/// reclaim the parked snapshot (an attacker who stole it learns it died
+/// with the epoch), while the fresh token resumes normally.
+#[test]
+fn rekey_reminted_token_invalidates_the_old_one() {
+    let server = spawn_server();
+    let mut client = NetClient::connect(server.addr()).unwrap();
+    let old_token = client.open_stream(88, Hello::new(1, 0x8888)).unwrap();
+    let new_token = client.rekey(88, 1).unwrap();
+    assert_ne!(old_token, new_token);
+    client.seal(88, b"rotated").unwrap();
+    drop(client); // parks the snapshot (epoch 1) under the new token
+
+    let mut thief = NetClient::connect(server.addr()).unwrap();
+    let err = thief
+        .resume_within(88, old_token, Duration::from_secs(5))
+        .expect_err("the retired token must never resume");
+    assert!(err.is_code(ErrorCode::NoSnapshot), "wrong code: {err}");
+
+    let mut owner = NetClient::connect(server.addr()).unwrap();
+    owner
+        .resume_within(88, new_token, Duration::from_secs(5))
+        .expect("the fresh token resumes");
+    owner.seal(88, b"still mine").unwrap();
+    owner.bye(88).unwrap();
+}
+
+/// The rekey synchronisation point holds even against pipelining: a
+/// Data frame smuggled into the same burst as a Rekey — stamped with the
+/// old epoch's next counter, which WOULD have been valid had the Rekey
+/// not been there — must never execute. Depending on how the burst lands
+/// in server ticks it dies as BadSequence (rekey in flight) or
+/// StaleEpoch (retired epoch), but it is never answered with a Reply,
+/// and nothing is consumed.
+#[test]
+fn data_pipelined_behind_a_rekey_never_executes() {
+    let server = spawn_server();
+    let sock = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = FrameReader::new(sock);
+    reader
+        .sock
+        .write_all(
+            &Frame::new(FrameKind::Hello, 90, 0)
+                .with_payload(Hello::new(1, 0x9090).encode())
+                .encode(),
+        )
+        .unwrap();
+    assert_eq!(reader.next().unwrap().kind, FrameKind::HelloAck);
+
+    // One write: Rekey consuming (0,0), then Data stamped (0,1) — the
+    // counter the old epoch would have used next.
+    let mut burst = Vec::new();
+    Frame::new(FrameKind::Rekey, 90, frame::join_seq(0, 0))
+        .with_payload(frame::encode_rekey(1))
+        .encode_into(&mut burst);
+    Frame::new(FrameKind::Data, 90, frame::join_seq(0, 1))
+        .with_payload(b"smuggled across the rotation".to_vec())
+        .encode_into(&mut burst);
+    reader.sock.write_all(&burst).unwrap();
+
+    let ack = reader.next().expect("rekey ack");
+    assert_eq!(ack.kind, FrameKind::RekeyAck);
+    let smuggled = reader.next().expect("answer for the smuggled frame");
+    assert_eq!(
+        smuggled.kind,
+        FrameKind::Error,
+        "a frame behind a rekey must never be executed"
+    );
+    let (code, _) = frame::decode_error(&smuggled.payload);
+    assert!(
+        code == Some(ErrorCode::BadSequence) || code == Some(ErrorCode::StaleEpoch),
+        "wrong rejection: {code:?}"
+    );
+
+    // The rejection consumed nothing: (1, 0) is the next sequence
+    // number, and the raw-frame path proves it.
+    reader
+        .sock
+        .write_all(
+            &Frame::new(FrameKind::Data, 90, frame::join_seq(1, 0))
+                .with_payload(b"patient now".to_vec())
+                .encode(),
+        )
+        .unwrap();
+    let reply = reader.next().expect("reply in the new epoch");
+    assert_eq!(
+        (reply.kind, reply.seq),
+        (FrameKind::Reply, frame::join_seq(1, 0))
+    );
+}
+
+/// With a multi-key epoch list (`ServerConfig::with_epoch_keys`), a
+/// rotation changes the cipher key itself: captured epoch-0 ciphertext
+/// restamped with the new epoch no longer opens to the plaintext — the
+/// decrypt side genuinely retired the old key.
+#[test]
+fn multi_key_rotation_retires_old_ciphertext() {
+    let second_key = Key::from_nibbles(&[(7, 7), (0, 0), (3, 3)]).unwrap();
+    let config =
+        ServerConfig::new([(1, key())]).with_epoch_keys(2, vec![key(), second_key.clone()]);
+    let server = NetServer::spawn("127.0.0.1:0", config).expect("bind server");
+
+    let mut client = NetClient::connect(server.addr()).unwrap();
+    client.open_stream(95, Hello::new(2, 0x9595)).unwrap();
+    let plaintext = b"sealed under the epoch-zero key";
+    let captured = client.seal(95, plaintext).unwrap();
+    // Keep the duplex decrypt cursor in lockstep, then rotate: epoch 1
+    // runs `second_key`.
+    client.open(95, &captured.blocks, captured.bit_len).unwrap();
+    client.rekey(95, 1).unwrap();
+
+    // An attacker restamps the captured blocks with the live epoch to
+    // dodge the StaleEpoch check. The frame is well-formed, so the
+    // server answers — but under the rotated key the plaintext is gone.
+    match client.open(95, &captured.blocks, captured.bit_len) {
+        Ok(got) => assert_ne!(
+            got,
+            plaintext.to_vec(),
+            "rotated decrypt side must not recover old-epoch plaintext"
+        ),
+        // A span mismatch may under-run the bit count instead — an
+        // engine rejection retires the ciphertext just as thoroughly.
+        Err(e) => assert!(e.is_code(ErrorCode::Engine), "unexpected failure: {e}"),
+    }
+}

@@ -14,12 +14,16 @@
 //! and talks to itself. `serve`/`connect` split the two halves across
 //! processes (or machines); both sides derive the same demo keyring, so
 //! only the key *id* ever crosses the wire. The `connect` loop also
-//! understands two bang-commands:
+//! understands three bang-commands:
 //!
 //! * `!drop` — drop the TCP connection, reconnect, and `Resume` the
 //!   stream from the server's eviction snapshot (cipher state continues
 //!   bit-exactly — the next line seals with the cursor the old
 //!   connection left off at).
+//! * `!rekey` — rotate the stream to the next key epoch (`Rekey` /
+//!   `RekeyAck`): the LFSR reseeds, the schedule restarts, the resume
+//!   token is re-minted — watch the same line seal to different blocks
+//!   before and after.
 //! * `!quit` — close the stream politely and exit.
 
 use std::io::{BufRead, IsTerminal, Write};
@@ -48,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             chat(&server.addr().to_string())?;
             let stats = server.stats();
             println!(
-                "server saw {} frames in, {} frames out, {} evictions, {} resumes",
+                "server saw {} frames in, {} frames out, {} evictions, {} resumes, {} rekeys",
                 stats
                     .frames_received
                     .load(std::sync::atomic::Ordering::Relaxed),
@@ -58,6 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .load(std::sync::atomic::Ordering::Relaxed),
                 stats
                     .streams_resumed
+                    .load(std::sync::atomic::Ordering::Relaxed),
+                stats
+                    .streams_rekeyed
                     .load(std::sync::atomic::Ordering::Relaxed),
             );
             Ok(())
@@ -84,12 +91,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// echoed back through the server's decrypt session.
 fn chat(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
     let mut client = NetClient::connect(addr)?;
-    let token = client.open_stream(STREAM, Hello::new(1, SEED))?;
+    let mut token = client.open_stream(STREAM, Hello::new(1, SEED))?;
+    let mut epoch = 0u32;
     println!("stream {STREAM} open (key id 1, seed {SEED:#06x})");
 
     let interactive = std::io::stdin().is_terminal();
     if interactive {
-        println!("type lines to encrypt-echo them; !drop reconnects+resumes, !quit exits");
+        println!(
+            "type lines to encrypt-echo them; !drop reconnects+resumes, \
+             !rekey rotates the key epoch, !quit exits"
+        );
     }
 
     let stdin = std::io::stdin();
@@ -114,6 +125,15 @@ fn chat(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
                 println!("… dropped the connection; stream {STREAM} resumed from snapshot");
                 continue;
             }
+            "!rekey" => {
+                epoch += 1;
+                token = client.rekey(STREAM, epoch)?;
+                println!(
+                    "… rotated to key epoch {epoch}; resume token re-minted \
+                     (same line now seals to different blocks)"
+                );
+                continue;
+            }
             "" => continue,
             _ => {}
         }
@@ -127,6 +147,14 @@ fn chat(addr: &str) -> Result<(), Box<dyn std::error::Error>> {
             println!("(demo) > {msg}");
             echo_round_trip(&mut client, msg.as_bytes())?;
         }
+        // Rotate and replay the first line: same plaintext, new epoch,
+        // different blocks.
+        epoch += 1;
+        token = client.rekey(STREAM, epoch)?;
+        let _ = token;
+        println!("(demo) !rekey -> epoch {epoch}");
+        println!("(demo) > attack at dawn");
+        echo_round_trip(&mut client, b"attack at dawn")?;
     }
     client.bye(STREAM)?;
     Ok(())

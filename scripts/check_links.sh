@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Cheap docs link check: every relative link in README.md and docs/*.md
+# must resolve to a file or directory in the repository. External links
+# (http/https/mailto) and pure-anchor links are skipped; anchors on
+# relative links are stripped before the existence check.
+#
+# Run from anywhere: paths resolve against the repo root.
+set -u
+cd "$(dirname "$0")/.." || exit 1
+
+fail=0
+for doc in README.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    # Markdown inline links: capture the (...) target after ](.
+    targets=$(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+    while IFS= read -r target; do
+        [ -n "$target" ] || continue
+        case "$target" in
+            http://* | https://* | mailto:*) continue ;;
+            '#'*) continue ;; # same-file anchor
+        esac
+        path=${target%%#*}
+        if [ ! -e "$dir/$path" ]; then
+            echo "BROKEN LINK: $doc -> $target"
+            fail=1
+        fi
+    done <<EOF
+$targets
+EOF
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs link check FAILED"
+    exit 1
+fi
+echo "docs link check OK"

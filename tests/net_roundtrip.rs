@@ -29,7 +29,7 @@ use mhhea_net::client::NetClient;
 use mhhea_net::frame::Hello;
 use mhhea_net::server::{NetServer, ServerConfig, ServerHandle};
 use mhhea_suite::mhhea::session::{DecryptSession, EncryptSession};
-use mhhea_suite::mhhea::{Algorithm, Key, LfsrSource, Profile};
+use mhhea_suite::mhhea::{Algorithm, Key, KeyRing, LfsrSource, Profile};
 use proptest::prelude::*;
 
 /// Stream slots a schedule can address.
@@ -81,11 +81,14 @@ fn fresh_id_block() -> u64 {
     NEXT.fetch_add(u64::from(SLOTS), Ordering::Relaxed)
 }
 
-/// The in-process ground truth for one stream: the same sessions the
-/// server builds, advanced in lockstep.
+/// The in-process ground truth for one stream: the same sessions (and the
+/// same single-key ring the server builds at Hello), advanced in
+/// lockstep — including through key rotations.
 struct Oracle {
     enc: EncryptSession<LfsrSource>,
     dec: DecryptSession,
+    ring: KeyRing,
+    epoch: u32,
 }
 
 impl Oracle {
@@ -98,7 +101,16 @@ impl Oracle {
                 profile,
             ),
             dec: DecryptSession::with_options(key.clone(), algorithm, profile),
+            ring: KeyRing::single(key.clone(), seed).expect("nonzero seed"),
+            epoch: 0,
         }
+    }
+
+    /// Mirrors the server's atomic duplex rotation.
+    fn rekey(&mut self, epoch: u32) {
+        self.enc.rekey(&self.ring, epoch).expect("oracle rekey");
+        self.dec.rekey(&self.ring, epoch).expect("oracle rekey");
+        self.epoch = epoch;
     }
 }
 
@@ -107,24 +119,26 @@ enum Step {
     Send { slot: u8, msg: Vec<u8> },
     Reconnect,
     Close { slot: u8 },
+    Rekey { slot: u8 },
 }
 
 fn decode_step(kind: u8, slot: u8, msg: Vec<u8>) -> Step {
     match kind {
         0..=2 => Step::Send { slot, msg },
         3 => Step::Reconnect,
-        _ => Step::Close { slot },
+        4 => Step::Close { slot },
+        _ => Step::Rekey { slot },
     }
 }
 
 proptest! {
     /// The acceptance property: for every schedule, every byte delivered
     /// through the TCP transport equals the in-process oracle's — across
-    /// sends, disconnects, and evict/restore cycles.
+    /// sends, disconnects, evict/restore cycles and key rotations.
     #[test]
     fn schedules_match_in_process_oracle(
         steps in proptest::collection::vec(
-            (0u8..5, 0u8..SLOTS, proptest::collection::vec(any::<u8>(), 1..40)),
+            (0u8..7, 0u8..SLOTS, proptest::collection::vec(any::<u8>(), 1..40)),
             1..16,
         ),
         key_id in 1u32..=3,
@@ -208,6 +222,21 @@ proptest! {
                         oracles[slot as usize] = None;
                     }
                 }
+                Step::Rekey { slot } => {
+                    // Rotate a live stream (no-op slot when none is open:
+                    // schedules that open first cover the interesting
+                    // interleavings). The server re-mints the resume
+                    // token; holding on to the old one would make a later
+                    // Reconnect's resume fail, which is itself part of
+                    // what this exercises.
+                    if let Some(oracle) = oracles[slot as usize].as_mut() {
+                        let id = base + u64::from(slot);
+                        let epoch = oracle.epoch + 1;
+                        tokens[slot as usize] =
+                            client.rekey(id, epoch).expect("rekey over tcp");
+                        oracle.rekey(epoch);
+                    }
+                }
             }
         }
 
@@ -269,6 +298,99 @@ fn evict_reconnect_restore_is_bit_exact() {
             .unwrap(),
         b"after the line returns"
     );
+    client.bye(base).unwrap();
+}
+
+/// The focused rekey-over-TCP path: rotate mid-conversation, keep talking,
+/// then prove the rotation state survives a disconnect — the resumed
+/// stream continues in the rotated epoch, bit-exact against the oracle,
+/// and a further rotation still works.
+#[test]
+fn rekey_survives_reconnect_bit_exactly() {
+    let addr = server_addr();
+    let base = fresh_id_block();
+    let key = keyring()[0].1.clone();
+    let mut oracle = Oracle::new(&key, 0x2B2B, Algorithm::Mhhea, Profile::Streaming);
+
+    let mut client = NetClient::connect(addr).unwrap();
+    let token0 = client.open_stream(base, Hello::new(1, 0x2B2B)).unwrap();
+    let first = client.seal(base, b"epoch zero").unwrap();
+    assert_eq!(first.blocks, oracle.enc.encrypt(b"epoch zero").unwrap());
+
+    // Rotate; the token is re-minted.
+    let token1 = client.rekey(base, 1).unwrap();
+    assert_ne!(token0, token1, "rotation must re-mint the resume token");
+    oracle.rekey(1);
+    let second = client.seal(base, b"epoch one traffic").unwrap();
+    assert_eq!(
+        second.blocks,
+        oracle.enc.encrypt(b"epoch one traffic").unwrap(),
+        "post-rotation ciphertext drifted"
+    );
+    // Open it too: the duplex decrypt cursor advances in lockstep and its
+    // post-rotation position must survive the snapshot below.
+    assert_eq!(
+        client.open(base, &second.blocks, second.bit_len).unwrap(),
+        b"epoch one traffic"
+    );
+    oracle.dec.decrypt(&second.blocks, 17 * 8).unwrap();
+
+    // Drop the line; resume must come back in epoch 1 under the new token.
+    drop(client);
+    let mut client = NetClient::connect(addr).unwrap();
+    client
+        .resume_within(base, token1, Duration::from_secs(5))
+        .unwrap();
+    let third = client.seal(base, b"resumed in epoch one").unwrap();
+    assert_eq!(
+        third.blocks,
+        oracle.enc.encrypt(b"resumed in epoch one").unwrap(),
+        "resume across a rotation was not bit-exact"
+    );
+    // Decrypt direction survived both the rotation and the snapshot.
+    let plain = client.open(base, &third.blocks, third.bit_len).unwrap();
+    assert_eq!(plain, b"resumed in epoch one");
+    oracle.dec.decrypt(&third.blocks, 20 * 8).unwrap();
+
+    // And the resumed stream keeps rotating.
+    client.rekey(base, 2).unwrap();
+    oracle.rekey(2);
+    let fourth = client.seal(base, b"epoch two").unwrap();
+    assert_eq!(fourth.blocks, oracle.enc.encrypt(b"epoch two").unwrap());
+    client.bye(base).unwrap();
+}
+
+/// A rotation between two pipelined batches is a clean cut: the first
+/// batch seals under the old epoch, the second under the new one, each
+/// bit-exact against the oracle.
+#[test]
+fn rekey_between_pipelined_batches() {
+    let addr = server_addr();
+    let base = fresh_id_block();
+    let key = keyring()[2].1.clone();
+    let mut oracle = Oracle::new(&key, 0x0DD1, Algorithm::Mhhea, Profile::HardwareFaithful);
+
+    let mut client = NetClient::connect(addr).unwrap();
+    client
+        .open_stream(
+            base,
+            Hello::new(3, 0x0DD1).with_profile(Profile::HardwareFaithful),
+        )
+        .unwrap();
+    let batch: Vec<(u64, Vec<u8>)> = (0..4u8)
+        .map(|i| (base, format!("pipelined message {i}").into_bytes()))
+        .collect();
+    let before = client.seal_pipelined(&batch).unwrap();
+    client.rekey(base, 1).unwrap();
+    let after = client.seal_pipelined(&batch).unwrap();
+
+    for ((_, msg), sealed) in batch.iter().zip(&before) {
+        assert_eq!(sealed.blocks, oracle.enc.encrypt(msg).unwrap());
+    }
+    oracle.rekey(1);
+    for ((_, msg), sealed) in batch.iter().zip(&after) {
+        assert_eq!(sealed.blocks, oracle.enc.encrypt(msg).unwrap());
+    }
     client.bye(base).unwrap();
 }
 
