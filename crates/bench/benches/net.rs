@@ -129,5 +129,68 @@ fn bench_raw_baseline(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_net_sweep, bench_raw_baseline);
+/// Connections × reactors sweep: the same pipelined loopback workload
+/// against dedicated servers running 1 vs 4 reactor threads. This is the
+/// scaling criterion's measurement point — at ≥ 64 connections the
+/// 4-reactor aggregate throughput should approach linear (≥ 2.5× the
+/// single-reactor row on a ≥ 4-core machine; a 1-core box can only show
+/// parity). The `reactors = 1` rows double as the regression guard: the
+/// layered server must stay within 10% of the pre-refactor single-loop
+/// numbers (tracked in `BENCH_*.json`).
+fn bench_reactor_scaling(c: &mut Criterion) {
+    const MSG_SIZE: usize = 256;
+    const MSGS: usize = 32;
+    for reactors in [1usize, 4] {
+        // A dedicated server per row: reactor threads are a server-level
+        // property, and sharing one would let rows warm each other.
+        let server = NetServer::spawn(
+            "127.0.0.1:0",
+            ServerConfig::new([(1, mhhea_bench::report_key())]).with_reactors(reactors),
+        )
+        .expect("bind bench server");
+        let mut group = c.benchmark_group(format!("net_reactor_scaling_r{reactors}"));
+        group.sample_size(10);
+        for conns in [16usize, 64] {
+            let mut clients: Vec<(u64, NetClient)> = (0..conns as u64)
+                .map(|stream| {
+                    let mut client = NetClient::connect(server.addr()).expect("connect");
+                    client
+                        .open_stream(stream + 1, Hello::new(1, (stream as u16) | 1))
+                        .expect("open stream");
+                    (stream + 1, client)
+                })
+                .collect();
+            let total = (conns * MSGS * MSG_SIZE) as u64;
+            group.throughput(Throughput::Bytes(total));
+            group.bench_function(BenchmarkId::new("tcp_pipelined", conns), |b| {
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for (stream, client) in clients.iter_mut() {
+                            let stream = *stream;
+                            s.spawn(move || {
+                                let batch: Vec<(u64, Vec<u8>)> = (0..MSGS)
+                                    .map(|i| (stream, message_for(stream, i, MSG_SIZE)))
+                                    .collect();
+                                let sealed = client.seal_pipelined(&batch).expect("pipelined seal");
+                                assert_eq!(sealed.len(), MSGS);
+                            });
+                        }
+                    })
+                })
+            });
+            for (stream, client) in clients.iter_mut() {
+                client.bye(*stream).expect("bye");
+            }
+        }
+        group.finish();
+        server.stop();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_net_sweep,
+    bench_raw_baseline,
+    bench_reactor_scaling
+);
 criterion_main!(benches);

@@ -1,0 +1,253 @@
+//! Normalized perf snapshot — the tracked trajectory's data points.
+//!
+//! Re-times the headline bench points (container pipeline, gateway
+//! batch, net loopback at 1 and 4 reactors) in a smoke-plus regime —
+//! more than CI's single-iteration smoke, far less than a full criterion
+//! run — and writes one normalized JSON file per PR at the repo root
+//! (`BENCH_<pr>.json`). Successive snapshots, each stamped with a
+//! machine fingerprint, are the perf trajectory: comparable when the
+//! fingerprint matches, explicable when it does not.
+//!
+//! ```text
+//! cargo run --release -p mhhea_bench --bin bench_snapshot -- [out.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::net::TcpStream;
+use std::time::Instant;
+
+use mhhea::container::{open_v2_with, seal_v2, SealV2Options};
+use mhhea::gateway::{StreamConfig, StreamId, StreamMux};
+use mhhea_net::client::NetClient;
+use mhhea_net::frame::Hello;
+use mhhea_net::server::{NetServer, ServerConfig};
+
+/// The PR this snapshot binary was introduced in — bumped when the set
+/// of bench points changes shape, so files stay self-describing.
+const PR: u32 = 6;
+const WARMUP_ITERS: usize = 2;
+const TIMED_ITERS: usize = 5;
+
+struct Point {
+    bench: &'static str,
+    bytes_per_iter: u64,
+    ns_median: u128,
+}
+
+impl Point {
+    fn throughput_mib_s(&self) -> f64 {
+        if self.ns_median == 0 {
+            return 0.0;
+        }
+        (self.bytes_per_iter as f64 / (1 << 20) as f64) / (self.ns_median as f64 / 1e9)
+    }
+}
+
+/// Times `f` (warmup, then [`TIMED_ITERS`] timed runs) and returns the
+/// median wall-clock nanoseconds — median, not mean, because a single
+/// scheduler hiccup must not skew a 5-sample snapshot.
+fn time_median(mut f: impl FnMut()) -> u128 {
+    for _ in 0..WARMUP_ITERS {
+        f();
+    }
+    let mut samples: Vec<u128> = (0..TIMED_ITERS)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn message_for(stream: u64, i: usize, size: usize) -> Vec<u8> {
+    (0..size)
+        .map(|j| {
+            ((stream as usize)
+                .wrapping_mul(131)
+                .wrapping_add(i.wrapping_mul(31))
+                .wrapping_add(j.wrapping_mul(7))
+                & 0xFF) as u8
+        })
+        .collect()
+}
+
+/// Container pipeline: seal + open a 1 MiB payload through the chunked
+/// v2 format on the shared worker pool.
+fn bench_container_pipeline(points: &mut Vec<Point>) {
+    let key = mhhea_bench::report_key();
+    let message: Vec<u8> = (0..1 << 20).map(|i| ((i * 31) & 0xFF) as u8).collect();
+    let opts = SealV2Options::default();
+
+    let mut sealed = Vec::new();
+    points.push(Point {
+        bench: "container_seal_v2_1MiB",
+        bytes_per_iter: message.len() as u64,
+        ns_median: time_median(|| {
+            sealed = seal_v2(&key, &message, &opts).expect("seal_v2");
+        }),
+    });
+    points.push(Point {
+        bench: "container_open_v2_1MiB",
+        bytes_per_iter: message.len() as u64,
+        ns_median: time_median(|| {
+            let plain = open_v2_with(&key, &sealed, 0).expect("open_v2");
+            assert_eq!(plain.len(), message.len());
+        }),
+    });
+}
+
+/// Gateway batch: 256 streams × one 256 B message per stream, one
+/// `seal_batch` per iteration (the server tick's inner workload).
+fn bench_gateway_batch(points: &mut Vec<Point>) {
+    const STREAMS: u64 = 256;
+    const MSG_SIZE: usize = 256;
+    let key = mhhea_bench::report_key();
+    let mux = StreamMux::with_shards(64);
+    for stream in 0..STREAMS {
+        mux.open(
+            StreamId(stream),
+            StreamConfig::new(key.clone()).with_seed((stream as u16) | 1),
+        )
+        .expect("open stream");
+    }
+    let batch: Vec<(StreamId, Vec<u8>)> = (0..STREAMS)
+        .map(|stream| (StreamId(stream), message_for(stream, 0, MSG_SIZE)))
+        .collect();
+    points.push(Point {
+        bench: "gateway_seal_batch_256x256B",
+        bytes_per_iter: STREAMS * MSG_SIZE as u64,
+        ns_median: time_median(|| {
+            let frames = mux.seal_batch(batch.clone());
+            assert!(frames.iter().all(Result::is_ok));
+        }),
+    });
+}
+
+/// Net loopback: pipelined clients against a dedicated server per
+/// (reactors, conns) cell — the reactor-scaling measurement the tentpole
+/// criterion reads.
+fn bench_net_loopback(points: &mut Vec<Point>) {
+    const MSG_SIZE: usize = 256;
+    const MSGS: usize = 32;
+    for reactors in [1usize, 4] {
+        for conns in [16usize, 64] {
+            let server = NetServer::spawn(
+                "127.0.0.1:0",
+                ServerConfig::new([(1, mhhea_bench::report_key())]).with_reactors(reactors),
+            )
+            .expect("bind bench server");
+            let mut clients: Vec<(u64, NetClient)> = (0..conns as u64)
+                .map(|stream| {
+                    let mut client = NetClient::connect(server.addr()).expect("connect");
+                    client
+                        .open_stream(stream + 1, Hello::new(1, (stream as u16) | 1))
+                        .expect("open stream");
+                    (stream + 1, client)
+                })
+                .collect();
+            let bench: &'static str = match (reactors, conns) {
+                (1, 16) => "net_loopback_r1_c16_256B",
+                (1, 64) => "net_loopback_r1_c64_256B",
+                (4, 16) => "net_loopback_r4_c16_256B",
+                (4, 64) => "net_loopback_r4_c64_256B",
+                _ => unreachable!("fixed sweep"),
+            };
+            points.push(Point {
+                bench,
+                bytes_per_iter: (conns * MSGS * MSG_SIZE) as u64,
+                ns_median: time_median(|| {
+                    std::thread::scope(|s| {
+                        for (stream, client) in clients.iter_mut() {
+                            let stream = *stream;
+                            s.spawn(move || {
+                                let batch: Vec<(u64, Vec<u8>)> = (0..MSGS)
+                                    .map(|i| (stream, message_for(stream, i, MSG_SIZE)))
+                                    .collect();
+                                let sealed = client.seal_pipelined(&batch).expect("pipelined seal");
+                                assert_eq!(sealed.len(), MSGS);
+                            });
+                        }
+                    });
+                }),
+            });
+            for (stream, client) in clients.iter_mut() {
+                client.bye(*stream).expect("bye");
+            }
+            drop(clients);
+            server.stop();
+        }
+    }
+}
+
+/// Checks loopback TCP is available (sandboxed builders may deny it);
+/// net points are skipped, not failed, when it is not.
+fn loopback_available() -> bool {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .ok()
+        .and_then(|l| {
+            let addr = l.local_addr().ok()?;
+            TcpStream::connect(addr).ok()
+        })
+        .is_some()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| format!("BENCH_{PR}.json"));
+
+    let mut points = Vec::new();
+    bench_container_pipeline(&mut points);
+    bench_gateway_batch(&mut points);
+    if loopback_available() {
+        bench_net_loopback(&mut points);
+    } else {
+        eprintln!("loopback TCP unavailable; skipping net_loopback points");
+    }
+
+    let cpus = std::thread::available_parallelism().map_or(0, usize::from);
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"mhhea-bench-snapshot/1\",");
+    let _ = writeln!(json, "  \"pr\": {PR},");
+    let _ = writeln!(
+        json,
+        "  \"fingerprint\": {{ \"arch\": \"{}\", \"os\": \"{}\", \"cpus\": {} }},",
+        json_escape(std::env::consts::ARCH),
+        json_escape(std::env::consts::OS),
+        cpus
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"bench\": \"{}\", \"bytes_per_iter\": {}, \"iters\": {}, \
+             \"ns_median\": {}, \"throughput_mib_s\": {:.3} }}{}",
+            json_escape(p.bench),
+            p.bytes_per_iter,
+            TIMED_ITERS,
+            p.ns_median,
+            p.throughput_mib_s(),
+            comma
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("wrote {out_path}:");
+    for p in &points {
+        println!(
+            "  {:<32} {:>10.3} MiB/s  ({} ns median)",
+            p.bench,
+            p.throughput_mib_s(),
+            p.ns_median
+        );
+    }
+}

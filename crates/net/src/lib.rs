@@ -10,13 +10,17 @@
 //! * [`frame`] — the wire format: 32-byte header (version, kind, flags,
 //!   stream id, sequence number, payload length, CRC-32 over header +
 //!   payload) and the handshake/data/error payload codecs.
-//! * [`server`] — a non-blocking `std::net` TCP server: a readiness loop
-//!   multiplexes every connection, coalesces each tick's `Data` frames
-//!   (both directions, all connections) into one
+//! * [`server`] — a non-blocking `std::net` TCP server, layered as an
+//!   acceptor dealing sockets round-robin to `reactors` readiness loops
+//!   (`ServerConfig::reactors`, default 1). Each reactor owns a disjoint
+//!   set of connections and coalesces each tick's `Data` frames (both
+//!   directions, all of its connections) into one
 //!   [`mhhea::gateway::StreamMux::submit_batch`] call on the shared
-//!   worker pool, applies write-side backpressure, and on disconnect
-//!   parks each stream's `MHSS` snapshot so a reconnecting client resumes
-//!   bit-exactly.
+//!   worker pool; the per-connection state machine (parse, sequencing,
+//!   write-side backpressure) lives in a private transport-agnostic
+//!   module. On disconnect each stream's `MHSS` snapshot parks in a
+//!   store shared across reactors, so a reconnecting client resumes
+//!   bit-exactly — whichever reactor it lands on.
 //! * [`client`] — a blocking client with per-stream sequence tracking and
 //!   a pipelined batch path.
 //! * [`crc`] — CRC-32 (IEEE), the per-frame integrity check.
@@ -70,8 +74,10 @@
 #![deny(missing_docs)]
 
 pub mod client;
+mod conn;
 pub mod crc;
 pub mod frame;
+mod reactor;
 pub mod server;
 
 pub use client::{ClientError, NetClient, Sealed};

@@ -1,0 +1,469 @@
+//! The reactor layer: N readiness loops over disjoint connection sets,
+//! one shared stream world.
+//!
+//! A [`Reactor`] owns a set of connections outright — their sockets,
+//! buffers, and stream tables are touched by exactly one thread, so the
+//! per-connection state machine ([`crate::conn`]) needs no locks. What
+//! connections *share* lives in [`Shared`]:
+//!
+//! - the [`StreamMux`] — internally sharded, every method `&self`, so
+//!   reactors call [`StreamMux::submit_batch`] concurrently and their
+//!   batches interleave safely at shard granularity;
+//! - the [`Registry`] (one mutex): parked eviction snapshots and the
+//!   resume-token table. It is touched only on handshakes, rekeys, and
+//!   teardown — never per data frame — so the lock is cold;
+//! - the atomic [`ServerStats`].
+//!
+//! That split is what makes evict-on-A / resume-on-B work: a stream is
+//! *located* nowhere but the mux and registry, so the connection that
+//! resumes it does not care which reactor parked it.
+//!
+//! Lock ordering: the registry mutex is always taken **before** any mux
+//! shard lock (handshakes and eviction hold it across their mux call),
+//! and no code path takes them in the other order. Holding the registry
+//! across the mux call is what makes park/resume/open atomic from every
+//! other reactor's point of view — e.g. a `Hello` can never squeeze in
+//! between "evict removed the stream from the mux" and "the snapshot is
+//! parked".
+
+use std::collections::hash_map::RandomState;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+use mhhea::gateway::{GatewayError, StreamConfig, StreamId, StreamMux, StreamOp, StreamOutput};
+use mhhea::KeyRing;
+
+use crate::conn::{
+    Conn, ControlAction, DataTicket, ReplyShape, StreamTable, TickSink, TicketOutcome,
+};
+use crate::frame::{
+    encode_error, encode_resumed_ack, flags, join_seq, ErrorCode, Frame, FrameKind, Hello,
+};
+use crate::server::{ServerConfig, ServerStats};
+
+/// Cross-reactor stream bookkeeping, guarded by one mutex in [`Shared`].
+pub(crate) struct Registry {
+    /// stream id → parked `MHSS` snapshot, waiting for a `Resume` (from
+    /// any connection on any reactor).
+    snapshots: HashMap<u64, Vec<u8>>,
+    /// stream id → resume token, for every live *and* parked stream. A
+    /// `Resume` must present the token its `HelloAck` handed out; stream
+    /// ids are guessable, tokens are not.
+    tokens: HashMap<u64, u64>,
+    token_counter: u64,
+}
+
+impl Registry {
+    /// A fresh resume token: a keyed hash of a counter. Unpredictable to
+    /// peers (the SipHash key never leaves the process), collision-free
+    /// in practice, and free of any RNG dependency.
+    fn fresh_token(&mut self, rand: &RandomState) -> u64 {
+        let mut hasher = rand.build_hasher();
+        hasher.write_u64(self.token_counter);
+        self.token_counter += 1;
+        hasher.finish()
+    }
+}
+
+/// Everything the reactors (and the acceptor) share. One instance per
+/// server, behind an `Arc`.
+pub(crate) struct Shared {
+    pub(crate) cfg: ServerConfig,
+    pub(crate) mux: StreamMux,
+    pub(crate) stats: Arc<ServerStats>,
+    pub(crate) registry: Mutex<Registry>,
+    /// Keyed-hash state for resume-token minting (shared so tokens stay
+    /// unique across reactors; the counter lives in the registry).
+    token_rand: RandomState,
+}
+
+impl Shared {
+    pub(crate) fn new(cfg: ServerConfig, stats: Arc<ServerStats>) -> Shared {
+        Shared {
+            mux: StreamMux::with_shards(cfg.shards),
+            stats,
+            registry: Mutex::new(Registry {
+                snapshots: HashMap::new(),
+                tokens: HashMap::new(),
+                token_counter: 0,
+            }),
+            token_rand: RandomState::new(),
+            cfg,
+        }
+    }
+
+    /// Parked snapshots right now (for `Debug` output).
+    pub(crate) fn parked(&self) -> usize {
+        self.registry
+            .lock()
+            .expect("registry poisoned")
+            .snapshots
+            .len()
+    }
+
+    /// Handshake and teardown frames, answered inline by the owning
+    /// reactor against the shared registry/mux.
+    pub(crate) fn handle_control(&self, streams: &mut StreamTable, frame: &Frame) -> ControlAction {
+        let stream = frame.stream;
+        match frame.kind {
+            FrameKind::Hello => ControlAction {
+                reply: self.open_stream(streams, frame),
+                hang_up: false,
+            },
+            FrameKind::Resume => ControlAction {
+                reply: self.resume_stream(streams, frame),
+                hang_up: false,
+            },
+            FrameKind::Bye => {
+                let reply = if streams.remove(&stream).is_some() {
+                    let mut reg = self.registry.lock().expect("registry poisoned");
+                    let _ = self.mux.close(StreamId(stream));
+                    reg.tokens.remove(&stream);
+                    Frame::new(FrameKind::Bye, stream, frame.seq)
+                } else {
+                    Frame::new(FrameKind::Error, stream, frame.seq).with_payload(encode_error(
+                        ErrorCode::UnknownStream,
+                        "bye for a stream this connection does not own",
+                    ))
+                };
+                ControlAction {
+                    reply,
+                    hang_up: false,
+                }
+            }
+            // Server-emitted kinds arriving at the server are protocol
+            // violations a conforming client never produces.
+            FrameKind::HelloAck | FrameKind::Reply | FrameKind::Error | FrameKind::RekeyAck => {
+                ServerStats::bump(&self.stats.protocol_errors);
+                ControlAction {
+                    reply: Frame::new(FrameKind::Error, 0, 0).with_payload(encode_error(
+                        ErrorCode::Protocol,
+                        "client sent a server-only frame kind",
+                    )),
+                    hang_up: true,
+                }
+            }
+            FrameKind::Data | FrameKind::Rekey => {
+                unreachable!("data and rekey frames go through validate_data")
+            }
+        }
+    }
+
+    fn open_stream(&self, streams: &mut StreamTable, frame: &Frame) -> Frame {
+        let stream = frame.stream;
+        let fail = |code: ErrorCode, detail: &str| {
+            Frame::new(FrameKind::Error, stream, 0).with_payload(encode_error(code, detail))
+        };
+        let hello = match Hello::decode(&frame.payload) {
+            Ok(h) => h,
+            Err(e) => return fail(ErrorCode::BadHandshake, &e.to_string()),
+        };
+        let Some(epoch_keys) = self.cfg.keyring.get(&hello.key_id) else {
+            return fail(
+                ErrorCode::UnknownKeyId,
+                &format!("key id {} not in keyring", hello.key_id),
+            );
+        };
+        // The registry is held across the parked-check *and* the mux open
+        // so no other reactor can park or resume this id in between.
+        let mut reg = self.registry.lock().expect("registry poisoned");
+        // A parked id is still occupied: letting an unauthenticated Hello
+        // supersede the snapshot would destroy another client's only copy
+        // of its stream state (the token check bypassed by destruction).
+        // Reclaim it with Resume + token, or discard it with Resume + Bye.
+        if reg.snapshots.contains_key(&stream) {
+            return fail(
+                ErrorCode::StreamExists,
+                "stream id parked awaiting resume (present its resume token)",
+            );
+        }
+        // Streams are the one per-client allocation a handshake loop could
+        // otherwise grow without bound.
+        if self.mux.len() >= self.cfg.max_streams {
+            return fail(ErrorCode::ServerBusy, "server at stream capacity");
+        }
+        // Every served stream gets a ring of the id's epoch keys with the
+        // handshake seed as master, so `Rekey` works out of the box. Each
+        // epoch reseeds the LFSR via the chunk_seed derivation; whether a
+        // rotation also *changes the key* depends on how the id was
+        // configured (ServerConfig::with_epoch_keys vs a single key).
+        // Epoch 0 runs the handshake seed itself, so a stream that never
+        // rekeys seals exactly as it did before epochs existed.
+        let ring = match KeyRing::new(epoch_keys.clone(), hello.seed) {
+            Ok(ring) => ring,
+            Err(e) => return fail(ErrorCode::BadHandshake, &e.to_string()),
+        };
+        let config = StreamConfig::new(ring.key(0).clone())
+            .with_algorithm(hello.algorithm)
+            .with_profile(hello.profile)
+            .with_ring(ring);
+        match self.mux.open(StreamId(stream), config) {
+            Ok(()) => {
+                let token = reg.fresh_token(&self.token_rand);
+                reg.tokens.insert(stream, token);
+                streams.insert(stream, 0);
+                ServerStats::bump(&self.stats.streams_opened);
+                Frame::new(FrameKind::HelloAck, stream, 0)
+                    .with_payload(token.to_le_bytes().to_vec())
+            }
+            Err(GatewayError::StreamExists(_)) => {
+                fail(ErrorCode::StreamExists, "stream id already open")
+            }
+            Err(e) => fail(ErrorCode::BadHandshake, &e.to_string()),
+        }
+    }
+
+    fn resume_stream(&self, streams: &mut StreamTable, frame: &Frame) -> Frame {
+        let stream = frame.stream;
+        let fail = |code: ErrorCode, detail: &str| {
+            Frame::new(FrameKind::Error, stream, 0).with_payload(encode_error(code, detail))
+        };
+        let Ok(token_bytes) = <[u8; 8]>::try_from(frame.payload.as_slice()) else {
+            return fail(
+                ErrorCode::BadHandshake,
+                "resume payload must be the 8-byte resume token",
+            );
+        };
+        let token = u64::from_le_bytes(token_bytes);
+        // Held across the restore, so the un-parked snapshot is never
+        // observable as "neither parked nor live" by another reactor.
+        let mut reg = self.registry.lock().expect("registry poisoned");
+        // One uniform answer for "no snapshot" and "wrong token": probing
+        // ids must not reveal which streams are parked. (A resume racing
+        // the eviction that parks the snapshot also lands here — clients
+        // retry; the eviction is asynchronous by design.)
+        if reg.tokens.get(&stream) != Some(&token) {
+            return fail(ErrorCode::NoSnapshot, "no snapshot parked for this stream");
+        }
+        let Some(snapshot) = reg.snapshots.remove(&stream) else {
+            return fail(ErrorCode::NoSnapshot, "no snapshot parked for this stream");
+        };
+        match self.mux.restore(&snapshot) {
+            Ok(id) => {
+                debug_assert_eq!(id.0, stream, "snapshot carries its own id");
+                // The snapshot carries the key epoch; the new session's
+                // sequence space starts at counter 0 *in that epoch*, and
+                // the ack tells the client which epoch that is.
+                let epoch = self.mux.epoch(id).unwrap_or(0);
+                streams.insert(stream, join_seq(epoch, 0));
+                ServerStats::bump(&self.stats.streams_resumed);
+                Frame::new(FrameKind::HelloAck, stream, 0)
+                    .with_flags(flags::RESUMED)
+                    .with_payload(encode_resumed_ack(token, epoch))
+            }
+            Err(e) => {
+                // Park it again: the snapshot is still the only copy of
+                // the stream's state.
+                reg.snapshots.insert(stream, snapshot);
+                match e {
+                    GatewayError::StreamExists(_) => {
+                        fail(ErrorCode::StreamExists, "stream id already open")
+                    }
+                    other => fail(ErrorCode::Engine, &other.to_string()),
+                }
+            }
+        }
+    }
+}
+
+/// One readiness loop over a disjoint set of connections. The acceptor
+/// feeds it sockets over `intake`; everything else it owns.
+pub(crate) struct Reactor {
+    shared: Arc<Shared>,
+    intake: mpsc::Receiver<TcpStream>,
+    conns: Vec<Conn<TcpStream>>,
+    /// Scratch for socket reads, allocated once per reactor.
+    scratch: Vec<u8>,
+}
+
+impl Reactor {
+    pub(crate) fn new(shared: Arc<Shared>, intake: mpsc::Receiver<TcpStream>) -> Reactor {
+        Reactor {
+            shared,
+            intake,
+            conns: Vec::new(),
+            scratch: vec![0; 64 << 10],
+        }
+    }
+
+    /// Runs the loop until `shutdown` turns true (dedicated-thread mode).
+    pub(crate) fn run(mut self, shutdown: &AtomicBool) {
+        while !shutdown.load(Ordering::Relaxed) {
+            if !self.step() {
+                std::thread::sleep(self.shared.cfg.idle_sleep);
+            }
+        }
+    }
+
+    /// One intake-drain plus one tick. Returns whether anything happened
+    /// (socket adopted, bytes moved, frames handled).
+    pub(crate) fn step(&mut self) -> bool {
+        let mut progress = false;
+        while let Ok(sock) = self.intake.try_recv() {
+            self.conns.push(Conn::new(sock));
+            progress = true;
+        }
+        progress | self.tick()
+    }
+
+    /// One pass over this reactor's connections. Reads and parses every
+    /// connection, funnelling its `Data`/`Rekey` frames into **one**
+    /// [`StreamMux::submit_batch`] for the whole reactor tick, then
+    /// frames results back in per-connection request order and flushes.
+    fn tick(&mut self) -> bool {
+        let Reactor {
+            shared,
+            conns,
+            scratch,
+            intake: _,
+        } = self;
+        let cfg = &shared.cfg;
+        let mut progress = false;
+
+        // Tickets remember per-conn request order; goodbye frames for
+        // framing violations are deferred so they land *after* the
+        // replies to valid frames parsed earlier in the same tick.
+        // `rekey_pending` holds streams whose Rekey is queued but not yet
+        // acked (see `Conn::validate_data`).
+        let mut batch: Vec<(StreamId, StreamOp)> = Vec::new();
+        let mut tickets: Vec<DataTicket> = Vec::new();
+        let mut goodbyes: Vec<(usize, Frame)> = Vec::new();
+        let mut rekey_pending: HashSet<u64> = HashSet::new();
+        {
+            let mut sink = TickSink {
+                batch: &mut batch,
+                tickets: &mut tickets,
+                goodbyes: &mut goodbyes,
+                rekey_pending: &mut rekey_pending,
+                stats: &shared.stats,
+            };
+            let mut control =
+                |streams: &mut StreamTable, frame: &Frame| shared.handle_control(streams, frame);
+            for (idx, conn) in conns.iter_mut().enumerate() {
+                progress |= conn.read_tick(scratch, cfg.read_budget, cfg.write_buf_limit);
+                progress |= conn.parse_tick(idx, &mut sink, &mut control);
+            }
+        }
+
+        // The tick's entire crypto workload: one submission, one pool job
+        // per busy shard, per-stream errors confined to their slots. (A
+        // tick can hold tickets but no batch when every frame was
+        // rejected before touching cipher state.)
+        if !tickets.is_empty() {
+            // Results are taken (moved) into their reply frames — block
+            // vectors are several times the plaintext size, so cloning
+            // them here would dominate the reply path.
+            let mut results: Vec<Option<Result<StreamOutput, GatewayError>>> = if batch.is_empty() {
+                Vec::new()
+            } else {
+                shared
+                    .mux
+                    .submit_batch(batch)
+                    .into_iter()
+                    .map(Some)
+                    .collect()
+            };
+            for ticket in tickets {
+                let conn = &mut conns[ticket.conn];
+                match ticket.outcome {
+                    TicketOutcome::Submitted { index, shape } => match (
+                        results[index].take().expect("each slot consumed once"),
+                        shape,
+                    ) {
+                        (Ok(StreamOutput::Blocks(blocks)), ReplyShape::Seal { bit_len }) => {
+                            conn.push_seal_reply(ticket.stream, ticket.seq, bit_len, &blocks);
+                        }
+                        (Ok(StreamOutput::Plain(plain)), ReplyShape::Open) => {
+                            conn.push_open_reply(ticket.stream, ticket.seq, &plain);
+                        }
+                        (Ok(StreamOutput::Rekeyed { epoch }), ReplyShape::Rekey) => {
+                            // The rotation took: retire the old resume
+                            // token (a snapshot thief must not outlive a
+                            // rekey), restart the sequence space in the
+                            // new epoch, and hand both back in the ack.
+                            let token = {
+                                let mut reg = shared.registry.lock().expect("registry poisoned");
+                                let token = reg.fresh_token(&shared.token_rand);
+                                reg.tokens.insert(ticket.stream, token);
+                                token
+                            };
+                            conn.streams.insert(ticket.stream, join_seq(epoch, 0));
+                            ServerStats::bump(&shared.stats.streams_rekeyed);
+                            conn.push_rekey_ack(ticket.stream, ticket.seq, epoch, token);
+                        }
+                        (Ok(_), _) => unreachable!("op direction matches output variant"),
+                        (Err(e), _) => {
+                            // The one machine-distinguishable failure: a
+                            // rotation racing another rotation.
+                            let code = match e {
+                                GatewayError::StaleEpoch { .. } => ErrorCode::StaleEpoch,
+                                _ => ErrorCode::Engine,
+                            };
+                            conn.push_error(ticket.stream, ticket.seq, code, &e.to_string());
+                        }
+                    },
+                    TicketOutcome::Rejected { code, detail } => {
+                        conn.push_error(ticket.stream, ticket.seq, code, &detail);
+                    }
+                }
+                ServerStats::bump(&shared.stats.frames_sent);
+            }
+            progress = true;
+        }
+
+        // Goodbyes go out only now, behind every reply the connection is
+        // still owed from this tick.
+        for (idx, frame) in goodbyes {
+            conns[idx].push_frame(&frame);
+            ServerStats::bump(&shared.stats.frames_sent);
+            progress = true;
+        }
+
+        for conn in conns.iter_mut() {
+            progress |= conn.flush_tick();
+        }
+        Self::reap_dead(shared, conns);
+        progress
+    }
+
+    /// Tears down dead connections, parking each owned stream's snapshot
+    /// for a future `Resume` — possibly arriving through a connection on
+    /// a *different* reactor (or closing it when the store is full).
+    fn reap_dead(shared: &Shared, conns: &mut Vec<Conn<TcpStream>>) {
+        for conn in conns.iter_mut() {
+            conn.expire_grace(shared.cfg.close_grace);
+        }
+        for conn in conns.iter_mut() {
+            if !conn.dead {
+                continue;
+            }
+            ServerStats::bump(&shared.stats.connections_closed);
+            shared
+                .stats
+                .connections_open
+                .fetch_sub(1, Ordering::Relaxed);
+            let streams: Vec<u64> = conn.streams.drain().map(|(id, _)| id).collect();
+            for id in streams {
+                // Registry held across the evict: between "removed from
+                // the mux" and "snapshot parked" no other reactor can
+                // observe the stream as simply gone.
+                let mut reg = shared.registry.lock().expect("registry poisoned");
+                if reg.snapshots.len() < shared.cfg.snapshot_capacity {
+                    if let Ok(snap) = shared.mux.evict(StreamId(id)) {
+                        reg.snapshots.insert(id, snap);
+                        // The token survives with the snapshot: a Resume
+                        // presenting it reclaims the stream.
+                        ServerStats::bump(&shared.stats.streams_evicted);
+                    }
+                } else {
+                    let _ = shared.mux.close(StreamId(id));
+                    reg.tokens.remove(&id);
+                }
+            }
+        }
+        conns.retain(|c| !c.dead);
+    }
+}

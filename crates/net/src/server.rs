@@ -1,17 +1,25 @@
 //! A non-blocking TCP server multiplexing client streams onto a shared
 //! [`StreamMux`].
 //!
-//! One OS thread runs a readiness loop over every connection; the crypto
-//! itself never executes on that thread. Each tick the server:
+//! The transport is layered (see `docs/ARCHITECTURE.md`, "Threading
+//! model"):
 //!
-//! 1. accepts pending connections (non-blocking listener),
-//! 2. drains readable sockets into per-connection buffers and parses
-//!    complete MHNP frames,
-//! 3. coalesces *every* parsed `Data` frame — across all connections and
-//!    both directions — into **one** [`StreamMux::submit_batch`] call,
-//!    which becomes one worker-pool job per busy shard,
-//! 4. routes results back into per-connection write buffers and flushes
-//!    writable sockets.
+//! - `conn` (private) — the per-connection state machine (parse,
+//!   sequence validation, write buffering, backpressure, close grace),
+//!   generic over the byte stream and ignorant of any loop;
+//! - `reactor` (private) — [`ServerConfig::reactors`] readiness loops,
+//!   each owning a **disjoint** set of connections, each submitting one
+//!   [`StreamMux::submit_batch`] per tick into the shared mux (whose
+//!   per-shard locks make concurrent batches safe);
+//! - this module — configuration, the shared stats, the acceptor that
+//!   shards incoming sockets across reactors round-robin, and the
+//!   run/spawn lifecycle.
+//!
+//! Each reactor tick: drain adopted sockets, read + parse every owned
+//! connection, coalesce *every* parsed `Data` frame — across that
+//! reactor's connections and both directions — into **one**
+//! [`StreamMux::submit_batch`] call (one worker-pool job per busy
+//! shard), route results back into per-connection write buffers, flush.
 //!
 //! Backpressure is explicit: a connection whose write buffer is over the
 //! configured limit is not read from until it drains, so a client that
@@ -20,55 +28,61 @@
 //!
 //! Disconnects are graceful by default: every stream the connection owned
 //! is evicted through the gateway's atomic [`StreamMux::evict`] and the
-//! `MHSS` snapshot parked in an in-memory store. A later connection can
-//! [`FrameKind::Resume`] the stream id and continue bit-exactly — TCP
-//! session death does not cost cipher stream state.
+//! `MHSS` snapshot parked in a store **shared by all reactors**. A later
+//! connection — whichever reactor it lands on — can [`crate::frame::FrameKind::Resume`]
+//! the stream id and continue bit-exactly: TCP session death does not
+//! cost cipher stream state, and neither does crossing reactors.
 //!
-//! Key rotation is first-class: a [`FrameKind::Rekey`] frame is sequenced
+//! Key rotation is first-class: a [`crate::frame::FrameKind::Rekey`] frame is sequenced
 //! like `Data` (it consumes the next counter of the current epoch and
 //! rides the same batched gateway submission, so it lands in order
 //! relative to in-flight traffic), rotates both directions of the stream
 //! atomically, re-mints the resume token, and restarts the sequence space
 //! at `(new epoch, counter 0)`. Frames stamped with a retired epoch —
 //! replays captured before the rotation — are rejected with the dedicated
-//! [`ErrorCode::StaleEpoch`] without touching cipher state. Because the
+//! [`crate::frame::ErrorCode::StaleEpoch`] without touching cipher state. Because the
 //! epoch lives in the `MHSS` snapshot (v2), rotation state survives
 //! evict/resume cycles too.
+//!
+//! Ordering note: replies are ordered **per connection** only. Two
+//! connections may be served by different reactor threads; nothing
+//! sequences one connection's replies against another's.
 
-use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
-use std::hash::{BuildHasher, Hasher};
-use std::io::{self, Read, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use mhhea::gateway::{GatewayError, StreamConfig, StreamId, StreamMux, StreamOp, StreamOutput};
-use mhhea::{Key, KeyRing};
+use mhhea::gateway::StreamMux;
+use mhhea::Key;
 
-use crate::frame::{
-    self, decode_blocks, decode_rekey, encode_blocks, encode_error, encode_rekey_ack,
-    encode_resumed_ack, flags, join_seq, split_seq, ErrorCode, Frame, FrameKind, Hello, HEADER_LEN,
-    MAX_PAYLOAD,
-};
+use crate::frame::MAX_PAYLOAD;
+use crate::reactor::{Reactor, Shared};
 
 /// Tuning knobs and the keyring for [`NetServer`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// key id → **epoch-ordered keys**. A [`Hello`] naming an id outside
-    /// this map is rejected; key material itself never crosses the wire.
-    /// A stream opened under id `k` gets a [`KeyRing`] of these keys with
-    /// the handshake seed as master: epoch `e` runs `keys[e mod len]`.
-    /// [`ServerConfig::new`] installs single-key entries (every rotation
-    /// reuses the key but reseeds the LFSR); use
-    /// [`ServerConfig::with_epoch_keys`] for rotations that actually
-    /// change the key — only those retire old ciphertext on the decrypt
-    /// side.
+    /// key id → **epoch-ordered keys**. A [`crate::frame::Hello`] naming
+    /// an id outside this map is rejected; key material itself never
+    /// crosses the wire. A stream opened under id `k` gets a
+    /// [`mhhea::KeyRing`] of these keys with the handshake seed as
+    /// master: epoch `e` runs `keys[e mod len]`. [`ServerConfig::new`]
+    /// installs single-key entries (every rotation reuses the key but
+    /// reseeds the LFSR); use [`ServerConfig::with_epoch_keys`] for
+    /// rotations that actually change the key — only those retire old
+    /// ciphertext on the decrypt side.
     pub keyring: HashMap<u32, Vec<Key>>,
     /// Shard count for the underlying [`StreamMux`].
     pub shards: usize,
+    /// Reactor threads. Each runs its own readiness loop over a disjoint
+    /// set of connections (the acceptor deals sockets round-robin) and
+    /// submits its own per-tick batch into the shared mux. `1` (the
+    /// default) runs acceptor and reactor interleaved on the calling
+    /// thread — exactly the pre-reactor single-loop behaviour.
+    pub reactors: usize,
     /// Per-connection write buffer size above which the server stops
     /// reading from that connection until it drains (bytes).
     pub write_buf_limit: usize,
@@ -78,19 +92,19 @@ pub struct ServerConfig {
     /// Most eviction snapshots parked for resumption; beyond it, streams
     /// of dying connections are closed instead of parked.
     pub snapshot_capacity: usize,
-    /// Most simultaneously open connections; beyond it, accepted sockets
-    /// are dropped immediately (counted in
+    /// Most simultaneously open connections (across all reactors); beyond
+    /// it, accepted sockets are dropped immediately (counted in
     /// [`ServerStats::connections_rejected`]).
     pub max_connections: usize,
     /// Most simultaneously *live* streams in the mux; beyond it, `Hello`
-    /// is answered with [`ErrorCode::ServerBusy`]. Bounds what one (or
+    /// is answered with [`crate::frame::ErrorCode::ServerBusy`]. Bounds what one (or
     /// many) connections can allocate by looping handshakes.
     pub max_streams: usize,
     /// How long a connection marked for closing (protocol violation) may
     /// linger waiting for its goodbye frame to flush before it is torn
     /// down anyway — bounds what a peer that stops reading can pin.
     pub close_grace: Duration,
-    /// Sleep between ticks when nothing happened (the loop otherwise
+    /// Sleep between ticks when nothing happened (each loop otherwise
     /// busy-polls its non-blocking sockets).
     pub idle_sleep: Duration,
 }
@@ -102,6 +116,7 @@ impl ServerConfig {
         ServerConfig {
             keyring: keyring.into_iter().map(|(id, k)| (id, vec![k])).collect(),
             shards: 64,
+            reactors: 1,
             write_buf_limit: 4 << 20,
             read_budget: 256 << 10,
             snapshot_capacity: 65_536,
@@ -110,6 +125,13 @@ impl ServerConfig {
             close_grace: Duration::from_secs(5),
             idle_sleep: Duration::from_micros(200),
         }
+    }
+
+    /// Sets the reactor-thread count (values below 1 are clamped to 1).
+    #[must_use]
+    pub fn with_reactors(mut self, reactors: usize) -> ServerConfig {
+        self.reactors = reactors.max(1);
+        self
     }
 
     /// Installs an epoch-ordered key list for `id` (replacing any single
@@ -134,123 +156,53 @@ impl ServerConfig {
     }
 }
 
-/// Monotonic counters exported by a running server (all relaxed atomics;
-/// read them through [`ServerHandle::stats`]).
+/// Counters exported by a running server (all relaxed atomics; read them
+/// through [`ServerHandle::stats`]).
+///
+/// Coherence contract under concurrent reactors: every counter is
+/// updated atomically, so individual values are always exact — but
+/// *across* counters there is no snapshot; two reads can interleave with
+/// updates on other reactor threads (e.g. `connections_opened` may be
+/// momentarily ahead of `connections_open + connections_closed`).
+///
+/// Every field except [`ServerStats::connections_open`] is **monotonic**
+/// (only ever incremented; safe to rate/diff). `connections_open` is a
+/// **gauge** — it goes both ways and is the one field describing *now*
+/// rather than *ever*.
 #[derive(Debug, Default)]
 pub struct ServerStats {
-    /// Connections accepted.
+    /// Monotonic: connections accepted and handed to a reactor.
     pub connections_opened: AtomicU64,
-    /// Connections torn down (disconnect or protocol violation).
+    /// Monotonic: connections torn down (disconnect or protocol
+    /// violation).
     pub connections_closed: AtomicU64,
-    /// Complete frames parsed.
+    /// Gauge: connections alive right now (accepted, not yet torn down) —
+    /// also the value the acceptor checks against
+    /// [`ServerConfig::max_connections`].
+    pub connections_open: AtomicU64,
+    /// Monotonic: complete frames parsed.
     pub frames_received: AtomicU64,
-    /// Frames written back (replies, acks and errors).
+    /// Monotonic: frames written back (replies, acks and errors).
     pub frames_sent: AtomicU64,
-    /// Connections dropped at accept because the server was at
+    /// Monotonic: connections dropped at accept because the server was at
     /// `max_connections`.
     pub connections_rejected: AtomicU64,
-    /// Connections killed for framing violations.
+    /// Monotonic: connections killed for framing violations.
     pub protocol_errors: AtomicU64,
-    /// Streams opened by handshake.
+    /// Monotonic: streams opened by handshake.
     pub streams_opened: AtomicU64,
-    /// Streams evicted to the snapshot store on disconnect.
+    /// Monotonic: streams evicted to the snapshot store on disconnect.
     pub streams_evicted: AtomicU64,
-    /// Streams restored from the snapshot store by `Resume`.
+    /// Monotonic: streams restored from the snapshot store by `Resume`.
     pub streams_resumed: AtomicU64,
-    /// Successful key rotations (`Rekey` → `RekeyAck`).
+    /// Monotonic: successful key rotations (`Rekey` → `RekeyAck`).
     pub streams_rekeyed: AtomicU64,
 }
 
 impl ServerStats {
-    fn bump(counter: &AtomicU64) {
+    pub(crate) fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
-}
-
-/// One live connection's state.
-struct Conn {
-    sock: TcpStream,
-    /// Unparsed received bytes (a frame may span many reads).
-    rbuf: Vec<u8>,
-    /// Bytes queued for the socket; `wpos..` is still unsent.
-    wbuf: Vec<u8>,
-    wpos: usize,
-    /// stream id → next expected `Data` sequence number. Streams are
-    /// owned by the connection that opened them.
-    streams: HashMap<u64, u64>,
-    /// Flush what is queued, then close (set after a protocol violation).
-    closing: bool,
-    /// The peer half-closed (EOF on read). Frames already received are
-    /// still parsed and answered; the connection dies once every queued
-    /// reply flushes.
-    eof: bool,
-    /// When `closing`/`eof` was first observed — a peer that never drains
-    /// the remaining frames is torn down once
-    /// [`ServerConfig::close_grace`] elapses.
-    closing_since: Option<Instant>,
-    /// Tear down at the end of the tick.
-    dead: bool,
-}
-
-impl Conn {
-    fn new(sock: TcpStream) -> Conn {
-        Conn {
-            sock,
-            rbuf: Vec::new(),
-            wbuf: Vec::new(),
-            wpos: 0,
-            streams: HashMap::new(),
-            closing: false,
-            eof: false,
-            closing_since: None,
-            dead: false,
-        }
-    }
-
-    fn queued(&self) -> usize {
-        self.wbuf.len() - self.wpos
-    }
-
-    /// Marks the connection for teardown after its queued frames flush
-    /// (or the close grace expires). Pending unparsed input is discarded —
-    /// framing is already lost.
-    fn start_closing(&mut self) {
-        self.closing = true;
-        self.closing_since.get_or_insert_with(Instant::now);
-        self.rbuf.clear();
-    }
-}
-
-/// What a parsed `Data`/`Rekey` frame turned into: either a slot in this
-/// tick's gateway batch, or an immediate failure that still must be
-/// answered *in request order*.
-struct DataTicket {
-    conn: usize,
-    stream: u64,
-    seq: u64,
-    outcome: TicketOutcome,
-}
-
-enum TicketOutcome {
-    /// `batch[index]`, with how the result must be framed back.
-    Submitted { index: usize, shape: ReplyShape },
-    /// Rejected before touching any cipher state.
-    Rejected { code: ErrorCode, detail: String },
-}
-
-/// How a submitted op's output travels back to the client.
-enum ReplyShape {
-    /// A seal: `Reply` carrying `bit_len ∥ blocks`.
-    Seal {
-        /// The plaintext bit length to prefix the blocks with.
-        bit_len: u32,
-    },
-    /// An open: `Reply` carrying plaintext, flagged [`flags::DIR_OPEN`].
-    Open,
-    /// A rotation: `RekeyAck` carrying the epoch and a fresh resume
-    /// token; accepting it also restamps the stream's expected sequence
-    /// to `join_seq(epoch, 0)`.
-    Rekey,
 }
 
 /// The framed TCP front-end over a [`StreamMux`].
@@ -261,23 +213,7 @@ enum ReplyShape {
 pub struct NetServer {
     listener: TcpListener,
     addr: SocketAddr,
-    mux: StreamMux,
-    cfg: ServerConfig,
-    stats: Arc<ServerStats>,
-    conns: Vec<Conn>,
-    /// stream id → parked `MHSS` snapshot, waiting for a `Resume`.
-    snapshots: HashMap<u64, Vec<u8>>,
-    /// stream id → resume token, for every live *and* parked stream. A
-    /// `Resume` must present the token its `HelloAck` handed out; stream
-    /// ids are guessable, tokens are not.
-    tokens: HashMap<u64, u64>,
-    /// Keyed hash (OS-seeded SipHash) + counter generating resume tokens:
-    /// unguessable without the key, no RNG dependency. (A session-hijack
-    /// deterrent, not a cryptographic credential.)
-    token_rand: RandomState,
-    token_counter: u64,
-    /// Scratch for socket reads, allocated once.
-    scratch: Vec<u8>,
+    shared: Arc<Shared>,
 }
 
 impl NetServer {
@@ -294,15 +230,7 @@ impl NetServer {
         Ok(NetServer {
             listener,
             addr,
-            mux: StreamMux::with_shards(cfg.shards),
-            stats: Arc::new(ServerStats::default()),
-            conns: Vec::new(),
-            snapshots: HashMap::new(),
-            tokens: HashMap::new(),
-            token_rand: RandomState::new(),
-            token_counter: 0,
-            scratch: vec![0; 64 << 10],
-            cfg,
+            shared: Arc::new(Shared::new(cfg, Arc::new(ServerStats::default()))),
         })
     }
 
@@ -313,11 +241,13 @@ impl NetServer {
 
     /// The underlying stream table (e.g. for monitoring stream counts).
     pub fn mux(&self) -> &StreamMux {
-        &self.mux
+        &self.shared.mux
     }
 
     /// Binds and runs the server on a background thread, returning a
-    /// handle that stops and joins it on drop.
+    /// handle that stops and joins it on drop. (With `reactors > 1` that
+    /// thread becomes the acceptor and spawns the reactor threads
+    /// scoped beneath itself.)
     ///
     /// # Errors
     ///
@@ -325,7 +255,7 @@ impl NetServer {
     pub fn spawn(addr: impl ToSocketAddrs, cfg: ServerConfig) -> io::Result<ServerHandle> {
         let server = NetServer::bind(addr, cfg)?;
         let addr = server.local_addr();
-        let stats = Arc::clone(&server.stats);
+        let stats = Arc::clone(&server.shared.stats);
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
         let join = std::thread::Builder::new()
@@ -340,700 +270,119 @@ impl NetServer {
         })
     }
 
-    /// Runs the readiness loop until `shutdown` turns true. Connections
-    /// and parked snapshots are dropped on exit.
-    pub fn run(mut self, shutdown: &AtomicBool) {
-        while !shutdown.load(Ordering::Relaxed) {
-            if !self.tick() {
-                std::thread::sleep(self.cfg.idle_sleep);
-            }
+    /// Runs acceptor and reactors until `shutdown` turns true.
+    /// Connections and parked snapshots are dropped on exit.
+    ///
+    /// With `reactors == 1` the single reactor is driven interleaved with
+    /// the acceptor on the calling thread (the classic single-loop
+    /// server); with more, this thread accepts and deals sockets while
+    /// `reactors` scoped threads each run their own loop.
+    pub fn run(self, shutdown: &AtomicBool) {
+        let NetServer {
+            listener, shared, ..
+        } = self;
+        let n = shared.cfg.reactors.max(1);
+        let mut txs: Vec<mpsc::Sender<TcpStream>> = Vec::with_capacity(n);
+        let mut reactors: Vec<Reactor> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = mpsc::channel();
+            txs.push(tx);
+            reactors.push(Reactor::new(Arc::clone(&shared), rx));
         }
-    }
-
-    /// One pass over listener and connections. Returns whether anything
-    /// happened (accept, bytes moved, frames handled).
-    fn tick(&mut self) -> bool {
-        let mut progress = self.accept_pending();
-
-        // Read + parse every connection, funnelling Data frames into one
-        // shared batch. Tickets remember per-conn request order; goodbye
-        // frames for framing violations are deferred so they land *after*
-        // the replies to valid frames parsed earlier in the same tick.
-        // `rekey_pending` holds streams whose Rekey is queued but not yet
-        // acked: until the reply phase restamps their sequence space, any
-        // further frame on them is ambiguous (it would be validated
-        // against the old epoch but executed after the rotation) and is
-        // rejected without consuming anything.
-        let mut batch: Vec<(StreamId, StreamOp)> = Vec::new();
-        let mut tickets: Vec<DataTicket> = Vec::new();
-        let mut goodbyes: Vec<(usize, Frame)> = Vec::new();
-        let mut rekey_pending: std::collections::HashSet<u64> = std::collections::HashSet::new();
-        for idx in 0..self.conns.len() {
-            progress |= self.read_conn(idx);
-            progress |= self.parse_conn(
-                idx,
-                &mut batch,
-                &mut tickets,
-                &mut goodbyes,
-                &mut rekey_pending,
-            );
-        }
-
-        // The tick's entire crypto workload: one submission, one pool job
-        // per busy shard, per-stream errors confined to their slots. (A
-        // tick can hold tickets but no batch when every frame was
-        // rejected before touching cipher state.)
-        if !tickets.is_empty() {
-            // Results are taken (moved) into their reply frames — block
-            // vectors are several times the plaintext size, so cloning
-            // them here would dominate the reply path.
-            let mut results: Vec<Option<Result<StreamOutput, GatewayError>>> = if batch.is_empty() {
-                Vec::new()
-            } else {
-                self.mux.submit_batch(batch).into_iter().map(Some).collect()
-            };
-            for ticket in tickets {
-                let reply = match ticket.outcome {
-                    TicketOutcome::Submitted { index, shape } => match (
-                        results[index].take().expect("each slot consumed once"),
-                        shape,
-                    ) {
-                        (Ok(StreamOutput::Blocks(blocks)), ReplyShape::Seal { bit_len }) => {
-                            Frame::new(FrameKind::Reply, ticket.stream, ticket.seq)
-                                .with_payload(encode_blocks(bit_len, &blocks))
-                        }
-                        (Ok(StreamOutput::Plain(plain)), ReplyShape::Open) => {
-                            Frame::new(FrameKind::Reply, ticket.stream, ticket.seq)
-                                .with_flags(flags::DIR_OPEN)
-                                .with_payload(plain)
-                        }
-                        (Ok(StreamOutput::Rekeyed { epoch }), ReplyShape::Rekey) => {
-                            // The rotation took: retire the old resume
-                            // token (a snapshot thief must not outlive a
-                            // rekey), restart the sequence space in the
-                            // new epoch, and hand both back in the ack.
-                            let token = self.fresh_token();
-                            self.tokens.insert(ticket.stream, token);
-                            self.conns[ticket.conn]
-                                .streams
-                                .insert(ticket.stream, join_seq(epoch, 0));
-                            ServerStats::bump(&self.stats.streams_rekeyed);
-                            Frame::new(FrameKind::RekeyAck, ticket.stream, ticket.seq)
-                                .with_payload(encode_rekey_ack(epoch, token))
-                        }
-                        (Ok(_), _) => unreachable!("op direction matches output variant"),
-                        (Err(e), _) => {
-                            // The one machine-distinguishable failure: a
-                            // rotation racing another rotation.
-                            let code = match e {
-                                GatewayError::StaleEpoch { .. } => ErrorCode::StaleEpoch,
-                                _ => ErrorCode::Engine,
-                            };
-                            Frame::new(FrameKind::Error, ticket.stream, ticket.seq)
-                                .with_payload(encode_error(code, &e.to_string()))
-                        }
-                    },
-                    TicketOutcome::Rejected { code, detail } => {
-                        Frame::new(FrameKind::Error, ticket.stream, ticket.seq)
-                            .with_payload(encode_error(code, &detail))
-                    }
-                };
-                self.push_frame(ticket.conn, &reply);
-            }
-            progress = true;
-        }
-
-        // Goodbyes go out only now, behind every reply the connection is
-        // still owed from this tick.
-        for (idx, frame) in goodbyes {
-            self.push_frame(idx, &frame);
-            progress = true;
-        }
-
-        for idx in 0..self.conns.len() {
-            progress |= self.flush_conn(idx);
-        }
-        self.reap_dead();
-        progress
-    }
-
-    fn accept_pending(&mut self) -> bool {
-        let mut accepted = false;
-        loop {
-            match self.listener.accept() {
-                Ok((sock, _peer)) => {
-                    if self.conns.len() >= self.cfg.max_connections {
-                        // At capacity: drop the socket now (the peer sees
-                        // a close) instead of letting the backlog pin
-                        // server memory.
-                        ServerStats::bump(&self.stats.connections_rejected);
-                        continue;
-                    }
-                    // Per-connection setup failures just drop the socket.
-                    if sock.set_nonblocking(true).is_ok() {
-                        let _ = sock.set_nodelay(true);
-                        self.conns.push(Conn::new(sock));
-                        ServerStats::bump(&self.stats.connections_opened);
-                        accepted = true;
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(_) => break,
-            }
-        }
-        accepted
-    }
-
-    /// Drains the socket into the connection's receive buffer, honouring
-    /// the read budget and write-side backpressure.
-    fn read_conn(&mut self, idx: usize) -> bool {
-        let backpressured = self.conns[idx].queued() >= self.cfg.write_buf_limit;
-        let conn = &mut self.conns[idx];
-        if conn.dead || conn.eof {
-            return false;
-        }
-        if conn.closing {
-            // No longer parsing, but keep draining-and-discarding (within
-            // the tick's read budget) so a peer that hangs up is noticed
-            // now rather than only when the close grace expires.
-            let mut budget = self.cfg.read_budget;
-            while budget > 0 {
-                let want = self.scratch.len().min(budget);
-                match conn.sock.read(&mut self.scratch[..want]) {
-                    Ok(0) => {
-                        conn.dead = true;
-                        break;
-                    }
-                    Ok(n) => budget -= n,
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                    Err(_) => {
-                        conn.dead = true;
-                        break;
-                    }
-                }
-            }
-            return false;
-        }
-        if backpressured {
-            return false;
-        }
-        let mut moved = false;
-        let mut budget = self.cfg.read_budget;
-        while budget > 0 {
-            let want = self.scratch.len().min(budget);
-            match conn.sock.read(&mut self.scratch[..want]) {
-                Ok(0) => {
-                    // Half-close, not death: frames already in rbuf (even
-                    // ones received in this very tick) are still parsed
-                    // and answered before the connection is torn down.
-                    conn.eof = true;
-                    conn.closing_since.get_or_insert_with(Instant::now);
-                    break;
-                }
-                Ok(n) => {
-                    conn.rbuf.extend_from_slice(&self.scratch[..n]);
-                    moved = true;
-                    budget -= n;
-                    if n < want {
-                        break;
-                    }
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    conn.dead = true;
-                    break;
-                }
-            }
-        }
-        moved
-    }
-
-    /// Parses complete frames in arrival order. `Data` frames join the
-    /// tick's batch; control frames are handled inline — but only while no
-    /// `Data` frame from this connection is already queued, otherwise the
-    /// control frame waits a tick so replies never overtake each other.
-    fn parse_conn(
-        &mut self,
-        idx: usize,
-        batch: &mut Vec<(StreamId, StreamOp)>,
-        tickets: &mut Vec<DataTicket>,
-        goodbyes: &mut Vec<(usize, Frame)>,
-        rekey_pending: &mut std::collections::HashSet<u64>,
-    ) -> bool {
-        if self.conns[idx].closing || self.conns[idx].dead {
-            return false;
-        }
-        let mut consumed = 0;
-        let mut data_queued = false;
-        let mut handled = false;
-        loop {
-            let frame = match frame::decode(&self.conns[idx].rbuf[consumed..]) {
-                Ok(None) => break,
-                Ok(Some((frame, used))) => {
-                    consumed += used;
-                    frame
-                }
-                Err(e) => {
-                    // Framing is lost: answer once (deferred behind this
-                    // tick's replies so it cannot overtake them), then
-                    // hang up. Other connections (and their streams) are
-                    // untouched.
-                    ServerStats::bump(&self.stats.protocol_errors);
-                    goodbyes.push((
-                        idx,
-                        Frame::new(FrameKind::Error, 0, 0)
-                            .with_payload(encode_error(ErrorCode::Protocol, &e.to_string())),
-                    ));
-                    self.conns[idx].start_closing();
-                    return true;
-                }
-            };
-            if frame.kind == FrameKind::Data || frame.kind == FrameKind::Rekey {
-                ServerStats::bump(&self.stats.frames_received);
-                handled = true;
-                self.queue_data(idx, frame, batch, tickets, rekey_pending);
-                data_queued = true;
-            } else {
-                if data_queued {
-                    // Preserve order: this control frame executes only
-                    // after the queued data work ran. Rewind and retry
-                    // next tick (not counted as received yet).
-                    consumed -= HEADER_LEN + frame.payload.len();
-                    break;
-                }
-                ServerStats::bump(&self.stats.frames_received);
-                handled = true;
-                self.handle_control(idx, frame);
-                if self.conns[idx].closing {
-                    // handle_control hung up (and cleared rbuf) — nothing
-                    // left to parse or drain on this connection.
-                    return true;
-                }
-            }
-        }
-        self.conns[idx].rbuf.drain(..consumed);
-        handled
-    }
-
-    /// Validates a `Data`/`Rekey` frame (ownership, epoch, sequence,
-    /// payload shape) and either enqueues its work or records the
-    /// rejection. Rejections never touch cipher state, so the stream
-    /// survives them.
-    fn queue_data(
-        &mut self,
-        idx: usize,
-        frame: Frame,
-        batch: &mut Vec<(StreamId, StreamOp)>,
-        tickets: &mut Vec<DataTicket>,
-        rekey_pending: &mut std::collections::HashSet<u64>,
-    ) {
-        let stream = frame.stream;
-        let seq = frame.seq;
-        let reject = |code: ErrorCode, detail: String| DataTicket {
-            conn: idx,
-            stream,
-            seq,
-            outcome: TicketOutcome::Rejected { code, detail },
-        };
-        let Some(&expected) = self.conns[idx].streams.get(&stream) else {
-            tickets.push(reject(
-                ErrorCode::UnknownStream,
-                format!("stream {stream} is not open on this connection"),
-            ));
-            return;
-        };
-        if rekey_pending.contains(&stream) {
-            // A rotation for this stream is queued but not yet acked: the
-            // sequence space this frame would be validated against is
-            // about to be restamped, and the gateway would execute the
-            // frame *after* the rotation whatever its stamp claims. Rekey
-            // is a synchronisation point — reject without consuming
-            // anything; the client resends after the ack.
-            tickets.push(reject(
-                ErrorCode::BadSequence,
-                "a rekey is in flight on this stream; wait for the ack".to_string(),
-            ));
-            return;
-        }
-        let (cur_epoch, cur_counter) = split_seq(expected);
-        let (frame_epoch, frame_counter) = split_seq(seq);
-        if frame_epoch < cur_epoch {
-            // A replay from before a rotation. The dedicated code lets
-            // clients and monitors tell "stale capture" from an ordinary
-            // sequencing bug; either way no cipher state is touched and
-            // the sequence number is not consumed.
-            tickets.push(reject(
-                ErrorCode::StaleEpoch,
-                format!(
-                    "frame stamped with retired epoch {frame_epoch}; stream is at epoch {cur_epoch}"
-                ),
-            ));
-            return;
-        }
-        if seq != expected {
-            tickets.push(reject(
-                ErrorCode::BadSequence,
-                format!(
-                    "expected epoch {cur_epoch} counter {cur_counter}, \
-                     got epoch {frame_epoch} counter {frame_counter}"
-                ),
-            ));
-            return;
-        }
-        if cur_counter == u32::MAX && frame.kind != FrameKind::Rekey {
-            // Accepting a Data frame here would roll the counter into the
-            // epoch bits. Practically unreachable (2³² messages in one
-            // epoch), but never silently — and `Rekey` is deliberately
-            // exempt: rotating to a fresh epoch is the escape hatch this
-            // error advises, so it must still be accepted.
-            tickets.push(reject(
-                ErrorCode::Protocol,
-                "per-epoch sequence space exhausted; rekey the stream".to_string(),
-            ));
-            return;
-        }
-        let (op, shape) = if frame.kind == FrameKind::Rekey {
-            match decode_rekey(&frame.payload) {
-                Ok(epoch) if epoch > cur_epoch => (StreamOp::Rekey { epoch }, ReplyShape::Rekey),
-                Ok(epoch) => {
-                    tickets.push(reject(
-                        ErrorCode::StaleEpoch,
-                        format!(
-                            "rekey to epoch {epoch} is not newer than current epoch {cur_epoch}"
-                        ),
-                    ));
-                    return;
-                }
-                Err(e) => {
-                    tickets.push(reject(ErrorCode::Protocol, e.to_string()));
-                    return;
-                }
-            }
-        } else if frame.flags & flags::DIR_OPEN != 0 {
-            match decode_blocks(&frame.payload) {
-                Ok((bit_len, blocks)) => (
-                    StreamOp::Decrypt {
-                        blocks,
-                        bit_len: bit_len as usize,
-                    },
-                    ReplyShape::Open,
-                ),
-                Err(e) => {
-                    tickets.push(reject(ErrorCode::Protocol, e.to_string()));
-                    return;
+        let idle = shared.cfg.idle_sleep;
+        if n == 1 {
+            let mut reactor = reactors.pop().expect("one reactor");
+            let mut next = 0;
+            while !shutdown.load(Ordering::Relaxed) {
+                let mut progress = accept_pending(&listener, &shared, &txs, &mut next);
+                progress |= reactor.step();
+                if !progress {
+                    std::thread::sleep(idle);
                 }
             }
         } else {
-            if frame.payload.len() > MAX_MESSAGE_BYTES {
-                // The sealed reply could exceed MAX_PAYLOAD (worst-case
-                // key expansion is 16×) — reject before the cipher runs
-                // rather than panic framing an unsendable reply.
-                tickets.push(reject(
-                    ErrorCode::MessageTooLarge,
-                    format!(
-                        "message of {} bytes exceeds the {MAX_MESSAGE_BYTES}-byte seal cap",
-                        frame.payload.len()
-                    ),
-                ));
-                return;
-            }
-            // MAX_PAYLOAD bounds the message, so the bit length fits u32.
-            let bit_len = (frame.payload.len() * 8) as u32;
-            (
-                StreamOp::Encrypt(frame.payload),
-                ReplyShape::Seal { bit_len },
-            )
-        };
-        // Consume the sequence number in the *current* epoch; a
-        // successful rekey additionally restamps it to the new epoch's
-        // counter 0 when the ack is built. An accepted Rekey also blocks
-        // every further frame on the stream until that restamp
-        // (`rekey_pending`), so nothing can be validated against the old
-        // epoch but executed after the rotation. At counter u32::MAX only
-        // a Rekey can get here — skip the bump (it would roll into the
-        // epoch bits); the pending guard covers the gap until the ack.
-        if matches!(shape, ReplyShape::Rekey) {
-            rekey_pending.insert(stream);
-        }
-        if cur_counter != u32::MAX {
-            *self.conns[idx].streams.get_mut(&stream).expect("checked") = expected + 1;
-        }
-        tickets.push(DataTicket {
-            conn: idx,
-            stream,
-            seq,
-            outcome: TicketOutcome::Submitted {
-                index: batch.len(),
-                shape,
-            },
-        });
-        batch.push((StreamId(stream), op));
-    }
-
-    /// Handshake and teardown frames, answered inline.
-    fn handle_control(&mut self, idx: usize, frame: Frame) {
-        let stream = frame.stream;
-        match frame.kind {
-            FrameKind::Hello => {
-                let reply = self.open_stream(idx, &frame);
-                self.push_frame(idx, &reply);
-            }
-            FrameKind::Resume => {
-                let reply = self.resume_stream(idx, &frame);
-                self.push_frame(idx, &reply);
-            }
-            FrameKind::Bye => {
-                let reply = if self.conns[idx].streams.remove(&stream).is_some() {
-                    let _ = self.mux.close(StreamId(stream));
-                    self.tokens.remove(&stream);
-                    Frame::new(FrameKind::Bye, stream, frame.seq)
-                } else {
-                    Frame::new(FrameKind::Error, stream, frame.seq).with_payload(encode_error(
-                        ErrorCode::UnknownStream,
-                        "bye for a stream this connection does not own",
-                    ))
-                };
-                self.push_frame(idx, &reply);
-            }
-            // Server-emitted kinds arriving at the server are protocol
-            // violations a conforming client never produces.
-            FrameKind::HelloAck | FrameKind::Reply | FrameKind::Error | FrameKind::RekeyAck => {
-                ServerStats::bump(&self.stats.protocol_errors);
-                let goodbye = Frame::new(FrameKind::Error, 0, 0).with_payload(encode_error(
-                    ErrorCode::Protocol,
-                    "client sent a server-only frame kind",
-                ));
-                self.push_frame(idx, &goodbye);
-                self.conns[idx].start_closing();
-            }
-            FrameKind::Data | FrameKind::Rekey => {
-                unreachable!("data and rekey frames go through queue_data")
-            }
-        }
-    }
-
-    fn open_stream(&mut self, idx: usize, frame: &Frame) -> Frame {
-        let stream = frame.stream;
-        let fail = |code: ErrorCode, detail: &str| {
-            Frame::new(FrameKind::Error, stream, 0).with_payload(encode_error(code, detail))
-        };
-        let hello = match Hello::decode(&frame.payload) {
-            Ok(h) => h,
-            Err(e) => return fail(ErrorCode::BadHandshake, &e.to_string()),
-        };
-        let Some(epoch_keys) = self.cfg.keyring.get(&hello.key_id) else {
-            return fail(
-                ErrorCode::UnknownKeyId,
-                &format!("key id {} not in keyring", hello.key_id),
-            );
-        };
-        // A parked id is still occupied: letting an unauthenticated Hello
-        // supersede the snapshot would destroy another client's only copy
-        // of its stream state (the token check bypassed by destruction).
-        // Reclaim it with Resume + token, or discard it with Resume + Bye.
-        if self.snapshots.contains_key(&stream) {
-            return fail(
-                ErrorCode::StreamExists,
-                "stream id parked awaiting resume (present its resume token)",
-            );
-        }
-        // Streams are the one per-client allocation a handshake loop could
-        // otherwise grow without bound.
-        if self.mux.len() >= self.cfg.max_streams {
-            return fail(ErrorCode::ServerBusy, "server at stream capacity");
-        }
-        // Every served stream gets a ring of the id's epoch keys with the
-        // handshake seed as master, so `Rekey` works out of the box. Each
-        // epoch reseeds the LFSR via the chunk_seed derivation; whether a
-        // rotation also *changes the key* depends on how the id was
-        // configured (ServerConfig::with_epoch_keys vs a single key).
-        // Epoch 0 runs the handshake seed itself, so a stream that never
-        // rekeys seals exactly as it did before epochs existed.
-        let ring = match KeyRing::new(epoch_keys.clone(), hello.seed) {
-            Ok(ring) => ring,
-            Err(e) => return fail(ErrorCode::BadHandshake, &e.to_string()),
-        };
-        let config = StreamConfig::new(ring.key(0).clone())
-            .with_algorithm(hello.algorithm)
-            .with_profile(hello.profile)
-            .with_ring(ring);
-        match self.mux.open(StreamId(stream), config) {
-            Ok(()) => {
-                let token = self.fresh_token();
-                self.tokens.insert(stream, token);
-                self.conns[idx].streams.insert(stream, 0);
-                ServerStats::bump(&self.stats.streams_opened);
-                Frame::new(FrameKind::HelloAck, stream, 0)
-                    .with_payload(token.to_le_bytes().to_vec())
-            }
-            Err(GatewayError::StreamExists(_)) => {
-                fail(ErrorCode::StreamExists, "stream id already open")
-            }
-            Err(e) => fail(ErrorCode::BadHandshake, &e.to_string()),
-        }
-    }
-
-    fn resume_stream(&mut self, idx: usize, frame: &Frame) -> Frame {
-        let stream = frame.stream;
-        let fail = |code: ErrorCode, detail: &str| {
-            Frame::new(FrameKind::Error, stream, 0).with_payload(encode_error(code, detail))
-        };
-        let Ok(token_bytes) = <[u8; 8]>::try_from(frame.payload.as_slice()) else {
-            return fail(
-                ErrorCode::BadHandshake,
-                "resume payload must be the 8-byte resume token",
-            );
-        };
-        let token = u64::from_le_bytes(token_bytes);
-        // One uniform answer for "no snapshot" and "wrong token": probing
-        // ids must not reveal which streams are parked.
-        if self.tokens.get(&stream) != Some(&token) {
-            return fail(ErrorCode::NoSnapshot, "no snapshot parked for this stream");
-        }
-        let Some(snapshot) = self.snapshots.remove(&stream) else {
-            return fail(ErrorCode::NoSnapshot, "no snapshot parked for this stream");
-        };
-        match self.mux.restore(&snapshot) {
-            Ok(id) => {
-                debug_assert_eq!(id.0, stream, "snapshot carries its own id");
-                // The snapshot carries the key epoch; the new session's
-                // sequence space starts at counter 0 *in that epoch*, and
-                // the ack tells the client which epoch that is.
-                let epoch = self.mux.epoch(id).unwrap_or(0);
-                self.conns[idx].streams.insert(stream, join_seq(epoch, 0));
-                ServerStats::bump(&self.stats.streams_resumed);
-                Frame::new(FrameKind::HelloAck, stream, 0)
-                    .with_flags(flags::RESUMED)
-                    .with_payload(encode_resumed_ack(token, epoch))
-            }
-            Err(e) => {
-                // Park it again: the snapshot is still the only copy of
-                // the stream's state.
-                self.snapshots.insert(stream, snapshot);
-                match e {
-                    GatewayError::StreamExists(_) => {
-                        fail(ErrorCode::StreamExists, "stream id already open")
+            std::thread::scope(|scope| {
+                for (i, reactor) in reactors.into_iter().enumerate() {
+                    std::thread::Builder::new()
+                        .name(format!("mhnp-reactor-{i}"))
+                        .spawn_scoped(scope, move || reactor.run(shutdown))
+                        .expect("spawn reactor thread");
+                }
+                let mut next = 0;
+                while !shutdown.load(Ordering::Relaxed) {
+                    if !accept_pending(&listener, &shared, &txs, &mut next) {
+                        std::thread::sleep(idle);
                     }
-                    other => fail(ErrorCode::Engine, &other.to_string()),
                 }
-            }
+                drop(txs);
+            });
         }
     }
+}
 
-    /// A fresh resume token: a keyed hash of a counter. Unpredictable to
-    /// peers (the SipHash key never leaves the process), collision-free in
-    /// practice, and free of any RNG dependency.
-    fn fresh_token(&mut self) -> u64 {
-        let mut hasher = self.token_rand.build_hasher();
-        hasher.write_u64(self.token_counter);
-        self.token_counter += 1;
-        hasher.finish()
-    }
-
-    fn push_frame(&mut self, idx: usize, frame: &Frame) {
-        frame.encode_into(&mut self.conns[idx].wbuf);
-        ServerStats::bump(&self.stats.frames_sent);
-    }
-
-    fn flush_conn(&mut self, idx: usize) -> bool {
-        let conn = &mut self.conns[idx];
-        if conn.dead {
-            return false;
-        }
-        let mut moved = false;
-        while conn.wpos < conn.wbuf.len() {
-            match conn.sock.write(&conn.wbuf[conn.wpos..]) {
-                Ok(0) => {
-                    conn.dead = true;
-                    break;
+/// Accepts every pending socket and deals each to a reactor, strictly
+/// round-robin in accept order (accept *k* goes to reactor *k* mod *n* —
+/// deterministic, which the cross-reactor tests pin their placement on).
+fn accept_pending(
+    listener: &TcpListener,
+    shared: &Shared,
+    txs: &[mpsc::Sender<TcpStream>],
+    next: &mut usize,
+) -> bool {
+    let mut accepted = false;
+    loop {
+        match listener.accept() {
+            Ok((sock, _peer)) => {
+                let open = shared.stats.connections_open.load(Ordering::Relaxed);
+                if open >= shared.cfg.max_connections as u64 {
+                    // At capacity: drop the socket now (the peer sees a
+                    // close) instead of letting the backlog pin server
+                    // memory.
+                    ServerStats::bump(&shared.stats.connections_rejected);
+                    continue;
                 }
-                Ok(n) => {
-                    conn.wpos += n;
-                    moved = true;
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => {
-                    conn.dead = true;
-                    break;
-                }
-            }
-        }
-        if moved && (conn.closing || conn.eof) {
-            // close_grace is an *idle* timeout, not an absolute deadline:
-            // a half-closed peer actively draining a large reply backlog
-            // must not be torn down mid-drain.
-            conn.closing_since = Some(Instant::now());
-        }
-        if conn.wpos == conn.wbuf.len() {
-            conn.wbuf.clear();
-            conn.wpos = 0;
-            if conn.closing || (conn.eof && conn.rbuf.is_empty()) {
-                // Goodbye (or the half-closed peer's last replies) fully
-                // flushed and nothing left to parse — nothing more will
-                // ever arrive or leave. (An eof conn with leftover bytes
-                // gets one more tick to parse them — e.g. a control frame
-                // deferred behind data — or ages out via close_grace if
-                // they are a forever-partial frame.)
-                conn.dead = true;
-            }
-        } else if conn.wpos > (64 << 10) {
-            // Reclaim flushed prefix without waiting for full drain.
-            conn.wbuf.drain(..conn.wpos);
-            conn.wpos = 0;
-        }
-        moved
-    }
-
-    /// Tears down dead connections, parking each owned stream's snapshot
-    /// for a future `Resume` (or closing it when the store is full).
-    fn reap_dead(&mut self) {
-        // A closing/half-closed connection whose peer never drains the
-        // remaining frames would otherwise linger forever (flush_conn only
-        // promotes it to dead once the write buffer empties).
-        for conn in &mut self.conns {
-            if (conn.closing || conn.eof) && !conn.dead {
-                let expired = conn
-                    .closing_since
-                    .is_none_or(|since| since.elapsed() >= self.cfg.close_grace);
-                if expired {
-                    conn.dead = true;
-                }
-            }
-        }
-        for idx in 0..self.conns.len() {
-            if !self.conns[idx].dead {
-                continue;
-            }
-            ServerStats::bump(&self.stats.connections_closed);
-            let streams: Vec<u64> = self.conns[idx].streams.drain().map(|(id, _)| id).collect();
-            for id in streams {
-                if self.snapshots.len() < self.cfg.snapshot_capacity {
-                    if let Ok(snap) = self.mux.evict(StreamId(id)) {
-                        self.snapshots.insert(id, snap);
-                        // The token survives with the snapshot: a Resume
-                        // presenting it reclaims the stream.
-                        ServerStats::bump(&self.stats.streams_evicted);
+                // Per-connection setup failures just drop the socket.
+                if sock.set_nonblocking(true).is_ok() {
+                    let _ = sock.set_nodelay(true);
+                    // The gauge rises *before* the hand-off: the reactor
+                    // may adopt, serve and reap the socket concurrently,
+                    // and its decrement must never observe the increment
+                    // missing.
+                    ServerStats::bump(&shared.stats.connections_opened);
+                    shared
+                        .stats
+                        .connections_open
+                        .fetch_add(1, Ordering::Relaxed);
+                    if txs[*next % txs.len()].send(sock).is_ok() {
+                        *next = next.wrapping_add(1);
+                        accepted = true;
+                    } else {
+                        // Reactor already gone — only during shutdown.
+                        shared
+                            .stats
+                            .connections_open
+                            .fetch_sub(1, Ordering::Relaxed);
                     }
-                } else {
-                    let _ = self.mux.close(StreamId(id));
-                    self.tokens.remove(&id);
                 }
             }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(_) => break,
         }
-        self.conns.retain(|c| !c.dead);
     }
+    accepted
 }
 
 impl core::fmt::Debug for NetServer {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("NetServer")
             .field("addr", &self.addr)
-            .field("connections", &self.conns.len())
-            .field("streams", &self.mux.len())
-            .field("parked_snapshots", &self.snapshots.len())
+            .field("reactors", &self.shared.cfg.reactors)
+            .field(
+                "connections",
+                &self.shared.stats.connections_open.load(Ordering::Relaxed),
+            )
+            .field("streams", &self.shared.mux.len())
+            .field("parked_snapshots", &self.shared.parked())
             .finish()
     }
 }
@@ -1055,7 +404,7 @@ impl ServerHandle {
     }
 
     /// Live counters (relaxed reads; momentarily inconsistent with each
-    /// other under load).
+    /// other under load — see the [`ServerStats`] coherence contract).
     pub fn stats(&self) -> &ServerStats {
         &self.stats
     }
@@ -1086,6 +435,6 @@ impl Drop for ServerHandle {
 /// the worst case (a key pair of span 1) every plaintext bit costs one
 /// 16-bit block — 16 reply bytes per message byte. The cap is sized so
 /// the expanded reply always fits [`MAX_PAYLOAD`] no matter the key;
-/// anything larger is rejected with [`ErrorCode::MessageTooLarge`]
+/// anything larger is rejected with [`crate::frame::ErrorCode::MessageTooLarge`]
 /// *before* touching cipher state (sequence number not consumed).
 pub const MAX_MESSAGE_BYTES: usize = (MAX_PAYLOAD - 4) / 16;

@@ -24,8 +24,23 @@ fn key() -> Key {
     Key::from_nibbles(&[(0, 3), (2, 5), (7, 1), (4, 4)]).unwrap()
 }
 
+/// Reactor threads for every per-test server: 1 by default, overridable
+/// with `MHNP_REACTORS` so CI soaks the whole suite against the
+/// multi-threaded server too (the abuse answers must not depend on how
+/// many loops serve the connections).
+fn reactors() -> usize {
+    std::env::var("MHNP_REACTORS")
+        .ok()
+        .map(|v| v.parse().expect("MHNP_REACTORS must be a positive integer"))
+        .unwrap_or(1)
+}
+
 fn spawn_server() -> ServerHandle {
-    NetServer::spawn("127.0.0.1:0", ServerConfig::new([(1, key())])).expect("bind server")
+    NetServer::spawn(
+        "127.0.0.1:0",
+        ServerConfig::new([(1, key())]).with_reactors(reactors()),
+    )
+    .expect("bind server")
 }
 
 /// A healthy client+oracle pair on its own connection, used to prove an
@@ -496,7 +511,7 @@ fn parked_stream_id_is_protected_until_resumed_and_discarded() {
 /// past `max_streams`; closing a stream frees its slot.
 #[test]
 fn stream_capacity_rejects_hello_with_server_busy() {
-    let mut cfg = ServerConfig::new([(1, key())]);
+    let mut cfg = ServerConfig::new([(1, key())]).with_reactors(reactors());
     cfg.max_streams = 2;
     let server = NetServer::spawn("127.0.0.1:0", cfg).expect("bind server");
     let mut client = NetClient::connect(server.addr()).unwrap();
@@ -611,7 +626,7 @@ fn pipelined_rejection_drains_replies_and_keeps_connection_usable() {
 /// accept, and a slot freed by a disconnect becomes usable again.
 #[test]
 fn connection_cap_rejects_then_recovers() {
-    let mut cfg = ServerConfig::new([(1, key())]);
+    let mut cfg = ServerConfig::new([(1, key())]).with_reactors(reactors());
     cfg.max_connections = 2;
     let server = NetServer::spawn("127.0.0.1:0", cfg).expect("bind server");
 
@@ -966,8 +981,9 @@ fn data_pipelined_behind_a_rekey_never_executes() {
 #[test]
 fn multi_key_rotation_retires_old_ciphertext() {
     let second_key = Key::from_nibbles(&[(7, 7), (0, 0), (3, 3)]).unwrap();
-    let config =
-        ServerConfig::new([(1, key())]).with_epoch_keys(2, vec![key(), second_key.clone()]);
+    let config = ServerConfig::new([(1, key())])
+        .with_reactors(reactors())
+        .with_epoch_keys(2, vec![key(), second_key.clone()]);
     let server = NetServer::spawn("127.0.0.1:0", config).expect("bind server");
 
     let mut client = NetClient::connect(server.addr()).unwrap();
@@ -991,5 +1007,37 @@ fn multi_key_rotation_retires_old_ciphertext() {
         // A span mismatch may under-run the bit count instead — an
         // engine rejection retires the ciphertext just as thoroughly.
         Err(e) => assert!(e.is_code(ErrorCode::Engine), "unexpected failure: {e}"),
+    }
+}
+
+/// Multi-reactor blast radius: on a 4-reactor server with a witness
+/// parked on every reactor (accepts #0..#4 → reactors 0..4), a framing
+/// attack arriving on reactor 0 kills exactly its own connection — every
+/// witness, including the one sharing the attacker's reactor, keeps
+/// producing oracle-exact ciphertext.
+#[test]
+fn framing_attack_on_one_reactor_leaves_all_reactors_healthy() {
+    let server = NetServer::spawn(
+        "127.0.0.1:0",
+        ServerConfig::new([(1, key())]).with_reactors(4),
+    )
+    .expect("bind 4-reactor server");
+
+    let mut witnesses: Vec<Witness> = (0..4)
+        .map(|i| Witness::open(server.addr(), 70 + i))
+        .collect();
+    for witness in &mut witnesses {
+        witness.pump();
+    }
+
+    // Accept #4 → reactor 0, alongside the first witness.
+    let mut sock = TcpStream::connect(server.addr()).unwrap();
+    sock.write_all(b"\xff\xff\xff\xffgarbage, not MHNP")
+        .unwrap();
+    expect_protocol_error_then_eof(&mut sock);
+
+    for witness in &mut witnesses {
+        witness.pump();
+        witness.pump();
     }
 }

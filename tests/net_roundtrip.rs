@@ -16,18 +16,25 @@
 //! snapshot → `Resume` path, so every schedule with a churn op proves the
 //! bit-exact restore property end to end over TCP.
 //!
-//! One server serves every proptest case (stream ids are globally unique
-//! per case), which keeps the soak configuration — `PROPTEST_CASES=256`
-//! in CI — at one socket bind instead of hundreds.
+//! One server *per reactor count* serves every proptest case (stream ids
+//! are globally unique per case), which keeps the soak configuration —
+//! `PROPTEST_CASES=256` in CI — at a couple of socket binds instead of
+//! hundreds.
+//!
+//! Every scenario runs at `reactors ∈ {1, 4}` (the single-loop server and
+//! the multi-threaded one must be indistinguishable on the wire). Set
+//! `MHNP_REACTORS=n` to pin the whole suite to one count — CI uses this
+//! to soak each configuration in its own job.
 
+use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
 
 use mhhea_net::client::NetClient;
 use mhhea_net::frame::Hello;
-use mhhea_net::server::{NetServer, ServerConfig, ServerHandle};
+use mhhea_net::server::{NetServer, ServerConfig};
 use mhhea_suite::mhhea::session::{DecryptSession, EncryptSession};
 use mhhea_suite::mhhea::{Algorithm, Key, KeyRing, LfsrSource, Profile};
 use proptest::prelude::*;
@@ -64,14 +71,32 @@ fn keyring() -> Vec<(u32, Key)> {
     ]
 }
 
-fn server_addr() -> SocketAddr {
-    static SERVER: OnceLock<ServerHandle> = OnceLock::new();
-    SERVER
-        .get_or_init(|| {
-            NetServer::spawn("127.0.0.1:0", ServerConfig::new(keyring()))
-                .expect("bind loopback server")
-        })
-        .addr()
+/// The reactor counts every scenario runs at, or the single count the
+/// `MHNP_REACTORS` env var pins the suite to.
+fn reactor_counts() -> Vec<usize> {
+    match std::env::var("MHNP_REACTORS") {
+        Ok(v) => vec![v.parse().expect("MHNP_REACTORS must be a positive integer")],
+        Err(_) => vec![1, 4],
+    }
+}
+
+/// One shared server per reactor count, spawned lazily and kept for the
+/// whole test process (handles are leaked deliberately — the OS reclaims
+/// the sockets at exit).
+fn server_addr(reactors: usize) -> SocketAddr {
+    static SERVERS: OnceLock<Mutex<HashMap<usize, SocketAddr>>> = OnceLock::new();
+    let servers = SERVERS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut servers = servers.lock().expect("server map poisoned");
+    *servers.entry(reactors).or_insert_with(|| {
+        let handle = NetServer::spawn(
+            "127.0.0.1:0",
+            ServerConfig::new(keyring()).with_reactors(reactors),
+        )
+        .expect("bind loopback server");
+        let addr = handle.addr();
+        Box::leak(Box::new(handle));
+        addr
+    })
 }
 
 /// Hands out globally unique stream-id blocks so proptest cases can share
@@ -134,7 +159,8 @@ fn decode_step(kind: u8, slot: u8, msg: Vec<u8>) -> Step {
 proptest! {
     /// The acceptance property: for every schedule, every byte delivered
     /// through the TCP transport equals the in-process oracle's — across
-    /// sends, disconnects, evict/restore cycles and key rotations.
+    /// sends, disconnects, evict/restore cycles and key rotations, on
+    /// both the single-loop and the 4-reactor server.
     #[test]
     fn schedules_match_in_process_oracle(
         steps in proptest::collection::vec(
@@ -144,8 +170,16 @@ proptest! {
         key_id in 1u32..=3,
         seed_base in any::<u16>(),
         hw in any::<bool>(),
+        four_reactors in any::<bool>(),
     ) {
-        let addr = server_addr();
+        // Each case rolls which server it talks to (env-pinned in the CI
+        // matrix, where every case soaks one configuration).
+        let reactors = match std::env::var("MHNP_REACTORS") {
+            Ok(v) => v.parse().expect("MHNP_REACTORS must be a positive integer"),
+            Err(_) if four_reactors => 4,
+            Err(_) => 1,
+        };
+        let addr = server_addr(reactors);
         let base = fresh_id_block();
         let profile = if hw { Profile::HardwareFaithful } else { Profile::Streaming };
         let key = keyring()
@@ -259,7 +293,12 @@ proptest! {
 /// oracle — a fast failure locator when the proptest above trips.
 #[test]
 fn evict_reconnect_restore_is_bit_exact() {
-    let addr = server_addr();
+    for reactors in reactor_counts() {
+        evict_reconnect_restore_case(server_addr(reactors));
+    }
+}
+
+fn evict_reconnect_restore_case(addr: SocketAddr) {
     let base = fresh_id_block();
     let key = keyring()[0].1.clone();
     let mut oracle = Oracle::new(&key, 0x7A31, Algorithm::Mhhea, Profile::Streaming);
@@ -307,7 +346,12 @@ fn evict_reconnect_restore_is_bit_exact() {
 /// and a further rotation still works.
 #[test]
 fn rekey_survives_reconnect_bit_exactly() {
-    let addr = server_addr();
+    for reactors in reactor_counts() {
+        rekey_survives_reconnect_case(server_addr(reactors));
+    }
+}
+
+fn rekey_survives_reconnect_case(addr: SocketAddr) {
     let base = fresh_id_block();
     let key = keyring()[0].1.clone();
     let mut oracle = Oracle::new(&key, 0x2B2B, Algorithm::Mhhea, Profile::Streaming);
@@ -365,7 +409,12 @@ fn rekey_survives_reconnect_bit_exactly() {
 /// bit-exact against the oracle.
 #[test]
 fn rekey_between_pipelined_batches() {
-    let addr = server_addr();
+    for reactors in reactor_counts() {
+        rekey_between_pipelined_batches_case(server_addr(reactors));
+    }
+}
+
+fn rekey_between_pipelined_batches_case(addr: SocketAddr) {
     let base = fresh_id_block();
     let key = keyring()[2].1.clone();
     let mut oracle = Oracle::new(&key, 0x0DD1, Algorithm::Mhhea, Profile::HardwareFaithful);
@@ -398,7 +447,12 @@ fn rekey_between_pipelined_batches() {
 /// reconnect accepts sequence 0 again while its cipher state continues.
 #[test]
 fn resumed_session_restarts_sequence_numbers() {
-    let addr = server_addr();
+    for reactors in reactor_counts() {
+        resumed_session_restarts_sequence_numbers_case(server_addr(reactors));
+    }
+}
+
+fn resumed_session_restarts_sequence_numbers_case(addr: SocketAddr) {
     let base = fresh_id_block();
     let mut client = NetClient::connect(addr).unwrap();
     let token = client.open_stream(base, Hello::new(3, 0x0101)).unwrap();
@@ -420,7 +474,12 @@ fn resumed_session_restarts_sequence_numbers() {
 /// through the transport's decrypt session matches the local plaintext.
 #[test]
 fn transport_open_matches_local_seal() {
-    let addr = server_addr();
+    for reactors in reactor_counts() {
+        transport_open_matches_local_seal_case(server_addr(reactors));
+    }
+}
+
+fn transport_open_matches_local_seal_case(addr: SocketAddr) {
     let base = fresh_id_block();
     let key = keyring()[1].1.clone();
     let mut oracle = Oracle::new(&key, 0x5EED, Algorithm::Mhhea, Profile::HardwareFaithful);
@@ -444,4 +503,153 @@ fn transport_open_matches_local_seal() {
         oracle.dec.decrypt(&blocks, msg.len() * 8).unwrap();
     }
     client.bye(base).unwrap();
+}
+
+/// The cross-reactor churn path, pinned by construction: the stream is
+/// born (and evicted) on reactor 0, then resumed from a connection the
+/// acceptor's deterministic round-robin places on reactor 1. The parked
+/// snapshot, token table and mux are shared server-wide, so which
+/// reactor parks a stream must be unobservable — bit-exact against the
+/// oracle either way.
+#[test]
+fn cross_reactor_evict_resume_is_bit_exact() {
+    let server = NetServer::spawn("127.0.0.1:0", ServerConfig::new(keyring()).with_reactors(4))
+        .expect("bind 4-reactor server");
+    let addr = server.addr();
+    let id = 0x6_0001;
+    let key = keyring()[0].1.clone();
+    let mut oracle = Oracle::new(&key, 0x4EAC, Algorithm::Mhhea, Profile::Streaming);
+
+    // Accept #0 → reactor 0. Drive both directions so the snapshot below
+    // carries advanced encrypt *and* decrypt cursors.
+    let mut conn_a = NetClient::connect(addr).unwrap();
+    let token = conn_a.open_stream(id, Hello::new(1, 0x4EAC)).unwrap();
+    let first = conn_a.seal(id, b"sealed on reactor zero").unwrap();
+    assert_eq!(
+        first.blocks,
+        oracle.enc.encrypt(b"sealed on reactor zero").unwrap()
+    );
+    let plain = conn_a.open(id, &first.blocks, first.bit_len).unwrap();
+    assert_eq!(plain, b"sealed on reactor zero");
+    oracle
+        .dec
+        .decrypt(&first.blocks, first.bit_len as usize)
+        .unwrap();
+    // Reactor 0 notices the hangup and parks the snapshot.
+    drop(conn_a);
+
+    // Accept #1 → reactor 1. The resume retries while the (asynchronous)
+    // eviction completes on the other thread.
+    let mut conn_b = NetClient::connect(addr).unwrap();
+    conn_b
+        .resume_within(id, token, Duration::from_secs(5))
+        .expect("resume on a different reactor");
+    let second = conn_b.seal(id, b"resumed on reactor one").unwrap();
+    assert_eq!(
+        second.blocks,
+        oracle.enc.encrypt(b"resumed on reactor one").unwrap(),
+        "cross-reactor restore was not bit-exact"
+    );
+    // Decrypt direction crossed the reactors intact too.
+    let plain = conn_b.open(id, &second.blocks, second.bit_len).unwrap();
+    assert_eq!(plain, b"resumed on reactor one");
+    assert_eq!(
+        oracle
+            .dec
+            .decrypt(&second.blocks, second.bit_len as usize)
+            .unwrap(),
+        b"resumed on reactor one"
+    );
+    conn_b.bye(id).unwrap();
+    server.stop();
+}
+
+/// Every stream hops reactors at once: four connections land on four
+/// different reactors (round-robin), each opens a stream, all four lines
+/// drop, and each stream is resumed through a connection on the *next*
+/// reactor over — all bit-exact.
+#[test]
+fn streams_migrate_across_all_reactors() {
+    let server = NetServer::spawn("127.0.0.1:0", ServerConfig::new(keyring()).with_reactors(4))
+        .expect("bind 4-reactor server");
+    let addr = server.addr();
+    let key = keyring()[0].1.clone();
+
+    // Accepts #0..#4 → reactors 0..4, one stream each.
+    let mut conns: Vec<NetClient> = (0..4).map(|_| NetClient::connect(addr).unwrap()).collect();
+    let mut oracles = Vec::new();
+    let mut tokens = Vec::new();
+    for (i, conn) in conns.iter_mut().enumerate() {
+        let id = 0x6_1000 + i as u64;
+        let seed = 0x1357 + i as u16;
+        tokens.push(conn.open_stream(id, Hello::new(1, seed)).unwrap());
+        let mut oracle = Oracle::new(&key, seed, Algorithm::Mhhea, Profile::Streaming);
+        let msg = format!("stream {i} born on reactor {i}");
+        let sealed = conn.seal(id, msg.as_bytes()).unwrap();
+        assert_eq!(sealed.blocks, oracle.enc.encrypt(msg.as_bytes()).unwrap());
+        oracles.push(oracle);
+    }
+    // All four lines drop; each reactor evicts its own stream.
+    drop(conns);
+
+    // Accepts #4..#8 → reactors 0..4 again; stream i resumes through the
+    // connection on reactor (i + 1) % 4 — never the one that parked it.
+    let mut conns: Vec<NetClient> = (0..4).map(|_| NetClient::connect(addr).unwrap()).collect();
+    for i in 0..4usize {
+        let id = 0x6_1000 + i as u64;
+        let conn = &mut conns[(i + 1) % 4];
+        conn.resume_within(id, tokens[i], Duration::from_secs(5))
+            .expect("resume on the neighbouring reactor");
+        let msg = format!("stream {i} migrated to reactor {}", (i + 1) % 4);
+        let sealed = conn.seal(id, msg.as_bytes()).unwrap();
+        assert_eq!(
+            sealed.blocks,
+            oracles[i].enc.encrypt(msg.as_bytes()).unwrap(),
+            "stream {i} drifted crossing reactors"
+        );
+        conn.bye(id).unwrap();
+    }
+    server.stop();
+}
+
+/// Eight client threads hammer a 4-reactor server concurrently, two
+/// connections per reactor, each checked against its own oracle on every
+/// round trip — concurrent batches through the shared mux must never
+/// bleed across streams.
+#[test]
+fn concurrent_traffic_across_reactors_is_bit_exact() {
+    let server = NetServer::spawn("127.0.0.1:0", ServerConfig::new(keyring()).with_reactors(4))
+        .expect("bind 4-reactor server");
+    let addr = server.addr();
+    let key = keyring()[0].1.clone();
+
+    std::thread::scope(|scope| {
+        for t in 0..8u64 {
+            let key = &key;
+            scope.spawn(move || {
+                let id = 0x6_2000 + t;
+                let seed = 0x2460 + t as u16 + 1;
+                let mut client = NetClient::connect(addr).unwrap();
+                let mut oracle = Oracle::new(key, seed, Algorithm::Mhhea, Profile::Streaming);
+                client.open_stream(id, Hello::new(1, seed)).unwrap();
+                for round in 0..16 {
+                    let msg = format!("conn {t} round {round}");
+                    let sealed = client.seal(id, msg.as_bytes()).unwrap();
+                    assert_eq!(
+                        sealed.blocks,
+                        oracle.enc.encrypt(msg.as_bytes()).unwrap(),
+                        "conn {t} drifted under concurrent load"
+                    );
+                    let plain = client.open(id, &sealed.blocks, sealed.bit_len).unwrap();
+                    assert_eq!(plain, msg.as_bytes());
+                    oracle
+                        .dec
+                        .decrypt(&sealed.blocks, sealed.bit_len as usize)
+                        .unwrap();
+                }
+                client.bye(id).unwrap();
+            });
+        }
+    });
+    server.stop();
 }
