@@ -1,0 +1,277 @@
+//! The burn-down baseline: `analyzer-baseline.toml`.
+//!
+//! Pre-existing findings live in a committed baseline so the analyzer
+//! can be adopted without fixing the world first, while any *new*
+//! finding fails CI. Matching is by `(lint, file, trimmed line text)` —
+//! not line numbers — so unrelated edits that shift lines do not
+//! invalidate entries; the stored `line` is informational.
+//!
+//! The file is TOML by shape (`[[finding]]` tables with string/integer
+//! keys), written and parsed by the minimal reader below — no external
+//! TOML crate in this environment.
+
+use std::collections::HashMap;
+
+use crate::model::Finding;
+
+/// One baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Lint name.
+    pub lint: String,
+    /// Repo-relative file.
+    pub file: String,
+    /// Informational 1-based line (not used for matching).
+    pub line: u32,
+    /// The trimmed source line text — the matching key.
+    pub key: String,
+}
+
+/// A parsed baseline.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<Entry>,
+}
+
+/// The result of matching findings against a baseline.
+pub struct Comparison {
+    /// Findings not covered by the baseline — these fail the run.
+    pub new: Vec<Finding>,
+    /// Baseline entries with no current finding — fixed; safe to remove.
+    pub stale: Vec<Entry>,
+    /// Number of findings absorbed by the baseline.
+    pub matched: usize,
+}
+
+impl Baseline {
+    /// Parses the baseline text. Unknown keys are ignored; a structurally
+    /// broken file is an error (better loud than silently empty).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        let mut current: Option<Entry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[finding]]" {
+                if let Some(e) = current.take() {
+                    entries.push(validate(e, idx)?);
+                }
+                current = Some(Entry {
+                    lint: String::new(),
+                    file: String::new(),
+                    line: 0,
+                    key: String::new(),
+                });
+                continue;
+            }
+            let Some(entry) = current.as_mut() else {
+                return Err(format!("line {}: key outside [[finding]]", idx + 1));
+            };
+            let Some((k, v)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", idx + 1));
+            };
+            let (k, v) = (k.trim(), v.trim());
+            match k {
+                "lint" => entry.lint = unquote(v, idx)?,
+                "file" => entry.file = unquote(v, idx)?,
+                "text" => entry.key = unquote(v, idx)?,
+                "line" => {
+                    entry.line = v
+                        .parse()
+                        .map_err(|_| format!("line {}: bad line number", idx + 1))?
+                }
+                _ => {}
+            }
+        }
+        if let Some(e) = current.take() {
+            entries.push(validate(e, 0)?);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Renders findings as a fresh baseline file.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut out = String::from(
+            "# mhhea-analyzer baseline — pre-existing findings being burned down.\n\
+             # Matching is by (lint, file, text); `line` is informational.\n\
+             # Regenerate with: cargo run -p mhhea-analyzer -- bless\n",
+        );
+        for f in findings {
+            out.push_str("\n[[finding]]\n");
+            out.push_str(&format!("lint = {}\n", quote(f.lint)));
+            out.push_str(&format!("file = {}\n", quote(&f.file)));
+            out.push_str(&format!("line = {}\n", f.line));
+            out.push_str(&format!("text = {}\n", quote(&f.key)));
+        }
+        out
+    }
+
+    /// Matches `findings` against the baseline (multiset semantics per
+    /// `(lint, file, text)` key).
+    pub fn compare(&self, findings: &[Finding]) -> Comparison {
+        let mut budget: HashMap<(&str, &str, &str), usize> = HashMap::new();
+        for e in &self.entries {
+            *budget
+                .entry((e.lint.as_str(), e.file.as_str(), e.key.as_str()))
+                .or_insert(0) += 1;
+        }
+        let mut new = Vec::new();
+        let mut matched = 0usize;
+        for f in findings {
+            match budget.get_mut(&(f.lint, f.file.as_str(), f.key.as_str())) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    matched += 1;
+                }
+                _ => new.push(f.clone()),
+            }
+        }
+        let mut stale = Vec::new();
+        for e in &self.entries {
+            let slot = budget
+                .get_mut(&(e.lint.as_str(), e.file.as_str(), e.key.as_str()))
+                .expect("entry inserted above");
+            if *slot > 0 {
+                *slot -= 1;
+                stale.push(e.clone());
+            }
+        }
+        Comparison {
+            new,
+            stale,
+            matched,
+        }
+    }
+}
+
+fn validate(e: Entry, idx: usize) -> Result<Entry, String> {
+    if e.lint.is_empty() || e.file.is_empty() {
+        return Err(format!(
+            "entry ending near line {}: `lint` and `file` are required",
+            idx + 1
+        ));
+    }
+    Ok(e)
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn unquote(v: &str, idx: usize) -> Result<String, String> {
+    let inner = v
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("line {}: expected a quoted string", idx + 1))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: &'static str, file: &str, line: u32, key: &str) -> Finding {
+        Finding {
+            lint,
+            file: file.to_string(),
+            line,
+            col: 1,
+            message: "m".to_string(),
+            key: key.to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_match() {
+        let fs = vec![
+            finding("panic-path", "a.rs", 10, "x.unwrap();"),
+            finding("panic-path", "a.rs", 20, "x.unwrap();"),
+            finding("truncating-cast", "b.rs", 5, "n as u8, \"quoted\""),
+        ];
+        let text = Baseline::render(&fs);
+        let base = Baseline::parse(&text).expect("parse");
+        assert_eq!(base.entries.len(), 3);
+        let cmp = base.compare(&fs);
+        assert!(cmp.new.is_empty());
+        assert!(cmp.stale.is_empty());
+        assert_eq!(cmp.matched, 3);
+    }
+
+    #[test]
+    fn line_drift_still_matches() {
+        let base = Baseline::render(&[finding("panic-path", "a.rs", 10, "x.unwrap();")]);
+        let base = Baseline::parse(&base).expect("parse");
+        let cmp = base.compare(&[finding("panic-path", "a.rs", 99, "x.unwrap();")]);
+        assert!(cmp.new.is_empty());
+    }
+
+    #[test]
+    fn new_finding_and_stale_entry_detected() {
+        let base = Baseline::render(&[
+            finding("panic-path", "a.rs", 10, "gone.unwrap();"),
+            finding("panic-path", "a.rs", 11, "kept.unwrap();"),
+        ]);
+        let base = Baseline::parse(&base).expect("parse");
+        let cmp = base.compare(&[
+            finding("panic-path", "a.rs", 11, "kept.unwrap();"),
+            finding("panic-path", "a.rs", 50, "brand_new.unwrap();"),
+        ]);
+        assert_eq!(cmp.new.len(), 1);
+        assert_eq!(cmp.new[0].key, "brand_new.unwrap();");
+        assert_eq!(cmp.stale.len(), 1);
+        assert_eq!(cmp.stale[0].key, "gone.unwrap();");
+    }
+
+    #[test]
+    fn multiset_counts_matter() {
+        // Two identical lines in the baseline, three in the code: one new.
+        let base = Baseline::render(&[
+            finding("panic-path", "a.rs", 1, "x.unwrap();"),
+            finding("panic-path", "a.rs", 2, "x.unwrap();"),
+        ]);
+        let base = Baseline::parse(&base).expect("parse");
+        let cmp = base.compare(&[
+            finding("panic-path", "a.rs", 1, "x.unwrap();"),
+            finding("panic-path", "a.rs", 2, "x.unwrap();"),
+            finding("panic-path", "a.rs", 3, "x.unwrap();"),
+        ]);
+        assert_eq!(cmp.new.len(), 1);
+        assert!(cmp.stale.is_empty());
+    }
+
+    #[test]
+    fn broken_file_is_an_error() {
+        assert!(Baseline::parse("lint = \"x\"\n").is_err());
+        assert!(Baseline::parse("[[finding]]\nlint = unquoted\n").is_err());
+    }
+}

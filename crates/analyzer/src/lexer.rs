@@ -1,0 +1,403 @@
+//! A string/char/comment-aware token scanner for Rust source.
+//!
+//! This is deliberately *not* a parser: the lints in this crate work on
+//! token shapes (`ident . lock (`, `let _ =`, `as u8`, …), so all the
+//! lexer has to get right is the part where naive `grep` goes wrong —
+//! string literals, char literals vs. lifetimes, raw strings, and
+//! (nested) block comments. Everything else is a flat token stream with
+//! line/column positions.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `registry`, `_`).
+    Ident,
+    /// Integer or float literal, including suffixes (`1`, `0xFF`, `1_000u64`).
+    Number,
+    /// Single punctuation character (`.`, `{`, `<`). Multi-char operators
+    /// arrive as adjacent single-char tokens; lints that care (the const
+    /// expression evaluator's `<<`) merge them by position.
+    Punct,
+    /// String, raw string, byte string, or char literal — content opaque.
+    Literal,
+    /// `// …` line comment (including doc comments), text preserved.
+    LineComment,
+    /// `/* … */` block comment, text preserved.
+    BlockComment,
+}
+
+/// One lexeme with its position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexeme kind.
+    pub kind: TokenKind,
+    /// The raw source text of the token.
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True for comment tokens (which most lints skip over).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into a flat token stream. Unterminated literals or
+/// comments are tolerated (the remainder becomes one token): the lints
+/// must degrade gracefully on code rustc itself would reject.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => {
+                    while let Some(c) = self.peek(0) {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    self.push(TokenKind::LineComment, start, line, col);
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1u32;
+                    while depth > 0 {
+                        match (self.peek(0), self.peek(1)) {
+                            (Some('/'), Some('*')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => break,
+                        }
+                    }
+                    self.push(TokenKind::BlockComment, start, line, col);
+                }
+                '"' => {
+                    self.string_literal();
+                    self.push(TokenKind::Literal, start, line, col);
+                }
+                'r' | 'b' if self.starts_raw_or_byte() => {
+                    self.raw_or_byte_literal();
+                    self.push(TokenKind::Literal, start, line, col);
+                }
+                '\'' => {
+                    if self.char_literal() {
+                        self.push(TokenKind::Literal, start, line, col);
+                    } else {
+                        self.push(TokenKind::Ident, start, line, col); // lifetime
+                    }
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    while let Some(c) = self.peek(0) {
+                        if c.is_alphanumeric() || c == '_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokenKind::Ident, start, line, col);
+                }
+                c if c.is_ascii_digit() => {
+                    self.number();
+                    self.push(TokenKind::Number, start, line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// True when the `r`/`b` at the cursor begins a raw/byte literal
+    /// (`r"`, `r#`, `b"`, `b'`, `br`, `rb` is not a thing) rather than
+    /// an identifier.
+    fn starts_raw_or_byte(&self) -> bool {
+        matches!(
+            (self.peek(0), self.peek(1), self.peek(2)),
+            (Some('r'), Some('"'), _)
+                | (Some('r'), Some('#'), _)
+                | (Some('b'), Some('"'), _)
+                | (Some('b'), Some('\''), _)
+                | (Some('b'), Some('r'), Some('"'))
+                | (Some('b'), Some('r'), Some('#'))
+        )
+    }
+
+    /// Consumes a `"…"` string starting at the opening quote.
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, or `b'…'`.
+    fn raw_or_byte_literal(&mut self) {
+        let mut raw = false;
+        while let Some(c) = self.peek(0) {
+            match c {
+                'r' => {
+                    raw = true;
+                    self.bump();
+                }
+                'b' => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+            if self.peek(0) == Some('\\') {
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+            if self.peek(0) == Some('\'') {
+                self.bump();
+            }
+            return;
+        }
+        let mut hashes = 0usize;
+        while raw && self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            return; // `r#` in attribute-like position; lex loosely
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '\\' && !raw {
+                self.bump();
+                continue;
+            }
+            if c == '"' {
+                for ahead in 0..hashes {
+                    if self.peek(ahead) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+    }
+
+    /// At a `'`: consumes a char literal and returns true, or consumes a
+    /// lifetime/label and returns false.
+    fn char_literal(&mut self) -> bool {
+        // Lookahead decides: '\…' or 'x' followed by a closing quote is a
+        // char literal; 'ident not followed by ' is a lifetime.
+        if self.peek(1) == Some('\\') {
+            self.bump(); // '
+            self.bump(); // \
+            self.bump(); // escape head
+            while let Some(c) = self.peek(0) {
+                self.bump();
+                if c == '\'' {
+                    break;
+                }
+            }
+            return true;
+        }
+        let mut ahead = 1usize;
+        while let Some(c) = self.peek(ahead) {
+            if c.is_alphanumeric() || c == '_' {
+                ahead += 1;
+            } else {
+                break;
+            }
+        }
+        if ahead == 2 && self.peek(2) == Some('\'') {
+            self.bump();
+            self.bump();
+            self.bump();
+            return true;
+        }
+        // Lifetime or label: consume ' plus the identifier.
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        false
+    }
+
+    /// Consumes a numeric literal (ints, floats, hex/oct/bin, suffixes).
+    fn number(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else if c == '.' {
+                // `1.5` continues the number; `1..n` and `1.method()` do not.
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_tokens() {
+        let toks = kinds(r#"let s = "a.unwrap() // not a comment";"#);
+        assert!(toks.iter().all(|(_, t)| t != "unwrap"));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r##"let s = r#"quote " inside"#; x"##);
+        assert!(toks.iter().any(|(_, t)| t == "x"));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let q = '\\n'; }");
+        let lits = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Literal)
+            .count();
+        assert_eq!(lits, 2);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "'a"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still outer */ real");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].1, "real");
+    }
+
+    #[test]
+    fn comments_preserved_with_text() {
+        let toks = lex("// lock-order: registry < mux_shard\nx");
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert!(toks[0].text.contains("lock-order"));
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,87 @@
+//! L4 `truncating-cast`: narrowing `as` casts in codec paths.
+//!
+//! A `len as u8` in an encoder silently wraps at 256 and produces a
+//! frame that decodes to the wrong thing — the worst kind of wire bug.
+//! In the frame encode/decode and snapshot serialization files, every
+//! `as u8/u16/u32/i8/i16/i32` cast must either be removed (prefer
+//! `try_from` + error) or carry
+//! `// lint: allow(truncating-cast, reason = "…")` proving the value
+//! fits.
+//!
+//! Widening casts (`as u64`, `as usize`, `as u128`) are not findings.
+
+use crate::lexer::TokenKind;
+use crate::lints::next_code;
+use crate::model::Finding;
+use crate::Workspace;
+
+const LINT: &str = "truncating-cast";
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Runs the lint over the configured codec files.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if !ws.config.is_cast_path(&file.rel_path) {
+            continue;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if file.in_test(i) || !toks[i].is_ident("as") {
+                continue;
+            }
+            let Some(n) = next_code(toks, i) else {
+                continue;
+            };
+            let target = &toks[n];
+            if target.kind != TokenKind::Ident || !NARROW_TARGETS.contains(&target.text.as_str()) {
+                continue;
+            }
+            if file.allowed(LINT, toks[i].line, i) {
+                continue;
+            }
+            out.push(file.finding_at(
+                LINT,
+                i,
+                format!(
+                    "narrowing `as {}` in a codec path can silently truncate; use \
+                     `{}::try_from` or justify the bound",
+                    target.text, target.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::SourceFile;
+    use crate::{Config, Workspace};
+
+    fn ws(path: &str, src: &str) -> Workspace {
+        Workspace {
+            files: vec![SourceFile::parse(path, "net", src)],
+            spec: None,
+            config: Config::default(),
+        }
+    }
+
+    #[test]
+    fn flags_narrowing_not_widening() {
+        let src = "fn f(n: usize) { let a = n as u8; let b = n as u64; let c = n as usize; }";
+        let w = ws("crates/net/src/frame.rs", src);
+        let f = super::run(&w);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("as u8"));
+    }
+
+    #[test]
+    fn respects_allow_and_path_scope() {
+        let allowed =
+            "fn f(n: usize) { let a = n as u8; // lint: allow(truncating-cast, reason = \"n <= 3\")\n }";
+        assert!(super::run(&ws("crates/net/src/frame.rs", allowed)).is_empty());
+        let other = "fn f(n: usize) { let a = n as u8; }";
+        assert!(super::run(&ws("crates/net/src/client.rs", other)).is_empty());
+    }
+}

@@ -1,0 +1,585 @@
+//! L1 `lock-order`: `.lock()` nesting must respect the declared order.
+//!
+//! `// lock-order: a < b` annotations at `Mutex` field (or parameter)
+//! declarations do two things: they bind the declared identifier to a
+//! *lock class* (the first name), and the `<` chain declares edges of a
+//! global partial order — class `a` locks are always taken before class
+//! `b` locks. The lint then walks every non-test function, tracking
+//! which classes are held:
+//!
+//! - a let-bound guard (`let g = x.lock()…;`) is held until its
+//!   enclosing brace closes or an explicit `drop(g)`;
+//! - anything else (`x.lock().unwrap().len()`, `*x.lock().unwrap()`) is
+//!   a temporary, held to the end of the statement;
+//! - a function returning `MutexGuard` is an acquisition *at the call
+//!   site* (the guard escapes to the caller), with the same let/temporary
+//!   scoping;
+//! - acquiring class `A` while holding `B` when the order says `A < B`
+//!   is an inversion — finding;
+//! - acquiring a class already held is a self-deadlock with
+//!   `std::sync::Mutex` — finding;
+//! - calling a same-crate function whose (transitive) acquire-set
+//!   contains `A` while holding `B` with `A < B` is also an inversion.
+//!
+//! Receiver attribution is token-shaped: for `self.inner.shards[i].lock()`
+//! the receiver identifier is `shards`. Locks whose receiver has no
+//! declared class are ignored — the lint enforces the declared order, it
+//! does not guess one. Callee resolution is by bare name within the
+//! crate; same-class re-acquisition through a *callee* is deliberately
+//! not flagged (name-based resolution would confuse `HashMap::insert`
+//! with a workspace `insert`).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lexer::{Token, TokenKind};
+use crate::lints::{is_call, is_keyword, next_code, prev_code};
+use crate::model::{lock_annotations, Finding, FnSpan, SourceFile};
+use crate::Workspace;
+
+const LINT: &str = "lock-order";
+
+/// The declared world: ident→class bindings and the closed `<` relation.
+struct Order {
+    class_of: HashMap<String, String>,
+    /// `(a, b)` present means `a` must be acquired before `b`.
+    before: HashSet<(String, String)>,
+}
+
+impl Order {
+    /// True when the declared order requires `a` before `b`.
+    fn requires_before(&self, a: &str, b: &str) -> bool {
+        self.before.contains(&(a.to_string(), b.to_string()))
+    }
+}
+
+fn collect_order(ws: &Workspace) -> Order {
+    let mut class_of = HashMap::new();
+    let mut edges: HashSet<(String, String)> = HashSet::new();
+    for file in &ws.files {
+        for ann in lock_annotations(file) {
+            class_of.insert(ann.binds.clone(), ann.class.clone());
+            edges.extend(ann.edges.iter().cloned());
+        }
+    }
+    // Transitive closure (the class count is tiny).
+    let mut before = edges.clone();
+    loop {
+        let mut added = false;
+        let snapshot: Vec<_> = before.iter().cloned().collect();
+        for (a, b) in &snapshot {
+            for (c, d) in &snapshot {
+                if b == c && before.insert((a.clone(), d.clone())) {
+                    added = true;
+                }
+            }
+        }
+        if !added {
+            break;
+        }
+    }
+    Order { class_of, before }
+}
+
+/// Attributes the receiver of the `.lock()` whose `lock` ident is at
+/// token `i`: walks the field chain left (`a.b.c[i].lock()` → tries `c`,
+/// then `b`, then `a`) and returns the first identifier with a class.
+fn receiver_class<'a>(toks: &[Token], i: usize, order: &'a Order) -> Option<&'a str> {
+    let dot = prev_code(toks, i)?;
+    if !toks[dot].is_punct('.') {
+        return None;
+    }
+    let mut cur = prev_code(toks, dot)?;
+    loop {
+        let t = &toks[cur];
+        if t.is_punct(']') {
+            // Skip back over the `[…]` index to its opening bracket.
+            let mut depth = 1i32;
+            let mut j = cur;
+            while depth > 0 {
+                j = prev_code(toks, j)?;
+                if toks[j].is_punct(']') {
+                    depth += 1;
+                } else if toks[j].is_punct('[') {
+                    depth -= 1;
+                }
+            }
+            cur = prev_code(toks, j)?;
+            continue;
+        }
+        if t.kind == TokenKind::Ident && !is_keyword(t) {
+            if let Some(class) = order.class_of.get(&t.text) {
+                return Some(class.as_str());
+            }
+            // Walk one field deeper left if the chain continues: `a.b`.
+            let p = prev_code(toks, cur)?;
+            if toks[p].is_punct('.') {
+                cur = prev_code(toks, p)?;
+                continue;
+            }
+            return None;
+        }
+        // `self.x` ends at the keyword; `foo().lock()` at `)` — unattributed.
+        return None;
+    }
+}
+
+/// One held lock.
+struct Held {
+    class: String,
+    /// Brace depth at acquisition; a `}` closing to below this releases it.
+    depth: i32,
+    /// Some(var) for let-bound guards (released by `drop(var)` too).
+    var: Option<String>,
+}
+
+/// Per-crate call facts: transitive acquire sets by fn name, and the
+/// subset of fns whose return type is a `MutexGuard` (their acquisition
+/// escapes to the caller).
+struct CrateLocks {
+    acquires: HashMap<String, HashSet<String>>,
+    guard_fns: HashMap<String, HashSet<String>>,
+}
+
+fn crate_locks(files: &[&SourceFile], order: &Order) -> CrateLocks {
+    let mut acquires: HashMap<String, HashSet<String>> = HashMap::new();
+    let mut calls: HashMap<String, HashSet<String>> = HashMap::new();
+    let mut guard_names: HashSet<String> = HashSet::new();
+    for file in files {
+        for f in &file.functions {
+            if f.is_test || f.body.0 == f.body.1 {
+                continue;
+            }
+            if file.tokens[f.sig.0..f.sig.1]
+                .iter()
+                .any(|t| t.is_ident("MutexGuard"))
+            {
+                guard_names.insert(f.name.clone());
+            }
+            let acq = acquires.entry(f.name.clone()).or_default();
+            let callees = calls.entry(f.name.clone()).or_default();
+            for i in f.body.0..f.body.1 {
+                let t = &file.tokens[i];
+                if t.is_ident("lock") && is_call(&file.tokens, i) {
+                    if let Some(class) = receiver_class(&file.tokens, i, order) {
+                        acq.insert(class.to_string());
+                    }
+                } else if is_call(&file.tokens, i) {
+                    callees.insert(t.text.clone());
+                }
+            }
+        }
+    }
+    // Fixpoint propagation through same-crate calls.
+    loop {
+        let mut changed = false;
+        let names: Vec<String> = acquires.keys().cloned().collect();
+        for name in &names {
+            let mut gained: Vec<String> = Vec::new();
+            if let Some(callees) = calls.get(name) {
+                for callee in callees {
+                    if callee == name {
+                        continue;
+                    }
+                    if let Some(sub) = acquires.get(callee) {
+                        let own = &acquires[name];
+                        gained.extend(sub.iter().filter(|c| !own.contains(*c)).cloned());
+                    }
+                }
+            }
+            if !gained.is_empty() {
+                let own = acquires.get_mut(name).expect("name from keys");
+                let before = own.len();
+                own.extend(gained);
+                changed |= own.len() > before;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let guard_fns = guard_names
+        .into_iter()
+        .filter_map(|n| acquires.get(&n).map(|s| (n, s.clone())))
+        .filter(|(_, s)| !s.is_empty())
+        .collect();
+    CrateLocks {
+        acquires,
+        guard_fns,
+    }
+}
+
+/// Runs the lint over the whole workspace, crate by crate.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let order = collect_order(ws);
+    if order.class_of.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut crates: HashMap<&str, Vec<&SourceFile>> = HashMap::new();
+    for file in &ws.files {
+        crates
+            .entry(file.crate_name.as_str())
+            .or_default()
+            .push(file);
+    }
+    for files in crates.values() {
+        let locks = crate_locks(files, &order);
+        for file in files {
+            for f in &file.functions {
+                if f.is_test || f.body.0 == f.body.1 {
+                    continue;
+                }
+                scan_fn(file, f, &order, &locks, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Emits self-deadlock / inversion findings for acquiring `class` at
+/// token `i` against the currently `held` set. `how` prefixes the
+/// message for guard-returning call sites.
+fn check_acquire(
+    file: &SourceFile,
+    order: &Order,
+    held: &[Held],
+    i: usize,
+    class: &str,
+    how: &str,
+    out: &mut Vec<Finding>,
+) {
+    if file.allowed(LINT, file.tokens[i].line, i) {
+        return;
+    }
+    for h in held {
+        if h.class == class {
+            out.push(file.finding_at(
+                LINT,
+                i,
+                format!(
+                    "{how}re-acquires lock class `{class}` while already holding it \
+                     (self-deadlock with `std::sync::Mutex`)"
+                ),
+            ));
+        } else if order.requires_before(class, &h.class) {
+            out.push(file.finding_at(
+                LINT,
+                i,
+                format!(
+                    "{how}acquires `{class}` while holding `{}`, inverting the \
+                     declared order `{class} < {}`",
+                    h.class, h.class
+                ),
+            ));
+        }
+    }
+}
+
+fn scan_fn(
+    file: &SourceFile,
+    f: &FnSpan,
+    order: &Order,
+    locks: &CrateLocks,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &file.tokens;
+    let mut held: Vec<Held> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = f.body.0;
+    while i < f.body.1 {
+        let t = &toks[i];
+        if t.is_comment() {
+            i += 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            held.retain(|h| h.depth < depth);
+            depth -= 1;
+        } else if t.is_punct(';') {
+            // Temporaries die at the end of their statement.
+            held.retain(|h| !(h.var.is_none() && h.depth >= depth));
+        } else if t.is_ident("drop") && is_call(toks, i) {
+            // `drop(g)` releases the named guard.
+            if let Some(open) = next_code(toks, i) {
+                if let Some(argi) = next_code(toks, open) {
+                    if toks[argi].kind == TokenKind::Ident {
+                        let name = toks[argi].text.clone();
+                        if let Some(pos) = held
+                            .iter()
+                            .rposition(|h| h.var.as_deref() == Some(name.as_str()))
+                        {
+                            held.remove(pos);
+                        }
+                    }
+                }
+            }
+        } else if t.is_ident("lock") && is_call(toks, i) {
+            if let Some(class) = receiver_class(toks, i, order) {
+                let class = class.to_string();
+                check_acquire(file, order, &held, i, &class, "", out);
+                held.push(Held {
+                    class,
+                    depth,
+                    var: guard_binding(toks, f.body.0, i),
+                });
+            }
+        } else if is_call(toks, i) {
+            if let Some(classes) = locks.guard_fns.get(&t.text) {
+                // Guard-returning helper: the acquisition escapes here.
+                for class in classes {
+                    check_acquire(file, order, &held, i, class, "guard-returning call ", out);
+                    held.push(Held {
+                        class: class.clone(),
+                        depth,
+                        var: guard_binding(toks, f.body.0, i),
+                    });
+                }
+            } else if let Some(callee_acq) = locks.acquires.get(&t.text) {
+                if !held.is_empty() && !file.allowed(LINT, t.line, i) {
+                    for class in callee_acq {
+                        for h in &held {
+                            // Same-class via plain callee deliberately not
+                            // flagged (see module docs).
+                            if order.requires_before(class, &h.class) {
+                                out.push(file.finding_at(
+                                    LINT,
+                                    i,
+                                    format!(
+                                        "calls `{}` (which acquires `{class}`) while holding \
+                                         `{}`, inverting the declared order `{class} < {}`",
+                                        t.text, h.class, h.class
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Index just past the `)` matching the `(` at `open`.
+fn skip_balanced(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct('(') {
+            depth += 1;
+        } else if toks[i].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i + 1);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Chain methods through which a guard still escapes into a binding.
+const GUARD_CHAIN: &[&str] = &["unwrap", "expect", "unwrap_or_else", "into_inner"];
+
+/// Classifies the acquisition whose call ident is at `i`: `Some(var)`
+/// when the statement let-binds the guard itself (`let g = x.lock()….;`),
+/// `None` when the guard is a temporary (derefs, further method calls,
+/// tail expressions).
+fn guard_binding(toks: &[Token], body_start: usize, i: usize) -> Option<String> {
+    // Forward: after `lock(…)` only unwrap/expect-style adapters and `?`
+    // may appear before the `;` for the guard to be what gets bound.
+    let open = next_code(toks, i)?;
+    if !toks[open].is_punct('(') {
+        return None;
+    }
+    let mut j = skip_balanced(toks, open)?;
+    loop {
+        let t = toks.get(j)?;
+        if t.is_comment() {
+            j += 1;
+        } else if t.is_punct(';') {
+            break;
+        } else if t.is_punct('?') {
+            j += 1;
+        } else if t.is_punct('.') {
+            let m = next_code(toks, j)?;
+            if toks[m].kind != TokenKind::Ident || !GUARD_CHAIN.contains(&toks[m].text.as_str()) {
+                return None;
+            }
+            let o = next_code(toks, m)?;
+            if !toks[o].is_punct('(') {
+                return None;
+            }
+            j = skip_balanced(toks, o)?;
+        } else {
+            return None;
+        }
+    }
+    let_binding_var(toks, body_start, i)
+}
+
+/// If the statement containing token `i` starts with `let` and binds the
+/// expression directly (no leading `*` deref), returns the first
+/// identifier of the pattern. Walks back to the nearest statement
+/// boundary.
+fn let_binding_var(toks: &[Token], body_start: usize, i: usize) -> Option<String> {
+    let mut j = i;
+    while j > body_start {
+        let p = prev_code(toks, j)?;
+        let t = &toks[p];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        j = p;
+    }
+    let mut k = j;
+    // `if let` / `while let`: skip leading control keywords.
+    while toks[k].is_ident("if") || toks[k].is_ident("while") || toks[k].is_ident("else") {
+        k = next_code(toks, k)?;
+    }
+    if !toks[k].is_ident("let") {
+        return None;
+    }
+    let mut v = next_code(toks, k)?;
+    while toks[v].is_ident("mut")
+        || toks[v].is_punct('(')
+        || toks[v].is_ident("Some")
+        || toks[v].is_ident("Ok")
+    {
+        v = next_code(toks, v)?;
+    }
+    if toks[v].kind != TokenKind::Ident {
+        return None;
+    }
+    let var = toks[v].text.clone();
+    // A leading `*` after `=` means the binding copies *out of* the
+    // guard; the guard itself is a temporary.
+    let mut e = v;
+    while e < i {
+        if toks[e].is_punct('=') {
+            let after = next_code(toks, e)?;
+            if toks[after].is_punct('*') {
+                return None;
+            }
+            break;
+        }
+        e = next_code(toks, e)?;
+    }
+    Some(var)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::SourceFile;
+    use crate::{Config, Workspace};
+
+    fn ws(src: &str) -> Workspace {
+        Workspace {
+            files: vec![SourceFile::parse("crates/x/src/lib.rs", "x", src)],
+            spec: None,
+            config: Config::default(),
+        }
+    }
+
+    const DECLS: &str = "struct S {\n\
+        // lock-order: registry < mux_shard\n\
+        registry: Mutex<u8>,\n\
+        // lock-order: mux_shard\n\
+        shards: Vec<Mutex<u8>>,\n\
+    }\n";
+
+    #[test]
+    fn correct_order_is_clean() {
+        let src = format!(
+            "{DECLS}fn ok(s: &S) {{ let reg = s.registry.lock().unwrap(); \
+             let sh = s.shards[0].lock().unwrap(); }}"
+        );
+        assert!(super::run(&ws(&src)).is_empty());
+    }
+
+    #[test]
+    fn inversion_is_flagged() {
+        let src = format!(
+            "{DECLS}fn bad(s: &S) {{ let sh = s.shards[0].lock().unwrap(); \
+             let reg = s.registry.lock().unwrap(); }}"
+        );
+        let f = super::run(&ws(&src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("inverting"));
+    }
+
+    #[test]
+    fn temporary_releases_at_statement_end() {
+        let src = format!(
+            "{DECLS}fn ok(s: &S) {{ let n = *s.shards[0].lock().unwrap(); \
+             let reg = s.registry.lock().unwrap(); let _ = (n, reg); }}"
+        );
+        assert!(
+            super::run(&ws(&src)).is_empty(),
+            "deref copy should release the shard guard at the `;`"
+        );
+    }
+
+    #[test]
+    fn chained_method_is_a_temporary() {
+        let src = format!(
+            "{DECLS}fn ok(s: &S) {{ let n = s.shards[0].lock().unwrap().count_ones(); \
+             let reg = s.registry.lock().unwrap(); let _ = (n, reg); }}"
+        );
+        assert!(super::run(&ws(&src)).is_empty());
+    }
+
+    #[test]
+    fn drop_releases_guard() {
+        let src = format!(
+            "{DECLS}fn ok(s: &S) {{ let sh = s.shards[0].lock().unwrap(); drop(sh); \
+             let reg = s.registry.lock().unwrap(); }}"
+        );
+        assert!(super::run(&ws(&src)).is_empty());
+    }
+
+    #[test]
+    fn self_deadlock_is_flagged() {
+        let src = format!(
+            "{DECLS}fn bad(s: &S) {{ let a = s.registry.lock().unwrap(); \
+             let b = s.registry.lock().unwrap(); }}"
+        );
+        let f = super::run(&ws(&src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("self-deadlock"));
+    }
+
+    #[test]
+    fn inversion_through_callee_is_flagged() {
+        let src = format!(
+            "{DECLS}fn helper(s: &S) {{ let reg = s.registry.lock().unwrap(); }}\n\
+             fn bad(s: &S) {{ let sh = s.shards[0].lock().unwrap(); helper(s); }}"
+        );
+        let f = super::run(&ws(&src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("helper"));
+    }
+
+    #[test]
+    fn guard_returning_fn_counts_at_call_site() {
+        let src = format!(
+            "{DECLS}impl S {{ fn reg(&self) -> MutexGuard<'_, u8> {{ \
+             self.registry.lock().unwrap() }} }}\n\
+             fn bad(s: &S) {{ let sh = s.shards[0].lock().unwrap(); let r = s.reg(); }}"
+        );
+        let f = super::run(&ws(&src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("guard-returning"));
+    }
+
+    #[test]
+    fn block_scope_releases_guard() {
+        let src = format!(
+            "{DECLS}fn ok(s: &S) {{ {{ let sh = s.shards[0].lock().unwrap(); }} \
+             let reg = s.registry.lock().unwrap(); }}"
+        );
+        assert!(super::run(&ws(&src)).is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! The five lints. Each module exposes `run(&Workspace) -> Vec<Finding>`.
+
+pub mod casts;
+pub mod lock_order;
+pub mod panic_path;
+pub mod protocol_drift;
+pub mod results;
+
+use crate::lexer::{Token, TokenKind};
+
+/// Keywords that can directly precede `[` or `(` without being an
+/// expression the lints should treat as a value (indexing receiver or
+/// callee name).
+pub(crate) const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "type", "unsafe", "use",
+    "where", "while", "yield",
+];
+
+/// True when `t` is an identifier that is a Rust keyword.
+pub(crate) fn is_keyword(t: &Token) -> bool {
+    t.kind == TokenKind::Ident && KEYWORDS.contains(&t.text.as_str())
+}
+
+/// Index of the previous non-comment token before `i`, if any.
+pub(crate) fn prev_code(tokens: &[Token], i: usize) -> Option<usize> {
+    (0..i).rev().find(|&j| !tokens[j].is_comment())
+}
+
+/// Index of the next non-comment token after `i`, if any.
+pub(crate) fn next_code(tokens: &[Token], i: usize) -> Option<usize> {
+    ((i + 1)..tokens.len()).find(|&j| !tokens[j].is_comment())
+}
+
+/// True when the ident at `i` is a call: followed by `(` (or by `::<`
+/// turbofish then `(`), and not a definition (`fn name(`) or macro
+/// (`name!(`).
+pub(crate) fn is_call(tokens: &[Token], i: usize) -> bool {
+    if tokens[i].kind != TokenKind::Ident || is_keyword(&tokens[i]) {
+        return false;
+    }
+    if let Some(p) = prev_code(tokens, i) {
+        if tokens[p].is_ident("fn") {
+            return false;
+        }
+    }
+    let Some(n) = next_code(tokens, i) else {
+        return false;
+    };
+    if tokens[n].is_punct('(') {
+        return true;
+    }
+    // Turbofish: name::<T>(…)
+    if tokens[n].is_punct(':') {
+        let Some(n2) = next_code(tokens, n) else {
+            return false;
+        };
+        if !tokens[n2].is_punct(':') {
+            return false;
+        }
+        let Some(n3) = next_code(tokens, n2) else {
+            return false;
+        };
+        return tokens[n3].is_punct('<');
+    }
+    false
+}

@@ -1,0 +1,150 @@
+//! L2 `panic-path`: the serving path must not be able to panic.
+//!
+//! A panic in a reactor thread kills every connection that thread owns;
+//! a panic while a mux shard is locked poisons the shard for everyone.
+//! So in non-test code of the serving path (`crates/net/src`,
+//! `gateway.rs`, `pipeline.rs`) the following are findings unless the
+//! line (or enclosing fn) carries `// lint: allow(panic-path, reason = "…")`:
+//!
+//! - `.unwrap()` / `.expect(…)`
+//! - `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+//! - bare slice/array indexing `expr[i]` (which panics out of bounds)
+//!
+//! `assert!`/`debug_assert!` are deliberately *not* flagged: asserts
+//! document preconditions at API boundaries and `debug_assert!` is free
+//! in release builds.
+
+use crate::lints::{is_keyword, next_code, prev_code};
+use crate::model::Finding;
+use crate::Workspace;
+
+const LINT: &str = "panic-path";
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the lint over every serving-path file in the workspace.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if !ws.config.is_serving(&file.rel_path) {
+            continue;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if file.in_test(i) || toks[i].is_comment() {
+                continue;
+            }
+            let t = &toks[i];
+            // `.unwrap()` / `.expect(…)`
+            if (t.is_ident("unwrap") || t.is_ident("expect"))
+                && prev_code(toks, i).is_some_and(|p| toks[p].is_punct('.'))
+                && next_code(toks, i).is_some_and(|n| toks[n].is_punct('('))
+                && !file.allowed(LINT, t.line, i)
+            {
+                out.push(file.finding_at(
+                    LINT,
+                    i,
+                    format!(
+                        "`.{}()` on the serving path can panic a reactor thread; \
+                         handle the failure or justify with \
+                         `// lint: allow(panic-path, reason = \"…\")`",
+                        t.text
+                    ),
+                ));
+                continue;
+            }
+            // panic-family macros
+            if t.kind == crate::lexer::TokenKind::Ident
+                && PANIC_MACROS.contains(&t.text.as_str())
+                && next_code(toks, i).is_some_and(|n| toks[n].is_punct('!'))
+                && !file.allowed(LINT, t.line, i)
+            {
+                out.push(file.finding_at(
+                    LINT,
+                    i,
+                    format!(
+                        "`{}!` on the serving path; return a protocol/engine error instead",
+                        t.text
+                    ),
+                ));
+                continue;
+            }
+            // Bare indexing: `[` directly after an expression tail.
+            if t.is_punct('[') && i > 0 {
+                let Some(p) = prev_code(toks, i) else {
+                    continue;
+                };
+                let prev = &toks[p];
+                let is_expr_tail = (prev.kind == crate::lexer::TokenKind::Ident
+                    && !is_keyword(prev))
+                    || prev.is_punct(']')
+                    || prev.is_punct(')');
+                if is_expr_tail && !file.allowed(LINT, t.line, i) {
+                    out.push(
+                        file.finding_at(
+                            LINT,
+                            i,
+                            "bare indexing panics when out of bounds; use `.get()`/pattern \
+                         matching or justify the bound"
+                                .to_string(),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::SourceFile;
+    use crate::{Config, Workspace};
+
+    fn ws(path: &str, src: &str) -> Workspace {
+        Workspace {
+            files: vec![SourceFile::parse(path, "net", src)],
+            spec: None,
+            config: Config::default(),
+        }
+    }
+
+    #[test]
+    fn flags_unwrap_on_serving_path() {
+        let w = ws("crates/net/src/conn.rs", "fn f() { x.unwrap(); }");
+        let f = super::run(&w);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("unwrap"));
+    }
+
+    #[test]
+    fn ignores_non_serving_files() {
+        let w = ws("crates/bitkit/src/lib.rs", "fn f() { x.unwrap(); }");
+        assert!(super::run(&w).is_empty());
+    }
+
+    #[test]
+    fn ignores_test_code_and_allows() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\n\
+                   fn g() { y.expect(\"ok\"); // lint: allow(panic-path, reason = \"proven\")\n }";
+        let w = ws("crates/net/src/conn.rs", src);
+        assert!(super::run(&w).is_empty());
+    }
+
+    #[test]
+    fn flags_indexing_but_not_types_or_macros() {
+        let src = "fn f(b: &[u8]) -> [u8; 4] { let v = vec![1]; let _x: Vec<[u8; 2]> = vec![]; b[0]; [0u8; 4] }";
+        let w = ws("crates/net/src/conn.rs", src);
+        let f = super::run(&w);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("indexing"));
+    }
+
+    #[test]
+    fn flags_panic_macros() {
+        let w = ws(
+            "crates/net/src/reactor.rs",
+            "fn f() { unreachable!(\"nope\") }",
+        );
+        assert_eq!(super::run(&w).len(), 1);
+    }
+}

@@ -1,0 +1,574 @@
+//! L3 `protocol-drift`: `docs/PROTOCOL.md` must match the wire code.
+//!
+//! The spec carries three machine-readable tables, each marked by a
+//! stable HTML-comment anchor the parser keys on:
+//!
+//! - `<!-- analyzer:frame-kinds -->` — rows `| <value> | `Name` | … |`,
+//!   checked against `enum FrameKind` discriminants;
+//! - `<!-- analyzer:error-codes -->` — same shape, against `enum
+//!   ErrorCode`;
+//! - `<!-- analyzer:size-caps -->` — rows `` | `CONST_NAME` | <value> | … | ``,
+//!   checked against `const` items (a tiny const-expression evaluator
+//!   handles `1 << 20` and `(MAX_PAYLOAD - 4) / 16`).
+//!
+//! Drift in *either* direction is a finding: a spec row with no code
+//! counterpart, a code variant missing from the spec, or a value
+//! mismatch.
+
+use std::collections::HashMap;
+
+use crate::lexer::{Token, TokenKind};
+use crate::model::{matching_brace, Finding, SourceFile};
+use crate::Workspace;
+
+const LINT: &str = "protocol-drift";
+
+/// The enums the frame-kind and error-code tables are checked against.
+const KIND_ENUM: &str = "FrameKind";
+const CODE_ENUM: &str = "ErrorCode";
+
+/// Runs the lint: parses the spec tables and the code, cross-checks.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let Some((spec_path, spec_text)) = &ws.spec else {
+        return Vec::new();
+    };
+    let code_files: Vec<&SourceFile> = ws
+        .files
+        .iter()
+        .filter(|f| ws.config.spec_code_paths.iter().any(|p| p == &f.rel_path))
+        .collect();
+    if code_files.is_empty() {
+        return Vec::new();
+    }
+
+    let mut out = Vec::new();
+    let spec = parse_spec(spec_path, spec_text, &mut out);
+    let code = parse_code(&code_files);
+
+    check_enum(spec_path, &spec.frame_kinds, &code, KIND_ENUM, &mut out);
+    check_enum(spec_path, &spec.error_codes, &code, CODE_ENUM, &mut out);
+
+    for cap in &spec.size_caps {
+        match code.consts.get(&cap.name) {
+            None => out.push(spec_finding(
+                spec_path,
+                cap.line,
+                format!(
+                    "size-cap row `{}` has no matching `const` in {}",
+                    cap.name,
+                    path_list(&code_files)
+                ),
+            )),
+            Some(&(value, _, _)) if value != cap.value => out.push(spec_finding(
+                spec_path,
+                cap.line,
+                format!(
+                    "size-cap `{}` is {} in the spec but {} in the code",
+                    cap.name, cap.value, value
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    out
+}
+
+fn check_enum(
+    spec_path: &str,
+    rows: &[SpecRow],
+    code: &Code,
+    enum_name: &str,
+    out: &mut Vec<Finding>,
+) {
+    let Some(variants) = code.enums.get(enum_name) else {
+        if !rows.is_empty() {
+            out.push(spec_finding(
+                spec_path,
+                rows[0].line,
+                format!("spec table present but `enum {enum_name}` was not found in the code"),
+            ));
+        }
+        return;
+    };
+    for row in rows {
+        match variants.get(&row.name) {
+            None => out.push(spec_finding(
+                spec_path,
+                row.line,
+                format!(
+                    "spec lists `{}` = {} but `enum {enum_name}` has no such variant",
+                    row.name, row.value
+                ),
+            )),
+            Some(&(value, _, _)) if value != row.value => out.push(spec_finding(
+                spec_path,
+                row.line,
+                format!(
+                    "spec says `{}` = {} but `enum {enum_name}` declares {}",
+                    row.name, row.value, value
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    for (name, &(value, line, ref file)) in variants {
+        if !rows.iter().any(|r| &r.name == name) {
+            out.push(Finding {
+                lint: LINT,
+                file: file.clone(),
+                line,
+                col: 1,
+                message: format!(
+                    "`{enum_name}::{name}` = {value} is not listed in the spec table \
+                     (docs/PROTOCOL.md must describe every wire value)"
+                ),
+                key: String::new(),
+            });
+        }
+    }
+}
+
+fn path_list(files: &[&SourceFile]) -> String {
+    files
+        .iter()
+        .map(|f| f.rel_path.as_str())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn spec_finding(spec_path: &str, line: u32, message: String) -> Finding {
+    Finding {
+        lint: LINT,
+        file: spec_path.to_string(),
+        line,
+        col: 1,
+        message,
+        key: String::new(),
+    }
+}
+
+struct SpecRow {
+    name: String,
+    value: i64,
+    line: u32,
+}
+
+#[derive(Default)]
+struct Spec {
+    frame_kinds: Vec<SpecRow>,
+    error_codes: Vec<SpecRow>,
+    size_caps: Vec<SpecRow>,
+}
+
+/// Parses the three anchored tables out of the spec markdown.
+fn parse_spec(spec_path: &str, text: &str, out: &mut Vec<Finding>) -> Spec {
+    let mut spec = Spec::default();
+    let mut section: Option<&str> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = raw.trim();
+        if let Some(anchor) = line
+            .strip_prefix("<!-- analyzer:")
+            .and_then(|r| r.strip_suffix("-->"))
+        {
+            section = match anchor.trim() {
+                "frame-kinds" => Some("frame-kinds"),
+                "error-codes" => Some("error-codes"),
+                "size-caps" => Some("size-caps"),
+                other => {
+                    out.push(spec_finding(
+                        spec_path,
+                        line_no,
+                        format!("unknown analyzer anchor `{other}`"),
+                    ));
+                    None
+                }
+            };
+            continue;
+        }
+        let Some(sec) = section else { continue };
+        if !line.starts_with('|') {
+            if !line.is_empty() {
+                section = None; // table ended
+            }
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() < 2 || cells[0].starts_with('-') || is_header(cells[0]) {
+            continue;
+        }
+        let parsed = match sec {
+            // `| <value> | `Name` | … |`
+            "frame-kinds" | "error-codes" => parse_int(cells[0]).map(|value| SpecRow {
+                name: strip_ticks(cells[1]),
+                value,
+                line: line_no,
+            }),
+            // `` | `CONST` | <value> | … | ``
+            _ => parse_int(cells[1]).map(|value| SpecRow {
+                name: strip_ticks(cells[0]),
+                value,
+                line: line_no,
+            }),
+        };
+        match parsed {
+            Some(row) => match sec {
+                "frame-kinds" => spec.frame_kinds.push(row),
+                "error-codes" => spec.error_codes.push(row),
+                _ => spec.size_caps.push(row),
+            },
+            None => out.push(spec_finding(
+                spec_path,
+                line_no,
+                format!("anchored `{sec}` table row has no parseable integer value"),
+            )),
+        }
+    }
+    spec
+}
+
+fn is_header(cell: &str) -> bool {
+    !cell.is_empty()
+        && cell.chars().next().is_some_and(|c| c.is_alphabetic())
+        && parse_int(cell).is_none()
+        && !cell.starts_with('`')
+}
+
+fn strip_ticks(cell: &str) -> String {
+    cell.trim_matches('`').to_string()
+}
+
+/// First integer in the cell; `_` separators allowed; `0x` hex allowed.
+fn parse_int(cell: &str) -> Option<i64> {
+    let s = cell.trim();
+    if let Some(hex) = s.strip_prefix("0x") {
+        let digits: String = hex
+            .chars()
+            .take_while(|c| c.is_ascii_hexdigit() || *c == '_')
+            .filter(|c| *c != '_')
+            .collect();
+        return i64::from_str_radix(&digits, 16).ok();
+    }
+    let digits: String = s
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '_')
+        .filter(|c| *c != '_')
+        .collect();
+    if digits.is_empty() {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Code-side facts: `name -> (value, line, file)` maps.
+#[derive(Default)]
+struct Code {
+    /// Enum name → variant name → (discriminant, line, file).
+    enums: HashMap<String, HashMap<String, (i64, u32, String)>>,
+    /// Const name → (value, line, file).
+    consts: HashMap<String, (i64, u32, String)>,
+}
+
+fn parse_code(files: &[&SourceFile]) -> Code {
+    let mut code = Code::default();
+    // Two passes so consts may reference consts from any listed file.
+    for _ in 0..2 {
+        for file in files {
+            parse_code_file(file, &mut code);
+        }
+    }
+    code
+}
+
+fn parse_code_file(file: &SourceFile, code: &mut Code) {
+    let toks = &file.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("enum") && !file.in_test(i) {
+            if let Some(name_i) = crate::lints::next_code(toks, i) {
+                let name = toks[name_i].text.clone();
+                let mut j = name_i;
+                while j < toks.len() && !toks[j].is_punct('{') {
+                    j += 1;
+                }
+                if j < toks.len() {
+                    let close = matching_brace(toks, j);
+                    let variants = code.enums.entry(name).or_default();
+                    parse_variants(file, &toks[j..=close], variants);
+                    i = close + 1;
+                    continue;
+                }
+            }
+        } else if t.is_ident("const") && !file.in_test(i) {
+            // `const NAME : Ty = expr ;`
+            if let Some((name, value, line)) = parse_const(toks, i, &code.consts) {
+                code.consts
+                    .insert(name, (value, line, file.rel_path.clone()));
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Collects `Variant = <int>` pairs inside an enum body slice.
+fn parse_variants(
+    file: &SourceFile,
+    body: &[Token],
+    variants: &mut HashMap<String, (i64, u32, String)>,
+) {
+    let mut k = 0usize;
+    while k + 2 < body.len() {
+        if body[k].kind == TokenKind::Ident
+            && body[k + 1].is_punct('=')
+            && body[k + 2].kind == TokenKind::Number
+        {
+            if let Some(v) = parse_int(&body[k + 2].text) {
+                variants.insert(
+                    body[k].text.clone(),
+                    (v, body[k].line, file.rel_path.clone()),
+                );
+            }
+            k += 3;
+            continue;
+        }
+        k += 1;
+    }
+}
+
+/// Parses `const NAME: Ty = <expr>;` at `i` and evaluates the expression
+/// against already-known consts. Returns None for consts whose value the
+/// evaluator cannot compute (non-integer, unresolved names).
+fn parse_const(
+    toks: &[Token],
+    i: usize,
+    known: &HashMap<String, (i64, u32, String)>,
+) -> Option<(String, i64, u32)> {
+    let name_i = crate::lints::next_code(toks, i)?;
+    if toks[name_i].kind != TokenKind::Ident {
+        return None;
+    }
+    let name = toks[name_i].text.clone();
+    let mut j = name_i + 1;
+    while j < toks.len() && !toks[j].is_punct('=') {
+        if toks[j].is_punct(';') || toks[j].is_punct('{') {
+            return None;
+        }
+        j += 1;
+    }
+    let mut end = j + 1;
+    while end < toks.len() && !toks[end].is_punct(';') {
+        end += 1;
+    }
+    let expr: Vec<&Token> = toks[j + 1..end]
+        .iter()
+        .filter(|t| !t.is_comment())
+        .collect();
+    let value = eval(&expr, known)?;
+    Some((name, value, toks[name_i].line))
+}
+
+/// Evaluates a const expression: integers, known-const idents, `+ - * /
+/// << >> | &`, parens. Returns None on anything else.
+fn eval(toks: &[&Token], known: &HashMap<String, (i64, u32, String)>) -> Option<i64> {
+    let mut pos = 0usize;
+    let v = eval_shift(toks, &mut pos, known)?;
+    (pos == toks.len()).then_some(v)
+}
+
+fn eval_shift(
+    toks: &[&Token],
+    pos: &mut usize,
+    known: &HashMap<String, (i64, u32, String)>,
+) -> Option<i64> {
+    let mut acc = eval_bits(toks, pos, known)?;
+    loop {
+        if *pos + 1 < toks.len() && toks[*pos].is_punct('<') && toks[*pos + 1].is_punct('<') {
+            *pos += 2;
+            let rhs = eval_bits(toks, pos, known)?;
+            acc = acc.checked_shl(u32::try_from(rhs).ok()?)?;
+        } else if *pos + 1 < toks.len() && toks[*pos].is_punct('>') && toks[*pos + 1].is_punct('>')
+        {
+            *pos += 2;
+            let rhs = eval_bits(toks, pos, known)?;
+            acc = acc.checked_shr(u32::try_from(rhs).ok()?)?;
+        } else {
+            return Some(acc);
+        }
+    }
+}
+
+fn eval_bits(
+    toks: &[&Token],
+    pos: &mut usize,
+    known: &HashMap<String, (i64, u32, String)>,
+) -> Option<i64> {
+    let mut acc = eval_add(toks, pos, known)?;
+    while *pos < toks.len() && (toks[*pos].is_punct('|') || toks[*pos].is_punct('&')) {
+        let or = toks[*pos].is_punct('|');
+        *pos += 1;
+        let rhs = eval_add(toks, pos, known)?;
+        acc = if or { acc | rhs } else { acc & rhs };
+    }
+    Some(acc)
+}
+
+fn eval_add(
+    toks: &[&Token],
+    pos: &mut usize,
+    known: &HashMap<String, (i64, u32, String)>,
+) -> Option<i64> {
+    let mut acc = eval_mul(toks, pos, known)?;
+    while *pos < toks.len() && (toks[*pos].is_punct('+') || toks[*pos].is_punct('-')) {
+        let add = toks[*pos].is_punct('+');
+        *pos += 1;
+        let rhs = eval_mul(toks, pos, known)?;
+        acc = if add {
+            acc.checked_add(rhs)?
+        } else {
+            acc.checked_sub(rhs)?
+        };
+    }
+    Some(acc)
+}
+
+fn eval_mul(
+    toks: &[&Token],
+    pos: &mut usize,
+    known: &HashMap<String, (i64, u32, String)>,
+) -> Option<i64> {
+    let mut acc = eval_prim(toks, pos, known)?;
+    while *pos < toks.len() && (toks[*pos].is_punct('*') || toks[*pos].is_punct('/')) {
+        let mul = toks[*pos].is_punct('*');
+        *pos += 1;
+        let rhs = eval_prim(toks, pos, known)?;
+        acc = if mul {
+            acc.checked_mul(rhs)?
+        } else {
+            acc.checked_div(rhs)?
+        };
+    }
+    Some(acc)
+}
+
+fn eval_prim(
+    toks: &[&Token],
+    pos: &mut usize,
+    known: &HashMap<String, (i64, u32, String)>,
+) -> Option<i64> {
+    let t = toks.get(*pos)?;
+    if t.is_punct('(') {
+        *pos += 1;
+        let v = eval_shift(toks, pos, known)?;
+        if !toks.get(*pos)?.is_punct(')') {
+            return None;
+        }
+        *pos += 1;
+        return Some(v);
+    }
+    if t.kind == TokenKind::Number {
+        *pos += 1;
+        // Strip a type suffix (`20usize`, `0xFFu32`).
+        let text: &str = &t.text;
+        let (body, _) = split_suffix(text);
+        return parse_int(body);
+    }
+    if t.kind == TokenKind::Ident {
+        *pos += 1;
+        return known.get(&t.text).map(|&(v, _, _)| v);
+    }
+    None
+}
+
+/// Splits a numeric literal into (digits, suffix).
+fn split_suffix(text: &str) -> (&str, &str) {
+    let body_len = if let Some(hex) = text.strip_prefix("0x") {
+        2 + hex
+            .find(|c: char| !(c.is_ascii_hexdigit() || c == '_'))
+            .unwrap_or(hex.len())
+    } else {
+        text.find(|c: char| !(c.is_ascii_digit() || c == '_'))
+            .unwrap_or(text.len())
+    };
+    text.split_at(body_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::SourceFile;
+    use crate::{Config, Workspace};
+
+    const SPEC: &str = "\
+# Spec
+
+<!-- analyzer:frame-kinds -->
+
+| kind | name | dir |
+|------|------|-----|
+| 1 | `Hello` | c→s |
+| 2 | `Data` | c→s |
+
+<!-- analyzer:size-caps -->
+
+| cap | value | notes |
+|-----|-------|-------|
+| `MAX_PAYLOAD` | 1048576 | 1 MiB |
+";
+
+    fn ws(spec: &str, code: &str) -> Workspace {
+        let config = Config {
+            spec_code_paths: vec!["crates/net/src/frame.rs".to_string()],
+            ..Config::default()
+        };
+        Workspace {
+            files: vec![SourceFile::parse("crates/net/src/frame.rs", "net", code)],
+            spec: Some(("docs/PROTOCOL.md".to_string(), spec.to_string())),
+            config,
+        }
+    }
+
+    #[test]
+    fn matching_spec_is_clean() {
+        let code = "pub const MAX_PAYLOAD: usize = 1 << 20;\n\
+                    pub enum FrameKind { Hello = 1, Data = 2 }\n";
+        let f = super::run(&ws(SPEC, code));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn value_mismatch_is_flagged() {
+        let code = "pub const MAX_PAYLOAD: usize = 1 << 20;\n\
+                    pub enum FrameKind { Hello = 1, Data = 3 }\n";
+        let f = super::run(&ws(SPEC, code));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("Data"));
+    }
+
+    #[test]
+    fn code_variant_missing_from_spec_is_flagged() {
+        let code = "pub const MAX_PAYLOAD: usize = 1 << 20;\n\
+                    pub enum FrameKind { Hello = 1, Data = 2, Bye = 5 }\n";
+        let f = super::run(&ws(SPEC, code));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("Bye"));
+        assert_eq!(f[0].file, "crates/net/src/frame.rs");
+    }
+
+    #[test]
+    fn cap_mismatch_and_const_expr_eval() {
+        let code = "pub const MAX_PAYLOAD: usize = (1 << 19) + 1;\n\
+                    pub enum FrameKind { Hello = 1, Data = 2 }\n";
+        let f = super::run(&ws(SPEC, code));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("MAX_PAYLOAD"));
+        assert!(f[0].message.contains("524289"));
+    }
+
+    #[test]
+    fn const_referencing_const() {
+        let spec = "<!-- analyzer:size-caps -->\n| cap | value |\n|--|--|\n| `HALF` | 512 |\n";
+        let code = "const FULL: usize = 1024;\nconst HALF: usize = FULL / 2;\n";
+        let f = super::run(&ws(spec, code));
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

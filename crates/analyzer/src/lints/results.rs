@@ -1,0 +1,166 @@
+//! L5 `swallowed-result`: `let _ =` over workspace `Result` functions.
+//!
+//! `let _ = x` is Rust's loudest way to say "I don't care whether this
+//! failed". For std calls that is often fine (`join`, `set_nodelay`);
+//! for this workspace's own fallible functions it usually hides a bug.
+//! The lint builds, per crate, an index of function names whose return
+//! type mentions `Result`, then flags any non-test `let _ = …;`
+//! statement whose right-hand side calls one of them, unless justified
+//! with `// lint: allow(swallowed-result, reason = "…")`.
+//!
+//! Name-based resolution is deliberate (this is a token scanner, not a
+//! type checker): it can over-match a std method that shares a name with
+//! a workspace function — the annotation escape hatch exists for that.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lints::{is_call, next_code};
+use crate::model::Finding;
+use crate::Workspace;
+
+const LINT: &str = "swallowed-result";
+
+/// Runs the lint over all files, with a per-crate `-> Result` index.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    // crate name -> set of fn names returning Result
+    let mut index: HashMap<&str, HashSet<&str>> = HashMap::new();
+    for file in &ws.files {
+        for f in &file.functions {
+            let sig = &file.tokens[f.sig.0..f.sig.1];
+            let mut arrow = false;
+            let mut returns_result = false;
+            for w in sig.windows(2) {
+                if w[0].is_punct('-') && w[1].is_punct('>') {
+                    arrow = true;
+                }
+                if arrow && (w[0].is_ident("Result") || w[1].is_ident("Result")) {
+                    returns_result = true;
+                    break;
+                }
+            }
+            if returns_result {
+                index
+                    .entry(file.crate_name.as_str())
+                    .or_default()
+                    .insert(f.name.as_str());
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for file in &ws.files {
+        let Some(result_fns) = index.get(file.crate_name.as_str()) else {
+            continue;
+        };
+        let toks = &file.tokens;
+        let mut i = 0usize;
+        while i + 2 < toks.len() {
+            if file.in_test(i) || !toks[i].is_ident("let") {
+                i += 1;
+                continue;
+            }
+            let Some(u) = next_code(toks, i) else { break };
+            let Some(eq) = next_code(toks, u) else { break };
+            if !toks[u].is_ident("_") || !toks[eq].is_punct('=') {
+                i += 1;
+                continue;
+            }
+            // Scan the right-hand side to the statement's `;` for calls
+            // into the crate's Result index.
+            let mut j = eq + 1;
+            let mut depth = 0i32;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                } else if depth == 0 && t.is_punct(';') {
+                    break;
+                } else if is_call(toks, j) && result_fns.contains(t.text.as_str()) {
+                    if !file.allowed(LINT, toks[i].line, i) && !file.allowed(LINT, t.line, j) {
+                        out.push(file.finding_at(
+                            LINT,
+                            j,
+                            format!(
+                                "`let _ =` swallows the `Result` of `{}` (defined in this \
+                                 workspace); handle the error or justify the discard",
+                                t.text
+                            ),
+                        ));
+                    }
+                    break; // one finding per statement
+                }
+                j += 1;
+            }
+            i = j;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::SourceFile;
+    use crate::{Config, Workspace};
+
+    fn ws(files: Vec<(&str, &str, &str)>) -> Workspace {
+        Workspace {
+            files: files
+                .into_iter()
+                .map(|(p, c, s)| SourceFile::parse(p, c, s))
+                .collect(),
+            spec: None,
+            config: Config::default(),
+        }
+    }
+
+    #[test]
+    fn flags_swallowed_workspace_result() {
+        let w = ws(vec![(
+            "crates/x/src/lib.rs",
+            "x",
+            "fn close(a: u8) -> Result<(), ()> { Ok(()) }\nfn f() { let _ = close(1); }",
+        )]);
+        let f = super::run(&w);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("close"));
+    }
+
+    #[test]
+    fn ignores_std_names_and_named_bindings() {
+        let w = ws(vec![(
+            "crates/x/src/lib.rs",
+            "x",
+            "fn f(h: std::thread::JoinHandle<()>) { let _ = h.join(); let _ignored = close(1); }\n\
+             fn close(a: u8) -> Result<(), ()> { Ok(()) }",
+        )]);
+        // `join` is not in the workspace index; `_ignored` is a named
+        // binding, not the `_` wildcard.
+        assert!(super::run(&w).is_empty());
+    }
+
+    #[test]
+    fn index_is_per_crate() {
+        let w = ws(vec![
+            (
+                "crates/a/src/lib.rs",
+                "a",
+                "fn fail() -> Result<(), ()> { Err(()) }",
+            ),
+            ("crates/b/src/lib.rs", "b", "fn f() { let _ = fail(); }"),
+        ]);
+        assert!(super::run(&w).is_empty());
+    }
+
+    #[test]
+    fn respects_allow() {
+        let w = ws(vec![(
+            "crates/x/src/lib.rs",
+            "x",
+            "fn close(a: u8) -> Result<(), ()> { Ok(()) }\n\
+             fn f() {\n    // lint: allow(swallowed-result, reason = \"best-effort\")\n    let _ = close(1);\n}",
+        )]);
+        assert!(super::run(&w).is_empty());
+    }
+}

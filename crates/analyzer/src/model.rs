@@ -1,0 +1,483 @@
+//! Source model: lexed files plus the structural facts the lints share —
+//! function spans, test-code spans, and the two annotation grammars
+//! (`// lock-order: …` declarations and `// lint: allow(…)` suppressions).
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One finding, printed rustc-style and matched against the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint name (`panic-path`, `lock-order`, …).
+    pub lint: &'static str,
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// 1-based column of the finding.
+    pub col: u32,
+    /// Human-facing rationale.
+    pub message: String,
+    /// The trimmed source line text — the baseline's drift-stable key.
+    pub key: String,
+}
+
+impl Finding {
+    /// Renders the finding in `file:line:col: lint: message` form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {}: {}",
+            self.file, self.line, self.col, self.lint, self.message
+        )
+    }
+}
+
+/// A lexed source file plus derived spans.
+pub struct SourceFile {
+    /// Repo-relative path (the path findings and baselines use).
+    pub rel_path: String,
+    /// Name of the crate the file belongs to (`net`, `core`, …) —
+    /// scopes L1 callee resolution and L5's function index.
+    pub crate_name: String,
+    /// Source lines, for baseline keys and annotation lookup.
+    pub lines: Vec<String>,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Token index ranges that are test-only code (`#[cfg(test)]` mods,
+    /// `#[test]` fns): half-open `[start, end)`.
+    pub test_spans: Vec<(usize, usize)>,
+    /// Function spans found in the file.
+    pub functions: Vec<FnSpan>,
+}
+
+/// One `fn` item: where its signature and body live in the token stream.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token range of the signature, `[fn_tok, body_start)`.
+    pub sig: (usize, usize),
+    /// Token range of the body including braces; empty for bodyless fns.
+    pub body: (usize, usize),
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// True when the fn sits inside a test span.
+    pub is_test: bool,
+}
+
+impl SourceFile {
+    /// Lexes `text` and derives spans. `rel_path` should be repo-relative
+    /// with forward slashes.
+    pub fn parse(rel_path: &str, crate_name: &str, text: &str) -> SourceFile {
+        let tokens = lex(text);
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let test_spans = find_test_spans(&tokens);
+        let functions = find_functions(&tokens, &test_spans);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_name.to_string(),
+            lines,
+            tokens,
+            test_spans,
+            functions,
+        }
+    }
+
+    /// Reads and parses a file from disk. `root` is stripped to form the
+    /// repo-relative path.
+    pub fn load(root: &Path, path: &Path, crate_name: &str) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(path)?;
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        Ok(SourceFile::parse(&rel, crate_name, &text))
+    }
+
+    /// True when token index `i` falls inside test-only code.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_spans.iter().any(|&(s, e)| i >= s && i < e)
+    }
+
+    /// The trimmed text of 1-based line `line` (baseline key).
+    pub fn line_key(&self, line: u32) -> String {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+
+    /// Builds a finding at token `i`.
+    pub fn finding_at(&self, lint: &'static str, i: usize, message: String) -> Finding {
+        let tok = &self.tokens[i];
+        Finding {
+            lint,
+            file: self.rel_path.clone(),
+            line: tok.line,
+            col: tok.col,
+            message,
+            key: self.line_key(tok.line),
+        }
+    }
+
+    /// True when a `// lint: allow(<lint>, reason = "…")` suppression
+    /// covers 1-based line `line`: same line, the line above, or a
+    /// function-level allow directly above the enclosing `fn`.
+    pub fn allowed(&self, lint: &str, line: u32, tok_idx: usize) -> bool {
+        if line_has_allow(self.lines.get(line as usize - 1), lint)
+            || (line >= 2 && comment_line_has_allow(self.lines.get(line as usize - 2), lint))
+        {
+            return true;
+        }
+        // Function-level: an allow on the line(s) directly above the `fn`
+        // keyword of the function whose body contains this token.
+        for f in &self.functions {
+            if tok_idx >= f.body.0 && tok_idx < f.body.1 && f.body.0 != f.body.1 {
+                let fn_line = f.line as usize;
+                for back in 1..=3 {
+                    if fn_line < back + 1 {
+                        break;
+                    }
+                    let candidate = self.lines.get(fn_line - 1 - back);
+                    if comment_line_has_allow(candidate, lint) {
+                        return true;
+                    }
+                    // Keep walking only past attributes/doc lines.
+                    match candidate.map(|l| l.trim()) {
+                        Some(l) if l.starts_with("#[") || l.starts_with("///") => continue,
+                        _ => break,
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// An allow on the *previous* line only counts when that line is purely
+/// a comment — a trailing allow on a line of code must not bless its
+/// neighbours.
+fn comment_line_has_allow(line: Option<&String>, lint: &str) -> bool {
+    line.is_some_and(|l| l.trim_start().starts_with("//")) && line_has_allow(line, lint)
+}
+
+fn line_has_allow(line: Option<&String>, lint: &str) -> bool {
+    let Some(line) = line else { return false };
+    let Some(pos) = line.find("// lint: allow(") else {
+        return false;
+    };
+    let rest = &line[pos + "// lint: allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return false;
+    };
+    let inner = &rest[..close];
+    let mut parts = inner.splitn(2, ',');
+    let name = parts.next().unwrap_or("").trim();
+    let reason = parts.next().unwrap_or("").trim();
+    // A suppression without a justification does not count.
+    name == lint
+        && reason.strip_prefix("reason").is_some_and(|r| {
+            let r = r.trim_start();
+            r.strip_prefix('=')
+                .is_some_and(|v| v.trim().len() > 2 && v.trim().starts_with('"'))
+        })
+}
+
+/// Finds `#[cfg(test)] mod … { … }` and `#[test] fn … { … }` spans.
+fn find_test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && i + 1 < tokens.len() && tokens[i + 1].is_punct('[') {
+            // Scan the attribute body for the bare ident `test`.
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut has_test = false;
+            while j < tokens.len() && depth > 0 {
+                let t = &tokens[j];
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                } else if t.is_ident("test") {
+                    has_test = true;
+                }
+                j += 1;
+            }
+            if has_test {
+                // The attributed item: skip further attributes, then find
+                // the item's opening brace (or terminating `;`).
+                let mut k = j;
+                while k + 1 < tokens.len() && tokens[k].is_punct('#') && tokens[k + 1].is_punct('[')
+                {
+                    let mut depth = 1i32;
+                    k += 2;
+                    while k < tokens.len() && depth > 0 {
+                        if tokens[k].is_punct('[') {
+                            depth += 1;
+                        } else if tokens[k].is_punct(']') {
+                            depth -= 1;
+                        }
+                        k += 1;
+                    }
+                }
+                let mut body_open = None;
+                let mut m = k;
+                while m < tokens.len() {
+                    let t = &tokens[m];
+                    if t.is_punct('{') {
+                        body_open = Some(m);
+                        break;
+                    }
+                    if t.is_punct(';') {
+                        break;
+                    }
+                    m += 1;
+                }
+                if let Some(open) = body_open {
+                    let close = matching_brace(tokens, open);
+                    spans.push((i, close + 1));
+                    i = close + 1;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+pub fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Finds every `fn` item and its signature/body token ranges.
+fn find_functions(tokens: &[Token], test_spans: &[(usize, usize)]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    let in_test = |i: usize| -> bool { test_spans.iter().any(|&(s, e)| i >= s && i < e) };
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") {
+            let Some(name_tok) = tokens.get(i + 1) else {
+                break;
+            };
+            if name_tok.kind != TokenKind::Ident {
+                i += 1;
+                continue; // `fn(` in a fn-pointer type
+            }
+            // Find the body `{` at zero paren/bracket depth, or `;`.
+            let mut j = i + 2;
+            let mut pdepth = 0i32;
+            let mut body = (0usize, 0usize);
+            let mut sig_end = tokens.len();
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('(') || t.is_punct('[') {
+                    pdepth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    pdepth -= 1;
+                } else if pdepth == 0 && t.is_punct('{') {
+                    let close = matching_brace(tokens, j);
+                    body = (j, close + 1);
+                    sig_end = j;
+                    break;
+                } else if pdepth == 0 && t.is_punct(';') {
+                    sig_end = j;
+                    break;
+                }
+                j += 1;
+            }
+            fns.push(FnSpan {
+                name: name_tok.text.clone(),
+                fn_tok: i,
+                sig: (i, sig_end),
+                body,
+                line: tokens[i].line,
+                is_test: in_test(i),
+            });
+            // Continue scanning *inside* the body too (nested fns/closures
+            // are rare but legal); just advance past the name.
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// A parsed `// lock-order:` annotation.
+#[derive(Debug, Clone)]
+pub struct LockAnnotation {
+    /// The identifier (field or binding name) the annotation binds to.
+    pub binds: String,
+    /// The lock class assigned to that identifier.
+    pub class: String,
+    /// Declared `before < after` edges (global partial order).
+    pub edges: Vec<(String, String)>,
+    /// File and line of the annotation, for diagnostics.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// Extracts `// lock-order: a < b < c` annotations. Each binds its class
+/// list's *first* name to the next `ident :` declaration after the
+/// comment (a struct field or fn parameter), and contributes `<` edges.
+pub fn lock_annotations(file: &SourceFile) -> Vec<LockAnnotation> {
+    let mut out = Vec::new();
+    for (i, tok) in file.tokens.iter().enumerate() {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        let Some(rest) = tok.text.strip_prefix("//") else {
+            continue;
+        };
+        let rest = rest.trim_start_matches(['/', '!']).trim_start();
+        let Some(spec) = rest.strip_prefix("lock-order:") else {
+            continue;
+        };
+        let classes: Vec<String> = spec
+            .split('<')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty() && s.chars().all(|c| c.is_alphanumeric() || c == '_'))
+            .collect();
+        if classes.is_empty() {
+            continue;
+        }
+        // Bind to the next `ident :` pair after the comment.
+        let mut binds = None;
+        let mut j = i + 1;
+        while j + 1 < file.tokens.len() {
+            let t = &file.tokens[j];
+            if t.kind == TokenKind::Ident
+                && !t.is_ident("pub")
+                && !t.is_ident("mut")
+                && !t.is_ident("fn")
+                && !t.is_ident("crate")
+                && file.tokens[j + 1].is_punct(':')
+                && !file.tokens.get(j + 2).is_some_and(|n| n.is_punct(':'))
+            {
+                binds = Some(t.text.clone());
+                break;
+            }
+            j += 1;
+            if j > i + 40 {
+                break; // annotation must sit near its declaration
+            }
+        }
+        let Some(binds) = binds else { continue };
+        let edges = classes
+            .windows(2)
+            .map(|w| (w[0].clone(), w[1].clone()))
+            .collect();
+        out.push(LockAnnotation {
+            binds,
+            class: classes[0].clone(),
+            edges,
+            file: file.rel_path.clone(),
+            line: tok.line,
+        });
+    }
+    out
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping anything for
+/// which `skip` returns true.
+pub fn rust_files(dir: &Path, skip: &dyn Fn(&Path) -> bool) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if skip(&path) {
+            continue;
+        }
+        if path.is_dir() {
+            out.extend(rust_files(&path, skip));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_spans_cover_cfg_test_mod() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "x",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { a.unwrap(); }\n}\n",
+        );
+        let unwrap_idx = f.tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(f.in_test(unwrap_idx));
+        let live = f.functions.iter().find(|f| f.name == "live").unwrap();
+        assert!(!live.is_test);
+        let helper = f.functions.iter().find(|f| f.name == "helper").unwrap();
+        assert!(helper.is_test);
+    }
+
+    #[test]
+    fn fn_bodies_span_braces() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "x",
+            "fn a(x: u8) -> u8 { if x > 0 { x } else { 1 } }",
+        );
+        let a = &f.functions[0];
+        assert_eq!(f.tokens[a.body.0].text, "{");
+        assert_eq!(f.tokens[a.body.1 - 1].text, "}");
+    }
+
+    #[test]
+    fn lock_annotation_binds_next_field() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "x",
+            "struct S {\n    // lock-order: registry < mux_shard\n    pub registry: Mutex<u8>,\n}\n",
+        );
+        let anns = lock_annotations(&f);
+        assert_eq!(anns.len(), 1);
+        assert_eq!(anns[0].binds, "registry");
+        assert_eq!(anns[0].class, "registry");
+        assert_eq!(anns[0].edges, vec![("registry".into(), "mux_shard".into())]);
+    }
+
+    #[test]
+    fn allow_requires_reason() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "x",
+            "fn a() {\n    x.unwrap(); // lint: allow(panic-path, reason = \"proven\")\n    y.unwrap(); // lint: allow(panic-path)\n}\n",
+        );
+        let idxs: Vec<usize> = f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(f.allowed("panic-path", f.tokens[idxs[0]].line, idxs[0]));
+        assert!(!f.allowed("panic-path", f.tokens[idxs[1]].line, idxs[1]));
+    }
+}

@@ -1,0 +1,63 @@
+//! Fixture lock-order file — two annotated mutex classes with one
+//! compliant path and three seeded violations.
+//!
+//! Never compiled; lexed by `tests/lints.rs`. The class annotations
+//! mirror the real workspace's `registry < mux_shard` order.
+
+use std::sync::Mutex;
+
+/// The fixture's shared state.
+pub struct World {
+    // lock-order: registry < mux_shard
+    registry: Mutex<u32>,
+    // lock-order: mux_shard
+    shard: Mutex<u32>,
+}
+
+impl World {
+    /// Negative: takes the classes in the declared order.
+    pub fn good(&self) {
+        let reg = self.registry.lock().unwrap();
+        let sh = self.shard.lock().unwrap();
+        drop(sh);
+        drop(reg);
+    }
+
+    /// Negative: the first guard is dropped before the second class is
+    /// taken, so nesting never happens.
+    pub fn good_sequential(&self) {
+        let sh = self.shard.lock().unwrap();
+        drop(sh);
+        let reg = self.registry.lock().unwrap();
+        drop(reg);
+    }
+
+    /// Positive (lock-order): the shard guard is still held when the
+    /// registry — ordered *before* it — is taken.
+    pub fn bad_inversion(&self) {
+        let sh = self.shard.lock().unwrap();
+        let reg = self.registry.lock().unwrap();
+        drop(reg);
+        drop(sh);
+    }
+
+    /// Positive (lock-order): same class twice is a self-deadlock.
+    pub fn bad_double(&self) {
+        let a = self.registry.lock().unwrap();
+        let b = self.registry.lock().unwrap();
+        drop(b);
+        drop(a);
+    }
+
+    /// Positive (lock-order): the inversion hides in a same-crate callee.
+    pub fn bad_via_callee(&self) {
+        let sh = self.shard.lock().unwrap();
+        self.touch_registry();
+        drop(sh);
+    }
+
+    fn touch_registry(&self) {
+        let reg = self.registry.lock().unwrap();
+        drop(reg);
+    }
+}

@@ -1,0 +1,90 @@
+//! Fixture codec file — seeded violations for the panic-path,
+//! truncating-cast, swallowed-result, and protocol-drift lints.
+//!
+//! This file is never compiled; it is lexed by the analyzer integration
+//! tests (`tests/lints.rs`), which pin the exact finding set. Each item
+//! below is labelled **positive** (must be flagged) or **negative**
+//! (must stay clean — the false-positive guard).
+
+/// Spec-checked enum; the fixture PROTOCOL.md drifts from it on purpose.
+pub enum FrameKind {
+    /// Negative: matches the spec row exactly.
+    Hello = 1,
+    /// Positive (protocol-drift): the spec table says 3.
+    Data = 2,
+    /// Positive (protocol-drift): missing from the spec table entirely.
+    Rekey = 8,
+}
+
+/// Negative: matches the spec's error-codes table exactly.
+pub enum ErrorCode {
+    /// The one fixture code.
+    Protocol = 1,
+}
+
+/// Positive (protocol-drift): the spec's size-caps row says 512.
+pub const MAX_PAYLOAD: usize = 1024;
+
+/// Positive (panic-path): unannotated `unwrap` on the serving path.
+pub fn decode(buf: &[u8]) -> u8 {
+    *buf.first().unwrap()
+}
+
+/// Positive (panic-path): bare indexing on the serving path.
+pub fn first_byte(buf: &[u8]) -> u8 {
+    buf[0]
+}
+
+/// Negative: the allow carries a reason, so the index is justified.
+pub fn version(buf: &[u8]) -> u8 {
+    // lint: allow(panic-path, reason = "caller guarantees a non-empty header")
+    buf[0]
+}
+
+/// Positive (panic-path): a reason-less allow is ignored, not honoured.
+pub fn flags(buf: &[u8]) -> u8 {
+    // lint: allow(panic-path)
+    buf[1]
+}
+
+/// Positive (truncating-cast): unjustified narrowing in a codec file.
+pub fn encode_len(len: usize) -> u16 {
+    len as u16
+}
+
+/// Negative: the cast is annotated with a reason.
+pub fn encode_kind(kind: FrameKind) -> u8 {
+    // lint: allow(truncating-cast, reason = "repr(u8) discriminant is the wire byte")
+    kind as u8
+}
+
+/// A `Result`-returning function for the swallowed-result index.
+pub fn checked_write(v: u8) -> Result<u8, ()> {
+    if v > 0 {
+        Ok(v)
+    } else {
+        Err(())
+    }
+}
+
+/// Positive (swallowed-result): the `Result` is dropped on the floor.
+pub fn swallow() {
+    let _ = checked_write(7);
+}
+
+/// Negative: an annotated swallow is a recorded decision.
+pub fn swallow_justified() {
+    // lint: allow(swallowed-result, reason = "fixture: best-effort write")
+    let _ = checked_write(7);
+}
+
+#[cfg(test)]
+mod tests {
+    /// Negative: test code may panic freely.
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let buf = [1u8, 2];
+        assert_eq!(super::decode(&buf), buf[0]);
+        super::checked_write(0).unwrap_err();
+    }
+}

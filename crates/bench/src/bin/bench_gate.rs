@@ -1,0 +1,514 @@
+//! CI perf gate — diffs the two newest `BENCH_<n>.json` snapshots.
+//!
+//! Reads the repo-root snapshot trajectory that `bench_snapshot` writes,
+//! picks the two files with the highest `<n>`, and compares normalized
+//! throughput per bench point. A point that lost more than the threshold
+//! (default 15%) fails the gate — but **only when the two snapshots carry
+//! the same machine fingerprint**: numbers from different machines (or
+//! CPU budgets) are a trajectory, not a regression.
+//!
+//! ```text
+//! cargo run --release -p mhhea_bench --bin bench_gate -- [--dir DIR] [--threshold PCT]
+//! ```
+//!
+//! Exit codes: 0 pass (including "fewer than two snapshots" and
+//! "fingerprint mismatch" — both explained on stdout), 1 regression,
+//! 2 usage/parse errors. Bench points present in the older snapshot but
+//! missing from the newer are warned about, not failed: the point set is
+//! allowed to change shape across PRs (the `pr` field records when).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Fractional throughput loss that fails the gate.
+const DEFAULT_THRESHOLD: f64 = 0.15;
+
+fn main() -> ExitCode {
+    let mut dir = PathBuf::from(".");
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--dir" => match args.next() {
+                Some(v) => dir = PathBuf::from(v),
+                None => return usage("--dir needs a value"),
+            },
+            "--threshold" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(pct) if pct > 0.0 && pct < 100.0 => threshold = pct / 100.0,
+                _ => return usage("--threshold needs a percentage in (0, 100)"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let mut snaps = snapshot_files(&dir);
+    if snaps.len() < 2 {
+        println!(
+            "bench-gate: {} snapshot(s) in {} — nothing to compare, pass",
+            snaps.len(),
+            dir.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    snaps.sort_by_key(|(n, _)| *n);
+    let (old_n, old_path) = &snaps[snaps.len() - 2];
+    let (new_n, new_path) = &snaps[snaps.len() - 1];
+
+    let (old, new) = match (load_snapshot(old_path), load_snapshot(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) => return parse_error(old_path, &e),
+        (_, Err(e)) => return parse_error(new_path, &e),
+    };
+
+    println!(
+        "bench-gate: BENCH_{old_n} → BENCH_{new_n} (threshold {:.0}%)",
+        threshold * 100.0
+    );
+    if old.fingerprint != new.fingerprint {
+        println!(
+            "bench-gate: fingerprint changed ({} → {}) — snapshots are not comparable, pass",
+            old.fingerprint, new.fingerprint
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let report = compare(&old, &new, threshold);
+    for line in &report.lines {
+        println!("{line}");
+    }
+    if report.regressions == 0 {
+        println!(
+            "bench-gate: {} point(s) compared, no regression beyond {:.0}%",
+            report.compared,
+            threshold * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bench-gate: FAIL — {} of {} point(s) regressed beyond {:.0}%",
+            report.regressions,
+            report.compared,
+            threshold * 100.0
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\nusage: bench_gate [--dir DIR] [--threshold PCT]");
+    ExitCode::from(2)
+}
+
+fn parse_error(path: &Path, e: &str) -> ExitCode {
+    eprintln!("error: {}: {e}", path.display());
+    ExitCode::from(2)
+}
+
+/// Every `BENCH_<n>.json` in `dir`, with its `<n>`.
+fn snapshot_files(dir: &Path) -> Vec<(u32, PathBuf)> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let Ok(name) = entry.file_name().into_string() else {
+            continue;
+        };
+        if let Some(n) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u32>().ok())
+        {
+            out.push((n, entry.path()));
+        }
+    }
+    out
+}
+
+/// One parsed snapshot: the machine fingerprint and the per-point
+/// normalized throughput.
+struct Snapshot {
+    fingerprint: Fingerprint,
+    /// (bench name, throughput MiB/s) in file order.
+    points: Vec<(String, f64)>,
+}
+
+#[derive(PartialEq)]
+struct Fingerprint {
+    arch: String,
+    os: String,
+    cpus: f64,
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{} cpus", self.arch, self.os, self.cpus)
+    }
+}
+
+fn load_snapshot(path: &Path) -> Result<Snapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    parse_snapshot(&text)
+}
+
+fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
+    let root = Json::parse(text)?;
+    let schema = root.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "mhhea-bench-snapshot/1" {
+        return Err(format!("unknown snapshot schema `{schema}`"));
+    }
+    let fp = root.get("fingerprint").ok_or("missing fingerprint")?;
+    let fingerprint = Fingerprint {
+        arch: fp
+            .get("arch")
+            .and_then(Json::as_str)
+            .ok_or("fingerprint.arch missing")?
+            .to_string(),
+        os: fp
+            .get("os")
+            .and_then(Json::as_str)
+            .ok_or("fingerprint.os missing")?
+            .to_string(),
+        cpus: fp
+            .get("cpus")
+            .and_then(Json::as_num)
+            .ok_or("fingerprint.cpus missing")?,
+    };
+    let results = root
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("missing results array")?;
+    let mut points = Vec::new();
+    for r in results {
+        let bench = r
+            .get("bench")
+            .and_then(Json::as_str)
+            .ok_or("result without bench name")?;
+        let mib_s = r
+            .get("throughput_mib_s")
+            .and_then(Json::as_num)
+            .ok_or("result without throughput_mib_s")?;
+        points.push((bench.to_string(), mib_s));
+    }
+    Ok(Snapshot {
+        fingerprint,
+        points,
+    })
+}
+
+struct Report {
+    compared: usize,
+    regressions: usize,
+    lines: Vec<String>,
+}
+
+/// Diffs matching bench points. Throughput is "normalized" in the
+/// snapshot already (MiB/s, median-of-5); the gate only has to ratio it.
+fn compare(old: &Snapshot, new: &Snapshot, threshold: f64) -> Report {
+    let mut report = Report {
+        compared: 0,
+        regressions: 0,
+        lines: Vec::new(),
+    };
+    for (bench, old_mib_s) in &old.points {
+        let Some((_, new_mib_s)) = new.points.iter().find(|(b, _)| b == bench) else {
+            report
+                .lines
+                .push(format!("  note: `{bench}` dropped from the newer snapshot"));
+            continue;
+        };
+        if *old_mib_s <= 0.0 {
+            report
+                .lines
+                .push(format!("  note: `{bench}` has no baseline throughput"));
+            continue;
+        }
+        report.compared += 1;
+        let delta = (new_mib_s - old_mib_s) / old_mib_s;
+        if delta < -threshold {
+            report.regressions += 1;
+            report.lines.push(format!(
+                "  REGRESSION: `{bench}` {old_mib_s:.3} → {new_mib_s:.3} MiB/s ({:+.1}%)",
+                delta * 100.0
+            ));
+        } else {
+            report.lines.push(format!(
+                "  ok: `{bench}` {old_mib_s:.3} → {new_mib_s:.3} MiB/s ({:+.1}%)",
+                delta * 100.0
+            ));
+        }
+    }
+    for (bench, _) in &new.points {
+        if !old.points.iter().any(|(b, _)| b == bench) {
+            report
+                .lines
+                .push(format!("  note: `{bench}` is new in this snapshot"));
+        }
+    }
+    report
+}
+
+/// The minimal JSON subset the snapshot schema uses (no external
+/// dependencies in this workspace by design — see Cargo.toml).
+enum Json {
+    Null,
+    /// Parsed for completeness; the snapshot schema never reads one.
+    Bool,
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while bytes
+        .get(*pos)
+        .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+    {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => parse_str(bytes, pos).map(Json::Str),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_num(bytes, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at offset {pos}"))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while bytes
+        .get(*pos)
+        .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at offset {start}"))
+}
+
+fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    other => return Err(format!("unsupported escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8 sequences pass through byte-wise; the
+                // input was a &str so the bytes are valid UTF-8.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().ok_or("unterminated string")?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at offset {pos}"));
+        }
+        let key = parse_str(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at offset {pos}"));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at offset {pos}")),
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at offset {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(cpus: u32, points: &[(&str, f64)]) -> String {
+        let results: Vec<String> = points
+            .iter()
+            .map(|(bench, mib_s)| {
+                format!(
+                    "{{ \"bench\": \"{bench}\", \"bytes_per_iter\": 1, \"iters\": 5, \
+                     \"ns_median\": 1, \"throughput_mib_s\": {mib_s} }}"
+                )
+            })
+            .collect();
+        format!(
+            "{{ \"schema\": \"mhhea-bench-snapshot/1\", \"pr\": 7,\n\
+             \"fingerprint\": {{ \"arch\": \"x86_64\", \"os\": \"linux\", \"cpus\": {cpus} }},\n\
+             \"results\": [{}] }}\n",
+            results.join(", ")
+        )
+    }
+
+    #[test]
+    fn parses_real_shape() {
+        let snap = parse_snapshot(&snapshot(1, &[("a", 24.376), ("b", 10.004)])).unwrap();
+        assert_eq!(snap.fingerprint.arch, "x86_64");
+        assert_eq!(snap.points.len(), 2);
+        assert_eq!(snap.points[0].0, "a");
+        assert!((snap.points[0].1 - 24.376).abs() < 1e-9);
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let old = parse_snapshot(&snapshot(1, &[("a", 100.0)])).unwrap();
+        let new = parse_snapshot(&snapshot(1, &[("a", 90.0)])).unwrap();
+        let report = compare(&old, &new, 0.15);
+        assert_eq!(report.compared, 1);
+        assert_eq!(report.regressions, 0);
+    }
+
+    #[test]
+    fn beyond_threshold_fails() {
+        let old = parse_snapshot(&snapshot(1, &[("a", 100.0), ("b", 50.0)])).unwrap();
+        let new = parse_snapshot(&snapshot(1, &[("a", 80.0), ("b", 49.0)])).unwrap();
+        let report = compare(&old, &new, 0.15);
+        assert_eq!(report.compared, 2);
+        assert_eq!(report.regressions, 1);
+        assert!(report.lines.iter().any(|l| l.contains("REGRESSION")));
+    }
+
+    #[test]
+    fn dropped_and_added_points_are_notes() {
+        let old = parse_snapshot(&snapshot(1, &[("gone", 10.0)])).unwrap();
+        let new = parse_snapshot(&snapshot(1, &[("fresh", 10.0)])).unwrap();
+        let report = compare(&old, &new, 0.15);
+        assert_eq!(report.compared, 0);
+        assert_eq!(report.regressions, 0);
+        assert_eq!(report.lines.len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_detected() {
+        let a = parse_snapshot(&snapshot(1, &[("a", 10.0)])).unwrap();
+        let b = parse_snapshot(&snapshot(8, &[("a", 1.0)])).unwrap();
+        assert!(a.fingerprint != b.fingerprint);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let text = "{ \"schema\": \"other/9\", \"fingerprint\": {}, \"results\": [] }";
+        assert!(parse_snapshot(text).is_err());
+    }
+}

@@ -22,8 +22,11 @@ use mhhea_net::client::NetClient;
 use mhhea_net::frame::Hello;
 use mhhea_net::server::{NetServer, ServerConfig};
 
-/// The PR this snapshot binary was introduced in — bumped when the set
-/// of bench points changes shape, so files stay self-describing.
+/// The PR this snapshot's bench-point set dates from — bumped when the
+/// set changes shape, so files stay self-describing. The default output
+/// name tracks the newest existing `BENCH_<n>.json` instead (see
+/// `default_out_path`), so every PR can lay down its own data point
+/// without touching this constant.
 const PR: u32 = 6;
 const WARMUP_ITERS: usize = 2;
 const TIMED_ITERS: usize = 5;
@@ -197,10 +200,28 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// The next free `BENCH_<n>.json` at the repo root: one past the newest
+/// existing snapshot, and never below this binary's own [`PR`].
+fn default_out_path() -> String {
+    let newest = std::fs::read_dir(".")
+        .ok()
+        .into_iter()
+        .flatten()
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            name.strip_prefix("BENCH_")?
+                .strip_suffix(".json")?
+                .parse::<u32>()
+                .ok()
+        })
+        .max()
+        .unwrap_or(0);
+    format!("BENCH_{}.json", newest.max(PR - 1) + 1)
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| format!("BENCH_{PR}.json"));
+    let out_path = std::env::args().nth(1).unwrap_or_else(default_out_path);
 
     let mut points = Vec::new();
     bench_container_pipeline(&mut points);

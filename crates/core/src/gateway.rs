@@ -503,6 +503,7 @@ type OpenedFrame = (StreamId, Vec<u8>);
 
 #[derive(Debug)]
 struct MuxInner {
+    // lock-order: mux_shard
     shards: Box<[Shard]>,
     /// `shards.len() - 1`; the count is a power of two.
     mask: u64,

@@ -162,6 +162,7 @@ impl WorkerPool {
         }
     }
 
+    // lock-order: pool_intake
     fn worker_loop(rx: &Mutex<Receiver<Job>>) {
         IN_POOL_WORKER.with(|f| f.set(true));
         loop {

@@ -159,7 +159,7 @@ impl NetClient {
     /// transport failure.
     pub fn open_stream(&mut self, stream: u64, hello: Hello) -> Result<u64, ClientError> {
         self.send_frame(&Frame::new(FrameKind::Hello, stream, 0).with_payload(hello.encode()))?;
-        let ack = self.expect(FrameKind::HelloAck, stream, 0)?;
+        let ack = self.expect_frame(FrameKind::HelloAck, stream, 0)?;
         let token = Self::ack_token(&ack)?;
         self.seqs.insert(stream, 0);
         Ok(token)
@@ -180,7 +180,7 @@ impl NetClient {
         self.send_frame(
             &Frame::new(FrameKind::Resume, stream, 0).with_payload(token.to_le_bytes().to_vec()),
         )?;
-        let ack = self.expect(FrameKind::HelloAck, stream, 0)?;
+        let ack = self.expect_frame(FrameKind::HelloAck, stream, 0)?;
         if ack.flags & flags::RESUMED == 0 {
             return Err(ClientError::UnexpectedFrame(
                 "hello-ack without the resumed flag".into(),
@@ -293,7 +293,7 @@ impl NetClient {
         self.send_frame(
             &Frame::new(FrameKind::Rekey, stream, seq).with_payload(encode_rekey(epoch)),
         )?;
-        match self.expect(FrameKind::RekeyAck, stream, seq) {
+        match self.expect_frame(FrameKind::RekeyAck, stream, seq) {
             Ok(ack) => {
                 let (acked_epoch, token) = decode_rekey_ack(&ack.payload)?;
                 if acked_epoch != epoch {
@@ -331,7 +331,7 @@ impl NetClient {
             return Err(ClientError::StreamNotOpen(stream));
         }
         self.send_frame(&Frame::new(FrameKind::Bye, stream, 0))?;
-        self.expect(FrameKind::Bye, stream, 0)?;
+        self.expect_frame(FrameKind::Bye, stream, 0)?;
         self.seqs.remove(&stream);
         Ok(())
     }
@@ -484,6 +484,7 @@ impl NetClient {
             }
             match self.sock.read(&mut scratch) {
                 Ok(0) => return Err(ClientError::Disconnected),
+                // lint: allow(panic-path, reason = "a conforming Read returns n ≤ the slice it was handed")
                 Ok(n) => self.rbuf.extend_from_slice(&scratch[..n]),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(ClientError::Io(e)),
@@ -512,7 +513,7 @@ impl NetClient {
     /// counter lands on the first (lowest) unconsumed sequence number,
     /// not the last.
     fn read_data_reply(&mut self, stream: u64, seq: u64) -> Result<Frame, ClientError> {
-        match self.expect(FrameKind::Reply, stream, seq) {
+        match self.expect_frame(FrameKind::Reply, stream, seq) {
             Ok(frame) => Ok(frame),
             Err(e) => {
                 if e.is_code(ErrorCode::BadSequence)
@@ -529,7 +530,12 @@ impl NetClient {
         }
     }
 
-    fn expect(&mut self, kind: FrameKind, stream: u64, seq: u64) -> Result<Frame, ClientError> {
+    fn expect_frame(
+        &mut self,
+        kind: FrameKind,
+        stream: u64,
+        seq: u64,
+    ) -> Result<Frame, ClientError> {
         let frame = self.recv_frame()?;
         if frame.kind == FrameKind::Error {
             let (code, detail) = decode_error(&frame.payload);

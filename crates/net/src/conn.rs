@@ -30,7 +30,7 @@ use mhhea::gateway::{StreamId, StreamOp};
 
 use crate::frame::{
     self, decode_blocks, decode_rekey, encode_error, flags, split_seq, ErrorCode, Frame, FrameKind,
-    HEADER_LEN,
+    HEADER_LEN, MAX_ERROR_DETAIL_BYTES,
 };
 use crate::server::{ServerStats, MAX_MESSAGE_BYTES};
 
@@ -182,6 +182,7 @@ impl<S: Read + Write> Conn<S> {
             let mut budget = read_budget;
             while budget > 0 {
                 let want = scratch.len().min(budget);
+                // lint: allow(panic-path, reason = "`want` is clamped to scratch.len() on the previous line")
                 match self.sock.read(&mut scratch[..want]) {
                     Ok(0) => {
                         self.dead = true;
@@ -207,6 +208,7 @@ impl<S: Read + Write> Conn<S> {
         let mut budget = read_budget;
         while budget > 0 {
             let want = scratch.len().min(budget);
+            // lint: allow(panic-path, reason = "`want` is clamped to scratch.len() on the previous line")
             match self.sock.read(&mut scratch[..want]) {
                 Ok(0) => {
                     // Half-close, not death: frames already in rbuf (even
@@ -217,6 +219,7 @@ impl<S: Read + Write> Conn<S> {
                     break;
                 }
                 Ok(n) => {
+                    // lint: allow(panic-path, reason = "a conforming Read returns n ≤ the slice it was handed")
                     self.rbuf.extend_from_slice(&scratch[..n]);
                     moved = true;
                     budget -= n;
@@ -257,6 +260,7 @@ impl<S: Read + Write> Conn<S> {
         let mut data_queued = false;
         let mut handled = false;
         loop {
+            // lint: allow(panic-path, reason = "decode reports `used` ≤ the slice it parsed, so `consumed` never passes rbuf.len()")
             let frame = match frame::decode(&self.rbuf[consumed..]) {
                 Ok(None) => break,
                 Ok(Some((frame, used))) => {
@@ -429,7 +433,7 @@ impl<S: Read + Write> Conn<S> {
                     ),
                 ));
             }
-            // MAX_PAYLOAD bounds the message, so the bit length fits u32.
+            // lint: allow(truncating-cast, reason = "payload.len() ≤ MAX_MESSAGE_BYTES (checked above), so len*8 fits u32")
             let bit_len = (frame.payload.len() * 8) as u32;
             (
                 StreamOp::Encrypt(frame.payload),
@@ -448,7 +452,11 @@ impl<S: Read + Write> Conn<S> {
             rekey_pending.insert(stream);
         }
         if cur_counter != u32::MAX {
-            *self.streams.get_mut(&stream).expect("checked") = expected + 1;
+            // `expected` was read out of this entry above, so the lookup
+            // cannot miss; `if let` keeps that assumption panic-free.
+            if let Some(next) = self.streams.get_mut(&stream) {
+                *next = expected + 1;
+            }
         }
         Ok((op, shape))
     }
@@ -512,8 +520,10 @@ impl<S: Read + Write> Conn<S> {
     /// scratch buffer.
     pub(crate) fn push_error(&mut self, stream: u64, seq: u64, code: ErrorCode, detail: &str) {
         self.payload_scratch.clear();
+        // lint: allow(truncating-cast, reason = "ErrorCode is repr(u8); the discriminant is the wire byte")
         self.payload_scratch.push(code as u8);
-        let detail = &detail.as_bytes()[..detail.len().min(256)];
+        // lint: allow(panic-path, reason = "slice end is detail.len().min(cap), never past the end")
+        let detail = &detail.as_bytes()[..detail.len().min(MAX_ERROR_DETAIL_BYTES)];
         self.payload_scratch.extend_from_slice(detail);
         frame::encode_raw(
             &mut self.wbuf,
@@ -534,6 +544,7 @@ impl<S: Read + Write> Conn<S> {
         }
         let mut moved = false;
         while self.wpos < self.wbuf.len() {
+            // lint: allow(panic-path, reason = "the loop condition keeps wpos < wbuf.len()")
             match self.sock.write(&self.wbuf[self.wpos..]) {
                 Ok(0) => {
                     self.dead = true;

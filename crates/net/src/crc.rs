@@ -19,6 +19,7 @@ const POLY: u32 = 0xEDB8_8320;
 /// is the transport's hottest non-cipher loop.
 const TABLES: [[u32; 256]; 8] = build_tables();
 
+// lint: allow(panic-path, reason = "const fn evaluated at compile time; every index is a loop counter bounded to 0..256 or a byte masked with & 0xFF")
 const fn build_tables() -> [[u32; 256]; 8] {
     let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
@@ -51,6 +52,7 @@ const fn build_tables() -> [[u32; 256]; 8] {
 
 /// Feeds `data` into a running CRC state (state is the *complemented*
 /// register, as [`crc32`] initialises it).
+// lint: allow(panic-path, reason = "hot loop: `eight` comes from chunks_exact(8) so indices 0..8 are in bounds, and every table index is masked to 8 bits or is a u8")
 fn update(mut state: u32, data: &[u8]) -> u32 {
     let mut chunks = data.chunks_exact(8);
     for eight in chunks.by_ref() {

@@ -31,7 +31,7 @@ use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasher, Hasher};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 
 use mhhea::gateway::{GatewayError, StreamConfig, StreamId, StreamMux, StreamOp, StreamOutput};
 use mhhea::KeyRing;
@@ -74,6 +74,7 @@ pub(crate) struct Shared {
     pub(crate) cfg: ServerConfig,
     pub(crate) mux: StreamMux,
     pub(crate) stats: Arc<ServerStats>,
+    // lock-order: registry < mux_shard
     pub(crate) registry: Mutex<Registry>,
     /// Keyed-hash state for resume-token minting (shared so tokens stay
     /// unique across reactors; the counter lives in the registry).
@@ -95,13 +96,21 @@ impl Shared {
         }
     }
 
+    /// The registry lock. Poisoning is recovered rather than propagated:
+    /// every critical section is a handful of `HashMap` operations with no
+    /// multi-step invariant, so the state is coherent even if some earlier
+    /// holder panicked — and one panicked reactor thread must not take the
+    /// other reactors' handshake path down with it.
+    pub(crate) fn registry(&self) -> MutexGuard<'_, Registry> {
+        match self.registry.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     /// Parked snapshots right now (for `Debug` output).
     pub(crate) fn parked(&self) -> usize {
-        self.registry
-            .lock()
-            .expect("registry poisoned")
-            .snapshots
-            .len()
+        self.registry().snapshots.len()
     }
 
     /// Handshake and teardown frames, answered inline by the owning
@@ -119,7 +128,7 @@ impl Shared {
             },
             FrameKind::Bye => {
                 let reply = if streams.remove(&stream).is_some() {
-                    let mut reg = self.registry.lock().expect("registry poisoned");
+                    let mut reg = self.registry();
                     let _ = self.mux.close(StreamId(stream));
                     reg.tokens.remove(&stream);
                     Frame::new(FrameKind::Bye, stream, frame.seq)
@@ -146,8 +155,19 @@ impl Shared {
                     hang_up: true,
                 }
             }
+            // `Data`/`Rekey` frames are routed through `validate_data`
+            // before this point; landing here is a dispatch bug. Answer it
+            // as a protocol error and hang up instead of panicking the
+            // reactor thread (debug builds still assert).
             FrameKind::Data | FrameKind::Rekey => {
-                unreachable!("data and rekey frames go through validate_data")
+                debug_assert!(false, "data and rekey frames go through validate_data");
+                ServerStats::bump(&self.stats.protocol_errors);
+                ControlAction {
+                    reply: Frame::new(FrameKind::Error, stream, frame.seq).with_payload(
+                        encode_error(ErrorCode::Protocol, "data frame routed to control path"),
+                    ),
+                    hang_up: true,
+                }
             }
         }
     }
@@ -169,7 +189,7 @@ impl Shared {
         };
         // The registry is held across the parked-check *and* the mux open
         // so no other reactor can park or resume this id in between.
-        let mut reg = self.registry.lock().expect("registry poisoned");
+        let mut reg = self.registry();
         // A parked id is still occupied: letting an unauthenticated Hello
         // supersede the snapshot would destroy another client's only copy
         // of its stream state (the token check bypassed by destruction).
@@ -230,7 +250,7 @@ impl Shared {
         let token = u64::from_le_bytes(token_bytes);
         // Held across the restore, so the un-parked snapshot is never
         // observable as "neither parked nor live" by another reactor.
-        let mut reg = self.registry.lock().expect("registry poisoned");
+        let mut reg = self.registry();
         // One uniform answer for "no snapshot" and "wrong token": probing
         // ids must not reveal which streams are parked. (A resume racing
         // the eviction that parks the snapshot also lands here — clients
@@ -367,44 +387,75 @@ impl Reactor {
                     .collect()
             };
             for ticket in tickets {
-                let conn = &mut conns[ticket.conn];
+                // Tickets are minted with this tick's enumerate index, so
+                // the lookup cannot miss; `get_mut` keeps a bookkeeping bug
+                // from panicking the whole reactor.
+                let Some(conn) = conns.get_mut(ticket.conn) else {
+                    debug_assert!(false, "ticket for a connection this tick never saw");
+                    continue;
+                };
                 match ticket.outcome {
-                    TicketOutcome::Submitted { index, shape } => match (
-                        results[index].take().expect("each slot consumed once"),
-                        shape,
-                    ) {
-                        (Ok(StreamOutput::Blocks(blocks)), ReplyShape::Seal { bit_len }) => {
-                            conn.push_seal_reply(ticket.stream, ticket.seq, bit_len, &blocks);
+                    TicketOutcome::Submitted { index, shape } => {
+                        // Each submitted ticket owns exactly one result
+                        // slot; a missing or already-taken slot is a
+                        // bookkeeping bug, surfaced to the client as an
+                        // engine error rather than a reactor panic.
+                        let Some(result) = results.get_mut(index).and_then(Option::take) else {
+                            debug_assert!(false, "each slot consumed once");
+                            conn.push_error(
+                                ticket.stream,
+                                ticket.seq,
+                                ErrorCode::Engine,
+                                "internal: batch result slot missing",
+                            );
+                            ServerStats::bump(&shared.stats.frames_sent);
+                            continue;
+                        };
+                        match (result, shape) {
+                            (Ok(StreamOutput::Blocks(blocks)), ReplyShape::Seal { bit_len }) => {
+                                conn.push_seal_reply(ticket.stream, ticket.seq, bit_len, &blocks);
+                            }
+                            (Ok(StreamOutput::Plain(plain)), ReplyShape::Open) => {
+                                conn.push_open_reply(ticket.stream, ticket.seq, &plain);
+                            }
+                            (Ok(StreamOutput::Rekeyed { epoch }), ReplyShape::Rekey) => {
+                                // The rotation took: retire the old resume
+                                // token (a snapshot thief must not outlive a
+                                // rekey), restart the sequence space in the
+                                // new epoch, and hand both back in the ack.
+                                let token = {
+                                    let mut reg = shared.registry();
+                                    let token = reg.fresh_token(&shared.token_rand);
+                                    reg.tokens.insert(ticket.stream, token);
+                                    token
+                                };
+                                conn.streams.insert(ticket.stream, join_seq(epoch, 0));
+                                ServerStats::bump(&shared.stats.streams_rekeyed);
+                                conn.push_rekey_ack(ticket.stream, ticket.seq, epoch, token);
+                            }
+                            (Ok(_), _) => {
+                                // The gateway answered a seal with plaintext
+                                // (or vice versa) — an engine bug, not a
+                                // client error, and not worth a thread.
+                                debug_assert!(false, "op direction matches output variant");
+                                conn.push_error(
+                                    ticket.stream,
+                                    ticket.seq,
+                                    ErrorCode::Engine,
+                                    "internal: reply shape mismatch",
+                                );
+                            }
+                            (Err(e), _) => {
+                                // The one machine-distinguishable failure: a
+                                // rotation racing another rotation.
+                                let code = match e {
+                                    GatewayError::StaleEpoch { .. } => ErrorCode::StaleEpoch,
+                                    _ => ErrorCode::Engine,
+                                };
+                                conn.push_error(ticket.stream, ticket.seq, code, &e.to_string());
+                            }
                         }
-                        (Ok(StreamOutput::Plain(plain)), ReplyShape::Open) => {
-                            conn.push_open_reply(ticket.stream, ticket.seq, &plain);
-                        }
-                        (Ok(StreamOutput::Rekeyed { epoch }), ReplyShape::Rekey) => {
-                            // The rotation took: retire the old resume
-                            // token (a snapshot thief must not outlive a
-                            // rekey), restart the sequence space in the
-                            // new epoch, and hand both back in the ack.
-                            let token = {
-                                let mut reg = shared.registry.lock().expect("registry poisoned");
-                                let token = reg.fresh_token(&shared.token_rand);
-                                reg.tokens.insert(ticket.stream, token);
-                                token
-                            };
-                            conn.streams.insert(ticket.stream, join_seq(epoch, 0));
-                            ServerStats::bump(&shared.stats.streams_rekeyed);
-                            conn.push_rekey_ack(ticket.stream, ticket.seq, epoch, token);
-                        }
-                        (Ok(_), _) => unreachable!("op direction matches output variant"),
-                        (Err(e), _) => {
-                            // The one machine-distinguishable failure: a
-                            // rotation racing another rotation.
-                            let code = match e {
-                                GatewayError::StaleEpoch { .. } => ErrorCode::StaleEpoch,
-                                _ => ErrorCode::Engine,
-                            };
-                            conn.push_error(ticket.stream, ticket.seq, code, &e.to_string());
-                        }
-                    },
+                    }
                     TicketOutcome::Rejected { code, detail } => {
                         conn.push_error(ticket.stream, ticket.seq, code, &detail);
                     }
@@ -417,7 +468,14 @@ impl Reactor {
         // Goodbyes go out only now, behind every reply the connection is
         // still owed from this tick.
         for (idx, frame) in goodbyes {
-            conns[idx].push_frame(&frame);
+            // Goodbye indices were minted by the same enumerate loop that
+            // filled `conns`; a miss is a bookkeeping bug, and the peer is
+            // being hung up on anyway.
+            let Some(conn) = conns.get_mut(idx) else {
+                debug_assert!(false, "goodbye for a connection this tick never saw");
+                continue;
+            };
+            conn.push_frame(&frame);
             ServerStats::bump(&shared.stats.frames_sent);
             progress = true;
         }
@@ -450,7 +508,7 @@ impl Reactor {
                 // Registry held across the evict: between "removed from
                 // the mux" and "snapshot parked" no other reactor can
                 // observe the stream as simply gone.
-                let mut reg = shared.registry.lock().expect("registry poisoned");
+                let mut reg = shared.registry();
                 if reg.snapshots.len() < shared.cfg.snapshot_capacity {
                     if let Ok(snap) = shared.mux.evict(StreamId(id)) {
                         reg.snapshots.insert(id, snap);

@@ -260,8 +260,7 @@ impl NetServer {
         let flag = Arc::clone(&shutdown);
         let join = std::thread::Builder::new()
             .name("mhnp-server".into())
-            .spawn(move || server.run(&flag))
-            .expect("spawn server thread");
+            .spawn(move || server.run(&flag))?;
         Ok(ServerHandle {
             addr,
             stats,
@@ -291,7 +290,11 @@ impl NetServer {
         }
         let idle = shared.cfg.idle_sleep;
         if n == 1 {
-            let mut reactor = reactors.pop().expect("one reactor");
+            // The loop above pushed exactly `n == 1` reactors.
+            let Some(mut reactor) = reactors.pop() else {
+                debug_assert!(false, "one reactor was built");
+                return;
+            };
             let mut next = 0;
             while !shutdown.load(Ordering::Relaxed) {
                 let mut progress = accept_pending(&listener, &shared, &txs, &mut next);
@@ -306,6 +309,7 @@ impl NetServer {
                     std::thread::Builder::new()
                         .name(format!("mhnp-reactor-{i}"))
                         .spawn_scoped(scope, move || reactor.run(shutdown))
+                        // lint: allow(panic-path, reason = "startup-only: failing to spawn a reactor thread means the server cannot run at all; there is no connection to answer yet")
                         .expect("spawn reactor thread");
                 }
                 let mut next = 0;
@@ -353,6 +357,7 @@ fn accept_pending(
                         .stats
                         .connections_open
                         .fetch_add(1, Ordering::Relaxed);
+                    // lint: allow(panic-path, reason = "index is reduced mod txs.len(), and txs holds at least one sender")
                     if txs[*next % txs.len()].send(sock).is_ok() {
                         *next = next.wrapping_add(1);
                         accepted = true;
