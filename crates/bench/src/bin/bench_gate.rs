@@ -11,11 +11,14 @@
 //! cargo run --release -p mhhea_bench --bin bench_gate -- [--dir DIR] [--threshold PCT]
 //! ```
 //!
-//! Exit codes: 0 pass (including "fewer than two snapshots" and
-//! "fingerprint mismatch" — both explained on stdout), 1 regression,
-//! 2 usage/parse errors. Bench points present in the older snapshot but
-//! missing from the newer are warned about, not failed: the point set is
-//! allowed to change shape across PRs (the `pr` field records when).
+//! Exit codes: 0 pass (including "fewer than two snapshots", explained
+//! on stdout), 1 regression, 2 usage/parse errors, 3 comparison skipped
+//! (fingerprint mismatch — the snapshots came from different machines,
+//! so nothing was compared; CI treats this as green but the distinct
+//! code keeps a skipped gate from reading as a clean pass). Bench
+//! points present in the older snapshot but missing from the newer are
+//! warned about, not failed: the point set is allowed to change shape
+//! across PRs (the `pr` field records when).
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -23,6 +26,12 @@ use std::process::ExitCode;
 
 /// Fractional throughput loss that fails the gate.
 const DEFAULT_THRESHOLD: f64 = 0.15;
+
+/// Exit code for "comparison skipped" — distinct from pass (0),
+/// regression (1), and usage/parse error (2), so scripts and CI logs
+/// can never mistake a gate that compared nothing for a clean pass.
+/// The CI workflow explicitly accepts this code as green.
+const EXIT_SKIPPED: u8 = 3;
 
 fn main() -> ExitCode {
     let mut dir = PathBuf::from(".");
@@ -66,11 +75,10 @@ fn main() -> ExitCode {
         threshold * 100.0
     );
     if old.fingerprint != new.fingerprint {
-        println!(
-            "bench-gate: fingerprint changed ({} → {}) — snapshots are not comparable, pass",
-            old.fingerprint, new.fingerprint
-        );
-        return ExitCode::SUCCESS;
+        for line in skip_report(&old.fingerprint, &new.fingerprint) {
+            println!("{line}");
+        }
+        return ExitCode::from(EXIT_SKIPPED);
     }
 
     let report = compare(&old, &new, threshold);
@@ -195,6 +203,20 @@ fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
         fingerprint,
         points,
     })
+}
+
+/// The stdout block for a fingerprint-mismatch skip. Separate from
+/// `main` so the test suite can pin the wording: the leading line must
+/// say "comparison skipped" — earlier versions printed "pass" here and
+/// a skipped gate was indistinguishable from a clean one in CI logs.
+fn skip_report(old: &Fingerprint, new: &Fingerprint) -> Vec<String> {
+    vec![
+        format!("bench-gate: comparison skipped: fingerprint mismatch ({old} → {new})"),
+        format!(
+            "bench-gate: 0 point(s) compared — cross-machine snapshots are a \
+             trajectory, not a regression (exit {EXIT_SKIPPED})"
+        ),
+    ]
 }
 
 struct Report {
@@ -504,6 +526,20 @@ mod tests {
         let a = parse_snapshot(&snapshot(1, &[("a", 10.0)])).unwrap();
         let b = parse_snapshot(&snapshot(8, &[("a", 1.0)])).unwrap();
         assert!(a.fingerprint != b.fingerprint);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_skip_is_explicit() {
+        let a = parse_snapshot(&snapshot(1, &[("a", 10.0)])).unwrap();
+        let b = parse_snapshot(&snapshot(8, &[("a", 1.0)])).unwrap();
+        let lines = skip_report(&a.fingerprint, &b.fingerprint);
+        // The skip must be unmistakable in CI logs: the word "skipped"
+        // leads, "pass" appears nowhere, and both fingerprints are shown.
+        assert!(lines[0].contains("comparison skipped: fingerprint mismatch"));
+        assert!(lines.iter().all(|l| !l.contains("pass")));
+        assert!(lines[0].contains("1 cpus") && lines[0].contains("8 cpus"));
+        // And the exit code is its own value, not pass/fail/usage.
+        assert!(![0u8, 1, 2].contains(&EXIT_SKIPPED));
     }
 
     #[test]

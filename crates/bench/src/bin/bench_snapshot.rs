@@ -25,7 +25,7 @@ use mhhea_net::server::{NetServer, ServerConfig};
 /// The PR this snapshot's bench-point set dates from — bumped when the
 /// set changes shape, so files stay self-describing. The default output
 /// name tracks the newest existing `BENCH_<n>.json` instead (see
-/// `default_out_path`), so every PR can lay down its own data point
+/// `next_snapshot_name`), so every PR can lay down its own data point
 /// without touching this constant.
 const PR: u32 = 6;
 const WARMUP_ITERS: usize = 2;
@@ -200,10 +200,13 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// The next free `BENCH_<n>.json` at the repo root: one past the newest
-/// existing snapshot, and never below this binary's own [`PR`].
-fn default_out_path() -> String {
-    let newest = std::fs::read_dir(".")
+/// The next free `BENCH_<n>.json` in `dir`: always one past the highest
+/// existing snapshot number, regardless of gaps in the sequence (a
+/// deleted `BENCH_4.json` must not make the next run renumber from 5
+/// when 6 and 7 already exist). Only when `dir` holds no snapshots at
+/// all does the binary's own [`PR`] seed the numbering.
+fn next_snapshot_name(dir: &std::path::Path) -> String {
+    let newest = std::fs::read_dir(dir)
         .ok()
         .into_iter()
         .flatten()
@@ -215,13 +218,17 @@ fn default_out_path() -> String {
                 .parse::<u32>()
                 .ok()
         })
-        .max()
-        .unwrap_or(0);
-    format!("BENCH_{}.json", newest.max(PR - 1) + 1)
+        .max();
+    match newest {
+        Some(n) => format!("BENCH_{}.json", n.saturating_add(1)),
+        None => format!("BENCH_{PR}.json"),
+    }
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(default_out_path);
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| next_snapshot_name(std::path::Path::new(".")));
 
     let mut points = Vec::new();
     bench_container_pipeline(&mut points);
@@ -270,5 +277,73 @@ fn main() {
             p.throughput_mib_s(),
             p.ns_median
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    /// A scratch directory seeded with the given file names, removed on
+    /// drop so test runs don't accumulate state.
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn with_files(tag: &str, names: &[&str]) -> Scratch {
+            let dir = std::env::temp_dir()
+                .join(format!("mhhea-bench-snapshot-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("create scratch dir");
+            for name in names {
+                std::fs::write(dir.join(name), b"{}").expect("seed scratch file");
+            }
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn numbering_survives_gaps() {
+        // BENCH_4 deleted from a 3..=7 run: next must be 8, not a
+        // renumbering from the gap.
+        let s = Scratch::with_files(
+            "gapped",
+            &[
+                "BENCH_3.json",
+                "BENCH_5.json",
+                "BENCH_6.json",
+                "BENCH_7.json",
+            ],
+        );
+        assert_eq!(next_snapshot_name(&s.0), "BENCH_8.json");
+    }
+
+    #[test]
+    fn numbering_is_max_plus_one_even_below_pr_floor() {
+        // Older snapshots than this binary's PR still just advance by
+        // one — the floor only applies to an empty directory.
+        let s = Scratch::with_files("old", &["BENCH_2.json"]);
+        assert_eq!(next_snapshot_name(&s.0), "BENCH_3.json");
+    }
+
+    #[test]
+    fn empty_directory_starts_at_pr() {
+        let s = Scratch::with_files("empty", &[]);
+        assert_eq!(next_snapshot_name(&s.0), format!("BENCH_{PR}.json"));
+    }
+
+    #[test]
+    fn non_snapshot_files_are_ignored() {
+        let s = Scratch::with_files(
+            "noise",
+            &["BENCH_9.json", "BENCH_X.json", "BENCH_10.txt", "README.md"],
+        );
+        assert_eq!(next_snapshot_name(&s.0), "BENCH_10.json");
     }
 }

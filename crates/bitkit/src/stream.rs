@@ -169,10 +169,35 @@ impl BitWriter {
     }
 
     /// Appends the low `width` bits of `value`, LSB-first.
+    ///
+    /// Works a byte at a time: the value is masked, shifted into place
+    /// against the current partial byte and stored in whole-byte chunks,
+    /// instead of one [`BitWriter::push`] call per bit.
     pub fn push_bits(&mut self, value: u64, width: usize) {
         assert!(width <= 64, "width {width} exceeds 64");
-        for i in 0..width {
-            self.push((value >> i) & 1 == 1);
+        let mut value = if width == 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        };
+        let mut left = width;
+        // Fill the current partial byte first.
+        let used = self.bit_len % 8;
+        if used != 0 {
+            let take = (8 - used).min(left);
+            let idx = self.bit_len / 8;
+            self.bytes[idx] |= ((value << used) & 0xFF) as u8;
+            value >>= take;
+            self.bit_len += take;
+            left -= take;
+        }
+        // Then whole bytes, then the trailing partial byte.
+        while left > 0 {
+            self.bytes.push((value & 0xFF) as u8);
+            let take = left.min(8);
+            value >>= take;
+            self.bit_len += take;
+            left -= take;
         }
     }
 
@@ -306,6 +331,33 @@ mod tests {
         let mut w = BitWriter::new();
         w.push_bits(0xCA06, 16);
         assert_eq!(w.into_bytes(), vec![0x06, 0xCA]);
+    }
+
+    #[test]
+    fn push_bits_matches_per_bit_at_any_alignment() {
+        // Sweep every starting bit offset and width (including 0 and 64)
+        // so the byte-at-a-time path is pinned to the per-bit reference.
+        for offset in 0..8usize {
+            for width in 0..=64usize {
+                let value = 0xDEAD_BEEF_CAFE_F00Du64;
+                let mut word = BitWriter::new();
+                let mut bit = BitWriter::new();
+                for i in 0..offset {
+                    word.push(i % 3 == 0);
+                    bit.push(i % 3 == 0);
+                }
+                word.push_bits(value, width);
+                for i in 0..width {
+                    bit.push((value >> i) & 1 == 1);
+                }
+                assert_eq!(word.bit_len(), bit.bit_len(), "off {offset} w {width}");
+                assert_eq!(
+                    word.into_bytes(),
+                    bit.into_bytes(),
+                    "off {offset} w {width}"
+                );
+            }
+        }
     }
 
     #[test]

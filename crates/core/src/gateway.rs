@@ -92,11 +92,12 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::key::{KeyError, KeyRing, MAX_PAIRS};
+use crate::lanes::{seal_lanes, LaneSealJob, LANE_THRESHOLD};
 use crate::pipeline::WorkerPool;
 use crate::session::{CursorDecodeError, DecryptSession, EncryptSession, StreamCursor};
 use crate::source::LfsrSource;
@@ -350,6 +351,13 @@ pub enum GatewayError {
         /// The rejected epoch.
         requested: u32,
     },
+    /// A batch slot was never filled by the scatter pass. This is an
+    /// internal invariant violation that should be unreachable; it is
+    /// reported as an error instead of panicking on the serving path.
+    MissingResult {
+        /// The batch position whose result went missing.
+        position: usize,
+    },
 }
 
 impl core::fmt::Display for GatewayError {
@@ -373,6 +381,10 @@ impl core::fmt::Display for GatewayError {
             GatewayError::StaleEpoch { current, requested } => write!(
                 f,
                 "rekey to epoch {requested} rejected: stream is already at epoch {current}"
+            ),
+            GatewayError::MissingResult { position } => write!(
+                f,
+                "internal error: batch position {position} produced no result"
             ),
         }
     }
@@ -495,6 +507,14 @@ impl StreamState {
 
 type Shard = Mutex<HashMap<u64, StreamState>>;
 
+/// Locks a shard, recovering from poisoning. Every gateway operation
+/// either completes or leaves its stream untouched, so the table behind a
+/// poisoned lock is still consistent stream-by-stream; refusing service
+/// on every stream in the shard forever would be strictly worse.
+fn lock_shard(shard: &Shard) -> MutexGuard<'_, HashMap<u64, StreamState>> {
+    shard.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// One shard's share of a batch: original position, stream, payload.
 type ShardItems<M> = Vec<(usize, StreamId, M)>;
 
@@ -522,14 +542,17 @@ impl MuxInner {
         ((z ^ (z >> 31)) & self.mask) as usize
     }
 
+    /// The shard holding `id`'s state.
+    fn shard(&self, id: StreamId) -> &Shard {
+        &self.shards[self.shard_of(id)] // lint: allow(panic-path, reason = "shard_of masks the index below shards.len(), a power of two")
+    }
+
     fn with_stream<R>(
         &self,
         id: StreamId,
         f: impl FnOnce(&mut StreamState) -> Result<R, GatewayError>,
     ) -> Result<R, GatewayError> {
-        let mut shard = self.shards[self.shard_of(id)]
-            .lock()
-            .expect("shard poisoned");
+        let mut shard = lock_shard(self.shard(id));
         let state = shard
             .get_mut(&id.0)
             .ok_or(GatewayError::UnknownStream(id))?;
@@ -596,11 +619,7 @@ impl StreamMux {
 
     /// Number of open streams (locks each shard briefly).
     pub fn len(&self) -> usize {
-        self.inner
-            .shards
-            .iter()
-            .map(|s| s.lock().expect("shard poisoned").len())
-            .sum()
+        self.inner.shards.iter().map(|s| lock_shard(s).len()).sum()
     }
 
     /// True when no streams are open.
@@ -610,10 +629,7 @@ impl StreamMux {
 
     /// True when `id` is an open stream.
     pub fn contains(&self, id: StreamId) -> bool {
-        self.inner.shards[self.inner.shard_of(id)]
-            .lock()
-            .expect("shard poisoned")
-            .contains_key(&id.0)
+        lock_shard(self.inner.shard(id)).contains_key(&id.0)
     }
 
     /// Opens a fresh stream at the cipher-stream origin.
@@ -644,9 +660,7 @@ impl StreamMux {
     }
 
     fn insert(&self, id: StreamId, state: StreamState) -> Result<(), GatewayError> {
-        let mut shard = self.inner.shards[self.inner.shard_of(id)]
-            .lock()
-            .expect("shard poisoned");
+        let mut shard = lock_shard(self.inner.shard(id));
         if shard.contains_key(&id.0) {
             return Err(GatewayError::StreamExists(id));
         }
@@ -660,9 +674,7 @@ impl StreamMux {
     ///
     /// [`GatewayError::UnknownStream`] if `id` is not open.
     pub fn close(&self, id: StreamId) -> Result<(), GatewayError> {
-        self.inner.shards[self.inner.shard_of(id)]
-            .lock()
-            .expect("shard poisoned")
+        lock_shard(self.inner.shard(id))
             .remove(&id.0)
             .map(|_| ())
             .ok_or(GatewayError::UnknownStream(id))
@@ -741,6 +753,32 @@ impl StreamMux {
         M: Send + 'static,
         R: Send + 'static,
     {
+        self.batch_with_prepass(batch, |_, _| Vec::new(), op)
+    }
+
+    /// As [`StreamMux::batch`], but each shard first runs `prepass` under
+    /// its lock. The prepass may complete items early — removing them from
+    /// the shard's list and returning their `(position, result)` pairs —
+    /// which is the hook the bitsliced lane engine plugs into. The scalar
+    /// `op` loop runs after the prepass, so per-stream batch order holds:
+    /// a laned first operation commits its stream state before any of the
+    /// stream's later operations run.
+    fn batch_with_prepass<M, R>(
+        &self,
+        batch: Vec<(StreamId, M)>,
+        prepass: impl Fn(
+                &mut HashMap<u64, StreamState>,
+                &mut ShardItems<M>,
+            ) -> Vec<(usize, Result<R, GatewayError>)>
+            + Send
+            + Sync
+            + 'static,
+        op: impl Fn(&mut StreamState, StreamId, M) -> Result<R, GatewayError> + Send + Sync + 'static,
+    ) -> Vec<Result<R, GatewayError>>
+    where
+        M: Send + 'static,
+        R: Send + 'static,
+    {
         let inner = Arc::clone(&self.inner);
         let mut groups: HashMap<usize, ShardItems<M>> = HashMap::new();
         for (pos, (id, msg)) in batch.into_iter().enumerate() {
@@ -753,28 +791,38 @@ impl StreamMux {
         let groups: Vec<(usize, ShardItems<M>)> = groups.into_iter().collect();
         let workers = inner.workers.load(Ordering::Relaxed);
         let scattered: Vec<Vec<(usize, Result<R, GatewayError>)>> =
-            WorkerPool::global().map(groups, workers, move |_, (shard_idx, items)| {
+            WorkerPool::global().map(groups, workers, move |_, (shard_idx, mut items)| {
+                let Some(shard) = inner.shards.get(shard_idx) else {
+                    // Unreachable: shard_of masks into range. Stay total.
+                    return items
+                        .into_iter()
+                        .map(|(pos, id, _)| (pos, Err(GatewayError::UnknownStream(id))))
+                        .collect();
+                };
                 // One lock acquisition covers the shard's whole share of
                 // the batch — the coalescing this API exists for.
-                let mut shard = inner.shards[shard_idx].lock().expect("shard poisoned");
-                items
-                    .into_iter()
-                    .map(|(pos, id, msg)| {
-                        let r = match shard.get_mut(&id.0) {
-                            Some(state) => op(state, id, msg),
-                            None => Err(GatewayError::UnknownStream(id)),
-                        };
-                        (pos, r)
-                    })
-                    .collect()
+                let mut shard = lock_shard(shard);
+                let mut done = prepass(&mut shard, &mut items);
+                done.extend(items.into_iter().map(|(pos, id, msg)| {
+                    let r = match shard.get_mut(&id.0) {
+                        Some(state) => op(state, id, msg),
+                        None => Err(GatewayError::UnknownStream(id)),
+                    };
+                    (pos, r)
+                }));
+                done
             });
-        let mut out: Vec<Option<Result<R, GatewayError>>> = (0..total).map(|_| None).collect();
+        // Pre-fill with the (unreachable) internal error so the scatter
+        // stays total: every reported position overwrites its slot.
+        let mut out: Vec<Result<R, GatewayError>> = (0..total)
+            .map(|position| Err(GatewayError::MissingResult { position }))
+            .collect();
         for (pos, r) in scattered.into_iter().flatten() {
-            out[pos] = Some(r);
+            if let Some(slot) = out.get_mut(pos) {
+                *slot = r;
+            }
         }
-        out.into_iter()
-            .map(|r| r.expect("every batch position reported"))
-            .collect()
+        out
     }
 
     /// Encrypts many messages across many streams in one coalesced pool
@@ -807,19 +855,38 @@ impl StreamMux {
     /// **many small messages on live streams** — sessions persist across
     /// calls, so per-message span-table rebuilds and thread spawns are
     /// both avoided.
+    /// When a busy shard's share of the batch holds at least
+    /// [`LANE_THRESHOLD`] compatible streaming encrypts (same algorithm
+    /// and key), those messages run through the bitsliced lane engine
+    /// ([`crate::lanes`]) in lockstep; everything else — small groups,
+    /// hardware-faithful streams, repeat messages on one stream — stays on
+    /// the scalar path. The output is bit-identical either way.
     pub fn seal_batch(
         &self,
         batch: Vec<(StreamId, Vec<u8>)>,
     ) -> Vec<Result<Vec<u8>, GatewayError>> {
-        self.batch(batch, |s, id, msg| {
-            // Reject before encrypting: an oversized message must not
-            // advance the stream cursor and then emit a wrapped header.
-            if msg.len() > MAX_FRAME_MESSAGE_BYTES {
-                return Err(GatewayError::MessageTooLarge { bytes: msg.len() });
-            }
-            let blocks = s.enc.encrypt(&msg)?;
-            Ok(encode_frame(id, msg.len() * 8, &blocks))
-        })
+        self.batch_with_prepass(
+            batch,
+            |shard, items| {
+                lane_prepass(shard, items, |msg: &Vec<u8>| {
+                    // Oversized messages fall through to the scalar path,
+                    // which rejects them without advancing the stream.
+                    (msg.len() <= MAX_FRAME_MESSAGE_BYTES).then_some(msg.as_slice())
+                })
+                .into_iter()
+                .map(|(pos, id, msg, blocks)| (pos, Ok(encode_frame(id, msg.len() * 8, &blocks))))
+                .collect()
+            },
+            |s, id, msg| {
+                // Reject before encrypting: an oversized message must not
+                // advance the stream cursor and then emit a wrapped header.
+                if msg.len() > MAX_FRAME_MESSAGE_BYTES {
+                    return Err(GatewayError::MessageTooLarge { bytes: msg.len() });
+                }
+                let blocks = s.enc.encrypt(&msg)?;
+                Ok(encode_frame(id, msg.len() * 8, &blocks))
+            },
+        )
     }
 
     /// Decodes and decrypts many gateway frames, returning each frame's
@@ -830,9 +897,11 @@ impl StreamMux {
     ) -> Vec<Result<(StreamId, Vec<u8>), GatewayError>> {
         // Decode headers up front (cheap) so frames shard by stream; the
         // decryption itself runs pooled. Undecodable frames never reach
-        // the batch — their slots are filled with the decode error.
-        let mut out: Vec<Option<Result<OpenedFrame, GatewayError>>> =
-            frames.iter().map(|_| None).collect();
+        // the batch — their slots are filled with the decode error. Slots
+        // start at the (unreachable) internal error so the fill is total.
+        let mut out: Vec<Result<OpenedFrame, GatewayError>> = (0..frames.len())
+            .map(|position| Err(GatewayError::MissingResult { position }))
+            .collect();
         let mut goods: Vec<(StreamId, (Vec<u16>, usize))> = Vec::with_capacity(frames.len());
         let mut positions: Vec<usize> = Vec::with_capacity(frames.len());
         for (pos, frame) in frames.iter().enumerate() {
@@ -841,18 +910,22 @@ impl StreamMux {
                     goods.push((id, (blocks, bit_len)));
                     positions.push(pos);
                 }
-                Err(e) => out[pos] = Some(Err(GatewayError::Frame(e))),
+                Err(e) => {
+                    if let Some(slot) = out.get_mut(pos) {
+                        *slot = Err(GatewayError::Frame(e));
+                    }
+                }
             }
         }
         let results = self.batch(goods, |s, id, (blocks, bit_len)| {
             Ok((id, s.dec.decrypt(&blocks, bit_len)?))
         });
         for (pos, r) in positions.into_iter().zip(results) {
-            out[pos] = Some(r);
+            if let Some(slot) = out.get_mut(pos) {
+                *slot = r;
+            }
         }
-        out.into_iter()
-            .map(|r| r.expect("every frame position reported"))
-            .collect()
+        out
     }
 
     /// Runs a mixed batch of encrypts, decrypts and key rotations in one
@@ -886,15 +959,30 @@ impl StreamMux {
         &self,
         batch: Vec<(StreamId, StreamOp)>,
     ) -> Vec<Result<StreamOutput, GatewayError>> {
-        self.batch(batch, |s, id, op| match op {
-            StreamOp::Encrypt(msg) => Ok(StreamOutput::Blocks(s.enc.encrypt(&msg)?)),
-            StreamOp::Decrypt { blocks, bit_len } => {
-                Ok(StreamOutput::Plain(s.dec.decrypt(&blocks, bit_len)?))
-            }
-            StreamOp::Rekey { epoch } => Ok(StreamOutput::Rekeyed {
-                epoch: s.rekey(id, epoch)?,
-            }),
-        })
+        self.batch_with_prepass(
+            batch,
+            |shard, items| {
+                // Only a stream's first op can lane-pack, and only when it
+                // is an encrypt; decrypts and rekeys (and everything after
+                // the first op) run scalar, in batch order, afterwards.
+                lane_prepass(shard, items, |op: &StreamOp| match op {
+                    StreamOp::Encrypt(msg) => Some(msg.as_slice()),
+                    _ => None,
+                })
+                .into_iter()
+                .map(|(pos, _, _, blocks)| (pos, Ok(StreamOutput::Blocks(blocks))))
+                .collect()
+            },
+            |s, id, op| match op {
+                StreamOp::Encrypt(msg) => Ok(StreamOutput::Blocks(s.enc.encrypt(&msg)?)),
+                StreamOp::Decrypt { blocks, bit_len } => {
+                    Ok(StreamOutput::Plain(s.dec.decrypt(&blocks, bit_len)?))
+                }
+                StreamOp::Rekey { epoch } => Ok(StreamOutput::Rekeyed {
+                    epoch: s.rekey(id, epoch)?,
+                }),
+            },
+        )
     }
 
     /// Single-frame convenience over [`StreamMux::open_batch`].
@@ -935,9 +1023,7 @@ impl StreamMux {
     ///
     /// [`GatewayError::UnknownStream`].
     pub fn evict(&self, id: StreamId) -> Result<Vec<u8>, GatewayError> {
-        let mut shard = self.inner.shards[self.inner.shard_of(id)]
-            .lock()
-            .expect("shard poisoned");
+        let mut shard = lock_shard(self.inner.shard(id));
         let state = shard.get(&id.0).ok_or(GatewayError::UnknownStream(id))?;
         let snapshot = encode_snapshot(id, state);
         shard.remove(&id.0);
@@ -963,9 +1049,7 @@ impl StreamMux {
         id: StreamId,
         sink: &mut impl std::io::Write,
     ) -> Result<(), GatewayError> {
-        let mut shard = self.inner.shards[self.inner.shard_of(id)]
-            .lock()
-            .expect("shard poisoned");
+        let mut shard = lock_shard(self.inner.shard(id));
         let state = shard.get(&id.0).ok_or(GatewayError::UnknownStream(id))?;
         let snapshot = encode_snapshot(id, state);
         sink.write_all(&snapshot)
@@ -990,6 +1074,111 @@ impl StreamMux {
     }
 }
 
+/// The lane-filling scheduler: one shard's share of a batch enters, and
+/// every stream whose *first* operation is an eligible streaming encrypt
+/// becomes a lane candidate. Candidates are grouped by cipher parameters
+/// (algorithm + key — one span table serves a whole group) and groups of
+/// at least [`LANE_THRESHOLD`] run through [`seal_lanes`] in bitsliced
+/// lockstep. Smaller groups, ineligible ops, and every stream's later ops
+/// stay scalar; the scalar loop runs after the lane commits, so per-stream
+/// batch order is preserved.
+///
+/// Completed items are removed from `items` and returned as
+/// `(batch position, id, payload, cipher blocks)`. The prepass is
+/// all-or-nothing per stream: state snapshots are read-only, and a stream
+/// is only advanced (`lane_commit`) once its kernel output is in hand —
+/// any failure leaves the stream untouched for the scalar path to redo.
+fn lane_prepass<M>(
+    shard: &mut HashMap<u64, StreamState>,
+    items: &mut ShardItems<M>,
+    as_encrypt: impl Fn(&M) -> Option<&[u8]>,
+) -> Vec<(usize, StreamId, M, Vec<u16>)> {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut groups: HashMap<(Algorithm, Key), Vec<usize>> = HashMap::new();
+    for (ix, (_pos, id, payload)) in items.iter().enumerate() {
+        if !seen.insert(id.0) {
+            continue; // only a stream's first op may jump the queue
+        }
+        if as_encrypt(payload).is_none() {
+            continue;
+        }
+        let Some(state) = shard.get(&id.0) else {
+            continue; // unknown stream: the scalar path reports it
+        };
+        if state.profile != Profile::Streaming {
+            continue; // hardware-faithful buffering is inherently serial
+        }
+        groups
+            .entry((state.algorithm, state.key.clone()))
+            .or_default()
+            .push(ix);
+    }
+    let mut sealed: HashMap<usize, Vec<u16>> = HashMap::new();
+    for group in groups.into_values() {
+        if group.len() < LANE_THRESHOLD {
+            continue; // too few lanes to beat the scalar path
+        }
+        let mut jobs: Vec<LaneSealJob> = Vec::with_capacity(group.len());
+        for &ix in &group {
+            let Some((_, id, payload)) = items.get(ix) else {
+                continue;
+            };
+            let Some(message) = as_encrypt(payload) else {
+                continue;
+            };
+            let Some(state) = shard.get(&id.0) else {
+                continue;
+            };
+            let (block_index, lfsr) = state.enc.lane_snapshot();
+            jobs.push(LaneSealJob {
+                message,
+                state: lfsr,
+                block_index,
+            });
+        }
+        if jobs.len() != group.len() {
+            continue; // a candidate went missing (unreachable): scalar
+        }
+        let outs = {
+            let Some((_, id0, _)) = group.first().and_then(|&ix| items.get(ix)) else {
+                continue;
+            };
+            let Some(st0) = shard.get(&id0.0) else {
+                continue;
+            };
+            match seal_lanes(&st0.key, st0.algorithm, st0.enc.span_table(), &jobs) {
+                Ok(outs) => outs,
+                Err(_) => continue, // kernel refused: scalar fallback
+            }
+        };
+        drop(jobs);
+        for (&ix, out) in group.iter().zip(outs) {
+            let Some((_, id, _)) = items.get(ix) else {
+                continue;
+            };
+            let Some(state) = shard.get_mut(&id.0) else {
+                continue;
+            };
+            if state.enc.lane_commit(out.block_index, out.state).is_err() {
+                continue; // stream untouched: the scalar path redoes it
+            }
+            sealed.insert(ix, out.blocks);
+        }
+    }
+    if sealed.is_empty() {
+        return Vec::new();
+    }
+    let mut done = Vec::with_capacity(sealed.len());
+    let rest = std::mem::take(items);
+    for (ix, (pos, id, payload)) in rest.into_iter().enumerate() {
+        match sealed.remove(&ix) {
+            Some(blocks) => done.push((pos, id, payload, blocks)),
+            None => items.push((pos, id, payload)),
+        }
+    }
+    done
+}
+
 /// Builds the on-wire frame for one sealed message.
 fn encode_frame(id: StreamId, bit_len: usize, blocks: &[u16]) -> Vec<u8> {
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + blocks.len() * 2);
@@ -1005,35 +1194,74 @@ fn encode_frame(id: StreamId, bit_len: usize, blocks: &[u16]) -> Vec<u8> {
     out
 }
 
+/// Little-endian `u16` at `at`, or `None` past the end.
+fn le_u16(bytes: &[u8], at: usize) -> Option<u16> {
+    bytes
+        .get(at..at.checked_add(2)?)?
+        .try_into()
+        .ok()
+        .map(u16::from_le_bytes)
+}
+
+/// Little-endian `u32` at `at`, or `None` past the end.
+fn le_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    bytes
+        .get(at..at.checked_add(4)?)?
+        .try_into()
+        .ok()
+        .map(u32::from_le_bytes)
+}
+
+/// Little-endian `u64` at `at`, or `None` past the end.
+fn le_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    bytes
+        .get(at..at.checked_add(8)?)?
+        .try_into()
+        .ok()
+        .map(u64::from_le_bytes)
+}
+
+/// `u16` from a little-endian byte pair. Total: callers hand it exact
+/// two-byte chunks; a short slice reads as zero-padded rather than
+/// panicking on the serving path.
+fn le_pair(c: &[u8]) -> u16 {
+    let lo = c.first().copied().unwrap_or(0);
+    let hi = c.get(1).copied().unwrap_or(0);
+    u16::from_le_bytes([lo, hi])
+}
+
 /// Parses a gateway frame into `(stream id, bit length, blocks)`.
 fn decode_frame(frame: &[u8]) -> Result<(StreamId, usize, Vec<u16>), FrameDecodeError> {
+    let truncated = |need: usize| FrameDecodeError::Truncated {
+        need,
+        have: frame.len(),
+    };
     if frame.len() < FRAME_HEADER_LEN {
-        return Err(FrameDecodeError::Truncated {
-            need: FRAME_HEADER_LEN,
-            have: frame.len(),
-        });
+        return Err(truncated(FRAME_HEADER_LEN));
     }
-    if frame[0..4] != FRAME_MAGIC {
+    if frame.get(0..4) != Some(FRAME_MAGIC.as_slice()) {
         return Err(FrameDecodeError::BadMagic);
     }
-    if frame[4] != FRAME_VERSION {
-        return Err(FrameDecodeError::UnsupportedVersion(frame[4]));
+    match frame.get(4) {
+        Some(&FRAME_VERSION) => {}
+        Some(&v) => return Err(FrameDecodeError::UnsupportedVersion(v)),
+        None => return Err(truncated(FRAME_HEADER_LEN)),
     }
-    let id = u64::from_le_bytes(frame[8..16].try_into().expect("sized"));
-    let bit_len = u32::from_le_bytes(frame[16..20].try_into().expect("sized")) as usize;
-    let block_count = u32::from_le_bytes(frame[20..24].try_into().expect("sized")) as usize;
-    let need = FRAME_HEADER_LEN + block_count * 2;
-    if frame.len() < need {
-        return Err(FrameDecodeError::Truncated {
-            need,
-            have: frame.len(),
-        });
-    }
-    let blocks = frame[FRAME_HEADER_LEN..need]
-        .chunks_exact(2)
-        .map(|c| u16::from_le_bytes([c[0], c[1]]))
-        .collect();
-    Ok((StreamId(id), bit_len, blocks))
+    let Some(id) = le_u64(frame, 8) else {
+        return Err(truncated(FRAME_HEADER_LEN));
+    };
+    let Some(bit_len) = le_u32(frame, 16) else {
+        return Err(truncated(FRAME_HEADER_LEN));
+    };
+    let Some(block_count) = le_u32(frame, 20) else {
+        return Err(truncated(FRAME_HEADER_LEN));
+    };
+    let need = FRAME_HEADER_LEN + (block_count as usize) * 2;
+    let Some(body) = frame.get(FRAME_HEADER_LEN..need) else {
+        return Err(truncated(need));
+    };
+    let blocks = body.chunks_exact(2).map(le_pair).collect();
+    Ok((StreamId(id), bit_len as usize, blocks))
 }
 
 fn algorithm_tag(algorithm: Algorithm) -> u8 {
@@ -1101,13 +1329,13 @@ fn take_key(bytes: &[u8], at: &mut usize) -> Result<Key, SnapshotDecodeError> {
         return Err(SnapshotDecodeError::BadPairCount(count as u8));
     }
     let need = *at + 1 + count;
-    if bytes.len() < need {
+    let Some(key_bytes) = bytes.get(*at + 1..need) else {
         return Err(SnapshotDecodeError::Truncated {
             need,
             have: bytes.len(),
         });
-    }
-    let key = key_from_pair_bytes(&bytes[*at + 1..need])?;
+    };
+    let key = key_from_pair_bytes(key_bytes)?;
     *at = need;
     Ok(key)
 }
@@ -1119,72 +1347,77 @@ fn key_from_pair_bytes(bytes: &[u8]) -> Result<Key, SnapshotDecodeError> {
 }
 
 fn decode_snapshot(bytes: &[u8]) -> Result<(StreamId, StreamState), SnapshotDecodeError> {
+    let truncated = |need: usize| SnapshotDecodeError::Truncated {
+        need,
+        have: bytes.len(),
+    };
     if bytes.len() < SNAPSHOT_HEADER_LEN {
-        return Err(SnapshotDecodeError::Truncated {
-            need: SNAPSHOT_HEADER_LEN,
-            have: bytes.len(),
-        });
+        return Err(truncated(SNAPSHOT_HEADER_LEN));
     }
-    if bytes[0..4] != SNAPSHOT_MAGIC {
+    if bytes.get(0..4) != Some(SNAPSHOT_MAGIC.as_slice()) {
         return Err(SnapshotDecodeError::BadMagic);
     }
-    let version = bytes[4];
+    let (Some(&version), Some(&alg), Some(&prof), Some(&raw_pairs)) =
+        (bytes.get(4), bytes.get(5), bytes.get(6), bytes.get(7))
+    else {
+        return Err(truncated(SNAPSHOT_HEADER_LEN));
+    };
     if version != SNAPSHOT_VERSION && version != SNAPSHOT_VERSION_V1 {
         return Err(SnapshotDecodeError::UnsupportedVersion(version));
     }
-    let algorithm = match bytes[5] {
+    let algorithm = match alg {
         0 => Algorithm::Hhea,
         1 => Algorithm::Mhhea,
         other => return Err(SnapshotDecodeError::UnknownAlgorithm(other)),
     };
-    let profile = match bytes[6] {
+    let profile = match prof {
         0 => Profile::Streaming,
         1 => Profile::HardwareFaithful,
         other => return Err(SnapshotDecodeError::UnknownProfile(other)),
     };
-    let pair_count = bytes[7] as usize;
+    let pair_count = raw_pairs as usize;
     if pair_count == 0 || pair_count > MAX_PAIRS {
-        return Err(SnapshotDecodeError::BadPairCount(bytes[7]));
+        return Err(SnapshotDecodeError::BadPairCount(raw_pairs));
     }
-    let id = StreamId(u64::from_le_bytes(bytes[8..16].try_into().expect("sized")));
-    let lfsr_state = u16::from_le_bytes(bytes[16..18].try_into().expect("sized"));
+    let Some(raw_id) = le_u64(bytes, 8) else {
+        return Err(truncated(SNAPSHOT_HEADER_LEN));
+    };
+    let id = StreamId(raw_id);
+    let Some(lfsr_state) = le_u16(bytes, 16) else {
+        return Err(truncated(SNAPSHOT_HEADER_LEN));
+    };
     if lfsr_state == 0 {
         return Err(SnapshotDecodeError::ZeroLfsrState);
     }
-    let enc_cursor =
-        StreamCursor::from_bytes(&bytes[18..27]).map_err(SnapshotDecodeError::Cursor)?;
-    let dec_cursor =
-        StreamCursor::from_bytes(&bytes[27..36]).map_err(SnapshotDecodeError::Cursor)?;
+    let Some(enc_bytes) = bytes.get(18..27) else {
+        return Err(truncated(SNAPSHOT_HEADER_LEN));
+    };
+    let enc_cursor = StreamCursor::from_bytes(enc_bytes).map_err(SnapshotDecodeError::Cursor)?;
+    let Some(dec_bytes) = bytes.get(27..36) else {
+        return Err(truncated(SNAPSHOT_HEADER_LEN));
+    };
+    let dec_cursor = StreamCursor::from_bytes(dec_bytes).map_err(SnapshotDecodeError::Cursor)?;
     let (epoch, ring, key) = if version == SNAPSHOT_VERSION_V1 {
         // Legacy: key pairs follow the cursors directly; no rotation
         // state, so the stream restores at epoch 0 without a ring.
         let need = SNAPSHOT_HEADER_LEN + pair_count;
-        if bytes.len() < need {
-            return Err(SnapshotDecodeError::Truncated {
-                need,
-                have: bytes.len(),
-            });
-        }
-        let key = key_from_pair_bytes(&bytes[SNAPSHOT_HEADER_LEN..need])?;
+        let Some(key_bytes) = bytes.get(SNAPSHOT_HEADER_LEN..need) else {
+            return Err(truncated(need));
+        };
+        let key = key_from_pair_bytes(key_bytes)?;
         (0u32, None, key)
     } else {
-        if bytes.len() < SNAPSHOT_V2_HEADER_LEN {
-            return Err(SnapshotDecodeError::Truncated {
-                need: SNAPSHOT_V2_HEADER_LEN,
-                have: bytes.len(),
-            });
-        }
-        let epoch = u32::from_le_bytes(bytes[36..40].try_into().expect("sized"));
-        let master_seed = u16::from_le_bytes(bytes[40..42].try_into().expect("sized"));
-        let ring_count = bytes[42] as usize;
+        let (Some(epoch), Some(master_seed), Some(&ring_count)) =
+            (le_u32(bytes, 36), le_u16(bytes, 40), bytes.get(42))
+        else {
+            return Err(truncated(SNAPSHOT_V2_HEADER_LEN));
+        };
+        let ring_count = ring_count as usize;
         let need = SNAPSHOT_V2_HEADER_LEN + pair_count;
-        if bytes.len() < need {
-            return Err(SnapshotDecodeError::Truncated {
-                need,
-                have: bytes.len(),
-            });
-        }
-        let key = key_from_pair_bytes(&bytes[SNAPSHOT_V2_HEADER_LEN..need])?;
+        let Some(key_bytes) = bytes.get(SNAPSHOT_V2_HEADER_LEN..need) else {
+            return Err(truncated(need));
+        };
+        let key = key_from_pair_bytes(key_bytes)?;
         let ring = if ring_count > 0 {
             if master_seed == 0 {
                 return Err(SnapshotDecodeError::ZeroRingSeed);
@@ -1203,8 +1436,10 @@ fn decode_snapshot(bytes: &[u8]) -> Result<(StreamId, StreamState), SnapshotDeco
         (epoch, ring, key)
     };
     // A fresh LfsrSource at the snapshotted state continues the exact
-    // vector sequence: state() is the register before the next leap.
-    let source = LfsrSource::new(lfsr_state).expect("validated nonzero");
+    // vector sequence: state() is the register before the next leap. The
+    // state was validated nonzero above, so the error arm is unreachable
+    // but keeps the serving path total.
+    let source = LfsrSource::new(lfsr_state).map_err(|_| SnapshotDecodeError::ZeroLfsrState)?;
     let mut enc = EncryptSession::with_options(key.clone(), source, algorithm, profile);
     enc.set_cursor(enc_cursor);
     enc.set_epoch(epoch);
@@ -1615,6 +1850,59 @@ mod tests {
             decode_snapshot(&bad).unwrap_err(),
             SnapshotDecodeError::BadPairCount(17)
         );
+    }
+
+    /// White-box: the lane prepass engages for a compatible group, removes
+    /// the laned items (bit-exact vs scalar), and leaves ineligible ops —
+    /// hardware-faithful streams, repeat messages — on the scalar path.
+    #[test]
+    fn lane_prepass_packs_compatible_first_ops() {
+        let mux = StreamMux::with_shards(1);
+        for id in 0..19u64 {
+            mux.open(StreamId(id), StreamConfig::new(key())).unwrap();
+        }
+        // Stream 19 is hardware-faithful: never laned.
+        mux.open(
+            StreamId(19),
+            StreamConfig::new(key()).with_profile(Profile::HardwareFaithful),
+        )
+        .unwrap();
+        let reference = StreamMux::with_shards(1);
+        for id in 0..19u64 {
+            reference
+                .open(StreamId(id), StreamConfig::new(key()))
+                .unwrap();
+        }
+        let mut items: ShardItems<Vec<u8>> = (0..20u64)
+            .map(|id| (id as usize, StreamId(id), format!("msg {id}").into_bytes()))
+            .collect();
+        // A second message on stream 0 must stay scalar (order!).
+        items.push((20, StreamId(0), b"second".to_vec()));
+        let mut shard = lock_shard(&mux.inner.shards[0]);
+        let done = lane_prepass(&mut shard, &mut items, |m: &Vec<u8>| Some(m.as_slice()));
+        drop(shard);
+        assert_eq!(done.len(), 19, "19 compatible first ops lane-pack");
+        assert_eq!(items.len(), 2, "HW stream + repeat message stay scalar");
+        for (pos, id, msg, blocks) in done {
+            assert_eq!(pos, id.0 as usize);
+            assert_eq!(blocks, reference.encrypt(id, &msg).unwrap());
+        }
+    }
+
+    #[test]
+    fn lane_prepass_skips_below_threshold() {
+        let mux = StreamMux::with_shards(1);
+        let few = LANE_THRESHOLD as u64 - 1;
+        for id in 0..few {
+            mux.open(StreamId(id), StreamConfig::new(key())).unwrap();
+        }
+        let mut items: ShardItems<Vec<u8>> = (0..few)
+            .map(|id| (id as usize, StreamId(id), vec![0xAB; 8]))
+            .collect();
+        let mut shard = lock_shard(&mux.inner.shards[0]);
+        let done = lane_prepass(&mut shard, &mut items, |m: &Vec<u8>| Some(m.as_slice()));
+        assert!(done.is_empty(), "below threshold nothing lanes");
+        assert_eq!(items.len(), few as usize);
     }
 
     #[test]

@@ -21,8 +21,14 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
-/// Default chunk size for [`crate::container::SealV2Options`]: 64 KiB.
-pub const DEFAULT_CHUNK_BYTES: usize = 64 * 1024;
+/// Default chunk size for [`crate::container::SealV2Options`]: 16 KiB.
+///
+/// Sized so that a 1 MiB payload fans out into 64 chunks — one full
+/// lane-engine batch ([`crate::lanes::MAX_LANES`]) — while each chunk
+/// stays large enough that the per-chunk frame overhead is noise. The
+/// format is self-describing, so containers sealed with the old 64 KiB
+/// default still open unchanged.
+pub const DEFAULT_CHUNK_BYTES: usize = 16 * 1024;
 
 /// Derives the per-chunk LFSR seed from a master seed and chunk index.
 ///
@@ -146,19 +152,22 @@ impl WorkerPool {
         let workers = resolve_workers(requested, usize::MAX);
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
-        let handles = (0..workers)
-            .map(|i| {
+        let handles: Vec<JoinHandle<()>> = (0..workers)
+            .filter_map(|i| {
                 let rx = Arc::clone(&rx);
+                // A failed spawn (thread exhaustion) shrinks the pool
+                // instead of panicking; with zero workers every map runs
+                // inline on the submitting thread.
                 std::thread::Builder::new()
                     .name(format!("mhhea-pool-{i}"))
                     .spawn(move || Self::worker_loop(&rx))
-                    .expect("spawn pool worker")
+                    .ok()
             })
             .collect();
         WorkerPool {
             injector: Some(tx),
+            workers: handles.len(),
             handles,
-            workers,
         }
     }
 
@@ -194,16 +203,19 @@ impl WorkerPool {
 
     /// Submits one fire-and-forget job.
     ///
-    /// # Panics
-    ///
-    /// Panics if called on a pool mid-shutdown (impossible through the
-    /// public API: `shutdown` consumes the pool).
+    /// The job is guaranteed to run: if the pool has no live worker to
+    /// hand it to (every spawn failed, or the pool is mid-shutdown —
+    /// neither reachable through the public API), it runs inline on the
+    /// calling thread instead of being lost.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
-        self.injector
-            .as_ref()
-            .expect("pool is shut down")
-            .send(Box::new(job))
-            .expect("pool workers exited early");
+        let job: Job = Box::new(job);
+        let Some(tx) = self.injector.as_ref() else {
+            return job();
+        };
+        if let Err(returned) = tx.send(job) {
+            // Every worker has exited; the send hands the job back.
+            (returned.0)();
+        }
     }
 
     /// Maps `f` over `items` with at most `max_parallel` jobs in flight,
@@ -251,7 +263,9 @@ impl WorkerPool {
         type ShardResult<U> = (usize, std::thread::Result<Vec<U>>);
         let (tx, rx) = channel::<ShardResult<U>>();
         let mut shards = shards.into_iter();
-        let (base0, shard0) = shards.next().expect("jobs > 1 implies a shard");
+        let Some((base0, shard0)) = shards.next() else {
+            return Vec::new(); // jobs > 1 implies a shard; stay total
+        };
         let submitted = shards.len();
         for (slot, (base, shard)) in shards.enumerate() {
             let f = Arc::clone(&f);
@@ -280,9 +294,16 @@ impl WorkerPool {
         let mut collected: Vec<Option<Vec<U>>> = (0..submitted).map(|_| None).collect();
         let mut panic_payload = None;
         for _ in 0..submitted {
-            let (slot, out) = rx.recv().expect("pool worker vanished mid-batch");
+            // `execute` guarantees each job runs (inline at worst), so
+            // every sender reports; a failed recv means a worker died
+            // unnaturally and the remaining shards are gone.
+            let Ok((slot, out)) = rx.recv() else { break };
             match out {
-                Ok(v) => collected[slot] = Some(v),
+                Ok(v) => {
+                    if let Some(c) = collected.get_mut(slot) {
+                        *c = Some(v);
+                    }
+                }
                 Err(p) => panic_payload = Some(p),
             }
         }
@@ -291,7 +312,13 @@ impl WorkerPool {
         }
         let mut out = first;
         for shard in collected {
-            out.extend(shard.expect("all non-panicked shards reported"));
+            let Some(v) = shard else {
+                // Unreachable (see above): surface in debug, stay total
+                // in release rather than panic the serving path.
+                debug_assert!(false, "pool worker vanished mid-batch");
+                continue;
+            };
+            out.extend(v);
         }
         out
     }
