@@ -22,11 +22,12 @@ use mhhea_net::client::NetClient;
 use mhhea_net::frame::Hello;
 use mhhea_net::server::{NetServer, ServerConfig};
 
-/// The PR this snapshot's bench-point set dates from — bumped when the
-/// set changes shape, so files stay self-describing. The default output
-/// name tracks the newest existing `BENCH_<n>.json` instead (see
-/// `next_snapshot_name`), so every PR can lay down its own data point
-/// without touching this constant.
+/// Seeds the numbering when the output directory holds no snapshots at
+/// all (see `next_snapshot_name`) and backstops the `"pr"` stamp for
+/// explicit output paths that don't follow the `BENCH_<n>.json`
+/// convention. The stamp itself is derived from the resolved output
+/// name (see `pr_for_output`), so a snapshot named `BENCH_9.json` says
+/// `"pr": 9` no matter when this constant was last touched.
 const PR: u32 = 6;
 const WARMUP_ITERS: usize = 2;
 const TIMED_ITERS: usize = 5;
@@ -184,6 +185,30 @@ fn bench_net_loopback(points: &mut Vec<Point>) {
     }
 }
 
+/// Ephemeral onboarding: one full MHKX handshake per iteration — TCP
+/// connect, both X25519 exchanges, the KDF on each side, four frames on
+/// the wire — measuring what serving a keyless client costs end to end.
+fn bench_net_ephemeral_handshake(points: &mut Vec<Point>) {
+    let server = NetServer::spawn("127.0.0.1:0", ServerConfig::new([]).with_ephemeral_keys())
+        .expect("bind bench server");
+    // A fresh stream id per iteration: the dropped connection's stream
+    // parks as a snapshot, which would refuse a same-id re-open.
+    let mut next_stream = 1u64;
+    points.push(Point {
+        bench: "net_ephemeral_handshake",
+        // A handshake moves no payload; the datum is its latency.
+        bytes_per_iter: 0,
+        ns_median: time_median(|| {
+            let (client, session) =
+                NetClient::connect_ephemeral(server.addr(), next_stream).expect("handshake");
+            assert_ne!(session.seed, 0);
+            next_stream += 1;
+            drop(client);
+        }),
+    });
+    server.stop();
+}
+
 /// Checks loopback TCP is available (sandboxed builders may deny it);
 /// net points are skipped, not failed, when it is not.
 fn loopback_available() -> bool {
@@ -225,6 +250,22 @@ fn next_snapshot_name(dir: &std::path::Path) -> String {
     }
 }
 
+/// The PR number stamped into the snapshot's `"pr"` field: the `<n>` of
+/// the resolved `BENCH_<n>.json` output name, so the stamp always agrees
+/// with the file the trajectory tooling indexes it under. An explicit
+/// output path outside the convention falls back to [`PR`].
+fn pr_for_output(path: &std::path::Path) -> u32 {
+    path.file_name()
+        .and_then(|name| name.to_str())
+        .and_then(|name| {
+            name.strip_prefix("BENCH_")?
+                .strip_suffix(".json")?
+                .parse()
+                .ok()
+        })
+        .unwrap_or(PR)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -235,15 +276,17 @@ fn main() {
     bench_gateway_batch(&mut points);
     if loopback_available() {
         bench_net_loopback(&mut points);
+        bench_net_ephemeral_handshake(&mut points);
     } else {
         eprintln!("loopback TCP unavailable; skipping net_loopback points");
     }
 
     let cpus = std::thread::available_parallelism().map_or(0, usize::from);
+    let pr = pr_for_output(std::path::Path::new(&out_path));
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"schema\": \"mhhea-bench-snapshot/1\",");
-    let _ = writeln!(json, "  \"pr\": {PR},");
+    let _ = writeln!(json, "  \"pr\": {pr},");
     let _ = writeln!(
         json,
         "  \"fingerprint\": {{ \"arch\": \"{}\", \"os\": \"{}\", \"cpus\": {} }},",
@@ -336,6 +379,20 @@ mod tests {
     fn empty_directory_starts_at_pr() {
         let s = Scratch::with_files("empty", &[]);
         assert_eq!(next_snapshot_name(&s.0), format!("BENCH_{PR}.json"));
+    }
+
+    #[test]
+    fn pr_stamp_follows_output_name() {
+        // The regression this pins: PR 9's snapshot must say "pr": 9
+        // even though the binary's own constant says 6.
+        assert_eq!(pr_for_output(std::path::Path::new("BENCH_9.json")), 9);
+        assert_eq!(
+            pr_for_output(std::path::Path::new("/some/dir/BENCH_42.json")),
+            42
+        );
+        // Outside the convention, the constant backstops the stamp.
+        assert_eq!(pr_for_output(std::path::Path::new("custom-out.json")), PR);
+        assert_eq!(pr_for_output(std::path::Path::new("BENCH_X.json")), PR);
     }
 
     #[test]

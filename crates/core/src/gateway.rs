@@ -503,6 +503,31 @@ impl StreamState {
         self.epoch = epoch;
         Ok(epoch)
     }
+
+    /// Rotates both sessions to `epoch` with externally derived material
+    /// (a fresh Diffie–Hellman exchange) instead of a ring lookup. The
+    /// stream's ring is replaced by a single-entry ring holding exactly
+    /// this key and seed, so snapshots of the stream stay restorable.
+    fn rekey_with(&mut self, key: Key, seed: u16, epoch: u32) -> Result<u32, GatewayError> {
+        if epoch <= self.epoch {
+            return Err(GatewayError::StaleEpoch {
+                current: self.epoch,
+                requested: epoch,
+            });
+        }
+        // A single-key ring only rejects a zero master seed, exactly the
+        // condition `LfsrSource::new` rejects below.
+        let ring = KeyRing::single(key.clone(), seed)
+            .map_err(|_| GatewayError::Engine(MhheaError::InvalidSeed))?;
+        let source =
+            LfsrSource::new(seed).map_err(|_| GatewayError::Engine(MhheaError::InvalidSeed))?;
+        self.enc.rekey_with(key.clone(), source, epoch)?;
+        self.dec.rekey_with(key.clone(), epoch)?;
+        self.key = key;
+        self.ring = Some(ring);
+        self.epoch = epoch;
+        Ok(epoch)
+    }
 }
 
 type Shard = Mutex<HashMap<u64, StreamState>>;
@@ -739,6 +764,31 @@ impl StreamMux {
     /// On every error the stream is untouched and fully usable.
     pub fn rekey(&self, id: StreamId, epoch: u32) -> Result<u32, GatewayError> {
         self.inner.with_stream(id, |s| s.rekey(id, epoch))
+    }
+
+    /// Rotates one stream (both directions, atomically) to `epoch` using
+    /// externally derived material — a fresh Diffie–Hellman exchange —
+    /// instead of a ring lookup: the supplied key, an LFSR reseed from
+    /// the supplied seed, both cursors back at the stream origin. The
+    /// stream's ring is replaced by a single-entry ring holding exactly
+    /// this material, so later snapshots and ring rekeys stay coherent.
+    /// Returns the epoch now in force.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownStream`]; [`GatewayError::StaleEpoch`]
+    /// unless `epoch` is strictly newer than the stream's current epoch;
+    /// [`GatewayError::Engine`] for a zero `seed`. On every error the
+    /// stream is untouched and fully usable.
+    pub fn rekey_with(
+        &self,
+        id: StreamId,
+        epoch: u32,
+        key: Key,
+        seed: u16,
+    ) -> Result<u32, GatewayError> {
+        self.inner
+            .with_stream(id, |s| s.rekey_with(key, seed, epoch))
     }
 
     /// Runs `op` over a whole batch with one pool submission per busy
@@ -1186,7 +1236,9 @@ fn encode_frame(id: StreamId, bit_len: usize, blocks: &[u16]) -> Vec<u8> {
     out.push(FRAME_VERSION);
     out.extend_from_slice(&[0, 0, 0]); // reserved
     out.extend_from_slice(&id.0.to_le_bytes());
+    // lint: allow(truncating-cast, reason = "callers reject messages over MAX_FRAME_MESSAGE_BYTES = u32::MAX/8, so bit_len = len*8 fits u32")
     out.extend_from_slice(&(bit_len as u32).to_le_bytes());
+    // lint: allow(truncating-cast, reason = "the engine emits at most one block per plaintext bit, and bit_len fits u32 (see above)")
     out.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
     for b in blocks {
         out.extend_from_slice(&b.to_le_bytes());
@@ -1292,6 +1344,7 @@ fn encode_snapshot(id: StreamId, state: &StreamState) -> Vec<u8> {
     out.push(SNAPSHOT_VERSION);
     out.push(algorithm_tag(state.algorithm));
     out.push(profile_tag(state.profile));
+    // lint: allow(truncating-cast, reason = "Key::from_nibbles caps a key at MAX_PAIRS = 16 pairs")
     out.push(pairs.len() as u8);
     out.extend_from_slice(&id.0.to_le_bytes());
     out.extend_from_slice(&state.enc.source().state().to_le_bytes());
@@ -1301,10 +1354,12 @@ fn encode_snapshot(id: StreamId, state: &StreamState) -> Vec<u8> {
     match &state.ring {
         Some(ring) => {
             out.extend_from_slice(&ring.master_seed().to_le_bytes());
+            // lint: allow(truncating-cast, reason = "KeyRing::new caps a ring at MAX_RING_KEYS = 255 keys")
             out.push(ring.len() as u8);
             out.push(0); // reserved
             push_pairs(&mut out, &state.key);
             for key in ring.keys() {
+                // lint: allow(truncating-cast, reason = "Key::from_nibbles caps a key at MAX_PAIRS = 16 pairs")
                 out.push(key.len() as u8);
                 push_pairs(&mut out, key);
             }
@@ -1326,6 +1381,7 @@ fn take_key(bytes: &[u8], at: &mut usize) -> Result<Key, SnapshotDecodeError> {
         have: bytes.len(),
     })? as usize;
     if count == 0 || count > MAX_PAIRS {
+        // lint: allow(truncating-cast, reason = "count was widened from the single snapshot byte read above, so it is < 256")
         return Err(SnapshotDecodeError::BadPairCount(count as u8));
     }
     let need = *at + 1 + count;

@@ -254,6 +254,77 @@ fn submit_batch_unknown_streams_fail_alone() {
 /// The acceptance bar: the gateway sustains well over 1,000 concurrent
 /// streams, and every one of them round-trips through a batched
 /// seal/open cycle.
+/// `rekey_with` installs externally derived material (the MHKX path):
+/// the rotated stream matches a fresh session built from the same key
+/// and seed, the stale-epoch guard holds, a zero seed is refused without
+/// touching the stream, and the installed single-key ring survives an
+/// evict/restore cycle.
+#[test]
+fn rekey_with_installs_derived_material() {
+    use mhhea::session::{DecryptSession, EncryptSession};
+    use mhhea::LfsrSource;
+
+    let mux = StreamMux::with_shards(4);
+    // Opened without a ring: `rekey` has nothing to rotate to, but
+    // `rekey_with` brings its own material.
+    mux.open(StreamId(1), StreamConfig::new(key())).unwrap();
+    mux.encrypt(StreamId(1), b"epoch zero traffic").unwrap();
+    assert!(matches!(
+        mux.rekey(StreamId(1), 1),
+        Err(GatewayError::NoKeyRing(StreamId(1)))
+    ));
+
+    let derived = Key::from_nibbles(&[(1, 6), (3, 2), (5, 5)]).unwrap();
+    // A zero seed is rejected and the stream is untouched.
+    assert!(mux.rekey_with(StreamId(1), 1, derived.clone(), 0).is_err());
+    assert_eq!(mux.epoch(StreamId(1)).unwrap(), 0);
+
+    assert_eq!(
+        mux.rekey_with(StreamId(1), 1, derived.clone(), 0xBEEF)
+            .unwrap(),
+        1
+    );
+    // Not newer: refused, both for rekey_with and a ring rekey against
+    // the single-entry ring it installed.
+    assert!(matches!(
+        mux.rekey_with(StreamId(1), 1, derived.clone(), 0xBEEF),
+        Err(GatewayError::StaleEpoch {
+            current: 1,
+            requested: 1
+        })
+    ));
+
+    // The rotated stream seals exactly like a fresh session built from
+    // the derived material.
+    let mut enc = EncryptSession::with_options(
+        derived.clone(),
+        LfsrSource::new(0xBEEF).unwrap(),
+        Algorithm::Mhhea,
+        Profile::Streaming,
+    );
+    enc.set_epoch(1);
+    let msg = b"fresh-DH epoch one";
+    let want = enc.encrypt(msg).unwrap();
+    assert_eq!(mux.encrypt(StreamId(1), msg).unwrap(), want);
+    let mut dec =
+        DecryptSession::with_options(derived.clone(), Algorithm::Mhhea, Profile::Streaming);
+    dec.set_epoch(1);
+    dec.decrypt(&want, msg.len() * 8).unwrap();
+
+    // The single-key ring rides the snapshot: evict, restore, continue
+    // bit-exactly, and a *ring* rekey now works (reseed-only rotation).
+    let snap = mux.evict(StreamId(1)).unwrap();
+    let mux = StreamMux::with_shards(7);
+    assert_eq!(mux.restore(&snap).unwrap(), StreamId(1));
+    assert_eq!(mux.epoch(StreamId(1)).unwrap(), 1);
+    let probe = b"post-restore probe";
+    assert_eq!(
+        mux.encrypt(StreamId(1), probe).unwrap(),
+        enc.encrypt(probe).unwrap()
+    );
+    assert_eq!(mux.rekey(StreamId(1), 2).unwrap(), 2);
+}
+
 #[test]
 fn thousand_streams_concurrent_roundtrip() {
     const STREAMS: u64 = 1200;

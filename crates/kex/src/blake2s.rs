@@ -1,0 +1,209 @@
+//! BLAKE2s-256 (RFC 7693), one-shot, optionally keyed.
+//!
+//! The KDF and key-confirmation tags of MHKX need one hash primitive;
+//! BLAKE2s is chosen because it is small enough to carry in-repo
+//! (one compression function, ten rounds, no tables beyond the
+//! sigma schedule) and publicly verifiable against RFC 7693 / the
+//! reference implementation's test vectors, which the tests below pin.
+
+/// Digest length in bytes (BLAKE2s-256).
+pub const DIGEST_LEN: usize = 32;
+
+/// Maximum key length for the keyed mode, per RFC 7693.
+pub const MAX_KEY_LEN: usize = 32;
+
+/// The BLAKE2s IV — the same constants as SHA-256's.
+const IV: [u32; 8] = [
+    0x6A09_E667,
+    0xBB67_AE85,
+    0x3C6E_F372,
+    0xA54F_F53A,
+    0x510E_527F,
+    0x9B05_688C,
+    0x1F83_D9AB,
+    0x5BE0_CD19,
+];
+
+/// Message-word permutation schedule, one row per round.
+const SIGMA: [[usize; 16]; 10] = [
+    [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+    [14, 10, 4, 8, 9, 15, 13, 6, 1, 12, 0, 2, 11, 7, 5, 3],
+    [11, 8, 12, 0, 5, 2, 15, 13, 10, 14, 3, 6, 7, 1, 9, 4],
+    [7, 9, 3, 1, 13, 12, 11, 14, 2, 6, 5, 10, 4, 0, 15, 8],
+    [9, 0, 5, 7, 2, 4, 10, 15, 14, 1, 11, 12, 6, 8, 3, 13],
+    [2, 12, 6, 10, 0, 11, 8, 3, 4, 13, 7, 5, 15, 14, 1, 9],
+    [12, 5, 1, 15, 14, 13, 4, 10, 0, 7, 6, 3, 9, 2, 8, 11],
+    [13, 11, 7, 14, 12, 1, 3, 9, 5, 0, 15, 4, 8, 6, 2, 10],
+    [6, 15, 14, 9, 11, 3, 0, 8, 12, 2, 13, 7, 1, 4, 10, 5],
+    [10, 2, 8, 4, 7, 6, 1, 5, 15, 11, 9, 14, 3, 12, 13, 0],
+];
+
+/// The G mixing function (rotations 16, 12, 8, 7).
+#[inline]
+fn g(v: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize, x: u32, y: u32) {
+    v[a] = v[a].wrapping_add(v[b]).wrapping_add(x);
+    v[d] = (v[d] ^ v[a]).rotate_right(16);
+    v[c] = v[c].wrapping_add(v[d]);
+    v[b] = (v[b] ^ v[c]).rotate_right(12);
+    v[a] = v[a].wrapping_add(v[b]).wrapping_add(y);
+    v[d] = (v[d] ^ v[a]).rotate_right(8);
+    v[c] = v[c].wrapping_add(v[d]);
+    v[b] = (v[b] ^ v[c]).rotate_right(7);
+}
+
+/// Compresses one 64-byte block into the state. `t` is the total byte
+/// count fed so far including this block; `last` finalizes.
+fn compress(h: &mut [u32; 8], block: &[u8; 64], t: u64, last: bool) {
+    let mut m = [0u32; 16];
+    for (i, word) in m.iter_mut().enumerate() {
+        let mut w = [0u8; 4];
+        w.copy_from_slice(&block[4 * i..4 * i + 4]);
+        *word = u32::from_le_bytes(w);
+    }
+
+    let mut v = [0u32; 16];
+    v[..8].copy_from_slice(h);
+    v[8..].copy_from_slice(&IV);
+    v[12] ^= t as u32;
+    v[13] ^= (t >> 32) as u32;
+    if last {
+        v[14] = !v[14];
+    }
+
+    for s in &SIGMA {
+        g(&mut v, 0, 4, 8, 12, m[s[0]], m[s[1]]);
+        g(&mut v, 1, 5, 9, 13, m[s[2]], m[s[3]]);
+        g(&mut v, 2, 6, 10, 14, m[s[4]], m[s[5]]);
+        g(&mut v, 3, 7, 11, 15, m[s[6]], m[s[7]]);
+        g(&mut v, 0, 5, 10, 15, m[s[8]], m[s[9]]);
+        g(&mut v, 1, 6, 11, 12, m[s[10]], m[s[11]]);
+        g(&mut v, 2, 7, 8, 13, m[s[12]], m[s[13]]);
+        g(&mut v, 3, 4, 9, 14, m[s[14]], m[s[15]]);
+    }
+
+    for i in 0..8 {
+        h[i] ^= v[i] ^ v[i + 8];
+    }
+}
+
+/// BLAKE2s-256 of `data` under an optional `key` (≤ 32 bytes; an empty
+/// key selects the unkeyed mode). The keyed mode is RFC 7693's: the key
+/// is zero-padded to a full first block and counted as 64 input bytes.
+pub fn blake2s(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
+    assert!(key.len() <= MAX_KEY_LEN, "BLAKE2s key exceeds 32 bytes");
+
+    let mut h = IV;
+    // Parameter block word 0: digest length, key length, fanout 1,
+    // depth 1 — the sequential-mode header.
+    h[0] ^= 0x0101_0000 ^ ((key.len() as u32) << 8) ^ DIGEST_LEN as u32;
+
+    let mut t: u64 = 0;
+    if !key.is_empty() {
+        let mut block = [0u8; 64];
+        block[..key.len()].copy_from_slice(key);
+        t += 64;
+        // A keyed hash of an empty message ends on the key block.
+        if data.is_empty() {
+            compress(&mut h, &block, t, true);
+            return digest_of(&h);
+        }
+        compress(&mut h, &block, t, false);
+    }
+
+    // Process every full block except the final one, which is padded
+    // and compressed with the finalization flag even when exactly full.
+    let mut chunks = data.chunks(64).peekable();
+    loop {
+        let Some(chunk) = chunks.next() else {
+            // Unkeyed empty input: one all-zero final block, t = 0.
+            let block = [0u8; 64];
+            compress(&mut h, &block, 0, true);
+            break;
+        };
+        let mut block = [0u8; 64];
+        block[..chunk.len()].copy_from_slice(chunk);
+        t += chunk.len() as u64;
+        let last = chunks.peek().is_none();
+        compress(&mut h, &block, t, last);
+        if last {
+            break;
+        }
+    }
+    digest_of(&h)
+}
+
+fn digest_of(h: &[u32; 8]) -> [u8; DIGEST_LEN] {
+    let mut out = [0u8; DIGEST_LEN];
+    for (i, word) in h.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_message_kat() {
+        // RFC 7693 reference vector: BLAKE2s-256("").
+        assert_eq!(
+            hex(&blake2s(b"", b"")),
+            "69217a3079908094e11121d042354a7c1f55b6482ca1a51e1b250dfd1ed0eef9"
+        );
+    }
+
+    #[test]
+    fn abc_kat() {
+        // RFC 7693 Appendix B: BLAKE2s-256("abc").
+        assert_eq!(
+            hex(&blake2s(b"", b"abc")),
+            "508c5e8c327c14e2e1a72ba34eeb452f37458b209ed63a294d999b4c86675982"
+        );
+    }
+
+    #[test]
+    fn multi_block_input() {
+        // 129 bytes = two full blocks + 1: exercises the non-final /
+        // final compress split and the running byte counter.
+        let data: Vec<u8> = (0..129u8).collect();
+        let d = blake2s(b"", &data);
+        // Self-consistency (prefixes differ) rather than an external
+        // vector; the one-block KATs above pin the primitive itself.
+        assert_ne!(d, blake2s(b"", &data[..128]));
+        assert_ne!(d, blake2s(b"", &data[..64]));
+        assert_eq!(d, blake2s(b"", &data));
+    }
+
+    #[test]
+    fn keyed_mode_separates_from_prefixing() {
+        // Keyed BLAKE2s is not hash(key ∥ msg): the key block is padded
+        // to 64 bytes and the parameter word changes.
+        let key = b"0123456789abcdef";
+        let msg = b"message";
+        let keyed = blake2s(key, msg);
+        let mut cat = key.to_vec();
+        cat.extend_from_slice(msg);
+        assert_ne!(keyed, blake2s(b"", &cat));
+        // Deterministic, and sensitive to the key.
+        assert_eq!(keyed, blake2s(key, msg));
+        assert_ne!(keyed, blake2s(b"0123456789abcdeX", msg));
+    }
+
+    #[test]
+    fn keyed_empty_message_is_defined() {
+        // Ends on the key block with the final flag; must not panic and
+        // must depend on the key.
+        assert_ne!(blake2s(b"k1", b""), blake2s(b"k2", b""));
+    }
+
+    #[test]
+    #[should_panic(expected = "key exceeds")]
+    fn oversized_key_panics() {
+        let _ = blake2s(&[0u8; 33], b"");
+    }
+}

@@ -1,0 +1,330 @@
+//! Arithmetic in GF(2²⁵⁵ − 19) on fixed-width 5×51-bit limbs.
+//!
+//! The representation is the classic "donna" radix-2⁵¹ layout: limb `i`
+//! carries bits `[51·i, 51·i + 51)` of the value, each limb a `u64`
+//! holding at most a few bits of slack above 2⁵¹, and every product
+//! accumulates in `u128` before one carry pass folds the overflow back
+//! through the `19·x` reduction identity (`2²⁵⁵ ≡ 19 (mod p)`).
+//!
+//! Every operation here is branch-free in the data: limb counts, loop
+//! trip counts and carry chains are fixed, and conditional state moves
+//! go through [`Fe::cswap`]'s mask arithmetic — the property the
+//! Montgomery ladder in [`crate::x25519`] relies on.
+
+/// Mask of one full 51-bit limb.
+const MASK51: u64 = (1 << 51) - 1;
+
+/// A field element of GF(2²⁵⁵ − 19), five 51-bit limbs, little-endian.
+///
+/// Values are kept *loosely* reduced (limbs may exceed 2⁵¹ by a few
+/// bits between operations); [`Fe::to_bytes`] performs the canonical
+/// reduction to `[0, p)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Fe(pub [u64; 5]);
+
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe([0; 5]);
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    /// Loads a little-endian 32-byte string, ignoring the top bit of
+    /// the final byte as RFC 7748 §5 prescribes for u-coordinates.
+    pub fn from_bytes(b: &[u8; 32]) -> Fe {
+        let load8 = |s: &[u8]| -> u64 {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(s);
+            u64::from_le_bytes(w)
+        };
+        Fe([
+            load8(&b[0..8]) & MASK51,
+            (load8(&b[6..14]) >> 3) & MASK51,
+            (load8(&b[12..20]) >> 6) & MASK51,
+            (load8(&b[19..27]) >> 1) & MASK51,
+            // The >> 12 places bit 204 at position 0; the mask keeps 51
+            // bits, dropping bit 255 of the input (the RFC's mask).
+            (load8(&b[24..32]) >> 12) & MASK51,
+        ])
+    }
+
+    /// Serializes to the canonical little-endian representative in
+    /// `[0, p)`.
+    pub fn to_bytes(self) -> [u8; 32] {
+        // One weak pass brings every limb under 2⁵¹ + ε.
+        let mut l = Fe::reduce(self.0).0;
+
+        // Compute q = ⌊(value + 19) / 2²⁵⁵⌋ ∈ {0, 1}: 1 exactly when the
+        // value is in [p, 2²⁵⁵), i.e. when adding 19 overflows bit 255.
+        let mut q = (l[0] + 19) >> 51;
+        q = (l[1] + q) >> 51;
+        q = (l[2] + q) >> 51;
+        q = (l[3] + q) >> 51;
+        q = (l[4] + q) >> 51;
+
+        // value mod p = value + 19·q, truncated at bit 255.
+        l[0] += 19 * q;
+        let c = l[0] >> 51;
+        l[0] &= MASK51;
+        l[1] += c;
+        let c = l[1] >> 51;
+        l[1] &= MASK51;
+        l[2] += c;
+        let c = l[2] >> 51;
+        l[2] &= MASK51;
+        l[3] += c;
+        let c = l[3] >> 51;
+        l[3] &= MASK51;
+        l[4] += c;
+        l[4] &= MASK51;
+
+        let w0 = l[0] | (l[1] << 51);
+        let w1 = (l[1] >> 13) | (l[2] << 38);
+        let w2 = (l[2] >> 26) | (l[3] << 25);
+        let w3 = (l[3] >> 39) | (l[4] << 12);
+        let mut out = [0u8; 32];
+        out[0..8].copy_from_slice(&w0.to_le_bytes());
+        out[8..16].copy_from_slice(&w1.to_le_bytes());
+        out[16..24].copy_from_slice(&w2.to_le_bytes());
+        out[24..32].copy_from_slice(&w3.to_le_bytes());
+        out
+    }
+
+    /// One carry pass: folds every limb's overflow into its neighbour
+    /// and the top limb's overflow into limb 0 via `2²⁵⁵ ≡ 19`.
+    fn reduce(mut l: [u64; 5]) -> Fe {
+        let c0 = l[0] >> 51;
+        let c1 = l[1] >> 51;
+        let c2 = l[2] >> 51;
+        let c3 = l[3] >> 51;
+        let c4 = l[4] >> 51;
+        l[0] &= MASK51;
+        l[1] &= MASK51;
+        l[2] &= MASK51;
+        l[3] &= MASK51;
+        l[4] &= MASK51;
+        l[0] += c4 * 19;
+        l[1] += c0;
+        l[2] += c1;
+        l[3] += c2;
+        l[4] += c3;
+        Fe(l)
+    }
+
+    /// Sum; no carry needed between a bounded number of additions.
+    pub fn add(self, rhs: Fe) -> Fe {
+        Fe([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+            self.0[3] + rhs.0[3],
+            self.0[4] + rhs.0[4],
+        ])
+    }
+
+    /// Difference. To keep the subtraction branch-free and underflow-
+    /// free for any loosely-reduced operand, 16·p (≡ 0 mod p) is added
+    /// first; the constants are 16·p's limbs with 16 borrowed across
+    /// each limb boundary (2⁵⁵ − 304 for limb 0, 2⁵⁵ − 16 above).
+    pub fn sub(self, rhs: Fe) -> Fe {
+        Fe::reduce([
+            (self.0[0] + 36_028_797_018_963_664) - rhs.0[0],
+            (self.0[1] + 36_028_797_018_963_952) - rhs.0[1],
+            (self.0[2] + 36_028_797_018_963_952) - rhs.0[2],
+            (self.0[3] + 36_028_797_018_963_952) - rhs.0[3],
+            (self.0[4] + 36_028_797_018_963_952) - rhs.0[4],
+        ])
+    }
+
+    /// Schoolbook product with the wrap-around columns pre-scaled by 19
+    /// (`a_i·b_j·2^(51(i+j)) ≡ 19·a_i·b_j·2^(51(i+j−5))` once
+    /// `i + j ≥ 5`), accumulated in `u128`, then one carry chain.
+    pub fn mul(self, rhs: Fe) -> Fe {
+        let a = self.0;
+        let b = rhs.0;
+        let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
+        let b1 = b[1] * 19;
+        let b2 = b[2] * 19;
+        let b3 = b[3] * 19;
+        let b4 = b[4] * 19;
+
+        let c0 = m(a[0], b[0]) + m(a[4], b1) + m(a[3], b2) + m(a[2], b3) + m(a[1], b4);
+        let mut c1 = m(a[1], b[0]) + m(a[0], b[1]) + m(a[4], b2) + m(a[3], b3) + m(a[2], b4);
+        let mut c2 = m(a[2], b[0]) + m(a[1], b[1]) + m(a[0], b[2]) + m(a[4], b3) + m(a[3], b4);
+        let mut c3 = m(a[3], b[0]) + m(a[2], b[1]) + m(a[1], b[2]) + m(a[0], b[3]) + m(a[4], b4);
+        let mut c4 = m(a[4], b[0]) + m(a[3], b[1]) + m(a[2], b[2]) + m(a[1], b[3]) + m(a[0], b[4]);
+
+        let mut l = [0u64; 5];
+        l[0] = (c0 as u64) & MASK51;
+        c1 += c0 >> 51;
+        l[1] = (c1 as u64) & MASK51;
+        c2 += c1 >> 51;
+        l[2] = (c2 as u64) & MASK51;
+        c3 += c2 >> 51;
+        l[3] = (c3 as u64) & MASK51;
+        c4 += c3 >> 51;
+        l[4] = (c4 as u64) & MASK51;
+        let carry = (c4 >> 51) as u64;
+
+        l[0] += carry * 19;
+        let carry = l[0] >> 51;
+        l[0] &= MASK51;
+        l[1] += carry;
+        Fe(l)
+    }
+
+    /// Square (the ladder's hottest op; routed through [`Fe::mul`] —
+    /// this crate optimizes for auditability over cycle counts).
+    pub fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    /// `n` successive squarings.
+    fn sqn(self, n: u32) -> Fe {
+        let mut f = self;
+        for _ in 0..n {
+            f = f.square();
+        }
+        f
+    }
+
+    /// Product with a small scalar (the ladder's `a24 = 121665`).
+    pub fn mul_small(self, k: u32) -> Fe {
+        let k = k as u128;
+        let mut c = [0u128; 5];
+        for (wide, &limb) in c.iter_mut().zip(self.0.iter()) {
+            *wide = (limb as u128) * k;
+        }
+        let mut l = [0u64; 5];
+        l[0] = (c[0] as u64) & MASK51;
+        c[1] += c[0] >> 51;
+        l[1] = (c[1] as u64) & MASK51;
+        c[2] += c[1] >> 51;
+        l[2] = (c[2] as u64) & MASK51;
+        c[3] += c[2] >> 51;
+        l[3] = (c[3] as u64) & MASK51;
+        c[4] += c[3] >> 51;
+        l[4] = (c[4] as u64) & MASK51;
+        let carry = (c[4] >> 51) as u64;
+        l[0] += carry * 19;
+        Fe(l)
+    }
+
+    /// Multiplicative inverse by Fermat: `z^(p−2) = z^(2²⁵⁵ − 21)`,
+    /// computed with the standard 254-squaring addition chain. The
+    /// exponent is fixed, so the operation is constant-time; `1/0`
+    /// yields 0, which is exactly the behaviour the ladder's final
+    /// `x₂·z₂⁻¹` needs for low-order inputs (z₂ = 0 ⇒ output 0).
+    pub fn invert(self) -> Fe {
+        let z = self;
+        let z2 = z.square(); // 2
+        let z9 = z2.sqn(2).mul(z); // 9
+        let z11 = z9.mul(z2); // 11
+        let z2_5_0 = z11.square().mul(z9); // 2⁵ − 1
+        let z2_10_0 = z2_5_0.sqn(5).mul(z2_5_0); // 2¹⁰ − 1
+        let z2_20_0 = z2_10_0.sqn(10).mul(z2_10_0); // 2²⁰ − 1
+        let z2_40_0 = z2_20_0.sqn(20).mul(z2_20_0); // 2⁴⁰ − 1
+        let z2_50_0 = z2_40_0.sqn(10).mul(z2_10_0); // 2⁵⁰ − 1
+        let z2_100_0 = z2_50_0.sqn(50).mul(z2_50_0); // 2¹⁰⁰ − 1
+        let z2_200_0 = z2_100_0.sqn(100).mul(z2_100_0); // 2²⁰⁰ − 1
+        let z2_250_0 = z2_200_0.sqn(50).mul(z2_50_0); // 2²⁵⁰ − 1
+        z2_250_0.sqn(5).mul(z11) // 2²⁵⁵ − 21
+    }
+
+    /// Constant-time conditional swap: exchanges `a` and `b` iff
+    /// `swap == 1`, via a full-width mask — no data-dependent branch.
+    pub fn cswap(swap: u64, a: &mut Fe, b: &mut Fe) {
+        debug_assert!(swap <= 1, "cswap takes a single bit");
+        let mask = swap.wrapping_neg();
+        for i in 0..5 {
+            let t = mask & (a.0[i] ^ b.0[i]);
+            a.0[i] ^= t;
+            b.0[i] ^= t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(n: u64) -> Fe {
+        Fe([n, 0, 0, 0, 0])
+    }
+
+    #[test]
+    fn roundtrip_small_values() {
+        for n in [0u64, 1, 2, 19, 255, MASK51] {
+            let mut b = [0u8; 32];
+            b[0..8].copy_from_slice(&n.to_le_bytes());
+            assert_eq!(Fe::from_bytes(&b).to_bytes(), b, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn p_canonicalizes_to_zero() {
+        // p = 2²⁵⁵ − 19 serialized little-endian.
+        let mut p = [0xFF; 32];
+        p[0] = 0xED;
+        p[31] = 0x7F;
+        assert_eq!(Fe::from_bytes(&p).to_bytes(), [0u8; 32]);
+        // p + 1 ≡ 1.
+        let mut p1 = p;
+        p1[0] = 0xEE;
+        let mut one = [0u8; 32];
+        one[0] = 1;
+        assert_eq!(Fe::from_bytes(&p1).to_bytes(), one);
+    }
+
+    #[test]
+    fn top_bit_is_masked_on_load() {
+        // 2²⁵⁵ + 5 loads as 5: bit 255 is ignored per RFC 7748.
+        let mut b = [0u8; 32];
+        b[0] = 5;
+        b[31] = 0x80;
+        let mut five = [0u8; 32];
+        five[0] = 5;
+        assert_eq!(Fe::from_bytes(&b).to_bytes(), five);
+    }
+
+    #[test]
+    fn field_algebra_holds() {
+        let a = fe(0x1234_5678_9ABC);
+        let b = fe(0xFEDC_BA98);
+        // a − b + b = a
+        assert_eq!(a.sub(b).add(b).to_bytes(), a.to_bytes());
+        // a · 1 = a, a · 0 = 0
+        assert_eq!(a.mul(Fe::ONE).to_bytes(), a.to_bytes());
+        assert_eq!(a.mul(Fe::ZERO).to_bytes(), [0u8; 32]);
+        // distributivity: a·(b + c) = a·b + a·c
+        let c = fe(777);
+        assert_eq!(
+            a.mul(b.add(c)).to_bytes(),
+            a.mul(b).add(a.mul(c)).to_bytes()
+        );
+        // mul_small agrees with mul
+        assert_eq!(
+            a.mul_small(121_665).to_bytes(),
+            a.mul(fe(121_665)).to_bytes()
+        );
+    }
+
+    #[test]
+    fn inversion_in_the_group() {
+        let a = fe(0xDEAD_BEEF);
+        let mut one = [0u8; 32];
+        one[0] = 1;
+        assert_eq!(a.mul(a.invert()).to_bytes(), one);
+        // 0⁻¹ = 0 by the Fermat chain — the ladder's low-order escape.
+        assert_eq!(Fe::ZERO.invert().to_bytes(), [0u8; 32]);
+    }
+
+    #[test]
+    fn cswap_swaps_iff_bit_set() {
+        let mut a = fe(1);
+        let mut b = fe(2);
+        Fe::cswap(0, &mut a, &mut b);
+        assert_eq!((a.0[0], b.0[0]), (1, 2));
+        Fe::cswap(1, &mut a, &mut b);
+        assert_eq!((a.0[0], b.0[0]), (2, 1));
+    }
+}

@@ -1,0 +1,349 @@
+//! # mhhea-kex — MHKX, ephemeral key agreement for MHNP
+//!
+//! The MHNP `Hello` handshake names a pre-shared key; this crate is the
+//! keyless alternative: a zero-dependency X25519 implementation
+//! (RFC 7748 — fixed-width 5×51-bit field limbs, constant-time
+//! Montgomery ladder, clamping, all-zero shared-secret rejection) plus
+//! the small KDF that turns a Diffie–Hellman shared secret and a
+//! handshake transcript into exactly the material an MHHEA stream
+//! needs: 16 bytes of key-pair schedule (fed to `mhhea`'s
+//! `Key::from_bytes`), a nonzero 16-bit LFSR master seed, and the two
+//! key-confirmation tags the `KeyEx`/`KeyExAck` frames carry.
+//!
+//! The wire protocol that uses this crate is specified in
+//! `docs/PROTOCOL.md` §5.1; the server/client wiring lives in
+//! `mhhea-net`.
+//!
+//! ## Example
+//!
+//! ```
+//! use mhhea_kex::{derive_session, transcript, EphemeralSecret};
+//!
+//! let client = EphemeralSecret::generate();
+//! let server = EphemeralSecret::generate();
+//!
+//! // Each side sends its public key; both build the same transcript.
+//! let t = transcript(7, 0, 1, 0, &client.public_key(), &server.public_key());
+//!
+//! let c_shared = client.diffie_hellman(&server.public_key()).unwrap();
+//! let s_shared = server.diffie_hellman(&client.public_key()).unwrap();
+//!
+//! let c = derive_session(&c_shared, &t);
+//! let s = derive_session(&s_shared, &t);
+//! assert_eq!(c.key_bytes, s.key_bytes);
+//! assert_eq!(c.seed, s.seed);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod blake2s;
+mod field;
+pub mod x25519;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use x25519::{base_point_mul, clamp, x25519 as scalar_mult, BASE_POINT, POINT_LEN};
+
+use blake2s::blake2s;
+
+/// Errors a key exchange can fail with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KexError {
+    /// The peer's public key is a low-order point: the shared secret
+    /// came out all-zero, so it would be attacker-chosen. RFC 7748 §6.1
+    /// requires checking for and rejecting exactly this.
+    LowOrderPoint,
+}
+
+impl std::fmt::Display for KexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KexError::LowOrderPoint => {
+                write!(
+                    f,
+                    "peer public key is a low-order point (zero shared secret)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for KexError {}
+
+/// An ephemeral X25519 secret scalar. Generated per handshake and
+/// meant to be dropped as soon as the shared secret is derived — that
+/// discipline, not anything in the type, is what buys forward secrecy.
+pub struct EphemeralSecret {
+    scalar: [u8; 32],
+}
+
+impl EphemeralSecret {
+    /// Generates a fresh secret from process-local entropy.
+    ///
+    /// The container has no RNG crate, so entropy is gathered the same
+    /// way the server mints resume tokens: the standard library's
+    /// `RandomState` (whose SipHash keys are drawn from OS entropy),
+    /// a monotonic clock reading, and a process-global counter, all
+    /// mixed through BLAKE2s. Clamping then forces the scalar into the
+    /// right coset regardless of the bytes drawn.
+    pub fn generate() -> EphemeralSecret {
+        use std::hash::{BuildHasher, Hasher};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+        let mut pool = [0u8; 32];
+        let state = std::collections::hash_map::RandomState::new();
+        for (i, chunk) in pool.chunks_mut(8).enumerate() {
+            let mut h = state.build_hasher();
+            h.write_u64(i as u64);
+            h.write_u64(COUNTER.fetch_add(1, Ordering::Relaxed));
+            h.write_u128(std::time::UNIX_EPOCH.elapsed().map_or(0, |d| d.as_nanos()));
+            chunk.copy_from_slice(&h.finish().to_le_bytes());
+        }
+        EphemeralSecret::from_bytes(blake2s(b"", &pool))
+    }
+
+    /// Builds a secret from caller-supplied bytes (clamped on use).
+    /// This is the deterministic entry point tests and KATs use.
+    pub fn from_bytes(scalar: [u8; 32]) -> EphemeralSecret {
+        EphemeralSecret { scalar }
+    }
+
+    /// The matching public key, `X25519(scalar, 9)`.
+    pub fn public_key(&self) -> [u8; 32] {
+        base_point_mul(&self.scalar)
+    }
+
+    /// Runs the Diffie–Hellman step against a peer public key,
+    /// rejecting low-order peer points (all-zero shared secret).
+    pub fn diffie_hellman(&self, peer_public: &[u8; 32]) -> Result<SharedSecret, KexError> {
+        let shared = x25519::x25519(&self.scalar, peer_public);
+        if shared == [0u8; 32] {
+            return Err(KexError::LowOrderPoint);
+        }
+        Ok(SharedSecret(shared))
+    }
+}
+
+impl std::fmt::Debug for EphemeralSecret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the scalar.
+        f.write_str("EphemeralSecret(..)")
+    }
+}
+
+/// A non-zero X25519 shared secret (the raw u-coordinate). Only ever
+/// fed to [`derive_session`] — the raw secret must not be used as key
+/// material directly.
+pub struct SharedSecret([u8; 32]);
+
+impl SharedSecret {
+    /// The raw 32 bytes. Exposed for tests and the KDF.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for SharedSecret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SharedSecret(..)")
+    }
+}
+
+/// Length of the key-confirmation tags carried in `KeyEx`/`KeyExAck`.
+pub const TAG_LEN: usize = 16;
+
+/// Length of the derived key-pair schedule bytes (16 bytes → 16 MHHEA
+/// key pairs via `Key::from_bytes`).
+pub const KEY_BYTES_LEN: usize = 16;
+
+/// Domain-separation prefix of every MHKX transcript.
+pub const TRANSCRIPT_LABEL: &[u8] = b"MHKX/1";
+
+/// Builds the canonical handshake transcript both ends hash:
+///
+/// ```text
+/// "MHKX/1" ∥ stream_id (u64 LE) ∥ epoch (u32 LE) ∥ algorithm (u8)
+///          ∥ profile (u8) ∥ client_pub (32) ∥ server_pub (32)
+/// ```
+///
+/// Binding the stream id, target epoch and negotiated cipher options
+/// into the tag input means a handshake message replayed under any
+/// other stream, epoch or option set produces a mismatching tag.
+pub fn transcript(
+    stream_id: u64,
+    epoch: u32,
+    algorithm: u8,
+    profile: u8,
+    client_pub: &[u8; 32],
+    server_pub: &[u8; 32],
+) -> Vec<u8> {
+    let mut t = Vec::with_capacity(TRANSCRIPT_LABEL.len() + 8 + 4 + 2 + 64);
+    t.extend_from_slice(TRANSCRIPT_LABEL);
+    t.extend_from_slice(&stream_id.to_le_bytes());
+    t.extend_from_slice(&epoch.to_le_bytes());
+    t.push(algorithm);
+    t.push(profile);
+    t.extend_from_slice(client_pub);
+    t.extend_from_slice(server_pub);
+    t
+}
+
+/// Everything [`derive_session`] extracts from one handshake.
+#[derive(Clone)]
+pub struct SessionMaterial {
+    /// 16 bytes of key-pair schedule; `mhhea::Key::from_bytes` turns
+    /// each byte into one (low-nibble, high-nibble) 3-bit pair.
+    pub key_bytes: [u8; KEY_BYTES_LEN],
+    /// The stream's LFSR master seed — nonzero by construction.
+    pub seed: u16,
+    /// The tag the **server** sends in `KeyExAck` phase 1, proving it
+    /// derived the same secret over the same transcript.
+    pub tag_server: [u8; TAG_LEN],
+    /// The tag the **client** sends in `KeyEx` phase 2. The two tags
+    /// use distinct labels, so reflecting one side's tag back at it
+    /// never verifies.
+    pub tag_client: [u8; TAG_LEN],
+}
+
+impl std::fmt::Debug for SessionMaterial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Key material and seeds stay out of logs; tags are public.
+        f.write_str("SessionMaterial(..)")
+    }
+}
+
+/// Derives a stream's session material from the DH shared secret and
+/// the handshake transcript.
+///
+/// Extraction and expansion are both keyed BLAKE2s:
+///
+/// ```text
+/// prk        = BLAKE2s(key = shared_secret, transcript)
+/// key_bytes  = BLAKE2s(key = prk, "key-pairs")[..16]
+/// seed       = first nonzero u16 LE of BLAKE2s(key = prk, "lfsr-seed")  (else 1)
+/// tag_server = BLAKE2s(key = prk, "server-confirm")[..16]
+/// tag_client = BLAKE2s(key = prk, "client-confirm")[..16]
+/// ```
+pub fn derive_session(shared: &SharedSecret, transcript: &[u8]) -> SessionMaterial {
+    let prk = blake2s(shared.as_bytes(), transcript);
+
+    let key_full = blake2s(&prk, b"key-pairs");
+    let mut key_bytes = [0u8; KEY_BYTES_LEN];
+    key_bytes.copy_from_slice(&key_full[..KEY_BYTES_LEN]);
+
+    // The LFSR rejects a zero master seed, so scan the expansion for
+    // the first nonzero 16-bit word; all 16 words zero is a 2⁻²⁵⁶-class
+    // event, where 1 keeps the derivation total.
+    let seed_full = blake2s(&prk, b"lfsr-seed");
+    let seed = seed_full
+        .chunks_exact(2)
+        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+        .find(|&s| s != 0)
+        .unwrap_or(1);
+
+    let mut tag_server = [0u8; TAG_LEN];
+    tag_server.copy_from_slice(&blake2s(&prk, b"server-confirm")[..TAG_LEN]);
+    let mut tag_client = [0u8; TAG_LEN];
+    tag_client.copy_from_slice(&blake2s(&prk, b"client-confirm")[..TAG_LEN]);
+
+    SessionMaterial {
+        key_bytes,
+        seed,
+        tag_server,
+        tag_client,
+    }
+}
+
+/// Constant-time tag comparison: XOR-accumulates every byte pair so the
+/// comparison never early-exits on the first mismatch.
+pub fn tags_equal(a: &[u8; TAG_LEN], b: &[u8; TAG_LEN]) -> bool {
+    let mut acc = 0u8;
+    for i in 0..TAG_LEN {
+        acc |= a[i] ^ b[i];
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dh_agreement_end_to_end() {
+        let a = EphemeralSecret::from_bytes([0x11; 32]);
+        let b = EphemeralSecret::from_bytes([0x22; 32]);
+        let s_ab = a.diffie_hellman(&b.public_key()).unwrap();
+        let s_ba = b.diffie_hellman(&a.public_key()).unwrap();
+        assert_eq!(s_ab.as_bytes(), s_ba.as_bytes());
+    }
+
+    #[test]
+    fn low_order_peer_is_rejected() {
+        let a = EphemeralSecret::generate();
+        for u in [[0u8; 32], {
+            let mut one = [0u8; 32];
+            one[0] = 1;
+            one
+        }] {
+            assert_eq!(a.diffie_hellman(&u).unwrap_err(), KexError::LowOrderPoint);
+        }
+    }
+
+    #[test]
+    fn generate_yields_distinct_secrets() {
+        let a = EphemeralSecret::generate();
+        let b = EphemeralSecret::generate();
+        assert_ne!(a.public_key(), b.public_key());
+    }
+
+    #[test]
+    fn derivation_is_deterministic_and_transcript_bound() {
+        let a = EphemeralSecret::from_bytes([3; 32]);
+        let b = EphemeralSecret::from_bytes([7; 32]);
+        let shared = a.diffie_hellman(&b.public_key()).unwrap();
+        let t1 = transcript(1, 0, 1, 0, &a.public_key(), &b.public_key());
+        let m1 = derive_session(&shared, &t1);
+        let m2 = derive_session(&shared, &t1);
+        assert_eq!(m1.key_bytes, m2.key_bytes);
+        assert_eq!(m1.seed, m2.seed);
+        assert_eq!(m1.tag_server, m2.tag_server);
+
+        // Any transcript change — here the stream id — moves every output.
+        let t2 = transcript(2, 0, 1, 0, &a.public_key(), &b.public_key());
+        let m3 = derive_session(&shared, &t2);
+        assert_ne!(m1.key_bytes, m3.key_bytes);
+        assert_ne!(m1.tag_server, m3.tag_server);
+        assert_ne!(m1.tag_client, m3.tag_client);
+    }
+
+    #[test]
+    fn seed_is_never_zero() {
+        let a = EphemeralSecret::from_bytes([9; 32]);
+        let b = EphemeralSecret::from_bytes([4; 32]);
+        let shared = a.diffie_hellman(&b.public_key()).unwrap();
+        for stream in 0..64u64 {
+            let t = transcript(stream, 0, 1, 0, &a.public_key(), &b.public_key());
+            assert_ne!(derive_session(&shared, &t).seed, 0);
+        }
+    }
+
+    #[test]
+    fn tags_are_asymmetric() {
+        let a = EphemeralSecret::from_bytes([5; 32]);
+        let b = EphemeralSecret::from_bytes([6; 32]);
+        let shared = a.diffie_hellman(&b.public_key()).unwrap();
+        let t = transcript(1, 0, 1, 0, &a.public_key(), &b.public_key());
+        let m = derive_session(&shared, &t);
+        // Reflection defence: the two confirmation tags never collide.
+        assert_ne!(m.tag_server, m.tag_client);
+    }
+
+    #[test]
+    fn tags_equal_is_exact() {
+        let a = [1u8; TAG_LEN];
+        let mut b = a;
+        assert!(tags_equal(&a, &b));
+        b[TAG_LEN - 1] ^= 1;
+        assert!(!tags_equal(&a, &b));
+    }
+}

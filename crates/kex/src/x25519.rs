@@ -1,0 +1,177 @@
+//! X25519 (RFC 7748): constant-time Montgomery-ladder scalar
+//! multiplication on Curve25519's u-coordinate.
+
+use crate::field::Fe;
+
+/// Length of scalars, u-coordinates and shared secrets, in bytes.
+pub const POINT_LEN: usize = 32;
+
+/// The base point's u-coordinate, `u = 9`.
+pub const BASE_POINT: [u8; 32] = {
+    let mut u = [0u8; 32];
+    u[0] = 9;
+    u
+};
+
+/// RFC 7748 §5 scalar clamping: clear the low 3 bits (force a multiple
+/// of the cofactor 8), clear bit 255, set bit 254 (fix the scalar's
+/// top bit so the ladder's trip count never depends on the value).
+pub fn clamp(scalar: &mut [u8; 32]) {
+    scalar[0] &= 248;
+    scalar[31] &= 127;
+    scalar[31] |= 64;
+}
+
+/// Scalar-multiplies `point` by the clamped `scalar` and returns the
+/// resulting u-coordinate.
+///
+/// This is the raw RFC 7748 `X25519` function: it clamps internally and
+/// performs no result checking — [`crate::EphemeralSecret::diffie_hellman`]
+/// layers the all-zero (low-order point) rejection on top.
+///
+/// The ladder is constant-time: 255 fixed iterations, each doing the
+/// same field ops, with the conditional state exchange expressed as a
+/// masked `Fe::cswap` on the XOR of successive scalar bits.
+pub fn x25519(scalar: &[u8; 32], point: &[u8; 32]) -> [u8; 32] {
+    let mut k = *scalar;
+    clamp(&mut k);
+
+    let x1 = Fe::from_bytes(point);
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+
+    for t in (0..255).rev() {
+        let k_t = u64::from((k[t >> 3] >> (t & 7)) & 1);
+        swap ^= k_t;
+        Fe::cswap(swap, &mut x2, &mut x3);
+        Fe::cswap(swap, &mut z2, &mut z3);
+        swap = k_t;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        // a24 = (486662 − 2) / 4 = 121665.
+        z2 = e.mul(aa.add(e.mul_small(121_665)));
+    }
+    Fe::cswap(swap, &mut x2, &mut x3);
+    Fe::cswap(swap, &mut z2, &mut z3);
+
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// The public key for `scalar`: `X25519(scalar, 9)`.
+pub fn base_point_mul(scalar: &[u8; 32]) -> [u8; 32] {
+    x25519(scalar, &BASE_POINT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> [u8; 32] {
+        assert_eq!(s.len(), 64);
+        let mut out = [0u8; 32];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).expect("hex");
+        }
+        out
+    }
+
+    #[test]
+    fn rfc7748_vector_1() {
+        let scalar = unhex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let point = unhex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let expect = unhex("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+        assert_eq!(x25519(&scalar, &point), expect);
+    }
+
+    #[test]
+    fn rfc7748_vector_2() {
+        let scalar = unhex("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let point = unhex("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        let expect = unhex("95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+        assert_eq!(x25519(&scalar, &point), expect);
+    }
+
+    #[test]
+    fn rfc7748_diffie_hellman_vector() {
+        let alice_priv = unhex("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let alice_pub = unhex("8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+        let bob_priv = unhex("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let bob_pub = unhex("de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+        let shared = unhex("4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+        assert_eq!(base_point_mul(&alice_priv), alice_pub);
+        assert_eq!(base_point_mul(&bob_priv), bob_pub);
+        assert_eq!(x25519(&alice_priv, &bob_pub), shared);
+        assert_eq!(x25519(&bob_priv, &alice_pub), shared);
+    }
+
+    #[test]
+    fn rfc7748_iterated_1000() {
+        // RFC 7748 §5.2: start with k = u = 9; each iteration computes
+        // X25519(k, u), then shifts k → u, result → k.
+        let after_1 = unhex("422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079");
+        let after_1000 = unhex("684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51");
+        let mut k = BASE_POINT;
+        let mut u = BASE_POINT;
+        for i in 1..=1000u32 {
+            let r = x25519(&k, &u);
+            u = k;
+            k = r;
+            if i == 1 {
+                assert_eq!(k, after_1);
+            }
+        }
+        assert_eq!(k, after_1000);
+    }
+
+    #[test]
+    fn low_order_points_map_to_zero() {
+        // The 8 low-order points of Curve25519 (and non-canonical
+        // encodings of them): a clamped scalar is a multiple of 8, so
+        // the ladder sends each to the point at infinity — encoded as
+        // all-zero output. This table is what the DH layer's all-zero
+        // check rejects.
+        let low_order = [
+            // u = 0 and u = 1 (order 1/2 subgroup)
+            "0000000000000000000000000000000000000000000000000000000000000000",
+            "0100000000000000000000000000000000000000000000000000000000000000",
+            // the two order-8 points
+            "e0eb7a7c3b41b8ae1656e3faf19fc46ada098deb9c32b1fd866205165f49b800",
+            "5f9c95bca3508c24b1d0b1559c83ef5b04445cc4581c8e86d8224eddd09f1157",
+            // p − 1 ≡ −1, p ≡ 0, p + 1 ≡ 1 (non-canonical aliases)
+            "ecffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f",
+            "edffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f",
+            "eeffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f",
+        ];
+        let scalar = unhex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        for hex in low_order {
+            let point = unhex(hex);
+            assert_eq!(x25519(&scalar, &point), [0u8; 32], "u = {hex}");
+        }
+    }
+
+    #[test]
+    fn clamping_is_idempotent_and_shapes_bits() {
+        let mut s = [0xFFu8; 32];
+        clamp(&mut s);
+        assert_eq!(s[0] & 7, 0);
+        assert_eq!(s[31] & 0x80, 0);
+        assert_eq!(s[31] & 0x40, 0x40);
+        let once = s;
+        clamp(&mut s);
+        assert_eq!(s, once);
+    }
+}

@@ -20,9 +20,13 @@ use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use mhhea::{Algorithm, Key, Profile};
+use mhhea_kex::{derive_session, tags_equal, transcript, EphemeralSecret};
+
 use crate::frame::{
-    self, decode_blocks, decode_error, decode_rekey_ack, decode_resumed_ack, encode_blocks,
-    encode_rekey, flags, join_seq, ErrorCode, Frame, FrameError, FrameKind, Hello,
+    self, algorithm_wire_tag, decode_blocks, decode_error, decode_key_ex_ack, decode_rekey_ack,
+    decode_resumed_ack, encode_blocks, encode_key_ex_confirm, encode_rekey, flags, join_seq,
+    profile_wire_tag, ErrorCode, Frame, FrameError, FrameKind, Hello, KeyExAckPayload, KeyExInit,
 };
 
 /// A sealed message as it travels in a `Reply`: the plaintext bit length
@@ -59,6 +63,10 @@ pub enum ClientError {
     StreamNotOpen(u64),
     /// The server closed the connection.
     Disconnected,
+    /// The MHKX handshake failed **on the client side**: the server
+    /// presented a low-order public key, or its key-confirmation tag did
+    /// not match the transcript. The derived material was discarded.
+    KeyExchange(String),
 }
 
 impl core::fmt::Display for ClientError {
@@ -73,6 +81,7 @@ impl core::fmt::Display for ClientError {
             ClientError::UnexpectedFrame(what) => write!(f, "unexpected server frame: {what}"),
             ClientError::StreamNotOpen(id) => write!(f, "stream {id} is not open on this client"),
             ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::KeyExchange(detail) => write!(f, "key exchange failed: {detail}"),
         }
     }
 }
@@ -105,6 +114,32 @@ impl ClientError {
     /// has not yet noticed the old connection died, for example).
     pub fn is_code(&self, want: ErrorCode) -> bool {
         matches!(self, ClientError::Server { code: Some(c), .. } if *c == want)
+    }
+}
+
+/// The outcome of a completed MHKX handshake
+/// ([`NetClient::open_ephemeral`] / [`NetClient::rekey_ephemeral`]): the
+/// stream's fresh resume token plus the session material both sides
+/// derived. `key` and `seed` are exactly what the server installed, so a
+/// local [`mhhea::DecryptSession`]/[`mhhea::EncryptSession`] built from
+/// them opens (and reproduces) the stream's sealed bytes bit-exactly.
+#[derive(Clone)]
+pub struct EphemeralSession {
+    /// The resume token the server minted (present it to
+    /// [`NetClient::resume`] after a disconnect).
+    pub token: u64,
+    /// The derived session key now running the stream.
+    pub key: Key,
+    /// The derived LFSR master seed now running the stream (nonzero).
+    pub seed: u16,
+}
+
+impl core::fmt::Debug for EphemeralSession {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The key and seed are live cipher material — never log them.
+        f.debug_struct("EphemeralSession")
+            .field("token", &self.token)
+            .finish_non_exhaustive()
     }
 }
 
@@ -163,6 +198,162 @@ impl NetClient {
         let token = Self::ack_token(&ack)?;
         self.seqs.insert(stream, 0);
         Ok(token)
+    }
+
+    /// Connects and opens `stream` with **no pre-shared key**: a
+    /// convenience wrapper around [`NetClient::connect`] +
+    /// [`NetClient::open_ephemeral`]. The server must have been
+    /// configured with `ServerConfig::with_ephemeral_keys`.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::connect`] and [`NetClient::open_ephemeral`].
+    pub fn connect_ephemeral(
+        addr: impl ToSocketAddrs,
+        stream: u64,
+    ) -> Result<(NetClient, EphemeralSession), ClientError> {
+        let mut client = NetClient::connect(addr)?;
+        let session = client.open_ephemeral(stream)?;
+        Ok((client, session))
+    }
+
+    /// Opens a fresh stream by **ephemeral key agreement** (MHKX, see
+    /// `docs/PROTOCOL.md` §5.1) instead of a pre-shared key, with the
+    /// default cipher parameters (MHHEA, streaming).
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::open_ephemeral_with`].
+    pub fn open_ephemeral(&mut self, stream: u64) -> Result<EphemeralSession, ClientError> {
+        self.open_ephemeral_with(stream, Algorithm::Mhhea, Profile::Streaming)
+    }
+
+    /// Opens a fresh stream by ephemeral key agreement with explicit
+    /// cipher parameters: a 4-message X25519 handshake derives the
+    /// stream's key and LFSR seed on both sides, each end proves
+    /// knowledge of the derived material with a confirmation tag, and
+    /// only then does the server allocate the stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::BadHandshake`] when the
+    /// server does not accept ephemeral handshakes,
+    /// [`ErrorCode::StreamExists`]/[`ErrorCode::ServerBusy`] as for
+    /// [`NetClient::open_stream`], or
+    /// [`ErrorCode::KeyConfirmFailed`] when the server rejected the
+    /// exchange; [`ClientError::KeyExchange`] when the *server's* key or
+    /// tag fails verification locally (nothing was sent in phase 2, so
+    /// the server allocated nothing); any transport failure.
+    pub fn open_ephemeral_with(
+        &mut self,
+        stream: u64,
+        algorithm: Algorithm,
+        profile: Profile,
+    ) -> Result<EphemeralSession, ClientError> {
+        self.key_exchange(stream, 0, algorithm, profile)
+    }
+
+    /// Rotates the stream to `epoch` under a **fresh Diffie–Hellman
+    /// exchange** instead of a server-side key list: the new epoch's key
+    /// and seed are derived jointly, so they are independent of every
+    /// earlier epoch's material (compare [`NetClient::rekey`], which
+    /// rotates within the key list fixed at handshake time). Returns the
+    /// fresh session material and resume token; the old token is
+    /// retired, and both sides restart the sequence space at
+    /// `(epoch, 0)`.
+    ///
+    /// The stream must currently be open on this connection. Unlike
+    /// [`NetClient::rekey`], the exchange is a control-plane handshake:
+    /// it does not consume a sequence number of the old epoch, but the
+    /// server still applies it in order relative to traffic already
+    /// queued on this connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::StaleEpoch`] when
+    /// `epoch` is not strictly newer than the stream's current epoch, or
+    /// [`ErrorCode::UnknownStream`] when this connection does not own
+    /// the stream; otherwise as [`NetClient::open_ephemeral_with`].
+    pub fn rekey_ephemeral(
+        &mut self,
+        stream: u64,
+        epoch: u32,
+    ) -> Result<EphemeralSession, ClientError> {
+        if !self.seqs.contains_key(&stream) {
+            return Err(ClientError::StreamNotOpen(stream));
+        }
+        // The cipher parameters were fixed when the stream was opened;
+        // the transcript binds them by wire tag, and a rotation never
+        // changes them — MHHEA/streaming are the only values the server
+        // will re-derive for an already-open stream.
+        self.key_exchange(stream, epoch, Algorithm::Mhhea, Profile::Streaming)
+    }
+
+    /// Runs one MHKX handshake (both phases) for `stream` at `epoch`
+    /// (0 = fresh open, > 0 = fresh-DH rotation) and installs the local
+    /// sequence counter at `(epoch, 0)` on success.
+    fn key_exchange(
+        &mut self,
+        stream: u64,
+        epoch: u32,
+        algorithm: Algorithm,
+        profile: Profile,
+    ) -> Result<EphemeralSession, ClientError> {
+        let secret = EphemeralSecret::generate();
+        let client_pub = secret.public_key();
+        let init = KeyExInit::new(client_pub)
+            .with_epoch(epoch)
+            .with_algorithm(algorithm)
+            .with_profile(profile);
+        self.send_frame(&Frame::new(FrameKind::KeyEx, stream, 0).with_payload(init.encode()))?;
+        let ack = self.expect_frame(FrameKind::KeyExAck, stream, 0)?;
+        let KeyExAckPayload::Init {
+            public_key: server_pub,
+            tag,
+        } = decode_key_ex_ack(&ack.payload)?
+        else {
+            return Err(ClientError::UnexpectedFrame(
+                "key-ex-ack completion before the confirmation phase".into(),
+            ));
+        };
+        // Verify the server before answering: a low-order key or a bad
+        // tag means whoever answered does not hold the shared secret, and
+        // phase 2 (which would prove *our* knowledge of it) is never sent.
+        let shared = secret
+            .diffie_hellman(&server_pub)
+            .map_err(|e| ClientError::KeyExchange(e.to_string()))?;
+        let t = transcript(
+            stream,
+            epoch,
+            algorithm_wire_tag(algorithm),
+            profile_wire_tag(profile),
+            &client_pub,
+            &server_pub,
+        );
+        let material = derive_session(&shared, &t);
+        if !tags_equal(&tag, &material.tag_server) {
+            return Err(ClientError::KeyExchange(
+                "server key-confirmation tag does not match the transcript".into(),
+            ));
+        }
+        let key = Key::from_bytes(&material.key_bytes)
+            .map_err(|e| ClientError::KeyExchange(e.to_string()))?;
+        self.send_frame(
+            &Frame::new(FrameKind::KeyEx, stream, 0)
+                .with_payload(encode_key_ex_confirm(&material.tag_client)),
+        )?;
+        let done = self.expect_frame(FrameKind::KeyExAck, stream, 0)?;
+        let KeyExAckPayload::Done { token } = decode_key_ex_ack(&done.payload)? else {
+            return Err(ClientError::UnexpectedFrame(
+                "key-ex-ack confirmation phase answered twice".into(),
+            ));
+        };
+        self.seqs.insert(stream, join_seq(epoch, 0));
+        Ok(EphemeralSession {
+            token,
+            key,
+            seed: material.seed,
+        })
     }
 
     /// Resumes a previously evicted stream from the server's parked

@@ -38,6 +38,35 @@ use crate::server::{ServerStats, MAX_MESSAGE_BYTES};
 /// streams a connection owns.
 pub(crate) type StreamTable = HashMap<u64, u64>;
 
+/// stream id → the half-done MHKX exchange parked between `KeyEx`
+/// phase 1 and phase 2 on this connection.
+pub(crate) type KexTable = HashMap<u64, PendingKex>;
+
+/// Most simultaneous half-open MHKX exchanges one connection may park.
+/// Each entry is a few dozen bytes, but phase 2 may never arrive — the
+/// cap keeps a handshake-spraying client from growing server memory.
+pub(crate) const MAX_PENDING_KEX: usize = 16;
+
+/// Everything the server keeps between `KeyEx` phase 1 and phase 2 —
+/// deliberately *not* the ephemeral secret, which is dropped as soon as
+/// the shared secret is derived (forward secrecy): a phase-1 frame
+/// costs the server one DH plus this struct, never a live secret.
+pub(crate) struct PendingKex {
+    /// The client tag that must arrive in phase 2 (constant-time
+    /// compared).
+    pub expected_tag: [u8; frame::KEX_TAG_LEN],
+    /// Derived key-pair schedule bytes for `Key::from_bytes`.
+    pub key_bytes: [u8; 16],
+    /// Derived LFSR master seed (nonzero).
+    pub seed: u16,
+    /// Cipher variant the stream will run.
+    pub algorithm: mhhea::Algorithm,
+    /// Buffering profile the stream will run.
+    pub profile: mhhea::Profile,
+    /// Target epoch: 0 = fresh open, > 0 = fresh-DH rotation.
+    pub epoch: u32,
+}
+
 /// How a submitted op's output travels back to the client.
 pub(crate) enum ReplyShape {
     /// A seal: `Reply` carrying `bit_len ∥ blocks`.
@@ -103,6 +132,11 @@ pub(crate) struct Conn<S> {
     /// expectations. Ownership is the cross-connection isolation
     /// boundary: no other connection (on any reactor) can address them.
     pub(crate) streams: StreamTable,
+    /// Half-open MHKX exchanges (between `KeyEx` phases), keyed by
+    /// stream id. Connection-scoped like `streams`: an exchange begun
+    /// here can only be completed here, so a phase-2 frame replayed on
+    /// another connection finds nothing.
+    pub(crate) kex: KexTable,
     /// Reusable payload-encode scratch for the reply path.
     payload_scratch: Vec<u8>,
     /// Flush what is queued, then close (set after a protocol violation).
@@ -126,6 +160,7 @@ impl<S: Read + Write> Conn<S> {
             wbuf: Vec::new(),
             wpos: 0,
             streams: HashMap::new(),
+            kex: HashMap::new(),
             payload_scratch: Vec::new(),
             closing: false,
             eof: false,
@@ -251,7 +286,7 @@ impl<S: Read + Write> Conn<S> {
         &mut self,
         idx: usize,
         sink: &mut TickSink<'_>,
-        control: &mut dyn FnMut(&mut StreamTable, &Frame) -> ControlAction,
+        control: &mut dyn FnMut(&mut StreamTable, &mut KexTable, &Frame) -> ControlAction,
     ) -> bool {
         if self.closing || self.dead {
             return false;
@@ -318,7 +353,7 @@ impl<S: Read + Write> Conn<S> {
                 }
                 ServerStats::bump(&sink.stats.frames_received);
                 handled = true;
-                let action = control(&mut self.streams, &frame);
+                let action = control(&mut self.streams, &mut self.kex, &frame);
                 self.push_frame(&action.reply);
                 ServerStats::bump(&sink.stats.frames_sent);
                 if action.hang_up {
@@ -350,6 +385,17 @@ impl<S: Read + Write> Conn<S> {
                 format!("stream {stream} is not open on this connection"),
             ));
         };
+        if self.kex.contains_key(&stream) {
+            // An MHKX rotation for this stream is between phase 1 and
+            // phase 2: like the classic rekey synchronisation point, the
+            // sequence space is about to be restamped, so data is
+            // rejected without consuming anything until the exchange
+            // completes (or fails and is discarded).
+            return Err((
+                ErrorCode::BadSequence,
+                "a key exchange is in flight on this stream; finish it first".to_string(),
+            ));
+        }
         if rekey_pending.contains(&stream) {
             // A rotation for this stream is queued but not yet acked: the
             // sequence space this frame would be validated against is

@@ -97,6 +97,20 @@ pub enum FrameKind {
     /// token** (the pre-rotation token is retired with the old epoch).
     /// The next `Data` frame must carry `seq = join_seq(epoch, 0)`.
     RekeyAck = 9,
+    /// Client → server: ephemeral key agreement (MHKX). Phase 1 carries
+    /// the client's X25519 public key plus the stream parameters
+    /// ([`KeyExInit`]); phase 2 the client's key-confirmation tag
+    /// ([`encode_key_ex_confirm`]). Opens a stream without any
+    /// pre-shared key (`epoch = 0`) or rotates an open stream to a
+    /// freshly derived key (`epoch > 0`). Answered with
+    /// [`FrameKind::KeyExAck`].
+    KeyEx = 10,
+    /// Server → client: the MHKX answer. Phase 1 carries the server's
+    /// X25519 public key and confirmation tag
+    /// ([`encode_key_ex_ack_init`]); phase 2 the freshly minted resume
+    /// token ([`encode_key_ex_ack_done`]) once the client's tag
+    /// verified and the stream was opened (or rotated).
+    KeyExAck = 11,
 }
 
 impl FrameKind {
@@ -111,6 +125,8 @@ impl FrameKind {
             7 => FrameKind::Resume,
             8 => FrameKind::Rekey,
             9 => FrameKind::RekeyAck,
+            10 => FrameKind::KeyEx,
+            11 => FrameKind::KeyExAck,
             _ => return None,
         })
     }
@@ -547,6 +563,12 @@ pub enum ErrorCode {
     /// naming an epoch that is not strictly newer. The stream state is
     /// untouched and the sequence number was *not* consumed.
     StaleEpoch = 11,
+    /// The MHKX handshake failed: the peer's public key was a low-order
+    /// point, or the key-confirmation tag did not match the transcript
+    /// (a replayed, reflected or tampered handshake). **No session
+    /// state was created** — the pending exchange is discarded and the
+    /// stream id stays free.
+    KeyConfirmFailed = 12,
 }
 
 impl ErrorCode {
@@ -564,6 +586,7 @@ impl ErrorCode {
             9 => ErrorCode::MessageTooLarge,
             10 => ErrorCode::ServerBusy,
             11 => ErrorCode::StaleEpoch,
+            12 => ErrorCode::KeyConfirmFailed,
             _ => return None,
         })
     }
@@ -583,6 +606,7 @@ impl core::fmt::Display for ErrorCode {
             ErrorCode::MessageTooLarge => "message too large",
             ErrorCode::ServerBusy => "server at capacity",
             ErrorCode::StaleEpoch => "stale key epoch",
+            ErrorCode::KeyConfirmFailed => "key confirmation failed",
         };
         write!(f, "{name}")
     }
@@ -650,6 +674,233 @@ pub fn decode_resumed_ack(payload: &[u8]) -> Result<(u64, u32), FrameError> {
         ));
     }
     Ok((le_u64(payload, 0), le_u32(payload, 8)))
+}
+
+/// Length of the MHKX key-confirmation tags (mirrors
+/// [`mhhea_kex::TAG_LEN`]).
+pub const KEX_TAG_LEN: usize = mhhea_kex::TAG_LEN;
+
+/// The wire tag for an [`Algorithm`] — also the byte bound into the MHKX
+/// transcript, so both sides must agree on the mapping.
+pub fn algorithm_wire_tag(algorithm: Algorithm) -> u8 {
+    match algorithm {
+        Algorithm::Hhea => 0,
+        Algorithm::Mhhea => 1,
+    }
+}
+
+/// The wire tag for a [`Profile`] — also the byte bound into the MHKX
+/// transcript, so both sides must agree on the mapping.
+pub fn profile_wire_tag(profile: Profile) -> u8 {
+    match profile {
+        Profile::Streaming => 0,
+        Profile::HardwareFaithful => 1,
+    }
+}
+
+/// Phase byte opening every `KeyEx`/`KeyExAck` payload: phase 1 carries
+/// public keys, phase 2 confirmation/completion.
+const KEX_PHASE_INIT: u8 = 1;
+const KEX_PHASE_CONFIRM: u8 = 2;
+
+/// The phase-1 [`FrameKind::KeyEx`] payload: the client's ephemeral
+/// X25519 public key plus the stream parameters an MHKX handshake
+/// negotiates in place of a [`Hello`].
+///
+/// `epoch = 0` opens the stream fresh (keyless onboarding); `epoch > 0`
+/// requests a fresh-DH rotation of an already-open stream to that epoch
+/// — each rotation's key is then independently derived rather than
+/// drawn from a configured key list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyExInit {
+    /// Target epoch: 0 = open fresh, > 0 = rotate an open stream.
+    pub epoch: u32,
+    /// The client's ephemeral X25519 public key.
+    pub public_key: [u8; 32],
+    /// Cipher variant the stream will run.
+    pub algorithm: Algorithm,
+    /// Buffering profile the stream will run.
+    pub profile: Profile,
+}
+
+impl KeyExInit {
+    /// Encoded size: `phase (1) ∥ epoch (4) ∥ public_key (32) ∥
+    /// algorithm (1) ∥ profile (1)`.
+    pub const ENCODED_LEN: usize = 39;
+
+    /// A fresh-open handshake with the defaults (MHHEA, streaming).
+    pub fn new(public_key: [u8; 32]) -> KeyExInit {
+        KeyExInit {
+            epoch: 0,
+            public_key,
+            algorithm: Algorithm::Mhhea,
+            profile: Profile::Streaming,
+        }
+    }
+
+    /// Targets a fresh-DH rotation to `epoch` instead of a fresh open.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: u32) -> KeyExInit {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Selects the cipher variant.
+    #[must_use]
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> KeyExInit {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the buffering profile.
+    #[must_use]
+    pub fn with_profile(mut self, profile: Profile) -> KeyExInit {
+        self.profile = profile;
+        self
+    }
+
+    /// Serialises the phase-1 payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(KeyExInit::ENCODED_LEN);
+        out.push(KEX_PHASE_INIT);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.public_key);
+        out.push(algorithm_wire_tag(self.algorithm));
+        out.push(profile_wire_tag(self.profile));
+        out
+    }
+}
+
+/// A parsed [`FrameKind::KeyEx`] payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyExPayload {
+    /// Phase 1: the client's public key and stream parameters.
+    Init(KeyExInit),
+    /// Phase 2: the client's key-confirmation tag over the transcript.
+    Confirm([u8; KEX_TAG_LEN]),
+}
+
+/// Encodes a phase-2 [`FrameKind::KeyEx`] payload: the client's
+/// confirmation tag.
+pub fn encode_key_ex_confirm(tag: &[u8; KEX_TAG_LEN]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + KEX_TAG_LEN);
+    out.push(KEX_PHASE_CONFIRM);
+    out.extend_from_slice(tag);
+    out
+}
+
+/// Parses a [`FrameKind::KeyEx`] payload (either phase).
+///
+/// # Errors
+///
+/// [`FrameError::BadPayload`] on a wrong length, unknown phase byte, or
+/// unknown algorithm/profile tag.
+pub fn decode_key_ex(payload: &[u8]) -> Result<KeyExPayload, FrameError> {
+    match payload.split_first() {
+        Some((&KEX_PHASE_INIT, body)) => {
+            if body.len() != KeyExInit::ENCODED_LEN - 1 {
+                return Err(FrameError::BadPayload(
+                    "key-ex init payload must be 39 bytes",
+                ));
+            }
+            // lint: allow(panic-path, reason = "body is exactly 38 bytes, checked above")
+            let algorithm = match body[36] {
+                0 => Algorithm::Hhea,
+                1 => Algorithm::Mhhea,
+                _ => return Err(FrameError::BadPayload("unknown algorithm tag")),
+            };
+            // lint: allow(panic-path, reason = "body is exactly 38 bytes, checked above")
+            let profile = match body[37] {
+                0 => Profile::Streaming,
+                1 => Profile::HardwareFaithful,
+                _ => return Err(FrameError::BadPayload("unknown profile tag")),
+            };
+            let mut public_key = [0u8; 32];
+            public_key.copy_from_slice(&body[4..36]); // lint: allow(panic-path, reason = "body is exactly 38 bytes, checked above")
+            Ok(KeyExPayload::Init(KeyExInit {
+                epoch: le_u32(body, 0),
+                public_key,
+                algorithm,
+                profile,
+            }))
+        }
+        Some((&KEX_PHASE_CONFIRM, body)) => {
+            let tag: [u8; KEX_TAG_LEN] = body
+                .try_into()
+                .map_err(|_| FrameError::BadPayload("key-ex confirm tag must be 16 bytes"))?;
+            Ok(KeyExPayload::Confirm(tag))
+        }
+        Some(_) => Err(FrameError::BadPayload("unknown key-ex phase byte")),
+        None => Err(FrameError::BadPayload("empty key-ex payload")),
+    }
+}
+
+/// A parsed [`FrameKind::KeyExAck`] payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyExAckPayload {
+    /// Phase 1: the server's public key and its confirmation tag.
+    Init {
+        /// The server's ephemeral X25519 public key.
+        public_key: [u8; 32],
+        /// The server's key-confirmation tag over the transcript.
+        tag: [u8; KEX_TAG_LEN],
+    },
+    /// Phase 2: handshake complete; the stream's fresh resume token.
+    Done {
+        /// The freshly minted resume token.
+        token: u64,
+    },
+}
+
+/// Encodes a phase-1 [`FrameKind::KeyExAck`] payload: `phase (1) ∥
+/// server public key (32) ∥ server tag (16)`.
+pub fn encode_key_ex_ack_init(public_key: &[u8; 32], tag: &[u8; KEX_TAG_LEN]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 32 + KEX_TAG_LEN);
+    out.push(KEX_PHASE_INIT);
+    out.extend_from_slice(public_key);
+    out.extend_from_slice(tag);
+    out
+}
+
+/// Encodes a phase-2 [`FrameKind::KeyExAck`] payload: `phase (1) ∥
+/// resume token (u64 LE)`.
+pub fn encode_key_ex_ack_done(token: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    out.push(KEX_PHASE_CONFIRM);
+    out.extend_from_slice(&token.to_le_bytes());
+    out
+}
+
+/// Parses a [`FrameKind::KeyExAck`] payload (either phase).
+///
+/// # Errors
+///
+/// [`FrameError::BadPayload`] on a wrong length or unknown phase byte.
+pub fn decode_key_ex_ack(payload: &[u8]) -> Result<KeyExAckPayload, FrameError> {
+    match payload.split_first() {
+        Some((&KEX_PHASE_INIT, body)) => {
+            if body.len() != 32 + KEX_TAG_LEN {
+                return Err(FrameError::BadPayload(
+                    "key-ex-ack init payload must be pubkey (32) + tag (16)",
+                ));
+            }
+            let mut public_key = [0u8; 32];
+            public_key.copy_from_slice(&body[..32]); // lint: allow(panic-path, reason = "body is exactly 48 bytes, checked above")
+            let mut tag = [0u8; KEX_TAG_LEN];
+            tag.copy_from_slice(&body[32..]); // lint: allow(panic-path, reason = "body is exactly 48 bytes, checked above")
+            Ok(KeyExAckPayload::Init { public_key, tag })
+        }
+        Some((&KEX_PHASE_CONFIRM, body)) => {
+            let bytes: [u8; 8] = body
+                .try_into()
+                .map_err(|_| FrameError::BadPayload("key-ex-ack done token must be 8 bytes"))?;
+            Ok(KeyExAckPayload::Done {
+                token: u64::from_le_bytes(bytes),
+            })
+        }
+        Some(_) => Err(FrameError::BadPayload("unknown key-ex-ack phase byte")),
+        None => Err(FrameError::BadPayload("empty key-ex-ack payload")),
+    }
 }
 
 /// Encodes an error payload: `code (1) ∥ utf-8 detail`.
@@ -806,6 +1057,80 @@ mod tests {
             (0x1234_5678_9ABC_DEF0, 9)
         );
         assert!(decode_resumed_ack(&resumed[..8]).is_err());
+    }
+
+    #[test]
+    fn key_ex_payloads_roundtrip() {
+        let init = KeyExInit::new([0xAB; 32])
+            .with_epoch(3)
+            .with_algorithm(Algorithm::Hhea)
+            .with_profile(Profile::HardwareFaithful);
+        assert_eq!(
+            decode_key_ex(&init.encode()).unwrap(),
+            KeyExPayload::Init(init)
+        );
+        let tag = [0x5A; KEX_TAG_LEN];
+        assert_eq!(
+            decode_key_ex(&encode_key_ex_confirm(&tag)).unwrap(),
+            KeyExPayload::Confirm(tag)
+        );
+    }
+
+    #[test]
+    fn key_ex_ack_payloads_roundtrip() {
+        let pk = [0xCD; 32];
+        let tag = [0x11; KEX_TAG_LEN];
+        assert_eq!(
+            decode_key_ex_ack(&encode_key_ex_ack_init(&pk, &tag)).unwrap(),
+            KeyExAckPayload::Init {
+                public_key: pk,
+                tag
+            }
+        );
+        assert_eq!(
+            decode_key_ex_ack(&encode_key_ex_ack_done(0xF00D)).unwrap(),
+            KeyExAckPayload::Done { token: 0xF00D }
+        );
+    }
+
+    #[test]
+    fn key_ex_payloads_reject_bad_shapes() {
+        // Empty, unknown phase, truncated and oversized bodies.
+        assert!(decode_key_ex(&[]).is_err());
+        assert!(decode_key_ex(&[9]).is_err());
+        let init = KeyExInit::new([1; 32]).encode();
+        assert!(decode_key_ex(&init[..init.len() - 1]).is_err());
+        let mut long = init.clone();
+        long.push(0);
+        assert!(decode_key_ex(&long).is_err());
+        // Bad algorithm / profile tags.
+        let mut bad = init.clone();
+        bad[37] = 9;
+        assert!(decode_key_ex(&bad).is_err());
+        let mut bad = init;
+        bad[38] = 9;
+        assert!(decode_key_ex(&bad).is_err());
+        // Confirm tag with the wrong width.
+        assert!(decode_key_ex(&[2; 10]).is_err());
+
+        assert!(decode_key_ex_ack(&[]).is_err());
+        assert!(decode_key_ex_ack(&[7]).is_err());
+        let ack = encode_key_ex_ack_init(&[1; 32], &[2; KEX_TAG_LEN]);
+        assert!(decode_key_ex_ack(&ack[..ack.len() - 1]).is_err());
+        let done = encode_key_ex_ack_done(1);
+        assert!(decode_key_ex_ack(&done[..done.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn key_ex_frame_kinds_roundtrip_on_the_wire() {
+        let kex =
+            Frame::new(FrameKind::KeyEx, 7, 0).with_payload(KeyExInit::new([0x42; 32]).encode());
+        let (got, _) = decode(&kex.encode()).unwrap().expect("complete");
+        assert_eq!(got, kex);
+        let ack =
+            Frame::new(FrameKind::KeyExAck, 7, 0).with_payload(encode_key_ex_ack_done(0xBEEF));
+        let (got, _) = decode(&ack.encode()).unwrap().expect("complete");
+        assert_eq!(got.kind, FrameKind::KeyExAck);
     }
 
     #[test]

@@ -25,6 +25,18 @@
 //!   a pipelined batch path.
 //! * [`crc`] — CRC-32 (IEEE), the per-frame integrity check.
 //!
+//! Streams are keyed one of two ways. A `Hello` handshake names a
+//! pre-shared key id from the server's keyring. Alternatively — when the
+//! server opts in with [`server::ServerConfig::with_ephemeral_keys`] — a
+//! `KeyEx` handshake (MHKX) serves clients with **no pre-shared key at
+//! all**: an ephemeral X25519 exchange ([`mhhea_kex`]) derives the
+//! stream's key and LFSR seed jointly, both sides prove knowledge of the
+//! derived material with confirmation tags, and only then does the
+//! server allocate the stream. The same handshake at a nonzero epoch
+//! rotates an open stream under fresh Diffie–Hellman material
+//! ([`client::NetClient::rekey_ephemeral`]), making each epoch's key
+//! independent of every earlier one. See `docs/PROTOCOL.md` §5.1.
+//!
 //! # A conversation in frames
 //!
 //! ```text
@@ -80,6 +92,6 @@ pub mod frame;
 mod reactor;
 pub mod server;
 
-pub use client::{ClientError, NetClient, Sealed};
+pub use client::{ClientError, EphemeralSession, NetClient, Sealed};
 pub use frame::{ErrorCode, Frame, FrameError, FrameKind, Hello};
 pub use server::{NetServer, ServerConfig, ServerHandle, ServerStats};

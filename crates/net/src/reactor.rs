@@ -34,13 +34,17 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 
 use mhhea::gateway::{GatewayError, StreamConfig, StreamId, StreamMux, StreamOp, StreamOutput};
-use mhhea::KeyRing;
+use mhhea::{Key, KeyRing};
+use mhhea_kex::{derive_session, tags_equal, transcript, EphemeralSecret};
 
 use crate::conn::{
-    Conn, ControlAction, DataTicket, ReplyShape, StreamTable, TickSink, TicketOutcome,
+    Conn, ControlAction, DataTicket, KexTable, PendingKex, ReplyShape, StreamTable, TickSink,
+    TicketOutcome, MAX_PENDING_KEX,
 };
 use crate::frame::{
-    encode_error, encode_resumed_ack, flags, join_seq, ErrorCode, Frame, FrameKind, Hello,
+    algorithm_wire_tag, decode_key_ex, encode_error, encode_key_ex_ack_done,
+    encode_key_ex_ack_init, encode_resumed_ack, flags, join_seq, profile_wire_tag, split_seq,
+    ErrorCode, Frame, FrameKind, Hello, KeyExInit, KeyExPayload, KEX_TAG_LEN,
 };
 use crate::server::{ServerConfig, ServerStats};
 
@@ -115,11 +119,20 @@ impl Shared {
 
     /// Handshake and teardown frames, answered inline by the owning
     /// reactor against the shared registry/mux.
-    pub(crate) fn handle_control(&self, streams: &mut StreamTable, frame: &Frame) -> ControlAction {
+    pub(crate) fn handle_control(
+        &self,
+        streams: &mut StreamTable,
+        kex: &mut KexTable,
+        frame: &Frame,
+    ) -> ControlAction {
         let stream = frame.stream;
         match frame.kind {
             FrameKind::Hello => ControlAction {
                 reply: self.open_stream(streams, frame),
+                hang_up: false,
+            },
+            FrameKind::KeyEx => ControlAction {
+                reply: self.key_ex(streams, kex, frame),
                 hang_up: false,
             },
             FrameKind::Resume => ControlAction {
@@ -145,7 +158,11 @@ impl Shared {
             }
             // Server-emitted kinds arriving at the server are protocol
             // violations a conforming client never produces.
-            FrameKind::HelloAck | FrameKind::Reply | FrameKind::Error | FrameKind::RekeyAck => {
+            FrameKind::HelloAck
+            | FrameKind::Reply
+            | FrameKind::Error
+            | FrameKind::RekeyAck
+            | FrameKind::KeyExAck => {
                 ServerStats::bump(&self.stats.protocol_errors);
                 ControlAction {
                     reply: Frame::new(FrameKind::Error, 0, 0).with_payload(encode_error(
@@ -233,6 +250,220 @@ impl Shared {
                 fail(ErrorCode::StreamExists, "stream id already open")
             }
             Err(e) => fail(ErrorCode::BadHandshake, &e.to_string()),
+        }
+    }
+
+    /// An MHKX `KeyEx` frame — either handshake phase (see
+    /// `docs/PROTOCOL.md` §5.1). Every failure is a clean `Error` reply;
+    /// nothing in the exchange is connection-fatal.
+    fn key_ex(&self, streams: &mut StreamTable, kex: &mut KexTable, frame: &Frame) -> Frame {
+        let stream = frame.stream;
+        let fail = |code: ErrorCode, detail: &str| {
+            Frame::new(FrameKind::Error, stream, 0).with_payload(encode_error(code, detail))
+        };
+        if !self.cfg.ephemeral {
+            return fail(
+                ErrorCode::BadHandshake,
+                "ephemeral key agreement is not enabled on this server",
+            );
+        }
+        match decode_key_ex(&frame.payload) {
+            Ok(KeyExPayload::Init(init)) => self.key_ex_init(streams, kex, stream, init),
+            Ok(KeyExPayload::Confirm(tag)) => self.key_ex_confirm(streams, kex, stream, &tag),
+            Err(e) => fail(ErrorCode::BadHandshake, &e.to_string()),
+        }
+    }
+
+    /// MHKX phase 1: derive session material from the client's ephemeral
+    /// public key and park it until the client confirms. The server's
+    /// ephemeral secret drops at the end of this function — after that,
+    /// nothing held anywhere can reconstruct the shared secret (forward
+    /// secrecy); only the derived session material survives.
+    fn key_ex_init(
+        &self,
+        streams: &mut StreamTable,
+        kex: &mut KexTable,
+        stream: u64,
+        init: KeyExInit,
+    ) -> Frame {
+        let fail = |code: ErrorCode, detail: &str| {
+            Frame::new(FrameKind::Error, stream, 0).with_payload(encode_error(code, detail))
+        };
+        // Pre-checks mirror the Hello/Rekey paths so a handshake doomed to
+        // fail in phase 2 is refused before any derivation work. They are
+        // re-checked at phase 2 — the world can change in between.
+        if init.epoch == 0 {
+            if streams.contains_key(&stream) {
+                return fail(ErrorCode::StreamExists, "stream id already open");
+            }
+            if self.registry().snapshots.contains_key(&stream) {
+                return fail(
+                    ErrorCode::StreamExists,
+                    "stream id parked awaiting resume (present its resume token)",
+                );
+            }
+            if self.mux.len() >= self.cfg.max_streams {
+                return fail(ErrorCode::ServerBusy, "server at stream capacity");
+            }
+        } else {
+            let Some(&expected) = streams.get(&stream) else {
+                return fail(
+                    ErrorCode::UnknownStream,
+                    "key-ex rekey targets a stream this connection does not own",
+                );
+            };
+            let (current, _) = split_seq(expected);
+            if init.epoch <= current {
+                return fail(
+                    ErrorCode::StaleEpoch,
+                    &format!("epoch {} is not newer than current {current}", init.epoch),
+                );
+            }
+        }
+        // A retry for the same stream replaces its pending entry; only
+        // exchanges on *distinct* streams count against the cap.
+        if kex.len() >= MAX_PENDING_KEX && !kex.contains_key(&stream) {
+            return fail(
+                ErrorCode::ServerBusy,
+                "too many key exchanges in flight on this connection",
+            );
+        }
+        let secret = EphemeralSecret::generate();
+        let server_pub = secret.public_key();
+        let Ok(shared) = secret.diffie_hellman(&init.public_key) else {
+            ServerStats::bump(&self.stats.kex_rejected);
+            return fail(
+                ErrorCode::KeyConfirmFailed,
+                "client public key is a low-order point",
+            );
+        };
+        let t = transcript(
+            stream,
+            init.epoch,
+            algorithm_wire_tag(init.algorithm),
+            profile_wire_tag(init.profile),
+            &init.public_key,
+            &server_pub,
+        );
+        let material = derive_session(&shared, &t);
+        kex.insert(
+            stream,
+            PendingKex {
+                expected_tag: material.tag_client,
+                key_bytes: material.key_bytes,
+                seed: material.seed,
+                algorithm: init.algorithm,
+                profile: init.profile,
+                epoch: init.epoch,
+            },
+        );
+        Frame::new(FrameKind::KeyExAck, stream, 0)
+            .with_payload(encode_key_ex_ack_init(&server_pub, &material.tag_server))
+    }
+
+    /// MHKX phase 2: verify the client's confirmation tag, then — and
+    /// only then — allocate the stream (epoch 0) or rotate it (epoch >
+    /// 0). A failed tag leaves **no** session state behind: the pending
+    /// entry is consumed, the mux and registry are untouched.
+    fn key_ex_confirm(
+        &self,
+        streams: &mut StreamTable,
+        kex: &mut KexTable,
+        stream: u64,
+        tag: &[u8; KEX_TAG_LEN],
+    ) -> Frame {
+        let fail = |code: ErrorCode, detail: &str| {
+            Frame::new(FrameKind::Error, stream, 0).with_payload(encode_error(code, detail))
+        };
+        let Some(pending) = kex.remove(&stream) else {
+            return fail(
+                ErrorCode::BadHandshake,
+                "no key exchange in flight on this stream",
+            );
+        };
+        if !tags_equal(tag, &pending.expected_tag) {
+            ServerStats::bump(&self.stats.kex_rejected);
+            return fail(
+                ErrorCode::KeyConfirmFailed,
+                "key-confirmation tag mismatch; no session was created",
+            );
+        }
+        let key = match Key::from_bytes(&pending.key_bytes) {
+            Ok(key) => key,
+            // Unreachable for KDF output (16 bytes always pack), kept
+            // total for the serving path.
+            Err(e) => return fail(ErrorCode::Engine, &e.to_string()),
+        };
+        if pending.epoch == 0 {
+            // Same atomicity as open_stream: registry held across the
+            // parked-check and the mux open.
+            let mut reg = self.registry();
+            if reg.snapshots.contains_key(&stream) {
+                return fail(
+                    ErrorCode::StreamExists,
+                    "stream id parked awaiting resume (present its resume token)",
+                );
+            }
+            if self.mux.len() >= self.cfg.max_streams {
+                return fail(ErrorCode::ServerBusy, "server at stream capacity");
+            }
+            let ring = match KeyRing::single(key, pending.seed) {
+                Ok(ring) => ring,
+                // Unreachable: the KDF never derives a zero seed.
+                Err(e) => return fail(ErrorCode::Engine, &e.to_string()),
+            };
+            let config = StreamConfig::new(ring.key(0).clone())
+                .with_algorithm(pending.algorithm)
+                .with_profile(pending.profile)
+                .with_ring(ring);
+            match self.mux.open(StreamId(stream), config) {
+                Ok(()) => {
+                    let token = reg.fresh_token(&self.token_rand);
+                    reg.tokens.insert(stream, token);
+                    streams.insert(stream, 0);
+                    ServerStats::bump(&self.stats.streams_opened);
+                    ServerStats::bump(&self.stats.kex_completed);
+                    Frame::new(FrameKind::KeyExAck, stream, 0)
+                        .with_payload(encode_key_ex_ack_done(token))
+                }
+                Err(GatewayError::StreamExists(_)) => {
+                    fail(ErrorCode::StreamExists, "stream id already open")
+                }
+                Err(e) => fail(ErrorCode::BadHandshake, &e.to_string()),
+            }
+        } else {
+            if !streams.contains_key(&stream) {
+                return fail(
+                    ErrorCode::UnknownStream,
+                    "key-ex rekey targets a stream this connection does not own",
+                );
+            }
+            match self
+                .mux
+                .rekey_with(StreamId(stream), pending.epoch, key, pending.seed)
+            {
+                Ok(epoch) => {
+                    // Same post-rotation bookkeeping as the RekeyAck path:
+                    // retire the old resume token, restart the sequence
+                    // space at (new epoch, counter 0).
+                    let token = {
+                        let mut reg = self.registry();
+                        let token = reg.fresh_token(&self.token_rand);
+                        reg.tokens.insert(stream, token);
+                        token
+                    };
+                    streams.insert(stream, join_seq(epoch, 0));
+                    ServerStats::bump(&self.stats.streams_rekeyed);
+                    ServerStats::bump(&self.stats.kex_completed);
+                    Frame::new(FrameKind::KeyExAck, stream, 0)
+                        .with_payload(encode_key_ex_ack_done(token))
+                }
+                Err(GatewayError::StaleEpoch { current, requested }) => fail(
+                    ErrorCode::StaleEpoch,
+                    &format!("epoch {requested} is not newer than current {current}"),
+                ),
+                Err(e) => fail(ErrorCode::Engine, &e.to_string()),
+            }
         }
     }
 
@@ -360,8 +591,9 @@ impl Reactor {
                 rekey_pending: &mut rekey_pending,
                 stats: &shared.stats,
             };
-            let mut control =
-                |streams: &mut StreamTable, frame: &Frame| shared.handle_control(streams, frame);
+            let mut control = |streams: &mut StreamTable, kex: &mut KexTable, frame: &Frame| {
+                shared.handle_control(streams, kex, frame)
+            };
             for (idx, conn) in conns.iter_mut().enumerate() {
                 progress |= conn.read_tick(scratch, cfg.read_budget, cfg.write_buf_limit);
                 progress |= conn.parse_tick(idx, &mut sink, &mut control);

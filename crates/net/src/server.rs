@@ -107,6 +107,12 @@ pub struct ServerConfig {
     /// Sleep between ticks when nothing happened (each loop otherwise
     /// busy-polls its non-blocking sockets).
     pub idle_sleep: Duration,
+    /// Accept `KeyEx` handshakes: clients with **no pre-shared key** may
+    /// open (and rekey) streams under session keys derived by an
+    /// ephemeral X25519 exchange. Off by default — a keyring-only server
+    /// rejects `KeyEx` frames with [`crate::frame::ErrorCode::BadHandshake`].
+    /// Enable with [`ServerConfig::with_ephemeral_keys`].
+    pub ephemeral: bool,
 }
 
 impl ServerConfig {
@@ -124,7 +130,19 @@ impl ServerConfig {
             max_streams: 1 << 20,
             close_grace: Duration::from_secs(5),
             idle_sleep: Duration::from_micros(200),
+            ephemeral: false,
         }
+    }
+
+    /// Enables ephemeral key agreement (MHKX): clients without a
+    /// pre-shared key may open streams — and rotate them with fresh
+    /// Diffie–Hellman material — via `KeyEx`/`KeyExAck` handshakes (see
+    /// `docs/PROTOCOL.md` §5.1). Pre-shared-key `Hello` handshakes keep
+    /// working side by side.
+    #[must_use]
+    pub fn with_ephemeral_keys(mut self) -> ServerConfig {
+        self.ephemeral = true;
+        self
     }
 
     /// Sets the reactor-thread count (values below 1 are clamped to 1).
@@ -197,6 +215,12 @@ pub struct ServerStats {
     pub streams_resumed: AtomicU64,
     /// Monotonic: successful key rotations (`Rekey` → `RekeyAck`).
     pub streams_rekeyed: AtomicU64,
+    /// Monotonic: completed `KeyEx` handshakes (fresh opens *and*
+    /// fresh-DH rotations that passed key confirmation).
+    pub kex_completed: AtomicU64,
+    /// Monotonic: `KeyEx` handshakes rejected for a low-order public key
+    /// or a failed key-confirmation tag.
+    pub kex_rejected: AtomicU64,
 }
 
 impl ServerStats {
