@@ -57,6 +57,7 @@ impl Default for Config {
             spec_code_paths: vec![
                 "crates/net/src/frame.rs".to_string(),
                 "crates/net/src/server.rs".to_string(),
+                "crates/net/src/dgram/frame.rs".to_string(),
             ],
         }
     }

@@ -1,7 +1,8 @@
 //! Normalized perf snapshot — the tracked trajectory's data points.
 //!
 //! Re-times the headline bench points (container pipeline, gateway
-//! batch, net loopback at 1 and 4 reactors) in a smoke-plus regime —
+//! batch, net loopback at 1 and 4 reactors, the MHNP-D datagram
+//! exchange) in a smoke-plus regime —
 //! more than CI's single-iteration smoke, far less than a full criterion
 //! run — and writes one normalized JSON file per PR at the repo root
 //! (`BENCH_<pr>.json`). Successive snapshots, each stamped with a
@@ -19,6 +20,7 @@ use std::time::Instant;
 use mhhea::container::{open_v2_with, seal_v2, SealV2Options};
 use mhhea::gateway::{StreamConfig, StreamId, StreamMux};
 use mhhea_net::client::NetClient;
+use mhhea_net::dgram::{DgramClient, DgramClientConfig};
 use mhhea_net::frame::Hello;
 use mhhea_net::server::{NetServer, ServerConfig};
 
@@ -185,6 +187,49 @@ fn bench_net_loopback(points: &mut Vec<Point>) {
     }
 }
 
+/// Datagram path: one MHNP-D seal exchange per iteration — an 8 KiB
+/// message as 32 independently-keyed 256 B chunks, request and reply
+/// each one UDP packet, through the replay window and the one-shot
+/// chunk sessions. The chunk-addressed counterpart of `net_loopback`.
+fn bench_net_dgram(points: &mut Vec<Point>) {
+    const MSG_SIZE: usize = 8 << 10;
+    const CHUNK_BYTES: usize = 256;
+    let server = NetServer::spawn(
+        "127.0.0.1:0",
+        ServerConfig::new([(1, mhhea_bench::report_key())]).with_dgram(),
+    )
+    .expect("bind bench server");
+    let mut tcp = NetClient::connect(server.addr()).expect("connect");
+    let token = tcp
+        .open_stream(1, Hello::new(1, 0x5EED))
+        .expect("open stream");
+    let mut dgram = DgramClient::connect_with(
+        server.dgram_addr().expect("dgram enabled"),
+        DgramClientConfig {
+            chunk_bytes: CHUNK_BYTES,
+            recv_timeout: std::time::Duration::from_secs(1),
+            attach_attempts: 4,
+        },
+    )
+    .expect("dgram connect");
+    dgram.attach(1, token).expect("attach");
+    let message = message_for(1, 0, MSG_SIZE);
+    points.push(Point {
+        bench: "net_dgram_32x256B",
+        bytes_per_iter: MSG_SIZE as u64,
+        ns_median: time_median(|| {
+            let sealed = dgram.seal(1, &message).expect("dgram seal");
+            assert!(
+                sealed.is_complete(),
+                "loopback dgram exchange lost chunks: {:?}",
+                sealed.missing
+            );
+        }),
+    });
+    tcp.bye(1).expect("bye");
+    server.stop();
+}
+
 /// Ephemeral onboarding: one full MHKX handshake per iteration — TCP
 /// connect, both X25519 exchanges, the KDF on each side, four frames on
 /// the wire — measuring what serving a keyless client costs end to end.
@@ -276,6 +321,7 @@ fn main() {
     bench_gateway_batch(&mut points);
     if loopback_available() {
         bench_net_loopback(&mut points);
+        bench_net_dgram(&mut points);
         bench_net_ephemeral_handshake(&mut points);
     } else {
         eprintln!("loopback TCP unavailable; skipping net_loopback points");

@@ -98,7 +98,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::key::{KeyError, KeyRing, MAX_PAIRS};
 use crate::lanes::{seal_lanes, LaneSealJob, LANE_THRESHOLD};
-use crate::pipeline::WorkerPool;
+use crate::pipeline::{chunk_seed, WorkerPool};
 use crate::session::{CursorDecodeError, DecryptSession, EncryptSession, StreamCursor};
 use crate::source::LfsrSource;
 use crate::{Algorithm, Key, MhheaError, Profile};
@@ -789,6 +789,86 @@ impl StreamMux {
     ) -> Result<u32, GatewayError> {
         self.inner
             .with_stream(id, |s| s.rekey_with(key, seed, epoch))
+    }
+
+    /// Seals one **chunk-addressed** message on a stream: a one-shot
+    /// encrypt session seeded with `chunk_seed(ring.seed(epoch),
+    /// chunk_index)` — the container-v2 per-chunk derivation — so every
+    /// chunk is independently decryptable, in any order, with any subset
+    /// delivered. The stream's duplex cursors are **not** advanced: chunk
+    /// traffic and the sequential [`StreamMux::encrypt`] path coexist on
+    /// one stream without desynchronising each other.
+    ///
+    /// `epoch` must name the stream's *current* epoch — the caller's view
+    /// of which key the chunk is sealed under is checked, not assumed.
+    /// Chunk indices must never be reused within an epoch (each index
+    /// names one keystream; reuse would be a two-time pad) — the caller
+    /// owns that discipline, e.g. with a monotonic per-stream counter and
+    /// a receive-side replay window.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownStream`]; [`GatewayError::NoKeyRing`] when
+    /// the stream was opened without a ring (no chunk-seed master to
+    /// derive from); [`GatewayError::StaleEpoch`] unless `epoch` is the
+    /// stream's current epoch; engine failures as
+    /// [`GatewayError::Engine`]. On every error the stream is untouched.
+    pub fn seal_chunk(
+        &self,
+        id: StreamId,
+        epoch: u32,
+        chunk_index: u32,
+        message: &[u8],
+    ) -> Result<Vec<u16>, GatewayError> {
+        self.inner.with_stream(id, |s| {
+            let ring = s.ring.as_ref().ok_or(GatewayError::NoKeyRing(id))?;
+            if epoch != s.epoch {
+                return Err(GatewayError::StaleEpoch {
+                    current: s.epoch,
+                    requested: epoch,
+                });
+            }
+            let seed = chunk_seed(ring.seed(epoch), chunk_index);
+            let source =
+                LfsrSource::new(seed).map_err(|_| GatewayError::Engine(MhheaError::InvalidSeed))?;
+            let mut enc =
+                EncryptSession::with_options(s.key.clone(), source, s.algorithm, s.profile);
+            Ok(enc.encrypt(message)?)
+        })
+    }
+
+    /// Opens one chunk sealed by [`StreamMux::seal_chunk`] (this mux or
+    /// any peer holding the same key): a one-shot decrypt session from the
+    /// stream origin — decryption consults only the key, so no seed
+    /// derivation is needed and chunks open in any order. The stream's
+    /// duplex cursors are **not** advanced.
+    ///
+    /// `epoch` must name the stream's current epoch (the chunk was sealed
+    /// under that epoch's key; opening it under any other would produce
+    /// garbage, not an error — so the mismatch is refused up front).
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::UnknownStream`]; [`GatewayError::StaleEpoch`]
+    /// unless `epoch` is current; [`GatewayError::Engine`] (e.g.
+    /// truncated ciphertext). On every error the stream is untouched.
+    pub fn open_chunk(
+        &self,
+        id: StreamId,
+        epoch: u32,
+        blocks: &[u16],
+        bit_len: usize,
+    ) -> Result<Vec<u8>, GatewayError> {
+        self.inner.with_stream(id, |s| {
+            if epoch != s.epoch {
+                return Err(GatewayError::StaleEpoch {
+                    current: s.epoch,
+                    requested: epoch,
+                });
+            }
+            let mut dec = DecryptSession::with_options(s.key.clone(), s.algorithm, s.profile);
+            Ok(dec.decrypt(blocks, bit_len)?)
+        })
     }
 
     /// Runs `op` over a whole batch with one pool submission per busy
@@ -1816,6 +1896,111 @@ mod tests {
         assert!(matches!(results[2], Ok(StreamOutput::Blocks(_))));
         assert_eq!(mux.epoch(StreamId(1)).unwrap(), 0);
         assert_eq!(mux.epoch(StreamId(2)).unwrap(), 1);
+    }
+
+    /// Chunk-addressed seal/open: any order, any subset, and the stream's
+    /// sequential cursors never move — chunk and stream traffic coexist.
+    #[test]
+    fn chunk_ops_roundtrip_out_of_order_without_touching_cursors() {
+        let tx = StreamMux::with_shards(2);
+        let rx = StreamMux::with_shards(4);
+        let cfg = StreamConfig::new(key()).with_ring(ring());
+        tx.open(StreamId(9), cfg.clone()).unwrap();
+        rx.open(StreamId(9), cfg).unwrap();
+
+        let chunks: Vec<Vec<u8>> = (0u32..5)
+            .map(|i| format!("chunk payload {i}").into_bytes())
+            .collect();
+        let sealed: Vec<Vec<u16>> = chunks
+            .iter()
+            .enumerate()
+            .map(|(i, c)| tx.seal_chunk(StreamId(9), 0, i as u32, c).unwrap())
+            .collect();
+        // Chunk seals leave the sequential encrypt cursor at the origin.
+        assert_eq!(tx.cursor(StreamId(9)).unwrap().block_index, 0);
+        // Distinct indices must produce distinct keystreams.
+        let again = tx.seal_chunk(StreamId(9), 0, 1, &chunks[0]).unwrap();
+        assert_ne!(again, sealed[0], "chunk seeds must differ per index");
+
+        // Open in reverse order, skipping one — delivery order and loss
+        // are invisible to chunk decryption.
+        for i in [4usize, 2, 1, 0] {
+            let got = rx
+                .open_chunk(StreamId(9), 0, &sealed[i], chunks[i].len() * 8)
+                .unwrap();
+            assert_eq!(got, chunks[i]);
+        }
+        // The sequential stream path is byte-identical to a chunk-free
+        // stream: cursors were never advanced by the chunk traffic.
+        let blocks = tx.encrypt(StreamId(9), b"stream traffic").unwrap();
+        assert_eq!(
+            rx.decrypt(StreamId(9), &blocks, 14 * 8).unwrap(),
+            b"stream traffic"
+        );
+    }
+
+    /// Pins the chunk-seed derivation: `seal_chunk` is byte-identical to
+    /// a one-shot session seeded with `chunk_seed(ring.seed(epoch), i)` —
+    /// the contract a remote differential oracle reproduces.
+    #[test]
+    fn chunk_seal_matches_oracle_session() {
+        let mux = StreamMux::with_shards(2);
+        let cfg = StreamConfig::new(key()).with_ring(ring());
+        mux.open(StreamId(4), cfg).unwrap();
+        let msg = b"oracle me";
+        for index in [0u32, 1, 7] {
+            let sealed = mux.seal_chunk(StreamId(4), 0, index, msg).unwrap();
+            let seed = crate::pipeline::chunk_seed(ring().seed(0), index);
+            let mut oracle = EncryptSession::with_options(
+                key(),
+                LfsrSource::new(seed).unwrap(),
+                Algorithm::Mhhea,
+                Profile::Streaming,
+            );
+            assert_eq!(sealed, oracle.encrypt(msg).unwrap(), "index {index}");
+        }
+    }
+
+    /// Chunk ops refuse wrong epochs and ringless streams, and follow the
+    /// stream across a rotation.
+    #[test]
+    fn chunk_ops_check_epoch_and_ring() {
+        let mux = StreamMux::with_shards(2);
+        mux.open(StreamId(1), StreamConfig::new(key())).unwrap();
+        mux.open(StreamId(2), StreamConfig::new(key()).with_ring(ring()))
+            .unwrap();
+        assert_eq!(
+            mux.seal_chunk(StreamId(1), 0, 0, b"no ring"),
+            Err(GatewayError::NoKeyRing(StreamId(1)))
+        );
+        assert_eq!(
+            mux.seal_chunk(StreamId(7), 0, 0, b"nobody home"),
+            Err(GatewayError::UnknownStream(StreamId(7)))
+        );
+        // A wrong epoch stamp — stale or future — is refused up front.
+        assert_eq!(
+            mux.seal_chunk(StreamId(2), 3, 0, b"future"),
+            Err(GatewayError::StaleEpoch {
+                current: 0,
+                requested: 3
+            })
+        );
+        let epoch0 = mux.seal_chunk(StreamId(2), 0, 0, b"rotate me").unwrap();
+        mux.rekey(StreamId(2), 1).unwrap();
+        assert_eq!(
+            mux.open_chunk(StreamId(2), 0, &epoch0, 72),
+            Err(GatewayError::StaleEpoch {
+                current: 1,
+                requested: 0
+            })
+        );
+        // Index 0 is fresh keystream again under the rotated epoch seed.
+        let epoch1 = mux.seal_chunk(StreamId(2), 1, 0, b"rotate me").unwrap();
+        assert_ne!(epoch0, epoch1, "rotation must change the chunk keystream");
+        assert_eq!(
+            mux.open_chunk(StreamId(2), 1, &epoch1, 72).unwrap(),
+            b"rotate me"
+        );
     }
 
     /// An evict/restore cycle across a rotation keeps everything: epoch,

@@ -1,0 +1,102 @@
+//! Datagram framing: one MHNP frame per UDP datagram, plus size caps.
+//!
+//! MHNP-D reuses the stream wire format from [`crate::frame`] unchanged —
+//! same 32-byte header, same CRC-32, same kind/error-code spaces — and
+//! adds exactly one constraint: **a datagram carries exactly one frame**.
+//! The frame must span the whole datagram; a datagram with bytes left
+//! over after the frame, or one too short to hold the frame its header
+//! declares, is rejected whole. That keeps every packet self-describing
+//! (stream id, epoch and chunk index ride in the header's `stream` and
+//! `seq` fields) and decodable with zero cross-packet state.
+//!
+//! The caps below are deliberately far under [`crate::frame::MAX_PAYLOAD`]:
+//! a datagram either fits comfortably in a single unfragmented UDP packet
+//! on loopback-class MTUs or it is refused before any cipher work.
+
+use crate::frame::{decode, Frame, FrameError, HEADER_LEN};
+
+/// Largest plaintext chunk a single [`crate::frame::FrameKind::DgramData`]
+/// seal request may carry, in bytes. Senders split messages at (at most)
+/// this size; the server refuses bigger seal payloads with
+/// [`crate::frame::ErrorCode::MessageTooLarge`] before touching the
+/// cipher.
+pub const DGRAM_MAX_CHUNK_BYTES: usize = 1024;
+
+/// Largest datagram either side of MHNP-D ever emits, in bytes: a frame
+/// header plus the biggest legal payload — an encoded block vector
+/// (`bit_len` prefix + 16 bytes of ciphertext blocks per plaintext byte)
+/// for a maximum-size chunk. Receive buffers are sized to this; a bigger
+/// datagram is truncated by the socket, fails the CRC, and is dropped.
+pub const DGRAM_MAX_PACKET_BYTES: usize = HEADER_LEN + 4 + 16 * DGRAM_MAX_CHUNK_BYTES;
+
+/// Decodes one datagram as exactly one MHNP frame.
+///
+/// Unlike the incremental stream [`decode`], a datagram is an atomic
+/// unit: "need more bytes" means the packet was truncated in flight, and
+/// trailing bytes after the frame mean it was corrupted or hostile.
+/// Both are reported as errors so callers drop the packet whole.
+///
+/// # Errors
+///
+/// Everything [`decode`] reports (bad magic, unknown kind, bad CRC, …)
+/// plus [`FrameError::BadPayload`] for truncated or oversize datagrams.
+pub fn decode_datagram(buf: &[u8]) -> Result<Frame, FrameError> {
+    match decode(buf)? {
+        Some((frame, used)) if used == buf.len() => Ok(frame),
+        Some(_) => Err(FrameError::BadPayload(
+            "trailing bytes after datagram frame",
+        )),
+        None => Err(FrameError::BadPayload("truncated datagram")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{join_seq, FrameKind};
+
+    #[test]
+    fn datagram_decode_requires_exactly_one_frame() {
+        let frame = Frame::new(FrameKind::DgramData, 9, join_seq(1, 4)).with_payload(vec![7; 16]);
+        let bytes = frame.encode();
+
+        let back = decode_datagram(&bytes).expect("whole datagram decodes");
+        assert_eq!(back.kind, FrameKind::DgramData);
+        assert_eq!(back.stream, 9);
+        assert_eq!(back.seq, join_seq(1, 4));
+        assert_eq!(back.payload, vec![7; 16]);
+
+        // Truncated: the packet lost its tail in flight.
+        assert!(matches!(
+            decode_datagram(&bytes[..bytes.len() - 1]),
+            Err(FrameError::BadPayload(_))
+        ));
+
+        // Trailing garbage: two frames (or junk) glued into one packet.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(matches!(
+            decode_datagram(&padded),
+            Err(FrameError::BadPayload(_))
+        ));
+
+        // A flipped payload byte fails the CRC like any stream frame.
+        let mut flipped = bytes;
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        assert!(matches!(
+            decode_datagram(&flipped),
+            Err(FrameError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn packet_cap_bounds_the_biggest_legal_reply() {
+        // A sealed max-size chunk: 8 u16 blocks (16 wire bytes) per
+        // plaintext byte plus the 4-byte bit_len prefix.
+        let blocks = vec![0u16; 16 * DGRAM_MAX_CHUNK_BYTES / 2];
+        let payload = crate::frame::encode_blocks((DGRAM_MAX_CHUNK_BYTES * 8) as u32, &blocks);
+        let frame = Frame::new(FrameKind::DgramReply, 1, join_seq(0, 0)).with_payload(payload);
+        assert!(frame.encode().len() <= DGRAM_MAX_PACKET_BYTES);
+    }
+}

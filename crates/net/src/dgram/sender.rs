@@ -1,0 +1,534 @@
+//! [`DgramClient`] — the MHNP-D client: chunked seal/open over UDP.
+//!
+//! One message becomes N independent datagrams: the client splits the
+//! plaintext at [`DGRAM_MAX_CHUNK_BYTES`] (or a smaller configured chunk
+//! size), stamps each chunk with a **never-reused** per-stream chunk
+//! index, and sends each as its own [`FrameKind::DgramData`] packet. The
+//! server seals each chunk under an index-derived keystream and answers
+//! with a [`FrameKind::DgramReply`] per chunk; replies arrive in any
+//! order, possibly duplicated, possibly not at all. The client collects
+//! them under a deadline and reports the outcome honestly in a
+//! [`DgramOutcome`]: chunks delivered byte-exact, chunks the server
+//! refused, and chunks that simply never came back.
+//!
+//! Chunk indices are burned the moment they are assigned — before any
+//! packet is sent — so no failure path can ever reissue an index within
+//! an epoch (the server's keystream derivation makes index reuse a
+//! two-time pad; see [`super::window`]).
+
+use std::collections::{BTreeSet, HashMap};
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::time::{Duration, Instant};
+
+use crate::frame::{
+    decode_blocks, decode_error, decode_rekey, encode_blocks, encode_raw, flags, join_seq,
+    split_seq, ErrorCode, FrameError, FrameKind,
+};
+
+use super::frame::{decode_datagram, DGRAM_MAX_CHUNK_BYTES, DGRAM_MAX_PACKET_BYTES};
+
+/// Everything [`DgramClient`] can fail with.
+///
+/// Per-chunk refusals and losses are *not* errors — they are reported in
+/// the [`DgramOutcome`] so partial delivery keeps its delivered bytes.
+/// This type is for failures of the exchange itself.
+#[derive(Debug)]
+pub enum DgramError {
+    /// The socket failed.
+    Io(io::Error),
+    /// A reply could not be parsed at the frame layer.
+    Frame(FrameError),
+    /// The server refused an attach with an MHNP error frame.
+    Server {
+        /// Machine-readable code, when the byte mapped to a known code.
+        code: Option<ErrorCode>,
+        /// Human-readable detail from the server.
+        detail: String,
+    },
+    /// [`DgramClient::seal`]/[`DgramClient::open`] was called for a
+    /// stream never attached with [`DgramClient::attach`].
+    StreamNotAttached(u64),
+    /// No [`FrameKind::DgramAck`] arrived within the configured attempts.
+    AttachTimeout {
+        /// The stream being attached.
+        stream: u64,
+        /// How many `DgramResume` packets were sent.
+        attempts: u32,
+    },
+    /// The stream's 32-bit chunk-index space for this epoch is spent.
+    /// Rekey to a fresh epoch to keep sending.
+    ChunkIndexExhausted(u64),
+}
+
+impl core::fmt::Display for DgramError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DgramError::Io(e) => write!(f, "datagram socket error: {e}"),
+            DgramError::Frame(e) => write!(f, "datagram frame error: {e}"),
+            DgramError::Server { code, detail } => match code {
+                Some(code) => write!(f, "server refused: {code}: {detail}"),
+                None => write!(f, "server refused: {detail}"),
+            },
+            DgramError::StreamNotAttached(id) => {
+                write!(f, "stream {id} is not attached to the datagram path")
+            }
+            DgramError::AttachTimeout { stream, attempts } => {
+                write!(
+                    f,
+                    "no ack for stream {stream} after {attempts} attach attempts"
+                )
+            }
+            DgramError::ChunkIndexExhausted(id) => {
+                write!(f, "stream {id} spent its chunk-index space for this epoch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DgramError {}
+
+impl From<io::Error> for DgramError {
+    fn from(e: io::Error) -> DgramError {
+        DgramError::Io(e)
+    }
+}
+
+impl From<FrameError> for DgramError {
+    fn from(e: FrameError) -> DgramError {
+        DgramError::Frame(e)
+    }
+}
+
+impl DgramError {
+    /// True when this is a server refusal carrying exactly `code`.
+    pub fn is_code(&self, code: ErrorCode) -> bool {
+        matches!(self, DgramError::Server { code: Some(c), .. } if *c == code)
+    }
+}
+
+/// A chunk the server refused with an MHNP error frame.
+#[derive(Debug, Clone)]
+pub struct RejectedChunk {
+    /// The chunk index the refusal answered.
+    pub index: u32,
+    /// Machine-readable code, when the byte mapped to a known code.
+    pub code: Option<ErrorCode>,
+    /// Human-readable detail from the server.
+    pub detail: String,
+}
+
+/// The honest result of a chunked exchange: what arrived, what was
+/// refused, what was lost. Losing a chunk is **not** an error — it is the
+/// contract of the transport — but it is never silent.
+#[derive(Debug, Clone)]
+pub struct DgramOutcome<T> {
+    /// Chunks the server answered, in arrival order.
+    pub delivered: Vec<T>,
+    /// Chunks the server explicitly refused (stale epoch, duplicate
+    /// index, oversize, …).
+    pub rejected: Vec<RejectedChunk>,
+    /// Chunk indices with no reply by the deadline — the request or the
+    /// reply was lost in flight. Sorted ascending.
+    pub missing: Vec<u32>,
+}
+
+impl<T> DgramOutcome<T> {
+    /// True when every chunk was delivered: nothing refused, nothing lost.
+    pub fn is_complete(&self) -> bool {
+        self.rejected.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// One sealed chunk: the ciphertext for one chunk index.
+#[derive(Debug, Clone)]
+pub struct SealedChunk {
+    /// The chunk index this ciphertext was sealed under. Together with
+    /// the stream's epoch it fully determines the keystream.
+    pub index: u32,
+    /// Plaintext length in bits (trailing partial blocks are padded).
+    pub bit_len: u32,
+    /// The ciphertext blocks.
+    pub blocks: Vec<u16>,
+}
+
+/// One opened chunk: the recovered plaintext for one chunk index.
+#[derive(Debug, Clone)]
+pub struct OpenedChunk {
+    /// The chunk index the plaintext belongs to.
+    pub index: u32,
+    /// The recovered plaintext bytes.
+    pub plain: Vec<u8>,
+}
+
+/// Tuning knobs for [`DgramClient`].
+#[derive(Debug, Clone)]
+pub struct DgramClientConfig {
+    /// Largest plaintext chunk per datagram, clamped to
+    /// `1..=`[`DGRAM_MAX_CHUNK_BYTES`]. Smaller chunks mean more packets
+    /// per message — useful for exercising reordering.
+    pub chunk_bytes: usize,
+    /// How long [`DgramClient::seal`]/[`DgramClient::open`] wait for the
+    /// last outstanding reply before declaring the rest missing, and how
+    /// long each attach attempt waits for its ack.
+    pub recv_timeout: Duration,
+    /// How many `DgramResume` packets [`DgramClient::attach`] sends
+    /// before giving up. Attach is idempotent on the server, so retries
+    /// are safe under loss and duplication.
+    pub attach_attempts: u32,
+}
+
+impl Default for DgramClientConfig {
+    fn default() -> DgramClientConfig {
+        DgramClientConfig {
+            chunk_bytes: DGRAM_MAX_CHUNK_BYTES,
+            recv_timeout: Duration::from_millis(250),
+            attach_attempts: 4,
+        }
+    }
+}
+
+/// Per-stream client state.
+#[derive(Debug)]
+struct StreamState {
+    /// The key epoch the server acked at attach time; every request is
+    /// stamped with it.
+    epoch: u32,
+    /// Next chunk index to assign, kept as `u64` so exhaustion of the
+    /// 32-bit wire space is detected instead of wrapped.
+    next_chunk: u64,
+}
+
+/// The MHNP-D client. See the [module docs](self) for the exchange model.
+///
+/// Not `Sync`: like [`crate::client::NetClient`], one `DgramClient` is
+/// one conversation and methods take `&mut self`.
+#[derive(Debug)]
+pub struct DgramClient {
+    sock: UdpSocket,
+    cfg: DgramClientConfig,
+    streams: HashMap<u64, StreamState>,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+}
+
+impl DgramClient {
+    /// Binds an ephemeral local socket and connects it to the server's
+    /// datagram address, with default config.
+    ///
+    /// # Errors
+    ///
+    /// [`DgramError::Io`] when binding or connecting fails.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<DgramClient, DgramError> {
+        DgramClient::connect_with(addr, DgramClientConfig::default())
+    }
+
+    /// [`DgramClient::connect`] with explicit tuning.
+    ///
+    /// # Errors
+    ///
+    /// [`DgramError::Io`] when binding or connecting fails.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        cfg: DgramClientConfig,
+    ) -> Result<DgramClient, DgramError> {
+        let target = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address to connect"))?;
+        let bind_addr: SocketAddr = if target.is_ipv4() {
+            ([0, 0, 0, 0], 0).into()
+        } else {
+            (std::net::Ipv6Addr::UNSPECIFIED, 0).into()
+        };
+        let sock = UdpSocket::bind(bind_addr)?;
+        sock.connect(target)?;
+        Ok(DgramClient {
+            sock,
+            cfg,
+            streams: HashMap::new(),
+            rbuf: vec![0; DGRAM_MAX_PACKET_BYTES],
+            wbuf: Vec::with_capacity(DGRAM_MAX_PACKET_BYTES),
+        })
+    }
+
+    /// The local address the client's socket is bound to.
+    ///
+    /// # Errors
+    ///
+    /// [`DgramError::Io`] when the socket cannot report its address.
+    pub fn local_addr(&self) -> Result<SocketAddr, DgramError> {
+        Ok(self.sock.local_addr()?)
+    }
+
+    /// Attaches a stream to the datagram path by presenting its resume
+    /// token (from a TCP `HelloAck`, `RekeyAck` or MHKX `KeyExAck`).
+    /// Returns the stream's current key epoch.
+    ///
+    /// Attach is idempotent: the packet is retried up to
+    /// `attach_attempts` times, and a duplicated `DgramResume` on the
+    /// wire is harmless. Re-attaching after a rekey refreshes the epoch
+    /// and restarts chunk indices; re-attaching at the same epoch keeps
+    /// the local index cursor so indices are still never reused.
+    ///
+    /// # Errors
+    ///
+    /// [`DgramError::Server`] when the server refuses the token,
+    /// [`DgramError::AttachTimeout`] when no ack arrives, or
+    /// [`DgramError::Io`] on socket failure.
+    pub fn attach(&mut self, stream: u64, token: u64) -> Result<u32, DgramError> {
+        let attempts = self.cfg.attach_attempts.max(1);
+        for _ in 0..attempts {
+            self.wbuf.clear();
+            encode_raw(
+                &mut self.wbuf,
+                FrameKind::DgramResume,
+                0,
+                stream,
+                0,
+                &token.to_le_bytes(),
+            );
+            self.sock.send(&self.wbuf)?;
+
+            let deadline = Instant::now() + self.cfg.recv_timeout;
+            while let Some(frame) = self.recv_until(deadline)? {
+                if frame.stream != stream {
+                    continue;
+                }
+                match frame.kind {
+                    FrameKind::DgramAck => {
+                        // The ack payload is the 4-byte LE epoch — the
+                        // same shape as a Rekey payload.
+                        let epoch = decode_rekey(&frame.payload)?;
+                        match self.streams.get_mut(&stream) {
+                            Some(st) if st.epoch == epoch => {}
+                            _ => {
+                                self.streams.insert(
+                                    stream,
+                                    StreamState {
+                                        epoch,
+                                        next_chunk: 0,
+                                    },
+                                );
+                            }
+                        }
+                        return Ok(epoch);
+                    }
+                    FrameKind::Error => {
+                        let (code, detail) = decode_error(&frame.payload);
+                        return Err(DgramError::Server { code, detail });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Err(DgramError::AttachTimeout { stream, attempts })
+    }
+
+    /// Splits `message` into chunks, has the server seal each under its
+    /// own chunk index, and collects the ciphertexts. An empty message
+    /// yields an empty (complete) outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`DgramError::StreamNotAttached`] before [`DgramClient::attach`],
+    /// [`DgramError::ChunkIndexExhausted`] when the epoch's index space
+    /// is spent, or [`DgramError::Io`] on socket failure. Per-chunk
+    /// refusals and losses are reported in the outcome, not as errors.
+    pub fn seal(
+        &mut self,
+        stream: u64,
+        message: &[u8],
+    ) -> Result<DgramOutcome<SealedChunk>, DgramError> {
+        let chunk_bytes = self.cfg.chunk_bytes.clamp(1, DGRAM_MAX_CHUNK_BYTES);
+        let st = self
+            .streams
+            .get_mut(&stream)
+            .ok_or(DgramError::StreamNotAttached(stream))?;
+        let epoch = st.epoch;
+        let count = message.len().div_ceil(chunk_bytes) as u64;
+        let first = st.next_chunk;
+        if first + count > u64::from(u32::MAX) + 1 {
+            return Err(DgramError::ChunkIndexExhausted(stream));
+        }
+        // Burn the indices before any I/O: no failure below may reuse one.
+        st.next_chunk = first + count;
+
+        let requests: Vec<(u32, &[u8])> = message
+            .chunks(chunk_bytes)
+            .enumerate()
+            // lint: allow(truncating-cast, reason = "first + i <= u32::MAX was checked above")
+            .map(|(i, chunk)| ((first + i as u64) as u32, chunk))
+            .collect();
+        let raw = self.exchange(stream, epoch, &requests, false)?;
+
+        let mut delivered = Vec::with_capacity(raw.delivered.len());
+        let mut rejected = raw.rejected;
+        for (index, payload) in raw.delivered {
+            match decode_blocks(&payload) {
+                Ok((bit_len, blocks)) => delivered.push(SealedChunk {
+                    index,
+                    bit_len,
+                    blocks,
+                }),
+                Err(e) => rejected.push(RejectedChunk {
+                    index,
+                    code: None,
+                    detail: format!("malformed seal reply: {e}"),
+                }),
+            }
+        }
+        Ok(DgramOutcome {
+            delivered,
+            rejected,
+            missing: raw.missing,
+        })
+    }
+
+    /// Has the server open (decrypt) each sealed chunk and collects the
+    /// plaintexts. Chunks may come from any order and any subset of a
+    /// previous [`DgramClient::seal`].
+    ///
+    /// Each chunk's own index identifies the open request on the wire,
+    /// and the server dedups open requests exactly like seal requests:
+    /// opening the same chunk twice is refused as a duplicate.
+    ///
+    /// # Errors
+    ///
+    /// [`DgramError::StreamNotAttached`] before [`DgramClient::attach`]
+    /// or [`DgramError::Io`] on socket failure. Per-chunk refusals and
+    /// losses are reported in the outcome, not as errors.
+    pub fn open(
+        &mut self,
+        stream: u64,
+        chunks: &[SealedChunk],
+    ) -> Result<DgramOutcome<OpenedChunk>, DgramError> {
+        let st = self
+            .streams
+            .get(&stream)
+            .ok_or(DgramError::StreamNotAttached(stream))?;
+        let epoch = st.epoch;
+        let payloads: Vec<(u32, Vec<u8>)> = chunks
+            .iter()
+            .map(|c| (c.index, encode_blocks(c.bit_len, &c.blocks)))
+            .collect();
+        let requests: Vec<(u32, &[u8])> = payloads
+            .iter()
+            .map(|(index, payload)| (*index, payload.as_slice()))
+            .collect();
+        let raw = self.exchange(stream, epoch, &requests, true)?;
+        Ok(DgramOutcome {
+            delivered: raw
+                .delivered
+                .into_iter()
+                .map(|(index, plain)| OpenedChunk { index, plain })
+                .collect(),
+            rejected: raw.rejected,
+            missing: raw.missing,
+        })
+    }
+
+    /// Sends one `DgramData` per request and collects raw reply payloads
+    /// until every index is answered or the deadline passes. Duplicate
+    /// replies, replies for other streams or epochs, and undecodable
+    /// packets are dropped silently.
+    fn exchange(
+        &mut self,
+        stream: u64,
+        epoch: u32,
+        requests: &[(u32, &[u8])],
+        open: bool,
+    ) -> Result<DgramOutcome<(u32, Vec<u8>)>, DgramError> {
+        let dir = if open { flags::DIR_OPEN } else { 0 };
+        let mut pending: BTreeSet<u32> = BTreeSet::new();
+        for &(index, payload) in requests {
+            self.wbuf.clear();
+            encode_raw(
+                &mut self.wbuf,
+                FrameKind::DgramData,
+                dir,
+                stream,
+                join_seq(epoch, index),
+                payload,
+            );
+            self.sock.send(&self.wbuf)?;
+            pending.insert(index);
+        }
+
+        let mut delivered = Vec::new();
+        let mut rejected = Vec::new();
+        let deadline = Instant::now() + self.cfg.recv_timeout;
+        while !pending.is_empty() {
+            let Some(frame) = self.recv_until(deadline)? else {
+                break;
+            };
+            if frame.stream != stream {
+                continue;
+            }
+            let (frame_epoch, index) = split_seq(frame.seq);
+            if frame_epoch != epoch || !pending.contains(&index) {
+                continue;
+            }
+            match frame.kind {
+                // The direction flag must match: a delayed *seal* reply
+                // must never be mistaken for the *open* reply of the same
+                // index (the two payloads have different shapes).
+                FrameKind::DgramReply if frame.flags & flags::DIR_OPEN == dir => {
+                    pending.remove(&index);
+                    delivered.push((index, frame.payload));
+                }
+                FrameKind::Error => {
+                    pending.remove(&index);
+                    let (code, detail) = decode_error(&frame.payload);
+                    rejected.push(RejectedChunk {
+                        index,
+                        code,
+                        detail,
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(DgramOutcome {
+            delivered,
+            rejected,
+            missing: pending.into_iter().collect(),
+        })
+    }
+
+    /// Receives and decodes one datagram, or returns `None` once the
+    /// deadline passes. Undecodable packets are dropped and the wait
+    /// continues.
+    fn recv_until(&mut self, deadline: Instant) -> Result<Option<crate::frame::Frame>, DgramError> {
+        loop {
+            let now = Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Ok(None);
+            };
+            self.sock
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+            let n = match self.sock.recv(&mut self.rbuf) {
+                Ok(n) => n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            // lint: allow(panic-path, reason = "recv returns n <= rbuf.len() by contract")
+            match decode_datagram(&self.rbuf[..n]) {
+                Ok(frame) => return Ok(Some(frame)),
+                Err(_) => continue,
+            }
+        }
+    }
+}

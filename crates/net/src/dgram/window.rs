@@ -1,0 +1,218 @@
+//! The sliding replay window: per-stream chunk-index dedup with bounded
+//! memory.
+//!
+//! Both ends of MHNP-D run one of these per stream and direction. On the
+//! server it is security-critical in the seal direction: chunk index `i`
+//! at epoch `e` selects keystream `chunk_seed(epoch_seed, i)`, so sealing
+//! two payloads under the same `(e, i)` would hand out a two-time pad.
+//! The window guarantees each index inside it is served **at most once**
+//! ([`Slot::Duplicate`] on replay) while indices that fell behind it are
+//! refused outright ([`Slot::Expired`]) — the bounded-memory price of
+//! tolerating arbitrary reordering within the window span.
+//!
+//! The scheme is the classic IPsec anti-replay window: a fixed-size ring
+//! of bits tracking the `window()` indices at and below the highest index
+//! seen, which slides forward (never back) as higher indices arrive.
+
+/// Smallest window size [`ReorderWindow::new`] will build (one bitmap
+/// word). Requests below this are rounded up.
+pub const MIN_WINDOW: u32 = 64;
+
+/// Largest window size [`ReorderWindow::new`] will build. Requests above
+/// this are rounded down — the window is per-stream state, so its size
+/// bounds server memory per attached stream.
+pub const MAX_WINDOW: u32 = 1 << 16;
+
+/// What [`ReorderWindow::insert`] decided about a chunk index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// First sighting of this index: serve it.
+    Accepted,
+    /// The index is inside the window and was already accepted: refuse it
+    /// ([`crate::frame::ErrorCode::DuplicateChunk`] on the wire).
+    Duplicate,
+    /// The index fell behind the window and its history is gone: refuse
+    /// it ([`crate::frame::ErrorCode::ChunkExpired`] on the wire).
+    Expired,
+}
+
+/// A sliding anti-replay window over `u32` chunk indices.
+///
+/// Tracks which of the `window()` indices ending at the highest index
+/// seen have been accepted. Indices above the highest always fit (the
+/// window slides up to admit them); indices at or below it are accepted
+/// once, refused as [`Slot::Duplicate`] thereafter, and refused as
+/// [`Slot::Expired`] once they drop off the low edge.
+#[derive(Debug, Clone)]
+pub struct ReorderWindow {
+    /// Ring of bitmap words; index `i` lives at bit `i % 64` of word
+    /// `(i / 64) % bits.len()`.
+    bits: Vec<u64>,
+    /// `bits.len() * 64`, cached.
+    window: u32,
+    /// Highest index ever accepted into the window, if any.
+    highest: Option<u32>,
+}
+
+impl ReorderWindow {
+    /// Builds a window spanning (at least) `window` indices, rounded up
+    /// to a whole number of 64-bit words and clamped to
+    /// [`MIN_WINDOW`]..=[`MAX_WINDOW`].
+    pub fn new(window: u32) -> ReorderWindow {
+        let window = window.clamp(MIN_WINDOW, MAX_WINDOW).div_ceil(64) * 64;
+        ReorderWindow {
+            bits: vec![0; (window / 64) as usize],
+            window,
+            highest: None,
+        }
+    }
+
+    /// The number of indices the window spans.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// The highest index accepted so far, if any index was.
+    pub fn highest(&self) -> Option<u32> {
+        self.highest
+    }
+
+    /// Forgets all history, as if freshly built. Used when a stream's key
+    /// epoch rotates: chunk indices restart per epoch, so the old epoch's
+    /// replay history must not shadow the new one's indices.
+    pub fn reset(&mut self) {
+        self.bits.fill(0);
+        self.highest = None;
+    }
+
+    /// Records `index` and says whether it should be served.
+    pub fn insert(&mut self, index: u32) -> Slot {
+        let highest = match self.highest {
+            None => {
+                self.bits.fill(0);
+                self.set(index);
+                self.highest = Some(index);
+                return Slot::Accepted;
+            }
+            Some(h) => h,
+        };
+        if index > highest {
+            // Slide forward: every position the low edge passes over must
+            // be cleared so its bit cannot shadow a future index that
+            // maps to the same ring slot.
+            let advance = index - highest;
+            if advance >= self.window {
+                self.bits.fill(0);
+            } else {
+                for vacated in 1..=advance {
+                    self.clear(highest.wrapping_add(vacated));
+                }
+            }
+            self.set(index);
+            self.highest = Some(index);
+            return Slot::Accepted;
+        }
+        if highest - index >= self.window {
+            return Slot::Expired;
+        }
+        if self.get(index) {
+            return Slot::Duplicate;
+        }
+        self.set(index);
+        Slot::Accepted
+    }
+
+    fn slot(&self, index: u32) -> (usize, u64) {
+        let word = (index / 64) as usize % self.bits.len();
+        (word, 1u64 << (index % 64))
+    }
+
+    fn get(&self, index: u32) -> bool {
+        let (word, mask) = self.slot(index);
+        // lint: allow(panic-path, reason = "slot() reduces the word index mod bits.len()")
+        self.bits[word] & mask != 0
+    }
+
+    fn set(&mut self, index: u32) {
+        let (word, mask) = self.slot(index);
+        // lint: allow(panic-path, reason = "slot() reduces the word index mod bits.len()")
+        self.bits[word] |= mask;
+    }
+
+    fn clear(&mut self, index: u32) {
+        let (word, mask) = self.slot(index);
+        // lint: allow(panic-path, reason = "slot() reduces the word index mod bits.len()")
+        self.bits[word] &= !mask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_each_index_once_in_any_order() {
+        let mut w = ReorderWindow::new(64);
+        for &i in &[5u32, 2, 9, 0, 7, 63, 33] {
+            assert_eq!(w.insert(i), Slot::Accepted, "first sight of {i}");
+        }
+        for &i in &[5u32, 2, 9, 0, 7, 63, 33] {
+            assert_eq!(w.insert(i), Slot::Duplicate, "replay of {i}");
+        }
+        assert_eq!(w.highest(), Some(63));
+    }
+
+    #[test]
+    fn expires_indices_behind_the_window() {
+        let mut w = ReorderWindow::new(64);
+        assert_eq!(w.window(), 64);
+        assert_eq!(w.insert(0), Slot::Accepted);
+        assert_eq!(w.insert(100), Slot::Accepted);
+        // 100 - 64 = 36: indices <= 36 are behind the 64-wide window.
+        assert_eq!(w.insert(36), Slot::Expired);
+        assert_eq!(w.insert(37), Slot::Accepted);
+        // Index 0 was accepted but its history is gone with the slide;
+        // it now reports Expired, not Duplicate — refused either way.
+        assert_eq!(w.insert(0), Slot::Expired);
+    }
+
+    #[test]
+    fn sliding_clears_vacated_ring_slots() {
+        let mut w = ReorderWindow::new(64);
+        assert_eq!(w.insert(3), Slot::Accepted);
+        // Slide by exactly the window: index 67 reuses index 3's ring bit
+        // (67 % 64 == 3) and must not read it as already-seen.
+        assert_eq!(w.insert(67), Slot::Accepted);
+        assert_eq!(w.insert(4), Slot::Accepted);
+        // A giant jump clears everything in one sweep.
+        assert_eq!(w.insert(1_000_000), Slot::Accepted);
+        assert_eq!(w.insert(1_000_000 - 63), Slot::Accepted);
+        assert_eq!(w.insert(1_000_000 - 64), Slot::Expired);
+    }
+
+    #[test]
+    fn reset_forgets_all_history() {
+        let mut w = ReorderWindow::new(128);
+        assert_eq!(w.insert(10), Slot::Accepted);
+        assert_eq!(w.insert(10), Slot::Duplicate);
+        w.reset();
+        assert_eq!(w.highest(), None);
+        assert_eq!(w.insert(10), Slot::Accepted);
+    }
+
+    #[test]
+    fn size_requests_are_clamped_and_rounded() {
+        assert_eq!(ReorderWindow::new(0).window(), MIN_WINDOW);
+        assert_eq!(ReorderWindow::new(65).window(), 128);
+        assert_eq!(ReorderWindow::new(u32::MAX).window(), MAX_WINDOW);
+    }
+
+    #[test]
+    fn max_u32_index_is_representable() {
+        let mut w = ReorderWindow::new(64);
+        assert_eq!(w.insert(u32::MAX), Slot::Accepted);
+        assert_eq!(w.insert(u32::MAX), Slot::Duplicate);
+        assert_eq!(w.insert(u32::MAX - 63), Slot::Accepted);
+        assert_eq!(w.insert(u32::MAX - 64), Slot::Expired);
+    }
+}

@@ -111,6 +111,28 @@ pub enum FrameKind {
     /// token ([`encode_key_ex_ack_done`]) once the client's tag
     /// verified and the stream was opened (or rotated).
     KeyExAck = 11,
+    /// Client → server, **MHNP-D (datagram) only**: attach a stream to
+    /// the sender's UDP address. Payload: the 8-byte resume token (u64
+    /// LE) the stream's TCP handshake handed out — key establishment
+    /// stays on the reliable transport (`Hello` or MHKX); the datagram
+    /// path only *presents* the result. A parked stream is restored from
+    /// its eviction snapshot first; a live one is attached in place.
+    DgramResume = 12,
+    /// Server → client, MHNP-D only: the stream is attached to the
+    /// sender's address. Payload: the stream's current key epoch (u32
+    /// LE), which every subsequent [`FrameKind::DgramData`] must stamp.
+    DgramAck = 13,
+    /// Client → server, MHNP-D only: one independently-sealed chunk of
+    /// work. `seq = join_seq(epoch, chunk_index)` — the index, not a
+    /// counter, so each datagram is decodable and serviceable in
+    /// isolation. Without [`flags::DIR_OPEN`] the payload is a plaintext
+    /// chunk to seal; with it, an [`encode_blocks`] chunk to open.
+    DgramData = 14,
+    /// Server → client, MHNP-D only: the result of one
+    /// [`FrameKind::DgramData`], echoing its sequence field (epoch ∥
+    /// chunk index). Payload mirrors the direction: [`encode_blocks`]
+    /// for a seal, raw plaintext for an open.
+    DgramReply = 15,
 }
 
 impl FrameKind {
@@ -127,6 +149,10 @@ impl FrameKind {
             9 => FrameKind::RekeyAck,
             10 => FrameKind::KeyEx,
             11 => FrameKind::KeyExAck,
+            12 => FrameKind::DgramResume,
+            13 => FrameKind::DgramAck,
+            14 => FrameKind::DgramData,
+            15 => FrameKind::DgramReply,
             _ => return None,
         })
     }
@@ -569,6 +595,19 @@ pub enum ErrorCode {
     /// state was created** — the pending exchange is discarded and the
     /// stream id stays free.
     KeyConfirmFailed = 12,
+    /// MHNP-D only: the datagram's chunk index was **already served**
+    /// within the stream's replay window. Each index names one derived
+    /// keystream, so re-sealing an index — possibly with different bytes
+    /// — would hand out a two-time pad; duplicates (replayed or merely
+    /// channel-duplicated) are refused, never re-served. The stream is
+    /// untouched.
+    DuplicateChunk = 13,
+    /// MHNP-D only: the datagram's chunk index fell **behind the replay
+    /// window** — the stream has since accepted indices far enough ahead
+    /// that this one's dedup state was retired. The chunk is refused (it
+    /// can no longer be distinguished from a replay); the stream is
+    /// untouched. This is the bounded-memory cost of loss tolerance.
+    ChunkExpired = 14,
 }
 
 impl ErrorCode {
@@ -587,6 +626,8 @@ impl ErrorCode {
             10 => ErrorCode::ServerBusy,
             11 => ErrorCode::StaleEpoch,
             12 => ErrorCode::KeyConfirmFailed,
+            13 => ErrorCode::DuplicateChunk,
+            14 => ErrorCode::ChunkExpired,
             _ => return None,
         })
     }
@@ -607,6 +648,8 @@ impl core::fmt::Display for ErrorCode {
             ErrorCode::ServerBusy => "server at capacity",
             ErrorCode::StaleEpoch => "stale key epoch",
             ErrorCode::KeyConfirmFailed => "key confirmation failed",
+            ErrorCode::DuplicateChunk => "duplicate chunk index",
+            ErrorCode::ChunkExpired => "chunk index behind the replay window",
         };
         write!(f, "{name}")
     }
@@ -1131,6 +1174,25 @@ mod tests {
             Frame::new(FrameKind::KeyExAck, 7, 0).with_payload(encode_key_ex_ack_done(0xBEEF));
         let (got, _) = decode(&ack.encode()).unwrap().expect("complete");
         assert_eq!(got.kind, FrameKind::KeyExAck);
+    }
+
+    #[test]
+    fn dgram_kinds_and_codes_roundtrip_on_the_wire() {
+        for kind in [
+            FrameKind::DgramResume,
+            FrameKind::DgramAck,
+            FrameKind::DgramData,
+            FrameKind::DgramReply,
+        ] {
+            let frame = Frame::new(kind, 7, join_seq(2, 40)).with_payload(vec![1, 2, 3]);
+            let (got, used) = decode(&frame.encode()).unwrap().expect("complete");
+            assert_eq!(got, frame, "{kind:?}");
+            assert_eq!(used, HEADER_LEN + 3);
+        }
+        for code in [ErrorCode::DuplicateChunk, ErrorCode::ChunkExpired] {
+            let (got, _) = decode_error(&encode_error(code, "dgram"));
+            assert_eq!(got, Some(code));
+        }
     }
 
     #[test]

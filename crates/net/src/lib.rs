@@ -23,6 +23,13 @@
 //!   bit-exactly — whichever reactor it lands on.
 //! * [`client`] — a blocking client with per-stream sequence tracking and
 //!   a pipelined batch path.
+//! * [`dgram`] — **MHNP-D**, the datagram mode: the same frames over
+//!   `UdpSocket`, one self-describing packet per chunk via the
+//!   container-v2 per-chunk keystream derivation, a sliding replay
+//!   window instead of a sequence counter, and explicit loss reporting
+//!   instead of delivery guarantees. Streams are established over TCP
+//!   and attached to the datagram path by resume token, so both
+//!   transports serve the same mux entries, epochs and snapshots.
 //! * [`crc`] — CRC-32 (IEEE), the per-frame integrity check.
 //!
 //! Streams are keyed one of two ways. A `Hello` handshake names a
@@ -88,10 +95,12 @@
 pub mod client;
 mod conn;
 pub mod crc;
+pub mod dgram;
 pub mod frame;
 mod reactor;
 pub mod server;
 
 pub use client::{ClientError, EphemeralSession, NetClient, Sealed};
+pub use dgram::{DgramClient, DgramClientConfig, DgramError, DgramOutcome};
 pub use frame::{ErrorCode, Frame, FrameError, FrameKind, Hello};
 pub use server::{NetServer, ServerConfig, ServerHandle, ServerStats};

@@ -172,6 +172,24 @@ impl Shared {
                     hang_up: true,
                 }
             }
+            // Datagram-path kinds never travel over TCP: MHNP-D shares
+            // the kind space for the analyzer's sake, not the transport.
+            // A client mixing them into a stream is confused or hostile.
+            FrameKind::DgramResume
+            | FrameKind::DgramAck
+            | FrameKind::DgramData
+            | FrameKind::DgramReply => {
+                ServerStats::bump(&self.stats.protocol_errors);
+                ControlAction {
+                    reply: Frame::new(FrameKind::Error, stream, frame.seq).with_payload(
+                        encode_error(
+                            ErrorCode::Protocol,
+                            "datagram-path frame kind on the stream transport",
+                        ),
+                    ),
+                    hang_up: true,
+                }
+            }
             // `Data`/`Rekey` frames are routed through `validate_data`
             // before this point; landing here is a dispatch bug. Answer it
             // as a protocol error and hang up instead of panicking the
@@ -515,6 +533,72 @@ impl Shared {
                     }
                     other => fail(ErrorCode::Engine, &other.to_string()),
                 }
+            }
+        }
+    }
+
+    /// Attaches a stream to the datagram path by resume token: the
+    /// MHNP-D side of [`Shared::resume_stream`], called by the datagram
+    /// driver for a `DgramResume` packet. Returns the stream's current
+    /// key epoch on success, or the error to reply with.
+    ///
+    /// Two shapes succeed, and the caller cannot tell which happened
+    /// (that is the point — attach must be idempotent under packet
+    /// duplication and retry):
+    ///
+    /// * the stream is **parked** (its TCP connection died and evicted
+    ///   it): the snapshot is restored into the mux exactly as a TCP
+    ///   `Resume` would, re-parked on restore failure;
+    /// * the stream is **live** in the mux (its TCP connection is still
+    ///   up, or a previous attach already restored it): it is attached in
+    ///   place — no state moves, so a duplicated `DgramResume` is
+    ///   harmless.
+    ///
+    /// Wrong token, unknown stream, and token-known-but-stream-gone all
+    /// get the same uniform `NoSnapshot` answer, mirroring the TCP resume
+    /// path's refusal to let probers map which ids exist.
+    pub(crate) fn dgram_attach(&self, stream: u64, token: u64) -> Result<u32, (ErrorCode, String)> {
+        // Held across the parked-check and the restore, same as TCP
+        // resume: the snapshot must never be observable as "neither
+        // parked nor live" by a racing reactor.
+        let mut reg = self.registry();
+        if reg.tokens.get(&stream) != Some(&token) {
+            return Err((
+                ErrorCode::NoSnapshot,
+                "no snapshot parked for this stream".into(),
+            ));
+        }
+        if let Some(snapshot) = reg.snapshots.remove(&stream) {
+            match self.mux.restore(&snapshot) {
+                Ok(id) => {
+                    debug_assert_eq!(id.0, stream, "snapshot carries its own id");
+                    ServerStats::bump(&self.stats.streams_resumed);
+                    Ok(self.mux.epoch(id).unwrap_or(0))
+                }
+                Err(e) => {
+                    // Park it again: the snapshot is still the only copy
+                    // of the stream's state.
+                    reg.snapshots.insert(stream, snapshot);
+                    match e {
+                        GatewayError::StreamExists(_) => {
+                            // The id came back to life between the parked
+                            // check and the restore (a TCP resume raced
+                            // us). It is live now — attach in place.
+                            Ok(self.mux.epoch(StreamId(stream)).unwrap_or(0))
+                        }
+                        other => Err((ErrorCode::Engine, other.to_string())),
+                    }
+                }
+            }
+        } else {
+            match self.mux.epoch(StreamId(stream)) {
+                Ok(epoch) => Ok(epoch),
+                // Token known but the stream is neither parked nor live:
+                // a teardown race. Uniform answer, client retries.
+                Err(_) => Err((
+                    ErrorCode::NoSnapshot,
+                    "no snapshot parked for this stream".into(),
+                )),
             }
         }
     }

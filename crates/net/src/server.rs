@@ -50,7 +50,7 @@
 
 use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -59,6 +59,7 @@ use std::time::Duration;
 use mhhea::gateway::StreamMux;
 use mhhea::Key;
 
+use crate::dgram::socket::DgramDriver;
 use crate::frame::MAX_PAYLOAD;
 use crate::reactor::{Reactor, Shared};
 
@@ -113,6 +114,16 @@ pub struct ServerConfig {
     /// rejects `KeyEx` frames with [`crate::frame::ErrorCode::BadHandshake`].
     /// Enable with [`ServerConfig::with_ephemeral_keys`].
     pub ephemeral: bool,
+    /// Serve the MHNP-D datagram path (see [`crate::dgram`]): bind a UDP
+    /// socket beside the listener and run a driver thread for it. Off by
+    /// default. Enable with [`ServerConfig::with_dgram`].
+    pub dgram: bool,
+    /// Replay-window span, in chunk indices, for each stream attached to
+    /// the datagram path (see [`crate::dgram::window::ReorderWindow`];
+    /// clamped to its supported range). Chunks reordered further than
+    /// this fall behind the window and are refused with
+    /// [`crate::frame::ErrorCode::ChunkExpired`].
+    pub dgram_window: u32,
 }
 
 impl ServerConfig {
@@ -131,7 +142,20 @@ impl ServerConfig {
             close_grace: Duration::from_secs(5),
             idle_sleep: Duration::from_micros(200),
             ephemeral: false,
+            dgram: false,
+            dgram_window: 1024,
         }
+    }
+
+    /// Enables the MHNP-D datagram path: [`NetServer::bind`] also binds a
+    /// UDP socket (same IP, OS-picked port — read it back with
+    /// [`ServerHandle::dgram_addr`]) and [`NetServer::run`] drives it on
+    /// a dedicated thread. Streams are attached to it by resume token;
+    /// see [`crate::dgram`].
+    #[must_use]
+    pub fn with_dgram(mut self) -> ServerConfig {
+        self.dgram = true;
+        self
     }
 
     /// Enables ephemeral key agreement (MHKX): clients without a
@@ -221,6 +245,22 @@ pub struct ServerStats {
     /// Monotonic: `KeyEx` handshakes rejected for a low-order public key
     /// or a failed key-confirmation tag.
     pub kex_rejected: AtomicU64,
+    /// Monotonic: datagrams received on the MHNP-D socket (decodable or
+    /// not).
+    pub dgram_packets_received: AtomicU64,
+    /// Monotonic: datagrams sent from the MHNP-D socket (acks, replies
+    /// and error frames).
+    pub dgram_packets_sent: AtomicU64,
+    /// Monotonic: streams attached to the datagram path by `DgramResume`
+    /// (counted once per stream per epoch; idempotent re-attaches do not
+    /// count).
+    pub dgram_attached: AtomicU64,
+    /// Monotonic: chunks served (sealed or opened) on the datagram path.
+    pub dgram_chunks: AtomicU64,
+    /// Monotonic: datagrams refused — undecodable packets dropped
+    /// silently plus every explicit datagram `Error` reply (duplicate or
+    /// expired chunk index, stale epoch, unknown stream, …).
+    pub dgram_rejected: AtomicU64,
 }
 
 impl ServerStats {
@@ -237,12 +277,15 @@ impl ServerStats {
 pub struct NetServer {
     listener: TcpListener,
     addr: SocketAddr,
+    dgram: Option<UdpSocket>,
+    dgram_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
 }
 
 impl NetServer {
     /// Binds the listener (use port 0 to let the OS pick) and prepares an
-    /// empty stream table.
+    /// empty stream table. With [`ServerConfig::dgram`] set, also binds
+    /// the MHNP-D UDP socket on the same IP (OS-picked port).
     ///
     /// # Errors
     ///
@@ -251,9 +294,18 @@ impl NetServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let (dgram, dgram_addr) = if cfg.dgram {
+            let sock = UdpSocket::bind((addr.ip(), 0))?;
+            let dgram_addr = sock.local_addr()?;
+            (Some(sock), Some(dgram_addr))
+        } else {
+            (None, None)
+        };
         Ok(NetServer {
             listener,
             addr,
+            dgram,
+            dgram_addr,
             shared: Arc::new(Shared::new(cfg, Arc::new(ServerStats::default()))),
         })
     }
@@ -261,6 +313,12 @@ impl NetServer {
     /// The bound address (the real port when bound to port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The MHNP-D socket's address — `None` unless the config enabled
+    /// the datagram path ([`ServerConfig::with_dgram`]).
+    pub fn dgram_addr(&self) -> Option<SocketAddr> {
+        self.dgram_addr
     }
 
     /// The underlying stream table (e.g. for monitoring stream counts).
@@ -279,6 +337,7 @@ impl NetServer {
     pub fn spawn(addr: impl ToSocketAddrs, cfg: ServerConfig) -> io::Result<ServerHandle> {
         let server = NetServer::bind(addr, cfg)?;
         let addr = server.local_addr();
+        let dgram_addr = server.dgram_addr();
         let stats = Arc::clone(&server.shared.stats);
         let shutdown = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&shutdown);
@@ -287,6 +346,7 @@ impl NetServer {
             .spawn(move || server.run(&flag))?;
         Ok(ServerHandle {
             addr,
+            dgram_addr,
             stats,
             shutdown,
             join: Some(join),
@@ -302,7 +362,10 @@ impl NetServer {
     /// `reactors` scoped threads each run their own loop.
     pub fn run(self, shutdown: &AtomicBool) {
         let NetServer {
-            listener, shared, ..
+            listener,
+            shared,
+            dgram,
+            ..
         } = self;
         let n = shared.cfg.reactors.max(1);
         let mut txs: Vec<mpsc::Sender<TcpStream>> = Vec::with_capacity(n);
@@ -313,22 +376,33 @@ impl NetServer {
             reactors.push(Reactor::new(Arc::clone(&shared), rx));
         }
         let idle = shared.cfg.idle_sleep;
-        if n == 1 {
-            // The loop above pushed exactly `n == 1` reactors.
-            let Some(mut reactor) = reactors.pop() else {
-                debug_assert!(false, "one reactor was built");
-                return;
-            };
-            let mut next = 0;
-            while !shutdown.load(Ordering::Relaxed) {
-                let mut progress = accept_pending(&listener, &shared, &txs, &mut next);
-                progress |= reactor.step();
-                if !progress {
-                    std::thread::sleep(idle);
-                }
+        // The scope hosts the optional datagram driver (and, with
+        // `reactors > 1`, the reactor threads); everything joins before
+        // run() returns, so the shared state never outlives the loop.
+        std::thread::scope(|scope| {
+            if let Some(sock) = dgram {
+                let driver = DgramDriver::new(Arc::clone(&shared), sock);
+                std::thread::Builder::new()
+                    .name("mhnp-dgram".into())
+                    .spawn_scoped(scope, move || driver.run(shutdown))
+                    // lint: allow(panic-path, reason = "startup-only: failing to spawn the datagram thread means the configured datagram path cannot run at all; there is no traffic to answer yet")
+                    .expect("spawn dgram thread");
             }
-        } else {
-            std::thread::scope(|scope| {
+            if n == 1 {
+                // The loop above pushed exactly `n == 1` reactors.
+                let Some(mut reactor) = reactors.pop() else {
+                    debug_assert!(false, "one reactor was built");
+                    return;
+                };
+                let mut next = 0;
+                while !shutdown.load(Ordering::Relaxed) {
+                    let mut progress = accept_pending(&listener, &shared, &txs, &mut next);
+                    progress |= reactor.step();
+                    if !progress {
+                        std::thread::sleep(idle);
+                    }
+                }
+            } else {
                 for (i, reactor) in reactors.into_iter().enumerate() {
                     std::thread::Builder::new()
                         .name(format!("mhnp-reactor-{i}"))
@@ -343,8 +417,8 @@ impl NetServer {
                     }
                 }
                 drop(txs);
-            });
-        }
+            }
+        });
     }
 }
 
@@ -421,6 +495,7 @@ impl core::fmt::Debug for NetServer {
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
+    dgram_addr: Option<SocketAddr>,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
     join: Option<JoinHandle<()>>,
@@ -430,6 +505,12 @@ impl ServerHandle {
     /// The server's bound address — connect clients here.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The MHNP-D socket's address — connect [`crate::dgram::DgramClient`]s
+    /// here. `None` unless the config enabled the datagram path.
+    pub fn dgram_addr(&self) -> Option<SocketAddr> {
+        self.dgram_addr
     }
 
     /// Live counters (relaxed reads; momentarily inconsistent with each

@@ -1,12 +1,23 @@
 #!/usr/bin/env bash
 # Cheap docs link check: every relative link in README.md and docs/*.md
-# must resolve to a file or directory in the repository. External links
-# (http/https/mailto) and pure-anchor links are skipped; anchors on
-# relative links are stripped before the existence check.
+# must resolve to a file or directory in the repository, and every
+# `#fragment` — same-file or on a relative markdown link — must name a
+# real heading in its target (GitHub-style slugs: lowercase, punctuation
+# stripped, spaces to hyphens).
+# External links (http/https/mailto) are skipped.
 #
 # Run from anywhere: paths resolve against the repo root.
 set -u
 cd "$(dirname "$0")/.." || exit 1
+
+# Heading slugs of a markdown file, one per line, GitHub-style.
+# LC_ALL=C so multibyte punctuation (em-dashes, section signs) is
+# stripped bytewise instead of tripping the locale's character classes.
+slugs_of() {
+    grep -E '^#{1,6} ' "$1" 2>/dev/null | sed -E 's/^#+[[:space:]]+//' |
+        tr '[:upper:]' '[:lower:]' |
+        LC_ALL=C sed -E 's/[^a-z0-9 -]//g; s/ /-/g'
+}
 
 fail=0
 for doc in README.md docs/*.md; do
@@ -18,12 +29,31 @@ for doc in README.md docs/*.md; do
         [ -n "$target" ] || continue
         case "$target" in
             http://* | https://* | mailto:*) continue ;;
-            '#'*) continue ;; # same-file anchor
         esac
         path=${target%%#*}
-        if [ ! -e "$dir/$path" ]; then
+        frag=""
+        case "$target" in
+            *'#'*) frag=${target#*#} ;;
+        esac
+        # Existence: pure-anchor links stay in this file, others must
+        # resolve relative to the doc's directory.
+        if [ -n "$path" ] && [ ! -e "$dir/$path" ]; then
             echo "BROKEN LINK: $doc -> $target"
             fail=1
+            continue
+        fi
+        # Fragment: must slug-match a heading in the anchored file.
+        if [ -n "$frag" ]; then
+            if [ -n "$path" ]; then
+                anchored="$dir/$path"
+            else
+                anchored="$doc"
+            fi
+            [ -f "$anchored" ] || continue # directory links carry no headings
+            if ! slugs_of "$anchored" | grep -qxF "$frag"; then
+                echo "BROKEN ANCHOR: $doc -> $target (no heading slugs to '$frag' in $anchored)"
+                fail=1
+            fi
         fi
     done <<EOF
 $targets
