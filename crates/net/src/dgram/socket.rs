@@ -19,8 +19,17 @@
 //!   sources would make the server a UDP amplifier.
 //! * **Stream-transport kinds** over UDP are dropped silently too, and
 //!   counted as protocol errors.
-//! * Everything after a packet is attributed to an attached stream gets
-//!   an explicit `Error` reply echoing the packet's stream and sequence,
+//! * **Well-formed but unattributable** packets get silence as well:
+//!   data for a stream that is not attached here (or bound to a
+//!   different peer address), and any `DgramResume` that is malformed
+//!   or fails the token check. Until a source address survives the
+//!   token check it has proved nothing; an `Error` reply (~2x the size
+//!   of a minimal probe) would be amplification toward a spoofed
+//!   victim, and answering at all would leak which ids are served.
+//! * Everything attributed to an attached stream — a packet from the
+//!   peer address that last passed the stream's token check, even while
+//!   the stream itself is parked in an eviction snapshot — gets an
+//!   explicit `Error` reply echoing the packet's stream and sequence,
 //!   so the client can account for the chunk instead of timing out.
 
 use std::collections::HashMap;
@@ -42,6 +51,15 @@ use super::frame::{decode_datagram, DGRAM_MAX_CHUNK_BYTES, DGRAM_MAX_PACKET_BYTE
 use super::window::{ReorderWindow, Slot};
 
 /// Datagram-path state for one attached stream.
+///
+/// The entry outlives the stream's presence in the mux: when a TCP
+/// disconnect evicts the stream to a parked snapshot, the entry — and
+/// with it the replay windows — stays, because a resume restores the
+/// snapshot at the **same** epoch and rebuilding fresh windows on the
+/// re-attach would reopen every index already served in that epoch
+/// (index reuse = two-time pad). The entry is dropped only once the
+/// registry holds no resume token for the stream, i.e. once it can
+/// never legally return.
 struct Attached {
     /// The peer address the stream answered its last successful attach
     /// from. Data packets from any other address are refused — a valid
@@ -62,6 +80,9 @@ struct Attached {
 /// What `vet_data` decided about a `DgramData` packet, borrow-free so the
 /// socket can be written to afterwards.
 enum Verdict {
+    /// Drop silently (and count): the packet could not be attributed to
+    /// an attached stream, so answering it would be amplification.
+    Drop,
     /// Refuse with an `Error` reply carrying this code and detail.
     Refuse(ErrorCode, String),
     /// Seal this plaintext at (epoch, index).
@@ -139,28 +160,28 @@ impl DgramDriver {
 
     /// A `DgramResume`: verify the resume token against the shared
     /// registry, restore the stream if parked, bind it to the source
-    /// address, and ack with the current epoch.
+    /// address, and ack with the current epoch. Every refusal — a
+    /// malformed token payload, a wrong token, an unknown stream, a
+    /// failed restore — is a uniform silent drop: the source address has
+    /// not passed the token check, so a reply would be amplification and
+    /// a live/parked oracle. The client learns of refusal by its ack
+    /// deadline (attach is idempotent; it just retries).
     fn handle_attach(&mut self, frame: &crate::frame::Frame, src: SocketAddr) {
         let stream = frame.stream;
         let Ok(token_bytes) = <[u8; 8]>::try_from(frame.payload.as_slice()) else {
             ServerStats::bump(&self.shared.stats.dgram_rejected);
-            self.reply_error(
-                src,
-                stream,
-                frame.seq,
-                ErrorCode::BadHandshake,
-                "dgram-resume payload must be the 8-byte resume token",
-            );
             return;
         };
         let token = u64::from_le_bytes(token_bytes);
         match self.shared.dgram_attach(stream, token) {
-            Ok(epoch) => {
+            Some(epoch) => {
                 match self.streams.get_mut(&stream) {
                     // Same-epoch re-attach (a retried or duplicated
-                    // DgramResume, or a roaming client): rebind the peer
-                    // but KEEP the replay windows — resetting them would
-                    // reopen every already-served seal index to replay.
+                    // DgramResume, a roaming client, or a client coming
+                    // back after its stream was parked and restored):
+                    // rebind the peer but KEEP the replay windows —
+                    // resetting them would reopen every already-served
+                    // seal index to replay.
                     Some(at) if at.epoch == epoch => at.peer = src,
                     _ => {
                         let window = self.shared.cfg.dgram_window;
@@ -190,9 +211,8 @@ impl DgramDriver {
                     &epoch.to_le_bytes(),
                 );
             }
-            Err((code, detail)) => {
+            None => {
                 ServerStats::bump(&self.shared.stats.dgram_rejected);
-                self.reply_error(src, stream, frame.seq, code, &detail);
             }
         }
     }
@@ -204,6 +224,9 @@ impl DgramDriver {
         let (epoch, index) = split_seq(frame.seq);
         let verdict = self.vet_data(frame, src);
         match verdict {
+            Verdict::Drop => {
+                ServerStats::bump(&self.shared.stats.dgram_rejected);
+            }
             Verdict::Refuse(code, detail) => {
                 ServerStats::bump(&self.shared.stats.dgram_rejected);
                 self.reply_error(src, stream, frame.seq, code, &detail);
@@ -273,30 +296,40 @@ impl DgramDriver {
     /// can write to the socket afterwards.
     fn vet_data(&mut self, frame: &crate::frame::Frame, src: SocketAddr) -> Verdict {
         let stream = frame.stream;
-        // One uniform answer for "never attached", "bound to a different
-        // peer" and "gone from the mux": a sender probing stream ids must
-        // not learn which are attached, and an injector sending from the
-        // wrong address must not learn that the id was right.
-        let unattached = || {
-            Verdict::Refuse(
-                ErrorCode::UnknownStream,
-                "stream not attached on the datagram path".into(),
-            )
-        };
+        // One uniform answer — silence — for "never attached" and "bound
+        // to a different peer": a sender probing stream ids must not
+        // learn which are attached, an injector sending from the wrong
+        // address must not learn that the id was right, and neither
+        // source has earned a reply (see the module docs).
         let Some(at) = self.streams.get_mut(&stream) else {
-            return unattached();
+            return Verdict::Drop;
         };
         if at.peer != src {
-            return unattached();
+            return Verdict::Drop;
         }
         // The mux is the epoch authority: a TCP Rekey may have rotated
         // the stream since the last packet, and an evicted/closed stream
-        // must detach here.
+        // must refuse here.
         let current = match self.shared.mux.epoch(StreamId(stream)) {
             Ok(epoch) => epoch,
             Err(_) => {
-                self.streams.remove(&stream);
-                return unattached();
+                // The stream left the mux — evicted to a parked snapshot
+                // on a TCP disconnect, or torn down for good. The entry
+                // (and with it the replay windows) must survive a park: a
+                // resume restores the snapshot at the SAME epoch, so
+                // forgetting the windows here would reopen every index
+                // already served in that epoch on the next re-attach.
+                // Only when no resume token exists can the stream never
+                // legally return, and only then is the entry dropped.
+                if !self.shared.has_token(stream) {
+                    self.streams.remove(&stream);
+                }
+                // Attributed (the peer passed the token check), so the
+                // refusal is answered: it tells the client to re-attach.
+                return Verdict::Refuse(
+                    ErrorCode::UnknownStream,
+                    "stream not attached on the datagram path".into(),
+                );
             }
         };
         if current != at.epoch {

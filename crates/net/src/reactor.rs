@@ -117,6 +117,14 @@ impl Shared {
         self.registry().snapshots.len()
     }
 
+    /// Whether the registry still holds a resume token for `stream` —
+    /// i.e. whether the stream can ever legally return (both TCP resume
+    /// and datagram attach require the token). The datagram driver uses
+    /// this to decide when per-stream replay state is safe to drop.
+    pub(crate) fn has_token(&self, stream: u64) -> bool {
+        self.registry().tokens.contains_key(&stream)
+    }
+
     /// Handshake and teardown frames, answered inline by the owning
     /// reactor against the shared registry/mux.
     pub(crate) fn handle_control(
@@ -540,7 +548,9 @@ impl Shared {
     /// Attaches a stream to the datagram path by resume token: the
     /// MHNP-D side of [`Shared::resume_stream`], called by the datagram
     /// driver for a `DgramResume` packet. Returns the stream's current
-    /// key epoch on success, or the error to reply with.
+    /// key epoch on success, `None` on any refusal — the driver drops
+    /// refusals silently (anti-amplification; see the dgram module
+    /// docs), so there is no error to distinguish.
     ///
     /// Two shapes succeed, and the caller cannot tell which happened
     /// (that is the point — attach must be idempotent under packet
@@ -555,25 +565,22 @@ impl Shared {
     ///   harmless.
     ///
     /// Wrong token, unknown stream, and token-known-but-stream-gone all
-    /// get the same uniform `NoSnapshot` answer, mirroring the TCP resume
-    /// path's refusal to let probers map which ids exist.
-    pub(crate) fn dgram_attach(&self, stream: u64, token: u64) -> Result<u32, (ErrorCode, String)> {
+    /// get the same uniform non-answer, mirroring the TCP resume path's
+    /// refusal to let probers map which ids exist.
+    pub(crate) fn dgram_attach(&self, stream: u64, token: u64) -> Option<u32> {
         // Held across the parked-check and the restore, same as TCP
         // resume: the snapshot must never be observable as "neither
         // parked nor live" by a racing reactor.
         let mut reg = self.registry();
         if reg.tokens.get(&stream) != Some(&token) {
-            return Err((
-                ErrorCode::NoSnapshot,
-                "no snapshot parked for this stream".into(),
-            ));
+            return None;
         }
         if let Some(snapshot) = reg.snapshots.remove(&stream) {
             match self.mux.restore(&snapshot) {
                 Ok(id) => {
                     debug_assert_eq!(id.0, stream, "snapshot carries its own id");
                     ServerStats::bump(&self.stats.streams_resumed);
-                    Ok(self.mux.epoch(id).unwrap_or(0))
+                    Some(self.mux.epoch(id).unwrap_or(0))
                 }
                 Err(e) => {
                     // Park it again: the snapshot is still the only copy
@@ -584,22 +591,16 @@ impl Shared {
                             // The id came back to life between the parked
                             // check and the restore (a TCP resume raced
                             // us). It is live now — attach in place.
-                            Ok(self.mux.epoch(StreamId(stream)).unwrap_or(0))
+                            Some(self.mux.epoch(StreamId(stream)).unwrap_or(0))
                         }
-                        other => Err((ErrorCode::Engine, other.to_string())),
+                        _ => None,
                     }
                 }
             }
         } else {
-            match self.mux.epoch(StreamId(stream)) {
-                Ok(epoch) => Ok(epoch),
-                // Token known but the stream is neither parked nor live:
-                // a teardown race. Uniform answer, client retries.
-                Err(_) => Err((
-                    ErrorCode::NoSnapshot,
-                    "no snapshot parked for this stream".into(),
-                )),
-            }
+            // Token known but the stream may be neither parked nor live
+            // (a teardown race): uniform non-answer, client retries.
+            self.mux.epoch(StreamId(stream)).ok()
         }
     }
 }
